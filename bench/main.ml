@@ -1,0 +1,580 @@
+(* The paper-reproduction benchmark harness: one section per table/figure
+   of the evaluation (§4).  Run everything:
+
+     dune exec bench/main.exe
+
+   or a subset:
+
+     dune exec bench/main.exe -- fig7a fig14 --quick
+
+   --quick shrinks sweeps (used in CI-ish runs).  Every section prints the
+   measured numbers next to what the paper reports; EXPERIMENTS.md records
+   a full run.  Absolute numbers are expected to differ (our substrate is a
+   from-scratch OCaml solver on a 1-CPU container); the shapes are the
+   reproduction target. *)
+
+let quick = ref false
+
+let header title =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==================================================================\n%!"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  note: %s\n%!" s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Verification-side helpers                                           *)
+(* ------------------------------------------------------------------ *)
+
+let verify_time ?(jobs = 1) profile prog =
+  let r = Verus.Driver.verify_program ~jobs profile prog in
+  (r.Verus.Driver.pr_ok, r.Verus.Driver.pr_time_s, r.Verus.Driver.pr_bytes)
+
+(* Verification timings on small programs are noisy (hashtable iteration
+   orders steer the search); report the best of three runs, as benchmark
+   harnesses for solvers usually do. *)
+let verify_time3 ?jobs profile prog =
+  let runs = List.init (if !quick then 1 else 3) (fun _ -> verify_time ?jobs profile prog) in
+  List.fold_left
+    (fun (bok, bt, bb) (ok, t, b) -> if t < bt then (ok, t, b) else (bok, bt, bb))
+    (List.hd runs) (List.tl runs)
+
+let status_cell (ok, time, _) = if ok then Printf.sprintf "%8.2fs" time else "   FAIL "
+
+(* A per-profile verification-time budget: heavyweight profiles that blow
+   through it are reported as "timeout" (which is itself the result the
+   paper reports for some tools, e.g. Low* on the memory benchmark). *)
+let with_deadline seconds f =
+  let result = ref None in
+  let d = Domain.spawn (fun () -> result := Some (f ())) in
+  let t0 = Unix.gettimeofday () in
+  let rec wait () =
+    if !result <> None then Domain.join d
+    else if Unix.gettimeofday () -. t0 > seconds then raise Exit
+    else begin
+      Unix.sleepf 0.05;
+      wait ()
+    end
+  in
+  (try wait () with Exit -> ());
+  !result
+[@@warning "-unused-value-declaration"]
+
+(* ------------------------------------------------------------------ *)
+(* fig7a: linked-list verification times across frameworks             *)
+(* ------------------------------------------------------------------ *)
+
+let fig7a () =
+  header "Figure 7a: verification time (s), singly / doubly linked list";
+  Printf.printf "  paper: Verus 0.66/1.15  Creusot 1.88/30.8  Dafny 3.83/28.1  Low* 7.16/70.2  Prusti 18.8/n-a  (Ivy: cannot express)\n\n";
+  Printf.printf "  %-10s %-14s %-14s\n" "profile" "single" "double";
+  let profiles = Verus.Profiles.all in
+  List.iter
+    (fun (p : Verus.Profiles.t) ->
+      let cell prog =
+        let r = verify_time3 p prog in
+        let ok, t, _ = r in
+        if ok then Printf.sprintf "%.2fs" t
+        else begin
+          (* Distinguish 'cannot express' (Ivy) from slow/failed. *)
+          let pr = Verus.Driver.verify_program p prog in
+          match Verus.Driver.first_failure pr with
+          | Some (_, _) when p.Verus.Profiles.epr_only -> "n/a (EPR)"
+          | _ -> Printf.sprintf "fail(%.0fs)" t
+        end
+      in
+      let single = cell Verus.Bench_programs.singly_linked in
+      let double =
+        if p.Verus.Profiles.epr_only then "n/a (EPR)"
+        else cell Verus.Bench_programs.doubly_linked
+      in
+      Printf.printf "  %-10s %-14s %-14s\n%!" p.Verus.Profiles.name single double)
+    profiles
+
+(* ------------------------------------------------------------------ *)
+(* fig7b: memory reasoning, time vs pushes                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig7b () =
+  header "Figure 7b: memory-reasoning verification time vs number of pushes";
+  Printf.printf
+    "  paper: Verus stays linear (~1.6 ms/push); Dafny grows dramatically; Low* fails beyond one push.\n\n";
+  let pushes = if !quick then [ 2; 4 ] else [ 4; 8; 12; 16 ] in
+  (* Bound each verification condition at 20s so the sweep terminates;
+     profiles that exceed it report failure — the counterpart of "Low*
+     fails to return beyond one push" in the paper. *)
+  let cap (p : Verus.Profiles.t) =
+    { p with Verus.Profiles.solver_config = { p.Verus.Profiles.solver_config with deadline_s = 20.0 } }
+  in
+  let profiles =
+    List.map cap
+      [ Verus.Profiles.verus; Verus.Profiles.creusot; Verus.Profiles.prusti; Verus.Profiles.dafny ]
+  in
+  Printf.printf "  %-10s" "pushes";
+  List.iter (fun n -> Printf.printf " %10d" n) pushes;
+  Printf.printf "\n";
+  List.iter
+    (fun (p : Verus.Profiles.t) ->
+      Printf.printf "  %-10s" p.Verus.Profiles.name;
+      List.iter
+        (fun n ->
+          (* Single runs: these verifications are long enough that noise
+             is small relative to the trend. *)
+          let r = verify_time p (Verus.Bench_programs.memory_reasoning n) in
+          Printf.printf " %10s" (status_cell r);
+          flush stdout)
+        pushes;
+      Printf.printf "\n%!")
+    profiles
+
+(* ------------------------------------------------------------------ *)
+(* fig8: time to report an error on broken proofs                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  header "Figure 8: time to failure report on broken proofs (pop / index)";
+  Printf.printf
+    "  paper: Verus/Dafny/Prusti report errors as fast as success; Low* and Creusot degrade.\n\n";
+  Printf.printf "  %-10s %-12s %-12s %-12s\n" "profile" "success" "break pop" "break index";
+  List.iter
+    (fun (p : Verus.Profiles.t) ->
+      if not p.Verus.Profiles.epr_only then begin
+        let _, t_ok, _ = verify_time3 p Verus.Bench_programs.singly_linked in
+        let time_broken prog =
+          let r = Verus.Driver.verify_program p prog in
+          (* Failure expected; report wall time to the failure. *)
+          (Verus.Driver.first_failure r <> None, r.Verus.Driver.pr_time_s)
+        in
+        let failed1, t1 = time_broken Verus.Bench_programs.break_pop in
+        let failed2, t2 = time_broken Verus.Bench_programs.break_index in
+        Printf.printf "  %-10s %10.2fs %10.2fs%s %10.2fs%s\n%!" p.Verus.Profiles.name t_ok t1
+          (if failed1 then "" else "!")
+          t2
+          (if failed2 then "" else "!")
+      end)
+    [ Verus.Profiles.verus; Verus.Profiles.creusot; Verus.Profiles.dafny; Verus.Profiles.fstar; Verus.Profiles.prusti ]
+
+(* ------------------------------------------------------------------ *)
+(* fig9: macrobenchmark table                                           *)
+(* ------------------------------------------------------------------ *)
+
+let count_lines dir =
+  (* Source lines of the library implementing a case study. *)
+  try
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+    |> List.fold_left
+         (fun acc f ->
+           let ic = open_in (Filename.concat dir f) in
+           let n = ref 0 in
+           (try
+              while true do
+                ignore (input_line ic);
+                incr n
+              done
+            with End_of_file -> ());
+           close_in ic;
+           acc + !n)
+         0
+  with Sys_error _ -> 0
+
+let fig9 () =
+  header "Figure 9: macrobenchmark statistics (per case study)";
+  Printf.printf
+    "  paper: Verus verifies each ported/new system 10-100x faster than the original tools,\n";
+  Printf.printf "  with ~95%% smaller SMT queries; see EXPERIMENTS.md for the line-count mapping.\n\n";
+  Printf.printf "  %-12s %8s %10s %10s %10s  %s\n" "system" "LoC" "obligs" "1-core" "8-core" "notes";
+  let row name dir f =
+    let loc = count_lines dir in
+    let t0 = Unix.gettimeofday () in
+    let n_ob, ok = f 1 in
+    let t1 = Unix.gettimeofday () -. t0 in
+    let t0 = Unix.gettimeofday () in
+    let _ = f 8 in
+    let t8 = Unix.gettimeofday () -. t0 in
+    Printf.printf "  %-12s %8d %10d %9.2fs %9.2fs  %s\n%!" name loc n_ob t1 t8
+      (if ok then "all proved" else "FAILURES")
+  in
+  (* IronKV: the delegation-map EPR proof plus the default-mode distributed
+     lock (its protocol cousin). *)
+  row "IronKV" "lib/ironkv" (fun _jobs ->
+      let obs = Ironkv.Delegation_proof.run () in
+      let marsh = Ironkv.Marshal_proofs.run () in
+      let lock = Verus.Dlock_epr.run () in
+      let r = Verus.Driver.verify_program Verus.Profiles.verus Verus.Bench_programs.dlock_default in
+      ( List.length obs + List.length marsh + List.length lock
+        + List.length (List.concat_map (fun f -> f.Verus.Driver.fnr_vcs) r.Verus.Driver.pr_fns),
+        Ironkv.Delegation_proof.all_proved obs
+        && Ironkv.Marshal_proofs.all_proved marsh
+        && Verus.Dlock_epr.all_proved lock && r.Verus.Driver.pr_ok ));
+  (* NR: the VerusSync protocol obligations + refinement to the atomic
+     log spec. *)
+  row "NR" "lib/nr" (fun _jobs ->
+      let rep = Nr_lib.Nr_model.check ~replicas:4 () in
+      let refn = Nr_lib.Nr_model.check_refinement ~replicas:4 () in
+      ( List.length rep.Verus.Vsync.obligations + List.length refn.Verus.Vsync.obligations,
+        rep.Verus.Vsync.ok && refn.Verus.Vsync.ok ));
+  (* Page table: the 3.3-mode battery + the DLL program and the vstd seq
+     lemma library stand in for its data-structure proofs. *)
+  row "Page table" "lib/pagetable" (fun jobs ->
+      let obs = Pagetable.Pagetable_proofs.run () in
+      let r = Verus.Driver.verify_program ~jobs Verus.Profiles.verus Verus.Bench_programs.doubly_linked in
+      let r2 = Verus.Vstd_seq.verify () in
+      ( List.length obs
+        + List.length (List.concat_map (fun f -> f.Verus.Driver.fnr_vcs) r.Verus.Driver.pr_fns)
+        + List.length (List.concat_map (fun f -> f.Verus.Driver.fnr_vcs) r2.Verus.Driver.pr_fns),
+        Pagetable.Pagetable_proofs.all_proved obs && r.Verus.Driver.pr_ok && r2.Verus.Driver.pr_ok ));
+  (* Mimalloc: delayed-free protocol + the memory-reasoning program. *)
+  row "Mimalloc" "lib/valloc" (fun jobs ->
+      let rep = Valloc.Alloc_model.check ~capacity:4096 () in
+      let r = Verus.Driver.verify_program ~jobs Verus.Profiles.verus (Verus.Bench_programs.memory_reasoning 4) in
+      ( List.length rep.Verus.Vsync.obligations
+        + List.length (List.concat_map (fun f -> f.Verus.Driver.fnr_vcs) r.Verus.Driver.pr_fns),
+        rep.Verus.Vsync.ok && r.Verus.Driver.pr_ok ));
+  (* Persistent log: the CRC table by(compute), all 256 entries. *)
+  row "P. log" "lib/plog" (fun _jobs ->
+      let rs = Plog.Crc_proof.check_all () in
+      (List.length rs, Plog.Crc_proof.all_proved rs))
+
+(* ------------------------------------------------------------------ *)
+(* fig10: IronKV throughput                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  header "Figure 10: IronKV throughput (kop/s), Get/Set x payload size";
+  Printf.printf
+    "  paper: the Verus port performs comparably to the IronFleet original (both ~2-4 kop/s there).\n\n";
+  let ops = if !quick then 3_000 else 20_000 in
+  Printf.printf "  %-22s %10s %10s %10s\n" "workload" "128B" "256B" "512B";
+  List.iter
+    (fun (label, style, get_ratio) ->
+      Printf.printf "  %-22s" label;
+      List.iter
+        (fun payload ->
+          let r = Ironkv.Workload.run ~style ~payload ~ops ~get_ratio () in
+          Printf.printf " %9.1fk" r.Ironkv.Workload.kops_per_s;
+          flush stdout)
+        [ 128; 256; 512 ];
+      Printf.printf "\n%!")
+    [
+      ("Get (Verus port)", `Inplace, 1.0);
+      ("Get (IronFleet-style)", `Copying, 1.0);
+      ("Set (Verus port)", `Inplace, 0.0);
+      ("Set (IronFleet-style)", `Copying, 0.0);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* fig11: NR throughput                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 () =
+  header "Figure 11: NR throughput (Mop/s) vs threads, at 0%/10%/100% writes";
+  Printf.printf
+    "  paper: Verus-NR matches unverified NR, both far above a global lock for read-heavy loads.\n";
+  note "this container exposes %d CPU(s); domain scaling is bounded by that (DESIGN.md)."
+    (Domain.recommended_domain_count ());
+  let threads = if !quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let ops = if !quick then 20_000 else 50_000 in
+  List.iter
+    (fun write_pct ->
+      Printf.printf "\n  -- %d%% writes --\n" write_pct;
+      Printf.printf "  %-14s" "threads";
+      List.iter (fun t -> Printf.printf " %8d" t) threads;
+      Printf.printf "\n";
+      List.iter
+        (fun (label, f) ->
+          Printf.printf "  %-14s" label;
+          List.iter
+            (fun t ->
+              let r = f ~threads:t ~ops_per_thread:ops ~write_pct in
+              Printf.printf " %8.2f" r.Nr_lib.Nr_bench.mops_per_s;
+              flush stdout)
+            threads;
+          Printf.printf "\n%!")
+        [
+          ("Verus-NR", Nr_lib.Nr_bench.nr);
+          ("NR (unverif.)", Nr_lib.Nr_bench.nr_unverified);
+          ("global mutex", Nr_lib.Nr_bench.mutex_baseline);
+        ])
+    [ 0; 10; 100 ]
+
+(* ------------------------------------------------------------------ *)
+(* fig12: page table latency                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  header "Figure 12: page table map/unmap mean latency";
+  Printf.printf
+    "  paper: verified map matches the unverified reference; verified unmap is slower because it\n";
+  Printf.printf "  reclaims empty directories (disabling reclamation restores parity).\n\n";
+  let n = if !quick then 20_000 else 100_000 in
+  let run_map_unmap make_pt map unmap =
+    let mem = Pagetable.Phys_mem.create ~frames:(4 * n) () in
+    let pt = make_pt mem in
+    let vas = Array.init n (fun i -> 0x1000_0000 + (i * 4096)) in
+    let t0 = Unix.gettimeofday () in
+    Array.iter (fun va -> ignore (map pt ~va ~frame:7 ~writable:true)) vas;
+    let t_map = (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9 in
+    let t0 = Unix.gettimeofday () in
+    Array.iter (fun va -> ignore (unmap pt ~va)) vas;
+    let t_unmap = (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9 in
+    (t_map, t_unmap)
+  in
+  let rows =
+    [
+      ( "verified",
+        run_map_unmap (fun m -> Pagetable.Impl.create m) Pagetable.Impl.map4k Pagetable.Impl.unmap4k );
+      ( "verified, no reclaim",
+        run_map_unmap
+          (fun m -> Pagetable.Impl.create ~reclaim:false m)
+          Pagetable.Impl.map4k Pagetable.Impl.unmap4k );
+      ( "unverified reference",
+        run_map_unmap (fun m -> Pagetable.Baseline.create m) Pagetable.Baseline.map4k
+          Pagetable.Baseline.unmap4k );
+    ]
+  in
+  Printf.printf "  %-24s %12s %12s\n" "implementation" "map4k (ns)" "unmap4k (ns)";
+  List.iter
+    (fun (label, (m, u)) -> Printf.printf "  %-24s %12.0f %12.0f\n%!" label m u)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* fig13: allocator workloads                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  header "Figure 13: allocator benchmarks (seconds; lower is better)";
+  Printf.printf
+    "  paper: Verus-mimalloc is 1-14x slower than C mimalloc per workload; here 'unchecked' plays\n";
+  Printf.printf
+    "  the unverified original and 'checked' carries the verified version's bookkeeping.\n\n";
+  let threads = if !quick then 2 else 4 in
+  Printf.printf "  %-18s %12s %12s %14s\n" "workload" "unchecked" "checked" "single-heap";
+  List.iter
+    (fun name ->
+      let t_un = Valloc.Workloads.run ~name { checked = false; heaps = 4; threads } in
+      let t_ck = Valloc.Workloads.run ~name { checked = true; heaps = 4; threads } in
+      let t_1h = Valloc.Workloads.run ~name { checked = false; heaps = 1; threads } in
+      Printf.printf "  %-18s %11.2fs %11.2fs %13.2fs\n%!" name t_un t_ck t_1h)
+    Valloc.Workloads.names
+
+(* ------------------------------------------------------------------ *)
+(* fig14: persistent log append throughput                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig14 () =
+  header "Figure 14: log append throughput (MiB/s) vs append size";
+  Printf.printf
+    "  paper: the latest verified log matches libpmemlog despite computing CRCs (it uses no locks);\n";
+  Printf.printf "  the initial copy-heavy version is slower on small appends.\n\n";
+  let sizes = [ 128; 256; 512; 1024; 4096; 8192; 65536 ] in
+  let total = if !quick then 8 * 1024 * 1024 else 64 * 1024 * 1024 in
+  let throughput style size =
+    let region = 16 * 1024 * 1024 in
+    let mem = Plog.Pmem.create ~size:(region + Plog.Log.header_bytes) in
+    Plog.Log.format mem ~base:0 ~len:(region + Plog.Log.header_bytes);
+    let log = Result.get_ok (Plog.Log.attach ~style mem ~base:0 ~len:(region + Plog.Log.header_bytes)) in
+    let payload = String.make size 'd' in
+    let n = total / size in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      (match Plog.Log.append log payload with
+      | Ok () -> ()
+      | Error _ ->
+        (* Wrap: free half the log and retry. *)
+        ignore (Plog.Log.advance_head log (Plog.Log.tail log - (region / 2)));
+        ignore (Plog.Log.append log payload));
+      ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int (n * size) /. dt /. (1024.0 *. 1024.0)
+  in
+  Printf.printf "  %-12s" "append size";
+  List.iter (fun s -> Printf.printf " %9s" (if s >= 1024 then Printf.sprintf "%dKiB" (s / 1024) else Printf.sprintf "%dB" s)) sizes;
+  Printf.printf "\n";
+  List.iter
+    (fun (label, style) ->
+      Printf.printf "  %-12s" label;
+      List.iter
+        (fun s ->
+          Printf.printf " %9.0f" (throughput style s);
+          flush stdout)
+        sizes;
+      Printf.printf "\n%!")
+    [ ("PMDK-style", `Pmdk); ("initial", `Initial); ("latest", `Latest) ]
+
+(* ------------------------------------------------------------------ *)
+(* tab-epr: distributed lock, default vs EPR mode                      *)
+(* ------------------------------------------------------------------ *)
+
+let tab_epr () =
+  header "Table (4.1.3): distributed lock - default mode vs EPR mode";
+  let t0 = Unix.gettimeofday () in
+  let r = Verus.Driver.verify_program Verus.Profiles.verus Verus.Bench_programs.dlock_default in
+  let t_default = Unix.gettimeofday () -. t0 in
+  Printf.printf "  default mode: %s in %.2fs (inductive invariant + helper assertion, ~25 proof lines)\n"
+    (if r.Verus.Driver.pr_ok then "proved" else "FAILED")
+    t_default;
+  let t0 = Unix.gettimeofday () in
+  let lock_obs = Verus.Dlock_epr.run () in
+  let t_lock = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "  EPR mode (lock, hand-off + message protocol): %d obligations decided automatically in %.2fs %s\n"
+    (List.length lock_obs) t_lock
+    (if Verus.Dlock_epr.all_proved lock_obs then "" else "(FAILURES)");
+  Printf.printf "  abstraction boilerplate: ~%d lines (paper: ~100 lines for the lock)\n"
+    Verus.Dlock_epr.boilerplate_lines;
+  let t0 = Unix.gettimeofday () in
+  let obs = Ironkv.Delegation_proof.run () in
+  let t_epr = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "  EPR mode (delegation map, Fig. 3): %d obligations decided automatically in %.2fs\n"
+    (List.length obs) t_epr;
+  Printf.printf
+    "  => EPR trades boilerplate for fully automatic invariant checking, as in the paper.\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* ablations: each design choice of §3.1 isolated                      *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  header "Ablation: isolating the design choices of §3.1 (on the singly linked list)";
+  Printf.printf
+    "  Each row toggles ONE choice off the Verus profile; time and instantiation work show its cost.\n\n";
+  let base = Verus.Profiles.verus in
+  let variants =
+    [
+      ("Verus (all on)", base);
+      ( "liberal triggers",
+        {
+          base with
+          Verus.Profiles.name = "V-libtrig";
+          trigger_policy = Smt.Triggers.Liberal;
+          curated_triggers = false;
+          solver_config =
+            { base.Verus.Profiles.solver_config with trigger_policy = Smt.Triggers.Liberal };
+        } );
+      ("no pruning", { base with Verus.Profiles.name = "V-noprune"; pruning = false });
+      ("heap encoding", { base with Verus.Profiles.name = "V-heap"; encoding = Verus.Profiles.Heap });
+      ( "prophecy encoding",
+        { base with Verus.Profiles.name = "V-prophecy"; encoding = Verus.Profiles.Prophecy } );
+      ( "effect wrappers (depth 2)",
+        { base with Verus.Profiles.name = "V-wrap"; wrapper_depth = 2 } );
+    ]
+  in
+  Printf.printf "  %-26s %10s %14s\n" "variant" "time" "query bytes";
+  List.iter
+    (fun (label, p) ->
+      let ok, t, bytes = verify_time p Verus.Bench_programs.singly_linked in
+      Printf.printf "  %-26s %9.2fs %14d%s\n%!" label t bytes (if ok then "" else "  (FAILED)"))
+    variants
+
+(* ------------------------------------------------------------------ *)
+(* micro: bechamel microbenchmarks of the hot runtime paths             *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Microbenchmarks (bechamel): hot runtime operations";
+  let open Bechamel in
+  let open Toolkit in
+  let os = Valloc.Os_mem.create () in
+  let alloc = Valloc.Alloc.create ~checked:true ~heaps:1 os in
+  let alloc_un = Valloc.Alloc.create ~checked:false ~heaps:1 os in
+  let nr = Nr_lib.Nr.create ~replicas:1 () in
+  let h = Nr_lib.Nr.register nr in
+  let mem = Plog.Pmem.create ~size:(1 lsl 20) in
+  Plog.Log.format mem ~base:0 ~len:(1 lsl 20);
+  let log = Result.get_ok (Plog.Log.attach mem ~base:0 ~len:(1 lsl 20)) in
+  let payload = String.make 256 'x' in
+  let dm = Ironkv.Delegation_map.create ~default_host:0 in
+  Ironkv.Delegation_map.set_range dm ~lo:1000 ~hi:2000 ~host:1;
+  let counter = ref 0 in
+  let tests =
+    [
+      Test.make ~name:"alloc/free (checked)" (Staged.stage (fun () ->
+          let b = Valloc.Alloc.malloc alloc ~heap:0 64 in
+          Valloc.Alloc.free alloc ~heap:0 b));
+      Test.make ~name:"alloc/free (unchecked)" (Staged.stage (fun () ->
+          let b = Valloc.Alloc.malloc alloc_un ~heap:0 64 in
+          Valloc.Alloc.free alloc_un ~heap:0 b));
+      Test.make ~name:"nr put" (Staged.stage (fun () ->
+          incr counter;
+          Nr_lib.Nr.execute_mut nr h (Nr_lib.Nr.Put (!counter land 1023, !counter))));
+      Test.make ~name:"nr read" (Staged.stage (fun () -> ignore (Nr_lib.Nr.read nr h 7)));
+      Test.make ~name:"log append 256B" (Staged.stage (fun () ->
+          match Plog.Log.append log payload with
+          | Ok () -> ()
+          | Error _ ->
+            ignore (Plog.Log.advance_head log (Plog.Log.tail log - 1024));
+            ignore (Plog.Log.append log payload)));
+      Test.make ~name:"delegation get" (Staged.stage (fun () ->
+          ignore (Ironkv.Delegation_map.get dm 1500)));
+      Test.make ~name:"crc32 256B" (Staged.stage (fun () ->
+          ignore (Vbase.Crc32.digest_string payload)));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  List.iter
+    (fun t ->
+      let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ t ]) in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name r ->
+          match Bechamel.Analyze.OLS.estimates r with
+          | Some (est :: _) -> Printf.printf "  %-28s %12.0f ns/op\n%!" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* main                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("fig7a", fig7a);
+    ("fig7b", fig7b);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("tab-epr", tab_epr);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  quick := List.mem "--quick" args;
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let to_run =
+    if wanted = [] then sections
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> Some (name, f)
+          | None ->
+            Printf.eprintf "unknown section %s (have: %s)\n" name
+              (String.concat " " (List.map fst sections));
+            exit 2)
+        wanted
+  in
+  Printf.printf "Verus-OCaml paper-reproduction bench harness%s\n"
+    (if !quick then " (--quick)" else "");
+  List.iter
+    (fun (name, f) ->
+      try f ()
+      with e ->
+        Printf.printf "\n  !! section %s aborted: %s\n%!" name (Printexc.to_string e))
+    to_run;
+  print_endline "\nAll requested sections complete."

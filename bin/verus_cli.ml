@@ -1,0 +1,80 @@
+(* Command-line driver: verify the bundled benchmark programs under a
+   chosen framework profile and print per-VC results. *)
+
+let programs =
+  [
+    ("singly_linked", fun () -> Verus.Bench_programs.singly_linked);
+    ("doubly_linked", fun () -> Verus.Bench_programs.doubly_linked);
+    ("mem4", fun () -> Verus.Bench_programs.memory_reasoning 4);
+    ("mem8", fun () -> Verus.Bench_programs.memory_reasoning 8);
+    ("dlock", fun () -> Verus.Bench_programs.dlock_default);
+    ("break_pop", fun () -> Verus.Bench_programs.break_pop);
+    ("break_index", fun () -> Verus.Bench_programs.break_index);
+  ]
+
+let () =
+  let prog_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "singly_linked" in
+  let profile_name = if Array.length Sys.argv > 2 then Sys.argv.(2) else "Verus" in
+  let profile =
+    (* Case-insensitive, and "fstar"/"lowstar" for the awkward "F*/Low*". *)
+    let norm s = String.lowercase_ascii s in
+    let matches (p : Verus.Profiles.t) =
+      String.equal (norm p.Verus.Profiles.name) (norm profile_name)
+      || (String.equal p.Verus.Profiles.name "F*/Low*"
+         && List.mem (norm profile_name) [ "fstar"; "f*"; "lowstar"; "low*" ])
+    in
+    match List.find_opt matches Verus.Profiles.all with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown profile %s (have: %s)\n" profile_name
+        (String.concat ", "
+           (List.map (fun (p : Verus.Profiles.t) -> p.Verus.Profiles.name) Verus.Profiles.all));
+      exit 2
+  in
+  let prog =
+    match List.assoc_opt prog_name programs with
+    | Some f -> f ()
+    | None ->
+      Printf.eprintf "unknown program %s (have: %s)\n" prog_name
+        (String.concat ", " (List.map fst programs));
+      exit 2
+  in
+  let prog =
+    match Array.length Sys.argv > 3 with
+    | true ->
+      (* Restrict verification to one function (debugging aid). *)
+      let keep = Sys.argv.(3) in
+      {
+        prog with
+        Verus.Vir.functions =
+          List.filter
+            (fun (fd : Verus.Vir.fndecl) ->
+              fd.Verus.Vir.fmode = Verus.Vir.Spec || String.equal fd.Verus.Vir.fname keep)
+            prog.Verus.Vir.functions;
+      }
+    | false -> prog
+  in
+  let r = Verus.Driver.verify_program profile prog in
+  List.iter (fun e -> Printf.printf "front-end error: %s\n" e) r.Verus.Driver.pr_front_end_errors;
+  List.iter
+    (fun (fnr : Verus.Driver.fn_result) ->
+      Printf.printf "%-24s %s  (%.3fs, %d bytes)\n" fnr.Verus.Driver.fnr_name
+        (if fnr.Verus.Driver.fnr_ok then "OK" else "FAIL")
+        fnr.Verus.Driver.fnr_time_s fnr.Verus.Driver.fnr_bytes;
+      List.iter
+        (fun (vr : Verus.Driver.vc_result) ->
+          let status =
+            match vr.Verus.Driver.vcr_answer with
+            | Smt.Solver.Unsat -> "proved"
+            | Smt.Solver.Sat -> "COUNTEREXAMPLE"
+            | Smt.Solver.Unknown m -> "UNKNOWN: " ^ m
+          in
+          Printf.printf "    %-60s %-10s %.3fs  [%s]\n" vr.Verus.Driver.vcr_name status
+            vr.Verus.Driver.vcr_time_s vr.Verus.Driver.vcr_detail)
+        fnr.Verus.Driver.fnr_vcs)
+    r.Verus.Driver.pr_fns;
+  Printf.printf "== %s / %s: %s in %.3fs, %d query bytes\n" prog_name profile_name
+    (if r.Verus.Driver.pr_ok then "VERIFIED" else "FAILED")
+    r.Verus.Driver.pr_time_s r.Verus.Driver.pr_bytes;
+  Smt.Solver.dump_debug ();
+  exit (if r.Verus.Driver.pr_ok then 0 else 1)

@@ -1,0 +1,51 @@
+(* Persistent-log demo (§4.2.5): crash-atomic appends on simulated
+   persistent memory, recovery after a crash, CRC detection of metadata
+   corruption, and an atomic multi-log append.
+
+     dune exec examples/crash_safe_log.exe                                *)
+
+module P = Plog.Pmem
+module L = Plog.Log
+
+let () =
+  print_endline "== Crash-safe persistent log ==";
+  print_endline "";
+  let len = 4096 + L.header_bytes in
+  let mem = P.create ~size:len in
+  L.format mem ~base:0 ~len;
+  let log = Result.get_ok (L.attach mem ~base:0 ~len) in
+  List.iter
+    (fun s -> ignore (L.append log s))
+    [ "put k1=v1;"; "put k2=v2;"; "del k1;" ];
+  Printf.printf "appended 3 records; head=%d tail=%d\n" (L.head log) (L.tail log);
+
+  print_endline "writing a 4th record's data but crashing before its commit flush...";
+  P.write mem ~addr:(L.header_bytes + L.tail log) "TORN APPEND";
+  P.crash mem;
+  (match L.attach mem ~base:0 ~len with
+  | Ok l ->
+    Printf.printf "recovered: head=%d tail=%d contents=%S\n" (L.head l) (L.tail l)
+      (Result.get_ok (L.read l ~offset:0 ~len:(L.tail l)))
+  | Error e -> Printf.printf "recovery failed: %s\n" e);
+
+  print_endline "";
+  print_endline "flipping a bit in both header slots (media corruption):";
+  P.flip_bit mem ~addr:2 ~bit:4;
+  P.flip_bit mem ~addr:34 ~bit:4;
+  (match L.attach mem ~base:0 ~len with
+  | Ok _ -> print_endline "   !! corrupt metadata went undetected"
+  | Error e -> Printf.printf "   CRC caught it: %s\n" e);
+
+  print_endline "";
+  print_endline "atomic multi-log append (3 logs, one commit point):";
+  let mem2 = P.create ~size:65536 in
+  Plog.Multilog.format mem2 ~base:0 ~log_len:1024 ~logs:3;
+  let ml = Result.get_ok (Plog.Multilog.attach mem2 ~base:0 ~log_len:1024 ~logs:3) in
+  ignore (Plog.Multilog.append_all ml [ "meta"; "data-block"; "index" ]);
+  Printf.printf "   tails after atomic append: %s\n"
+    (String.concat ", " (List.map string_of_int (Plog.Multilog.tails ml)));
+  ignore (Plog.Multilog.append_all ml [ "m2"; "d2"; "i2" ]);
+  P.crash mem2;
+  let ml2 = Result.get_ok (Plog.Multilog.attach mem2 ~base:0 ~log_len:1024 ~logs:3) in
+  Printf.printf "   tails after crash+recovery: %s (both appends committed)\n"
+    (String.concat ", " (List.map string_of_int (Plog.Multilog.tails ml2)))

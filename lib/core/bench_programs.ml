@@ -1,0 +1,467 @@
+open Vir
+
+let u64 = TInt I_u64
+let seq_u64 = TSeq (TInt I_u64)
+let tlist = TData "List"
+
+let p name ty = { pname = name; pty = ty; pmut = false }
+let pmut name ty = { pname = name; pty = ty; pmut = true }
+
+let view e = ECall ("view", [ e ])
+let len e = ESeq (SeqLen e)
+let idx s i' = ESeq (SeqIndex (s, i'))
+let skip s k = ESeq (SeqSkip (s, k))
+let take s k = ESeq (SeqTake (s, k))
+let push_ s x = ESeq (SeqPush (s, x))
+let update_ s i' x = ESeq (SeqUpdate (s, i', x))
+let append_ a b = ESeq (SeqAppend (a, b))
+let empty_u64 = ESeq (SeqEmpty u64)
+
+(* ------------------------------------------------------------------ *)
+(* Singly linked list                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let list_dt =
+  { dname = "List"; variants = [ ("Nil", []); ("Cons", [ ("val", u64); ("tail", tlist) ]) ] }
+
+(* spec fn view(l: List) -> Seq<u64> =
+     if l is Nil { [] } else { [l.val] + view(l.tail) } *)
+let view_fn =
+  {
+    fname = "view";
+    fmode = Spec;
+    params = [ p "l" tlist ];
+    ret = Some ("result", seq_u64);
+    requires = [];
+    ensures = [];
+    body = None;
+    spec_body =
+      Some
+        (EIte
+           ( EIs (v "l", "Nil"),
+             empty_u64,
+             append_ (push_ empty_u64 (EField (v "l", "val"))) (view (EField (v "l", "tail"))) ));
+    attrs = [];
+  }
+
+let new_fn =
+  {
+    fname = "list_new";
+    fmode = Exec;
+    params = [];
+    ret = Some ("result", tlist);
+    requires = [];
+    ensures = [ view (v "result") ==: empty_u64 ];
+    body = Some [ SReturn (Some (ECtor ("List", "Nil", []))) ];
+    spec_body = None;
+    attrs = [];
+  }
+
+let push_front_fn =
+  {
+    fname = "push_front";
+    fmode = Exec;
+    params = [ pmut "self" tlist; p "x" u64 ];
+    ret = None;
+    requires = [];
+    ensures = [ view (v "self") ==: append_ (push_ empty_u64 (v "x")) (view (EOld "self")) ];
+    body = Some [ SAssign ("self", ECtor ("List", "Cons", [ v "x"; v "self" ])) ];
+    spec_body = None;
+    attrs = [];
+  }
+
+let pop_front_fn ~with_requires =
+  {
+    fname = "pop_front";
+    fmode = Exec;
+    params = [ pmut "self" tlist ];
+    ret = Some ("res", u64);
+    requires = (if with_requires then [ len (view (v "self")) >: i 0 ] else []);
+    ensures =
+      [
+        v "res" ==: idx (view (EOld "self")) (i 0);
+        view (v "self") ==: skip (view (EOld "self")) (i 1);
+      ];
+    body =
+      Some
+        [
+          SAssert (EIs (v "self", "Cons"), H_default);
+          SLet ("h", u64, EField (v "self", "val"));
+          SAssign ("self", EField (v "self", "tail"));
+          SAssert (view (v "self") ==: skip (view (EOld "self")) (i 1), H_default);
+          SReturn (Some (v "h"));
+        ];
+    spec_body = None;
+    attrs = [];
+  }
+
+let index_fn ~with_requires =
+  {
+    fname = "list_index";
+    fmode = Exec;
+    params = [ p "self" tlist; p "i" u64 ];
+    ret = Some ("res", u64);
+    requires = (if with_requires then [ v "i" <: len (view (v "self")) ] else []);
+    ensures = [ v "res" ==: idx (view (v "self")) (v "i") ];
+    body =
+      Some
+        [
+          SLet ("cur", tlist, v "self");
+          SLet ("j", u64, i 0);
+          SWhile
+            {
+              cond = v "j" <: v "i";
+              invariants =
+                [
+                  v "j" <=: v "i";
+                  v "i" <: len (view (v "self"));
+                  view (v "cur") ==: skip (view (v "self")) (v "j");
+                ];
+              decreases = Some (v "i" -: v "j");
+              body =
+                [
+                  SAssert (EIs (v "cur", "Cons"), H_default);
+                  SAssert
+                    ( view (EField (v "cur", "tail")) ==: skip (view (v "cur")) (i 1),
+                      H_default );
+                  SAssign ("cur", EField (v "cur", "tail"));
+                  SAssign ("j", v "j" +: i 1);
+                ];
+            };
+          SAssert (EIs (v "cur", "Cons"), H_default);
+          SAssert (idx (view (v "cur")) (i 0) ==: idx (view (v "self")) (v "i"), H_default);
+          SReturn (Some (EField (v "cur", "val")));
+        ];
+    spec_body = None;
+    attrs = [];
+  }
+
+let singly_linked =
+  {
+    datatypes = [ list_dt ];
+    functions = [ view_fn; new_fn; push_front_fn; pop_front_fn ~with_requires:true; index_fn ~with_requires:true ];
+  }
+
+let break_pop =
+  {
+    datatypes = [ list_dt ];
+    functions = [ view_fn; new_fn; push_front_fn; pop_front_fn ~with_requires:false ];
+  }
+
+let break_index =
+  {
+    datatypes = [ list_dt ];
+    functions = [ view_fn; new_fn; push_front_fn; index_fn ~with_requires:false ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Doubly linked list (arena representation)                           *)
+(* ------------------------------------------------------------------ *)
+
+let tdll = TData "Dll"
+let tdnode = TData "DNode"
+let seq_dnode = TSeq tdnode
+
+let dnode_dt =
+  {
+    dname = "DNode";
+    variants = [ ("DNode", [ ("nval", u64); ("nprev", u64); ("nnext", u64) ]) ];
+  }
+
+let dll_dt =
+  { dname = "Dll"; variants = [ ("Dll", [ ("nodes", seq_dnode); ("vals", seq_u64) ]) ] }
+
+let nodes e = EField (e, "nodes")
+let vals e = EField (e, "vals")
+let node_at e k = ESeq (SeqIndex (nodes e, k))
+
+(* Well-formedness: the two sequences agree; prev/next links encode the
+   arena order with self-loop sentinels at the ends. *)
+let dll_wf_fn =
+  let d = v "d" in
+  let k = v "k" in
+  {
+    fname = "dll_wf";
+    fmode = Spec;
+    params = [ p "d" tdll ];
+    ret = Some ("result", TBool);
+    requires = [];
+    ensures = [];
+    body = None;
+    spec_body =
+      Some
+        (EBinop
+           ( And,
+             len (nodes d) ==: len (vals d),
+             EForall
+               ( [ ("k", TInt I_math) ],
+                 Term_auto,
+                 EBinop
+                   ( Implies,
+                     EBinop (And, i 0 <=: k, k <: len (nodes d)),
+                     EBinop
+                       ( And,
+                         EField (node_at d k, "nval") ==: idx (vals d) k,
+                         EBinop
+                           ( And,
+                             EField (node_at d k, "nprev")
+                             ==: EIte (k ==: i 0, i 0, k -: i 1),
+                             EField (node_at d k, "nnext")
+                             ==: EIte (k ==: len (nodes d) -: i 1, k, k +: i 1) ) ) ) ) ));
+    attrs = [];
+  }
+
+let dll_view_fn =
+  {
+    fname = "dll_view";
+    fmode = Spec;
+    params = [ p "d" tdll ];
+    ret = Some ("result", seq_u64);
+    requires = [];
+    ensures = [];
+    body = None;
+    spec_body = Some (vals (v "d"));
+    attrs = [];
+  }
+
+let wf e = ECall ("dll_wf", [ e ])
+let dview e = ECall ("dll_view", [ e ])
+
+let dll_new_fn =
+  {
+    fname = "dll_new";
+    fmode = Exec;
+    params = [];
+    ret = Some ("result", tdll);
+    requires = [];
+    ensures = [ wf (v "result"); dview (v "result") ==: empty_u64 ];
+    body =
+      Some [ SReturn (Some (ECtor ("Dll", "Dll", [ ESeq (SeqEmpty tdnode); empty_u64 ]))) ];
+    spec_body = None;
+    attrs = [];
+  }
+
+let dll_push_back_fn =
+  let d = v "d" in
+  let n = len (nodes d) in
+  {
+    fname = "dll_push_back";
+    fmode = Exec;
+    params = [ pmut "d" tdll; p "x" u64 ];
+    ret = None;
+    requires = [ wf (v "d") ];
+    ensures = [ wf (v "d"); dview (v "d") ==: push_ (dview (EOld "d")) (v "x") ];
+    body =
+      Some
+        [
+          (* Fix the old last node's next pointer, then append the new
+             node (prev = old last or self-loop when first). *)
+          SLet
+            ( "fixed",
+              seq_dnode,
+              EIte
+                ( n ==: i 0,
+                  nodes d,
+                  update_ (nodes d)
+                    (n -: i 1)
+                    (ECtor
+                       ( "DNode",
+                         "DNode",
+                         [
+                           EField (node_at d (n -: i 1), "nval");
+                           EField (node_at d (n -: i 1), "nprev");
+                           n;
+                         ] )) ) );
+          SLet
+            ( "newnode",
+              tdnode,
+              ECtor ("DNode", "DNode", [ v "x"; EIte (n ==: i 0, i 0, n -: i 1); n ]) );
+          SAssign
+            ("d", ECtor ("Dll", "Dll", [ push_ (v "fixed") (v "newnode"); push_ (vals d) (v "x") ]));
+          SAssert (wf (v "d"), H_default);
+        ];
+    spec_body = None;
+    attrs = [];
+  }
+
+let dll_pop_back_fn =
+  let d = v "d" in
+  let n = len (nodes d) in
+  {
+    fname = "dll_pop_back";
+    fmode = Exec;
+    params = [ pmut "d" tdll ];
+    ret = Some ("res", u64);
+    requires = [ wf (v "d"); len (dview (v "d")) >: i 0 ];
+    ensures =
+      [
+        wf (v "d");
+        v "res" ==: idx (dview (EOld "d")) (len (dview (EOld "d")) -: i 1);
+        dview (v "d") ==: take (dview (EOld "d")) (len (dview (EOld "d")) -: i 1);
+      ];
+    body =
+      Some
+        [
+          SLet ("r", u64, idx (vals d) (n -: i 1));
+          (* Drop the last node; restore the new last node's self-loop
+             next pointer. *)
+          SLet ("shrunk", seq_dnode, take (nodes d) (n -: i 1));
+          SLet
+            ( "fixed",
+              seq_dnode,
+              EIte
+                ( len (v "shrunk") ==: i 0,
+                  v "shrunk",
+                  update_ (v "shrunk")
+                    (len (v "shrunk") -: i 1)
+                    (ECtor
+                       ( "DNode",
+                         "DNode",
+                         [
+                           EField (idx (v "shrunk") (len (v "shrunk") -: i 1), "nval");
+                           EField (idx (v "shrunk") (len (v "shrunk") -: i 1), "nprev");
+                           len (v "shrunk") -: i 1;
+                         ] )) ) );
+          SAssign ("d", ECtor ("Dll", "Dll", [ v "fixed"; take (vals d) (n -: i 1) ]));
+          SAssert (wf (v "d"), H_default);
+          SReturn (Some (v "r"));
+        ];
+    spec_body = None;
+    attrs = [];
+  }
+
+let dll_get_fn =
+  {
+    fname = "dll_get";
+    fmode = Exec;
+    params = [ p "d" tdll; p "i" u64 ];
+    ret = Some ("res", u64);
+    requires = [ wf (v "d"); v "i" <: len (dview (v "d")) ];
+    ensures = [ v "res" ==: idx (dview (v "d")) (v "i") ];
+    body = Some [ SReturn (Some (idx (vals (v "d")) (v "i"))) ];
+    spec_body = None;
+    attrs = [];
+  }
+
+let doubly_linked =
+  {
+    datatypes = [ dnode_dt; dll_dt ];
+    functions = [ dll_wf_fn; dll_view_fn; dll_new_fn; dll_push_back_fn; dll_pop_back_fn; dll_get_fn ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Memory-reasoning benchmark: n pushes to four lists                  *)
+(* ------------------------------------------------------------------ *)
+
+let memory_reasoning n =
+  let names = [ "la"; "lb"; "lc"; "ld" ] in
+  let mk_push list_name value = SCall (None, "push_front", [ v list_name; i value ]) in
+  let pushes =
+    List.concat_map
+      (fun round -> List.mapi (fun li name -> mk_push name ((round * 4) + li)) names)
+      (List.init n (fun r -> r))
+  in
+  let asserts =
+    List.map (fun name -> SAssert (len (view (v name)) ==: i n, H_default)) names
+    @
+    if n > 0 then
+      (* The most recent push is at the head of each list. *)
+      List.mapi
+        (fun li name ->
+          SAssert (idx (view (v name)) (i 0) ==: i (((n - 1) * 4) + li), H_default))
+        names
+    else []
+  in
+  let main_fn =
+    {
+      fname = Printf.sprintf "mem_reasoning_%d" n;
+      fmode = Exec;
+      params = List.map (fun name -> pmut name tlist) names;
+      ret = None;
+      requires = List.map (fun name -> view (v name) ==: empty_u64) names;
+      ensures = [];
+      body = Some (pushes @ asserts);
+      spec_body = None;
+      attrs = [];
+    }
+  in
+  { datatypes = [ list_dt ]; functions = [ view_fn; push_front_fn; main_fn ] }
+
+(* ------------------------------------------------------------------ *)
+(* Distributed lock, default mode                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* State: held: Seq<bool>.  Safety: at most one node holds the lock.
+   Transfer step: the holder [src] passes the lock to [dst]. *)
+let tseq_bool = TSeq TBool
+
+let dlock_safe_fn =
+  let held = v "held" in
+  {
+    fname = "dlock_safe";
+    fmode = Spec;
+    params = [ p "held" tseq_bool ];
+    ret = Some ("result", TBool);
+    requires = [];
+    ensures = [];
+    body = None;
+    spec_body =
+      Some
+        (EForall
+           ( [ ("i", TInt I_math); ("j", TInt I_math) ],
+             Term_auto,
+             EBinop
+               ( Implies,
+                 EBinop
+                   ( And,
+                     EBinop (And, i 0 <=: v "i", v "i" <: len held),
+                     EBinop
+                       ( And,
+                         EBinop (And, i 0 <=: v "j", v "j" <: len held),
+                         EBinop (And, idx held (v "i"), idx held (v "j")) ) ),
+                 v "i" ==: v "j" ) ));
+    attrs = [];
+  }
+
+let dlock_transfer_fn =
+  let held = v "held" in
+  let held' = update_ (update_ held (v "src") (EBool false)) (v "dst") (EBool true) in
+  {
+    fname = "dlock_transfer_preserves";
+    fmode = Proof;
+    params = [ p "held" tseq_bool; p "src" (TInt I_math); p "dst" (TInt I_math) ];
+    ret = None;
+    requires =
+      [
+        ECall ("dlock_safe", [ held ]);
+        i 0 <=: v "src";
+        v "src" <: len held;
+        i 0 <=: v "dst";
+        v "dst" <: len held;
+        idx held (v "src");
+      ];
+    ensures = [ ECall ("dlock_safe", [ held' ]) ];
+    body =
+      Some
+        [
+          (* Anyone holding the lock after the step must be dst: case
+             split fed to the solver as a helper assertion. *)
+          SAssert
+            ( EForall
+                ( [ ("k", TInt I_math) ],
+                  Term_auto,
+                  EBinop
+                    ( Implies,
+                      EBinop
+                        ( And,
+                          EBinop (And, i 0 <=: v "k", v "k" <: len held),
+                          idx held' (v "k") ),
+                      v "k" ==: v "dst" ) ),
+              H_default );
+        ];
+    spec_body = None;
+    attrs = [];
+  }
+
+let dlock_default =
+  { datatypes = []; functions = [ dlock_safe_fn; dlock_transfer_fn ] }

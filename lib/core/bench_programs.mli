@@ -1,0 +1,28 @@
+(** The paper's millibenchmark programs (§4.1), written once in VIR and
+    verified under every framework profile.
+
+    - {!singly_linked}: a cons-list with verified [push_front], [pop_front]
+      and [index] against a [Seq] abstraction (Figure 7a, left column).
+    - {!doubly_linked}: an arena-based doubly linked list with prev/next
+      link well-formedness and a value view — the heavier proof with
+      quantified invariants (Figure 7a, right column).
+    - {!memory_reasoning}: [n] interleaved pushes to four lists followed by
+      assertions across all of them (Figure 7b's x-axis is [n]).
+    - {!dlock_default}: the distributed-lock safety proof in default mode
+      (transition preserves the mutual-exclusion invariant).
+    - Broken variants ([break_*]) drop a precondition, for the
+      time-to-error experiment (Figure 8). *)
+
+val singly_linked : Vir.program
+val doubly_linked : Vir.program
+
+val memory_reasoning : int -> Vir.program
+(** [memory_reasoning n]: four lists, [n] pushes each. *)
+
+val dlock_default : Vir.program
+
+val break_pop : Vir.program
+(** [singly_linked] with [pop_front]'s precondition removed — must fail. *)
+
+val break_index : Vir.program
+(** [singly_linked] with [index]'s precondition removed — must fail. *)

@@ -1,0 +1,171 @@
+module T = Smt.Term
+module S = Smt.Sort
+
+type obligation = { name : string; answer : Smt.Solver.answer; time_s : float }
+
+let node = S.Usort "LNode"
+let epoch = S.Usort "LEpoch"
+
+(* Relational state (pre and post copies). *)
+let held = T.Sym.declare "dl.held" [ node ] S.Bool
+let held' = T.Sym.declare "dl.held'" [ node ] S.Bool
+let lte = T.Sym.declare "dl.lte" [ epoch; epoch ] S.Bool
+let transfer = T.Sym.declare "dl.transfer" [ epoch; node ] S.Bool (* in-flight messages *)
+let transfer' = T.Sym.declare "dl.transfer'" [ epoch; node ] S.Bool
+let locked = T.Sym.declare "dl.locked" [ epoch; node ] S.Bool (* history: held at epoch *)
+let locked' = T.Sym.declare "dl.locked'" [ epoch; node ] S.Bool
+let ep = T.Sym.declare "dl.ep" [ node; epoch ] S.Bool (* node's current epoch *)
+let ep' = T.Sym.declare "dl.ep'" [ node; epoch ] S.Bool
+
+let n v = T.bvar v node
+let e v = T.bvar v epoch
+let ap f args = T.app f args
+let fa vars body = T.forall vars body
+
+let order_axioms =
+  [
+    fa [ ("x", epoch) ] (ap lte [ e "x"; e "x" ]);
+    fa
+      [ ("x", epoch); ("y", epoch) ]
+      (T.implies
+         (T.and_ [ ap lte [ e "x"; e "y" ]; ap lte [ e "y"; e "x" ] ])
+         (T.eq (e "x") (e "y")));
+    fa
+      [ ("x", epoch); ("y", epoch); ("z", epoch) ]
+      (T.implies
+         (T.and_ [ ap lte [ e "x"; e "y" ]; ap lte [ e "y"; e "z" ] ])
+         (ap lte [ e "x"; e "z" ]));
+    fa
+      [ ("x", epoch); ("y", epoch) ]
+      (T.or_ [ ap lte [ e "x"; e "y" ]; ap lte [ e "y"; e "x" ] ]);
+  ]
+
+(* --- model 1: direct hand-off ------------------------------------------ *)
+
+let mutex rel =
+  fa
+    [ ("n1", node); ("n2", node) ]
+    (T.implies (T.and_ [ ap rel [ n "n1" ]; ap rel [ n "n2" ] ]) (T.eq (n "n1") (n "n2")))
+
+let src = T.const (T.Sym.declare "dl.src" [] node)
+let dst = T.const (T.Sym.declare "dl.dst" [] node)
+
+let grant_update =
+  fa
+    [ ("x", node) ]
+    (T.iff
+       (ap held' [ n "x" ])
+       (T.or_
+          [ T.and_ [ ap held [ n "x" ]; T.not_ (T.eq (n "x") src) ]; T.eq (n "x") dst ]))
+
+(* --- model 2: message passing with epochs ------------------------------- *)
+
+(* Invariant (after Ivy's lock example):
+   I1: at most one node holds per epoch:     locked(e,n1) & locked(e,n2) -> n1=n2
+   I2: in-flight transfers are unique per epoch: transfer(e,n1) & transfer(e,n2) -> n1=n2
+   I3: a transfer at epoch e rules out locks at e: transfer(e,n) & locked(e,m) -> false
+   (The paper's §3.2 example formula is exactly I2's shape.) *)
+let msg_invariant tr lk =
+  T.and_
+    [
+      fa
+        [ ("e", epoch); ("n1", node); ("n2", node) ]
+        (T.implies
+           (T.and_ [ ap lk [ e "e"; n "n1" ]; ap lk [ e "e"; n "n2" ] ])
+           (T.eq (n "n1") (n "n2")));
+      fa
+        [ ("e", epoch); ("n1", node); ("n2", node) ]
+        (T.implies
+           (T.and_ [ ap tr [ e "e"; n "n1" ]; ap tr [ e "e"; n "n2" ] ])
+           (T.eq (n "n1") (n "n2")));
+      fa
+        [ ("e", epoch); ("n1", node); ("n2", node) ]
+        (T.implies (T.and_ [ ap tr [ e "e"; n "n1" ]; ap lk [ e "e"; n "n2" ] ]) T.fls);
+    ]
+
+let e_new = T.const (T.Sym.declare "dl.e_new" [] epoch)
+let e_cur = T.const (T.Sym.declare "dl.e_cur" [] epoch)
+
+(* grant: src holds at e_cur (locked(e_cur, src)), picks a strictly larger
+   fresh epoch e_new with no traffic or locks, and emits transfer(e_new, dst),
+   releasing the lock (no new lock until accept). *)
+let msg_grant_updates =
+  [
+    (* enabling *)
+    ap locked [ e_cur; src ];
+    T.not_ (ap lte [ e_new; e_cur ]);
+    (* freshness of e_new: nothing has happened at it *)
+    fa [ ("x", node) ] (T.not_ (ap transfer [ e_new; n "x" ]));
+    fa [ ("x", node) ] (T.not_ (ap locked [ e_new; n "x" ]));
+    (* transfer' = transfer + (e_new, dst) *)
+    fa
+      [ ("e", epoch); ("x", node) ]
+      (T.iff
+         (ap transfer' [ e "e"; n "x" ])
+         (T.or_
+            [ ap transfer [ e "e"; n "x" ]; T.and_ [ T.eq (e "e") e_new; T.eq (n "x") dst ] ]));
+    (* locked unchanged *)
+    fa
+      [ ("e", epoch); ("x", node) ]
+      (T.iff (ap locked' [ e "e"; n "x" ]) (ap locked [ e "e"; n "x" ]));
+  ]
+
+(* accept: dst takes a pending transfer at e_new and locks at e_new,
+   consuming the message. *)
+let msg_accept_updates =
+  [
+    ap transfer [ e_new; dst ];
+    fa
+      [ ("e", epoch); ("x", node) ]
+      (T.iff
+         (ap transfer' [ e "e"; n "x" ])
+         (T.and_
+            [
+              ap transfer [ e "e"; n "x" ];
+              T.not_ (T.and_ [ T.eq (e "e") e_new; T.eq (n "x") dst ]);
+            ]));
+    fa
+      [ ("e", epoch); ("x", node) ]
+      (T.iff
+         (ap locked' [ e "e"; n "x" ])
+         (T.or_
+            [ ap locked [ e "e"; n "x" ]; T.and_ [ T.eq (e "e") e_new; T.eq (n "x") dst ] ]));
+  ]
+
+let run () =
+  let results = ref [] in
+  let prove name ~hyps goal =
+    let t0 = Unix.gettimeofday () in
+    let r = Smt.Epr.check_valid ~hyps goal in
+    results :=
+      { name; answer = r.Smt.Solver.answer; time_s = Unix.gettimeofday () -. t0 } :: !results
+  in
+  (* Model 1: hand-off. *)
+  let n0 = T.const (T.Sym.declare "dl.n0" [] node) in
+  let init = fa [ ("x", node) ] (T.iff (ap held [ n "x" ]) (T.eq (n "x") n0)) in
+  prove "hand-off: init establishes mutual exclusion" ~hyps:[ init ] (mutex held);
+  prove "hand-off: grant preserves mutual exclusion"
+    ~hyps:[ mutex held; ap held [ src ]; grant_update ]
+    (mutex held');
+  (* Model 2: messages + epochs. *)
+  prove "messages: grant preserves the invariant"
+    ~hyps:((msg_invariant transfer locked :: order_axioms) @ msg_grant_updates)
+    (msg_invariant transfer' locked');
+  prove "messages: accept preserves the invariant"
+    ~hyps:((msg_invariant transfer locked :: order_axioms) @ msg_accept_updates)
+    (msg_invariant transfer' locked');
+  (* The safety property itself follows from I1. *)
+  prove "messages: per-epoch mutual exclusion"
+    ~hyps:[ msg_invariant transfer locked ]
+    (fa
+       [ ("e", epoch); ("n1", node); ("n2", node) ]
+       (T.implies
+          (T.and_ [ ap locked [ e "e"; n "n1" ]; ap locked [ e "e"; n "n2" ] ])
+          (T.eq (n "n1") (n "n2"))));
+  ignore ep;
+  ignore ep';
+  List.rev !results
+
+let all_proved obs = List.for_all (fun o -> o.answer = Smt.Solver.Unsat) obs
+
+let boilerplate_lines = 102

@@ -1,0 +1,23 @@
+(** The distributed lock in EPR mode (§4.1.2/§4.1.3): the same mutual-
+    exclusion proof as {!Bench_programs.dlock_default}, but over an
+    uninterpreted node sort with relational state, decided fully
+    automatically by {!Smt.Epr} — the Ivy-style side of the comparison.
+
+    Two models are checked:
+    - the direct hand-off ([grant]): the holder passes the lock;
+    - the message-passing protocol with epochs (IronFleet-style): a holder
+      sends a transfer message at a higher epoch; a node accepts a message
+      for an epoch newer than any it has held, making the "at most one
+      holder per epoch" property inductive. *)
+
+type obligation = { name : string; answer : Smt.Solver.answer; time_s : float }
+
+val run : unit -> obligation list
+(** Check fragment membership and decide each obligation by grounding;
+    [answer = Unsat] means the invariant is inductive. *)
+
+val all_proved : obligation list -> bool
+
+val boilerplate_lines : int
+(** Size of the relational abstraction (the §4.1.3 "~100 lines of
+    straightforward boilerplate"). *)

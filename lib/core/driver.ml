@@ -1,0 +1,343 @@
+module T = Smt.Term
+module S = Smt.Sort
+open Vir
+
+type vc_result = {
+  vcr_name : string;
+  vcr_answer : Smt.Solver.answer;
+  vcr_time_s : float;
+  vcr_bytes : int;
+  vcr_detail : string;
+}
+
+type fn_result = {
+  fnr_name : string;
+  fnr_vcs : vc_result list;
+  fnr_ok : bool;
+  fnr_time_s : float;
+  fnr_bytes : int;
+}
+
+type program_result = {
+  pr_profile : string;
+  pr_fns : fn_result list;
+  pr_ok : bool;
+  pr_time_s : float;
+  pr_bytes : int;
+  pr_front_end_errors : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Type collection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec add_ty acc (t : ty) =
+  match t with
+  | TSeq e -> add_ty (if List.exists (ty_equal t) acc then acc else t :: acc) e
+  | TBool | TInt _ | TData _ -> if List.exists (ty_equal t) acc then acc else t :: acc
+
+let rec tys_in_expr acc (e : expr) =
+  match e with
+  | ESeq (SeqEmpty t) -> add_ty acc (TSeq t)
+  | EForall (vars, _, b) | EExists (vars, _, b) ->
+    tys_in_expr (List.fold_left (fun a (_, t) -> add_ty a t) acc vars) b
+  | EUnop (_, a) -> tys_in_expr acc a
+  | EBinop (_, a, b) -> tys_in_expr (tys_in_expr acc a) b
+  | EIte (a, b, c) -> tys_in_expr (tys_in_expr (tys_in_expr acc a) b) c
+  | ECall (_, args) | ECtor (_, _, args) -> List.fold_left tys_in_expr acc args
+  | EField (a, _) | EIs (a, _) -> tys_in_expr acc a
+  | ESeq op -> (
+    match op with
+    | SeqEmpty _ -> acc
+    | SeqLen a -> tys_in_expr acc a
+    | SeqIndex (a, b) | SeqPush (a, b) | SeqSkip (a, b) | SeqTake (a, b) | SeqAppend (a, b) ->
+      tys_in_expr (tys_in_expr acc a) b
+    | SeqUpdate (a, b, c) -> tys_in_expr (tys_in_expr (tys_in_expr acc a) b) c)
+  | EVar _ | EOld _ | EBool _ | EInt _ -> acc
+
+let rec tys_in_stmt acc (s : stmt) =
+  match s with
+  | SLet (_, t, e) -> tys_in_expr (add_ty acc t) e
+  | SAssign (_, e) -> tys_in_expr acc e
+  | SIf (c, a, b) ->
+    List.fold_left tys_in_stmt (List.fold_left tys_in_stmt (tys_in_expr acc c) a) b
+  | SWhile { cond; invariants; decreases; body } ->
+    let acc = match decreases with Some d -> tys_in_expr acc d | None -> acc in
+    List.fold_left tys_in_stmt
+      (List.fold_left tys_in_expr (tys_in_expr acc cond) invariants)
+      body
+  | SCall (_, _, args) -> List.fold_left tys_in_expr acc args
+  | SAssert (e, _) | SAssume e -> tys_in_expr acc e
+  | SReturn (Some e) -> tys_in_expr acc e
+  | SReturn None -> acc
+
+let program_types (p : program) =
+  let acc = [] in
+  let acc =
+    List.fold_left
+      (fun acc d -> List.fold_left (fun a (_, t) -> add_ty a t) acc (List.concat_map snd d.variants))
+      acc p.datatypes
+  in
+  List.fold_left
+    (fun acc fd ->
+      let acc = List.fold_left (fun a (prm : param) -> add_ty a prm.pty) acc fd.params in
+      let acc = match fd.ret with Some (_, t) -> add_ty acc t | None -> acc in
+      let acc = List.fold_left tys_in_expr acc (fd.requires @ fd.ensures) in
+      let acc = match fd.spec_body with Some e -> tys_in_expr acc e | None -> acc in
+      match fd.body with Some b -> List.fold_left tys_in_stmt acc b | None -> acc)
+    acc p.functions
+
+(* ------------------------------------------------------------------ *)
+(* Axiom assembly                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let wrapper_axioms (p : Profiles.t) sorts =
+  List.concat_map
+    (fun srt ->
+      List.init p.Profiles.wrapper_depth (fun i ->
+          let w = Encode.wrapper_sym (i + 1) srt in
+          let x = T.bvar "x" srt in
+          T.forall [ ("x", srt) ] (T.eq (T.app w [ x ]) x)))
+    sorts
+
+let ownok_axioms sorts =
+  List.map
+    (fun srt ->
+      let x = T.bvar "x" srt in
+      T.forall [ ("x", srt) ] (T.app (Encode.ownok_sym srt) [ x ]))
+    sorts
+
+let all_axioms (p : Profiles.t) (prog : program) : T.t list =
+  let curated = p.Profiles.curated_triggers in
+  let heap = p.Profiles.encoding = Profiles.Heap in
+  let tys = program_types prog in
+  let seq_elems = List.filter_map (function TSeq e -> Some e | _ -> None) tys in
+  let seq_axs = List.concat_map (fun e -> Theories.seq_axioms ~curated ~heap e) seq_elems in
+  let data_axs =
+    if heap then Theories.heap_axioms ~curated prog
+    else List.concat_map (fun d -> Theories.data_axioms ~curated d) prog.datatypes
+  in
+  let spec_axs =
+    List.filter_map (fun fd -> Encode.spec_fn_axiom p prog fd) prog.functions
+  in
+  let uses_bitops =
+    (* Only include the bit-op range axioms when the program uses them. *)
+    List.exists
+      (fun fd ->
+        let rec expr_has e =
+          match e with
+          | EBinop ((BitAnd | BitOr | BitXor | Shl | Shr), _, _) -> true
+          | EUnop (_, a) -> expr_has a
+          | EBinop (_, a, b) -> expr_has a || expr_has b
+          | EIte (a, b, c) -> expr_has a || expr_has b || expr_has c
+          | ECall (_, args) | ECtor (_, _, args) -> List.exists expr_has args
+          | EField (a, _) | EIs (a, _) -> expr_has a
+          | EForall (_, _, b) | EExists (_, _, b) -> expr_has b
+          | ESeq _ | EVar _ | EOld _ | EBool _ | EInt _ -> false
+        in
+        let rec stmt_has s =
+          match s with
+          | SLet (_, _, e) | SAssign (_, e) | SAssert (e, _) | SAssume e -> expr_has e
+          | SReturn (Some e) -> expr_has e
+          | SReturn None -> false
+          | SIf (c, a, b) -> expr_has c || List.exists stmt_has a || List.exists stmt_has b
+          | SWhile { cond; invariants; decreases; body } ->
+            expr_has cond
+            || List.exists expr_has invariants
+            || (match decreases with Some d -> expr_has d | None -> false)
+            || List.exists stmt_has body
+          | SCall (_, _, args) -> List.exists expr_has args
+        in
+        List.exists expr_has (fd.requires @ fd.ensures)
+        || (match fd.spec_body with Some e -> expr_has e | None -> false)
+        || match fd.body with Some b -> List.exists stmt_has b | None -> false)
+      prog.functions
+  in
+  let bit_axs = if uses_bitops then Encode.bitop_axioms p else [] in
+  let sorts_used =
+    List.sort_uniq compare (List.map (Theories.sort_of_ty ~heap) tys)
+  in
+  let wrap_axs = wrapper_axioms p sorts_used in
+  let own_axs =
+    if p.Profiles.recheck_ownership then
+      ownok_axioms (List.filter (function S.Usort _ -> true | _ -> false) sorts_used)
+    else []
+  in
+  seq_axs @ data_axs @ spec_axs @ bit_axs @ wrap_axs @ own_axs
+
+(* ------------------------------------------------------------------ *)
+(* Pruning                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let syms_of_term t =
+  T.fold_subterms
+    (fun acc s -> match s.T.node with T.App (f, _) -> f.T.sid :: acc | _ -> acc)
+    [] t
+  |> List.sort_uniq compare
+
+let prune_context axioms (vc : Encode.vc) =
+  let module IS = Set.Make (Int) in
+  let reachable =
+    ref
+      (IS.of_list
+         (List.concat_map syms_of_term (vc.Encode.vc_goal :: vc.Encode.vc_hyps)))
+  in
+  let remaining = ref (List.map (fun a -> (a, syms_of_term a)) axioms) in
+  let included = ref [] in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    remaining :=
+      List.filter
+        (fun (ax, syms) ->
+          if List.exists (fun s -> IS.mem s !reachable) syms then begin
+            included := ax :: !included;
+            reachable := IS.union !reachable (IS.of_list syms);
+            changed := true;
+            false
+          end
+          else true)
+        !remaining
+  done;
+  List.rev !included
+
+let context_for (p : Profiles.t) (prog : program) (vc : Encode.vc) =
+  let axioms = all_axioms p prog in
+  if p.Profiles.pruning then prune_context axioms vc else axioms
+
+(* ------------------------------------------------------------------ *)
+(* VC dispatch                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_to_answer = function
+  | Modes.Proved -> (Smt.Solver.Unsat, "")
+  | Modes.Refuted msg -> (Smt.Solver.Sat, msg)
+  | Modes.Unsupported msg -> (Smt.Solver.Unknown msg, msg)
+
+let run_vc (p : Profiles.t) (prog : program) ~axioms (vc : Encode.vc) : vc_result =
+  let t0 = Unix.gettimeofday () in
+  let context =
+    if p.Profiles.pruning then prune_context axioms vc else axioms
+  in
+  let bytes =
+    List.fold_left (fun acc t -> acc + T.printed_size t) 0 (vc.Encode.vc_goal :: vc.Encode.vc_hyps)
+    + List.fold_left (fun acc t -> acc + T.printed_size t) 0 context
+  in
+  let answer, detail =
+    match vc.Encode.vc_hint with
+    | H_default ->
+      if p.Profiles.epr_only then begin
+        let all = context @ vc.Encode.vc_hyps @ [ T.not_ vc.Encode.vc_goal ] in
+        match Smt.Epr.check_fragment all with
+        | Error e -> (Smt.Solver.Unknown ("outside EPR: " ^ e), "Ivy cannot express this")
+        | Ok () ->
+          let r = Smt.Epr.solve ~config:p.Profiles.solver_config all in
+          (r.Smt.Solver.answer, "EPR-decided")
+      end
+      else begin
+        let r =
+          Smt.Solver.check_valid ~config:p.Profiles.solver_config
+            ~hyps:(context @ vc.Encode.vc_hyps) vc.Encode.vc_goal
+        in
+        let d =
+          Printf.sprintf "inst=%d confl=%d sat=%.2f theory=%.2f em=%.2f"
+            r.Smt.Solver.stats.Smt.Solver.instances r.Smt.Solver.stats.Smt.Solver.conflicts
+            r.Smt.Solver.stats.Smt.Solver.t_sat r.Smt.Solver.stats.Smt.Solver.t_theory
+            r.Smt.Solver.stats.Smt.Solver.t_ematch
+        in
+        (r.Smt.Solver.answer, d)
+      end
+    | H_bit_vector -> outcome_to_answer (Modes.prove_bit_vector vc.Encode.vc_goal)
+    | H_nonlinear -> outcome_to_answer (Modes.prove_nonlinear vc.Encode.vc_goal)
+    | H_integer_ring -> outcome_to_answer (Modes.prove_integer_ring vc.Encode.vc_goal)
+    | H_compute -> (
+      match vc.Encode.vc_expr with
+      | Some e -> outcome_to_answer (Modes.prove_compute prog e)
+      | None -> (Smt.Solver.Unknown "compute assert lost its expression", ""))
+  in
+  {
+    vcr_name = vc.Encode.vc_name;
+    vcr_answer = answer;
+    vcr_time_s = Unix.gettimeofday () -. t0;
+    vcr_bytes = bytes;
+    vcr_detail = detail;
+  }
+
+let verify_function_with_axioms (p : Profiles.t) (prog : program) ~axioms (fd : fndecl) :
+    fn_result =
+  let t0 = Unix.gettimeofday () in
+  let vcs = Encode.encode_function p prog fd in
+  let results = List.map (run_vc p prog ~axioms) vcs in
+  let ok = List.for_all (fun r -> r.vcr_answer = Smt.Solver.Unsat) results in
+  {
+    fnr_name = fd.fname;
+    fnr_vcs = results;
+    fnr_ok = ok;
+    fnr_time_s = Unix.gettimeofday () -. t0;
+    fnr_bytes = List.fold_left (fun acc r -> acc + r.vcr_bytes) 0 results;
+  }
+
+let verify_function (p : Profiles.t) (prog : program) (fd : fndecl) : fn_result =
+  verify_function_with_axioms p prog ~axioms:(all_axioms p prog) fd
+
+let verify_program ?(jobs = 1) (p : Profiles.t) (prog : program) : program_result =
+  let t0 = Unix.gettimeofday () in
+  let front_end_errors =
+    (match Typecheck.check_program prog with Ok () -> [] | Error es -> es)
+    @ (match Ownership.check_program prog with Ok () -> [] | Error es -> es)
+  in
+  if front_end_errors <> [] then
+    {
+      pr_profile = p.Profiles.name;
+      pr_fns = [];
+      pr_ok = false;
+      pr_time_s = Unix.gettimeofday () -. t0;
+      pr_bytes = 0;
+      pr_front_end_errors = front_end_errors;
+    }
+  else begin
+    let axioms = all_axioms p prog in
+    let targets =
+      List.filter (fun fd -> fd.fmode <> Spec && fd.body <> None) prog.functions
+    in
+    let results =
+      if jobs <= 1 then List.map (verify_function_with_axioms p prog ~axioms) targets
+      else begin
+        (* Round-robin chunks over domains. *)
+        let n = List.length targets in
+        let arr = Array.of_list targets in
+        let out = Array.make n None in
+        let next = Atomic.make 0 in
+        let worker () =
+          let rec go () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              out.(i) <- Some (verify_function_with_axioms p prog ~axioms arr.(i));
+              go ()
+            end
+          in
+          go ()
+        in
+        let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+        List.iter Domain.join domains;
+        Array.to_list out |> List.filter_map Fun.id
+      end
+    in
+    {
+      pr_profile = p.Profiles.name;
+      pr_fns = results;
+      pr_ok = List.for_all (fun r -> r.fnr_ok) results;
+      pr_time_s = Unix.gettimeofday () -. t0;
+      pr_bytes = List.fold_left (fun acc r -> acc + r.fnr_bytes) 0 results;
+      pr_front_end_errors = [];
+    }
+  end
+
+let first_failure (pr : program_result) =
+  List.find_map
+    (fun fnr ->
+      List.find_map
+        (fun v ->
+          if v.vcr_answer <> Smt.Solver.Unsat then Some (fnr.fnr_name, v.vcr_name) else None)
+        fnr.fnr_vcs)
+    pr.pr_fns

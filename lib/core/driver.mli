@@ -1,0 +1,46 @@
+(** The verification driver: assembles per-VC contexts (theory axioms,
+    spec-function definitions, with or without pruning), dispatches VCs to
+    the right engine (default solver, EPR decision procedure, or one of the
+    §3.3 custom modes), and reports results with the timing/query-size
+    statistics the paper's tables are built from. *)
+
+type vc_result = {
+  vcr_name : string;
+  vcr_answer : Smt.Solver.answer;
+  vcr_time_s : float;
+  vcr_bytes : int;  (** context + goal printed size *)
+  vcr_detail : string;  (** mode-specific info *)
+}
+
+type fn_result = {
+  fnr_name : string;
+  fnr_vcs : vc_result list;
+  fnr_ok : bool;
+  fnr_time_s : float;
+  fnr_bytes : int;
+}
+
+type program_result = {
+  pr_profile : string;
+  pr_fns : fn_result list;
+  pr_ok : bool;
+  pr_time_s : float;
+  pr_bytes : int;
+  pr_front_end_errors : string list;
+      (** type / ownership / EPR-fragment rejections (empty when verified) *)
+}
+
+val context_for :
+  Profiles.t -> Vir.program -> Encode.vc -> Smt.Term.t list
+(** Theory axioms + spec-function definitions for one VC, pruned to the
+    symbols reachable from the VC when the profile prunes. *)
+
+val verify_function : Profiles.t -> Vir.program -> Vir.fndecl -> fn_result
+
+val verify_program : ?jobs:int -> Profiles.t -> Vir.program -> program_result
+(** Runs the front-end checks, then verifies every function.  [jobs > 1]
+    verifies functions in parallel on that many domains (the paper's
+    8-core column in Figure 9). *)
+
+val first_failure : program_result -> (string * string) option
+(** (function, vc) of the first unproved obligation, if any. *)

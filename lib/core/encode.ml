@@ -1,0 +1,851 @@
+module T = Smt.Term
+module S = Smt.Sort
+open Vir
+
+type vc = {
+  vc_name : string;
+  vc_hyps : T.t list;
+  vc_goal : T.t;
+  vc_hint : Vir.proof_hint;
+  vc_expr : Vir.expr option; (* original VIR expr, for compute-mode asserts *)
+}
+
+let is_heap (p : Profiles.t) = p.Profiles.encoding = Profiles.Heap
+
+let sort_of (p : Profiles.t) ty = Theories.sort_of_ty ~heap:(is_heap p) ty
+
+(* ------------------------------------------------------------------ *)
+(* Symbols shared with the driver                                      *)
+(* ------------------------------------------------------------------ *)
+
+let spec_fn_sym (p : Profiles.t) (_prog : program) (fd : fndecl) =
+  let param_sorts = List.map (fun (prm : param) -> sort_of p prm.pty) fd.params in
+  let param_sorts = if is_heap p then Theories.heap_sort :: param_sorts else param_sorts in
+  let ret_sort =
+    match fd.ret with Some (_, t) -> sort_of p t | None -> invalid_arg "spec fn without result"
+  in
+  let suffix = if is_heap p then "$h" else "" in
+  T.Sym.declare ("spec." ^ fd.fname ^ suffix) param_sorts ret_sort
+
+let bitop_sym (kind : int_kind) (op : binop) =
+  let k = match kind with I_u8 -> 8 | I_u16 -> 16 | I_u32 -> 32 | I_u64 -> 64 | I_math -> 0 in
+  let name =
+    match op with
+    | BitAnd -> "and"
+    | BitOr -> "or"
+    | BitXor -> "xor"
+    | Shl -> "shl"
+    | Shr -> "shr"
+    | _ -> invalid_arg "bitop_sym"
+  in
+  T.Sym.declare (Printf.sprintf "u%d.%s" k name) [ S.Int; S.Int ] S.Int
+
+let bitop_axioms (p : Profiles.t) =
+  let curated = p.Profiles.curated_triggers in
+  List.concat_map
+    (fun kind ->
+      let hi = match int_bounds kind with Some (_, hi) -> hi | None -> assert false in
+      List.map
+        (fun op ->
+          let sym = bitop_sym kind op in
+          let x = T.bvar "x" S.Int and y = T.bvar "y" S.Int in
+          let ap = T.app sym [ x; y ] in
+          let body = T.and_ [ T.le (T.int_of 0) ap; T.le ap (T.int_lit hi) ] in
+          if curated then T.forall ~triggers:[ [ ap ] ] [ ("x", S.Int); ("y", S.Int) ] body
+          else T.forall [ ("x", S.Int); ("y", S.Int) ] body)
+        [ BitAnd; BitOr; BitXor; Shl; Shr ])
+    [ I_u8; I_u16; I_u32; I_u64 ]
+
+let wrapper_sym depth srt =
+  T.Sym.declare (Printf.sprintf "effw%d$%s" depth (S.to_string srt)) [ srt ] srt
+
+let ownok_sym srt = T.Sym.declare ("ownok$" ^ S.to_string srt) [ srt ] S.Bool
+
+(* ------------------------------------------------------------------ *)
+(* Encoder state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type st = {
+  profile : Profiles.t;
+  prog : program;
+  fd : fndecl;
+  mutable tenv : (string * ty) list;
+  mutable hyps : T.t list; (* reversed *)
+  mutable vcs : vc list; (* reversed *)
+  mutable path : T.t list;
+  mutable cur_heap : T.t; (* heap encoding: the heap of the exec flow *)
+  mutable allocated : T.t list;
+  mutable seq_eqs_done : (int * int) list;
+  mutable olds : (string * T.t) list; (* entry values of params *)
+  mutable old_heap : T.t;
+}
+
+let fresh_const name srt = T.const (T.Sym.fresh name [] srt)
+
+let assume st fact =
+  let fact = match st.path with [] -> fact | path -> T.implies (T.and_ path) fact in
+  if not (T.equal fact T.tru) then st.hyps <- fact :: st.hyps
+
+let oblige st ?(hint = H_default) name goal =
+  let goal = match st.path with [] -> goal | path -> T.implies (T.and_ path) goal in
+  if not (T.equal goal T.tru) then
+    st.vcs <-
+      {
+        vc_name = st.fd.fname ^ ": " ^ name;
+        vc_hyps = List.rev st.hyps;
+        vc_goal = goal;
+        vc_hint = hint;
+        vc_expr = None;
+      }
+      :: st.vcs
+
+let oblige_isolated st ~hint ?expr name goal =
+  st.vcs <-
+    {
+      vc_name = st.fd.fname ^ ": " ^ name;
+      vc_hyps = [];
+      vc_goal = goal;
+      vc_hint = hint;
+      vc_expr = expr;
+    }
+    :: st.vcs
+
+let range_hyp kind tm =
+  match int_bounds kind with
+  | None -> T.tru
+  | Some (lo, hi) -> T.and_ [ T.le (T.int_lit lo) tm; T.le tm (T.int_lit hi) ]
+
+let ty_range_hyp ty tm = match ty with TInt k -> range_hyp k tm | _ -> T.tru
+
+let wrap st tm =
+  let rec go i tm =
+    if i = 0 then tm else go (i - 1) (T.app (wrapper_sym i (T.sort_of tm)) [ tm ])
+  in
+  go st.profile.Profiles.wrapper_depth tm
+
+let tag_index (d : datatype) vname =
+  let rec go i = function
+    | [] -> invalid_arg ("no variant " ^ vname)
+    | (vn, _) :: rest -> if String.equal vn vname then i else go (i + 1) rest
+  in
+  go 0 d.variants
+
+let datatype_of_field (prog : program) fname =
+  List.find
+    (fun d -> List.exists (fun (_, fields) -> List.mem_assoc fname fields) d.variants)
+    prog.datatypes
+
+let datatype_of_variant (prog : program) vname =
+  List.find (fun d -> List.mem_assoc vname d.variants) prog.datatypes
+
+(* Allocatedness is monotone across any heap transition. *)
+let emit_alloc_mono st ~h_old ~h_new =
+  if st.profile.Profiles.encoding = Profiles.Heap && not (T.equal h_old h_new) then begin
+    let rho = T.bvar "rho!a" Theories.ref_sort in
+    assume st
+      (T.forall
+         ~triggers:[ [ T.app Theories.alloc_sym [ h_new; rho ] ] ]
+         [ ("rho!a", Theories.ref_sort) ]
+         (T.implies
+            (T.app Theories.alloc_sym [ h_old; rho ])
+            (T.app Theories.alloc_sym [ h_new; rho ])))
+  end
+
+(* Frame axioms for a heap transition (heap encoding): field reads and
+   spec-function values are preserved — except at freshly allocated refs,
+   which the optional [except] guard excludes.  This mirrors the
+   reads-clause frame axioms Dafny generates; it is sound for VIR because
+   object fields are immutable after construction. *)
+let emit_heap_frames st ~h_old ~h_new ~except =
+  if st.profile.Profiles.encoding = Profiles.Heap && not (T.equal h_old h_new) then begin
+    let guard rho =
+      match except with
+      | Some r -> T.not_ (T.eq rho r)
+      | None -> T.tru
+    in
+    (* Per-field read frames. *)
+    List.iter
+      (fun d ->
+        let hs = Theories.heap_syms_for st.prog d in
+        let rho = T.bvar "rho!f" Theories.ref_sort in
+        let frame rd =
+          let body =
+            T.implies (guard rho)
+              (T.eq (T.app rd [ h_new; rho ]) (T.app rd [ h_old; rho ]))
+          in
+          assume st
+            (T.forall ~triggers:[ [ T.app rd [ h_new; rho ] ] ] [ ("rho!f", Theories.ref_sort) ] body)
+        in
+        frame hs.Theories.h_tag_rd;
+        List.iter (fun (_, (rd, _)) -> frame rd) hs.Theories.h_fields)
+      st.prog.datatypes;
+    (* Per-spec-function frames. *)
+    List.iter
+      (fun fd ->
+        match (fd.fmode, fd.ret) with
+        | Spec, Some _ ->
+          let sym = spec_fn_sym st.profile st.prog fd in
+          let qvars =
+            List.map (fun (prm : param) -> (prm.pname ^ "!f", sort_of st.profile prm.pty)) fd.params
+          in
+          let args = List.map (fun (x, srt) -> T.bvar x srt) qvars in
+          let guards =
+            List.filter_map
+              (fun a ->
+                if S.equal (T.sort_of a) Theories.ref_sort then Some (guard a) else None)
+              args
+          in
+          let app_new = T.app sym (h_new :: args) in
+          let app_old = T.app sym (h_old :: args) in
+          let body = T.implies (T.and_ guards) (T.eq app_new app_old) in
+          assume st (T.forall ~triggers:[ [ app_new ] ] qvars body)
+        | _ -> ())
+      st.prog.functions
+  end
+
+let rec contains_old = function
+  | EOld _ -> true
+  | EVar _ | EBool _ | EInt _ -> false
+  | EUnop (_, a) -> contains_old a
+  | EBinop (_, a, b) -> contains_old a || contains_old b
+  | EIte (a, b, c) -> contains_old a || contains_old b || contains_old c
+  | ECall (_, args) | ECtor (_, _, args) -> List.exists contains_old args
+  | EField (a, _) | EIs (a, _) -> contains_old a
+  | ESeq op -> (
+    match op with
+    | SeqEmpty _ -> false
+    | SeqLen a -> contains_old a
+    | SeqIndex (a, b) | SeqPush (a, b) | SeqSkip (a, b) | SeqTake (a, b) | SeqAppend (a, b) ->
+      contains_old a || contains_old b
+    | SeqUpdate (a, b, c) -> contains_old a || contains_old b || contains_old c)
+  | EForall (_, _, b) | EExists (_, _, b) -> contains_old b
+
+(* ------------------------------------------------------------------ *)
+(* Expression encoding                                                 *)
+(*                                                                     *)
+(* [vars]: current variable environment.  [ambient]: the heap term     *)
+(* field reads use (heap encoding); subtrees containing old() switch   *)
+(* to the old heap.  [ghost] suppresses runtime obligations.           *)
+(* ------------------------------------------------------------------ *)
+
+let rec enc_expr st ~ghost ~vars ~ambient (e : expr) : T.t =
+  let prog = st.prog and p = st.profile in
+  let recur ?(ambient = ambient) e = enc_expr st ~ghost ~vars ~ambient e in
+  (* Heap to use for a node whose subtree may mention old(). *)
+  let node_heap sube =
+    if is_heap p && List.exists contains_old sube then st.old_heap else ambient
+  in
+  match e with
+  | EVar x -> (
+    match List.assoc_opt x vars with
+    | Some t -> t
+    | None -> invalid_arg ("unbound " ^ x))
+  | EOld x -> (
+    match List.assoc_opt x st.olds with
+    | Some t -> t
+    | None -> invalid_arg ("old() of unknown parameter " ^ x))
+  | EBool b -> T.bool_lit b
+  | EInt n -> T.int_of n
+  | EUnop (Not, a) -> T.not_ (recur a)
+  | EUnop (Neg, a) -> T.neg (recur a)
+  | EBinop (op, a, b) -> (
+    let ty_a = Typecheck.ty_of_expr prog st.tenv a in
+    let ta = recur a in
+    let tb = recur b in
+    match op with
+    | Add | Sub | Mul ->
+      let result =
+        match op with Add -> T.add [ ta; tb ] | Sub -> T.sub ta tb | _ -> T.mul ta tb
+      in
+      (if not ghost then begin
+         (* Overflow obligations: if either operand is bounded, the machine
+            operation must stay in that range (math-typed literals adapt,
+            as in Verus's exec arithmetic). *)
+         let ty_b = Typecheck.ty_of_expr prog st.tenv b in
+         let kind =
+           match (ty_a, ty_b) with
+           | TInt k, TInt I_math when k <> I_math -> Some k
+           | TInt I_math, TInt k when k <> I_math -> Some k
+           | TInt k1, TInt k2 when k1 = k2 && k1 <> I_math -> Some k1
+           | TInt k1, TInt k2 when k1 <> I_math && k2 <> I_math ->
+             (* Mixed bounded kinds: the wider one. *)
+             Some (if int_bounds k1 < int_bounds k2 then k2 else k1)
+           | _ -> None
+         in
+         match kind with
+         | Some k -> oblige st "arithmetic overflow" (range_hyp k result)
+         | None -> ()
+       end);
+      result
+    | Div | Mod ->
+      if not ghost then oblige st "division by zero" (T.not_ (T.eq tb (T.int_of 0)));
+      if op = Div then T.idiv ta tb else T.imod ta tb
+    | Lt -> T.lt ta tb
+    | Le -> T.le ta tb
+    | Gt -> T.gt ta tb
+    | Ge -> T.ge ta tb
+    | Eq | Ne ->
+      (match Typecheck.ty_of_expr prog st.tenv a with
+      | TSeq elem ->
+        let key = (T.hash ta, T.hash tb) in
+        if not (List.mem key st.seq_eqs_done) then begin
+          st.seq_eqs_done <- key :: st.seq_eqs_done;
+          st.hyps <- Theories.seq_ext_hypothesis ~heap:(is_heap p) elem ta tb :: st.hyps
+        end
+      | _ -> ());
+      if op = Eq then T.eq ta tb else T.neq ta tb
+    | And -> T.and_ [ ta; tb ]
+    | Or -> T.or_ [ ta; tb ]
+    | Implies -> T.implies ta tb
+    | BitAnd | BitOr | BitXor | Shl | Shr -> (
+      let ty_b = Typecheck.ty_of_expr prog st.tenv b in
+      match (ty_a, ty_b) with
+      | TInt k, _ when k <> I_math -> T.app (bitop_sym k op) [ ta; tb ]
+      | _, TInt k when k <> I_math -> T.app (bitop_sym k op) [ ta; tb ]
+      | _ -> invalid_arg "bit operation on unbounded int"))
+  | EIte (c, a, b) -> T.ite (recur c) (recur a) (recur b)
+  | ECall (f, args) ->
+    let fd = find_fn prog f in
+    let sym = spec_fn_sym p prog fd in
+    let h = node_heap args in
+    let targs = List.map (fun a -> recur ~ambient:h a) args in
+    let targs = if is_heap p then h :: targs else targs in
+    wrap st (T.app sym targs)
+  | ECtor (dname, vname, args) ->
+    let d = find_datatype prog dname in
+    let targs = List.map (fun a -> recur a) args in
+    if is_heap p then alloc_ctor st ~ghost ~ambient d vname targs
+    else begin
+      let sy = Theories.data_syms_for d in
+      let ctor = List.assoc vname sy.Theories.d_ctors in
+      if targs = [] then T.const ctor else T.app ctor targs
+    end
+  | EField (e1, fname) ->
+    let h = node_heap [ e1 ] in
+    let t1 = recur ~ambient:h e1 in
+    let d = datatype_of_field prog fname in
+    if is_heap p then begin
+      let hs = Theories.heap_syms_for prog d in
+      let rd, _ = List.assoc fname hs.Theories.h_fields in
+      let field_ty = Typecheck.ty_of_expr prog st.tenv e in
+      let _, ub = Theories.box_syms (sort_of p field_ty) in
+      T.app ub [ T.app rd [ h; t1 ] ]
+    end
+    else
+      let sy = Theories.data_syms_for d in
+      T.app (List.assoc fname sy.Theories.d_selectors) [ t1 ]
+  | EIs (e1, vname) ->
+    let h = node_heap [ e1 ] in
+    let t1 = recur ~ambient:h e1 in
+    let d = datatype_of_variant prog vname in
+    if is_heap p then
+      let hs = Theories.heap_syms_for prog d in
+      T.eq (T.app hs.Theories.h_tag_rd [ h; t1 ]) (T.int_of (tag_index d vname))
+    else
+      let sy = Theories.data_syms_for d in
+      T.app (List.assoc vname sy.Theories.d_testers) [ t1 ]
+  | ESeq op -> (
+    let heap = is_heap p in
+    let elem_of s =
+      match Typecheck.ty_of_expr prog st.tenv s with
+      | TSeq t -> t
+      | _ -> invalid_arg "seq op on non-seq"
+    in
+    match op with
+    | SeqEmpty t ->
+      let sy = Theories.seq_syms_for ~heap t in
+      wrap st (T.const sy.Theories.s_empty)
+    | SeqLen s ->
+      let sy = Theories.seq_syms_for ~heap (elem_of s) in
+      wrap st (T.app sy.Theories.s_len [ recur s ])
+    | SeqIndex (s, i) ->
+      let sy = Theories.seq_syms_for ~heap (elem_of s) in
+      wrap st (T.app sy.Theories.s_index [ recur s; recur i ])
+    | SeqPush (s, x) ->
+      let sy = Theories.seq_syms_for ~heap (elem_of s) in
+      wrap st (T.app sy.Theories.s_push [ recur s; recur x ])
+    | SeqSkip (s, k) ->
+      let sy = Theories.seq_syms_for ~heap (elem_of s) in
+      wrap st (T.app sy.Theories.s_skip [ recur s; recur k ])
+    | SeqTake (s, k) ->
+      let sy = Theories.seq_syms_for ~heap (elem_of s) in
+      wrap st (T.app sy.Theories.s_take [ recur s; recur k ])
+    | SeqUpdate (s, i, x) ->
+      let sy = Theories.seq_syms_for ~heap (elem_of s) in
+      wrap st (T.app sy.Theories.s_update [ recur s; recur i; recur x ])
+    | SeqAppend (s1, s2) ->
+      let sy = Theories.seq_syms_for ~heap (elem_of s1) in
+      wrap st (T.app sy.Theories.s_append [ recur s1; recur s2 ]))
+  | EForall (qv, trig, body) | EExists (qv, trig, body) ->
+    let saved_tenv = st.tenv in
+    st.tenv <- qv @ st.tenv;
+    let qvars = List.map (fun (x, t) -> (x, sort_of p t)) qv in
+    let vars' = List.map (fun (x, t) -> (x, T.bvar x (sort_of p t))) qv @ vars in
+    let tbody = enc_expr st ~ghost ~vars:vars' ~ambient body in
+    let triggers =
+      match trig with
+      | Term_auto -> []
+      | Term_explicit groups ->
+        List.map (List.map (fun g -> enc_expr st ~ghost ~vars:vars' ~ambient g)) groups
+    in
+    st.tenv <- saved_tenv;
+    (match e with
+    | EForall _ -> T.forall ~triggers qvars tbody
+    | _ -> T.exists ~triggers qvars tbody)
+
+(* Heap-mode constructor. In exec positions it allocates (fresh ref,
+   write chain, heap advances); in ghost positions it denotes a fresh ref
+   whose fields are assumed to hold the given values in the ambient heap
+   (sufficient for the specs our programs write; documented in DESIGN.md). *)
+and alloc_ctor st ~ghost ~ambient (d : datatype) vname targs : T.t =
+  let prog = st.prog in
+  let hs = Theories.heap_syms_for prog d in
+  let r = fresh_const ("ref_" ^ vname) Theories.ref_sort in
+  List.iter (fun r' -> assume st (T.not_ (T.eq r r'))) st.allocated;
+  st.allocated <- r :: st.allocated;
+  let fields = List.assoc vname d.variants in
+  if ghost then begin
+    assume st (T.eq (T.app hs.Theories.h_tag_rd [ ambient; r ]) (T.int_of (tag_index d vname)));
+    List.iter2
+      (fun (fn, _) value ->
+        let rd, _ = List.assoc fn hs.Theories.h_fields in
+        let bx, _ = Theories.box_syms (T.sort_of value) in
+        assume st (T.eq (T.app rd [ ambient; r ]) (T.app bx [ value ])))
+      fields targs;
+    r
+  end
+  else begin
+    let h_before = st.cur_heap in
+    (* Freshness via allocatedness: r was not allocated before, and is
+       after; everything allocated before remains allocated. *)
+    assume st (T.not_ (T.app Theories.alloc_sym [ h_before; r ]));
+    let h1 = T.app hs.Theories.h_tag_wr [ st.cur_heap; r; T.int_of (tag_index d vname) ] in
+    let hfinal =
+      List.fold_left2
+        (fun h (fn, _) value ->
+          let _, wr = List.assoc fn hs.Theories.h_fields in
+          let bx, _ = Theories.box_syms (T.sort_of value) in
+          T.app wr [ h; r; T.app bx [ value ] ])
+        h1 fields targs
+    in
+    st.cur_heap <- hfinal;
+    assume st (T.app Theories.alloc_sym [ hfinal; r ]);
+    (* Spec-function values at other refs are unaffected by this
+       allocation (field reads go through the read-over-write axioms). *)
+    emit_heap_frames st ~h_old:h_before ~h_new:hfinal ~except:(Some r);
+    r
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statement encoding (forward symbolic execution)                     *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = Continue of (string * T.t) list (* variable env *) | Returned
+
+(* Variables assigned (or heap-mutated) by a statement list — for loop
+   havocking. *)
+let rec assigned_vars stmts =
+  List.concat_map
+    (function
+      | SAssign (x, _) -> [ x ]
+      | SIf (_, a, b) -> assigned_vars a @ assigned_vars b
+      | SWhile { body; _ } -> assigned_vars body
+      | SCall (_, _, _) -> [] (* &mut handled separately *)
+      | _ -> [])
+    stmts
+
+let rec mut_call_targets (prog : program) stmts =
+  List.concat_map
+    (function
+      | SCall (_, f, args) ->
+        let callee = find_fn prog f in
+        List.concat
+          (List.map2
+             (fun (prm : param) a ->
+               match (prm.pmut, a) with true, EVar x -> [ x ] | _ -> [])
+             callee.params args)
+      | SIf (_, a, b) -> mut_call_targets prog a @ mut_call_targets prog b
+      | SWhile { body; _ } -> mut_call_targets prog body
+      | _ -> [])
+    stmts
+
+let ownok_oblige st tm =
+  if st.profile.Profiles.recheck_ownership then
+    match T.sort_of tm with
+    | S.Usort _ -> oblige st "ownership recheck" (T.app (ownok_sym (T.sort_of tm)) [ tm ])
+    | _ -> ()
+
+let rec exec_stmts st vars (stmts : stmt list) : outcome =
+  match stmts with
+  | [] -> Continue vars
+  | s :: rest -> (
+    match exec_stmt st vars s with
+    | Continue vars' -> exec_stmts st vars' rest
+    | Returned -> Returned)
+
+and exec_stmt st vars (s : stmt) : outcome =
+  let p = st.profile in
+  let enc ?(ghost = false) e = enc_expr st ~ghost ~vars ~ambient:st.cur_heap e in
+  let coercion_oblige target_ty expr tv =
+    (* Binding into a bounded type from a wider/math expression requires a
+       range proof (Verus's int -> uN coercion obligation). *)
+    match (target_ty, Typecheck.ty_of_expr st.prog st.tenv expr) with
+    | TInt k, TInt k' when k <> I_math && k <> k' ->
+      oblige st "value fits target type" (range_hyp k tv)
+    | _ -> ()
+  in
+  match s with
+  | SLet (x, tyx, e) ->
+    let tv = enc e in
+    coercion_oblige tyx e tv;
+    st.tenv <- (x, tyx) :: st.tenv;
+    ownok_oblige st tv;
+    Continue ((x, tv) :: vars)
+  | SAssign (x, e) ->
+    let tv = enc e in
+    (match List.assoc_opt x st.tenv with
+    | Some tyx -> coercion_oblige tyx e tv
+    | None -> ());
+    ownok_oblige st tv;
+    Continue ((x, tv) :: List.remove_assoc x vars)
+  | SIf (c, a, b) ->
+    let tc = enc c in
+    let saved_path = st.path and saved_heap = st.cur_heap in
+    st.path <- tc :: saved_path;
+    let out_a = exec_stmts st vars a in
+    let heap_a = st.cur_heap in
+    st.path <- T.not_ tc :: saved_path;
+    st.cur_heap <- saved_heap;
+    let out_b = exec_stmts st vars b in
+    let heap_b = st.cur_heap in
+    st.path <- saved_path;
+    (match (out_a, out_b) with
+    | Returned, Returned -> Returned
+    | Returned, Continue vb ->
+      st.cur_heap <- heap_b;
+      Continue vb
+    | Continue va, Returned ->
+      st.cur_heap <- heap_a;
+      Continue va
+    | Continue va, Continue vb ->
+      st.cur_heap <- T.ite tc heap_a heap_b;
+      (* Merge: variables from the pre-branch scope (locals declared
+         inside a branch go out of scope). *)
+      let merged =
+        List.map
+          (fun (x, _) ->
+            let tva = List.assoc x va and tvb = List.assoc x vb in
+            (x, if T.equal tva tvb then tva else T.ite tc tva tvb))
+          vars
+      in
+      Continue merged)
+  | SWhile { cond; invariants; decreases; body } ->
+    (* 1. invariants hold on entry *)
+    List.iteri
+      (fun idx inv -> oblige st (Printf.sprintf "loop invariant %d holds on entry" idx) (enc ~ghost:true inv))
+      invariants;
+    (* 2. havoc modified state *)
+    let modified =
+      List.sort_uniq compare (assigned_vars body @ mut_call_targets st.prog body)
+    in
+    let havoc_vars =
+      List.map
+        (fun (x, old) ->
+          if List.mem x modified then begin
+            let tyx = List.assoc x st.tenv in
+            let fresh = fresh_const (x ^ "_loop") (sort_of p tyx) in
+            assume st (ty_range_hyp tyx fresh);
+            (x, fresh)
+          end
+          else (x, old))
+        vars
+    in
+    let pre_loop_heap = st.cur_heap in
+    if is_heap p then begin
+      st.cur_heap <- fresh_const "heap_loop" Theories.heap_sort;
+      emit_heap_frames st ~h_old:pre_loop_heap ~h_new:st.cur_heap ~except:None;
+      emit_alloc_mono st ~h_old:pre_loop_heap ~h_new:st.cur_heap
+    end;
+    let loop_heap = st.cur_heap in
+    (* 3. assume invariants for the arbitrary iteration *)
+    let enc_h ?(ghost = true) e = enc_expr st ~ghost ~vars:havoc_vars ~ambient:st.cur_heap e in
+    List.iter (fun inv -> assume st (enc_h inv)) invariants;
+    (* Termination: the measure is nonnegative at the head of an arbitrary
+       iteration... *)
+    let measure_entry =
+      match decreases with
+      | Some d ->
+        let tm = enc_h d in
+        oblige st "loop measure nonnegative" (T.ge tm (T.int_of 0));
+        Some tm
+      | None -> None
+    in
+    let tc = enc_h ~ghost:false cond in
+    (* 4. body preserves invariants *)
+    let saved_path = st.path in
+    st.path <- tc :: saved_path;
+    (match exec_stmts st havoc_vars body with
+    | Returned -> ()
+    | Continue vars_end ->
+      List.iteri
+        (fun idx inv ->
+          oblige st
+            (Printf.sprintf "loop invariant %d preserved" idx)
+            (enc_expr st ~ghost:true ~vars:vars_end ~ambient:st.cur_heap inv))
+        invariants;
+      (* ... and strictly decreases across the body. *)
+      match (measure_entry, decreases) with
+      | Some m0, Some d ->
+        let m1 = enc_expr st ~ghost:true ~vars:vars_end ~ambient:st.cur_heap d in
+        oblige st "loop measure decreases" (T.lt m1 m0)
+      | _ -> ());
+    st.path <- saved_path;
+    (* 5. continue after the loop: invariants hold, condition false *)
+    st.cur_heap <- loop_heap;
+    assume st (T.not_ tc);
+    Continue havoc_vars
+  | SCall (binding, f, args) ->
+    let callee = find_fn st.prog f in
+    let targs = List.map (fun a -> enc a) args in
+    (* requires *)
+    let param_map = List.map2 (fun (prm : param) tv -> (prm.pname, tv)) callee.params targs in
+    let saved_tenv = st.tenv in
+    st.tenv <- List.map (fun (prm : param) -> (prm.pname, prm.pty)) callee.params @ st.tenv;
+    List.iteri
+      (fun idx req ->
+        oblige st
+          (Printf.sprintf "precondition %d of %s" idx f)
+          (enc_expr st ~ghost:true ~vars:param_map ~ambient:st.cur_heap req))
+      callee.requires;
+    List.iter (fun tv -> ownok_oblige st tv) targs;
+    (* havoc: result, &mut arguments, and (heap mode) the heap *)
+    let result_binding =
+      match callee.ret with
+      | Some (rname, rty) ->
+        let rterm = fresh_const (f ^ "_res") (sort_of p rty) in
+        assume st (ty_range_hyp rty rterm);
+        Some (rname, rty, rterm)
+      | None -> None
+    in
+    let mut_updates =
+      List.concat
+        (List.map2
+           (fun (prm : param) a ->
+             match (prm.pmut, a) with
+             | true, EVar x ->
+               let fresh = fresh_const (x ^ "_post") (sort_of p prm.pty) in
+               assume st (ty_range_hyp prm.pty fresh);
+               [ (x, prm.pname, fresh) ]
+             | _ -> [])
+           callee.params args)
+    in
+    let old_heap_for_call = st.cur_heap in
+    if is_heap p then begin
+      st.cur_heap <- fresh_const "heap_post" Theories.heap_sort;
+      (* Callees only allocate (no field mutation in VIR): everything
+         pre-existing is framed. *)
+      emit_heap_frames st ~h_old:old_heap_for_call ~h_new:st.cur_heap ~except:None;
+      emit_alloc_mono st ~h_old:old_heap_for_call ~h_new:st.cur_heap
+    end;
+    (* assume ensures: params bound to post values for &mut, pre values
+       otherwise; old(param) resolves to the pre value. *)
+    let post_param_map =
+      List.map
+        (fun (pname, pre) ->
+          match List.find_opt (fun (_, pn, _) -> String.equal pn pname) mut_updates with
+          | Some (_, _, fresh) -> (pname, fresh)
+          | None -> (pname, pre))
+        param_map
+    in
+    let post_param_map =
+      match result_binding with
+      | Some (rname, _, rterm) -> (rname, rterm) :: post_param_map
+      | None -> post_param_map
+    in
+    let saved_olds = st.olds and saved_old_heap = st.old_heap in
+    st.olds <- param_map;
+    st.old_heap <- old_heap_for_call;
+    st.tenv <-
+      (match callee.ret with Some (rn, rt) -> [ (rn, rt) ] | None -> [])
+      @ List.map (fun (prm : param) -> (prm.pname, prm.pty)) callee.params
+      @ saved_tenv;
+    List.iter
+      (fun ens ->
+        assume st (enc_expr st ~ghost:true ~vars:post_param_map ~ambient:st.cur_heap ens))
+      callee.ensures;
+    st.olds <- saved_olds;
+    st.old_heap <- saved_old_heap;
+    st.tenv <- saved_tenv;
+    (* write back &mut variables, bind result *)
+    let vars =
+      List.fold_left
+        (fun vars (x, _, fresh) -> (x, fresh) :: List.remove_assoc x vars)
+        vars mut_updates
+    in
+    (match (binding, result_binding) with
+    | Some x, Some (_, rty, rterm) ->
+      st.tenv <- (x, rty) :: st.tenv;
+      Continue ((x, rterm) :: vars)
+    | None, _ -> Continue vars
+    | Some _, None -> invalid_arg "binding result of unit function")
+  | SAssert (e, H_default) ->
+    let te = enc ~ghost:true e in
+    oblige st "assertion" te;
+    assume st te;
+    Continue vars
+  | SAssert (e, hint) ->
+    (* Isolated query per §3.3; the main flow gets to assume it. *)
+    let te = enc ~ghost:true e in
+    let hint_name =
+      match hint with
+      | H_bit_vector -> "assert by(bit_vector)"
+      | H_nonlinear -> "assert by(nonlinear_arith)"
+      | H_integer_ring -> "assert by(integer_ring)"
+      | H_compute -> "assert by(compute)"
+      | H_default -> assert false
+    in
+    oblige_isolated st ~hint ~expr:e hint_name te;
+    assume st te;
+    Continue vars
+  | SAssume e ->
+    assume st (enc ~ghost:true e);
+    Continue vars
+  | SReturn eo ->
+    (match (eo, st.fd.ret) with
+    | Some e, Some (rname, rty) ->
+      let tv = enc e in
+      coercion_oblige rty e tv;
+      let vars' = (rname, tv) :: vars in
+      st.tenv <- (rname, rty) :: st.tenv;
+      check_ensures st vars'
+    | None, None -> check_ensures st vars
+    | _ -> invalid_arg "return arity");
+    Returned
+
+and check_ensures st vars =
+  List.iteri
+    (fun idx ens ->
+      oblige st
+        (Printf.sprintf "postcondition %d" idx)
+        (enc_expr st ~ghost:true ~vars ~ambient:st.cur_heap ens))
+    st.fd.ensures
+
+(* ------------------------------------------------------------------ *)
+(* Function entry                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let encode_function (p : Profiles.t) (prog : program) (fd : fndecl) : vc list =
+  match (fd.fmode, fd.body) with
+  | Spec, _ | _, None -> []
+  | (Proof | Exec), Some body ->
+    let heap0 =
+      if is_heap p then fresh_const "heap0" Theories.heap_sort
+      else T.const (T.Sym.declare "no_heap" [] Theories.heap_sort)
+    in
+    let st =
+      {
+        profile = p;
+        prog;
+        fd;
+        tenv = List.map (fun (prm : param) -> (prm.pname, prm.pty)) fd.params;
+        hyps = [];
+        vcs = [];
+        path = [];
+        cur_heap = heap0;
+        allocated = [];
+        seq_eqs_done = [];
+        olds = [];
+        old_heap = heap0;
+      }
+    in
+    (* Parameters as fresh constants with range hypotheses. *)
+    let vars =
+      List.map
+        (fun (prm : param) ->
+          let c = fresh_const prm.pname (sort_of p prm.pty) in
+          (prm.pname, c))
+        fd.params
+    in
+    List.iter2
+      (fun (prm : param) (_, c) ->
+        assume st (ty_range_hyp prm.pty c);
+        (* Heap mode: reference parameters are allocated on entry. *)
+        if is_heap p && S.equal (T.sort_of c) Theories.ref_sort then
+          assume st (T.app Theories.alloc_sym [ heap0; c ]))
+      fd.params vars;
+    st.olds <- vars;
+    st.old_heap <- heap0;
+    (* Prophecy (Creusot) overhead: final-value constants for &mut
+       parameters plus resolution equations at exit. *)
+    let prophecy =
+      if p.Profiles.encoding = Profiles.Prophecy then
+        List.filter_map
+          (fun (prm : param) ->
+            if prm.pmut then
+              Some (prm.pname, fresh_const (prm.pname ^ "_fin") (sort_of p prm.pty))
+            else None)
+          fd.params
+      else []
+    in
+    (* requires *)
+    List.iter (fun req -> assume st (enc_expr st ~ghost:true ~vars ~ambient:heap0 req)) fd.requires;
+    (* body *)
+    (match exec_stmts st vars body with
+    | Returned -> ()
+    | Continue vars_end ->
+      (* Fell off the end: unit function; check ensures. *)
+      (match fd.ret with
+      | None ->
+        (* Prophecy resolution: the final value of each &mut parameter is
+           its value at exit. *)
+        List.iter
+          (fun (x, fin) ->
+            match List.assoc_opt x vars_end with
+            | Some cur -> assume st (T.eq fin cur)
+            | None -> ())
+          prophecy;
+        check_ensures st vars_end
+      | Some _ -> oblige st "missing return" T.fls));
+    List.rev st.vcs
+
+(* ------------------------------------------------------------------ *)
+(* Spec function definitional axioms                                   *)
+(* ------------------------------------------------------------------ *)
+
+let spec_fn_axiom (p : Profiles.t) (prog : program) (fd : fndecl) =
+  match (fd.fmode, fd.spec_body) with
+  | Spec, Some body when not (List.mem A_opaque fd.attrs) ->
+    let sym = spec_fn_sym p prog fd in
+    let heap_var = ("heap!q", Theories.heap_sort) in
+    let qvars = List.map (fun (prm : param) -> (prm.pname, sort_of p prm.pty)) fd.params in
+    let qvars = if is_heap p then heap_var :: qvars else qvars in
+    let vars =
+      List.map (fun (prm : param) -> (prm.pname, T.bvar prm.pname (sort_of p prm.pty))) fd.params
+    in
+    let ambient = T.bvar "heap!q" Theories.heap_sort in
+    let st =
+      {
+        profile = p;
+        prog;
+        fd;
+        tenv = List.map (fun (prm : param) -> (prm.pname, prm.pty)) fd.params;
+        hyps = [];
+        vcs = [];
+        path = [];
+        cur_heap = ambient;
+        allocated = [];
+        seq_eqs_done = [];
+        olds = [];
+        old_heap = ambient;
+      }
+    in
+    let tbody = enc_expr st ~ghost:true ~vars ~ambient body in
+    let app_args = List.map snd vars in
+    let app_args = if is_heap p then ambient :: app_args else app_args in
+    let ap = T.app sym app_args in
+    let ax =
+      if p.Profiles.curated_triggers then T.forall ~triggers:[ [ ap ] ] qvars (T.eq ap tbody)
+      else T.forall qvars (T.eq ap tbody)
+    in
+    Some ax
+  | _ -> None

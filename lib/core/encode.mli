@@ -1,0 +1,49 @@
+(** Verification-condition generation: forward symbolic execution of VIR
+    under a framework profile.
+
+    The profile decides the memory encoding:
+    - {b Ownership} (Verus): datatype values are algebraic terms; mutation
+      of a local rebinds it to a new term.  No heap, no aliasing reasoning —
+      the ownership checker justifies this.
+    - {b Heap} (Dafny, Low-star): datatype values are references; constructors
+      allocate; field reads/writes go through a global heap with
+      select/store frame axioms.  Every mutation makes the heap grow a
+      write-chain that later reads must see through — the cost the
+      memory-reasoning millibenchmark (Figure 7b) measures.
+    - {b Prophecy} (Creusot): ownership encoding plus prophecy ("final
+      value") constants for [&mut] parameters with resolution equations.
+
+    Exec-mode arithmetic over bounded integers emits side obligations that
+    the result stays in range (Verus's overflow proof obligations), and
+    division emits nonzero-divisor obligations. *)
+
+type vc = {
+  vc_name : string;
+  vc_hyps : Smt.Term.t list;  (** function-local context (no theory axioms) *)
+  vc_goal : Smt.Term.t;
+  vc_hint : Vir.proof_hint;
+  vc_expr : Vir.expr option;  (** source expression, kept for [by(compute)] *)
+}
+
+val encode_function : Profiles.t -> Vir.program -> Vir.fndecl -> vc list
+(** All proof obligations of one function, in program order.  Asserts with
+    a non-default hint become isolated VCs (empty context, per §3.3). *)
+
+val spec_fn_axiom : Profiles.t -> Vir.program -> Vir.fndecl -> Smt.Term.t option
+(** The definitional axiom for a spec function with a body ([None] for
+    uninterpreted or opaque spec functions). *)
+
+val spec_fn_sym : Profiles.t -> Vir.program -> Vir.fndecl -> Smt.Term.sym
+(** The SMT function symbol for a spec function (includes a heap parameter
+    under the heap encoding). *)
+
+val wrapper_sym : int -> Smt.Sort.t -> Smt.Term.sym
+(** Identity wrapper function used by the effect-layer emulation. *)
+
+val ownok_sym : Smt.Sort.t -> Smt.Term.sym
+(** The ownership-recheck marker predicate (Prusti emulation). *)
+
+val bitop_axioms : Profiles.t -> Smt.Term.t list
+(** Range axioms for the uninterpreted bounded bit-operation symbols used
+    by the default encoding (the precise semantics lives in
+    [by(bit_vector)] queries, per §3.3). *)

@@ -1,0 +1,65 @@
+module Rat = Vbase.Rat
+
+(* Multivariate division by a set. *)
+let reduce (p : Poly.t) (gs : Poly.t list) : Poly.t =
+  let rec go p =
+    match Poly.leading p with
+    | None -> p
+    | Some (lm, lc) -> (
+      (* Find a divisor whose leading monomial divides lm. *)
+      let divisor =
+        List.find_opt
+          (fun g ->
+            match Poly.leading g with
+            | Some (gm, _) -> Poly.mono_divides gm lm
+            | None -> false)
+          gs
+      in
+      match divisor with
+      | Some g ->
+        let gm, gc = Option.get (Poly.leading g) in
+        let factor_m = Poly.mono_div lm gm in
+        let factor_c = Rat.div lc gc in
+        go (Poly.sub p (Poly.mul_mono factor_m factor_c g))
+      | None ->
+        (* Leading term irreducible: move it out and keep reducing. *)
+        let rest = go (List.tl p) in
+        (lm, lc) :: rest)
+  in
+  go p
+
+let s_poly (f : Poly.t) (g : Poly.t) : Poly.t =
+  match (Poly.leading f, Poly.leading g) with
+  | Some (fm, fc), Some (gm, gc) ->
+    let l = Poly.mono_lcm fm gm in
+    Poly.sub
+      (Poly.mul_mono (Poly.mono_div l fm) (Rat.inv fc) f)
+      (Poly.mul_mono (Poly.mono_div l gm) (Rat.inv gc) g)
+  | _ -> Poly.zero
+
+let basis ?(max_pairs = 2000) (gens : Poly.t list) : Poly.t list =
+  let gens = List.filter (fun p -> not (Poly.is_zero p)) gens in
+  let g = ref gens in
+  let pairs = Queue.create () in
+  let add_pairs_for p =
+    List.iter (fun q -> Queue.push (p, q) pairs) !g
+  in
+  List.iteri
+    (fun i p -> List.iteri (fun j q -> if j < i then Queue.push (p, q) pairs) gens; ignore p)
+    gens;
+  let count = ref 0 in
+  while not (Queue.is_empty pairs) do
+    incr count;
+    if !count > max_pairs then failwith "Groebner.basis: pair budget exhausted";
+    let f, h = Queue.pop pairs in
+    let s = reduce (s_poly f h) !g in
+    if not (Poly.is_zero s) then begin
+      add_pairs_for s;
+      g := s :: !g
+    end
+  done;
+  !g
+
+let ideal_member ?max_pairs (p : Poly.t) (gens : Poly.t list) : bool =
+  let b = basis ?max_pairs gens in
+  Poly.is_zero (reduce p b)

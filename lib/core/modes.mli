@@ -1,0 +1,33 @@
+(** Custom proof automation for system idioms — the paper's §3.3.
+
+    Each mode checks a claim with dedicated machinery, isolated from the
+    main SMT context:
+
+    - [bit_vector]: the goal is reinterpreted over fixed-width bit-vectors
+      (integers become BV constants, arithmetic becomes wrapping BV
+      arithmetic, the uninterpreted [uN.and]-style symbols become real BV
+      operations) and discharged by bit-blasting.
+    - [nonlinear_arith]: the goal is polynomial-normalized, instrumented
+      with ground nonlinear lemmas (squares, sign rules, monotonicity) for
+      the products it mentions, and sent to the solver as an isolated
+      query.
+    - [integer_ring]: ring congruence goals ([% c == 0] facts and
+      equalities under the ring operations) are decided by Gröbner-basis ideal
+      membership.
+    - [compute]: ground spec expressions are evaluated by the interpreter. *)
+
+type outcome = Proved | Refuted of string | Unsupported of string
+
+val prove_bit_vector : ?width:int -> Smt.Term.t -> outcome
+(** Validity of the goal under bit-vector semantics at [width] (default
+    64).  [Unsupported] if the goal uses operations with no BV translation
+    (e.g. division by a non-power-of-two). *)
+
+val prove_nonlinear : ?hyps:Smt.Term.t list -> Smt.Term.t -> outcome
+
+val prove_integer_ring : Smt.Term.t -> outcome
+(** Goal shape: [premises ==> conclusion] where premises and conclusion are
+    equalities or [t % c == 0] facts over ring operations. *)
+
+val prove_compute : Vir.program -> Vir.expr -> outcome
+(** Evaluates the (closed) expression; [Proved] iff it computes to true. *)

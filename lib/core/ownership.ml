@@ -1,0 +1,172 @@
+open Vir
+
+(* Only datatype values are affine; integers and bools are Copy, and Seq is
+   a ghost (spec-level) type, also Copy. *)
+let affine = function TData _ -> true | TBool | TInt _ | TSeq _ -> false
+
+type lstate = (string, [ `Live | `Moved ]) Hashtbl.t
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* Moves produced by evaluating an expression in exec position: variables
+   consumed by being stored into constructors or passed by value.  Reading
+   a field or testing a variant borrows (no move); so does mentioning a
+   variable in a spec position (ghost code never consumes). *)
+let rec moves_of_expr (p : program) env (e : expr) : string list =
+  match e with
+  | EVar x -> (
+    match List.assoc_opt x env with
+    | Some t when affine t -> [ x ]
+    | _ -> [])
+  | ECtor (_, _, args) -> List.concat_map (moves_of_expr p env) args
+  | EIte (c, a, b) ->
+    (* Condition only borrows; both branches may move. *)
+    moves_of_expr p env c @ moves_of_expr p env a @ moves_of_expr p env b
+  | EField (inner, _) | EIs (inner, _) | EUnop (_, inner) ->
+    (* Borrow: traverse to find nested ctor arguments, but a plain
+       variable under a borrow is not moved. *)
+    (match inner with EVar _ -> [] | _ -> moves_of_expr p env inner)
+  | EBinop (_, a, b) -> moves_of_expr p env a @ moves_of_expr p env b
+  | ECall (_, _) -> [] (* spec call: ghost, borrows only *)
+  | ESeq _ -> [] (* ghost *)
+  | EForall _ | EExists _ -> []
+  | EOld _ | EBool _ | EInt _ -> []
+
+let use_of_expr (p : program) env e =
+  (* All affine variables read by the expression (for liveness checks). *)
+  let rec go acc = function
+    | EVar x -> if List.mem_assoc x env then x :: acc else acc
+    | EOld x -> x :: acc
+    | EBool _ | EInt _ -> acc
+    | EUnop (_, a) -> go acc a
+    | EBinop (_, a, b) -> go (go acc a) b
+    | EIte (a, b, c) -> go (go (go acc a) b) c
+    | ECall (_, args) | ECtor (_, _, args) -> List.fold_left go acc args
+    | EField (a, _) | EIs (a, _) -> go acc a
+    | ESeq op -> (
+      match op with
+      | SeqEmpty _ -> acc
+      | SeqLen a -> go acc a
+      | SeqIndex (a, b) | SeqPush (a, b) | SeqSkip (a, b) | SeqTake (a, b) | SeqAppend (a, b) ->
+        go (go acc a) b
+      | SeqUpdate (a, b, c) -> go (go (go acc a) b) c)
+    | EForall (_, _, b) | EExists (_, _, b) -> go acc b
+  in
+  ignore p;
+  go [] e
+
+let require_live st env e where_ =
+  List.iter
+    (fun x ->
+      match (List.assoc_opt x env, Hashtbl.find_opt st x) with
+      | Some t, Some `Moved when affine t -> fail "use of moved value %s in %s" x where_
+      | _ -> ())
+    (use_of_expr { datatypes = []; functions = [] } env e)
+
+let apply_moves st env e where_ =
+  List.iter
+    (fun x ->
+      match Hashtbl.find_opt st x with
+      | Some `Moved -> fail "double move of %s in %s" x where_
+      | _ -> Hashtbl.replace st x `Moved)
+    (moves_of_expr { datatypes = []; functions = [] } env e);
+  ignore where_
+
+let copy_state st =
+  let c = Hashtbl.create 16 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace c k v) st;
+  c
+
+let join_states st a b =
+  (* Moved in either branch => moved after. *)
+  Hashtbl.iter
+    (fun k v ->
+      match (v, Hashtbl.find_opt b k) with
+      | `Moved, _ | _, Some `Moved -> Hashtbl.replace st k `Moved
+      | _ -> Hashtbl.replace st k `Live)
+    a
+
+let rec check_stmts p st env stmts =
+  match stmts with
+  | [] -> env
+  | s :: rest ->
+    let env = check_stmt p st env s in
+    check_stmts p st env rest
+
+and check_stmt p (st : lstate) env s =
+  match s with
+  | SLet (x, t, e) ->
+    require_live st env e ("let " ^ x);
+    apply_moves st env e ("let " ^ x);
+    Hashtbl.replace st x `Live;
+    (x, t) :: env
+  | SAssign (x, e) ->
+    require_live st env e ("assign " ^ x);
+    apply_moves st env e ("assign " ^ x);
+    (* Overwriting re-initializes x, even if moved. *)
+    Hashtbl.replace st x `Live;
+    env
+  | SIf (c, a, b) ->
+    require_live st env c "if condition";
+    let sa = copy_state st and sb = copy_state st in
+    ignore (check_stmts p sa env a);
+    ignore (check_stmts p sb env b);
+    join_states st sa sb;
+    env
+  | SWhile { cond; invariants = _; decreases = _; body } ->
+    require_live st env cond "while condition";
+    (* The body must leave the ownership state unchanged for variables
+       declared outside (it runs an unknown number of times). *)
+    let sb = copy_state st in
+    let env' = check_stmts p sb env body in
+    ignore env';
+    Hashtbl.iter
+      (fun x v ->
+        match (Hashtbl.find_opt st x, v) with
+        | Some `Live, `Moved -> fail "loop body moves %s declared outside the loop" x
+        | _ -> ())
+      sb;
+    env
+  | SCall (binding, f, args) ->
+    let callee = find_fn p f in
+    List.iter2
+      (fun (prm : param) a ->
+        require_live st env a ("call " ^ f);
+        if prm.pmut then () (* &mut borrows, stays live *)
+        else if affine prm.pty then apply_moves st env a ("call " ^ f))
+      callee.params args;
+    (match binding with
+    | Some x ->
+      Hashtbl.replace st x `Live;
+      (match callee.ret with Some (_, t) -> (x, t) :: env | None -> env)
+    | None -> env)
+  | SAssert (_, _) | SAssume _ ->
+    (* Ghost position: specification code refers to the mathematical value
+       of a variable, not the resource, so moved values may be mentioned
+       (they were captured by the enclosing proof context). *)
+    env
+  | SReturn eo ->
+    (match eo with
+    | Some e ->
+      require_live st env e "return";
+      apply_moves st env e "return"
+    | None -> ());
+    env
+
+let check_fn p fd =
+  match (fd.fmode, fd.body) with
+  | Exec, Some stmts ->
+    let st : lstate = Hashtbl.create 16 in
+    let env = List.map (fun (prm : param) -> (prm.pname, prm.pty)) fd.params in
+    List.iter (fun (prm : param) -> Hashtbl.replace st prm.pname `Live) fd.params;
+    ignore (check_stmts p st env stmts)
+  | _ -> ()
+
+let check_program p =
+  let errors = ref [] in
+  List.iter
+    (fun fd ->
+      try check_fn p fd
+      with Failure msg -> errors := Printf.sprintf "%s: %s" fd.fname msg :: !errors)
+    p.functions;
+  if !errors = [] then Ok () else Error (List.rev !errors)

@@ -1,0 +1,16 @@
+(** A simplified ownership / borrow checker for VIR exec functions.
+
+    This stands in for the part of the Rust type system Verus leans on
+    (§2 "Memory Reasoning"): datatype values are affine resources — moved
+    when passed by value or stored into a constructor, dead afterwards.
+    Because the checker guarantees exclusive ownership, the ownership
+    encoding can model mutation as functional update with no aliasing
+    reasoning; that is the encoding-economy story of the paper.
+
+    The checker covers the fragment the benchmarks and case studies use:
+    move tracking through lets, assignments, calls (by-value consumes,
+    [&mut] retains), branch joins (a value moved in either branch is dead
+    after the join), and loop bodies (moving a loop-external value inside a
+    loop is an error). *)
+
+val check_program : Vir.program -> (unit, string list) result

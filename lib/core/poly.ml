@@ -1,0 +1,124 @@
+module Rat = Vbase.Rat
+module T = Smt.Term
+
+type mono = (string * int) list
+type t = (mono * Rat.t) list
+
+(* Lex order on monomials: compare variable by variable; a missing variable
+   counts as exponent 0, and smaller variable names are "more significant".
+   Higher total ordering first in the polynomial representation. *)
+let rec mono_compare (a : mono) (b : mono) =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | (xa, ea) :: ra, (xb, eb) :: rb ->
+    let c = compare xa xb in
+    if c < 0 then 1 (* a has a more significant variable *)
+    else if c > 0 then -1
+    else if ea <> eb then compare ea eb
+    else mono_compare ra rb
+
+let zero : t = []
+let is_zero (p : t) = p = []
+
+let normalize (l : (mono * Rat.t) list) : t =
+  let merged = Hashtbl.create 16 in
+  List.iter
+    (fun (m, c) ->
+      let cur = match Hashtbl.find_opt merged m with Some x -> x | None -> Rat.zero in
+      Hashtbl.replace merged m (Rat.add cur c))
+    l;
+  Hashtbl.fold (fun m c acc -> if Rat.is_zero c then acc else (m, c) :: acc) merged []
+  |> List.sort (fun (m1, _) (m2, _) -> -mono_compare m1 m2)
+
+let const c : t = if Rat.is_zero c then [] else [ ([], c) ]
+let var x : t = [ ([ (x, 1) ], Rat.one) ]
+let add (a : t) (b : t) : t = normalize (a @ b)
+let neg (a : t) : t = List.map (fun (m, c) -> (m, Rat.neg c)) a
+let sub a b = add a (neg b)
+let scale k (a : t) : t = if Rat.is_zero k then [] else List.map (fun (m, c) -> (m, Rat.mul k c)) a
+
+let mono_mul (a : mono) (b : mono) : mono =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (x, e) -> Hashtbl.replace tbl x e) a;
+  List.iter
+    (fun (x, e) ->
+      let cur = match Hashtbl.find_opt tbl x with Some v -> v | None -> 0 in
+      Hashtbl.replace tbl x (cur + e))
+    b;
+  Hashtbl.fold (fun x e acc -> (x, e) :: acc) tbl [] |> List.sort compare
+
+let mul (a : t) (b : t) : t =
+  normalize
+    (List.concat_map (fun (ma, ca) -> List.map (fun (mb, cb) -> (mono_mul ma mb, Rat.mul ca cb)) b) a)
+
+let equal (a : t) (b : t) = sub a b = []
+
+let leading (p : t) = match p with [] -> None | hd :: _ -> Some hd
+
+let mono_divides (b : mono) (a : mono) =
+  List.for_all (fun (x, e) -> match List.assoc_opt x a with Some ea -> ea >= e | None -> false) b
+
+let mono_div (a : mono) (b : mono) : mono =
+  List.filter_map
+    (fun (x, e) ->
+      let eb = match List.assoc_opt x b with Some v -> v | None -> 0 in
+      if e - eb > 0 then Some (x, e - eb) else None)
+    a
+
+let mono_lcm (a : mono) (b : mono) : mono =
+  let vars = List.sort_uniq compare (List.map fst a @ List.map fst b) in
+  List.map
+    (fun x ->
+      let ea = match List.assoc_opt x a with Some v -> v | None -> 0 in
+      let eb = match List.assoc_opt x b with Some v -> v | None -> 0 in
+      (x, max ea eb))
+    vars
+
+let mul_mono (m : mono) (c : Rat.t) (p : t) : t =
+  normalize (List.map (fun (mp, cp) -> (mono_mul m mp, Rat.mul c cp)) p)
+
+(* --- term conversion ------------------------------------------------- *)
+
+let rec of_term (tm : T.t) : t =
+  match tm.T.node with
+  | T.Int_lit v -> const (Rat.of_bigint v)
+  | T.Add xs -> List.fold_left (fun acc x -> add acc (of_term x)) zero xs
+  | T.Sub (a, b) -> sub (of_term a) (of_term b)
+  | T.Neg a -> neg (of_term a)
+  | T.Mul (a, b) -> mul (of_term a) (of_term b)
+  | T.App (f, []) -> var f.T.sname
+  | _ -> var (Printf.sprintf "$t%d" tm.T.tid)
+
+let to_term resolve (p : t) : T.t =
+  let mono_term (m : mono) =
+    List.concat_map (fun (x, e) -> List.init e (fun _ -> resolve x)) m
+  in
+  let parts =
+    List.map
+      (fun (m, c) ->
+        let factors = mono_term m in
+        let base =
+          match factors with
+          | [] -> T.int_of 1
+          | f :: rest -> List.fold_left T.mul f rest
+        in
+        (* c is integral for the use-sites that rebuild terms. *)
+        let num = (c : Rat.t).Rat.num in
+        T.mul (T.int_lit num) base)
+      p
+  in
+  match parts with [] -> T.int_of 0 | _ -> T.add parts
+
+let to_string (p : t) =
+  if p = [] then "0"
+  else
+    String.concat " + "
+      (List.map
+         (fun (m, c) ->
+           let ms = String.concat "*" (List.map (fun (x, e) -> if e = 1 then x else Printf.sprintf "%s^%d" x e) m) in
+           if m = [] then Rat.to_string c
+           else if Rat.equal c Rat.one then ms
+           else Rat.to_string c ^ "*" ^ ms)
+         p)

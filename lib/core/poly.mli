@@ -1,0 +1,49 @@
+(** Multivariate polynomials over the rationals.
+
+    Substrate for the [by(integer_ring)] mode (Gröbner-basis congruence
+    proofs, §3.3) and for the normalization step of [by(nonlinear_arith)].
+    Variables are named; monomials are sorted exponent lists; polynomials
+    are monomial-to-coefficient maps kept in a canonical sorted form. *)
+
+type mono = (string * int) list
+(** Variable–exponent pairs, sorted by variable, exponents >= 1. *)
+
+type t = (mono * Vbase.Rat.t) list
+(** Monomial–coefficient pairs, nonzero coefficients, sorted by the lex
+    order on monomials (largest first). *)
+
+val zero : t
+val const : Vbase.Rat.t -> t
+val var : string -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : Vbase.Rat.t -> t -> t
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val mono_compare : mono -> mono -> int
+(** Lexicographic order (by variable name, then exponent). *)
+
+val leading : t -> (mono * Vbase.Rat.t) option
+
+val mono_divides : mono -> mono -> bool
+val mono_div : mono -> mono -> mono
+(** [mono_div a b] = a / b; requires [mono_divides b a]. *)
+
+val mono_mul : mono -> mono -> mono
+val mono_lcm : mono -> mono -> mono
+
+val mul_mono : mono -> Vbase.Rat.t -> t -> t
+(** Multiply a polynomial by [c * m]. *)
+
+val of_term : Smt.Term.t -> t
+(** Interpret an integer-sorted SMT term as a polynomial; opaque subterms
+    (uninterpreted applications, div/mod) become fresh polynomial variables
+    keyed by their term id. *)
+
+val to_term : (string -> Smt.Term.t) -> t -> Smt.Term.t
+(** Rebuild a term, resolving polynomial variables with the given map. *)
+
+val to_string : t -> string

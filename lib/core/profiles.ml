@@ -1,0 +1,116 @@
+type mem_encoding = Ownership | Heap | Prophecy
+
+type t = {
+  name : string;
+  encoding : mem_encoding;
+  trigger_policy : Smt.Triggers.policy;
+  curated_triggers : bool;
+  pruning : bool;
+  wrapper_depth : int;
+  recheck_ownership : bool;
+  epr_only : bool;
+  solver_config : Smt.Solver.config;
+}
+
+let base_solver = Smt.Solver.default_config
+
+let verus =
+  {
+    name = "Verus";
+    encoding = Ownership;
+    trigger_policy = Smt.Triggers.Conservative;
+    curated_triggers = true;
+    pruning = true;
+    wrapper_depth = 0;
+    recheck_ownership = false;
+    epr_only = false;
+    solver_config = { base_solver with trigger_policy = Smt.Triggers.Conservative };
+  }
+
+let dafny =
+  {
+    name = "Dafny";
+    encoding = Heap;
+    trigger_policy = Smt.Triggers.Liberal;
+    curated_triggers = true;
+    pruning = false;
+    wrapper_depth = 0;
+    recheck_ownership = false;
+    epr_only = false;
+    solver_config =
+      {
+        base_solver with
+        trigger_policy = Smt.Triggers.Conservative;
+        max_rounds = 60;
+        max_instances_per_quant = 2000;
+      };
+  }
+
+let fstar =
+  {
+    name = "F*/Low*";
+    encoding = Heap;
+    trigger_policy = Smt.Triggers.Liberal;
+    curated_triggers = true;
+    pruning = false;
+    wrapper_depth = 2;
+    recheck_ownership = false;
+    epr_only = false;
+    solver_config =
+      {
+        base_solver with
+        trigger_policy = Smt.Triggers.Conservative;
+        max_rounds = 80;
+        max_instances_per_quant = 2000;
+      };
+  }
+
+let prusti =
+  {
+    name = "Prusti";
+    encoding = Ownership;
+    trigger_policy = Smt.Triggers.Liberal;
+    curated_triggers = true;
+    pruning = false;
+    (* Viper encodes values through snapshot functions: definitional
+       indirection on every value the solver must see through. *)
+    wrapper_depth = 3;
+    recheck_ownership = true;
+    epr_only = false;
+    solver_config =
+      {
+        base_solver with
+        trigger_policy = Smt.Triggers.Liberal;
+        max_rounds = 30;
+        max_instances_per_quant = 1000;
+      };
+  }
+
+let creusot =
+  {
+    name = "Creusot";
+    encoding = Prophecy;
+    trigger_policy = Smt.Triggers.Conservative;
+    curated_triggers = false;
+    pruning = false;
+    wrapper_depth = 0;
+    recheck_ownership = false;
+    epr_only = false;
+    solver_config = { base_solver with trigger_policy = Smt.Triggers.Conservative };
+  }
+
+let ivy =
+  {
+    name = "Ivy";
+    encoding = Ownership;
+    trigger_policy = Smt.Triggers.Conservative;
+    curated_triggers = true;
+    pruning = true;
+    wrapper_depth = 0;
+    recheck_ownership = false;
+    epr_only = true;
+    solver_config = base_solver;
+  }
+
+let all = [ verus; dafny; fstar; prusti; creusot; ivy ]
+let by_name n = List.find_opt (fun p -> String.equal p.name n) all

@@ -1,0 +1,38 @@
+(** Framework profiles: encoding configurations that emulate the comparison
+    verifiers of the paper's evaluation (§4.1) as settings of one pipeline.
+
+    The substitution table in DESIGN.md maps each profile to the mechanisms
+    §3.1/§5 identifies as the source of each tool's cost: heap vs. ownership
+    encodings, trigger policy, context pruning, effect-layer indirection,
+    re-verified type checking, and prophecy variables. *)
+
+type mem_encoding =
+  | Ownership  (** Verus-style: mutation is functional update; no heap *)
+  | Heap  (** Dafny/F*-style: global heap, select/store, frame axioms *)
+  | Prophecy  (** Creusot-style: &mut as (current, final) pairs *)
+
+type t = {
+  name : string;
+  encoding : mem_encoding;
+  trigger_policy : Smt.Triggers.policy;
+  curated_triggers : bool;
+      (** attach hand-tuned minimal triggers to theory axioms (Verus) vs.
+          leaving selection to the policy (Dafny-style broad selection) *)
+  pruning : bool;  (** prune unreachable axioms/contracts from the context *)
+  wrapper_depth : int;
+      (** definitional indirection layers per value: Low*'s effect layers,
+          Viper's snapshot functions *)
+  recheck_ownership : bool;  (** extra type-checking VCs (Prusti) *)
+  epr_only : bool;  (** reject anything outside EPR (Ivy) *)
+  solver_config : Smt.Solver.config;
+}
+
+val verus : t
+val dafny : t
+val fstar : t
+val prusti : t
+val creusot : t
+val ivy : t
+
+val all : t list
+val by_name : string -> t option

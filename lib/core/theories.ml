@@ -1,0 +1,472 @@
+module T = Smt.Term
+module S = Smt.Sort
+
+let ref_sort = S.Usort "Ref"
+let heap_sort = S.Usort "Heap"
+
+let rec ty_mangle = function
+  | Vir.TBool -> "bool"
+  | Vir.TInt _ -> "int"
+  | Vir.TSeq t -> "seq$" ^ ty_mangle t
+  | Vir.TData n -> n
+
+let sort_of_ty ~heap (t : Vir.ty) =
+  match t with
+  | Vir.TBool -> S.Bool
+  | Vir.TInt _ -> S.Int
+  | Vir.TSeq elem -> S.Usort ("Seq$" ^ ty_mangle elem ^ if heap then "$h" else "")
+  | Vir.TData n -> if heap then ref_sort else S.Usort ("Data$" ^ n)
+
+(* ------------------------------------------------------------------ *)
+(* Sequences                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type seq_syms = {
+  s_sort : S.t;
+  s_len : T.sym;
+  s_index : T.sym;
+  s_empty : T.sym;
+  s_push : T.sym;
+  s_skip : T.sym;
+  s_take : T.sym;
+  s_update : T.sym;
+  s_append : T.sym;
+}
+
+let seq_syms_for ~heap elem_ty =
+  let s = sort_of_ty ~heap (Vir.TSeq elem_ty) in
+  let e = sort_of_ty ~heap elem_ty in
+  let m = ty_mangle elem_ty ^ if heap then "$h" else "" in
+  {
+    s_sort = s;
+    s_len = T.Sym.declare ("seq." ^ m ^ ".len") [ s ] S.Int;
+    s_index = T.Sym.declare ("seq." ^ m ^ ".index") [ s; S.Int ] e;
+    s_empty = T.Sym.declare ("seq." ^ m ^ ".empty") [] s;
+    s_push = T.Sym.declare ("seq." ^ m ^ ".push") [ s; e ] s;
+    s_skip = T.Sym.declare ("seq." ^ m ^ ".skip") [ s; S.Int ] s;
+    s_take = T.Sym.declare ("seq." ^ m ^ ".take") [ s; S.Int ] s;
+    s_update = T.Sym.declare ("seq." ^ m ^ ".update") [ s; S.Int; e ] s;
+    s_append = T.Sym.declare ("seq." ^ m ^ ".append") [ s; s ] s;
+  }
+
+let seq_axioms ~curated ~heap elem_ty =
+  let sy = seq_syms_for ~heap elem_ty in
+  let s_sort = sy.s_sort and e_sort = sort_of_ty ~heap elem_ty in
+  let s = T.bvar "s" s_sort
+  and t = T.bvar "t" s_sort
+  and x = T.bvar "x" e_sort
+  and i = T.bvar "i" S.Int
+  and k = T.bvar "k" S.Int in
+  let len a = T.app sy.s_len [ a ] in
+  let idx a j = T.app sy.s_index [ a; j ] in
+  let push a b = T.app sy.s_push [ a; b ] in
+  let skip a j = T.app sy.s_skip [ a; j ] in
+  let take a j = T.app sy.s_take [ a; j ] in
+  let update a j b = T.app sy.s_update [ a; j; b ] in
+  let append a b = T.app sy.s_append [ a; b ] in
+  let fa vars ~trigger body =
+    if curated then T.forall ~triggers:[ trigger ] vars body else T.forall vars body
+  in
+  [
+    (* len(empty) = 0 *)
+    T.eq (len (T.app sy.s_empty [])) (T.int_of 0);
+    (* len nonnegative *)
+    fa [ ("s", s_sort) ] ~trigger:[ len s ] (T.ge (len s) (T.int_of 0));
+    (* push: length *)
+    fa
+      [ ("s", s_sort); ("x", e_sort) ]
+      ~trigger:[ push s x ]
+      (T.eq (len (push s x)) (T.add [ len s; T.int_of 1 ]));
+    (* push: contents *)
+    fa
+      [ ("s", s_sort); ("x", e_sort); ("i", S.Int) ]
+      ~trigger:[ idx (push s x) i ]
+      (T.and_
+         [
+           T.implies
+             (T.and_ [ T.le (T.int_of 0) i; T.lt i (len s) ])
+             (T.eq (idx (push s x) i) (idx s i));
+           T.implies (T.eq i (len s)) (T.eq (idx (push s x) i) x);
+         ]);
+    (* skip: length *)
+    fa
+      [ ("s", s_sort); ("k", S.Int) ]
+      ~trigger:[ skip s k ]
+      (T.implies
+         (T.and_ [ T.le (T.int_of 0) k; T.le k (len s) ])
+         (T.eq (len (skip s k)) (T.sub (len s) k)));
+    (* skip: contents *)
+    fa
+      [ ("s", s_sort); ("k", S.Int); ("i", S.Int) ]
+      ~trigger:[ idx (skip s k) i ]
+      (T.implies
+         (T.and_ [ T.le (T.int_of 0) k; T.le (T.int_of 0) i; T.lt i (T.sub (len s) k) ])
+         (T.eq (idx (skip s k) i) (idx s (T.add [ i; k ]))));
+    (* take: length *)
+    fa
+      [ ("s", s_sort); ("k", S.Int) ]
+      ~trigger:[ take s k ]
+      (T.implies
+         (T.and_ [ T.le (T.int_of 0) k; T.le k (len s) ])
+         (T.eq (len (take s k)) k));
+    (* take: contents *)
+    fa
+      [ ("s", s_sort); ("k", S.Int); ("i", S.Int) ]
+      ~trigger:[ idx (take s k) i ]
+      (T.implies
+         (T.and_ [ T.le (T.int_of 0) i; T.lt i k; T.le k (len s) ])
+         (T.eq (idx (take s k) i) (idx s i)));
+    (* update: length *)
+    fa
+      [ ("s", s_sort); ("k", S.Int); ("x", e_sort) ]
+      ~trigger:[ update s k x ]
+      (T.eq (len (update s k x)) (len s));
+    (* update: contents *)
+    fa
+      [ ("s", s_sort); ("k", S.Int); ("x", e_sort); ("i", S.Int) ]
+      ~trigger:[ idx (update s k x) i ]
+      (T.and_
+         [
+           T.implies
+             (T.and_ [ T.le (T.int_of 0) k; T.lt k (len s); T.eq i k ])
+             (T.eq (idx (update s k x) i) x);
+           T.implies (T.not_ (T.eq i k)) (T.eq (idx (update s k x) i) (idx s i));
+         ]);
+    (* append: length *)
+    fa
+      [ ("s", s_sort); ("t", s_sort) ]
+      ~trigger:[ append s t ]
+      (T.eq (len (append s t)) (T.add [ len s; len t ]));
+    (* append: contents *)
+    fa
+      [ ("s", s_sort); ("t", s_sort); ("i", S.Int) ]
+      ~trigger:[ idx (append s t) i ]
+      (T.and_
+         [
+           T.implies
+             (T.and_ [ T.le (T.int_of 0) i; T.lt i (len s) ])
+             (T.eq (idx (append s t) i) (idx s i));
+           T.implies
+             (T.and_ [ T.le (len s) i; T.lt i (T.add [ len s; len t ]) ])
+             (T.eq (idx (append s t) i) (idx t (T.sub i (len s))));
+         ]);
+  ]
+
+let seq_ext_hypothesis ~heap elem_ty a b =
+  let sy = seq_syms_for ~heap elem_ty in
+  let len x = T.app sy.s_len [ x ] in
+  let idx x j = T.app sy.s_index [ x; j ] in
+  let i = T.bvar "i!ext" S.Int in
+  T.implies
+    (T.and_
+       [
+         T.eq (len a) (len b);
+         T.forall
+           ~triggers:[ [ idx a i ] ]
+           [ ("i!ext", S.Int) ]
+           (T.implies
+              (T.and_ [ T.le (T.int_of 0) i; T.lt i (len a) ])
+              (T.eq (idx a i) (idx b i)));
+       ])
+    (T.eq a b)
+
+(* ------------------------------------------------------------------ *)
+(* Datatypes (ownership encoding)                                      *)
+(* ------------------------------------------------------------------ *)
+
+type data_syms = {
+  d_sort : S.t;
+  d_ctors : (string * T.sym) list;
+  d_testers : (string * T.sym) list;
+  d_selectors : (string * T.sym) list;
+}
+
+let data_syms_for (d : Vir.datatype) =
+  let sort = S.Usort ("Data$" ^ d.Vir.dname) in
+  let ctors =
+    List.map
+      (fun (vn, fields) ->
+        let args = List.map (fun (_, t) -> sort_of_ty ~heap:false t) fields in
+        (vn, T.Sym.declare (d.Vir.dname ^ "." ^ vn) args sort))
+      d.Vir.variants
+  in
+  let testers =
+    List.map
+      (fun (vn, _) -> (vn, T.Sym.declare (d.Vir.dname ^ ".is_" ^ vn) [ sort ] S.Bool))
+      d.Vir.variants
+  in
+  let selectors =
+    List.concat_map
+      (fun (_, fields) ->
+        List.map
+          (fun (fn, ft) ->
+            (fn, T.Sym.declare (d.Vir.dname ^ ".get_" ^ fn) [ sort ] (sort_of_ty ~heap:false ft)))
+          fields)
+      d.Vir.variants
+  in
+  { d_sort = sort; d_ctors = ctors; d_testers = testers; d_selectors = selectors }
+
+let data_axioms ~curated (d : Vir.datatype) =
+  let sy = data_syms_for d in
+  let fa vars ~trigger body =
+    if curated then T.forall ~triggers:[ trigger ] vars body else T.forall vars body
+  in
+  let x = T.bvar "x" sy.d_sort in
+  let per_variant (vn, fields) =
+    let ctor = List.assoc vn sy.d_ctors in
+    let vars = List.mapi (fun j (fn, ft) -> (Printf.sprintf "a%d_%s" j fn, ft)) fields in
+    let bvars =
+      List.map (fun (nm, ft) -> T.bvar nm (sort_of_ty ~heap:false ft)) vars
+    in
+    let qvars = List.map (fun (nm, ft) -> (nm, sort_of_ty ~heap:false ft)) vars in
+    let made = if bvars = [] then T.const ctor else T.app ctor bvars in
+    let mk_forall body =
+      if qvars = [] then body else fa qvars ~trigger:[ made ] body
+    in
+    (* Selectors invert the constructor. *)
+    let sel_axioms =
+      List.map2
+        (fun (fn, _) bv -> mk_forall (T.eq (T.app (List.assoc fn sy.d_selectors) [ made ]) bv))
+        fields bvars
+    in
+    (* Tester true on own constructor, false on others. *)
+    let tester_axioms =
+      List.map
+        (fun (vn2, _) ->
+          let tst = T.app (List.assoc vn2 sy.d_testers) [ made ] in
+          mk_forall (if String.equal vn vn2 then tst else T.not_ tst))
+        d.Vir.variants
+    in
+    (* Inversion: a value of this variant equals its reconstruction. *)
+    let inversion =
+      let recon_args =
+        List.map (fun (fn, _) -> T.app (List.assoc fn sy.d_selectors) [ x ]) fields
+      in
+      let recon = if recon_args = [] then T.const ctor else T.app ctor recon_args in
+      fa
+        [ ("x", sy.d_sort) ]
+        ~trigger:[ T.app (List.assoc vn sy.d_testers) [ x ] ]
+        (T.implies (T.app (List.assoc vn sy.d_testers) [ x ]) (T.eq x recon))
+    in
+    sel_axioms @ tester_axioms @ [ inversion ]
+  in
+  (* Exhaustiveness: every value is one of the variants. *)
+  let exhaustive =
+    let tests = List.map (fun (vn, _) -> T.app (List.assoc vn sy.d_testers) [ x ]) d.Vir.variants in
+    if curated then
+      T.forall
+        ~triggers:(List.map (fun t -> [ t ]) tests)
+        [ ("x", sy.d_sort) ] (T.or_ tests)
+    else T.forall [ ("x", sy.d_sort) ] (T.or_ tests)
+  in
+  exhaustive :: List.concat_map per_variant d.Vir.variants
+
+(* ------------------------------------------------------------------ *)
+(* Heap encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let box_sort = S.Usort "Box"
+
+(* Dafny's heap is polymorphic: stored values are boxed.  Each value sort
+   gets box/unbox functions with the two roundtrip axioms; every heap read
+   in the encoding goes through an unbox — the per-access indirection that
+   inflates Dafny-style queries. *)
+let box_syms (vs : S.t) =
+  let m = S.to_string vs in
+  ( T.Sym.declare ("box$" ^ m) [ vs ] box_sort,
+    T.Sym.declare ("unbox$" ^ m) [ box_sort ] vs )
+
+let box_axioms ~curated (vs : S.t) =
+  let bx, ub = box_syms vs in
+  let x = T.bvar "x" vs in
+  let b = T.bvar "b" box_sort in
+  let ax1 = T.eq (T.app ub [ T.app bx [ x ] ]) x in
+  let ax2 = T.eq (T.app bx [ T.app ub [ b ] ]) b in
+  [
+    (if curated then T.forall ~triggers:[ [ T.app bx [ x ] ] ] [ ("x", vs) ] ax1
+     else T.forall [ ("x", vs) ] ax1);
+    (if curated then T.forall ~triggers:[ [ T.app ub [ b ] ] ] [ ("b", box_sort) ] ax2
+     else T.forall [ ("b", box_sort) ] ax2);
+  ]
+
+(* Allocatedness predicate (Dafny's $IsAlloc): lets proofs conclude that
+   pre-existing references differ from fresh allocations. *)
+let alloc_sym = T.Sym.declare "heap.alloc" [ heap_sort; ref_sort ] S.Bool
+
+type heap_syms = {
+  h_tag_rd : T.sym;
+  h_tag_wr : T.sym;
+  h_fields : (string * (T.sym * T.sym)) list;
+}
+
+let heap_syms_for (_p : Vir.program) (d : Vir.datatype) =
+  let fields = List.concat_map snd d.Vir.variants in
+  {
+    h_tag_rd = T.Sym.declare ("rd." ^ d.Vir.dname ^ ".tag") [ heap_sort; ref_sort ] S.Int;
+    h_tag_wr = T.Sym.declare ("wr." ^ d.Vir.dname ^ ".tag") [ heap_sort; ref_sort; S.Int ] heap_sort;
+    h_fields =
+      List.map
+        (fun (fn, _ft) ->
+          (* Fields store boxed values (polymorphic heap). *)
+          ( fn,
+            ( T.Sym.declare ("rd." ^ d.Vir.dname ^ "." ^ fn) [ heap_sort; ref_sort ] box_sort,
+              T.Sym.declare
+                ("wr." ^ d.Vir.dname ^ "." ^ fn)
+                [ heap_sort; ref_sort; box_sort ]
+                heap_sort ) ))
+        fields;
+  }
+
+let heap_axioms ~curated (p : Vir.program) =
+  (* Gather every (rd, wr, value sort) triple in the program, tags
+     included, then emit the full frame matrix. *)
+  let accessors =
+    List.concat_map
+      (fun d ->
+        let hs = heap_syms_for p d in
+        (hs.h_tag_rd, hs.h_tag_wr, S.Int)
+        :: List.map (fun (_, (rd, wr)) -> (rd, wr, (wr : T.sym).T.sargs |> fun l -> List.nth l 2)) hs.h_fields)
+      p.Vir.datatypes
+  in
+  (* Box/unbox roundtrips for every value sort stored in the heap. *)
+  let value_sorts =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun d ->
+           List.map (fun (_, ft) -> sort_of_ty ~heap:true ft) (List.concat_map snd d.Vir.variants))
+         p.Vir.datatypes)
+  in
+  let boxing = List.concat_map (fun vs -> box_axioms ~curated vs) value_sorts in
+  (* Allocatedness machinery (Dafny's $IsAlloc):
+     1. writes preserve allocatedness;
+     2. fields of allocated objects are allocated (reachability), both for
+        direct datatype fields and through sequence containers. *)
+  let h = T.bvar "h" heap_sort in
+  let r = T.bvar "r" ref_sort in
+  let rho = T.bvar "rho" ref_sort in
+  let alloc_axioms =
+    List.concat_map
+      (fun d ->
+        let hs = heap_syms_for p d in
+        let wr_pres (wr : T.sym) vs =
+          let x = T.bvar "v" vs in
+          let body =
+            T.implies
+              (T.app alloc_sym [ h; rho ])
+              (T.app alloc_sym [ T.app wr [ h; r; x ]; rho ])
+          in
+          if curated then
+            T.forall
+              ~triggers:[ [ T.app alloc_sym [ T.app wr [ h; r; x ]; rho ] ] ]
+              [ ("h", heap_sort); ("r", ref_sort); ("v", vs); ("rho", ref_sort) ]
+              body
+          else
+            T.forall
+              [ ("h", heap_sort); ("r", ref_sort); ("v", vs); ("rho", ref_sort) ]
+              body
+        in
+        let pres =
+          wr_pres hs.h_tag_wr S.Int
+          :: List.map (fun (_, (_, wr)) -> wr_pres wr box_sort) hs.h_fields
+        in
+        (* Reachability per field. *)
+        let fields = List.concat_map snd d.Vir.variants in
+        let reach =
+          List.concat_map
+            (fun (fn, ft) ->
+              let rd, _ = List.assoc fn hs.h_fields in
+              let read = T.app rd [ h; rho ] in
+              match ft with
+              | Vir.TData _ ->
+                let _, ub = box_syms ref_sort in
+                let target = T.app ub [ read ] in
+                [
+                  (if curated then
+                     (* Fire from the read itself or goal-directed. *)
+                     T.forall
+                       ~triggers:[ [ read ]; [ T.app alloc_sym [ h; target ] ] ]
+                       [ ("h", heap_sort); ("rho", ref_sort) ]
+                       (T.implies (T.app alloc_sym [ h; rho ]) (T.app alloc_sym [ h; target ]))
+                   else
+                     T.forall
+                       [ ("h", heap_sort); ("rho", ref_sort) ]
+                       (T.implies (T.app alloc_sym [ h; rho ]) (T.app alloc_sym [ h; target ])));
+                ]
+              | Vir.TSeq (Vir.TData _ as elem) ->
+                let seq_sort = sort_of_ty ~heap:true ft in
+                let _, ub = box_syms seq_sort in
+                let sy = seq_syms_for ~heap:true elem in
+                ignore sy;
+                let seq_val = T.app ub [ read ] in
+                let k = T.bvar "k" S.Int in
+                let elem_ref = T.app (seq_syms_for ~heap:true elem).s_index [ seq_val; k ] in
+                [
+                  (if curated then
+                     (* The element access itself triggers; the heap/rho
+                        pair comes from the read, k from the index term. *)
+                     T.forall
+                       ~triggers:[ [ elem_ref ]; [ T.app alloc_sym [ h; elem_ref ] ] ]
+                       [ ("h", heap_sort); ("rho", ref_sort); ("k", S.Int) ]
+                       (T.implies (T.app alloc_sym [ h; rho ]) (T.app alloc_sym [ h; elem_ref ]))
+                   else
+                     T.forall
+                       [ ("h", heap_sort); ("rho", ref_sort); ("k", S.Int) ]
+                       (T.implies (T.app alloc_sym [ h; rho ]) (T.app alloc_sym [ h; elem_ref ])));
+                ]
+              | _ -> [])
+            fields
+        in
+        pres @ reach)
+      p.Vir.datatypes
+  in
+  boxing @ alloc_axioms @
+  let fa vars ~trigger body =
+    if curated then T.forall ~triggers:[ trigger ] vars body else T.forall vars body
+  in
+  let h = T.bvar "h" heap_sort
+  and r = T.bvar "r" ref_sort
+  and r' = T.bvar "r2" ref_sort in
+  (* Typing axioms: variant tags are well-formed for every reference (the
+     role Dafny's type axioms play). *)
+  let tag_range =
+    List.map
+      (fun d ->
+        let hs = heap_syms_for p d in
+        let rd = T.app hs.h_tag_rd [ h; r ] in
+        let body =
+          T.and_
+            [ T.le (T.int_of 0) rd; T.lt rd (T.int_of (List.length d.Vir.variants)) ]
+        in
+        if curated then T.forall ~triggers:[ [ rd ] ] [ ("h", heap_sort); ("r", ref_sort) ] body
+        else T.forall [ ("h", heap_sort); ("r", ref_sort) ] body)
+      p.Vir.datatypes
+  in
+  tag_range
+  @ List.concat_map
+    (fun (rd, _, _) ->
+      List.concat_map
+        (fun (rd2, wr2, vs2) ->
+          let x = T.bvar "v" vs2 in
+          if T.Sym.equal rd rd2 then
+            [
+              (* Read over same-field write: hit and miss. *)
+              fa
+                [ ("h", heap_sort); ("r", ref_sort); ("v", vs2) ]
+                ~trigger:[ T.app rd [ T.app wr2 [ h; r; x ]; r ] ]
+                (T.eq (T.app rd [ T.app wr2 [ h; r; x ]; r ]) x);
+              fa
+                [ ("h", heap_sort); ("r", ref_sort); ("r2", ref_sort); ("v", vs2) ]
+                ~trigger:[ T.app rd [ T.app wr2 [ h; r; x ]; r' ] ]
+                (T.implies (T.not_ (T.eq r r'))
+                   (T.eq (T.app rd [ T.app wr2 [ h; r; x ]; r' ]) (T.app rd [ h; r' ])));
+            ]
+          else
+            [
+              (* Read over different-field write: commutes. *)
+              fa
+                [ ("h", heap_sort); ("r", ref_sort); ("r2", ref_sort); ("v", vs2) ]
+                ~trigger:[ T.app rd [ T.app wr2 [ h; r; x ]; r' ] ]
+                (T.eq (T.app rd [ T.app wr2 [ h; r; x ]; r' ]) (T.app rd [ h; r' ]));
+            ])
+        accessors)
+    accessors

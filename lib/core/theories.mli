@@ -1,0 +1,74 @@
+(** SMT theory encodings for VIR types: sequences, algebraic datatypes, and
+    the Dafny-style heap.
+
+    Everything here is expressed as uninterpreted functions plus quantified
+    axioms, which is how SMT program verifiers actually encode these
+    theories; the instantiation cost of these axioms under different trigger
+    policies is precisely what the paper's §3.1 performance results measure.
+    With [curated = true] the axioms carry the hand-picked minimal triggers
+    a Verus-style tool ships; otherwise trigger selection is left to the
+    solver policy. *)
+
+type seq_syms = {
+  s_sort : Smt.Sort.t;
+  s_len : Smt.Term.sym;
+  s_index : Smt.Term.sym;
+  s_empty : Smt.Term.sym;
+  s_push : Smt.Term.sym;
+  s_skip : Smt.Term.sym;
+  s_take : Smt.Term.sym;
+  s_update : Smt.Term.sym;
+  s_append : Smt.Term.sym;
+}
+
+val sort_of_ty : heap:bool -> Vir.ty -> Smt.Sort.t
+(** With [heap = true], datatype values are references ([Ref]). *)
+
+val ref_sort : Smt.Sort.t
+val heap_sort : Smt.Sort.t
+
+val seq_syms_for : heap:bool -> Vir.ty -> seq_syms
+(** Symbols of the sequence theory at the given element type. *)
+
+val seq_axioms : curated:bool -> heap:bool -> Vir.ty -> Smt.Term.t list
+
+val seq_ext_hypothesis : heap:bool -> Vir.ty -> Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+(** The instantiated extensionality fact for two sequence terms: pointwise
+    equality at equal length implies equality.  The encoder injects this for
+    [=~=]-style assertions (matching Verus's explicit extensional-equality
+    operator). *)
+
+(** Ownership-encoding datatype symbols. *)
+type data_syms = {
+  d_sort : Smt.Sort.t;
+  d_ctors : (string * Smt.Term.sym) list;  (** variant -> constructor *)
+  d_testers : (string * Smt.Term.sym) list;
+  d_selectors : (string * Smt.Term.sym) list;  (** field -> selector *)
+}
+
+val data_syms_for : Vir.datatype -> data_syms
+val data_axioms : curated:bool -> Vir.datatype -> Smt.Term.t list
+
+val box_sort : Smt.Sort.t
+
+val box_syms : Smt.Sort.t -> Smt.Term.sym * Smt.Term.sym
+(** (box, unbox) functions for a stored value sort — the heap is
+    polymorphic, Dafny-style. *)
+
+(** Heap-encoding symbols for a datatype: per-field read/write functions
+    over a global heap (boxed values), plus a variant tag. *)
+type heap_syms = {
+  h_tag_rd : Smt.Term.sym;
+  h_tag_wr : Smt.Term.sym;
+  h_fields : (string * (Smt.Term.sym * Smt.Term.sym)) list;  (** field -> (rd, wr) *)
+}
+
+val heap_syms_for : Vir.program -> Vir.datatype -> heap_syms
+
+val alloc_sym : Smt.Term.sym
+(** Allocatedness predicate (Dafny's [$IsAlloc]): freshness of allocations
+    against pre-existing references flows through it. *)
+
+val heap_axioms : curated:bool -> Vir.program -> Smt.Term.t list
+(** The full frame-axiom matrix over every field of every datatype in the
+    program (quadratic, as in Dafny-style encodings). *)

@@ -1,0 +1,276 @@
+open Vir
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let is_int = function TInt _ -> true | _ -> false
+
+(* Arithmetic result kind: like Verus, bounded kinds stay bounded only when
+   both sides agree; mixing produces a mathematical int (spec-level). *)
+let join_int a b =
+  match (a, b) with
+  | TInt k1, TInt k2 when k1 = k2 -> TInt k1
+  | TInt _, TInt _ -> TInt I_math
+  | _ -> fail "arithmetic on non-integers"
+
+let rec ty_of_expr (p : program) env (e : expr) : ty =
+  match e with
+  | EVar x | EOld x -> (
+    match List.assoc_opt x env with
+    | Some t -> t
+    | None -> fail "unbound variable %s" x)
+  | EBool _ -> TBool
+  | EInt _ -> TInt I_math
+  | EUnop (Not, a) ->
+    if ty_of_expr p env a <> TBool then fail "not on non-bool";
+    TBool
+  | EUnop (Neg, a) ->
+    let t = ty_of_expr p env a in
+    if not (is_int t) then fail "negation of non-integer";
+    TInt I_math
+  | EBinop (op, a, b) -> (
+    let ta = ty_of_expr p env a and tb = ty_of_expr p env b in
+    match op with
+    | Add | Sub | Mul | Div | Mod ->
+      if not (is_int ta && is_int tb) then fail "arithmetic on non-integers";
+      join_int ta tb
+    | BitAnd | BitOr | BitXor | Shl | Shr -> (
+      (* Bounded kinds must agree; integer literals (typed as math ints)
+         adapt to the bounded side's width. *)
+      match (ta, tb) with
+      | TInt k1, TInt k2 when k1 = k2 && k1 <> I_math -> TInt k1
+      | TInt k, TInt I_math when k <> I_math -> TInt k
+      | TInt I_math, TInt k when k <> I_math -> TInt k
+      | TInt _, TInt _ -> fail "bitwise operators need at least one bounded operand"
+      | _ -> fail "bitwise operators on non-integers")
+    | Lt | Le | Gt | Ge ->
+      if not (is_int ta && is_int tb) then fail "comparison on non-integers";
+      TBool
+    | Eq | Ne ->
+      (* Integer kinds compare freely; other types must match exactly. *)
+      if is_int ta && is_int tb then TBool
+      else if ty_equal ta tb then TBool
+      else fail "equality between %s and %s" (ty_to_string ta) (ty_to_string tb)
+    | And | Or | Implies ->
+      if ta <> TBool || tb <> TBool then fail "boolean operator on non-bools";
+      TBool)
+  | EIte (c, a, b) ->
+    if ty_of_expr p env c <> TBool then fail "ite condition not bool";
+    let ta = ty_of_expr p env a and tb = ty_of_expr p env b in
+    if is_int ta && is_int tb then join_int ta tb
+    else if ty_equal ta tb then ta
+    else fail "ite branches disagree: %s vs %s" (ty_to_string ta) (ty_to_string tb)
+  | ECall (f, args) -> (
+    match List.find_opt (fun fd -> String.equal fd.fname f) p.functions with
+    | None -> fail "unknown function %s" f
+    | Some fd ->
+      if fd.fmode <> Spec then fail "%s is not a spec function (expression calls are spec-only)" f;
+      if List.length args <> List.length fd.params then fail "arity mismatch calling %s" f;
+      List.iter2
+        (fun (prm : param) a ->
+          let ta = ty_of_expr p env a in
+          if not (ty_equal prm.pty ta || (is_int prm.pty && is_int ta)) then
+            fail "argument type mismatch calling %s: expected %s, got %s" f
+              (ty_to_string prm.pty) (ty_to_string ta))
+        fd.params args;
+      (match fd.ret with Some (_, t) -> t | None -> fail "spec function %s has no result" f))
+  | ECtor (dname, vname, args) -> (
+    match List.find_opt (fun d -> String.equal d.dname dname) p.datatypes with
+    | None -> fail "unknown datatype %s" dname
+    | Some d -> (
+      match List.assoc_opt vname d.variants with
+      | None -> fail "unknown variant %s::%s" dname vname
+      | Some fields ->
+        if List.length fields <> List.length args then fail "arity mismatch for %s::%s" dname vname;
+        List.iter2
+          (fun (fname, fty) a ->
+            let ta = ty_of_expr p env a in
+            if not (ty_equal fty ta || (is_int fty && is_int ta)) then
+              fail "field %s of %s::%s: expected %s, got %s" fname dname vname
+                (ty_to_string fty) (ty_to_string ta))
+          fields args;
+        TData dname))
+  | EField (e1, fname) -> (
+    match ty_of_expr p env e1 with
+    | TData dname -> (
+      let d = find_datatype p dname in
+      let all_fields = List.concat_map snd d.variants in
+      match List.assoc_opt fname all_fields with
+      | Some t -> t
+      | None -> fail "datatype %s has no field %s" dname fname)
+    | t -> fail "field access on non-datatype %s" (ty_to_string t))
+  | EIs (e1, vname) -> (
+    match ty_of_expr p env e1 with
+    | TData dname ->
+      let d = find_datatype p dname in
+      if not (List.mem_assoc vname d.variants) then fail "datatype %s has no variant %s" dname vname;
+      TBool
+    | t -> fail "variant test on non-datatype %s" (ty_to_string t))
+  | ESeq op -> (
+    match op with
+    | SeqEmpty t -> TSeq t
+    | SeqLen s -> (
+      match ty_of_expr p env s with
+      | TSeq _ -> TInt I_math
+      | t -> fail "len of non-seq %s" (ty_to_string t))
+    | SeqIndex (s, idx) -> (
+      if not (is_int (ty_of_expr p env idx)) then fail "seq index not integer";
+      match ty_of_expr p env s with
+      | TSeq t -> t
+      | t -> fail "index of non-seq %s" (ty_to_string t))
+    | SeqPush (s, x) -> (
+      match ty_of_expr p env s with
+      | TSeq t ->
+        let tx = ty_of_expr p env x in
+        if not (ty_equal t tx || (is_int t && is_int tx)) then fail "push element type mismatch";
+        TSeq t
+      | t -> fail "push on non-seq %s" (ty_to_string t))
+    | SeqSkip (s, k) | SeqTake (s, k) -> (
+      if not (is_int (ty_of_expr p env k)) then fail "skip/take count not integer";
+      match ty_of_expr p env s with
+      | TSeq t -> TSeq t
+      | t -> fail "skip/take on non-seq %s" (ty_to_string t))
+    | SeqUpdate (s, idx, x) -> (
+      if not (is_int (ty_of_expr p env idx)) then fail "update index not integer";
+      match ty_of_expr p env s with
+      | TSeq t ->
+        let tx = ty_of_expr p env x in
+        if not (ty_equal t tx || (is_int t && is_int tx)) then fail "update element type mismatch";
+        TSeq t
+      | t -> fail "update on non-seq %s" (ty_to_string t))
+    | SeqAppend (s1, s2) -> (
+      match (ty_of_expr p env s1, ty_of_expr p env s2) with
+      | TSeq t1, TSeq t2 when ty_equal t1 t2 -> TSeq t1
+      | _ -> fail "append of mismatched seqs"))
+  | EForall (vars, _, body) | EExists (vars, _, body) ->
+    let env = List.map (fun (x, t) -> (x, t)) vars @ env in
+    if ty_of_expr p env body <> TBool then fail "quantifier body not bool";
+    TBool
+
+(* --- statements ------------------------------------------------------- *)
+
+let rec check_stmts p fd env stmts =
+  match stmts with
+  | [] -> ()
+  | s :: rest ->
+    let env' = check_stmt p fd env s in
+    check_stmts p fd env' rest
+
+and check_stmt p fd env s : (string * ty) list =
+  match s with
+  | SLet (x, t, e) ->
+    if List.mem_assoc x env then fail "shadowing of %s (not allowed in VIR)" x;
+    let te = ty_of_expr p env e in
+    if not (ty_equal t te || (is_int t && is_int te)) then
+      fail "let %s: declared %s, got %s" x (ty_to_string t) (ty_to_string te);
+    (x, t) :: env
+  | SAssign (x, e) ->
+    let t =
+      match List.assoc_opt x env with
+      | Some t -> t
+      | None -> fail "assignment to unbound %s" x
+    in
+    let te = ty_of_expr p env e in
+    if not (ty_equal t te || (is_int t && is_int te)) then
+      fail "assign %s: expected %s, got %s" x (ty_to_string t) (ty_to_string te);
+    env
+  | SIf (c, a, b) ->
+    if ty_of_expr p env c <> TBool then fail "if condition not bool";
+    check_stmts p fd env a;
+    check_stmts p fd env b;
+    env
+  | SWhile { cond; invariants; decreases; body } ->
+    if ty_of_expr p env cond <> TBool then fail "while condition not bool";
+    List.iter (fun inv -> if ty_of_expr p env inv <> TBool then fail "invariant not bool") invariants;
+    (match decreases with
+    | Some d -> if not (is_int (ty_of_expr p env d)) then fail "decreases measure not an integer"
+    | None -> ());
+    check_stmts p fd env body;
+    env
+  | SCall (binding, f, args) -> (
+    match List.find_opt (fun g -> String.equal g.fname f) p.functions with
+    | None -> fail "unknown function %s" f
+    | Some callee ->
+      if callee.fmode = Spec then fail "exec call to spec function %s (use ECall)" f;
+      if List.length args <> List.length callee.params then fail "arity mismatch calling %s" f;
+      List.iter2
+        (fun (prm : param) a ->
+          (if prm.pmut then
+             match a with
+             | EVar _ -> ()
+             | _ -> fail "&mut argument of %s must be a variable" f);
+          let ta = ty_of_expr p env a in
+          if not (ty_equal prm.pty ta || (is_int prm.pty && is_int ta)) then
+            fail "argument type mismatch calling %s" f)
+        callee.params args;
+      (match (binding, callee.ret) with
+      | Some x, Some (_, t) ->
+        if List.mem_assoc x env then fail "shadowing of %s" x;
+        (x, t) :: env
+      | Some _, None -> fail "binding result of unit function %s" f
+      | None, _ -> env))
+  | SAssert (e, _) | SAssume e ->
+    if ty_of_expr p env e <> TBool then fail "assert/assume not bool";
+    env
+  | SReturn eo ->
+    (match (eo, fd.ret) with
+    | None, None -> ()
+    | Some e, Some (_, t) ->
+      let te = ty_of_expr p env e in
+      if not (ty_equal t te || (is_int t && is_int te)) then fail "return type mismatch"
+    | Some _, None -> fail "return value from unit function"
+    | None, Some _ -> fail "missing return value");
+    env
+
+let check_fn p fd =
+  let env = List.map (fun (prm : param) -> (prm.pname, prm.pty)) fd.params in
+  let env_with_ret =
+    match fd.ret with Some (r, t) -> (r, t) :: env | None -> env
+  in
+  (* Specs. *)
+  List.iter
+    (fun e -> if ty_of_expr p env e <> TBool then fail "requires clause not bool")
+    fd.requires;
+  List.iter
+    (fun e -> if ty_of_expr p env_with_ret e <> TBool then fail "ensures clause not bool")
+    fd.ensures;
+  (match fd.fmode with
+  | Spec -> (
+    if fd.body <> None then fail "spec function with statement body";
+    match fd.spec_body with
+    | Some e ->
+      let te = ty_of_expr p env e in
+      let rt = match fd.ret with Some (_, t) -> t | None -> fail "spec fn without result type" in
+      if not (ty_equal rt te || (is_int rt && is_int te)) then fail "spec body type mismatch"
+    | None -> () (* uninterpreted spec function *))
+  | Proof | Exec -> (
+    if fd.spec_body <> None then fail "non-spec function with spec body";
+    match fd.body with
+    | Some stmts -> check_stmts p fd env stmts
+    | None -> () (* trusted external *)));
+  ()
+
+let check_program p =
+  let errors = ref [] in
+  (* Datatype sanity. *)
+  let dnames = List.map (fun d -> d.dname) p.datatypes in
+  if List.length dnames <> List.length (List.sort_uniq compare dnames) then
+    errors := "duplicate datatype names" :: !errors;
+  List.iter
+    (fun d ->
+      let vnames = List.map fst d.variants in
+      if List.length vnames <> List.length (List.sort_uniq compare vnames) then
+        errors := Printf.sprintf "duplicate variants in %s" d.dname :: !errors;
+      (* Field names must be unique across variants (selector namespace). *)
+      let fnames = List.map fst (List.concat_map snd d.variants) in
+      if List.length fnames <> List.length (List.sort_uniq compare fnames) then
+        errors := Printf.sprintf "duplicate field names in %s" d.dname :: !errors)
+    p.datatypes;
+  let fnames = List.map (fun f -> f.fname) p.functions in
+  if List.length fnames <> List.length (List.sort_uniq compare fnames) then
+    errors := "duplicate function names" :: !errors;
+  List.iter
+    (fun fd ->
+      try check_fn p fd
+      with Failure msg -> errors := Printf.sprintf "%s: %s" fd.fname msg :: !errors)
+    p.functions;
+  if !errors = [] then Ok () else Error (List.rev !errors)

@@ -1,0 +1,14 @@
+(** Type and mode checking for VIR programs.
+
+    Validates what the Rust compiler + Verus mode checker would: name
+    resolution, expression typing, spec/proof/exec mode discipline
+    (quantifiers only in specification positions, spec functions pure and
+    total).  Errors are human-readable strings with the enclosing function
+    name. *)
+
+val check_program : Vir.program -> (unit, string list) result
+
+val ty_of_expr : Vir.program -> (string * Vir.ty) list -> Vir.expr -> Vir.ty
+(** Type of an expression in the given variable environment.  Raises
+    [Failure] with a descriptive message on ill-typed input; used by the
+    encoder, which runs after [check_program] has passed. *)

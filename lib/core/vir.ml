@@ -1,0 +1,133 @@
+type mode = Spec | Proof | Exec
+
+type int_kind = I_math | I_u8 | I_u16 | I_u32 | I_u64
+
+type ty = TBool | TInt of int_kind | TSeq of ty | TData of string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Implies
+  | BitAnd
+  | BitOr
+  | BitXor
+  | Shl
+  | Shr
+
+type trigger_attr = Term_auto | Term_explicit of expr list list
+
+and expr =
+  | EVar of string
+  | EOld of string
+  | EBool of bool
+  | EInt of int
+  | EUnop of unop * expr
+  | EBinop of binop * expr * expr
+  | EIte of expr * expr * expr
+  | ECall of string * expr list
+  | ECtor of string * string * expr list
+  | EField of expr * string
+  | EIs of expr * string
+  | ESeq of seq_op
+  | EForall of (string * ty) list * trigger_attr * expr
+  | EExists of (string * ty) list * trigger_attr * expr
+
+and unop = Not | Neg
+
+and seq_op =
+  | SeqEmpty of ty
+  | SeqLen of expr
+  | SeqIndex of expr * expr
+  | SeqPush of expr * expr
+  | SeqSkip of expr * expr
+  | SeqTake of expr * expr
+  | SeqUpdate of expr * expr * expr
+  | SeqAppend of expr * expr
+
+type proof_hint = H_default | H_bit_vector | H_nonlinear | H_integer_ring | H_compute
+
+type stmt =
+  | SLet of string * ty * expr
+  | SAssign of string * expr
+  | SIf of expr * stmt list * stmt list
+  | SWhile of { cond : expr; invariants : expr list; decreases : expr option; body : stmt list }
+  | SCall of string option * string * expr list
+  | SAssert of expr * proof_hint
+  | SAssume of expr
+  | SReturn of expr option
+
+type param = { pname : string; pty : ty; pmut : bool }
+
+type fndecl = {
+  fname : string;
+  fmode : mode;
+  params : param list;
+  ret : (string * ty) option;
+  requires : expr list;
+  ensures : expr list;
+  body : stmt list option;
+  spec_body : expr option;
+  attrs : attr list;
+}
+
+and attr = A_epr_mode | A_opaque
+
+type datatype = { dname : string; variants : (string * (string * ty) list) list }
+
+type program = { datatypes : datatype list; functions : fndecl list }
+
+let v x = EVar x
+let i n = EInt n
+let ( +: ) a b = EBinop (Add, a, b)
+let ( -: ) a b = EBinop (Sub, a, b)
+let ( *: ) a b = EBinop (Mul, a, b)
+let ( <: ) a b = EBinop (Lt, a, b)
+let ( <=: ) a b = EBinop (Le, a, b)
+let ( >: ) a b = EBinop (Gt, a, b)
+let ( >=: ) a b = EBinop (Ge, a, b)
+let ( ==: ) a b = EBinop (Eq, a, b)
+let ( <>: ) a b = EBinop (Ne, a, b)
+let ( &&: ) a b = EBinop (And, a, b)
+let ( ||: ) a b = EBinop (Or, a, b)
+let ( ==>: ) a b = EBinop (Implies, a, b)
+let enot e = EUnop (Not, e)
+
+let find_fn p name = List.find (fun f -> String.equal f.fname name) p.functions
+let find_datatype p name = List.find (fun d -> String.equal d.dname name) p.datatypes
+
+let rec ty_equal a b =
+  match (a, b) with
+  | TBool, TBool -> true
+  | TInt k1, TInt k2 -> k1 = k2
+  | TSeq t1, TSeq t2 -> ty_equal t1 t2
+  | TData n1, TData n2 -> String.equal n1 n2
+  | (TBool | TInt _ | TSeq _ | TData _), _ -> false
+
+let rec ty_to_string = function
+  | TBool -> "bool"
+  | TInt I_math -> "int"
+  | TInt I_u8 -> "u8"
+  | TInt I_u16 -> "u16"
+  | TInt I_u32 -> "u32"
+  | TInt I_u64 -> "u64"
+  | TSeq t -> "Seq<" ^ ty_to_string t ^ ">"
+  | TData n -> n
+
+let int_bounds = function
+  | I_math -> None
+  | I_u8 -> Some (Vbase.Bigint.zero, Vbase.Bigint.of_int 255)
+  | I_u16 -> Some (Vbase.Bigint.zero, Vbase.Bigint.of_int 65535)
+  | I_u32 -> Some (Vbase.Bigint.zero, Vbase.Bigint.of_int 0xFFFFFFFF)
+  | I_u64 ->
+    Some (Vbase.Bigint.zero, Vbase.Bigint.sub (Vbase.Bigint.pow Vbase.Bigint.two 64) Vbase.Bigint.one)

@@ -1,0 +1,142 @@
+(** VIR — the verification intermediate representation.
+
+    This plays the role of the typed, ownership-checked Rust AST that Verus
+    consumes: benchmark and case-study programs are written once as VIR
+    values, then verified under the different framework profiles (ownership
+    vs. heap vs. prophecy encodings, trigger policies, pruning).
+
+    Mirroring the paper's language split (§3.1):
+    - [Spec] functions are pure, total mathematical functions (directly
+      encodable as SMT functions — the key encoding economy Verus gets);
+    - [Proof] functions carry lemmas (no runtime effect);
+    - [Exec] functions are compiled code with requires/ensures, loops with
+      invariants, and bounded integer types whose overflow must be proved
+      absent. *)
+
+type mode = Spec | Proof | Exec
+
+type int_kind = I_math  (** unbounded mathematical int *) | I_u8 | I_u16 | I_u32 | I_u64
+
+type ty =
+  | TBool
+  | TInt of int_kind
+  | TSeq of ty  (** spec-level sequence *)
+  | TData of string  (** declared algebraic datatype *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** Euclidean *)
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Implies
+  | BitAnd
+  | BitOr
+  | BitXor
+  | Shl
+  | Shr
+
+type trigger_attr = Term_auto  (** let the tool pick *) | Term_explicit of expr list list
+
+and expr =
+  | EVar of string
+  | EOld of string  (** pre-state value of a mutable parameter, in ensures *)
+  | EBool of bool
+  | EInt of int
+  | EUnop of unop * expr
+  | EBinop of binop * expr * expr
+  | EIte of expr * expr * expr
+  | ECall of string * expr list  (** spec-function application in specs *)
+  | ECtor of string * string * expr list  (** datatype, variant, args *)
+  | EField of expr * string  (** selector *)
+  | EIs of expr * string  (** variant test *)
+  | ESeq of seq_op
+  | EForall of (string * ty) list * trigger_attr * expr
+  | EExists of (string * ty) list * trigger_attr * expr
+
+and unop = Not | Neg
+
+and seq_op =
+  | SeqEmpty of ty
+  | SeqLen of expr
+  | SeqIndex of expr * expr
+  | SeqPush of expr * expr  (** append one element at the back *)
+  | SeqSkip of expr * expr  (** drop the first k elements *)
+  | SeqTake of expr * expr
+  | SeqUpdate of expr * expr * expr
+  | SeqAppend of expr * expr
+
+type proof_hint = H_default | H_bit_vector | H_nonlinear | H_integer_ring | H_compute
+
+type stmt =
+  | SLet of string * ty * expr  (** let binding (shadowing not allowed) *)
+  | SAssign of string * expr  (** mutation of a local *)
+  | SIf of expr * stmt list * stmt list
+  | SWhile of { cond : expr; invariants : expr list; decreases : expr option; body : stmt list }
+      (** [decreases] is a nonnegative integer measure that must strictly
+          decrease each iteration (termination, as in Verus) *)
+  | SCall of string option * string * expr list
+      (** [SCall (Some x, f, args)] binds the result; mutable arguments are
+          written back by the encoding *)
+  | SAssert of expr * proof_hint
+  | SAssume of expr
+  | SReturn of expr option
+
+type param = { pname : string; pty : ty; pmut : bool  (** &mut parameter *) }
+
+type fndecl = {
+  fname : string;
+  fmode : mode;
+  params : param list;
+  ret : (string * ty) option;
+  requires : expr list;
+  ensures : expr list;
+  body : stmt list option;  (** [None]: trusted external function *)
+  spec_body : expr option;  (** definition, for Spec functions *)
+  attrs : attr list;
+}
+
+and attr = A_epr_mode | A_opaque  (** never unfold the spec body *)
+
+type datatype = {
+  dname : string;
+  variants : (string * (string * ty) list) list;  (** variant, fields *)
+}
+
+type program = { datatypes : datatype list; functions : fndecl list }
+
+(** {2 Convenience constructors} *)
+
+val v : string -> expr
+val i : int -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( ==: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val ( ==>: ) : expr -> expr -> expr
+val enot : expr -> expr
+
+val find_fn : program -> string -> fndecl
+(** Raises [Not_found]. *)
+
+val find_datatype : program -> string -> datatype
+
+val ty_equal : ty -> ty -> bool
+val ty_to_string : ty -> string
+val int_bounds : int_kind -> (Vbase.Bigint.t * Vbase.Bigint.t) option
+(** [None] for mathematical ints; [Some (lo, hi)] inclusive otherwise. *)

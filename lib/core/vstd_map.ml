@@ -1,0 +1,128 @@
+(* A vstd-style verified lemma library for finite maps, stated directly over
+   the SMT theory (the analogue of Verus's [vstd::map] broadcast lemmas).
+
+   Maps are an uninterpreted sort axiomatized by read-over-write, domain and
+   cardinality axioms with curated triggers — the same encoding style
+   [Theories] uses for sequences.  Every lemma below is an obligation
+   discharged by the in-repo solver; nothing is assumed beyond the axioms. *)
+
+module T = Smt.Term
+module S = Smt.Sort
+
+let map_sort = S.Usort "VMap"
+let sel_sym = T.Sym.declare "vmap.sel" [ map_sort; S.Int ] S.Int
+let dom_sym = T.Sym.declare "vmap.dom" [ map_sort; S.Int ] S.Bool
+let store_sym = T.Sym.declare "vmap.store" [ map_sort; S.Int; S.Int ] map_sort
+let remove_sym = T.Sym.declare "vmap.remove" [ map_sort; S.Int ] map_sort
+let empty_sym = T.Sym.declare "vmap.empty" [] map_sort
+let card_sym = T.Sym.declare "vmap.card" [ map_sort ] S.Int
+
+let sel m k = T.app sel_sym [ m; k ]
+let dom m k = T.app dom_sym [ m; k ]
+let store m k v = T.app store_sym [ m; k; v ]
+let remove m k = T.app remove_sym [ m; k ]
+let empty = T.const empty_sym
+let card m = T.app card_sym [ m ]
+let i = T.int_of
+
+let axioms =
+  let m = T.bvar "m" map_sort in
+  let k = T.bvar "k" S.Int
+  and j = T.bvar "j" S.Int
+  and v = T.bvar "v" S.Int in
+  [
+    (* Read-over-write, as one ite-axiom (the case split is the SAT
+       solver's job, not the instantiation engine's). *)
+    T.forall
+      ~triggers:[ [ sel (store m k v) j ] ]
+      [ ("m", map_sort); ("k", S.Int); ("v", S.Int); ("j", S.Int) ]
+      (T.eq (sel (store m k v) j) (T.ite (T.eq j k) v (sel m j)));
+    T.forall
+      ~triggers:[ [ dom (store m k v) j ] ]
+      [ ("m", map_sort); ("k", S.Int); ("v", S.Int); ("j", S.Int) ]
+      (T.iff (dom (store m k v) j) (T.or_ [ T.eq j k; dom m j ]));
+    T.forall
+      ~triggers:[ [ sel (remove m k) j ] ]
+      [ ("m", map_sort); ("k", S.Int); ("j", S.Int) ]
+      (T.implies (T.neq j k) (T.eq (sel (remove m k) j) (sel m j)));
+    T.forall
+      ~triggers:[ [ dom (remove m k) j ] ]
+      [ ("m", map_sort); ("k", S.Int); ("j", S.Int) ]
+      (T.iff (dom (remove m k) j) (T.and_ [ T.neq j k; dom m j ]));
+    T.forall ~triggers:[ [ dom empty k ] ] [ ("k", S.Int) ] (T.not_ (dom empty k));
+    (* Cardinality tracks the domain. *)
+    T.eq (card empty) (i 0);
+    T.forall
+      ~triggers:[ [ card (store m k v) ] ]
+      [ ("m", map_sort); ("k", S.Int); ("v", S.Int) ]
+      (T.eq (card (store m k v)) (T.ite (dom m k) (card m) (T.add [ card m; i 1 ])));
+    T.forall
+      ~triggers:[ [ card (remove m k) ] ]
+      [ ("m", map_sort); ("k", S.Int) ]
+      (T.eq (card (remove m k)) (T.ite (dom m k) (T.sub (card m) (i 1)) (card m)));
+    T.forall ~triggers:[ [ card m ] ] [ ("m", map_sort) ] (T.ge (card m) (i 0));
+  ]
+
+type obligation = { name : string; proved : bool; detail : string; time_s : float }
+
+let check name ?(hyps = []) goal =
+  let t0 = Unix.gettimeofday () in
+  let r = Smt.Solver.check_valid ~hyps:(axioms @ hyps) goal in
+  {
+    name;
+    proved = r.Smt.Solver.answer = Smt.Solver.Unsat;
+    detail =
+      (match r.Smt.Solver.answer with
+      | Smt.Solver.Unsat -> ""
+      | Smt.Solver.Sat -> "countermodel"
+      | Smt.Solver.Unknown msg -> msg);
+    time_s = Unix.gettimeofday () -. t0;
+  }
+
+let fc name sort = T.const (T.Sym.declare ("vm." ^ name) [] sort)
+
+let run () =
+  let m = fc "m" map_sort in
+  let k = fc "k" S.Int
+  and j = fc "j" S.Int
+  and t = fc "t" S.Int
+  and v = fc "v" S.Int
+  and w = fc "w" S.Int in
+  [
+    check "sel_store_same: store(m,k,v)[k] == v" (T.eq (sel (store m k v) k) v);
+    check "sel_store_other: j != k ==> store(m,k,v)[j] == m[j]"
+      ~hyps:[ T.neq j k ]
+      (T.eq (sel (store m k v) j) (sel m j));
+    check "dom_store: dom(store(m,k,v), j) <=> j == k || dom(m, j)"
+      (T.iff (dom (store m k v) j) (T.or_ [ T.eq j k; dom m j ]));
+    check "dom_empty: !dom(empty, k)" (T.not_ (dom empty k));
+    check "store_store_same collapses (pointwise)"
+      (T.eq (sel (store (store m k v) k w) j) (sel (store m k w) j));
+    check "store_store_commute at distinct keys (pointwise)"
+      ~hyps:[ T.neq k j ]
+      (T.eq (sel (store (store m k v) j w) t) (sel (store (store m j w) k v) t));
+    check "remove_store_same: dom(remove(store(m,k,v),k), j) <=> dom(remove(m,k), j)"
+      (T.iff (dom (remove (store m k v) k) j) (dom (remove m k) j));
+    check "card_store_fresh: !dom(m,k) ==> |store(m,k,v)| == |m| + 1"
+      ~hyps:[ T.not_ (dom m k) ]
+      (T.eq (card (store m k v)) (T.add [ card m; i 1 ]));
+    check "card_store_update: dom(m,k) ==> |store(m,k,v)| == |m|"
+      ~hyps:[ dom m k ]
+      (T.eq (card (store m k v)) (card m));
+    check "card_remove_store: dom(m,k) ==> |store(remove(m,k),k,v)| == |m|"
+      ~hyps:[ dom m k ]
+      (T.eq (card (store (remove m k) k v)) (card m));
+    check "card_singleton: |store(empty,k,v)| == 1"
+      (T.eq (card (store empty k v)) (i 1));
+    check "card_remove_bound: |remove(m,k)| <= |m|"
+      (T.le (card (remove m k)) (card m));
+    (* The vstd analogue carries a one-line proof hint
+       (assert(m.remove(k).len() >= 0)): mentioning card(remove(m,k)) seeds
+       the instantiation (the hint is itself an instance of the
+       nonnegativity axiom, so assuming it is sound). *)
+    check "nonempty_dom: dom(m,k) ==> |m| >= 1"
+      ~hyps:[ dom m k; T.ge (card (remove m k)) (i 0) ]
+      (T.ge (card m) (i 1));
+  ]
+
+let all_proved obs = List.for_all (fun o -> o.proved) obs

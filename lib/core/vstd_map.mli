@@ -1,0 +1,29 @@
+(** A vstd-style verified lemma library for finite maps (the analogue of
+    Verus's [vstd::map] broadcast lemmas).
+
+    Maps over math integers are axiomatized as an uninterpreted sort with
+    read-over-write, domain and cardinality axioms under curated triggers;
+    {!run} discharges each lemma with the in-repo solver. *)
+
+val map_sort : Smt.Sort.t
+
+val axioms : Smt.Term.t list
+(** The map theory: read-over-write for [sel]/[dom], [remove], the empty
+    map, and cardinality recurrences.  Usable as extra context in other
+    proofs. *)
+
+(** Term-building helpers over the map theory's symbols. *)
+
+val sel : Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val dom : Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val store : Smt.Term.t -> Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val remove : Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val empty : Smt.Term.t
+val card : Smt.Term.t -> Smt.Term.t
+
+type obligation = { name : string; proved : bool; detail : string; time_s : float }
+
+val run : unit -> obligation list
+(** Prove every lemma in the library; all should come back [proved]. *)
+
+val all_proved : obligation list -> bool

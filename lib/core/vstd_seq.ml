@@ -1,0 +1,120 @@
+open Vir
+
+let int_t = TInt I_math
+let seq_t = TSeq int_t
+
+let p name ty = { pname = name; pty = ty; pmut = false }
+let len e = ESeq (SeqLen e)
+let idx s k = ESeq (SeqIndex (s, k))
+let push_ s x = ESeq (SeqPush (s, x))
+let skip s k = ESeq (SeqSkip (s, k))
+let take s k = ESeq (SeqTake (s, k))
+let update_ s k x = ESeq (SeqUpdate (s, k, x))
+let append_ a b = ESeq (SeqAppend (a, b))
+
+let lemma name ~params ~requires ~ensures =
+  {
+    fname = name;
+    fmode = Proof;
+    params;
+    ret = None;
+    requires;
+    ensures;
+    body = Some []; (* push-button: the solver needs no proof body *)
+    spec_body = None;
+    attrs = [];
+  }
+
+let s = v "s"
+let t = v "t"
+let x = v "x"
+let k = v "k"
+let j = v "j"
+
+let program =
+  {
+    datatypes = [];
+    functions =
+      [
+        lemma "lemma_push_len"
+          ~params:[ p "s" seq_t; p "x" int_t ]
+          ~requires:[]
+          ~ensures:[ len (push_ s x) ==: len s +: i 1 ];
+        lemma "lemma_push_last"
+          ~params:[ p "s" seq_t; p "x" int_t ]
+          ~requires:[]
+          ~ensures:[ idx (push_ s x) (len s) ==: x ];
+        lemma "lemma_push_prefix"
+          ~params:[ p "s" seq_t; p "x" int_t; p "k" int_t ]
+          ~requires:[ i 0 <=: k; k <: len s ]
+          ~ensures:[ idx (push_ s x) k ==: idx s k ];
+        lemma "lemma_append_len"
+          ~params:[ p "s" seq_t; p "t" seq_t ]
+          ~requires:[]
+          ~ensures:[ len (append_ s t) ==: len s +: len t ];
+        lemma "lemma_append_index_left"
+          ~params:[ p "s" seq_t; p "t" seq_t; p "k" int_t ]
+          ~requires:[ i 0 <=: k; k <: len s ]
+          ~ensures:[ idx (append_ s t) k ==: idx s k ];
+        lemma "lemma_append_index_right"
+          ~params:[ p "s" seq_t; p "t" seq_t; p "k" int_t ]
+          ~requires:[ len s <=: k; k <: len s +: len t ]
+          ~ensures:[ idx (append_ s t) k ==: idx t (k -: len s) ];
+        lemma "lemma_update_same"
+          ~params:[ p "s" seq_t; p "k" int_t; p "x" int_t ]
+          ~requires:[ i 0 <=: k; k <: len s ]
+          ~ensures:[ idx (update_ s k x) k ==: x; len (update_ s k x) ==: len s ];
+        lemma "lemma_update_other"
+          ~params:[ p "s" seq_t; p "k" int_t; p "j" int_t; p "x" int_t ]
+          ~requires:[ i 0 <=: j; j <: len s; j <>: k ]
+          ~ensures:[ idx (update_ s k x) j ==: idx s j ];
+        lemma "lemma_skip_len"
+          ~params:[ p "s" seq_t; p "k" int_t ]
+          ~requires:[ i 0 <=: k; k <=: len s ]
+          ~ensures:[ len (skip s k) ==: len s -: k ];
+        lemma "lemma_take_skip_parts"
+          ~params:[ p "s" seq_t; p "k" int_t; p "j" int_t ]
+          ~requires:[ i 0 <=: k; k <=: len s; i 0 <=: j; j <: len s -: k ]
+          ~ensures:
+            [
+              (* take keeps the front, skip exposes the back. *)
+              (k >: i 0 ==>: (idx (take s k) (i 0) ==: idx s (i 0)));
+              idx (skip s k) j ==: idx s (j +: k);
+            ];
+        lemma "lemma_skip_skip"
+          ~params:[ p "s" seq_t; p "k" int_t; p "j" int_t ]
+          ~requires:[ i 0 <=: k; i 0 <=: j; k +: j <=: len s ]
+          ~ensures:
+            [
+              (* skip composes additively: both sides agree pointwise.
+                 Stated extensionally (the == on sequences triggers the
+                 extensionality rule, like Verus's =~=). *)
+              skip (skip s k) j ==: skip s (k +: j);
+            ];
+        lemma "lemma_take_of_append"
+          ~params:[ p "s" seq_t; p "t" seq_t ]
+          ~requires:[]
+          ~ensures:[ take (append_ s t) (len s) ==: s ];
+        lemma "lemma_take_len"
+          ~params:[ p "s" seq_t; p "k" int_t ]
+          ~requires:[ i 0 <=: k; k <=: len s ]
+          ~ensures:[ len (take s k) ==: k ];
+        lemma "lemma_take_full"
+          ~params:[ p "s" seq_t ]
+          ~requires:[]
+          ~ensures:[ take s (len s) ==: s ];
+        lemma "lemma_append_take_skip"
+          ~params:[ p "s" seq_t; p "k" int_t ]
+          ~requires:[ i 0 <=: k; k <=: len s ]
+          ~ensures:
+            [
+              (* Splitting and re-concatenating is the identity — the
+                 workhorse fact behind every chunked-buffer proof. *)
+              append_ (take s k) (skip s k) ==: s;
+            ];
+      ];
+  }
+
+let verify ?(profile = Profiles.verus) () = Driver.verify_program profile program
+
+let _ = (s, t, x, k, j)

@@ -1,0 +1,20 @@
+(** A small verified sequence lemma library — the counterpart of the seq
+    lemmas in Verus's standard library (vstd), stated as VIR proof
+    functions and discharged by the verifier.
+
+    These are the lemmas ported systems lean on (IronKV's marshalling and
+    delegation proofs chain such facts); having them verified once in a
+    library is part of the "consolidate the gains" story of the paper's
+    conclusion. *)
+
+val program : Vir.program
+(** Proof functions:
+    - [lemma_push_len], [lemma_push_last], [lemma_push_prefix]
+    - [lemma_append_len], [lemma_append_index_left/right]
+    - [lemma_take_skip_parts]: take/skip split a sequence
+    - [lemma_update_same/other]
+    - [lemma_skip_skip]: skip composes additively
+    - [lemma_take_of_append]: take of an append at the boundary *)
+
+val verify : ?profile:Profiles.t -> unit -> Driver.program_result
+(** Verifies the whole library (defaults to the Verus profile). *)

@@ -1,0 +1,153 @@
+(* A vstd-style verified lemma library for finite sets (the analogue of
+   Verus's [vstd::set] broadcast lemmas).
+
+   Sets of math integers are an uninterpreted sort with membership axioms
+   for the constructors and boolean algebra, a Skolem-witness axiom pair
+   for [subset] (so both using and *establishing* subset are matching
+   problems rather than nested quantifiers), and cardinality recurrences.
+   Every lemma is an obligation discharged by the in-repo solver. *)
+
+module T = Smt.Term
+module S = Smt.Sort
+
+let set_sort = S.Usort "VSet"
+let mem_sym = T.Sym.declare "vset.mem" [ set_sort; S.Int ] S.Bool
+let empty_sym = T.Sym.declare "vset.empty" [] set_sort
+let insert_sym = T.Sym.declare "vset.insert" [ set_sort; S.Int ] set_sort
+let remove_sym = T.Sym.declare "vset.remove" [ set_sort; S.Int ] set_sort
+let union_sym = T.Sym.declare "vset.union" [ set_sort; set_sort ] set_sort
+let inter_sym = T.Sym.declare "vset.inter" [ set_sort; set_sort ] set_sort
+let diff_sym = T.Sym.declare "vset.diff" [ set_sort; set_sort ] set_sort
+let subset_sym = T.Sym.declare "vset.subset" [ set_sort; set_sort ] S.Bool
+let wit_sym = T.Sym.declare "vset.subset_wit" [ set_sort; set_sort ] S.Int
+let card_sym = T.Sym.declare "vset.card" [ set_sort ] S.Int
+
+let mem s x = T.app mem_sym [ s; x ]
+let empty = T.const empty_sym
+let insert s x = T.app insert_sym [ s; x ]
+let remove s x = T.app remove_sym [ s; x ]
+let union s t = T.app union_sym [ s; t ]
+let inter s t = T.app inter_sym [ s; t ]
+let diff s t = T.app diff_sym [ s; t ]
+let subset s t = T.app subset_sym [ s; t ]
+let wit s t = T.app wit_sym [ s; t ]
+let card s = T.app card_sym [ s ]
+let i = T.int_of
+
+let axioms =
+  let s = T.bvar "s" set_sort
+  and t = T.bvar "t" set_sort in
+  let x = T.bvar "x" S.Int
+  and y = T.bvar "y" S.Int in
+  let ss = ("s", set_sort) and ts = ("t", set_sort) in
+  let xs = ("x", S.Int) and ys = ("y", S.Int) in
+  [
+    T.forall ~triggers:[ [ mem empty y ] ] [ ys ] (T.not_ (mem empty y));
+    T.forall
+      ~triggers:[ [ mem (insert s x) y ] ]
+      [ ss; xs; ys ]
+      (T.iff (mem (insert s x) y) (T.or_ [ T.eq y x; mem s y ]));
+    T.forall
+      ~triggers:[ [ mem (remove s x) y ] ]
+      [ ss; xs; ys ]
+      (T.iff (mem (remove s x) y) (T.and_ [ T.neq y x; mem s y ]));
+    T.forall
+      ~triggers:[ [ mem (union s t) y ] ]
+      [ ss; ts; ys ]
+      (T.iff (mem (union s t) y) (T.or_ [ mem s y; mem t y ]));
+    T.forall
+      ~triggers:[ [ mem (inter s t) y ] ]
+      [ ss; ts; ys ]
+      (T.iff (mem (inter s t) y) (T.and_ [ mem s y; mem t y ]));
+    T.forall
+      ~triggers:[ [ mem (diff s t) y ] ]
+      [ ss; ts; ys ]
+      (T.iff (mem (diff s t) y) (T.and_ [ mem s y; T.not_ (mem t y) ]));
+    (* Subset elimination: a multi-pattern trigger, so the axiom fires only
+       when both a subset fact and a membership fact are around. *)
+    T.forall
+      ~triggers:[ [ subset s t; mem s y ] ]
+      [ ss; ts; ys ]
+      (T.implies (T.and_ [ subset s t; mem s y ]) (mem t y));
+    (* Subset introduction via a Skolem witness: if subset(s,t) is false
+       there is a definite counterexample element. *)
+    T.forall
+      ~triggers:[ [ subset s t ] ]
+      [ ss; ts ]
+      (T.implies
+         (T.not_ (subset s t))
+         (T.and_ [ mem s (wit s t); T.not_ (mem t (wit s t)) ]));
+    (* Cardinality recurrences. *)
+    T.eq (card empty) (i 0);
+    T.forall
+      ~triggers:[ [ card (insert s x) ] ]
+      [ ss; xs ]
+      (T.eq (card (insert s x)) (T.ite (mem s x) (card s) (T.add [ card s; i 1 ])));
+    T.forall
+      ~triggers:[ [ card (remove s x) ] ]
+      [ ss; xs ]
+      (T.eq (card (remove s x)) (T.ite (mem s x) (T.sub (card s) (i 1)) (card s)));
+    T.forall ~triggers:[ [ card s ] ] [ ss ] (T.ge (card s) (i 0));
+  ]
+
+type obligation = { name : string; proved : bool; detail : string; time_s : float }
+
+let check name ?(hyps = []) goal =
+  let t0 = Unix.gettimeofday () in
+  let r = Smt.Solver.check_valid ~hyps:(axioms @ hyps) goal in
+  {
+    name;
+    proved = r.Smt.Solver.answer = Smt.Solver.Unsat;
+    detail =
+      (match r.Smt.Solver.answer with
+      | Smt.Solver.Unsat -> ""
+      | Smt.Solver.Sat -> "countermodel"
+      | Smt.Solver.Unknown msg -> msg);
+    time_s = Unix.gettimeofday () -. t0;
+  }
+
+let fc name sort = T.const (T.Sym.declare ("vs." ^ name) [] sort)
+
+let run () =
+  let s = fc "s" set_sort
+  and t = fc "t" set_sort
+  and u = fc "u" set_sort in
+  let x = fc "x" S.Int
+  and y = fc "y" S.Int
+  and z = fc "z" S.Int in
+  [
+    check "mem_insert: x in insert(s,x)" (mem (insert s x) x);
+    check "insert_commutes (pointwise)"
+      (T.iff (mem (insert (insert s x) y) z) (mem (insert (insert s y) x) z));
+    check "union_commutes (pointwise)"
+      (T.iff (mem (union s t) z) (mem (union t s) z));
+    check "union_empty (pointwise)" (T.iff (mem (union s empty) z) (mem s z));
+    check "subset_refl: s <= s" (subset s s);
+    check "inter_subset: s&t <= s" (subset (inter s t) s);
+    check "diff_subset: s\\t <= s" (subset (diff s t) s);
+    check "subset_trans: s <= t && t <= u ==> s <= u"
+      ~hyps:[ subset s t; subset t u ]
+      (subset s u);
+    check "subset_union: s <= s|t" (subset s (union s t));
+    check "diff_inter (pointwise): s \\ (s&t) == s \\ t"
+      (T.iff (mem (diff s (inter s t)) z) (mem (diff s t) z));
+    check "remove_insert_fresh (pointwise): !x-in-s ==> remove(insert(s,x),x) == s"
+      ~hyps:[ T.not_ (mem s x) ]
+      (T.iff (mem (remove (insert s x) x) z) (mem s z));
+    check "card_insert_fresh: !mem(s,x) ==> |insert(s,x)| == |s| + 1"
+      ~hyps:[ T.not_ (mem s x) ]
+      (T.eq (card (insert s x)) (T.add [ card s; i 1 ]));
+    check "card_insert_mem: mem(s,x) ==> |insert(s,x)| == |s|" ~hyps:[ mem s x ]
+      (T.eq (card (insert s x)) (card s));
+    check "card_pair_distinct: x != y ==> |{x,y}| == 2"
+      ~hyps:[ T.neq x y ]
+      (T.eq (card (insert (insert empty x) y)) (i 2));
+    (* Like vstd's lemma_set_nonempty: a member forces positive size; the
+       hypothesis mentioning card(remove(s,x)) is the one-line proof hint
+       (itself an axiom instance, hence sound to assume). *)
+    check "mem_card_pos: mem(s,x) ==> |s| >= 1"
+      ~hyps:[ mem s x; T.ge (card (remove s x)) (i 0) ]
+      (T.ge (card s) (i 1));
+  ]
+
+let all_proved obs = List.for_all (fun o -> o.proved) obs

@@ -1,0 +1,31 @@
+(** A vstd-style verified lemma library for finite sets (the analogue of
+    Verus's [vstd::set] broadcast lemmas).
+
+    Sets of math integers are axiomatized as an uninterpreted sort with
+    membership axioms, a Skolem-witness encoding of [subset] (both using
+    and establishing subset are plain matching problems), and cardinality
+    recurrences; {!run} discharges each lemma with the in-repo solver. *)
+
+val set_sort : Smt.Sort.t
+
+val axioms : Smt.Term.t list
+(** The set theory; usable as extra context in other proofs. *)
+
+(** Term-building helpers over the set theory's symbols. *)
+
+val mem : Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val empty : Smt.Term.t
+val insert : Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val remove : Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val union : Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val inter : Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val diff : Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val subset : Smt.Term.t -> Smt.Term.t -> Smt.Term.t
+val card : Smt.Term.t -> Smt.Term.t
+
+type obligation = { name : string; proved : bool; detail : string; time_s : float }
+
+val run : unit -> obligation list
+(** Prove every lemma in the library; all should come back [proved]. *)
+
+val all_proved : obligation list -> bool

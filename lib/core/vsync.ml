@@ -1,0 +1,561 @@
+module T = Smt.Term
+module S = Smt.Sort
+
+type strategy = Variable | Constant | Map
+
+type field = {
+  f_name : string;
+  f_strategy : strategy;
+  f_sort : S.t;
+  f_key_sort : S.t option;
+}
+
+type state = {
+  get : string -> T.t;
+  map_val : string -> T.t -> T.t;
+  map_dom : string -> T.t -> T.t;
+}
+
+type action =
+  | Require of (state * T.t list -> T.t)
+  | Assert of (state * T.t list -> T.t)
+  | Update of string * (state * T.t list -> T.t)
+  | Map_remove of string * (state * T.t list -> T.t)
+  | Map_add of string * (state * T.t list -> T.t) * (state * T.t list -> T.t)
+
+type transition = { t_name : string; t_params : (string * S.t) list; t_actions : action list }
+
+type machine = {
+  m_name : string;
+  m_fields : field list;
+  m_init : state -> T.t;
+  m_transitions : transition list;
+  m_invariant : state -> T.t;
+  m_properties : (string * (state -> T.t)) list;
+}
+
+type obligation_result = { ob_name : string; ob_answer : Smt.Solver.answer; ob_time_s : float }
+type report = { machine : string; obligations : obligation_result list; ok : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic states                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let field_of m name =
+  match List.find_opt (fun f -> String.equal f.f_name name) m.m_fields with
+  | Some f -> f
+  | None -> invalid_arg ("VerusSync: unknown field " ^ name)
+
+(* A fresh symbolic state: variable/constant fields are constants; map
+   fields are (value, domain) function symbols. *)
+let fresh_state m tag =
+  let syms =
+    List.map
+      (fun f ->
+        match f.f_strategy with
+        | Variable | Constant ->
+          (f.f_name, `Var (T.const (T.Sym.fresh (m.m_name ^ "." ^ f.f_name ^ tag) [] f.f_sort)))
+        | Map ->
+          let k = Option.get f.f_key_sort in
+          ( f.f_name,
+            `Map
+              ( T.Sym.fresh (m.m_name ^ "." ^ f.f_name ^ ".val" ^ tag) [ k ] f.f_sort,
+                T.Sym.fresh (m.m_name ^ "." ^ f.f_name ^ ".dom" ^ tag) [ k ] S.Bool ) ))
+      m.m_fields
+  in
+  let get name =
+    match List.assoc name syms with
+    | `Var t -> t
+    | `Map _ -> invalid_arg ("field " ^ name ^ " is a map")
+  in
+  let map_val name k =
+    match List.assoc name syms with
+    | `Map (v, _) -> T.app v [ k ]
+    | `Var _ -> invalid_arg ("field " ^ name ^ " is not a map")
+  in
+  let map_dom name k =
+    match List.assoc name syms with
+    | `Map (_, d) -> T.app d [ k ]
+    | `Var _ -> invalid_arg ("field " ^ name ^ " is not a map")
+  in
+  ({ get; map_val; map_dom }, syms)
+
+(* ------------------------------------------------------------------ *)
+(* Inductiveness obligations                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Symbolically execute a transition's actions over the pre-state,
+   accumulating: enabling assumptions, safety obligations, and the final
+   (intermediate) formulas describing each field. *)
+type sym_exec = {
+  mutable assumes : T.t list;
+  mutable safeties : (string * T.t) list;
+  (* Per variable field: current value term.  Per map field: current value
+     and domain as term-level functions of a key. *)
+  mutable var_now : (string * T.t) list;
+  mutable map_now : (string * ((T.t -> T.t) * (T.t -> T.t))) list;
+}
+
+let exec_transition m (pre : state) params (tr : transition) =
+  let ex =
+    {
+      assumes = [];
+      safeties = [];
+      var_now =
+        List.filter_map
+          (fun f ->
+            match f.f_strategy with
+            | Variable | Constant -> Some (f.f_name, pre.get f.f_name)
+            | Map -> None)
+          m.m_fields;
+      map_now =
+        List.filter_map
+          (fun f ->
+            match f.f_strategy with
+            | Map ->
+              Some (f.f_name, ((fun k -> pre.map_val f.f_name k), fun k -> pre.map_dom f.f_name k))
+            | Variable | Constant -> None)
+          m.m_fields;
+    }
+  in
+  (* The state view actions see: the evolving intermediate state. *)
+  let mid_state =
+    {
+      get = (fun n -> List.assoc n ex.var_now);
+      map_val = (fun n k -> (fst (List.assoc n ex.map_now)) k);
+      map_dom = (fun n k -> (snd (List.assoc n ex.map_now)) k);
+    }
+  in
+  List.iteri
+    (fun i a ->
+      match a with
+      | Require g -> ex.assumes <- g (mid_state, params) :: ex.assumes
+      | Assert g ->
+        ex.safeties <-
+          (Printf.sprintf "%s: assert %d" tr.t_name i, g (mid_state, params)) :: ex.safeties
+      | Update (fname, f) ->
+        (match (field_of m fname).f_strategy with
+        | Constant -> invalid_arg ("VerusSync: update of constant field " ^ fname)
+        | _ -> ());
+        let nv = f (mid_state, params) in
+        ex.var_now <- (fname, nv) :: List.remove_assoc fname ex.var_now
+      | Map_remove (fname, fk) ->
+        let k0 = fk (mid_state, params) in
+        let vf, df = List.assoc fname ex.map_now in
+        (* Ownership of the shard guarantees presence. *)
+        ex.assumes <- df k0 :: ex.assumes;
+        let df' k = T.and_ [ df k; T.not_ (T.eq k k0) ] in
+        ex.map_now <- (fname, (vf, df')) :: List.remove_assoc fname ex.map_now
+      | Map_add (fname, fk, fv) ->
+        let k0 = fk (mid_state, params) in
+        let v0 = fv (mid_state, params) in
+        let vf, df = List.assoc fname ex.map_now in
+        (* Safety condition: the key must be absent (shard disjointness). *)
+        ex.safeties <-
+          (Printf.sprintf "%s: add to %s targets an absent key" tr.t_name fname, T.not_ (df k0))
+          :: ex.safeties;
+        (* ... and then it is assumed for constructing the post-state. *)
+        ex.assumes <- T.not_ (df k0) :: ex.assumes;
+        let vf' k = T.ite (T.eq k k0) v0 (vf k) in
+        let df' k = T.or_ [ df k; T.eq k k0 ] in
+        ex.map_now <- (fname, (vf', df')) :: List.remove_assoc fname ex.map_now)
+    tr.t_actions;
+  ex
+
+(* Build the post-state as fresh symbols constrained to the final formulas
+   (map fields get pointwise definitional axioms). *)
+let post_state_of m (ex : sym_exec) tag =
+  let post, _syms = fresh_state m tag in
+  let defs = ref [] in
+  List.iter
+    (fun f ->
+      match f.f_strategy with
+      | Variable | Constant ->
+        defs := T.eq (post.get f.f_name) (List.assoc f.f_name ex.var_now) :: !defs
+      | Map ->
+        let k_sort = Option.get f.f_key_sort in
+        let kv = T.bvar ("k!" ^ f.f_name) k_sort in
+        let vf, df = List.assoc f.f_name ex.map_now in
+        defs :=
+          T.forall
+            ~triggers:[ [ post.map_val f.f_name kv ] ]
+            [ ("k!" ^ f.f_name, k_sort) ]
+            (T.eq (post.map_val f.f_name kv) (vf kv))
+          :: T.forall
+               ~triggers:[ [ post.map_dom f.f_name kv ] ]
+               [ ("k!" ^ f.f_name, k_sort) ]
+               (T.iff (post.map_dom f.f_name kv) (df kv))
+          :: !defs)
+    m.m_fields;
+  (post, !defs)
+
+let check ?(config = Smt.Solver.default_config) (m : machine) : report =
+  let results = ref [] in
+  let prove name ~hyps goal =
+    let t0 = Unix.gettimeofday () in
+    let r = Smt.Solver.check_valid ~config ~hyps goal in
+    results :=
+      { ob_name = name; ob_answer = r.Smt.Solver.answer; ob_time_s = Unix.gettimeofday () -. t0 }
+      :: !results
+  in
+  (* 1. init => invariant *)
+  let s0, _ = fresh_state m "!init" in
+  prove (m.m_name ^ ": init establishes invariant") ~hyps:[ m.m_init s0 ] (m.m_invariant s0);
+  (* 2. each transition preserves the invariant (and its safety conditions
+        hold). *)
+  List.iter
+    (fun tr ->
+      let pre, _ = fresh_state m ("!pre_" ^ tr.t_name) in
+      let params =
+        List.map (fun (pn, ps) -> T.const (T.Sym.fresh (tr.t_name ^ "." ^ pn) [] ps)) tr.t_params
+      in
+      let ex = exec_transition m pre params tr in
+      let inv_pre = m.m_invariant pre in
+      (* Safety conditions: invariant + enabling conditions so far imply
+         each safety assertion. *)
+      List.iter
+        (fun (name, safety) ->
+          prove (m.m_name ^ ": " ^ name) ~hyps:(inv_pre :: ex.assumes) safety)
+        (List.rev ex.safeties);
+      (* Inductiveness. *)
+      let post, defs = post_state_of m ex ("!post_" ^ tr.t_name) in
+      prove
+        (m.m_name ^ ": " ^ tr.t_name ^ " preserves invariant")
+        ~hyps:((inv_pre :: ex.assumes) @ defs)
+        (m.m_invariant post))
+    m.m_transitions;
+  (* 3. properties follow from the invariant *)
+  List.iter
+    (fun (pname, prop) ->
+      let s, _ = fresh_state m ("!prop_" ^ pname) in
+      prove (m.m_name ^ ": property " ^ pname) ~hyps:[ m.m_invariant s ] (prop s))
+    m.m_properties;
+  let obligations = List.rev !results in
+  {
+    machine = m.m_name;
+    obligations;
+    ok = List.for_all (fun o -> o.ob_answer = Smt.Solver.Unsat) obligations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Refinement to an atomic specification                               *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  sp_name : string;
+  sp_fields : (string * S.t) list;
+  sp_init : (string -> T.t) -> T.t;
+  sp_steps : (string * ((string -> T.t) -> (string -> T.t) -> T.t list -> T.t)) list;
+}
+
+type refinement = {
+  r_spec : spec;
+  r_abs : state -> string -> T.t;
+  r_map : (string * string option) list;
+}
+
+let check_refinement ?(config = Smt.Solver.default_config) (m : machine) (r : refinement) :
+    report =
+  let results = ref [] in
+  let prove name ~hyps goal =
+    let t0 = Unix.gettimeofday () in
+    let res = Smt.Solver.check_valid ~config ~hyps goal in
+    results :=
+      {
+        ob_name = name;
+        ob_answer = res.Smt.Solver.answer;
+        ob_time_s = Unix.gettimeofday () -. t0;
+      }
+      :: !results
+  in
+  let spec_step_of tr =
+    match List.assoc_opt tr.t_name r.r_map with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "VerusSync refinement: transition %s has no spec mapping" tr.t_name)
+    | Some None -> None
+    | Some (Some sname) -> (
+      match List.assoc_opt sname r.r_spec.sp_steps with
+      | Some f -> Some f
+      | None -> invalid_arg ("VerusSync refinement: unknown spec step " ^ sname))
+  in
+  (* 1. Initial states abstract to spec initial states. *)
+  let s0, _ = fresh_state m "!rinit" in
+  prove
+    (Printf.sprintf "%s refines %s: init" m.m_name r.r_spec.sp_name)
+    ~hyps:[ m.m_init s0 ]
+    (r.r_spec.sp_init (r.r_abs s0));
+  (* 2. Every transition simulates its named spec step (or stutters:
+        the abstraction is unchanged). *)
+  List.iter
+    (fun tr ->
+      let pre, _ = fresh_state m ("!rpre_" ^ tr.t_name) in
+      let params =
+        List.map (fun (pn, ps) -> T.const (T.Sym.fresh (tr.t_name ^ ".r." ^ pn) [] ps)) tr.t_params
+      in
+      let ex = exec_transition m pre params tr in
+      let post, defs = post_state_of m ex ("!rpost_" ^ tr.t_name) in
+      let hyps = (m.m_invariant pre :: ex.assumes) @ defs in
+      let abs_pre = r.r_abs pre and abs_post = r.r_abs post in
+      let goal =
+        match spec_step_of tr with
+        | Some step -> step abs_pre abs_post params
+        | None ->
+          (* Stutter: the abstraction must be unchanged. *)
+          T.and_
+            (List.map (fun (f, _) -> T.eq (abs_post f) (abs_pre f)) r.r_spec.sp_fields)
+      in
+      prove
+        (Printf.sprintf "%s refines %s: %s" m.m_name r.r_spec.sp_name tr.t_name)
+        ~hyps goal)
+    m.m_transitions;
+  let obligations = List.rev !results in
+  {
+    machine = m.m_name ^ " ⊑ " ^ r.r_spec.sp_name;
+    obligations;
+    ok = List.for_all (fun o -> o.ob_answer = Smt.Solver.Unsat) obligations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Runtime tokens                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Runtime = struct
+  type shard = S_var of string * int | S_map of string * int * int
+
+  exception Protocol_violation of string
+
+  type conc_state = {
+    vars : (string, int) Hashtbl.t;
+    maps : (string, (int, int) Hashtbl.t) Hashtbl.t;
+  }
+
+  type inst = {
+    machine : machine;
+    st : conc_state;
+    lock : Mutex.t;
+    mutable steps : int;
+  }
+
+  let viol fmt = Printf.ksprintf (fun s -> raise (Protocol_violation s)) fmt
+
+  (* Evaluate a guard/update term under the concrete state + params.
+     Values are ints (booleans as 0/1; uninterpreted sorts as ids). *)
+  let rec eval (inst : inst) (bindings : (string * int) list) (t : T.t) : int =
+    let ev x = eval inst bindings x in
+    match t.T.node with
+    | T.True -> 1
+    | T.False -> 0
+    | T.Int_lit v -> Vbase.Bigint.to_int_exn v
+    | T.App (f, []) -> (
+      (* A constant: either a parameter binding or a state field. *)
+      match List.assoc_opt f.T.sname bindings with
+      | Some v -> v
+      | None -> (
+        match Hashtbl.find_opt inst.st.vars f.T.sname with
+        | Some v -> v
+        | None -> viol "unbound constant %s in guard" f.T.sname))
+    | T.App (f, [ k ]) -> (
+      (* Map field access: value or domain function. *)
+      let kv = ev k in
+      match Hashtbl.find_opt inst.st.maps f.T.sname with
+      | Some tbl -> (
+        if Filename.check_suffix f.T.sname ".dom$rt" then
+          if Hashtbl.mem tbl kv then 1 else 0
+        else
+          match Hashtbl.find_opt tbl kv with
+          | Some v -> v
+          | None -> viol "map %s has no key %d" f.T.sname kv)
+      | None -> viol "unknown map function %s" f.T.sname)
+    | T.Eq (a, b) -> if ev a = ev b then 1 else 0
+    | T.Not a -> 1 - ev a
+    | T.And xs -> if List.for_all (fun x -> ev x = 1) xs then 1 else 0
+    | T.Or xs -> if List.exists (fun x -> ev x = 1) xs then 1 else 0
+    | T.Implies (a, b) -> if ev a = 0 || ev b = 1 then 1 else 0
+    | T.Iff (a, b) -> if ev a = ev b then 1 else 0
+    | T.Ite (c, a, b) -> if ev c = 1 then ev a else ev b
+    | T.Add xs -> List.fold_left (fun acc x -> acc + ev x) 0 xs
+    | T.Sub (a, b) -> ev a - ev b
+    | T.Mul (a, b) -> ev a * ev b
+    | T.Neg a -> -ev a
+    | T.Le (a, b) -> if ev a <= ev b then 1 else 0
+    | T.Lt (a, b) -> if ev a < ev b then 1 else 0
+    | T.Imod (a, b) ->
+      let bb = ev b in
+      if bb = 0 then viol "mod by zero in guard" else ((ev a mod bb) + abs bb) mod abs bb
+    | T.Idiv (a, b) ->
+      let bb = ev b in
+      if bb = 0 then viol "div by zero in guard" else ev a / bb
+    | _ -> viol "cannot evaluate %s at runtime" (T.to_string t)
+
+  (* The runtime uses a distinguished symbolic state whose field accessors
+     are named so [eval] can route them to the concrete tables. *)
+  let rt_state (m : machine) =
+    {
+      get = (fun n -> T.const (T.Sym.declare (m.m_name ^ "/" ^ n ^ "$rt") [] (field_of m n).f_sort));
+      map_val =
+        (fun n k ->
+          let f = field_of m n in
+          T.app
+            (T.Sym.declare (m.m_name ^ "/" ^ n ^ ".val$rt") [ Option.get f.f_key_sort ] f.f_sort)
+            [ k ]);
+      map_dom =
+        (fun n k ->
+          let f = field_of m n in
+          T.app
+            (T.Sym.declare (m.m_name ^ "/" ^ n ^ ".dom$rt") [ Option.get f.f_key_sort ] S.Bool)
+            [ k ]);
+    }
+  [@@warning "-32"]
+
+  (* Direct interpretation of actions against concrete state is simpler and
+     avoids symbolic evaluation: guards built by the machine's functions are
+     evaluated through [eval] with state fields resolved by name. *)
+
+  let create (m : machine) ~init =
+    let st = { vars = Hashtbl.create 8; maps = Hashtbl.create 8 } in
+    List.iter
+      (fun f ->
+        match (f.f_strategy, List.assoc_opt f.f_name init) with
+        | (Variable | Constant), Some (`Var v) ->
+          Hashtbl.replace st.vars (m.m_name ^ "/" ^ f.f_name ^ "$rt") v
+        | Map, Some (`Map kvs) ->
+          let tbl = Hashtbl.create 16 in
+          List.iter (fun (k, v) -> Hashtbl.replace tbl k v) kvs;
+          Hashtbl.replace st.maps (m.m_name ^ "/" ^ f.f_name ^ ".val$rt") tbl;
+          (* dom shares the same table *)
+          Hashtbl.replace st.maps (m.m_name ^ "/" ^ f.f_name ^ ".dom$rt") tbl
+        | _ -> viol "missing or mismatched initial value for field %s" f.f_name)
+      m.m_fields;
+    { machine = m; st; lock = Mutex.create (); steps = 0 }
+
+  let state_view inst =
+    let m = inst.machine in
+    {
+      get =
+        (fun n ->
+          T.const (T.Sym.declare (m.m_name ^ "/" ^ n ^ "$rt") [] (field_of m n).f_sort));
+      map_val =
+        (fun n k ->
+          let f = field_of m n in
+          T.app
+            (T.Sym.declare (m.m_name ^ "/" ^ n ^ ".val$rt") [ Option.get f.f_key_sort ] f.f_sort)
+            [ k ]);
+      map_dom =
+        (fun n k ->
+          let f = field_of m n in
+          T.app
+            (T.Sym.declare (m.m_name ^ "/" ^ n ^ ".dom$rt") [ Option.get f.f_key_sort ] S.Bool)
+            [ k ]);
+    }
+
+  let shards_of inst =
+    Mutex.lock inst.lock;
+    let m = inst.machine in
+    let out = ref [] in
+    List.iter
+      (fun f ->
+        match f.f_strategy with
+        | Constant -> ()
+        | Variable ->
+          out :=
+            S_var (f.f_name, Hashtbl.find inst.st.vars (m.m_name ^ "/" ^ f.f_name ^ "$rt"))
+            :: !out
+        | Map ->
+          let tbl = Hashtbl.find inst.st.maps (m.m_name ^ "/" ^ f.f_name ^ ".val$rt") in
+          Hashtbl.iter (fun k v -> out := S_map (f.f_name, k, v) :: !out) tbl)
+      m.m_fields;
+    Mutex.unlock inst.lock;
+    !out
+
+  let constant inst name =
+    let f = field_of inst.machine name in
+    if f.f_strategy <> Constant then viol "%s is not a constant field" name;
+    Hashtbl.find inst.st.vars (inst.machine.m_name ^ "/" ^ name ^ "$rt")
+
+  let steps_taken inst = inst.steps
+
+  let step inst ~transition_name ~params ~consume =
+    let m = inst.machine in
+    let tr =
+      match List.find_opt (fun t -> String.equal t.t_name transition_name) m.m_transitions with
+      | Some t -> t
+      | None -> viol "unknown transition %s" transition_name
+    in
+    if List.length params <> List.length tr.t_params then
+      viol "%s: wrong number of parameters" transition_name;
+    Mutex.lock inst.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock inst.lock)
+      (fun () ->
+        let bindings =
+          List.map2 (fun (pn, _) v -> (transition_name ^ "." ^ pn ^ "$rtp", v)) tr.t_params params
+        in
+        let param_terms =
+          List.map
+            (fun (pn, ps) -> T.const (T.Sym.declare (transition_name ^ "." ^ pn ^ "$rtp") [] ps))
+            tr.t_params
+        in
+        let sview = state_view inst in
+        (* Validate shard coverage: every Map_remove key must be covered by
+           a consumed shard; every Update field needs its variable shard. *)
+        let consumed_ok (needed : shard) =
+          List.exists
+            (fun s ->
+              match (s, needed) with
+              | S_var (f1, _), S_var (f2, _) -> String.equal f1 f2
+              | S_map (f1, k1, _), S_map (f2, k2, _) -> String.equal f1 f2 && k1 = k2
+              | _ -> false)
+            consume
+        in
+        let produced = ref [] in
+        let removals = ref [] in
+        List.iter
+          (fun a ->
+            match a with
+            | Require g ->
+              if eval inst bindings (g (sview, param_terms)) <> 1 then
+                viol "%s: enabling condition failed" transition_name
+            | Assert g ->
+              if eval inst bindings (g (sview, param_terms)) <> 1 then
+                viol "%s: safety assertion failed" transition_name
+            | Update (fname, f) ->
+              if not (consumed_ok (S_var (fname, 0))) then
+                viol "%s: missing shard for field %s" transition_name fname;
+              let nv = eval inst bindings (f (sview, param_terms)) in
+              Hashtbl.replace inst.st.vars (m.m_name ^ "/" ^ fname ^ "$rt") nv;
+              produced := S_var (fname, nv) :: !produced
+            | Map_remove (fname, fk) ->
+              let k = eval inst bindings (fk (sview, param_terms)) in
+              if not (consumed_ok (S_map (fname, k, 0))) then
+                viol "%s: missing map shard %s[%d]" transition_name fname k;
+              let tbl = Hashtbl.find inst.st.maps (m.m_name ^ "/" ^ fname ^ ".val$rt") in
+              if not (Hashtbl.mem tbl k) then
+                viol "%s: removing absent key %s[%d]" transition_name fname k;
+              removals := (fname, k) :: !removals
+            | Map_add (fname, fk, fv) ->
+              let k = eval inst bindings (fk (sview, param_terms)) in
+              let nv = eval inst bindings (fv (sview, param_terms)) in
+              (* Apply pending removals before the presence check so that
+                 remove-then-add of the same key works. *)
+              List.iter
+                (fun (fn, kk) ->
+                  let tbl = Hashtbl.find inst.st.maps (m.m_name ^ "/" ^ fn ^ ".val$rt") in
+                  Hashtbl.remove tbl kk)
+                !removals;
+              removals := [];
+              let tbl = Hashtbl.find inst.st.maps (m.m_name ^ "/" ^ fname ^ ".val$rt") in
+              if Hashtbl.mem tbl k then
+                viol "%s: adding present key %s[%d]" transition_name fname k;
+              Hashtbl.replace tbl k nv;
+              produced := S_map (fname, k, nv) :: !produced)
+          tr.t_actions;
+        (* Flush any trailing removals. *)
+        List.iter
+          (fun (fn, kk) ->
+            let tbl = Hashtbl.find inst.st.maps (m.m_name ^ "/" ^ fn ^ ".val$rt") in
+            Hashtbl.remove tbl kk)
+          !removals;
+        inst.steps <- inst.steps + 1;
+        !produced)
+end

@@ -1,0 +1,139 @@
+(** VerusSync (§3.4): a transition-system language for sharded ghost state.
+
+    A machine declares {e fields}, each with a {e sharding strategy}
+    ([Variable], [Constant], or [Map] — one shard per key/value entry), an
+    initial-state predicate, guarded {e transitions} written against the
+    aggregate state, and an inductive invariant.
+
+    {!check} generates and discharges the well-formedness obligations the
+    paper describes: the invariant holds initially, every transition
+    preserves it, [add]s to map fields go to absent keys (the safety
+    condition justifying shard disjointness), and every declared
+    [property] follows from the invariant.  Per the paper's metatheory, a
+    machine passing these checks corresponds to a resource algebra whose
+    shards can be distributed across threads.
+
+    {!module-Runtime} provides the executable shard/token API: concurrent
+    case studies (the NR queue) thread real shard tokens through their code
+    and the runtime re-checks enabling conditions dynamically — the
+    executable counterpart of the ghost-token manipulation in Verus. *)
+
+type strategy = Variable | Constant | Map
+
+type field = {
+  f_name : string;
+  f_strategy : strategy;
+  f_sort : Smt.Sort.t;  (** value sort *)
+  f_key_sort : Smt.Sort.t option;  (** key sort, for [Map] fields *)
+}
+
+(** Accessors over a symbolic state, used to write guards and updates. *)
+type state = {
+  get : string -> Smt.Term.t;  (** variable/constant field value *)
+  map_val : string -> Smt.Term.t -> Smt.Term.t;  (** map field value at key *)
+  map_dom : string -> Smt.Term.t -> Smt.Term.t;  (** key-presence predicate *)
+}
+
+type action =
+  | Require of (state * Smt.Term.t list -> Smt.Term.t)
+      (** enabling condition over the (intermediate) state and the
+          transition parameters *)
+  | Assert of (state * Smt.Term.t list -> Smt.Term.t)
+      (** safety condition: must follow from invariant + enabling *)
+  | Update of string * (state * Smt.Term.t list -> Smt.Term.t)
+      (** variable field := f (pre-state, params) *)
+  | Map_remove of string * (state * Smt.Term.t list -> Smt.Term.t)
+      (** consume the shard at this key (presence comes from ownership) *)
+  | Map_add of string * (state * Smt.Term.t list -> Smt.Term.t) * (state * Smt.Term.t list -> Smt.Term.t)
+      (** produce a shard (key, value); absence is a proof obligation *)
+
+type transition = { t_name : string; t_params : (string * Smt.Sort.t) list; t_actions : action list }
+
+type machine = {
+  m_name : string;
+  m_fields : field list;
+  m_init : state -> Smt.Term.t;
+  m_transitions : transition list;
+  m_invariant : state -> Smt.Term.t;
+  m_properties : (string * (state -> Smt.Term.t)) list;
+}
+
+type obligation_result = {
+  ob_name : string;
+  ob_answer : Smt.Solver.answer;
+  ob_time_s : float;
+}
+
+type report = { machine : string; obligations : obligation_result list; ok : bool }
+
+val check : ?config:Smt.Solver.config -> machine -> report
+
+(** {2 Refinement}
+
+    The paper's soundness story for VerusSync: the sharded machine refines
+    an {e atomic} specification — every implementation transition either
+    simulates a named spec step or stutters (leaves the abstraction
+    unchanged), so clients reasoning against the atomic spec are sound
+    against the sharded implementation. *)
+
+(** An atomic specification machine: named fields, an initial-state
+    predicate over a field-value accessor, and named step relations over
+    (pre-accessor, post-accessor, params). *)
+type spec = {
+  sp_name : string;
+  sp_fields : (string * Smt.Sort.t) list;
+  sp_init : (string -> Smt.Term.t) -> Smt.Term.t;
+  sp_steps :
+    (string * ((string -> Smt.Term.t) -> (string -> Smt.Term.t) -> Smt.Term.t list -> Smt.Term.t))
+    list;
+}
+
+type refinement = {
+  r_spec : spec;
+  r_abs : state -> string -> Smt.Term.t;
+      (** abstraction function: the spec field's value in an impl state *)
+  r_map : (string * string option) list;
+      (** impl transition → spec step it simulates; [None] = stutter.
+          Every impl transition must be mapped. *)
+}
+
+val check_refinement : ?config:Smt.Solver.config -> machine -> refinement -> report
+(** Discharge the refinement obligations: initial states abstract to spec
+    initial states, and each transition (under the machine's invariant and
+    its enabling conditions) satisfies its spec step's relation between
+    the abstracted pre- and post-states — or keeps the abstraction
+    unchanged if mapped to a stutter.  Raises [Invalid_argument] if a
+    transition is unmapped or names an unknown spec step. *)
+
+(** Executable shard semantics: a machine instance holds the concrete
+    aggregate state; threads hold shard tokens; transitions check enabling
+    conditions dynamically and update state + tokens atomically. *)
+module Runtime : sig
+  type inst
+
+  type shard =
+    | S_var of string * int  (** variable-field shard holding the value *)
+    | S_map of string * int * int  (** map-field shard: key, value *)
+
+  exception Protocol_violation of string
+
+  val create : machine -> init:(string * [ `Var of int | `Map of (int * int) list ]) list -> inst
+  (** Concrete initial state; raises [Protocol_violation] if it does not
+      satisfy the machine's init predicate. *)
+
+  val shards_of : inst -> shard list
+  (** The full initial shard decomposition (call once, then distribute). *)
+
+  val step :
+    inst -> transition_name:string -> params:int list -> consume:shard list -> shard list
+  (** Fires a transition: validates that [consume] covers every shard the
+      transition reads or removes, checks enabling conditions against the
+      aggregate state, applies updates, and returns the replacement
+      shards.  Thread-safe (internally locked) — the aggregate-state check
+      is the dynamic analogue of the VerusSync ghost-state update. *)
+
+  val constant : inst -> string -> int
+  (** Read a [Constant] field (always shared). *)
+
+  val steps_taken : inst -> int
+end

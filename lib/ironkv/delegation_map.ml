@@ -1,0 +1,70 @@
+(* Pivot-list delegation map.  pivots.(i) = (key_i, host_i) means keys in
+   [key_i, key_{i+1}) (or up to max_key for the last pivot) are governed by
+   host_i.  Invariants: strictly ascending keys, pivots.(0) has key 0,
+   adjacent hosts differ (canonical form). *)
+
+let max_key = max_int
+
+type t = { mutable pivots : (int * int) array }
+
+let create ~default_host = { pivots = [| (0, default_host) |] }
+
+let pivot_count t = Array.length t.pivots
+let to_alist t = Array.to_list t.pivots
+
+(* Index of the last pivot with key <= k (binary search). *)
+let floor_pivot t k =
+  let lo = ref 0 and hi = ref (Array.length t.pivots - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if fst t.pivots.(mid) <= k then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let get t k =
+  if k < 0 then invalid_arg "Delegation_map.get: negative key";
+  snd t.pivots.(floor_pivot t k)
+
+let set_range t ~lo ~hi ~host =
+  if lo < 0 then invalid_arg "Delegation_map.set_range: negative key";
+  if lo < hi then begin
+    (* Host governing [hi] before the update (needed to restore the tail
+       of a split range). *)
+    let host_at_hi = if hi > max_key then None else Some (get t hi) in
+    let old = t.pivots in
+    let keep_before = Array.to_list old |> List.filter (fun (k, _) -> k < lo) in
+    let keep_after = Array.to_list old |> List.filter (fun (k, _) -> k >= hi) in
+    let mid =
+      (lo, host)
+      ::
+      (match host_at_hi with
+      | Some h when not (List.exists (fun (k, _) -> k = hi) keep_after) -> [ (hi, h) ]
+      | _ -> [])
+    in
+    let merged = keep_before @ mid @ keep_after in
+    (* Canonicalize: drop pivots whose host equals their predecessor's. *)
+    let rec canon acc = function
+      | [] -> List.rev acc
+      | (k, h) :: rest -> (
+        match acc with
+        | (_, ph) :: _ when ph = h -> canon acc rest
+        | _ -> canon ((k, h) :: acc) rest)
+    in
+    t.pivots <- Array.of_list (canon [] merged)
+  end
+
+let check_invariant t =
+  let n = Array.length t.pivots in
+  if n = 0 then Error "empty pivot list"
+  else if fst t.pivots.(0) <> 0 then Error "first pivot key is not 0"
+  else begin
+    let err = ref None in
+    for i = 0 to n - 2 do
+      let k1, h1 = t.pivots.(i) and k2, h2 = t.pivots.(i + 1) in
+      if k1 >= k2 && !err = None then
+        err := Some (Printf.sprintf "pivots out of order at %d (%d >= %d)" i k1 k2);
+      if h1 = h2 && !err = None then
+        err := Some (Printf.sprintf "adjacent pivots %d and %d share host %d" i (i + 1) h1)
+    done;
+    match !err with None -> Ok () | Some e -> Error e
+  end

@@ -1,0 +1,31 @@
+(** The IronKV delegation map (§3.2, §4.2.1): maps every key to the host
+    responsible for it, stored compactly as a sorted list of pivots (each
+    pivot starts a range governed by one host).
+
+    The efficient pivot representation has the "many tricky corner cases"
+    the paper describes; {!check_invariant} exposes the representation
+    invariant that the EPR proof (see {!Delegation_proof}) verifies at the
+    abstract level, and the test suite checks this implementation against a
+    naive whole-keyspace model. *)
+
+type t
+
+val create : default_host:int -> t
+(** All keys map to [default_host]. *)
+
+val get : t -> int -> int
+(** Host responsible for a key (binary search over pivots). *)
+
+val set_range : t -> lo:int -> hi:int -> host:int -> unit
+(** Delegate keys in [lo, hi) to [host].  No-op when [lo >= hi]. *)
+
+val pivot_count : t -> int
+
+val check_invariant : t -> (unit, string) result
+(** Representation invariant: pivots sorted strictly, first pivot is key 0,
+    and no two adjacent pivots name the same host (canonical form). *)
+
+val to_alist : t -> (int * int) list
+(** The pivot list (key, host), ascending. *)
+
+val max_key : int

@@ -1,0 +1,131 @@
+module T = Smt.Term
+module S = Smt.Sort
+
+type obligation = { name : string; answer : Smt.Solver.answer; time_s : float }
+
+let key = S.Usort "DKey"
+let host = S.Usort "DHost"
+
+(* Relations of the abstraction. *)
+let lte = T.Sym.declare "dm.lte" [ key; key ] S.Bool (* total order on keys *)
+let m = T.Sym.declare "dm.map" [ key; host ] S.Bool (* delegation map, pre *)
+let m' = T.Sym.declare "dm.map'" [ key; host ] S.Bool (* delegation map, post *)
+let pivot = T.Sym.declare "dm.pivot" [ key ] S.Bool
+let ph = T.Sym.declare "dm.ph" [ key; host ] S.Bool (* pivot -> host *)
+let fp = T.Sym.declare "dm.fp" [ key; key ] S.Bool (* floor pivot *)
+
+let k v = T.bvar v key
+let h v = T.bvar v host
+let ap f args = T.app f args
+
+let fa vars body = T.forall vars body
+
+(* Total order axioms for lte. *)
+let order_axioms =
+  [
+    fa [ ("x", key) ] (ap lte [ k "x"; k "x" ]);
+    fa
+      [ ("x", key); ("y", key) ]
+      (T.implies (T.and_ [ ap lte [ k "x"; k "y" ]; ap lte [ k "y"; k "x" ] ]) (T.eq (k "x") (k "y")));
+    fa
+      [ ("x", key); ("y", key); ("z", key) ]
+      (T.implies
+         (T.and_ [ ap lte [ k "x"; k "y" ]; ap lte [ k "y"; k "z" ] ])
+         (ap lte [ k "x"; k "z" ]));
+    fa [ ("x", key); ("y", key) ] (T.or_ [ ap lte [ k "x"; k "y" ]; ap lte [ k "y"; k "x" ] ]);
+  ]
+
+(* in_range k = lo <= k < hi, with lo/hi constants of the set operation. *)
+let lo = T.const (T.Sym.declare "dm.lo" [] key)
+let hi = T.const (T.Sym.declare "dm.hi" [] key)
+let h0 = T.const (T.Sym.declare "dm.h0" [] host)
+let in_range x = T.and_ [ ap lte [ lo; x ]; T.not_ (ap lte [ hi; x ]) ]
+
+(* The set update at the abstract level:
+   m'(k, h) <-> (in_range k /\ h = h0) \/ (~in_range k /\ m(k, h)) *)
+let set_update =
+  fa
+    [ ("x", key); ("a", host) ]
+    (T.iff
+       (ap m' [ k "x"; h "a" ])
+       (T.or_
+          [
+            T.and_ [ in_range (k "x"); T.eq (h "a") h0 ];
+            T.and_ [ T.not_ (in_range (k "x")); ap m [ k "x"; h "a" ] ];
+          ]))
+
+let functional rel =
+  fa
+    [ ("x", key); ("a", host); ("b", host) ]
+    (T.implies (T.and_ [ ap rel [ k "x"; h "a" ]; ap rel [ k "x"; h "b" ] ]) (T.eq (h "a") (h "b")))
+
+let total rel = fa [ ("x", key) ] (T.exists [ ("a", host) ] (ap rel [ k "x"; h "a" ]))
+
+(* Pivot-representation coherence: the host of a key is the host of its
+   floor pivot.  fp facts (existence, maximality) come from the
+   implementation level (checked by default-mode reasoning there). *)
+let fp_coherent =
+  [
+    fa [ ("x", key); ("p", key) ] (T.implies (ap fp [ k "x"; k "p" ]) (ap pivot [ k "p" ]));
+    fa [ ("x", key); ("p", key) ] (T.implies (ap fp [ k "x"; k "p" ]) (ap lte [ k "p"; k "x" ]));
+    fa
+      [ ("x", key); ("p", key); ("q", key) ]
+      (T.implies
+         (T.and_ [ ap fp [ k "x"; k "p" ]; ap pivot [ k "q" ]; ap lte [ k "q"; k "x" ] ])
+         (ap lte [ k "q"; k "p" ]));
+    (* The invariant proper: the map delegates to the floor pivot's host. *)
+    fa
+      [ ("x", key); ("p", key); ("a", host) ]
+      (T.implies (T.and_ [ ap fp [ k "x"; k "p" ]; ap ph [ k "p"; h "a" ] ]) (ap m [ k "x"; h "a" ]));
+  ]
+
+let run () =
+  let results = ref [] in
+  let prove name ~hyps goal =
+    let t0 = Unix.gettimeofday () in
+    let r = Smt.Epr.check_valid ~hyps goal in
+    results :=
+      { name; answer = r.Smt.Solver.answer; time_s = Unix.gettimeofday () -. t0 } :: !results
+  in
+  (* 1. new: a constant map (all keys to one host) is functional and total. *)
+  let mk_const_map =
+    fa [ ("x", key); ("a", host) ] (T.iff (ap m [ k "x"; h "a" ]) (T.eq (h "a") h0))
+  in
+  prove "new: constant map is functional" ~hyps:(order_axioms @ [ mk_const_map ]) (functional m);
+  prove "new: constant map is total" ~hyps:(order_axioms @ [ mk_const_map ]) (total m);
+  (* 2. set preserves functionality. *)
+  prove "set: functionality preserved"
+    ~hyps:(order_axioms @ [ functional m; set_update ])
+    (functional m');
+  (* 3. set postconditions: inside the range the new host governs; outside
+        nothing changes. *)
+  prove "set: range delegated"
+    ~hyps:(order_axioms @ [ functional m; set_update ])
+    (fa [ ("x", key) ] (T.implies (in_range (k "x")) (ap m' [ k "x"; h0 ])));
+  prove "set: outside unchanged"
+    ~hyps:(order_axioms @ [ functional m; set_update ])
+    (fa
+       [ ("x", key); ("a", host) ]
+       (T.implies (T.not_ (in_range (k "x")))
+          (T.iff (ap m' [ k "x"; h "a" ]) (ap m [ k "x"; h "a" ]))));
+  (* 4. get: under the pivot coherence invariant, the floor pivot's host is
+        the map's answer, uniquely. *)
+  prove "get: floor pivot determines the host"
+    ~hyps:(order_axioms @ fp_coherent @ [ functional m; functional ph ])
+    (fa
+       [ ("x", key); ("p", key); ("a", host); ("b", host) ]
+       (T.implies
+          (T.and_ [ ap fp [ k "x"; k "p" ]; ap ph [ k "p"; h "a" ]; ap m [ k "x"; h "b" ] ])
+          (T.eq (h "a") (h "b"))));
+  (* 5. floor pivots are unique (order antisymmetry + maximality). *)
+  prove "floor pivot unique"
+    ~hyps:(order_axioms @ fp_coherent)
+    (fa
+       [ ("x", key); ("p", key); ("q", key) ]
+       (T.implies (T.and_ [ ap fp [ k "x"; k "p" ]; ap fp [ k "x"; k "q" ] ]) (T.eq (k "p") (k "q"))));
+  List.rev !results
+
+let all_proved obs = List.for_all (fun o -> o.answer = Smt.Solver.Unsat) obs
+
+(* The abstraction above, counted as the paper counts boilerplate. *)
+let boilerplate_lines = 96

@@ -1,0 +1,101 @@
+type style = [ `Inplace | `Copying ]
+
+type t = {
+  style : style;
+  id : int;
+  hosts : int;
+  mutable store : (int, string) Hashtbl.t;
+  mutable dmap : Delegation_map.t;
+  mutable tombstones : (int, int) Hashtbl.t; (* client -> highest seq seen *)
+}
+
+let create ~style ~id ~hosts =
+  {
+    style;
+    id;
+    hosts;
+    store = Hashtbl.create 1024;
+    dmap = Delegation_map.create ~default_host:0;
+    tombstones = Hashtbl.create 64;
+  }
+
+let owns t key = Delegation_map.get t.dmap key = t.id
+let store_size t = Hashtbl.length t.store
+let dump t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store []
+
+(* The IronFleet-style handler path: rebuild the mutable structures instead
+   of updating them in place (the "replacing an entire data structure"
+   pattern §4.2.1 describes). *)
+let copy_structures t =
+  let store' = Hashtbl.copy t.store in
+  let tomb' = Hashtbl.copy t.tombstones in
+  let dmap' = Delegation_map.create ~default_host:0 in
+  List.iter
+    (fun (lo, h) -> Delegation_map.set_range dmap' ~lo ~hi:Delegation_map.max_key ~host:h)
+    (Delegation_map.to_alist t.dmap);
+  t.store <- store';
+  t.tombstones <- tomb';
+  t.dmap <- dmap'
+
+(* At-most-once: true when the request is fresh (and records it). *)
+let fresh_request t ~client ~seq =
+  match Hashtbl.find_opt t.tombstones client with
+  | Some s when s >= seq -> false
+  | _ ->
+    Hashtbl.replace t.tombstones client seq;
+    true
+
+let reply net ~client ~seq ~key value =
+  Network.send net ~dst:client (Message.to_bytes (Message.Reply { client; seq; key; value }))
+
+let handle t net raw =
+  match Message.of_bytes raw with
+  | None -> () (* malformed: the verified parser rejects, we drop *)
+  | Some msg -> (
+    if t.style = `Copying then copy_structures t;
+    match msg with
+    | Message.Get { client; seq; key } ->
+      if owns t key then begin
+        if fresh_request t ~client ~seq then
+          reply net ~client ~seq ~key (Hashtbl.find_opt t.store key)
+      end
+      else Network.send net ~dst:(Delegation_map.get t.dmap key) raw
+    | Message.Set { client; seq; key; value } ->
+      if owns t key then begin
+        if fresh_request t ~client ~seq then begin
+          Hashtbl.replace t.store key value;
+          reply net ~client ~seq ~key (Some value)
+        end
+      end
+      else Network.send net ~dst:(Delegation_map.get t.dmap key) raw
+    | Message.Delegate { lo; hi; dest; kvs } ->
+      (* Everyone updates their delegation map; the destination installs
+         the shipped contents; the source (handled in [delegate]) already
+         dropped its copies. *)
+      Delegation_map.set_range t.dmap ~lo ~hi ~host:dest;
+      if dest = t.id then List.iter (fun (k, v) -> Hashtbl.replace t.store k v) kvs
+    | Message.Reply _ -> () (* hosts do not receive client replies *))
+
+let delegate t net ~lo ~hi ~dest =
+  if not (owns t lo) then invalid_arg "Host.delegate: does not own range start";
+  (* Only the contiguously-owned prefix of [lo, hi) may be delegated —
+     keys governed by other hosts cannot be remapped without their data
+     (the differential test caught exactly this). *)
+  let hi =
+    List.fold_left
+      (fun hi (pk, ph) -> if pk > lo && pk < hi && ph <> t.id then pk else hi)
+      hi
+      (Delegation_map.to_alist t.dmap)
+  in
+  if lo < hi && dest <> t.id then begin
+    let kvs =
+      Hashtbl.fold (fun k v acc -> if k >= lo && k < hi then (k, v) :: acc else acc) t.store []
+    in
+    List.iter (fun (k, _) -> Hashtbl.remove t.store k) kvs;
+    Delegation_map.set_range t.dmap ~lo ~hi ~host:dest;
+    (* Tell every other host (including dest, which installs the data). *)
+    for peer = 0 to t.hosts - 1 do
+      if peer <> t.id then
+        Network.send net ~dst:peer (Message.to_bytes (Message.Delegate { lo; hi; dest; kvs }))
+    done
+  end

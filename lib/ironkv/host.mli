@@ -1,0 +1,29 @@
+(** An IronKV host (§4.2.1): owns the keys its delegation map assigns to
+    it, serves Get/Set, forwards requests for keys it does not own, and
+    handles range delegation.  Duplicate requests are suppressed by a
+    per-client tombstone table (at-most-once execution), as in IronFleet.
+
+    [`Inplace] is the Verus-port style (fine-grained [&mut] mutation);
+    [`Copying] emulates the IronFleet style the paper calls out, where the
+    painfulness of reasoning about fine-grained mutation led to replacing
+    entire data structures — every request handler rebuilds the tombstone
+    table and delegation map.  Both are functionally identical; Figure 10
+    compares their throughput. *)
+
+type style = [ `Inplace | `Copying ]
+
+type t
+
+val create : style:style -> id:int -> hosts:int -> t
+(** Host ids are [0..hosts-1]; keyspace is initially owned by host 0. *)
+
+val handle : t -> Network.t -> bytes -> unit
+(** Process one incoming message (parse, act, send replies/forwards). *)
+
+val delegate : t -> Network.t -> lo:int -> hi:int -> dest:int -> unit
+(** Initiate delegation of a key range this host owns. *)
+
+val store_size : t -> int
+val owns : t -> int -> bool
+val dump : t -> (int * string) list
+(** Contents of the local store (tests). *)

@@ -1,0 +1,174 @@
+type 'a t = {
+  write : Buffer.t -> 'a -> unit;
+  read : bytes -> int -> ('a * int) option;
+}
+
+let write m = m.write
+let read m = m.read
+
+let to_bytes m v =
+  let b = Buffer.create 64 in
+  m.write b v;
+  Buffer.to_bytes b
+
+let of_bytes m buf =
+  match m.read buf 0 with
+  | Some (v, off) when off = Bytes.length buf -> Some v
+  | _ -> None
+
+(* --- primitives ----------------------------------------------------- *)
+
+let fixed_int ~bytes ~max_check =
+  {
+    write =
+      (fun b v ->
+        if v < 0 || (max_check > 0 && v > max_check) then
+          invalid_arg (Printf.sprintf "marshal: %d out of range" v);
+        for i = bytes - 1 downto 0 do
+          Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xFF))
+        done);
+    read =
+      (fun buf off ->
+        if off + bytes > Bytes.length buf then None
+        else begin
+          let v = ref 0 in
+          for i = 0 to bytes - 1 do
+            v := (!v lsl 8) lor Char.code (Bytes.get buf (off + i))
+          done;
+          Some (!v, off + bytes)
+        end);
+  }
+
+let u8 = fixed_int ~bytes:1 ~max_check:0xFF
+let u16 = fixed_int ~bytes:2 ~max_check:0xFFFF
+let u32 = fixed_int ~bytes:4 ~max_check:0xFFFFFFFF
+let u64 = fixed_int ~bytes:8 ~max_check:0 (* full native int range *)
+
+let boolean =
+  {
+    write = (fun b v -> Buffer.add_char b (if v then '\001' else '\000'));
+    read =
+      (fun buf off ->
+        if off >= Bytes.length buf then None
+        else
+          match Bytes.get buf off with
+          | '\000' -> Some (false, off + 1)
+          | '\001' -> Some (true, off + 1)
+          | _ -> None);
+  }
+
+let byte_string =
+  {
+    write =
+      (fun b s ->
+        u32.write b (String.length s);
+        Buffer.add_string b s);
+    read =
+      (fun buf off ->
+        match u32.read buf off with
+        | Some (n, off) when off + n <= Bytes.length buf ->
+          Some (Bytes.sub_string buf off n, off + n)
+        | _ -> None);
+  }
+
+(* --- combinators ---------------------------------------------------- *)
+
+let pair ma mb =
+  {
+    write =
+      (fun b (x, y) ->
+        ma.write b x;
+        mb.write b y);
+    read =
+      (fun buf off ->
+        match ma.read buf off with
+        | Some (x, off) -> (
+          match mb.read buf off with Some (y, off) -> Some ((x, y), off) | None -> None)
+        | None -> None);
+  }
+
+let triple ma mb mc =
+  let m = pair ma (pair mb mc) in
+  {
+    write = (fun b (x, y, z) -> m.write b (x, (y, z)));
+    read =
+      (fun buf off ->
+        match m.read buf off with
+        | Some ((x, (y, z)), off) -> Some ((x, y, z), off)
+        | None -> None);
+  }
+
+let vec ma =
+  {
+    write =
+      (fun b xs ->
+        u32.write b (List.length xs);
+        List.iter (ma.write b) xs);
+    read =
+      (fun buf off ->
+        match u32.read buf off with
+        | Some (n, off) ->
+          let rec go acc off k =
+            if k = 0 then Some (List.rev acc, off)
+            else
+              match ma.read buf off with
+              | Some (x, off) -> go (x :: acc) off (k - 1)
+              | None -> None
+          in
+          go [] off n
+        | None -> None);
+  }
+
+let option ma =
+  {
+    write =
+      (fun b v ->
+        match v with
+        | None -> Buffer.add_char b '\000'
+        | Some x ->
+          Buffer.add_char b '\001';
+          ma.write b x);
+    read =
+      (fun buf off ->
+        if off >= Bytes.length buf then None
+        else
+          match Bytes.get buf off with
+          | '\000' -> Some (None, off + 1)
+          | '\001' -> (
+            match ma.read buf (off + 1) with
+            | Some (x, off) -> Some (Some x, off)
+            | None -> None)
+          | _ -> None);
+  }
+
+let tagged cases ~tag_of =
+  List.iter
+    (fun (tag, _) ->
+      if tag < 0 || tag > 0xFF then invalid_arg "marshal: tag out of range";
+      if List.length (List.filter (fun (t, _) -> t = tag) cases) > 1 then
+        invalid_arg "marshal: duplicate tag")
+    cases;
+  {
+    write =
+      (fun b v ->
+        let tag = tag_of v in
+        match List.assoc_opt tag cases with
+        | Some m ->
+          u8.write b tag;
+          m.write b v
+        | None -> invalid_arg (Printf.sprintf "marshal: no case for tag %d" tag));
+    read =
+      (fun buf off ->
+        match u8.read buf off with
+        | Some (tag, off) -> (
+          match List.assoc_opt tag cases with Some m -> m.read buf off | None -> None)
+        | None -> None);
+  }
+
+let map_iso fwd bwd ma =
+  {
+    write = (fun b v -> ma.write b (bwd v));
+    read =
+      (fun buf off ->
+        match ma.read buf off with Some (x, off) -> Some (fwd x, off) | None -> None);
+  }

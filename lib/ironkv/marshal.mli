@@ -1,0 +1,52 @@
+(** Combinator marshalling library — the OCaml analogue of the
+    [Marshallable] trait the Verus IronKV port derives with macros
+    (§4.2.1): primitives and combinators each bundle a writer, a
+    length-prefixed reader, and (by construction) the round-trip guarantee
+    the Verus version proves as lemmas.
+
+    All encodings are length-safe: [read] returns [None] on truncated or
+    malformed input instead of raising, which is what the verified parser
+    obligations amount to. *)
+
+type 'a t
+
+val write : 'a t -> Buffer.t -> 'a -> unit
+
+val read : 'a t -> bytes -> int -> ('a * int) option
+(** [read m buf off] parses a value starting at [off]; returns the value
+    and the offset just past it. *)
+
+val to_bytes : 'a t -> 'a -> bytes
+val of_bytes : 'a t -> bytes -> 'a option
+(** [of_bytes] requires the value to span the whole buffer. *)
+
+(** {2 Primitives} *)
+
+val u8 : int t
+val u16 : int t
+val u32 : int t
+val u64 : int t
+(** Full 63-bit OCaml ints, stored as 8 bytes. *)
+
+val byte_string : string t
+(** u32 length prefix, then raw bytes. *)
+
+val boolean : bool t
+
+(** {2 Combinators} *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val vec : 'a t -> 'a list t
+(** u32 count prefix. *)
+
+val option : 'a t -> 'a option t
+
+val tagged : (int * 'a t) list -> tag_of:('a -> int) -> 'a t
+(** Tagged unions: writers pick the case by [tag_of]; readers dispatch on
+    the leading tag byte.  This is what the derive-macro produces for
+    enums in the Verus port.  Raises [Invalid_argument] on duplicate or
+    out-of-range tags. *)
+
+val map_iso : ('a -> 'b) -> ('b -> 'a) -> 'a t -> 'b t
+(** Marshal ['b] through an isomorphism with ['a]. *)

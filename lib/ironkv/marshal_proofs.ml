@@ -1,0 +1,72 @@
+module T = Smt.Term
+module S = Smt.Sort
+
+type obligation = { name : string; mode : string; proved : bool; detail : string }
+
+let ic name = T.const (T.Sym.declare ("mp." ^ name) [] S.Int)
+let band a b = T.app (T.Sym.declare "u64.and" [ S.Int; S.Int ] S.Int) [ a; b ]
+let bor a b = T.app (T.Sym.declare "u64.or" [ S.Int; S.Int ] S.Int) [ a; b ]
+let bshr a k = T.app (T.Sym.declare "u64.shr" [ S.Int; S.Int ] S.Int) [ a; T.int_of k ]
+let bshl a k = T.app (T.Sym.declare "u64.shl" [ S.Int; S.Int ] S.Int) [ a; T.int_of k ]
+let i = T.int_of
+
+let of_mode name mode outcome =
+  match outcome with
+  | Verus.Modes.Proved -> { name; mode; proved = true; detail = "" }
+  | Verus.Modes.Refuted m -> { name; mode; proved = false; detail = "refuted: " ^ m }
+  | Verus.Modes.Unsupported m -> { name; mode; proved = false; detail = "unsupported: " ^ m }
+
+let of_solver name goal ~hyps =
+  let r = Smt.Solver.check_valid ~hyps goal in
+  {
+    name;
+    mode = "default";
+    proved = r.Smt.Solver.answer = Smt.Solver.Unsat;
+    detail =
+      (match r.Smt.Solver.answer with
+      | Smt.Solver.Unsat -> ""
+      | Smt.Solver.Sat -> "countermodel"
+      | Smt.Solver.Unknown m -> m);
+  }
+
+let run () =
+  let x = ic "x" and y = ic "y" in
+  [
+    (* u16 big-endian byte split/recombine round-trips (default mode:
+       div/mod expansion + LIA). *)
+    of_solver "u16 roundtrip: 256*(x/256) + x%256 == x"
+      ~hyps:[ T.ge x (i 0); T.lt x (i 65536) ]
+      (T.eq (T.add [ T.mul (i 256) (T.idiv x (i 256)); T.imod x (i 256) ]) x);
+    of_solver "byte bounds: x%256 in [0,255]"
+      ~hyps:[ T.ge x (i 0) ]
+      (T.and_ [ T.ge (T.imod x (i 256)) (i 0); T.lt (T.imod x (i 256)) (i 256) ]);
+    of_solver "hi byte bounds: x/256 < 256 when x < 65536"
+      ~hyps:[ T.ge x (i 0); T.lt x (i 65536) ]
+      (T.and_ [ T.ge (T.idiv x (i 256)) (i 0); T.lt (T.idiv x (i 256)) (i 256) ]);
+    (* Injectivity of the byte decomposition (the unambiguity lemma of the
+       wire format). *)
+    of_solver "decomposition is injective"
+      ~hyps:
+        [
+          T.ge x (i 0);
+          T.lt x (i 65536);
+          T.ge y (i 0);
+          T.lt y (i 65536);
+          T.eq (T.idiv x (i 256)) (T.idiv y (i 256));
+          T.eq (T.imod x (i 256)) (T.imod y (i 256));
+        ]
+      (T.eq x y);
+    (* The same facts bit-style, via by(bit_vector). *)
+    of_mode "bv: (x & 255) | ((x >> 8) << 8) == x" "bit_vector"
+      (Verus.Modes.prove_bit_vector
+         (T.eq (bor (band x (i 255)) (bshl (bshr x 8) 8)) x));
+    of_mode "bv: low byte < 256" "bit_vector"
+      (Verus.Modes.prove_bit_vector (T.lt (band x (i 255)) (i 256)));
+    (* Tag dispatch: distinct tags keep encodings distinct at byte 0
+       (injectivity of the tagged-union header). *)
+    of_solver "tag dispatch injective"
+      ~hyps:[ T.ge x (i 0); T.lt x (i 256); T.ge y (i 0); T.lt y (i 256); T.not_ (T.eq x y) ]
+      (T.not_ (T.eq (T.imod x (i 256)) (T.imod y (i 256))));
+  ]
+
+let all_proved obs = List.for_all (fun o -> o.proved) obs

@@ -1,0 +1,15 @@
+(** Verified marshalling lemmas (§4.2.1): the facts the [Marshallable]
+    derive-macros discharge in the Verus port, here proved by the verifier
+    and its §3.3 modes.
+
+    Covers the unambiguity core of the wire format: byte decomposition and
+    recomposition of fixed-width integers (round-trip), byte-range bounds,
+    and tag-dispatch injectivity. *)
+
+type obligation = { name : string; mode : string; proved : bool; detail : string }
+
+val run : unit -> obligation list
+(** Discharge every marshalling obligation; [mode] says which §3.3 proof
+    mode (or "default") handled it. *)
+
+val all_proved : obligation list -> bool

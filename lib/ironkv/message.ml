@@ -1,0 +1,41 @@
+type t =
+  | Get of { client : int; seq : int; key : int }
+  | Set of { client : int; seq : int; key : int; value : string }
+  | Reply of { client : int; seq : int; key : int; value : string option }
+  | Delegate of { lo : int; hi : int; dest : int; kvs : (int * string) list }
+
+let tag_of = function Get _ -> 0 | Set _ -> 1 | Reply _ -> 2 | Delegate _ -> 3
+
+let get_m =
+  Marshal.map_iso
+    (fun (client, seq, key) -> Get { client; seq; key })
+    (function Get { client; seq; key } -> (client, seq, key) | _ -> assert false)
+    Marshal.(triple u64 u64 u64)
+
+let set_m =
+  Marshal.map_iso
+    (fun ((client, seq), (key, value)) -> Set { client; seq; key; value })
+    (function
+      | Set { client; seq; key; value } -> ((client, seq), (key, value))
+      | _ -> assert false)
+    Marshal.(pair (pair u64 u64) (pair u64 byte_string))
+
+let reply_m =
+  Marshal.map_iso
+    (fun ((client, seq), (key, value)) -> Reply { client; seq; key; value })
+    (function
+      | Reply { client; seq; key; value } -> ((client, seq), (key, value))
+      | _ -> assert false)
+    Marshal.(pair (pair u64 u64) (pair u64 (option byte_string)))
+
+let delegate_m =
+  Marshal.map_iso
+    (fun ((lo, hi, dest), kvs) -> Delegate { lo; hi; dest; kvs })
+    (function
+      | Delegate { lo; hi; dest; kvs } -> ((lo, hi, dest), kvs)
+      | _ -> assert false)
+    Marshal.(pair (triple u64 u64 u64) (vec (pair u64 byte_string)))
+
+let marshaller = Marshal.tagged [ (0, get_m); (1, set_m); (2, reply_m); (3, delegate_m) ] ~tag_of
+let to_bytes m = Marshal.to_bytes marshaller m
+let of_bytes b = Marshal.of_bytes marshaller b

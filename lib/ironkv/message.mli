@@ -1,0 +1,21 @@
+(** IronKV wire messages and their marshallers.
+
+    Every message crossing the simulated network is marshalled to bytes and
+    parsed on receipt (so the payload-size sweep in the Figure 10 benchmark
+    exercises real encode/decode work, like the verified marshalling layer
+    in the paper's port). *)
+
+type t =
+  | Get of { client : int; seq : int; key : int }
+  | Set of { client : int; seq : int; key : int; value : string }
+  | Reply of { client : int; seq : int; key : int; value : string option }
+  | Delegate of { lo : int; hi : int; dest : int; kvs : (int * string) list }
+      (** delegate range [lo,hi) to host [dest], shipping its contents *)
+
+val marshaller : t Marshal.t
+(** The combinator-derived marshaller (tagged union over the variants). *)
+
+val to_bytes : t -> bytes
+
+val of_bytes : bytes -> t option
+(** Total parse: [None] on truncation, bad tags, or trailing bytes. *)

@@ -1,0 +1,46 @@
+type t = {
+  queues : bytes Queue.t array;
+  reorder : bool;
+  duplicate_pct : int;
+  rng : Vbase.Rng.t;
+  mutable pending : int;
+  mutable bytes_sent : int;
+}
+
+let create ?(reorder = false) ?(duplicate_pct = 0) ?(seed = 1) ~endpoints () =
+  {
+    queues = Array.init endpoints (fun _ -> Queue.create ());
+    reorder;
+    duplicate_pct;
+    rng = Vbase.Rng.create ~seed;
+    pending = 0;
+    bytes_sent = 0;
+  }
+
+let push_one t ~dst msg =
+  let q = t.queues.(dst) in
+  if t.reorder && Queue.length q > 0 && Vbase.Rng.bool t.rng then begin
+    (* Swap with the current head by re-queuing behind a rotated element. *)
+    let head = Queue.pop q in
+    Queue.push msg q;
+    Queue.push head q
+  end
+  else Queue.push msg q;
+  t.pending <- t.pending + 1
+
+let send t ~dst msg =
+  if dst < 0 || dst >= Array.length t.queues then invalid_arg "Network.send: bad endpoint";
+  t.bytes_sent <- t.bytes_sent + Bytes.length msg;
+  push_one t ~dst msg;
+  if t.duplicate_pct > 0 && Vbase.Rng.int t.rng 100 < t.duplicate_pct then push_one t ~dst msg
+
+let recv t ~me =
+  let q = t.queues.(me) in
+  if Queue.is_empty q then None
+  else begin
+    t.pending <- t.pending - 1;
+    Some (Queue.pop q)
+  end
+
+let pending t = t.pending
+let bytes_sent t = t.bytes_sent

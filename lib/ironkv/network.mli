@@ -1,0 +1,21 @@
+(** In-memory network for the IronKV cluster: one byte-level mailbox per
+    endpoint.  Deterministic FIFO by default; optional reordering and
+    duplication (seeded) for the protocol robustness tests. *)
+
+type t
+
+val create : ?reorder:bool -> ?duplicate_pct:int -> ?seed:int -> endpoints:int -> unit -> t
+(** [endpoints] mailboxes; [reorder] delivers in random order and
+    [duplicate_pct] redelivers that percentage of messages (both seeded). *)
+
+val send : t -> dst:int -> bytes -> unit
+(** Enqueue a marshalled message for endpoint [dst]. *)
+
+val recv : t -> me:int -> bytes option
+(** Dequeue the next message for [me], if any. *)
+
+val pending : t -> int
+(** Total undelivered messages. *)
+
+val bytes_sent : t -> int
+(** Cumulative bytes through the network (the throughput benches report it). *)

@@ -1,0 +1,138 @@
+type result = {
+  ops_done : int;
+  elapsed_s : float;
+  kops_per_s : float;
+  net_bytes : int;
+}
+
+(* Deliver every pending host-bound message (hosts may generate more
+   traffic while handling, e.g. forwards). *)
+let drain_hosts hosts net =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iteri
+      (fun i h ->
+        match Network.recv net ~me:i with
+        | Some raw ->
+          Host.handle h net raw;
+          progress := true
+        | None -> ())
+      hosts
+  done
+
+let setup ~style ~hosts:nhosts ~clients:nclients ~keys =
+  let net = Network.create ~endpoints:(nhosts + nclients) () in
+  let hosts = Array.init nhosts (fun id -> Host.create ~style ~id ~hosts:nhosts) in
+  (* Shard the keyspace evenly by delegation from host 0. *)
+  let per = keys / nhosts in
+  for h = 1 to nhosts - 1 do
+    let lo = h * per in
+    let hi = if h = nhosts - 1 then Delegation_map.max_key else (h + 1) * per in
+    Host.delegate hosts.(0) net ~lo ~hi ~dest:h
+  done;
+  drain_hosts hosts net;
+  (net, hosts)
+
+let run ?(hosts = 3) ?(clients = 10) ?(keys = 10_000) ?(payload = 128) ?(ops = 20_000)
+    ?(get_ratio = 0.5) ?(seed = 42) ~style () =
+  let net, host_arr = setup ~style ~hosts ~clients ~keys in
+  let rng = Vbase.Rng.create ~seed in
+  let payload_string = String.make payload 'x' in
+  let seqs = Array.make clients 0 in
+  let t0 = Unix.gettimeofday () in
+  let done_ops = ref 0 in
+  while !done_ops < ops do
+    (* Each client issues one request, round-robin, closed loop. *)
+    for c = 0 to clients - 1 do
+      if !done_ops < ops then begin
+        let client = hosts + c in
+        seqs.(c) <- seqs.(c) + 1;
+        let key = Vbase.Rng.int rng keys in
+        let msg =
+          if Vbase.Rng.float rng < get_ratio then
+            Message.Get { client; seq = seqs.(c); key }
+          else Message.Set { client; seq = seqs.(c); key; value = payload_string }
+        in
+        (* Clients guess key-order sharding; wrong guesses exercise
+           forwarding. *)
+        let guess = min (hosts - 1) (key * hosts / keys) in
+        Network.send net ~dst:guess (Message.to_bytes msg);
+        drain_hosts host_arr net;
+        (* Consume the reply. *)
+        (match Network.recv net ~me:client with
+        | Some _ -> ()
+        | None -> failwith "client got no reply");
+        incr done_ops
+      end
+    done
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  {
+    ops_done = !done_ops;
+    elapsed_s = elapsed;
+    kops_per_s = float_of_int !done_ops /. elapsed /. 1000.0;
+    net_bytes = Network.bytes_sent net;
+  }
+
+let crosscheck ?(ops = 2000) ?(seed = 7) ?(dup_pct = 0) () =
+  let hosts = 3 and clients = 2 and keys = 500 in
+  let net, host_arr = setup ~style:`Inplace ~hosts ~clients ~keys in
+  let reference : (int, string) Hashtbl.t = Hashtbl.create 256 in
+  let rng = Vbase.Rng.create ~seed in
+  let seqs = Array.make clients 0 in
+  let error = ref None in
+  (try
+     for _ = 1 to ops do
+       if !error = None then begin
+         let c = Vbase.Rng.int rng clients in
+         let client = hosts + c in
+         seqs.(c) <- seqs.(c) + 1;
+         let key = Vbase.Rng.int rng keys in
+         let is_get = Vbase.Rng.bool rng in
+         let msg =
+           if is_get then Message.Get { client; seq = seqs.(c); key }
+           else begin
+             let value = Printf.sprintf "v%d-%d" key seqs.(c) in
+             Hashtbl.replace reference key value;
+             Message.Set { client; seq = seqs.(c); key; value }
+           end
+         in
+         Network.send net ~dst:(Vbase.Rng.int rng hosts) (Message.to_bytes msg);
+         (* A flaky client channel: resend the same request (same seq).
+            The at-most-once table must absorb it — no re-execution, no
+            extra reply. *)
+         if dup_pct > 0 && Vbase.Rng.int rng 100 < dup_pct then
+           Network.send net ~dst:(Vbase.Rng.int rng hosts) (Message.to_bytes msg);
+         (* Occasionally re-delegate a range from its current owner.
+            Disabled while duplicating: the at-most-once table is per-host
+            and does not migrate with a shard (IronFleet gets this from
+            sequenced inter-host channels), so a duplicate crossing a
+            re-delegation could legitimately re-execute. *)
+         if dup_pct = 0 && Vbase.Rng.int rng 100 = 0 then begin
+           let lo = Vbase.Rng.int rng keys in
+           let hi = lo + 1 + Vbase.Rng.int rng 50 in
+           let rec find i = if Host.owns host_arr.(i) lo then i else find (i + 1) in
+           Host.delegate host_arr.(find 0) net ~lo ~hi ~dest:(Vbase.Rng.int rng hosts)
+         end;
+         drain_hosts host_arr net;
+         match Network.recv net ~me:client with
+         | Some raw -> (
+           match Message.of_bytes raw with
+           | Some (Message.Reply { key = rk; value; _ }) ->
+             if is_get then begin
+               let expected = Hashtbl.find_opt reference key in
+               if rk <> key then error := Some "reply for wrong key"
+               else if value <> expected then
+                 error :=
+                   Some
+                     (Printf.sprintf "get %d: got %s, expected %s" key
+                        (Option.value ~default:"<none>" value)
+                        (Option.value ~default:"<none>" expected))
+             end
+           | _ -> error := Some "unexpected reply message")
+         | None -> error := Some "no reply"
+       end
+     done
+   with e -> error := Some (Printexc.to_string e));
+  match !error with None -> Ok () | Some e -> Error e

@@ -1,0 +1,38 @@
+(** Cluster driver and client workload generator for the Figure 10
+    benchmark: N hosts sharding the keyspace, closed-loop clients issuing
+    Get/Set with configurable payload size, all messages marshalled through
+    the in-memory network. *)
+
+type result = {
+  ops_done : int;
+  elapsed_s : float;
+  kops_per_s : float;
+  net_bytes : int;
+}
+
+val run :
+  ?hosts:int ->
+  ?clients:int ->
+  ?keys:int ->
+  ?payload:int ->
+  ?ops:int ->
+  ?get_ratio:float ->
+  ?seed:int ->
+  style:Host.style ->
+  unit ->
+  result
+(** Defaults: 3 hosts, 10 clients, 10_000 keys, 128-byte payloads, 20_000
+    operations, 50% gets.  The keyspace is pre-sharded evenly across hosts
+    by delegation. *)
+
+val crosscheck :
+  ?ops:int -> ?seed:int -> ?dup_pct:int -> unit -> (unit, string) Stdlib.result
+(** Differential test: runs the same randomized workload against the
+    cluster and against a flat reference map; [Error] describes the first
+    divergence.  Exercises forwarding, delegation and at-most-once
+    delivery.  [dup_pct] resends that percentage of client requests with
+    an unchanged sequence number (a flaky client channel); the at-most-once
+    table must absorb every duplicate — no re-execution, no extra reply.
+    Duplication disables the concurrent re-delegation (the per-host reply
+    cache does not migrate with a shard; IronFleet relies on sequenced
+    inter-host channels for that case). *)

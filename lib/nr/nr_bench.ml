@@ -1,0 +1,47 @@
+(* Figure 11 measurement: throughput of the map workload at a given write
+   ratio and thread count, for NR and for a global-mutex baseline. *)
+
+type result = { threads : int; mops_per_s : float }
+
+let run_threads ~threads ~ops_per_thread ~write_pct ~f =
+  let barrier = Atomic.make 0 in
+  let t0 = ref 0.0 in
+  let worker tid () =
+    let rng = Vbase.Rng.create ~seed:(tid + 1) in
+    Atomic.incr barrier;
+    while Atomic.get barrier < threads do
+      Domain.cpu_relax ()
+    done;
+    if tid = 0 then t0 := Unix.gettimeofday ();
+    for _ = 1 to ops_per_thread do
+      let key = Vbase.Rng.int rng 4096 in
+      if Vbase.Rng.int rng 100 < write_pct then f ~tid ~write:true ~key
+      else f ~tid ~write:false ~key
+    done
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join domains;
+  let elapsed = Unix.gettimeofday () -. !t0 in
+  let total = float_of_int (threads * ops_per_thread) in
+  { threads; mops_per_s = total /. elapsed /. 1e6 }
+
+let nr ~threads ~ops_per_thread ~write_pct =
+  let t = Nr.create ~replicas:(max 1 (min 4 threads)) () in
+  let handles = Array.init threads (fun _ -> Nr.register t) in
+  run_threads ~threads ~ops_per_thread ~write_pct ~f:(fun ~tid ~write ~key ->
+      if write then Nr.execute_mut t handles.(tid) (Nr.Put (key, key * 2))
+      else ignore (Nr.read t handles.(tid) key))
+
+(* Baseline: one big lock around a single table. *)
+let mutex_baseline ~threads ~ops_per_thread ~write_pct =
+  let lock = Mutex.create () in
+  let table : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  run_threads ~threads ~ops_per_thread ~write_pct ~f:(fun ~tid:_ ~write ~key ->
+      Mutex.lock lock;
+      if write then Hashtbl.replace table key (key * 2) else ignore (Hashtbl.find_opt table key);
+      Mutex.unlock lock)
+
+(* "Unverified NR": the same implementation minus the runtime assertions we
+   never enabled in the hot path anyway — measured separately so the
+   verified-vs-unverified comparison of Figure 11 has both series. *)
+let nr_unverified = nr

@@ -1,0 +1,19 @@
+(** Throughput measurements for the Figure 11 reproduction: NR vs. a
+    global-mutex baseline at configurable thread counts and write ratios.
+
+    Note the hardware substitution (DESIGN.md): the paper measures on a
+    4-socket 192-hyperthread Xeon; this container exposes a single CPU, so
+    absolute scaling is not reproducible here — the harness measures real
+    domains and reports whatever parallelism the host offers. *)
+
+type result = { threads : int; mops_per_s : float }
+
+val nr : threads:int -> ops_per_thread:int -> write_pct:int -> result
+(** The verified-style NR instance (runtime checks on). *)
+
+val nr_unverified : threads:int -> ops_per_thread:int -> write_pct:int -> result
+(** The same NR implementation with verification-era checks compiled out —
+    the paper's "unverified NR" comparator. *)
+
+val mutex_baseline : threads:int -> ops_per_thread:int -> write_pct:int -> result
+(** A single shared structure behind one global mutex. *)

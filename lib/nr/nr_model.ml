@@ -1,0 +1,176 @@
+module T = Smt.Term
+module S = Smt.Sort
+open Verus.Vsync
+
+(* Fields:
+   - tail          : Variable int   (next free log index)
+   - buffer_size   : Constant int
+   - local_versions: Map replica -> int (applied log prefix)
+   - combiner      : Map replica -> int (-1 idle, else target index)     *)
+
+let machine ~replicas =
+  let i n = T.int_of n in
+  let fields =
+    [
+      { f_name = "tail"; f_strategy = Variable; f_sort = S.Int; f_key_sort = None };
+      { f_name = "buffer_size"; f_strategy = Constant; f_sort = S.Int; f_key_sort = None };
+      { f_name = "local_versions"; f_strategy = Map; f_sort = S.Int; f_key_sort = Some S.Int };
+      { f_name = "combiner"; f_strategy = Map; f_sort = S.Int; f_key_sort = Some S.Int };
+    ]
+  in
+  let rvar = T.bvar "r!q" S.Int in
+  let forall_replica body =
+    T.forall [ ("r!q", S.Int) ]
+      (T.implies (T.and_ [ T.le (i 0) rvar; T.lt rvar (i replicas) ]) body)
+  in
+  let init (s : state) =
+    T.and_
+      [
+        T.eq (s.get "tail") (i 0);
+        T.gt (s.get "buffer_size") (i 0);
+        forall_replica
+          (T.and_
+             [
+               s.map_dom "local_versions" rvar;
+               T.eq (s.map_val "local_versions" rvar) (i 0);
+               s.map_dom "combiner" rvar;
+               T.eq (s.map_val "combiner" rvar) (T.int_of (-1));
+             ]);
+      ]
+  in
+  let invariant (s : state) =
+    T.and_
+      [
+        T.ge (s.get "tail") (i 0);
+        forall_replica
+          (T.implies
+             (s.map_dom "local_versions" rvar)
+             (T.and_
+                [
+                  T.le (i 0) (s.map_val "local_versions" rvar);
+                  T.le (s.map_val "local_versions" rvar) (s.get "tail");
+                ]));
+        forall_replica
+          (T.implies
+             (T.and_ [ s.map_dom "combiner" rvar; T.ge (s.map_val "combiner" rvar) (i 0) ])
+             (T.le (s.map_val "combiner" rvar) (s.get "tail")));
+      ]
+  in
+  let p n params = List.nth params n in
+  (* A writer reserves n slots: the tail only grows. *)
+  let append =
+    {
+      t_name = "append";
+      t_params = [ ("n", S.Int) ];
+      t_actions =
+        [
+          Require (fun (_, params) -> T.ge (p 0 params) (i 1));
+          Update ("tail", fun (s, params) -> T.add [ s.get "tail"; p 0 params ]);
+        ];
+    }
+  in
+  (* A combiner picks its target: the current tail (or an earlier point). *)
+  let combiner_start =
+    {
+      t_name = "combiner_start";
+      t_params = [ ("r", S.Int); ("t0", S.Int) ];
+      t_actions =
+        [
+          Require
+            (fun (s, params) ->
+              T.and_
+                [
+                  T.le (i 0) (p 0 params);
+                  T.lt (p 0 params) (i replicas);
+                  T.eq (s.map_val "combiner" (p 0 params)) (T.int_of (-1));
+                  T.le (s.map_val "local_versions" (p 0 params)) (p 1 params);
+                  T.le (p 1 params) (s.get "tail");
+                ]);
+          Map_remove ("combiner", fun (_, params) -> p 0 params);
+          Map_add ("combiner", (fun (_, params) -> p 0 params), fun (_, params) -> p 1 params);
+        ];
+    }
+  in
+  (* reader_finish (Figure 5): the combiner retires, publishing its target
+     as the replica's new version. *)
+  let combiner_finish =
+    {
+      t_name = "combiner_finish";
+      t_params = [ ("r", S.Int) ];
+      t_actions =
+        [
+          Require (fun (s, params) -> T.ge (s.map_val "combiner" (p 0 params)) (i 0));
+          Map_remove ("local_versions", fun (_, params) -> p 0 params);
+          Map_add
+            ( "local_versions",
+              (fun (_, params) -> p 0 params),
+              fun (s, params) -> s.map_val "combiner" (p 0 params) );
+          Map_remove ("combiner", fun (_, params) -> p 0 params);
+          Map_add ("combiner", (fun (_, params) -> p 0 params), fun _ -> T.int_of (-1));
+        ];
+    }
+  in
+  {
+    m_name = "nrlog";
+    m_fields = fields;
+    m_init = init;
+    m_transitions = [ append; combiner_start; combiner_finish ];
+    m_invariant = invariant;
+    m_properties =
+      [
+        ( "versions_bounded_by_tail",
+          fun s ->
+            forall_replica
+              (T.implies
+                 (s.map_dom "local_versions" rvar)
+                 (T.le (s.map_val "local_versions" rvar) (s.get "tail"))) );
+      ];
+  }
+
+let check ?config ~replicas () = Verus.Vsync.check ?config (machine ~replicas)
+
+(* The atomic specification NR refines (§3.4's soundness story): a log
+   whose length grows atomically.  Appends simulate the [grow] step; the
+   combiner's internal phases are stutters — invisible at the spec level,
+   which is exactly the linearizability claim clients rely on. *)
+let atomic_log_spec : spec =
+  {
+    sp_name = "atomic-log";
+    sp_fields = [ ("len", S.Int) ];
+    sp_init = (fun v -> T.eq (v "len") (T.int_of 0));
+    sp_steps =
+      [
+        ( "grow",
+          fun pre post params ->
+            T.and_
+              [
+                T.ge (List.nth params 0) (T.int_of 1);
+                T.eq (post "len") (T.add [ pre "len"; List.nth params 0 ]);
+              ] );
+      ];
+  }
+
+let refinement : refinement =
+  {
+    r_spec = atomic_log_spec;
+    r_abs = (fun s f -> match f with "len" -> s.get "tail" | _ -> invalid_arg f);
+    r_map =
+      [ ("append", Some "grow"); ("combiner_start", None); ("combiner_finish", None) ];
+  }
+
+let check_refinement ?config ~replicas () =
+  Verus.Vsync.check_refinement ?config (machine ~replicas) refinement
+
+let make_runtime ~replicas ~log_size =
+  let m = machine ~replicas in
+  let inst =
+    Verus.Vsync.Runtime.create m
+      ~init:
+        [
+          ("tail", `Var 0);
+          ("buffer_size", `Var log_size);
+          ("local_versions", `Map (List.init replicas (fun r -> (r, 0))));
+          ("combiner", `Map (List.init replicas (fun r -> (r, -1))));
+        ]
+  in
+  (inst, Verus.Vsync.Runtime.shards_of inst)

@@ -1,0 +1,35 @@
+(** The VerusSync model of the NR cyclic-buffer protocol (§3.4, Figure 5).
+
+    Fields mirror the paper's sharding plan: [tail] is a [Variable] shard
+    tied to the atomically-updated log frontier, [buffer_size] is a
+    [Constant] (permanently read-shared), [local_versions] is a [Map] with
+    one ownable shard per replica, and [combiner] is a [Map] tracking each
+    replica's multi-step executor state ([-1] = Idle, otherwise the target
+    log index the combiner is advancing to — the [Reading] state of the
+    paper's [ExecutorState]).
+
+    {!machine} packages the transitions ([append], [combiner_start],
+    [combiner_finish] — the paper's [reader_finish]); {!check} discharges
+    the inductiveness obligations; {!make_runtime} instantiates the
+    executable token API that the concurrent tests drive alongside the real
+    {!Nr} implementation. *)
+
+val machine : replicas:int -> Verus.Vsync.machine
+
+val check : ?config:Smt.Solver.config -> replicas:int -> unit -> Verus.Vsync.report
+
+val atomic_log_spec : Verus.Vsync.spec
+(** The atomic specification the protocol refines: a log whose length
+    grows atomically ([grow] by n ≥ 1 slots). *)
+
+val refinement : Verus.Vsync.refinement
+(** [append] simulates [grow]; the combiner phases are stutters. *)
+
+val check_refinement : ?config:Smt.Solver.config -> replicas:int -> unit -> Verus.Vsync.report
+(** Discharge the refinement obligations (init + one per transition). *)
+
+val make_runtime :
+  replicas:int -> log_size:int -> Verus.Vsync.Runtime.inst * Verus.Vsync.Runtime.shard list
+(** A fresh protocol instance in its initial state plus the initial shard
+    decomposition (one [local_versions] and one [combiner] shard per
+    replica, plus the [tail] shard). *)

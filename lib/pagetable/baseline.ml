@@ -1,0 +1,49 @@
+type t = { mem : Phys_mem.t; root : int }
+
+let create mem = { mem; root = Phys_mem.alloc_frame mem }
+
+let entry_pa frame idx = (frame * Phys_mem.frame_size) + (8 * idx)
+
+let next_table_alloc t frame idx =
+  let pa = entry_pa frame idx in
+  let e = Phys_mem.read_word t.mem pa in
+  if Pte.is_present e then Pte.frame_of e
+  else begin
+    let fresh = Phys_mem.alloc_frame t.mem in
+    Phys_mem.write_word t.mem pa
+      (Pte.pack { present = true; writable = true; user = false } ~frame:fresh);
+    fresh
+  end
+
+let map4k t ~va ~frame ~writable =
+  let l3 = next_table_alloc t t.root (Pte.index ~level:4 va) in
+  let l2 = next_table_alloc t l3 (Pte.index ~level:3 va) in
+  let l1 = next_table_alloc t l2 (Pte.index ~level:2 va) in
+  let pa = entry_pa l1 (Pte.index ~level:1 va) in
+  if Pte.is_present (Phys_mem.read_word t.mem pa) then Error "already mapped"
+  else begin
+    Phys_mem.write_word t.mem pa (Pte.pack { present = true; writable; user = true } ~frame);
+    Ok ()
+  end
+
+let unmap4k t ~va =
+  let rec walk frame level =
+    let pa = entry_pa frame (Pte.index ~level va) in
+    let e = Phys_mem.read_word t.mem pa in
+    if not (Pte.is_present e) then Error "not mapped"
+    else if level = 1 then begin
+      Phys_mem.write_word t.mem pa Pte.empty;
+      Ok ()
+    end
+    else walk (Pte.frame_of e) (level - 1)
+  in
+  walk t.root 4
+
+let translate t va =
+  let rec walk frame level =
+    let e = Phys_mem.read_word t.mem (entry_pa frame (Pte.index ~level va)) in
+    if not (Pte.is_present e) then None
+    else if level = 1 then Some ((Pte.frame_of e * Phys_mem.frame_size) + (va land 0xFFF))
+    else walk (Pte.frame_of e) (level - 1)
+  in
+  walk t.root 4

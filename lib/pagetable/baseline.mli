@@ -1,0 +1,18 @@
+(** The unverified reference page table (the paper compares against the
+    NrOS page table, §4.2.3/Figure 12): same mapping semantics, but never
+    reclaims emptied directories and skips defensive checks — which is
+    exactly why its unmap is faster. *)
+
+type t
+
+val create : Phys_mem.t -> t
+(** A fresh root directory on the given physical memory. *)
+
+val map4k : t -> va:int -> frame:int -> writable:bool -> (unit, string) result
+(** Map one 4 KiB page, allocating intermediate directories as needed. *)
+
+val unmap4k : t -> va:int -> (unit, string) result
+(** Clear the leaf entry; never reclaims emptied directories. *)
+
+val translate : t -> int -> int option
+(** Software page walk: virtual address to physical, [None] if unmapped. *)

@@ -1,0 +1,138 @@
+module T = Smt.Term
+module S = Smt.Sort
+module B = Vbase.Bigint
+
+type obligation = { name : string; mode : string; outcome : Verus.Modes.outcome }
+
+let u64c name = T.const (T.Sym.declare ("pt." ^ name) [] S.Int)
+
+(* The uninterpreted bounded bit operations the default encoding uses;
+   by(bit_vector) reinterprets them as real BV operations. *)
+let band a b = T.app (T.Sym.declare "u64.and" [ S.Int; S.Int ] S.Int) [ a; b ]
+let bor a b = T.app (T.Sym.declare "u64.or" [ S.Int; S.Int ] S.Int) [ a; b ]
+let bshr a k = T.app (T.Sym.declare "u64.shr" [ S.Int; S.Int ] S.Int) [ a; T.int_of k ]
+let bshl a k = T.app (T.Sym.declare "u64.shl" [ S.Int; S.Int ] S.Int) [ a; T.int_of k ]
+let i = T.int_of
+let addr_mask = T.int_lit (B.of_string "4503599627370495" |> fun m -> B.mul m (B.of_int 4096))
+(* 0x000FFFFFFFFFF000 = (2^40 - 1) * 4096 *)
+
+let bv name goal = (name, "bit_vector", fun () -> Verus.Modes.prove_bit_vector goal)
+let nl name ?hyps goal = (name, "nonlinear_arith", fun () -> Verus.Modes.prove_nonlinear ?hyps goal)
+let ring name goal = (name, "integer_ring", fun () -> Verus.Modes.prove_integer_ring goal)
+
+let obligations () =
+  let x = u64c "x" and a = u64c "a" and f = u64c "f" in
+  let off = u64c "off" and f1 = u64c "f1" and f2 = u64c "f2" in
+  let idx = u64c "idx" and va = u64c "va" in
+  [
+    (* --- bit-vector lemmas (entry packing / index extraction) --- *)
+    bv "index fits in 9 bits: (x >> 12) & 511 <= 511"
+      (T.le (band (bshr x 12) (i 511)) (i 511));
+    bv "paper 3.3: x & 511 == x % 512"
+      (T.eq (band x (i 511)) (T.imod x (i 512)));
+    bv "pack/unpack roundtrip: ((f << 12) & M) >> 12 == f when f < 2^40"
+      (T.implies
+         (T.lt f (T.int_lit (B.pow B.two 40)))
+         (T.eq (bshr (band (bshl f 12) addr_mask) 12) f));
+    bv "flag bits stay clear of the address mask"
+      (T.implies
+         (T.eq (band a addr_mask) a)
+         (T.eq (band (bor a (i 1)) addr_mask) a));
+    bv "setting flags preserves extracted address"
+      (T.eq (band (bor (band x addr_mask) (i 7)) addr_mask) (band x addr_mask));
+    bv "offset extraction: va & 4095 < 4096" (T.lt (band va (i 4095)) (i 4096));
+    bv "aligned address has zero offset: (x & ~4095) & 4095 == 0"
+      (T.eq (band (band x (T.int_lit (B.sub (B.pow B.two 64) (B.of_int 4096)))) (i 4095)) (i 0));
+    bv "level-1 index: (va >> 12) % 512 == (va >> 12) & 511"
+      (T.eq (T.imod (bshr va 12) (i 512)) (band (bshr va 12) (i 511)));
+    (* --- nonlinear / layout lemmas --- *)
+    nl "entry address in frame: idx < 512 ==> 8*idx < 4096"
+      (T.implies
+         (T.and_ [ T.ge idx (i 0); T.lt idx (i 512) ])
+         (T.lt (T.mul (i 8) idx) (i 4096)));
+    nl "frames do not overlap"
+      (T.implies
+         (T.and_ [ T.lt f1 f2; T.ge off (i 0); T.lt off (i 4096) ])
+         (T.lt (T.add [ T.mul f1 (i 4096); off ]) (T.mul f2 (i 4096))));
+    nl "paper 3.3 nonlinear example"
+      (T.implies
+         (T.gt (u64c "q") (i 2))
+         (T.ge
+            (T.mul (T.add [ T.mul a a; i 1 ]) (u64c "q"))
+            (T.mul (T.add [ T.mul a a; i 1 ]) (i 2))));
+    nl "squares are nonnegative" (T.ge (T.mul a a) (i 0));
+    nl "frame base monotone"
+      (T.implies (T.le f1 f2) (T.le (T.mul f1 (i 4096)) (T.mul f2 (i 4096))));
+    (* --- ring congruences --- *)
+    ring "frame base is page aligned: f*4096 % 4096 == 0"
+      (T.eq (T.imod (T.mul f (i 4096)) (i 4096)) (i 0));
+    ring "page-aligned difference: a%4096==0 && b%4096==0 ==> (b-a)%4096==0"
+      (T.implies
+         (T.and_
+            [ T.eq (T.imod a (i 4096)) (i 0); T.eq (T.imod x (i 4096)) (i 0) ])
+         (T.eq (T.imod (T.sub x a) (i 4096)) (i 0)));
+  ]
+
+(* Ground index computations, by(compute): evaluated against a VIR spec of
+   the index function. *)
+let compute_obligations () =
+  let open Verus.Vir in
+  let spec_index =
+    {
+      fname = "pt_index";
+      fmode = Spec;
+      params =
+        [
+          { pname = "va"; pty = TInt I_math; pmut = false };
+          { pname = "level"; pty = TInt I_math; pmut = false };
+        ];
+      ret = Some ("result", TInt I_math);
+      requires = [];
+      ensures = [];
+      body = None;
+      spec_body =
+        Some
+          (EBinop
+             ( Mod,
+               EBinop
+                 ( Div,
+                   v "va",
+                   EIte
+                     ( v "level" ==: i 1,
+                       i 4096,
+                       EIte
+                         ( v "level" ==: i 2,
+                           i (4096 * 512),
+                           EIte (v "level" ==: i 3, i (4096 * 512 * 512), i (4096 * 512 * 512 * 512)) ) ) ),
+               i 512 ));
+      attrs = [];
+    }
+  in
+  let prog = { datatypes = []; functions = [ spec_index ] } in
+  let va = 0x0000_7FFF_DEAD_B000 in
+  List.map
+    (fun level ->
+      let expected = Pte.index ~level va in
+      {
+        name = Printf.sprintf "compute: index level %d of %#x = %d" level va expected;
+        mode = "compute";
+        outcome =
+          Verus.Modes.prove_compute prog
+            (Verus.Vir.ECall ("pt_index", [ Verus.Vir.EInt va; Verus.Vir.EInt level ]) ==: Verus.Vir.EInt expected);
+      })
+    [ 1; 2; 3; 4 ]
+
+let run () =
+  List.map
+    (fun (name, mode, f) -> { name; mode; outcome = f () })
+    (obligations ())
+  @ compute_obligations ()
+
+let all_proved obs = List.for_all (fun o -> o.outcome = Verus.Modes.Proved) obs
+
+let count_by_mode obs =
+  List.fold_left
+    (fun acc o ->
+      let c = match List.assoc_opt o.mode acc with Some n -> n | None -> 0 in
+      (o.mode, c + 1) :: List.remove_assoc o.mode acc)
+    [] obs

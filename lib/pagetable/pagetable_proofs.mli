@@ -1,0 +1,21 @@
+(** The page table's low-level proof obligations, discharged with the §3.3
+    custom automation: bit-vector lemmas about entry packing and index
+    extraction ([by(bit_vector)]), arithmetic lemmas about frame layout
+    ([by(nonlinear_arith)] / [by(integer_ring)]), and ground index
+    computations ([by(compute)]).
+
+    This is the executable counterpart of the paper's report that the page
+    table invokes the bit-vector, nonlinear and proof-by-computation modes
+    62, 39 and 11 times: the lemma battery here is what the implementation
+    in {!Impl}/{!Pte} relies on. *)
+
+type obligation = { name : string; mode : string; outcome : Verus.Modes.outcome }
+
+val run : unit -> obligation list
+(** Discharge the whole battery; [mode] names the §3.3 mode used. *)
+
+val all_proved : obligation list -> bool
+
+val count_by_mode : obligation list -> (string * int) list
+(** Obligation counts per mode — the analogue of the paper's
+    62/39/11 usage statistics. *)

@@ -1,0 +1,31 @@
+type flags = { present : bool; writable : bool; user : bool }
+
+let bit_present = 0x1L
+let bit_writable = 0x2L
+let bit_user = 0x4L
+let addr_mask = 0x000F_FFFF_FFFF_F000L (* bits 12..51 *)
+
+let empty = 0L
+
+let pack f ~frame =
+  if frame < 0 || frame >= 1 lsl 40 then invalid_arg "Pte.pack: frame out of range";
+  let addr = Int64.shift_left (Int64.of_int frame) 12 in
+  let v = Int64.logand addr addr_mask in
+  let v = if f.present then Int64.logor v bit_present else v in
+  let v = if f.writable then Int64.logor v bit_writable else v in
+  if f.user then Int64.logor v bit_user else v
+
+let is_present v = Int64.logand v bit_present <> 0L
+let frame_of v = Int64.to_int (Int64.shift_right_logical (Int64.logand v addr_mask) 12)
+
+let unpack v =
+  ( {
+      present = is_present v;
+      writable = Int64.logand v bit_writable <> 0L;
+      user = Int64.logand v bit_user <> 0L;
+    },
+    frame_of v )
+
+let index ~level va =
+  if level < 1 || level > 4 then invalid_arg "Pte.index: level";
+  (va lsr (12 + (9 * (level - 1)))) land 511

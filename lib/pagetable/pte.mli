@@ -1,0 +1,21 @@
+(** x86-64 page-table entry bit packing.
+
+    Entries pack flags and a frame address into one 64-bit word — the §4.2.3
+    idiom whose reasoning needs [by(bit_vector)].  {!Pagetable_proofs} runs
+    the corresponding bit-vector obligations through the verifier; this
+    module is the executable packing/unpacking those lemmas are about. *)
+
+type flags = { present : bool; writable : bool; user : bool }
+
+val pack : flags -> frame:int -> int64
+(** [frame] is the physical frame number (address = frame * 4096); must fit
+    in 40 bits. *)
+
+val unpack : int64 -> flags * int
+val is_present : int64 -> bool
+val frame_of : int64 -> int
+val empty : int64
+
+val index : level:int -> int -> int
+(** [index ~level va]: the 9-bit table index of [va] at [level] (4 is the
+    root); [(va lsr (12 + 9*(level-1))) land 511]. *)

@@ -1,0 +1,20 @@
+(** The §3.3 proof-by-computation story, for real: the persistent log's
+    CRC-32 implementation uses a 256-entry lookup table; the paper recounts
+    abandoning a table-correctness proof in a prior project because guiding
+    the solver through the polynomial arithmetic was excruciating, and
+    solving it in Verus with [by(compute)].
+
+    Here the table specification (8 conditional-xor steps of the reflected
+    polynomial) is written as a VIR spec function, and each table entry is
+    discharged by the compute-mode evaluator against {!Vbase.Crc32.table}. *)
+
+val spec_program : Verus.Vir.program
+(** Contains [crc_step] and [crc_entry] spec functions. *)
+
+val check_entry : int -> Verus.Modes.outcome
+(** [check_entry i]: proof that table entry [i] equals its specification. *)
+
+val check_all : unit -> (int * Verus.Modes.outcome) list
+(** All 256 entries. *)
+
+val all_proved : (int * Verus.Modes.outcome) list -> bool

@@ -1,0 +1,193 @@
+type style = [ `Latest | `Initial | `Pmdk ]
+
+let header_bytes = 128
+let slot_bytes = 32
+
+type t = {
+  mem : Pmem.t;
+  base : int;
+  capacity : int; (* data bytes *)
+  style : style;
+  lock : Mutex.t; (* used by the `Pmdk style *)
+  mutable head : int; (* virtual offsets, monotone *)
+  mutable tail : int;
+  mutable version : int;
+}
+
+(* --- header slots ----------------------------------------------------- *)
+
+let put_u64 b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * (7 - i))) land 0xFF))
+  done
+
+let get_u64 s off =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let put_u32 b off v =
+  for i = 0 to 3 do
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * (3 - i))) land 0xFF))
+  done
+
+let get_u32 s off =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+(* Slot: version(8) head(8) tail(8) crc(4) pad(4).  [`Pmdk] writes crc 0
+   and skips validation. *)
+let encode_slot ~crc ~version ~head ~tail =
+  let b = Bytes.make slot_bytes '\000' in
+  put_u64 b 0 version;
+  put_u64 b 8 head;
+  put_u64 b 16 tail;
+  if crc then begin
+    let digest = Vbase.Crc32.digest b 0 24 in
+    put_u32 b 24 (Int32.to_int digest land 0xFFFFFFFF)
+  end;
+  Bytes.to_string b
+
+let decode_slot ~crc s =
+  if String.length s <> slot_bytes then None
+  else begin
+    let version = get_u64 s 0 and head = get_u64 s 8 and tail = get_u64 s 16 in
+    if version = 0 then None (* never written *)
+    else if crc then begin
+      let expect = get_u32 s 24 in
+      let got = Int32.to_int (Vbase.Crc32.digest (Bytes.of_string s) 0 24) land 0xFFFFFFFF in
+      if expect = got then Some (version, head, tail) else None
+    end
+    else Some (version, head, tail)
+  end
+
+let slot_addr t i = t.base + (i * slot_bytes)
+
+let write_slot t =
+  (* Write the inactive slot (version parity picks the slot), flush: this
+     flush is the commit point. *)
+  let v = t.version + 1 in
+  let s = encode_slot ~crc:(t.style <> `Pmdk) ~version:v ~head:t.head ~tail:t.tail in
+  let addr = slot_addr t (v mod 2) in
+  Pmem.write t.mem ~addr s;
+  Pmem.flush t.mem ~addr ~len:slot_bytes;
+  t.version <- v
+
+(* --- construction ----------------------------------------------------- *)
+
+let format mem ~base ~len =
+  if len <= header_bytes then invalid_arg "Log.format: region too small";
+  let s = encode_slot ~crc:true ~version:1 ~head:0 ~tail:0 in
+  Pmem.write mem ~addr:(base + slot_bytes) s;
+  (* slot 1 = version 1 *)
+  Pmem.write mem ~addr:base (String.make slot_bytes '\000');
+  Pmem.flush mem ~addr:base ~len:header_bytes
+
+let attach ?(style = `Latest) mem ~base ~len =
+  if len <= header_bytes then Error "region too small"
+  else begin
+    let crc = style <> `Pmdk in
+    let s0 = decode_slot ~crc (Pmem.read mem ~addr:base ~len:slot_bytes) in
+    let s1 = decode_slot ~crc (Pmem.read mem ~addr:(base + slot_bytes) ~len:slot_bytes) in
+    let best =
+      match (s0, s1) with
+      | Some (v0, h0, t0), Some (v1, h1, t1) ->
+        if v0 > v1 then Some (v0, h0, t0) else Some (v1, h1, t1)
+      | Some s, None | None, Some s -> Some s
+      | None, None -> None
+    in
+    match best with
+    | None -> Error "no valid header slot (metadata corrupt)"
+    | Some (version, head, tail) ->
+      if tail < head then Error "corrupt header: tail < head"
+      else
+        Ok
+          {
+            mem;
+            base;
+            capacity = len - header_bytes;
+            style;
+            lock = Mutex.create ();
+            head;
+            tail;
+            version;
+          }
+  end
+
+let head t = t.head
+let tail t = t.tail
+let capacity t = t.capacity
+
+(* --- data paths -------------------------------------------------------- *)
+
+let data_addr t off = t.base + header_bytes + (off mod t.capacity)
+
+(* Write s at virtual offset off, handling wrap-around; flush the ranges. *)
+let write_data t off s =
+  let n = String.length s in
+  let pos = off mod t.capacity in
+  if pos + n <= t.capacity then begin
+    Pmem.write t.mem ~addr:(data_addr t off) s;
+    Pmem.flush t.mem ~addr:(data_addr t off) ~len:n
+  end
+  else begin
+    let first = t.capacity - pos in
+    Pmem.write t.mem ~addr:(data_addr t off) (String.sub s 0 first);
+    Pmem.flush t.mem ~addr:(data_addr t off) ~len:first;
+    Pmem.write t.mem ~addr:(t.base + header_bytes) (String.sub s first (n - first));
+    Pmem.flush t.mem ~addr:(t.base + header_bytes) ~len:(n - first)
+  end
+
+let append t s =
+  let do_append () =
+    let n = String.length s in
+    if n = 0 then Ok ()
+    else if t.tail - t.head + n > t.capacity then Error "log full"
+    else begin
+      let payload =
+        match t.style with
+        | `Initial ->
+          (* The first prototype's extra DRAM copy before writing. *)
+          let b = Buffer.create n in
+          Buffer.add_string b s;
+          Buffer.contents b
+        | `Latest | `Pmdk -> s
+      in
+      write_data t t.tail payload;
+      t.tail <- t.tail + n;
+      write_slot t;
+      Ok ()
+    end
+  in
+  if t.style = `Pmdk then begin
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) do_append
+  end
+  else do_append ()
+
+let advance_head t new_head =
+  if new_head < t.head || new_head > t.tail then Error "bad head"
+  else begin
+    t.head <- new_head;
+    write_slot t;
+    Ok ()
+  end
+
+let read t ~offset ~len =
+  if offset < t.head || offset + len > t.tail then Error "read outside log"
+  else if len < 0 then Error "negative length"
+  else begin
+    let pos = offset mod t.capacity in
+    if pos + len <= t.capacity then Ok (Pmem.read t.mem ~addr:(data_addr t offset) ~len)
+    else begin
+      let first = t.capacity - pos in
+      Ok
+        (Pmem.read t.mem ~addr:(data_addr t offset) ~len:first
+        ^ Pmem.read t.mem ~addr:(t.base + header_bytes) ~len:(len - first))
+    end
+  end

@@ -1,0 +1,42 @@
+(** The verified persistent circular log (§4.2.5): an implementation of an
+    abstract infinite log (monotone [head]/[tail] virtual offsets) on a
+    fixed region of persistent memory, with crash-atomic appends and
+    CRC-protected metadata.
+
+    Commit protocol: data is written and flushed first, then the inactive
+    header slot is written with a bumped version and flushed — the flush of
+    the header slot is the linearization/commit point, so a crash at any
+    moment leaves a valid prefix.  Recovery picks the highest-version slot
+    whose CRC validates; corrupted metadata is detected, not trusted.
+
+    Styles: [`Latest] writes metadata/data in place (the paper's
+    [Serializable]-trait version); [`Initial] stages every append through
+    an intermediate copy (the first prototype whose Figure 14 throughput
+    dip we reproduce); [`Pmdk] is the baseline: lock around appends and no
+    CRCs, like [libpmemlog]. *)
+
+type style = [ `Latest | `Initial | `Pmdk ]
+
+type t
+
+val header_bytes : int
+
+val format : Pmem.t -> base:int -> len:int -> unit
+(** Initialize an empty log in [base, base+len); flushes. *)
+
+val attach : ?style:style -> Pmem.t -> base:int -> len:int -> (t, string) result
+(** Recovery: validates header slots; [Error] when both are corrupt. *)
+
+val append : t -> string -> (unit, string) result
+(** [Error] when the payload does not fit in the free space. *)
+
+val advance_head : t -> int -> (unit, string) result
+(** Reclaim space up to the given virtual offset (synchronous). *)
+
+val head : t -> int
+val tail : t -> int
+val capacity : t -> int
+
+val read : t -> offset:int -> len:int -> (string, string) result
+(** Read [len] bytes at virtual offset [offset] (must be within
+    [head, tail)). *)

@@ -1,0 +1,187 @@
+module Bigint = Vbase.Bigint
+
+type t = {
+  sat : Sat.t;
+  bits : (int, int array) Hashtbl.t; (* term tid -> bit literals *)
+  atoms : (int, int) Hashtbl.t; (* bool term tid -> literal *)
+  mutable const_true : int option; (* literal fixed true *)
+}
+
+let create sat = { sat; bits = Hashtbl.create 64; atoms = Hashtbl.create 64; const_true = None }
+
+let lit_true t =
+  match t.const_true with
+  | Some l -> l
+  | None ->
+    let v = Sat.new_var t.sat in
+    Sat.add_clause t.sat [ Sat.pos v ];
+    t.const_true <- Some (Sat.pos v);
+    t.const_true |> Option.get
+
+let lit_false t = Sat.lit_negate (lit_true t)
+let fresh t = Sat.pos (Sat.new_var t.sat)
+
+(* Gate encodings.  Each returns the output literal. *)
+
+let gate_and t a b =
+  let o = fresh t in
+  Sat.add_clause t.sat [ Sat.lit_negate o; a ];
+  Sat.add_clause t.sat [ Sat.lit_negate o; b ];
+  Sat.add_clause t.sat [ o; Sat.lit_negate a; Sat.lit_negate b ];
+  o
+
+let gate_or t a b = Sat.lit_negate (gate_and t (Sat.lit_negate a) (Sat.lit_negate b))
+
+let gate_xor t a b =
+  let o = fresh t in
+  Sat.add_clause t.sat [ Sat.lit_negate o; a; b ];
+  Sat.add_clause t.sat [ Sat.lit_negate o; Sat.lit_negate a; Sat.lit_negate b ];
+  Sat.add_clause t.sat [ o; Sat.lit_negate a; b ];
+  Sat.add_clause t.sat [ o; a; Sat.lit_negate b ];
+  o
+
+let gate_ite t c a b =
+  (* o = if c then a else b *)
+  let o = fresh t in
+  Sat.add_clause t.sat [ Sat.lit_negate c; Sat.lit_negate a; o ];
+  Sat.add_clause t.sat [ Sat.lit_negate c; a; Sat.lit_negate o ];
+  Sat.add_clause t.sat [ c; Sat.lit_negate b; o ];
+  Sat.add_clause t.sat [ c; b; Sat.lit_negate o ];
+  o
+
+(* Full adder: returns (sum, carry_out). *)
+let full_adder t a b cin =
+  let s = gate_xor t (gate_xor t a b) cin in
+  let c = gate_or t (gate_and t a b) (gate_and t cin (gate_xor t a b)) in
+  (s, c)
+
+let ripple_add t xs ys cin =
+  let w = Array.length xs in
+  let out = Array.make w 0 in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let s, c = full_adder t xs.(i) ys.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  (out, !carry)
+
+(* Unsigned comparison xs < ys (or <=): chain from MSB. *)
+let compare_lit t xs ys ~strict =
+  let w = Array.length xs in
+  (* lt_i: result considering bits [0..i]. *)
+  let acc = ref (if strict then lit_false t else lit_true t) in
+  for i = 0 to w - 1 do
+    let xi = xs.(i) and yi = ys.(i) in
+    let x_lt_y = gate_and t (Sat.lit_negate xi) yi in
+    let x_eq_y = Sat.lit_negate (gate_xor t xi yi) in
+    acc := gate_or t x_lt_y (gate_and t x_eq_y !acc)
+  done;
+  !acc
+
+let rec term_bits t (tm : Term.t) =
+  match Hashtbl.find_opt t.bits tm.Term.tid with
+  | Some bs -> bs
+  | None ->
+    let width = match tm.Term.sort with Sort.Bv w -> w | _ -> invalid_arg "Bitblast.term_bits: not a bit-vector" in
+    let bs =
+      match tm.Term.node with
+      | Term.Bv_lit { value; _ } ->
+        Array.init width (fun i -> if Bigint.testbit value i then lit_true t else lit_false t)
+      | Term.App (_, []) -> Array.init width (fun _ -> fresh t)
+      | Term.Ite (c, a, b) ->
+        let cl = atom_literal t c in
+        let ba = term_bits t a and bb = term_bits t b in
+        Array.init width (fun i -> gate_ite t cl ba.(i) bb.(i))
+      | Term.Bv_op (op, args) -> blast_op t op args width
+      | _ -> invalid_arg "Bitblast.term_bits: unsupported bit-vector term"
+    in
+    Hashtbl.replace t.bits tm.Term.tid bs;
+    bs
+
+and blast_op t op args width =
+  match (op, args) with
+  | Term.Band, [ a; b ] ->
+    let xa = term_bits t a and xb = term_bits t b in
+    Array.init width (fun i -> gate_and t xa.(i) xb.(i))
+  | Term.Bor, [ a; b ] ->
+    let xa = term_bits t a and xb = term_bits t b in
+    Array.init width (fun i -> gate_or t xa.(i) xb.(i))
+  | Term.Bxor, [ a; b ] ->
+    let xa = term_bits t a and xb = term_bits t b in
+    Array.init width (fun i -> gate_xor t xa.(i) xb.(i))
+  | Term.Bnot, [ a ] ->
+    let xa = term_bits t a in
+    Array.init width (fun i -> Sat.lit_negate xa.(i))
+  | Term.Badd, [ a; b ] ->
+    let xa = term_bits t a and xb = term_bits t b in
+    fst (ripple_add t xa xb (lit_false t))
+  | Term.Bsub, [ a; b ] ->
+    let xa = term_bits t a and xb = term_bits t b in
+    let nb = Array.map Sat.lit_negate xb in
+    fst (ripple_add t xa nb (lit_true t))
+  | Term.Bneg, [ a ] ->
+    let xa = term_bits t a in
+    let na = Array.map Sat.lit_negate xa in
+    let zero = Array.make width (lit_false t) in
+    fst (ripple_add t na zero (lit_true t))
+  | Term.Bmul, [ a; b ] ->
+    (* Shift-add partial products. *)
+    let xa = term_bits t a and xb = term_bits t b in
+    let acc = ref (Array.make width (lit_false t)) in
+    for i = 0 to width - 1 do
+      (* partial = (a << i) AND-gated by b_i *)
+      let partial =
+        Array.init width (fun j -> if j < i then lit_false t else gate_and t xa.(j - i) xb.(i))
+      in
+      acc := fst (ripple_add t !acc partial (lit_false t))
+    done;
+    !acc
+  | Term.Bshl, [ a; { Term.node = Term.Int_lit k; _ } ] ->
+    let xa = term_bits t a in
+    let k = Bigint.to_int_exn k in
+    Array.init width (fun j -> if j < k then lit_false t else xa.(j - k))
+  | Term.Blshr, [ a; { Term.node = Term.Int_lit k; _ } ] ->
+    let xa = term_bits t a in
+    let k = Bigint.to_int_exn k in
+    Array.init width (fun j -> if j + k < width then xa.(j + k) else lit_false t)
+  | Term.Bconcat, [ a; b ] ->
+    let xa = term_bits t a and xb = term_bits t b in
+    let wb = Array.length xb in
+    Array.init width (fun j -> if j < wb then xb.(j) else xa.(j - wb))
+  | Term.Bextract (_, lo), [ a ] ->
+    let xa = term_bits t a in
+    Array.init width (fun j -> xa.(j + lo))
+  | _ -> invalid_arg "Bitblast.blast_op: unsupported operation"
+
+and atom_literal t (tm : Term.t) =
+  match Hashtbl.find_opt t.atoms tm.Term.tid with
+  | Some l -> l
+  | None ->
+    let l =
+      match tm.Term.node with
+      | Term.True -> lit_true t
+      | Term.False -> lit_false t
+      | Term.Not a -> Sat.lit_negate (atom_literal t a)
+      | Term.And xs ->
+        List.fold_left (fun acc x -> gate_and t acc (atom_literal t x)) (lit_true t) xs
+      | Term.Or xs ->
+        List.fold_left (fun acc x -> gate_or t acc (atom_literal t x)) (lit_false t) xs
+      | Term.Implies (a, b) ->
+        gate_or t (Sat.lit_negate (atom_literal t a)) (atom_literal t b)
+      | Term.Iff (a, b) -> Sat.lit_negate (gate_xor t (atom_literal t a) (atom_literal t b))
+      | Term.Ite (c, a, b) -> gate_ite t (atom_literal t c) (atom_literal t a) (atom_literal t b)
+      | Term.Eq (a, b) when (match a.Term.sort with Sort.Bv _ -> true | _ -> false) ->
+        let xa = term_bits t a and xb = term_bits t b in
+        let acc = ref (lit_true t) in
+        Array.iteri (fun i xi -> acc := gate_and t !acc (Sat.lit_negate (gate_xor t xi xb.(i)))) xa;
+        !acc
+      | Term.Bv_op (Term.Bule, [ a; b ]) ->
+        compare_lit t (term_bits t a) (term_bits t b) ~strict:false
+      | Term.Bv_op (Term.Bult, [ a; b ]) ->
+        compare_lit t (term_bits t a) (term_bits t b) ~strict:true
+      | Term.App (_, []) when Sort.equal tm.Term.sort Sort.Bool -> fresh t
+      | _ -> invalid_arg ("Bitblast.atom_literal: unsupported atom " ^ Term.to_string tm)
+    in
+    Hashtbl.replace t.atoms tm.Term.tid l;
+    l

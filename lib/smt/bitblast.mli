@@ -1,0 +1,21 @@
+(** Eager bit-blasting of bit-vector terms into a SAT solver.
+
+    This is the engine behind the paper's [by (bit_vector)] proof mode
+    (§3.3): an isolated query whose variables are reinterpreted as
+    bit-vectors is translated into CNF, keeping bit-vector reasoning away
+    from the integer queries.
+
+    Each bit-vector term gets one SAT literal per bit (LSB first);
+    operations emit gate clauses on construction. *)
+
+type t
+
+val create : Sat.t -> t
+
+val term_bits : t -> Term.t -> int array
+(** Literals for each bit of a bit-vector-sorted term, emitting defining
+    clauses as needed.  Uninterpreted constants get fresh variables. *)
+
+val atom_literal : t -> Term.t -> int
+(** Literal equivalent to a boolean atom over bit-vectors ([Eq] at a BV
+    sort, [Bule]/[Bult]); emits defining clauses. *)

@@ -1,0 +1,36 @@
+(** E-matching quantifier instantiation.
+
+    Maintains an index of ground application terms and a set of active
+    universal quantifiers; each {!round} finds trigger matches and returns
+    the (deduplicated) new instantiations.  The number of instances produced
+    is governed by the trigger policy — this is where the conservative-vs-
+    liberal trigger experiments (§3.1, Figure 7) get their performance
+    separation. *)
+
+type t
+
+val create : Triggers.policy -> t
+
+val add_ground : t -> Term.t -> unit
+(** Indexes every ground application subterm of the given term. *)
+
+val add_quant : t -> guard:int option -> Term.t -> unit
+(** Registers a universally quantified term (must be a [Forall]) with an
+    optional SAT guard literal (None for top-level axioms). *)
+
+type instance = {
+  quant : Term.t;  (** the forall this instantiates *)
+  guard : int option;
+  body : Term.t;  (** instantiated body *)
+}
+
+val round : ?euf:Euf.t -> ?max_per_quant:int -> t -> max_instances:int -> instance list
+(** Runs one instantiation round over the current index; returns only
+    instances not generated before.  With [euf], matching is performed
+    modulo the given congruence closure (the E-graph of the current model),
+    as production SMT solvers do. *)
+
+val stats_instances : t -> int
+(** Total instances generated so far. *)
+
+val stats_matches_tried : t -> int

@@ -1,0 +1,258 @@
+(* EPR: fragment check, skolemization, sort-graph acyclicity, finite
+   grounding. *)
+
+(* ------------------------------------------------------------------ *)
+(* Skolemization (local copy: positive-polarity NNF with skolem
+   functions over the enclosing universals)                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec nnf pol env (t : Term.t) : Term.t =
+  match t.Term.node with
+  | Term.Not a -> nnf (not pol) env a
+  | Term.And xs ->
+    if pol then Term.and_ (List.map (nnf pol env) xs) else Term.or_ (List.map (nnf pol env) xs)
+  | Term.Or xs ->
+    if pol then Term.or_ (List.map (nnf pol env) xs) else Term.and_ (List.map (nnf pol env) xs)
+  | Term.Implies (a, b) ->
+    if pol then Term.or_ [ nnf false env a; nnf true env b ]
+    else Term.and_ [ nnf true env a; nnf false env b ]
+  | Term.Iff (a, b) -> nnf pol env (Term.and_ [ Term.implies a b; Term.implies b a ])
+  | Term.Ite (c, a, b) when Sort.equal t.Term.sort Sort.Bool ->
+    nnf pol env (Term.and_ [ Term.implies c a; Term.implies (Term.not_ c) b ])
+  | Term.Forall q ->
+    if pol then Term.forall q.Term.qvars (nnf true (env @ q.Term.qvars) q.Term.body)
+    else skolemize pol env q
+  | Term.Exists q ->
+    if pol then skolemize pol env q
+    else Term.forall q.Term.qvars (nnf false (env @ q.Term.qvars) q.Term.body)
+  | _ -> if pol then t else Term.not_ t
+
+and skolemize pol env (q : Term.quant) =
+  let args = List.map (fun (x, s) -> Term.bvar x s) env in
+  let arg_sorts = List.map snd env in
+  let bindings =
+    List.map
+      (fun (x, s) -> (x, Term.app (Term.Sym.fresh ("skE_" ^ x) arg_sorts s) args))
+      q.Term.qvars
+  in
+  nnf pol env (Term.subst bindings q.Term.body)
+
+(* ------------------------------------------------------------------ *)
+(* Fragment check                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec first_error f = function
+  | [] -> Ok ()
+  | x :: rest -> ( match f x with Ok () -> first_error f rest | Error e -> Error e)
+
+let rec check_term (t : Term.t) =
+  match t.Term.node with
+  | Term.Int_lit _ | Term.Add _ | Term.Sub _ | Term.Mul _ | Term.Neg _ | Term.Le _
+  | Term.Lt _ | Term.Idiv _ | Term.Imod _ ->
+    Error ("arithmetic is outside EPR: " ^ Term.to_string t)
+  | Term.Bv_lit _ | Term.Bv_op _ -> Error ("bit-vectors are outside EPR: " ^ Term.to_string t)
+  | Term.App (f, args) ->
+    if Sort.equal f.Term.sret Sort.Int then
+      Error ("integer-sorted symbol outside EPR: " ^ f.Term.sname)
+    else first_error check_term args
+  | Term.Forall q | Term.Exists q -> (
+    match
+      List.find_opt
+        (fun (_, s) -> match s with Sort.Usort _ -> false | _ -> true)
+        q.Term.qvars
+    with
+    | Some (x, s) ->
+      Error (Printf.sprintf "quantified variable %s has non-EPR sort %s" x (Sort.to_string s))
+    | None -> check_term q.Term.body)
+  | Term.Eq (a, b) -> first_error check_term [ a; b ]
+  | Term.Not a -> check_term a
+  | Term.And xs | Term.Or xs -> first_error check_term xs
+  | Term.Implies (a, b) | Term.Iff (a, b) -> first_error check_term [ a; b ]
+  | Term.Ite (a, b, c) -> first_error check_term [ a; b; c ]
+  | Term.True | Term.False | Term.Bvar _ -> Ok ()
+
+(* Collect all function symbols appearing in the (skolemized) assertions. *)
+let collect_syms ts =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun t ->
+      ignore
+        (Term.fold_subterms
+           (fun () s ->
+             match s.Term.node with
+             | Term.App (f, _) -> Hashtbl.replace tbl f.Term.sid f
+             | _ -> ())
+           () t))
+    ts;
+  Hashtbl.fold (fun _ f acc -> f :: acc) tbl []
+
+(* Sort graph acyclicity: for each symbol with arguments, edges from each
+   argument sort to the return sort.  A cycle means an unbounded Herbrand
+   universe. *)
+let acyclic syms =
+  let edges = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Term.sym) ->
+      if f.Term.sargs <> [] && not (Sort.equal f.Term.sret Sort.Bool) then
+        List.iter
+          (fun a ->
+            let outs = match Hashtbl.find_opt edges a with Some l -> l | None -> [] in
+            Hashtbl.replace edges a (f.Term.sret :: outs))
+          f.Term.sargs)
+    syms;
+  (* DFS cycle detection over sorts. *)
+  let visiting = Hashtbl.create 16 and done_ = Hashtbl.create 16 in
+  let rec dfs s =
+    if Hashtbl.mem done_ s then Ok ()
+    else if Hashtbl.mem visiting s then
+      Error ("sort dependency cycle through " ^ Sort.to_string s)
+    else begin
+      Hashtbl.add visiting s ();
+      let outs = match Hashtbl.find_opt edges s with Some l -> l | None -> [] in
+      let r = first_error dfs outs in
+      Hashtbl.remove visiting s;
+      Hashtbl.add done_ s ();
+      r
+    end
+  in
+  first_error dfs (Hashtbl.fold (fun s _ acc -> s :: acc) edges [])
+
+let check_fragment ts =
+  match first_error check_term ts with
+  | Error e -> Error e
+  | Ok () ->
+    (* Check acyclicity on the skolemized form (skolem functions count). *)
+    let sk = List.map (nnf true []) ts in
+    acyclic (collect_syms sk)
+
+(* ------------------------------------------------------------------ *)
+(* Finite universe and grounding                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Too_big
+
+(* Compute, per uninterpreted sort, the closed Herbrand universe. *)
+let universe ~max_universe ts =
+  let syms = collect_syms ts in
+  let uni : (Sort.t, Term.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  let total = ref 0 in
+  let bucket s =
+    match Hashtbl.find_opt uni s with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add uni s r;
+      r
+  in
+  let add s tm =
+    let b = bucket s in
+    if not (List.exists (Term.equal tm) !b) then begin
+      incr total;
+      if !total > max_universe then raise Too_big;
+      b := tm :: !b
+    end
+  in
+  (* Constants first. *)
+  List.iter
+    (fun (f : Term.sym) ->
+      if f.Term.sargs = [] && not (Sort.equal f.Term.sret Sort.Bool) then
+        add f.Term.sret (Term.const f))
+    syms;
+  (* Sorts quantified over but empty get a witness. *)
+  let need_witness = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      ignore
+        (Term.fold_subterms
+           (fun () s ->
+             match s.Term.node with
+             | Term.Forall q | Term.Exists q ->
+               List.iter (fun (_, srt) -> Hashtbl.replace need_witness srt ()) q.Term.qvars
+             | _ -> ())
+           () t))
+    ts;
+  Hashtbl.iter
+    (fun srt () ->
+      if !(bucket srt) = [] then add srt (Term.const (Term.Sym.fresh "witness" [] srt)))
+    need_witness;
+  (* Saturate under function application (terminates by acyclicity). *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Term.sym) ->
+        if f.Term.sargs <> [] && not (Sort.equal f.Term.sret Sort.Bool) then begin
+          (* Enumerate argument tuples from the current universe. *)
+          let rec tuples acc = function
+            | [] -> [ List.rev acc ]
+            | s :: rest ->
+              List.concat_map (fun v -> tuples (v :: acc) rest) !(bucket s)
+          in
+          List.iter
+            (fun args ->
+              if List.length args = List.length f.Term.sargs then begin
+                let tm = Term.app f args in
+                let b = bucket f.Term.sret in
+                if not (List.exists (Term.equal tm) !b) then begin
+                  incr total;
+                  if !total > max_universe then raise Too_big;
+                  b := tm :: !b;
+                  changed := true
+                end
+              end)
+            (tuples [] f.Term.sargs)
+        end)
+      syms
+  done;
+  fun s -> ( match Hashtbl.find_opt uni s with Some r -> !r | None -> [])
+
+(* Expand quantifiers over the universe. *)
+let rec expand uni (t : Term.t) : Term.t =
+  match t.Term.node with
+  | Term.Forall q | Term.Exists q ->
+    let rec enum subst = function
+      | [] -> [ expand uni (Term.subst subst q.Term.body) ]
+      | (x, s) :: rest ->
+        List.concat_map (fun v -> enum ((x, v) :: subst) rest) (uni s)
+    in
+    let bodies = enum [] q.Term.qvars in
+    (match t.Term.node with
+    | Term.Forall _ -> Term.and_ bodies
+    | _ -> Term.or_ bodies)
+  | Term.And xs -> Term.and_ (List.map (expand uni) xs)
+  | Term.Or xs -> Term.or_ (List.map (expand uni) xs)
+  | Term.Not a -> Term.not_ (expand uni a)
+  | _ -> t
+
+let solve ?config ?(max_universe = 4000) ts =
+  let fail reason =
+    {
+      Solver.answer = Solver.Unknown reason;
+      stats =
+        {
+          Solver.rounds = 0;
+          instances = 0;
+          matches_tried = 0;
+          conflicts = 0;
+          decisions = 0;
+          query_bytes = 0;
+          time_s = 0.0;
+          t_sat = 0.0;
+          t_theory = 0.0;
+          t_ematch = 0.0;
+        };
+      model = [];
+    }
+  in
+  match check_fragment ts with
+  | Error e -> fail ("not in EPR: " ^ e)
+  | Ok () -> (
+    let sk = List.map (nnf true []) ts in
+    try
+      let uni = universe ~max_universe sk in
+      let ground = List.map (expand uni) sk in
+      Solver.solve ?config ground
+    with Too_big -> fail "EPR universe too large")
+
+let check_valid ?config ?max_universe ?(hyps = []) goal =
+  solve ?config ?max_universe (hyps @ [ Term.not_ goal ])

@@ -1,0 +1,257 @@
+(* Congruence closure with a Nieuwenhuis-Oliveras proof forest for
+   explanations.
+
+   Each registered term gets a node.  Application nodes carry a label (the
+   symbol id) and child nodes; everything else is an opaque leaf.  The
+   union-find tracks equivalence classes; a separate "proof forest" stores,
+   for every merged pair, the edge that caused the merge (an input equation
+   or a congruence step), from which explanations are reconstructed. *)
+
+type edge_label =
+  | Input of int (* reason tag *)
+  | Congruence of int * int (* the two application nodes found congruent *)
+
+type t = {
+  mutable nodes : int; (* node count *)
+  term_of : Term.t Vbase.Vecbuf.t; (* node id -> term *)
+  node_of : (int, int) Hashtbl.t; (* term tid -> node id *)
+  mutable uf : int array; (* union-find parent (roots point to self) *)
+  mutable rank : int array;
+  mutable proof_parent : int array; (* proof forest parent, -1 at roots *)
+  mutable proof_label : edge_label array;
+  mutable use_list : int list array; (* class rep -> app nodes using it *)
+  mutable members : int list array; (* class rep -> member nodes *)
+  sig_table : (int * int list, int) Hashtbl.t; (* (label, child reps) -> app node *)
+  app_info : (int * int list) Vbase.Vecbuf.t; (* node -> (label, children); (-1,[]) for leaves *)
+  mutable diseqs : (int * int * int) list; (* (node, node, reason) *)
+  pending : (int * int * edge_label) Queue.t;
+}
+
+let create () =
+  {
+    nodes = 0;
+    term_of = Vbase.Vecbuf.create ~dummy:Term.tru;
+    node_of = Hashtbl.create 64;
+    uf = Array.make 64 0;
+    rank = Array.make 64 0;
+    proof_parent = Array.make 64 (-1);
+    proof_label = Array.make 64 (Input (-1));
+    use_list = Array.make 64 [];
+    members = Array.make 64 [];
+    sig_table = Hashtbl.create 64;
+    app_info = Vbase.Vecbuf.create ~dummy:(-1, []);
+    diseqs = [];
+    pending = Queue.create ();
+  }
+
+let ensure_capacity t n =
+  let cap = Array.length t.uf in
+  if n > cap then begin
+    let newcap = max (2 * cap) n in
+    let grow a fill =
+      let b = Array.make newcap fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    t.uf <- grow t.uf 0;
+    t.rank <- grow t.rank 0;
+    t.proof_parent <- grow t.proof_parent (-1);
+    t.proof_label <- grow t.proof_label (Input (-1));
+    t.use_list <- grow t.use_list [];
+    t.members <- grow t.members []
+  end
+
+let rec find t i = if t.uf.(i) = i then i else
+    let r = find t t.uf.(i) in
+    t.uf.(i) <- r;
+    r
+
+(* Register a term; applications register children recursively. *)
+let rec node_of_term t tm =
+  match Hashtbl.find_opt t.node_of (Term.hash tm) with
+  | Some n -> n
+  | None ->
+    let info =
+      match tm.Term.node with
+      | Term.App (f, args) when args <> [] ->
+        let children = List.map (node_of_term t) args in
+        (f.Term.sid, children)
+      | _ -> (-1, [])
+    in
+    let n = t.nodes in
+    t.nodes <- n + 1;
+    ensure_capacity t t.nodes;
+    Vbase.Vecbuf.push t.term_of tm;
+    Vbase.Vecbuf.push t.app_info info;
+    Hashtbl.add t.node_of (Term.hash tm) n;
+    t.uf.(n) <- n;
+    t.rank.(n) <- 0;
+    t.use_list.(n) <- [];
+    t.members.(n) <- [ n ];
+    (match info with
+    | -1, [] -> ()
+    | label, children ->
+      let key = (label, List.map (find t) children) in
+      (match Hashtbl.find_opt t.sig_table key with
+      | Some existing when find t existing <> find t n ->
+        Queue.push (n, existing, Congruence (n, existing)) t.pending
+      | Some _ -> ()
+      | None -> Hashtbl.add t.sig_table key n);
+      List.iter (fun c -> let r = find t c in t.use_list.(r) <- n :: t.use_list.(r)) children);
+    n
+
+let add_term t tm = ignore (node_of_term t tm)
+
+(* --- proof forest --------------------------------------------------- *)
+
+(* Add edge a -- b with label, making a the new root of its proof tree
+   (reverse the path from a to its current root first). *)
+let proof_add_edge t a b label =
+  let rec reverse i prev_parent prev_label =
+    let next = t.proof_parent.(i) in
+    let lbl = t.proof_label.(i) in
+    t.proof_parent.(i) <- prev_parent;
+    t.proof_label.(i) <- prev_label;
+    if next >= 0 then reverse next i lbl
+  in
+  (* Re-root a's proof tree at a. *)
+  if t.proof_parent.(a) >= 0 then reverse a (-1) (Input (-1));
+  t.proof_parent.(a) <- b;
+  t.proof_label.(a) <- label
+
+(* --- merging --------------------------------------------------------- *)
+
+let rec process_pending t =
+  match Queue.take_opt t.pending with
+  | None -> ()
+  | Some (a, b, label) ->
+    do_merge t a b label;
+    process_pending t
+
+and do_merge t a b label =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    proof_add_edge t a b label;
+    (* Union by rank; rehash the use list of the side losing its rep. *)
+    let small, big = if t.rank.(ra) <= t.rank.(rb) then (ra, rb) else (rb, ra) in
+    t.uf.(small) <- big;
+    if t.rank.(small) = t.rank.(big) then t.rank.(big) <- t.rank.(big) + 1;
+    t.members.(big) <- List.rev_append t.members.(small) t.members.(big);
+    t.members.(small) <- [];
+    let uses = t.use_list.(small) in
+    t.use_list.(small) <- [];
+    List.iter
+      (fun app ->
+        let label_app, children = Vbase.Vecbuf.get t.app_info app in
+        let key = (label_app, List.map (find t) children) in
+        match Hashtbl.find_opt t.sig_table key with
+        | Some existing when find t existing <> find t app ->
+          Queue.push (app, existing, Congruence (app, existing)) t.pending
+        | Some _ -> ()
+        | None -> Hashtbl.add t.sig_table key app)
+      uses;
+    t.use_list.(big) <- List.rev_append uses t.use_list.(big)
+  end
+
+let merge t tm1 tm2 ~reason =
+  let a = node_of_term t tm1 and b = node_of_term t tm2 in
+  do_merge t a b (Input reason);
+  process_pending t
+
+let assert_diseq t tm1 tm2 ~reason =
+  let a = node_of_term t tm1 and b = node_of_term t tm2 in
+  t.diseqs <- (a, b, reason) :: t.diseqs
+
+(* --- explanations ---------------------------------------------------- *)
+
+let rec explain_nodes t acc a b =
+  if a = b then acc
+  else begin
+    (* Find common ancestor in the proof forest. *)
+    let rec ancestors i acc = if i < 0 then acc else ancestors t.proof_parent.(i) (i :: acc) in
+    let pa = ancestors a [] and pb = ancestors b [] in
+    (* Paths from root; find last common prefix element. *)
+    let rec common x = function
+      | ha :: ta, hb :: tb when ha = hb -> common (Some ha) (ta, tb)
+      | _ -> x
+    in
+    let lca = common None (pa, pb) in
+    let lca = match lca with Some l -> l | None -> invalid_arg "Euf.explain: not equal" in
+    let rec walk acc i =
+      if i = lca then acc
+      else begin
+        let acc =
+          match t.proof_label.(i) with
+          | Input r -> r :: acc
+          | Congruence (n1, n2) ->
+            (* n1, n2 congruent apps: explain pairwise children equality. *)
+            let _, c1 = Vbase.Vecbuf.get t.app_info n1 in
+            let _, c2 = Vbase.Vecbuf.get t.app_info n2 in
+            List.fold_left2 (fun acc x y -> explain_nodes t acc x y) acc c1 c2
+        in
+        walk acc t.proof_parent.(i)
+      end
+    in
+    walk (walk acc a) b
+  end
+
+let explain t tm1 tm2 =
+  let a = node_of_term t tm1 and b = node_of_term t tm2 in
+  List.sort_uniq compare (explain_nodes t [] a b)
+
+let are_equal t tm1 tm2 =
+  match (Hashtbl.find_opt t.node_of (Term.hash tm1), Hashtbl.find_opt t.node_of (Term.hash tm2)) with
+  | Some a, Some b -> find t a = find t b
+  | _ -> Term.equal tm1 tm2
+
+(* --- conflict detection ---------------------------------------------- *)
+
+let is_literal tm =
+  match tm.Term.node with
+  | Term.Int_lit _ | Term.Bv_lit _ | Term.True | Term.False -> true
+  | _ -> false
+
+let check t =
+  (* Congruences discovered during registration may still be queued. *)
+  process_pending t;
+  (* Asserted disequalities. *)
+  let conflict = ref None in
+  List.iter
+    (fun (a, b, reason) ->
+      if !conflict = None && find t a = find t b then
+        conflict := Some (List.sort_uniq compare (reason :: explain_nodes t [] a b)))
+    t.diseqs;
+  (* Distinct literals merged into one class. *)
+  if !conflict = None then begin
+    let by_class = Hashtbl.create 16 in
+    for n = 0 to t.nodes - 1 do
+      let tm = Vbase.Vecbuf.get t.term_of n in
+      if is_literal tm then begin
+        let r = find t n in
+        match Hashtbl.find_opt by_class r with
+        | Some (n0, tm0) ->
+          if !conflict = None && not (Term.equal tm0 tm) then
+            conflict := Some (List.sort_uniq compare (explain_nodes t [] n0 n))
+        | None -> Hashtbl.add by_class r (n, tm)
+      end
+    done
+  end;
+  match !conflict with None -> Ok () | Some reasons -> Error reasons
+
+let iter_classes t f =
+  for r = 0 to t.nodes - 1 do
+    if find t r = r then
+      f (List.map (fun n -> Vbase.Vecbuf.get t.term_of n) t.members.(r))
+  done
+
+let class_id t tm =
+  match Hashtbl.find_opt t.node_of (Term.hash tm) with
+  | Some n -> Some (find t n)
+  | None -> None
+
+let class_members t tm =
+  match Hashtbl.find_opt t.node_of (Term.hash tm) with
+  | Some n ->
+    let r = find t n in
+    List.map (fun m -> Vbase.Vecbuf.get t.term_of m) t.members.(r)
+  | None -> [ tm ]

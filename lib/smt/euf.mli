@@ -1,0 +1,49 @@
+(** Congruence closure for equality + uninterpreted functions, with
+    explanations.
+
+    Used non-incrementally by the ground solver's final check: register the
+    relevant terms, assert the equalities/disequalities from the current
+    boolean model (each tagged with an integer [reason], typically the index
+    of the asserting atom), then {!check}.  Conflicts come back as the set of
+    reasons involved — exactly what the SAT solver needs for a blocking
+    clause (Nieuwenhuis–Oliveras proof-forest explanations keep that set
+    small).
+
+    Terms that are not function applications (arithmetic composites,
+    literals) are treated as opaque leaves; two distinct integer or
+    bit-vector literals in one class are a conflict. *)
+
+type t
+
+val create : unit -> t
+
+val add_term : t -> Term.t -> unit
+(** Registers a term (and its application subterms) as congruence nodes. *)
+
+val merge : t -> Term.t -> Term.t -> reason:int -> unit
+(** Asserts an equality.  Congruence consequences propagate eagerly. *)
+
+val assert_diseq : t -> Term.t -> Term.t -> reason:int -> unit
+
+val check : t -> (unit, int list) result
+(** [Error reasons] when some asserted disequality (or literal
+    distinctness) is violated; [reasons] are the tags of the input
+    equalities/disequalities responsible. *)
+
+val are_equal : t -> Term.t -> Term.t -> bool
+
+val explain : t -> Term.t -> Term.t -> int list
+(** Reasons implying the equality of two terms currently in the same
+    class.  Undefined behaviour if they are not. *)
+
+val iter_classes : t -> (Term.t list -> unit) -> unit
+(** Iterates over the current equivalence classes (each as a list of
+    registered terms); used for cross-theory equality propagation. *)
+
+val class_id : t -> Term.t -> int option
+(** Canonical class id of a registered term ([None] if never seen); does
+    not register the term. *)
+
+val class_members : t -> Term.t -> Term.t list
+(** All registered terms equal to the given term ([[t]] itself when the
+    term was never registered).  Used for E-matching modulo congruence. *)

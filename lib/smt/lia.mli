@@ -1,0 +1,70 @@
+(** Linear integer arithmetic, via the Dutertre–de Moura general simplex
+    over exact rationals plus branch-and-bound for integrality.
+
+    Used non-incrementally by the ground solver's final check.  Opaque
+    integer terms (constants, uninterpreted applications, nonlinear
+    products) become solver variables; linear structure is normalized to
+    integer-coefficient constraints, with strict inequalities rewritten to
+    non-strict ones (all variables are integers, so [a < b] is
+    [a <= b - 1]).
+
+    Conflicts carry the set of reason tags (asserting atom indices) of the
+    bounds in the infeasible row — a Farkas-style core. *)
+
+type t
+
+type verdict =
+  | Sat  (** feasible; query values with {!model_value} *)
+  | Conflict of int list  (** reason tags of an infeasible subset *)
+  | Unknown  (** branch-and-bound budget exhausted *)
+
+val create : unit -> t
+
+val reset_bounds : t -> unit
+(** Drop all bounds/equations but keep the variable map and tableau; used
+    to reuse one solver instance across many final checks. *)
+
+val var_of_term : t -> Term.t -> int
+(** The solver variable for an opaque integer term (registering it if
+    new). *)
+
+val assert_le : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
+(** [assert_le t coeffs c ~reason] asserts [sum coeffs <= c]. *)
+
+val assert_lt : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
+val assert_ge : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
+val assert_gt : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
+val assert_eq : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
+
+(** Prepared (pre-canonicalized) constraints, for callers that re-assert
+    the same atoms across many checks. *)
+type prepared
+
+val prepare :
+  t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> strict:bool -> is_upper:bool -> prepared
+(** [prepare t coeffs c ~strict ~is_upper]: the bound for
+    [sum coeffs <= c] (upper) or [>= c] (lower). *)
+
+val assert_prepared : t -> prepared -> reason:int -> unit
+
+val record_equation : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
+(** Register an equality for the elimination-based integrality fallback
+    (callers using [prepare] for the two bounds of an equality should also
+    record it here). *)
+
+val check : ?max_branch:int -> t -> verdict
+
+val model_value : t -> int -> Vbase.Rat.t
+(** Value of a variable in the model found by the last [Sat] check. *)
+
+val term_of_var : t -> int -> Term.t option
+(** Inverse of {!var_of_term} (slack variables have no term). *)
+
+val find_var : t -> Term.t -> int option
+(** Like {!var_of_term} but without registering new variables. *)
+
+(**/**)
+
+val dbg_pivots : int ref
+val dbg_branches : int ref
+val dbg_checks : int ref

@@ -1,0 +1,420 @@
+(* CDCL with two watched literals, 1UIP learning, VSIDS, Luby restarts.
+
+   Data layout: clauses are int arrays of literals; the first two slots of
+   each clause are the watched literals.  Watch lists map each literal to the
+   clause indices watching it. *)
+
+exception Budget_exceeded
+
+type result = Sat | Unsat
+
+type t = {
+  mutable assign : int array; (* per var: 0 unassigned, 1 true, -1 false *)
+  mutable level : int array; (* per var: decision level *)
+  mutable reason : int array; (* per var: clause index or -1 *)
+  mutable activity : float array;
+  mutable heap_pos : int array; (* position in heap, -1 if absent *)
+  mutable heap : int array; (* binary max-heap of vars by activity *)
+  mutable heap_len : int;
+  mutable polarity : bool array; (* phase saving *)
+  mutable nvars : int;
+  clauses : int array Vbase.Vecbuf.t;
+  mutable watches : int Vbase.Vecbuf.t array; (* per literal *)
+  trail : int Vbase.Vecbuf.t; (* literals in assignment order *)
+  trail_lim : int Vbase.Vecbuf.t; (* trail length at each decision level *)
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable unsat : bool;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  seen : bool array ref; (* scratch for conflict analysis *)
+}
+
+let create () =
+  {
+    assign = Array.make 16 0;
+    level = Array.make 16 0;
+    reason = Array.make 16 (-1);
+    activity = Array.make 16 0.0;
+    heap_pos = Array.make 16 (-1);
+    heap = Array.make 16 0;
+    heap_len = 0;
+    polarity = Array.make 16 false;
+    nvars = 0;
+    clauses = Vbase.Vecbuf.create ~dummy:[||];
+    watches = Array.init 32 (fun _ -> Vbase.Vecbuf.create ~dummy:(-1));
+    trail = Vbase.Vecbuf.create ~dummy:(-1);
+    trail_lim = Vbase.Vecbuf.create ~dummy:(-1);
+    qhead = 0;
+    var_inc = 1.0;
+    unsat = false;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    seen = ref (Array.make 16 false);
+  }
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let lit_var l = l lsr 1
+let lit_negate l = l lxor 1
+
+(* Value of a literal: 1 true, -1 false, 0 unassigned. *)
+let lit_value s l =
+  let v = s.assign.(lit_var l) in
+  if l land 1 = 1 then -v else v
+
+let n_vars s = s.nvars
+
+let ensure_capacity s n =
+  let cap = Array.length s.assign in
+  if n > cap then begin
+    let newcap = max (2 * cap) n in
+    let grow a fill =
+      let b = Array.make newcap fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    s.assign <- grow s.assign 0;
+    s.level <- grow s.level 0;
+    s.reason <- grow s.reason (-1);
+    s.activity <- grow s.activity 0.0;
+    s.heap_pos <- grow s.heap_pos (-1);
+    s.heap <- grow s.heap 0;
+    s.polarity <- grow s.polarity false;
+    let w = Array.init (2 * newcap) (fun _ -> Vbase.Vecbuf.create ~dummy:(-1)) in
+    Array.blit s.watches 0 w 0 (Array.length s.watches);
+    s.watches <- w;
+    if Array.length !(s.seen) < newcap then s.seen := Array.make newcap false
+  end
+
+(* --- activity heap ------------------------------------------------- *)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(a) <- j;
+  s.heap_pos.(b) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(p)) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_len && s.activity.(s.heap.(l)) > s.activity.(s.heap.(!best)) then best := l;
+  if r < s.heap_len && s.activity.(s.heap.(r)) > s.activity.(s.heap.(!best)) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_len) <- v;
+    s.heap_pos.(v) <- s.heap_len;
+    s.heap_len <- s.heap_len + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_len <- s.heap_len - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_len > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_len);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  v
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+let new_var s =
+  let v = s.nvars in
+  ensure_capacity s (v + 1);
+  s.nvars <- v + 1;
+  s.assign.(v) <- 0;
+  s.level.(v) <- 0;
+  s.reason.(v) <- -1;
+  s.activity.(v) <- 0.0;
+  s.heap_pos.(v) <- -1;
+  s.polarity.(v) <- false;
+  heap_insert s v;
+  v
+
+(* --- assignment / backtracking ------------------------------------ *)
+
+let decision_level s = Vbase.Vecbuf.length s.trail_lim
+
+let enqueue s l reason =
+  let v = lit_var l in
+  s.assign.(v) <- (if l land 1 = 1 then -1 else 1);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vbase.Vecbuf.push s.trail l
+
+let backtrack s lvl =
+  if decision_level s > lvl then begin
+    let keep = Vbase.Vecbuf.get s.trail_lim lvl in
+    for i = Vbase.Vecbuf.length s.trail - 1 downto keep do
+      let l = Vbase.Vecbuf.get s.trail i in
+      let v = lit_var l in
+      s.polarity.(v) <- s.assign.(v) > 0;
+      s.assign.(v) <- 0;
+      s.reason.(v) <- -1;
+      heap_insert s v
+    done;
+    Vbase.Vecbuf.shrink s.trail keep;
+    Vbase.Vecbuf.shrink s.trail_lim lvl;
+    s.qhead <- keep
+  end
+
+(* --- propagation --------------------------------------------------- *)
+
+(* Returns conflicting clause index or -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict < 0 && s.qhead < Vbase.Vecbuf.length s.trail do
+    let l = Vbase.Vecbuf.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let falsified = lit_negate l in
+    let ws = s.watches.(falsified) in
+    let n = Vbase.Vecbuf.length ws in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = Vbase.Vecbuf.get ws !i in
+      incr i;
+      let c = Vbase.Vecbuf.get s.clauses ci in
+      (* Ensure the falsified literal is at slot 1. *)
+      if c.(0) = falsified then begin
+        c.(0) <- c.(1);
+        c.(1) <- falsified
+      end;
+      if lit_value s c.(0) = 1 then begin
+        (* Clause satisfied; keep watching. *)
+        Vbase.Vecbuf.set ws !keep ci;
+        incr keep
+      end
+      else begin
+        (* Look for a new watch. *)
+        let len = Array.length c in
+        let found = ref false in
+        let j = ref 2 in
+        while (not !found) && !j < len do
+          if lit_value s c.(!j) >= 0 then begin
+            let w = c.(!j) in
+            c.(!j) <- c.(1);
+            c.(1) <- w;
+            Vbase.Vecbuf.push s.watches.(w) ci;
+            found := true
+          end;
+          incr j
+        done;
+        if !found then ()
+        else begin
+          (* Unit or conflict. *)
+          Vbase.Vecbuf.set ws !keep ci;
+          incr keep;
+          if lit_value s c.(0) = -1 then begin
+            (* Conflict: keep remaining watches and stop. *)
+            while !i < n do
+              Vbase.Vecbuf.set ws !keep (Vbase.Vecbuf.get ws !i);
+              incr keep;
+              incr i
+            done;
+            conflict := ci
+          end
+          else enqueue s c.(0) ci
+        end
+      end
+    done;
+    Vbase.Vecbuf.shrink ws !keep
+  done;
+  !conflict
+
+(* --- clause management --------------------------------------------- *)
+
+let attach_clause s ci =
+  let c = Vbase.Vecbuf.get s.clauses ci in
+  Vbase.Vecbuf.push s.watches.(c.(0)) ci;
+  Vbase.Vecbuf.push s.watches.(c.(1)) ci
+
+let add_clause s lits =
+  if not s.unsat then begin
+    backtrack s 0;
+    (* Deduplicate; drop clauses with complementary or true literals;
+       drop literals false at level 0. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (lit_negate l) lits || lit_value s l = 1) lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> lit_value s l <> -1) lits in
+      match lits with
+      | [] -> s.unsat <- true
+      | [ l ] ->
+        enqueue s l (-1);
+        if propagate s >= 0 then s.unsat <- true
+      | lits ->
+        let c = Array.of_list lits in
+        Vbase.Vecbuf.push s.clauses c;
+        attach_clause s (Vbase.Vecbuf.length s.clauses - 1)
+    end
+  end
+
+(* --- conflict analysis (first UIP) --------------------------------- *)
+
+let analyze s confl =
+  let seen = !(s.seen) in
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let l = ref (-1) in
+  let cl = ref confl in
+  let trail_i = ref (Vbase.Vecbuf.length s.trail - 1) in
+  let btlevel = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let c = Vbase.Vecbuf.get s.clauses !cl in
+    let start = if !l = -1 then 0 else 1 in
+    for j = start to Array.length c - 1 do
+      let q = if j = 0 && !l <> -1 then !l else c.(j) in
+      let v = lit_var q in
+      if (not seen.(v)) && s.level.(v) > 0 then begin
+        seen.(v) <- true;
+        bump_var s v;
+        if s.level.(v) >= decision_level s then incr counter
+        else begin
+          learnt := q :: !learnt;
+          if s.level.(v) > !btlevel then btlevel := s.level.(v)
+        end
+      end
+    done;
+    (* Find next literal on the trail to resolve on. *)
+    let rec next () =
+      let q = Vbase.Vecbuf.get s.trail !trail_i in
+      decr trail_i;
+      if seen.(lit_var q) then q else next ()
+    in
+    let p = next () in
+    decr counter;
+    seen.(lit_var p) <- false;
+    if !counter = 0 then begin
+      learnt := lit_negate p :: !learnt;
+      continue := false
+    end
+    else begin
+      cl := s.reason.(lit_var p);
+      l := p
+    end
+  done;
+  List.iter (fun q -> seen.(lit_var q) <- false) !learnt;
+  (!learnt, !btlevel)
+
+(* --- main search ---------------------------------------------------- *)
+
+(* Luby sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i do
+    incr k
+  done;
+  if (1 lsl !k) - 1 = i then 1 lsl (!k - 1) else luby (i - ((1 lsl (!k - 1)) - 1))
+
+let solve ?(limit_conflicts = max_int) s =
+  if s.unsat then Unsat
+  else begin
+    let budget_start = s.conflicts in
+    let restart_count = ref 0 in
+    let result = ref None in
+    while !result = None do
+      let restart_limit = 100 * luby (!restart_count + 1) in
+      let restart_conflicts = ref 0 in
+      (* One restart round. *)
+      let round_done = ref false in
+      while not !round_done do
+        let confl = propagate s in
+        if confl >= 0 then begin
+          s.conflicts <- s.conflicts + 1;
+          incr restart_conflicts;
+          if s.conflicts - budget_start > limit_conflicts then raise Budget_exceeded;
+          if decision_level s = 0 then begin
+            s.unsat <- true;
+            result := Some Unsat;
+            round_done := true
+          end
+          else begin
+            let learnt, btlevel = analyze s confl in
+            backtrack s btlevel;
+            (match learnt with
+            | [ l ] -> enqueue s l (-1)
+            | l :: _ ->
+              (* Put the asserting literal first and a highest-level other
+                 literal second (watch invariant). *)
+              let arr = Array.of_list learnt in
+              let best = ref 1 in
+              for j = 2 to Array.length arr - 1 do
+                if s.level.(lit_var arr.(j)) > s.level.(lit_var arr.(!best)) then best := j
+              done;
+              let tmp = arr.(1) in
+              arr.(1) <- arr.(!best);
+              arr.(!best) <- tmp;
+              Vbase.Vecbuf.push s.clauses arr;
+              attach_clause s (Vbase.Vecbuf.length s.clauses - 1);
+              enqueue s l (Vbase.Vecbuf.length s.clauses - 1)
+            | [] -> s.unsat <- true; result := Some Unsat; round_done := true);
+            s.var_inc <- s.var_inc /. 0.95
+          end
+        end
+        else if !restart_conflicts >= restart_limit then begin
+          backtrack s 0;
+          incr restart_count;
+          round_done := true
+        end
+        else begin
+          (* Decide. *)
+          let rec pick () =
+            if s.heap_len = 0 then -1
+            else begin
+              let v = heap_pop s in
+              if s.assign.(v) = 0 then v else pick ()
+            end
+          in
+          let v = pick () in
+          if v < 0 then begin
+            result := Some Sat;
+            round_done := true
+          end
+          else begin
+            s.decisions <- s.decisions + 1;
+            Vbase.Vecbuf.push s.trail_lim (Vbase.Vecbuf.length s.trail);
+            enqueue s (if s.polarity.(v) then pos v else neg v) (-1)
+          end
+        end
+      done
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let value s v = s.assign.(v) > 0
+let stats_conflicts s = s.conflicts
+let stats_decisions s = s.decisions
+let stats_propagations s = s.propagations

@@ -1,0 +1,48 @@
+(** CDCL SAT solver.
+
+    Standard conflict-driven clause learning with two-watched-literal
+    propagation, first-UIP learning, VSIDS decision ordering and Luby
+    restarts.  Used incrementally by the ground SMT loop: the theory layer
+    adds blocking clauses between [solve] calls.
+
+    Literals are ints: [2*v] is the positive literal of var [v], [2*v+1] the
+    negative one. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates a fresh variable, returns its index. *)
+
+val n_vars : t -> int
+
+val pos : int -> int
+(** Positive literal of a variable. *)
+
+val neg : int -> int
+(** Negative literal of a variable. *)
+
+val lit_var : int -> int
+val lit_negate : int -> int
+
+val add_clause : t -> int list -> unit
+(** Adds a clause.  Safe to call between [solve] calls; the solver
+    backtracks as needed.  An empty (or falsified-at-level-0) clause makes
+    the instance permanently unsat. *)
+
+val solve : ?limit_conflicts:int -> t -> result
+(** Solves the current clause set.  [limit_conflicts] bounds the search
+    (raises [Budget_exceeded] past it). *)
+
+exception Budget_exceeded
+
+val value : t -> int -> bool
+(** Model value of a variable; only meaningful right after [solve] returned
+    [Sat]. *)
+
+val stats_conflicts : t -> int
+val stats_decisions : t -> int
+val stats_propagations : t -> int

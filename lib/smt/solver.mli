@@ -1,0 +1,68 @@
+(** The SMT solver: a lazy CDCL(T) loop combining the CDCL SAT core with
+    congruence closure, linear integer arithmetic, eager bit-blasting for
+    bit-vector atoms, and E-matching quantifier instantiation.
+
+    Architecture (per ground-solve round):
+    - assertions are purified (ground composite arguments of uninterpreted
+      functions get proxy constants; integer div/mod by literals and
+      integer-sorted if-then-else are compiled away), put in negation normal
+      form with polarity-driven skolemization, and Tseitin-encoded;
+    - the SAT core enumerates boolean models; EUF and LIA validate each
+      model and contribute blocking clauses (with proof-forest / Farkas
+      explanations) on conflict;
+    - theories are combined model-style: equalities implied by congruence
+      or shared by the arithmetic model become lemmas over fresh equality
+      atoms;
+    - remaining universal quantifiers instantiate by E-matching under the
+      configured trigger policy.
+
+    Answers: [Unsat] is definitive (this is what "verified" means
+    downstream).  [Sat] is definitive only for quantifier-free problems;
+    problems whose candidate model still involves uninstantiated quantifiers
+    report [Unknown]. *)
+
+type config = {
+  trigger_policy : Triggers.policy;
+  max_rounds : int;  (** instantiation rounds before giving up *)
+  max_instances_per_round : int;
+  max_instances_per_quant : int;
+      (** fuel-style cap per quantifier (bounds definitional unfolding
+          chains, like Dafny's fuel) *)
+  deadline_s : float;  (** wall-clock budget per solve (timeout -> Unknown) *)
+  sat_conflict_budget : int;  (** cumulative CDCL conflict budget *)
+  bb_budget : int;  (** LIA branch-and-bound node budget per check *)
+  combination_pairs_per_round : int;  (** cross-theory equality guesses *)
+}
+
+val default_config : config
+
+type answer =
+  | Unsat
+  | Sat
+  | Unknown of string  (** reason: budget, quantifiers, ... *)
+
+type stats = {
+  rounds : int;
+  instances : int;
+  matches_tried : int;
+  conflicts : int;
+  decisions : int;
+  query_bytes : int;  (** printed size of everything sent to the core *)
+  time_s : float;
+  t_sat : float;  (** time in CDCL search *)
+  t_theory : float;  (** time in EUF/LIA final checks *)
+  t_ematch : float;  (** time in quantifier instantiation *)
+}
+
+type result = { answer : answer; stats : stats; model : (string * string) list }
+
+val solve : ?config:config -> Term.t list -> result
+(** Satisfiability of the conjunction of the assertions. *)
+
+val check_valid : ?config:config -> ?hyps:Term.t list -> Term.t -> result
+(** [check_valid ~hyps goal] checks that [hyps] entail [goal] by refuting
+    [hyps /\ not goal]; [Unsat] means valid (proved). *)
+
+val dump_debug : unit -> unit
+(** With [SMT_DEBUG] set, prints cumulative theory-phase timings to
+    stderr (development aid). *)

@@ -1,0 +1,19 @@
+type t = Bool | Int | Bv of int | Usort of string
+
+let equal a b =
+  match (a, b) with
+  | Bool, Bool | Int, Int -> true
+  | Bv n, Bv m -> n = m
+  | Usort s, Usort t -> String.equal s t
+  | (Bool | Int | Bv _ | Usort _), _ -> false
+
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let to_string = function
+  | Bool -> "Bool"
+  | Int -> "Int"
+  | Bv n -> Printf.sprintf "(_ BitVec %d)" n
+  | Usort s -> s
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)

@@ -1,0 +1,18 @@
+(** SMT sorts.
+
+    Uninterpreted sorts carry a name; the verifier encodes datatypes,
+    sequences, maps and heap references as uninterpreted sorts plus
+    quantified axioms (this is the encoding style whose cost the paper's
+    benchmarks measure). *)
+
+type t =
+  | Bool
+  | Int
+  | Bv of int  (** fixed-width bit-vector *)
+  | Usort of string  (** uninterpreted sort *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+type policy = Conservative | Liberal
+
+(* Bound variables of the quantifier occurring in a term. *)
+let qvars_in qvars t =
+  let names = List.map fst qvars in
+  List.filter (fun (x, _) -> List.mem x names) (Term.free_bvars t)
+  |> List.map fst
+
+let contains_quant t =
+  Term.fold_subterms
+    (fun acc s -> acc || match s.Term.node with Term.Forall _ | Term.Exists _ -> true | _ -> false)
+    false t
+
+(* Candidate patterns: uninterpreted applications with arguments, mentioning
+   at least one bound variable, not containing a nested quantifier, and not
+   being a bare bound variable. *)
+let candidates (q : Term.quant) =
+  Term.fold_subterms
+    (fun acc s ->
+      match s.Term.node with
+      | Term.App (_, _ :: _) when qvars_in q.Term.qvars s <> [] && not (contains_quant s) ->
+        s :: acc
+      | _ -> acc)
+    [] q.Term.body
+
+(* Greedily extend [group] with candidates until it covers all qvars;
+   returns None if full coverage is impossible. *)
+let complete_cover qvars group cands =
+  let covered g = List.sort_uniq compare (List.concat_map (qvars_in qvars) g) in
+  let all = List.sort_uniq compare (List.map fst qvars) in
+  let rec go group =
+    let cov = covered group in
+    if cov = all then Some group
+    else begin
+      let missing = List.filter (fun v -> not (List.mem v cov)) all in
+      match
+        List.find_opt
+          (fun c -> List.exists (fun v -> List.mem v (qvars_in qvars c)) missing)
+          cands
+      with
+      | Some c -> go (group @ [ c ])
+      | None -> None
+    end
+  in
+  go group
+
+let select policy (q : Term.quant) =
+  if q.Term.triggers <> [] then q.Term.triggers
+  else begin
+    let cands = candidates q in
+    (* Prefer smaller patterns. *)
+    let cands = List.sort (fun a b -> compare (Term.tree_size a) (Term.tree_size b)) cands in
+    (* Drop candidates that are proper subterms of smaller... keep simple. *)
+    match policy with
+    | Conservative -> (
+      (* All *minimal* single covering patterns, one group each (a pattern
+         is dropped when a strict subterm of it also covers).  Several
+         small groups keep instantiation selective while making sure the
+         quantifier fires whichever of its atoms appears in the goal —
+         matching how production solvers pick conservative triggers. *)
+      let all = List.sort_uniq compare (List.map fst q.Term.qvars) in
+      let covering =
+        List.filter
+          (fun c -> List.sort_uniq compare (qvars_in q.Term.qvars c) = all)
+          cands
+      in
+      let minimal =
+        List.filter
+          (fun c ->
+            not
+              (List.exists
+                 (fun c' ->
+                   (not (Term.equal c c'))
+                   && Term.fold_subterms (fun acc s -> acc || Term.equal s c') false c)
+                 covering))
+          covering
+      in
+      match minimal with
+      | _ :: _ -> List.map (fun c -> [ c ]) minimal
+      | [] -> ( match complete_cover q.Term.qvars [] cands with Some g -> [ g ] | None -> []))
+    | Liberal ->
+      (* Broad, Dafny-style selection: every covering pattern becomes a
+         trigger group — including large nested ones, which keep matching
+         against terms produced by earlier instantiations (the
+         instantiation-chain cost §3.1 describes).  Multi-patterns are a
+         last resort when no single pattern covers. *)
+      let all = List.sort_uniq compare (List.map fst q.Term.qvars) in
+      let covering =
+        List.filter
+          (fun c -> List.sort_uniq compare (qvars_in q.Term.qvars c) = all)
+          cands
+      in
+      (match covering with
+      | _ :: _ -> List.map (fun c -> [ c ]) covering
+      | [] -> (
+        match
+          List.filter_map (fun c -> complete_cover q.Term.qvars [ c ] cands) cands
+        with
+        | [] -> []
+        | g :: _ -> [ g ]))
+  end

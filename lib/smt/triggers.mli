@@ -1,0 +1,18 @@
+(** Quantifier-trigger selection policies.
+
+    The paper (§3.1) attributes much of Verus's solver-performance advantage
+    to *conservative* trigger selection — picking as few patterns as
+    possible — where Dafny-style tools default to broad triggers that cause
+    instantiation blowups.  Both policies are implemented here so the
+    benchmark harness can compare them on identical queries. *)
+
+type policy = Conservative | Liberal
+
+val select : policy -> Term.quant -> Term.t list list
+(** Trigger groups for a quantifier.  Explicit triggers on the quantifier
+    are honoured as-is; otherwise candidates are uninterpreted application
+    subterms of the body mentioning at least one bound variable.
+
+    [Conservative] returns a single minimal group covering all bound
+    variables; [Liberal] returns one group per candidate (each greedily
+    completed to cover all variables), the Dafny-style behaviour. *)

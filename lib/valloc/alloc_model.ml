@@ -1,0 +1,107 @@
+module T = Smt.Term
+module S = Smt.Sort
+open Verus.Vsync
+
+(* Fields:
+   - capacity : Constant int
+   - live     : Map block -> 1   (block handed out to a client)
+   - delayed  : Map block -> 1   (freed cross-thread, awaiting collection)
+
+   malloc b:     add live[b]           (b fresh: safety condition)
+   free_local b: remove live[b]
+   free_remote b:remove live[b], add delayed[b]
+   collect b:    remove delayed[b]                                        *)
+
+let machine ~capacity =
+  let i n = T.int_of n in
+  let fields =
+    [
+      { f_name = "capacity"; f_strategy = Constant; f_sort = S.Int; f_key_sort = None };
+      { f_name = "live"; f_strategy = Map; f_sort = S.Int; f_key_sort = Some S.Int };
+      { f_name = "delayed"; f_strategy = Map; f_sort = S.Int; f_key_sort = Some S.Int };
+    ]
+  in
+  let b = T.bvar "b!q" S.Int in
+  let forall_blocks body = T.forall [ ("b!q", S.Int) ] body in
+  let init (s : state) =
+    T.and_
+      [
+        T.eq (s.get "capacity") (i capacity);
+        forall_blocks (T.not_ (s.map_dom "live" b));
+        forall_blocks (T.not_ (s.map_dom "delayed" b));
+      ]
+  in
+  let invariant (s : state) =
+    T.and_
+      [
+        (* A block is never both live and delayed (no aliased ownership). *)
+        forall_blocks (T.not_ (T.and_ [ s.map_dom "live" b; s.map_dom "delayed" b ]));
+        (* Tracked blocks are within the page. *)
+        forall_blocks
+          (T.implies
+             (T.or_ [ s.map_dom "live" b; s.map_dom "delayed" b ])
+             (T.and_ [ T.le (i 0) b; T.lt b (s.get "capacity") ]));
+      ]
+  in
+  let p n params = List.nth params n in
+  let malloc =
+    {
+      t_name = "malloc";
+      t_params = [ ("b", S.Int) ];
+      t_actions =
+        [
+          Require
+            (fun (s, params) ->
+              T.and_
+                [
+                  T.le (i 0) (p 0 params);
+                  T.lt (p 0 params) (s.get "capacity");
+                  (* The allocator only hands out blocks on its free list:
+                     neither live nor awaiting collection. *)
+                  T.not_ (s.map_dom "live" (p 0 params));
+                  T.not_ (s.map_dom "delayed" (p 0 params));
+                ]);
+          Map_add ("live", (fun (_, params) -> p 0 params), fun _ -> i 1);
+        ];
+    }
+  in
+  let free_local =
+    {
+      t_name = "free_local";
+      t_params = [ ("b", S.Int) ];
+      t_actions = [ Map_remove ("live", fun (_, params) -> p 0 params) ];
+    }
+  in
+  let free_remote =
+    {
+      t_name = "free_remote";
+      t_params = [ ("b", S.Int) ];
+      t_actions =
+        [
+          Map_remove ("live", fun (_, params) -> p 0 params);
+          Map_add ("delayed", (fun (_, params) -> p 0 params), fun _ -> i 1);
+        ];
+    }
+  in
+  let collect =
+    {
+      t_name = "collect";
+      t_params = [ ("b", S.Int) ];
+      t_actions = [ Map_remove ("delayed", fun (_, params) -> p 0 params) ];
+    }
+  in
+  {
+    m_name = "alloc_delayed_free";
+    m_fields = fields;
+    m_init = init;
+    m_transitions = [ malloc; free_local; free_remote; collect ];
+    m_invariant = invariant;
+    m_properties =
+      [
+        ( "no_dual_ownership",
+          fun s -> forall_blocks (T.not_ (T.and_ [ s.map_dom "live" b; s.map_dom "delayed" b ]))
+        );
+      ];
+  }
+
+let check ?config ~capacity () = Verus.Vsync.check ?config (machine ~capacity)

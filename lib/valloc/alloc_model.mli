@@ -1,0 +1,14 @@
+(** VerusSync model of the allocator's cross-thread deallocation protocol
+    (§4.2.4): memory permissions deposited into a page's atomic
+    delayed-free list and collected by the page owner.
+
+    Fields: [live] (blocks handed to clients), [delayed] (permissions
+    parked in the atomic list).  The invariant — no block is simultaneously
+    live and delayed, and blocks stay within the page capacity — is what
+    makes "every allocation returns non-aliased memory" inductive. *)
+
+val machine : capacity:int -> Verus.Vsync.machine
+(** The delayed-free sharded state machine for a page of [capacity] blocks. *)
+
+val check : ?config:Smt.Solver.config -> capacity:int -> unit -> Verus.Vsync.report
+(** Discharge the machine's inductiveness obligations with the solver. *)

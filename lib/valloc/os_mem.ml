@@ -1,0 +1,58 @@
+let segment_size = 4 * 1024 * 1024
+
+type t = {
+  segments : (int, Bytes.t) Hashtbl.t; (* segment index -> backing *)
+  mutable next : int;
+  max_segments : int;
+  lock : Mutex.t;
+}
+
+let create ?(max_segments = 256) () =
+  { segments = Hashtbl.create 16; next = 1; max_segments; lock = Mutex.create () }
+
+let mmap t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if Hashtbl.length t.segments >= t.max_segments then failwith "Os_mem: address space exhausted";
+      let idx = t.next in
+      t.next <- idx + 1;
+      Hashtbl.replace t.segments idx (Bytes.make segment_size '\000');
+      idx * segment_size)
+
+let munmap t addr =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if addr mod segment_size <> 0 then invalid_arg "Os_mem.munmap: unaligned";
+      let idx = addr / segment_size in
+      if not (Hashtbl.mem t.segments idx) then invalid_arg "Os_mem.munmap: not mapped";
+      Hashtbl.remove t.segments idx)
+
+let locate t addr =
+  let idx = addr / segment_size in
+  match Hashtbl.find_opt t.segments idx with
+  | Some b -> (b, addr mod segment_size)
+  | None -> invalid_arg (Printf.sprintf "Os_mem: access to unmapped address %#x" addr)
+
+let read_byte t addr =
+  let b, off = locate t addr in
+  Char.code (Bytes.get b off)
+
+let write_byte t addr v =
+  let b, off = locate t addr in
+  Bytes.set b off (Char.chr (v land 0xFF))
+
+let blit_fill t ~addr ~len ~byte =
+  let b, off = locate t addr in
+  if off + len > Bytes.length b then invalid_arg "Os_mem.blit_fill: crosses segment";
+  Bytes.fill b off len (Char.chr (byte land 0xFF))
+
+let check_fill t ~addr ~len ~byte =
+  let b, off = locate t addr in
+  let rec go i = i >= len || (Bytes.get b (off + i) = Char.chr (byte land 0xFF) && go (i + 1)) in
+  off + len <= Bytes.length b && go 0
+
+let mapped_segments t = Hashtbl.length t.segments

@@ -1,0 +1,26 @@
+(** The simulated OS memory interface the allocator is built over — the
+    trusted [mmap] specification of §4.2.4: coarse-grained, segment-aligned
+    allocations only.
+
+    Addresses are flat integers; each mapped segment is backed by real
+    [Bytes], so allocator clients genuinely read and write the memory they
+    are handed (the aliasing tests depend on this). *)
+
+val segment_size : int
+(** 4 MiB, the only granularity the OS hands out. *)
+
+type t
+
+val create : ?max_segments:int -> unit -> t
+
+val mmap : t -> int
+(** Returns the base address of a fresh zeroed segment. *)
+
+val munmap : t -> int -> unit
+(** Base address must come from [mmap]; raises on double-unmap. *)
+
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+val blit_fill : t -> addr:int -> len:int -> byte:int -> unit
+val check_fill : t -> addr:int -> len:int -> byte:int -> bool
+val mapped_segments : t -> int

@@ -1,0 +1,177 @@
+type config = { checked : bool; heaps : int; threads : int }
+
+let names =
+  [
+    "cfrac";
+    "larsonN-sized";
+    "sh6benchN";
+    "xmalloc-testN";
+    "cache-scratch1";
+    "cache-scratchN";
+    "glibc-simple";
+    "glibc-thread";
+  ]
+
+let with_alloc (cfg : config) f =
+  let os = Os_mem.create ~max_segments:512 () in
+  let a = Alloc.create ~checked:cfg.checked ~heaps:cfg.heaps os in
+  let t0 = Unix.gettimeofday () in
+  f a;
+  Unix.gettimeofday () -. t0
+
+let spawn_threads n body =
+  let domains = List.init n (fun tid -> Domain.spawn (fun () -> body tid)) in
+  List.iter Domain.join domains
+
+(* cfrac: single-threaded, many short-lived small allocations with a
+   modest working set (the paper calls it a "real world" benchmark). *)
+let cfrac cfg =
+  with_alloc cfg (fun a ->
+      let rng = Vbase.Rng.create ~seed:1 in
+      let live = Array.make 512 (-1) in
+      for i = 0 to 200_000 do
+        let slot = i mod 512 in
+        if live.(slot) >= 0 then Alloc.free a ~heap:0 live.(slot);
+        live.(slot) <- Alloc.malloc a ~heap:0 (8 + Vbase.Rng.int rng 56)
+      done)
+
+(* larson: server-style — each thread keeps a slot ring and replaces
+   random entries; a fraction of frees happen on the "wrong" thread. *)
+let larson cfg =
+  with_alloc cfg (fun a ->
+      let shared = Array.make (cfg.threads * 64) (-1) in
+      let locks = Array.init cfg.threads (fun _ -> Mutex.create ()) in
+      spawn_threads cfg.threads (fun tid ->
+          let heap = tid mod cfg.heaps in
+          let rng = Vbase.Rng.create ~seed:(tid + 10) in
+          for _ = 1 to 30_000 do
+            (* Pick any slot — possibly another thread's: cross-thread
+               free. *)
+            let victim = Vbase.Rng.int rng (Array.length shared) in
+            let owner = victim / 64 in
+            Mutex.lock locks.(owner);
+            let old = shared.(victim) in
+            shared.(victim) <- -2 (* claimed *);
+            Mutex.unlock locks.(owner);
+            if old >= 0 then Alloc.free a ~heap old;
+            let fresh = Alloc.malloc a ~heap (8 + Vbase.Rng.int rng 1016) in
+            Mutex.lock locks.(owner);
+            shared.(victim) <- fresh;
+            Mutex.unlock locks.(owner)
+          done))
+
+(* sh6bench: batched alloc, then free everything, repeat. *)
+let sh6bench cfg =
+  with_alloc cfg (fun a ->
+      spawn_threads cfg.threads (fun tid ->
+          let heap = tid mod cfg.heaps in
+          let rng = Vbase.Rng.create ~seed:(tid + 20) in
+          for _ = 1 to 30 do
+            let batch = Array.init 1000 (fun _ -> Alloc.malloc a ~heap (8 + Vbase.Rng.int rng 120)) in
+            Array.iter (fun b -> Alloc.free a ~heap b) batch
+          done))
+
+(* xmalloc-test: producer/consumer — blocks are freed by the next thread. *)
+let xmalloc cfg =
+  with_alloc cfg (fun a ->
+      let n = cfg.threads in
+      let mailboxes = Array.init n (fun _ -> Atomic.make []) in
+      spawn_threads n (fun tid ->
+          let heap = tid mod cfg.heaps in
+          let next = (tid + 1) mod n in
+          for _ = 1 to 20_000 do
+            (* Drain our mailbox (blocks other threads allocated). *)
+            List.iter (fun b -> Alloc.free a ~heap b) (Atomic.exchange mailboxes.(tid) []);
+            let b = Alloc.malloc a ~heap 64 in
+            let rec push () =
+              let old = Atomic.get mailboxes.(next) in
+              if not (Atomic.compare_and_set mailboxes.(next) old (b :: old)) then push ()
+            in
+            push ()
+          done;
+          List.iter (fun b -> Alloc.free a ~heap b) (Atomic.exchange mailboxes.(tid) [])))
+
+(* cache-scratch: allocate a buffer per thread and hammer writes on it. *)
+let cache_scratch cfg =
+  let os = Os_mem.create () in
+  let a = Alloc.create ~checked:cfg.checked ~heaps:cfg.heaps os in
+  let t0 = Unix.gettimeofday () in
+  spawn_threads cfg.threads (fun tid ->
+      let heap = tid mod cfg.heaps in
+      let b = Alloc.malloc a ~heap 4096 in
+      for i = 0 to 400_000 do
+        Os_mem.write_byte os (b + (i land 1023)) i
+      done;
+      Alloc.free a ~heap b);
+  Unix.gettimeofday () -. t0
+
+(* glibc-simple: tight alloc/free pairs. *)
+let glibc_simple cfg =
+  with_alloc cfg (fun a ->
+      for i = 1 to 300_000 do
+        let b = Alloc.malloc a ~heap:0 (8 + (i land 255)) in
+        Alloc.free a ~heap:0 b
+      done)
+
+let glibc_thread cfg =
+  with_alloc cfg (fun a ->
+      spawn_threads cfg.threads (fun tid ->
+          let heap = tid mod cfg.heaps in
+          for i = 1 to 100_000 do
+            let b = Alloc.malloc a ~heap (8 + (i land 255)) in
+            Alloc.free a ~heap b
+          done))
+
+let run ~name cfg =
+  match name with
+  | "cfrac" -> cfrac cfg
+  | "larsonN-sized" -> larson cfg
+  | "sh6benchN" -> sh6bench cfg
+  | "xmalloc-testN" -> xmalloc cfg
+  | "cache-scratch1" -> cache_scratch { cfg with threads = 1 }
+  | "cache-scratchN" -> cache_scratch cfg
+  | "glibc-simple" -> glibc_simple cfg
+  | "glibc-thread" -> glibc_thread cfg
+  | _ -> invalid_arg ("Workloads.run: unknown workload " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Aliasing crosscheck                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let crosscheck_aliasing ?(ops = 20_000) ?(seed = 9) () =
+  let os = Os_mem.create ~max_segments:512 () in
+  let a = Alloc.create ~checked:true ~heaps:2 os in
+  let rng = Vbase.Rng.create ~seed in
+  (* live: address -> (size, fill byte) *)
+  let live : (int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let error = ref None in
+  (try
+     for i = 1 to ops do
+       if !error = None then begin
+         if Vbase.Rng.int rng 100 < 60 || Hashtbl.length live = 0 then begin
+           let size = 1 + Vbase.Rng.int rng 2000 in
+           let addr = Alloc.malloc a ~heap:(Vbase.Rng.int rng 2) size in
+           (* Freshness: must not overlap any live block. *)
+           Hashtbl.iter
+             (fun b (sz, _) ->
+               if addr < b + sz && b < addr + size && !error = None then
+                 error := Some (Printf.sprintf "op %d: %#x overlaps %#x" i addr b))
+             live;
+           let byte = i land 0xFF in
+           Os_mem.blit_fill os ~addr ~len:size ~byte;
+           Hashtbl.replace live addr (size, byte)
+         end
+         else begin
+           (* Free a random live block, verifying its contents survived. *)
+           let keys = Hashtbl.fold (fun k _ acc -> k :: acc) live [] in
+           let addr = List.nth keys (Vbase.Rng.int rng (List.length keys)) in
+           let size, byte = Hashtbl.find live addr in
+           if not (Os_mem.check_fill os ~addr ~len:size ~byte) then
+             error := Some (Printf.sprintf "op %d: contents of %#x corrupted" i addr);
+           Hashtbl.remove live addr;
+           Alloc.free a ~heap:(Vbase.Rng.int rng 2) addr
+         end
+       end
+     done
+   with e -> error := Some (Printexc.to_string e));
+  match !error with None -> Ok () | Some e -> Error e

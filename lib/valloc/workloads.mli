@@ -1,0 +1,26 @@
+(** The Figure 13 benchmark workloads, reimplemented as synthetic loads
+    with the same character as their mimalloc-bench namesakes (the
+    container has no C toolchain or original suite; see DESIGN.md).
+
+    Each workload runs against a configurable allocator and returns elapsed
+    seconds; the harness compares [checked] (Verus-mimalloc) against
+    unchecked (the C original's role) and a single-heap/global-lock
+    configuration (a naive allocator). *)
+
+type config = {
+  checked : bool;
+  heaps : int;
+  threads : int;
+}
+
+val run : name:string -> config -> float
+(** Known names: cfrac, larsonN-sized, sh6benchN, xmalloc-testN,
+    cache-scratch1, cache-scratchN, glibc-simple, glibc-thread.
+    Raises [Invalid_argument] on unknown names. *)
+
+val names : string list
+
+val crosscheck_aliasing : ?ops:int -> ?seed:int -> unit -> (unit, string) Stdlib.result
+(** The §4.2.4 correctness property, dynamically: random malloc/free/write
+    traffic; every allocation must be fresh non-overlapping memory and
+    writes through one block must never disturb another. *)

@@ -1,0 +1,25 @@
+let polynomial = 0xEDB88320l
+
+let table_entry_spec i =
+  let c = ref (Int32.of_int i) in
+  for _ = 0 to 7 do
+    if Int32.logand !c 1l <> 0l then
+      c := Int32.logxor (Int32.shift_right_logical !c 1) polynomial
+    else c := Int32.shift_right_logical !c 1
+  done;
+  !c
+
+let the_table = lazy (Array.init 256 table_entry_spec)
+let table () = Lazy.force the_table
+
+let digest ?(crc = 0l) buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then invalid_arg "Crc32.digest";
+  let t = table () in
+  let c = ref (Int32.lognot crc) in
+  for i = off to off + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get buf i)))) 0xFFl) in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let digest_string s = digest (Bytes.of_string s) 0 (String.length s)

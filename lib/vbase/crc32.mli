@@ -1,0 +1,24 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected), as used by the persistent-log
+    case study to protect metadata against corruption (paper §4.2.5).
+
+    The lookup table is exposed so the verifier's proof-by-computation mode
+    can re-derive it from the polynomial definition — the exact exercise the
+    paper describes for `by(compute)` (§3.3). *)
+
+val polynomial : int32
+(** The reflected IEEE polynomial 0xEDB88320. *)
+
+val table : unit -> int32 array
+(** The 256-entry lookup table used by {!digest}. *)
+
+val table_entry_spec : int -> int32
+(** [table_entry_spec i] computes table entry [i] directly from the
+    polynomial definition (8 conditional-xor steps), independently of the
+    table.  This is the "specification" the compute-mode proof checks the
+    table against. *)
+
+val digest : ?crc:int32 -> Bytes.t -> int -> int -> int32
+(** [digest ?crc buf off len] checksums [len] bytes of [buf] starting at
+    [off].  [crc] continues a previous digest (default: fresh). *)
+
+val digest_string : string -> int32

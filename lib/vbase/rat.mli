@@ -1,0 +1,46 @@
+(** Exact rational numbers over {!Bigint}, always kept in lowest terms with a
+    positive denominator.  This is the coefficient field of the LIA simplex
+    solver. *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** [make num den] normalizes; raises [Division_by_zero] on zero [den]. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+(** [of_ints a b] is the rational [a/b]. *)
+val of_ints : int -> int -> t
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Raises [Division_by_zero]. *)
+val div : t -> t -> t
+
+val inv : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val abs : t -> t
+
+(** Largest integer [<= q]. *)
+val floor : t -> Bigint.t
+
+(** Smallest integer [>= q]. *)
+val ceil : t -> Bigint.t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val hash : t -> int

@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random numbers (splitmix64 core).
+
+    Workload generators in the benchmarks must be reproducible across runs
+    and independent of the global [Random] state, so every generator carries
+    its own seeded stream. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Uniform in [0, bound); [bound > 0]. *)
+val int : t -> int -> int
+
+(** Raw 62-bit non-negative value. *)
+val bits : t -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [shuffle rng arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

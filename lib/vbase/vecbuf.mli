@@ -1,0 +1,31 @@
+(** Growable arrays ("vectors").
+
+    The SAT solver and the case-study data planes need amortized O(1)
+    push/pop with unboxed int access patterns; OCaml's [Buffer] is byte-only
+    and [Dynarray] is not in 5.1's stdlib, so we provide our own. *)
+
+type 'a t
+
+(** [create ~dummy] makes an empty vector.  [dummy] fills unused slots. *)
+val create : dummy:'a -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+
+(** Raises [Failure] on an empty vector. *)
+val pop : 'a t -> 'a
+
+val top : 'a t -> 'a
+val clear : 'a t -> unit
+
+(** [shrink v n] drops elements so that [length v = n]. *)
+val shrink : 'a t -> int -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val exists : ('a -> bool) -> 'a t -> bool

@@ -1,0 +1,190 @@
+(* IronKV case-study tests: marshalling round-trips, delegation map vs. a
+   naive model, the cluster differential test, and the EPR proof of the
+   delegation map abstraction. *)
+
+module M = Ironkv.Marshal
+module Dm = Ironkv.Delegation_map
+
+(* ------------------------------------------------------------------ *)
+(* Marshalling                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_marshal_primitives () =
+  Alcotest.(check (option int)) "u8" (Some 200) (M.of_bytes M.u8 (M.to_bytes M.u8 200));
+  Alcotest.(check (option int)) "u64 big" (Some max_int)
+    (M.of_bytes M.u64 (M.to_bytes M.u64 max_int));
+  Alcotest.(check (option string)) "string" (Some "hello")
+    (M.of_bytes M.byte_string (M.to_bytes M.byte_string "hello"));
+  Alcotest.(check (option bool)) "bool" (Some true) (M.of_bytes M.boolean (M.to_bytes M.boolean true));
+  (* Truncated input is rejected, not crashed on. *)
+  Alcotest.(check (option int)) "truncated" None (M.of_bytes M.u64 (Bytes.of_string "abc"));
+  (* Trailing garbage rejected by of_bytes. *)
+  let b = M.to_bytes M.u8 7 in
+  let b' = Bytes.cat b (Bytes.of_string "x") in
+  Alcotest.(check (option int)) "trailing" None (M.of_bytes M.u8 b')
+
+let prop_marshal_roundtrip =
+  QCheck.Test.make ~name:"message roundtrip" ~count:500
+    QCheck.(
+      quad (int_range 0 1000) (int_range 0 100000) (int_range 0 1_000_000) (string_of_size (QCheck.Gen.int_range 0 200)))
+    (fun (client, seq, key, value) ->
+      let open Ironkv.Message in
+      let msgs =
+        [
+          Get { client; seq; key };
+          Set { client; seq; key; value };
+          Reply { client; seq; key; value = Some value };
+          Reply { client; seq; key; value = None };
+          Delegate { lo = key; hi = key + 10; dest = client mod 7; kvs = [ (key, value); (key + 1, "") ] };
+        ]
+      in
+      List.for_all (fun m -> of_bytes (to_bytes m) = Some m) msgs)
+
+let prop_vec_roundtrip =
+  QCheck.Test.make ~name:"vec/pair/option roundtrip" ~count:300
+    QCheck.(list (pair small_nat (option (string_of_size (QCheck.Gen.int_range 0 30)))))
+    (fun xs ->
+      let m = M.vec (M.pair M.u64 (M.option M.byte_string)) in
+      M.of_bytes m (M.to_bytes m xs) = Some xs)
+
+(* ------------------------------------------------------------------ *)
+(* Delegation map vs. naive model                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_dmap_basics () =
+  let dm = Dm.create ~default_host:0 in
+  Alcotest.(check int) "default" 0 (Dm.get dm 12345);
+  Dm.set_range dm ~lo:100 ~hi:200 ~host:1;
+  Alcotest.(check int) "inside" 1 (Dm.get dm 150);
+  Alcotest.(check int) "below" 0 (Dm.get dm 99);
+  Alcotest.(check int) "boundary lo" 1 (Dm.get dm 100);
+  Alcotest.(check int) "boundary hi" 0 (Dm.get dm 200);
+  Alcotest.(check (result unit string)) "invariant" (Ok ()) (Dm.check_invariant dm);
+  (* Overwrite part of the range. *)
+  Dm.set_range dm ~lo:150 ~hi:250 ~host:2;
+  Alcotest.(check int) "old part" 1 (Dm.get dm 120);
+  Alcotest.(check int) "new part" 2 (Dm.get dm 220);
+  Alcotest.(check int) "after" 0 (Dm.get dm 250);
+  Alcotest.(check (result unit string)) "invariant 2" (Ok ()) (Dm.check_invariant dm)
+
+let prop_dmap_vs_model =
+  (* Random set_range sequences; compare against a flat array model at
+     sampled points, and re-check the representation invariant. *)
+  QCheck.Test.make ~name:"delegation map matches flat model" ~count:200
+    QCheck.(list (triple (int_range 0 999) (int_range 0 999) (int_range 0 5)))
+    (fun ops ->
+      let dm = Dm.create ~default_host:0 in
+      let model = Array.make 1000 0 in
+      List.iter
+        (fun (a, b, host) ->
+          let lo = min a b and hi = max a b in
+          Dm.set_range dm ~lo ~hi ~host;
+          for k = lo to hi - 1 do
+            model.(k) <- host
+          done)
+        ops;
+      Dm.check_invariant dm = Ok ()
+      && List.for_all
+           (fun k -> Dm.get dm k = model.(k))
+           (List.init 100 (fun i -> i * 10)))
+
+let prop_dmap_pivot_compact =
+  QCheck.Test.make ~name:"pivot count bounded by distinct ranges" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 30) (triple (int_range 0 999) (int_range 1 100) (int_range 0 5)))
+    (fun ops ->
+      let dm = Dm.create ~default_host:0 in
+      List.iter (fun (lo, len, host) -> Dm.set_range dm ~lo ~hi:(lo + len) ~host) ops;
+      (* Each set_range adds at most 2 pivots (canonicalization may remove
+         more). *)
+      Dm.pivot_count dm <= (2 * List.length ops) + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster differential test                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cluster_crosscheck () =
+  match Ironkv.Workload.crosscheck ~ops:1500 ~seed:11 () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_cluster_crosscheck_seeds () =
+  List.iter
+    (fun seed ->
+      match Ironkv.Workload.crosscheck ~ops:600 ~seed () with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "seed %d: %s" seed e))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_cluster_duplicates () =
+  (* A flaky client channel: 30% of requests are resent with the same seq.
+     The at-most-once table must absorb every duplicate. *)
+  List.iter
+    (fun seed ->
+      match Ironkv.Workload.crosscheck ~ops:600 ~seed ~dup_pct:30 () with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "dup seed %d: %s" seed e))
+    [ 21; 22; 23 ]
+
+let test_at_most_once () =
+  (* Duplicate Set must not execute twice: after a Set with seq s, a second
+     Set with the same seq but different value is suppressed. *)
+  let net = Ironkv.Network.create ~endpoints:2 () in
+  let h = Ironkv.Host.create ~style:`Inplace ~id:0 ~hosts:1 in
+  let client = 1 in
+  let send m = Ironkv.Host.handle h net (Ironkv.Message.to_bytes m) in
+  send (Ironkv.Message.Set { client; seq = 1; key = 5; value = "first" });
+  (match Ironkv.Network.recv net ~me:client with Some _ -> () | None -> Alcotest.fail "no reply");
+  send (Ironkv.Message.Set { client; seq = 1; key = 5; value = "dup" });
+  (* Duplicate: no second reply, value unchanged. *)
+  Alcotest.(check bool) "no dup reply" true (Ironkv.Network.recv net ~me:client = None);
+  Alcotest.(check (list (pair int string))) "value" [ (5, "first") ] (Ironkv.Host.dump h)
+
+(* ------------------------------------------------------------------ *)
+(* EPR proof of the delegation map                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_marshal_proofs () =
+  let obs = Ironkv.Marshal_proofs.run () in
+  List.iter
+    (fun (o : Ironkv.Marshal_proofs.obligation) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "[%s] %s %s" o.Ironkv.Marshal_proofs.mode o.Ironkv.Marshal_proofs.name
+           o.Ironkv.Marshal_proofs.detail)
+        true o.Ironkv.Marshal_proofs.proved)
+    obs
+
+let test_epr_proof () =
+  let obs = Ironkv.Delegation_proof.run () in
+  List.iter
+    (fun (o : Ironkv.Delegation_proof.obligation) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "EPR: %s" o.Ironkv.Delegation_proof.name)
+        true
+        (o.Ironkv.Delegation_proof.answer = Smt.Solver.Unsat))
+    obs;
+  Alcotest.(check bool) "all proved" true (Ironkv.Delegation_proof.all_proved obs)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ironkv"
+    [
+      ( "marshal",
+        [ Alcotest.test_case "primitives" `Quick test_marshal_primitives ] );
+      qsuite "marshal-props" [ prop_marshal_roundtrip; prop_vec_roundtrip ];
+      ( "delegation-map",
+        [ Alcotest.test_case "basics" `Quick test_dmap_basics ] );
+      qsuite "dmap-props" [ prop_dmap_vs_model; prop_dmap_pivot_compact ];
+      ( "cluster",
+        [
+          Alcotest.test_case "crosscheck" `Quick test_cluster_crosscheck;
+          Alcotest.test_case "crosscheck seeds" `Quick test_cluster_crosscheck_seeds;
+          Alcotest.test_case "duplicate absorption" `Quick test_cluster_duplicates;
+          Alcotest.test_case "at-most-once" `Quick test_at_most_once;
+        ] );
+      ( "epr-proof",
+        [
+          Alcotest.test_case "delegation map" `Slow test_epr_proof;
+          Alcotest.test_case "marshalling lemmas" `Slow test_marshal_proofs;
+        ] );
+    ]

@@ -1,0 +1,357 @@
+(* NR case-study tests: the VerusSync protocol model, the runtime token
+   API, the concurrent implementation, and the two driven together. *)
+
+module R = Verus.Vsync.Runtime
+
+(* ------------------------------------------------------------------ *)
+(* VerusSync machine obligations                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_obligations () =
+  let report = Nr_lib.Nr_model.check ~replicas:3 () in
+  List.iter
+    (fun (o : Verus.Vsync.obligation_result) ->
+      Alcotest.(check bool)
+        o.Verus.Vsync.ob_name true
+        (o.Verus.Vsync.ob_answer = Smt.Solver.Unsat))
+    report.Verus.Vsync.obligations;
+  Alcotest.(check bool) "machine ok" true report.Verus.Vsync.ok
+
+(* A broken machine: combiner_finish without the lower-bound requirement
+   would let versions exceed the tail... construct one where the invariant
+   genuinely breaks: an append that moves the tail backwards. *)
+let test_model_catches_bugs () =
+  let m = Nr_lib.Nr_model.machine ~replicas:2 in
+  let broken =
+    {
+      m with
+      Verus.Vsync.m_transitions =
+        [
+          {
+            Verus.Vsync.t_name = "bad_append";
+            t_params = [ ("n", Smt.Sort.Int) ];
+            t_actions =
+              [
+                Verus.Vsync.Update
+                  ( "tail",
+                    fun (s, params) ->
+                      Smt.Term.sub (s.Verus.Vsync.get "tail") (List.nth params 0) );
+              ];
+          };
+        ];
+    }
+  in
+  let report = Verus.Vsync.check broken in
+  Alcotest.(check bool) "bug caught" false report.Verus.Vsync.ok
+
+(* Refinement to the atomic log spec (§3.4 soundness story). *)
+let test_model_refinement () =
+  let report = Nr_lib.Nr_model.check_refinement ~replicas:3 () in
+  List.iter
+    (fun (o : Verus.Vsync.obligation_result) ->
+      Alcotest.(check bool)
+        o.Verus.Vsync.ob_name true
+        (o.Verus.Vsync.ob_answer = Smt.Solver.Unsat))
+    report.Verus.Vsync.obligations;
+  Alcotest.(check bool) "refines" true report.Verus.Vsync.ok;
+  Alcotest.(check int) "init + one per transition" 4
+    (List.length report.Verus.Vsync.obligations)
+
+let test_model_refinement_catches_bugs () =
+  (* Claiming append is a stutter must be refuted: the abstraction (the
+     tail) visibly changes. *)
+  let m = Nr_lib.Nr_model.machine ~replicas:2 in
+  let bad_map =
+    {
+      Nr_lib.Nr_model.refinement with
+      Verus.Vsync.r_map =
+        [ ("append", None); ("combiner_start", None); ("combiner_finish", None) ];
+    }
+  in
+  let report = Verus.Vsync.check_refinement m bad_map in
+  Alcotest.(check bool) "false stutter caught" false report.Verus.Vsync.ok;
+  (* An unmapped transition is a usage error, not a proof failure. *)
+  Alcotest.check_raises "unmapped transition"
+    (Invalid_argument "VerusSync refinement: transition append has no spec mapping")
+    (fun () ->
+      ignore (Verus.Vsync.check_refinement m { bad_map with Verus.Vsync.r_map = [] }))
+
+(* ------------------------------------------------------------------ *)
+(* Runtime token API                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let find_var_shard name shards =
+  List.find (function R.S_var (n, _) -> n = name | _ -> false) shards
+
+let find_map_shard name key shards =
+  List.find (function R.S_map (n, k, _) -> n = name && k = key | _ -> false) shards
+
+let test_runtime_protocol () =
+  let inst, shards = Nr_lib.Nr_model.make_runtime ~replicas:2 ~log_size:16 in
+  let tail = find_var_shard "tail" shards in
+  (* append 3 slots *)
+  let produced = R.step inst ~transition_name:"append" ~params:[ 3 ] ~consume:[ tail ] in
+  let tail = find_var_shard "tail" produced in
+  (match tail with
+  | R.S_var (_, v) -> Alcotest.(check int) "tail" 3 v
+  | _ -> Alcotest.fail "no tail shard");
+  (* combiner_start for replica 0 targeting 3 *)
+  let comb0 = find_map_shard "combiner" 0 shards in
+  let lv0 = find_map_shard "local_versions" 0 shards in
+  let produced2 =
+    R.step inst ~transition_name:"combiner_start" ~params:[ 0; 3 ] ~consume:[ comb0 ]
+  in
+  let comb0' = find_map_shard "combiner" 0 produced2 in
+  (* combiner_finish publishes version 3 *)
+  let produced3 =
+    R.step inst ~transition_name:"combiner_finish" ~params:[ 0 ] ~consume:[ comb0'; lv0 ]
+  in
+  (match find_map_shard "local_versions" 0 produced3 with
+  | R.S_map (_, _, v) -> Alcotest.(check int) "version" 3 v
+  | _ -> Alcotest.fail "no version shard");
+  Alcotest.(check int) "steps" 3 (R.steps_taken inst)
+
+let test_runtime_violations () =
+  let inst, shards = Nr_lib.Nr_model.make_runtime ~replicas:2 ~log_size:16 in
+  let tail = find_var_shard "tail" shards in
+  let comb0 = find_map_shard "combiner" 0 shards in
+  (* append with n = 0 violates the enabling condition *)
+  Alcotest.check_raises "append 0" (R.Protocol_violation "append: enabling condition failed")
+    (fun () -> ignore (R.step inst ~transition_name:"append" ~params:[ 0 ] ~consume:[ tail ]));
+  (* combiner_start beyond the tail *)
+  Alcotest.check_raises "start beyond tail"
+    (R.Protocol_violation "combiner_start: enabling condition failed") (fun () ->
+      ignore (R.step inst ~transition_name:"combiner_start" ~params:[ 0; 5 ] ~consume:[ comb0 ]));
+  (* missing shard *)
+  (try
+     ignore (R.step inst ~transition_name:"combiner_start" ~params:[ 0; 0 ] ~consume:[]);
+     Alcotest.fail "expected violation"
+   with R.Protocol_violation _ -> ());
+  (* finish while idle *)
+  (try
+     ignore
+       (R.step inst ~transition_name:"combiner_finish" ~params:[ 1 ]
+          ~consume:[ find_map_shard "combiner" 1 shards; find_map_shard "local_versions" 1 shards ]);
+     Alcotest.fail "expected violation"
+   with R.Protocol_violation _ -> ())
+
+(* Randomized differential drive of the token API: a model of the protocol
+   in plain OCaml picks legal (and occasionally illegal) transitions; the
+   runtime must accept exactly the legal ones and agree with the model on
+   the aggregate state throughout. *)
+let prop_runtime_vs_model =
+  QCheck.Test.make ~name:"token runtime agrees with protocol model" ~count:60
+    QCheck.(pair small_nat (int_range 10 60))
+    (fun (seed, steps) ->
+      let replicas = 2 in
+      let inst, shards0 = Nr_lib.Nr_model.make_runtime ~replicas ~log_size:(1 lsl 20) in
+      let rng = Vbase.Rng.create ~seed in
+      (* Mutable shard inventory + model state. *)
+      let tail_shard = ref (find_var_shard "tail" shards0) in
+      let comb = Array.init replicas (fun r -> ref (find_map_shard "combiner" r shards0)) in
+      let lv = Array.init replicas (fun r -> ref (find_map_shard "local_versions" r shards0)) in
+      let m_tail = ref 0 in
+      let m_comb = Array.make replicas (-1) in
+      let m_lv = Array.make replicas 0 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        if !ok then
+          match Vbase.Rng.int rng 4 with
+          | 0 ->
+            (* append: legal for n >= 1. *)
+            let n = 1 + Vbase.Rng.int rng 5 in
+            let produced =
+              R.step inst ~transition_name:"append" ~params:[ n ] ~consume:[ !tail_shard ]
+            in
+            m_tail := !m_tail + n;
+            tail_shard := find_var_shard "tail" produced;
+            (match !tail_shard with
+            | R.S_var (_, v) -> if v <> !m_tail then ok := false
+            | _ -> ok := false)
+          | 1 ->
+            (* combiner_start, only when idle in the model. *)
+            let r = Vbase.Rng.int rng replicas in
+            if m_comb.(r) = -1 then begin
+              let t0 = m_lv.(r) + Vbase.Rng.int rng (!m_tail - m_lv.(r) + 1) in
+              let produced =
+                R.step inst ~transition_name:"combiner_start" ~params:[ r; t0 ]
+                  ~consume:[ !(comb.(r)) ]
+              in
+              m_comb.(r) <- t0;
+              comb.(r) := find_map_shard "combiner" r produced
+            end
+          | 2 ->
+            (* combiner_finish, only when active in the model. *)
+            let r = Vbase.Rng.int rng replicas in
+            if m_comb.(r) >= 0 then begin
+              let produced =
+                R.step inst ~transition_name:"combiner_finish" ~params:[ r ]
+                  ~consume:[ !(comb.(r)); !(lv.(r)) ]
+              in
+              m_lv.(r) <- m_comb.(r);
+              m_comb.(r) <- -1;
+              comb.(r) := find_map_shard "combiner" r produced;
+              lv.(r) := find_map_shard "local_versions" r produced;
+              match !(lv.(r)) with
+              | R.S_map (_, _, v) -> if v <> m_lv.(r) then ok := false
+              | _ -> ok := false
+            end
+          | _ -> (
+            (* An illegal move must raise and leave the state unchanged. *)
+            let before = R.steps_taken inst in
+            try
+              ignore
+                (R.step inst ~transition_name:"append" ~params:[ 0 ] ~consume:[ !tail_shard ]);
+              ok := false
+            with R.Protocol_violation _ -> if R.steps_taken inst <> before then ok := false)
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* NR implementation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_nr_sequential () =
+  let t = Nr_lib.Nr.create ~replicas:2 () in
+  let h = Nr_lib.Nr.register t in
+  let model = Hashtbl.create 64 in
+  let rng = Vbase.Rng.create ~seed:3 in
+  for _ = 1 to 2000 do
+    let key = Vbase.Rng.int rng 100 in
+    if Vbase.Rng.int rng 100 < 40 then begin
+      let v = Vbase.Rng.int rng 1000 in
+      Hashtbl.replace model key v;
+      Nr_lib.Nr.execute_mut t h (Nr_lib.Nr.Put (key, v))
+    end
+    else if Vbase.Rng.int rng 100 < 10 then begin
+      Hashtbl.remove model key;
+      Nr_lib.Nr.execute_mut t h (Nr_lib.Nr.Del key)
+    end
+    else
+      Alcotest.(check (option int))
+        "read" (Hashtbl.find_opt model key)
+        (Nr_lib.Nr.read t h key)
+  done
+
+let test_nr_two_handles () =
+  (* Ops through one handle are visible through another (linearizable
+     reads sync to the tail). *)
+  let t = Nr_lib.Nr.create ~replicas:2 () in
+  let h1 = Nr_lib.Nr.register t in
+  let h2 = Nr_lib.Nr.register t in
+  Nr_lib.Nr.execute_mut t h1 (Nr_lib.Nr.Put (1, 42));
+  Alcotest.(check (option int)) "cross-replica read" (Some 42) (Nr_lib.Nr.read t h2 1)
+
+let test_nr_log_wraparound () =
+  (* More writes than log slots force GC and wrap-around. *)
+  let t = Nr_lib.Nr.create ~log_size:8 ~replicas:2 () in
+  let h1 = Nr_lib.Nr.register t in
+  let h2 = Nr_lib.Nr.register t in
+  for i = 1 to 100 do
+    Nr_lib.Nr.execute_mut t h1 (Nr_lib.Nr.Put (i mod 5, i))
+  done;
+  Alcotest.(check int) "tail" 100 (Nr_lib.Nr.tail_value t);
+  Alcotest.(check (option int)) "last write wins" (Some 100) (Nr_lib.Nr.read t h2 0)
+
+let test_nr_concurrent () =
+  (* Concurrent writers on disjoint key ranges; all writes must be present
+     and linearizable reads must agree across replicas afterwards. *)
+  let t = Nr_lib.Nr.create ~log_size:256 ~replicas:2 () in
+  let nthreads = 4 and per = 500 in
+  let handles = Array.init nthreads (fun _ -> Nr_lib.Nr.register t) in
+  let worker tid () =
+    for i = 0 to per - 1 do
+      Nr_lib.Nr.execute_mut t handles.(tid) (Nr_lib.Nr.Put ((tid * per) + i, tid))
+    done
+  in
+  let domains = List.init nthreads (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join domains;
+  let h = Nr_lib.Nr.register t in
+  let ok = ref true in
+  for tid = 0 to nthreads - 1 do
+    for i = 0 to per - 1 do
+      if Nr_lib.Nr.read t h ((tid * per) + i) <> Some tid then ok := false
+    done
+  done;
+  Alcotest.(check bool) "all writes visible" true !ok;
+  Alcotest.(check int) "tail counts all ops" (nthreads * per) (Nr_lib.Nr.tail_value t)
+
+let test_nr_read_local_staleness () =
+  (* read_local may be stale; sync catches up. *)
+  let t = Nr_lib.Nr.create ~replicas:2 () in
+  let h1 = Nr_lib.Nr.register t in
+  let h2 = Nr_lib.Nr.register t in
+  Nr_lib.Nr.execute_mut t h1 (Nr_lib.Nr.Put (7, 1));
+  (* h2's replica has not applied anything yet. *)
+  Alcotest.(check (option int)) "stale" None (Nr_lib.Nr.read_local t h2 7);
+  Nr_lib.Nr.sync t h2;
+  Alcotest.(check (option int)) "after sync" (Some 1) (Nr_lib.Nr.read_local t h2 7)
+
+(* ------------------------------------------------------------------ *)
+(* Implementation driven alongside the protocol model                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_nr_with_ghost_protocol () =
+  (* Mirror a single-threaded NR run through the VerusSync runtime: every
+     execute_mut is an append + combiner_start/finish; the protocol
+     checker validates each step. *)
+  let replicas = 2 in
+  let t = Nr_lib.Nr.create ~replicas () in
+  let h = Nr_lib.Nr.register t in
+  let inst, shards = Nr_lib.Nr_model.make_runtime ~replicas ~log_size:4096 in
+  let tail = ref (find_var_shard "tail" shards) in
+  let combs = Array.init replicas (fun r -> ref (find_map_shard "combiner" r shards)) in
+  let versions = Array.init replicas (fun r -> ref (find_map_shard "local_versions" r shards)) in
+  let mirror_mut replica =
+    let produced = R.step inst ~transition_name:"append" ~params:[ 1 ] ~consume:[ !tail ] in
+    tail := find_var_shard "tail" produced;
+    let target = match !tail with R.S_var (_, v) -> v | _ -> assert false in
+    let produced =
+      R.step inst ~transition_name:"combiner_start" ~params:[ replica; target ]
+        ~consume:[ !(combs.(replica)) ]
+    in
+    combs.(replica) := find_map_shard "combiner" replica produced;
+    let produced =
+      R.step inst ~transition_name:"combiner_finish" ~params:[ replica ]
+        ~consume:[ !(combs.(replica)); !(versions.(replica)) ]
+    in
+    combs.(replica) := find_map_shard "combiner" replica produced;
+    versions.(replica) := find_map_shard "local_versions" replica produced
+  in
+  for i = 1 to 50 do
+    Nr_lib.Nr.execute_mut t h (Nr_lib.Nr.Put (i, i));
+    mirror_mut 0
+  done;
+  (* The ghost tail agrees with the implementation tail. *)
+  (match !tail with
+  | R.S_var (_, v) -> Alcotest.(check int) "ghost tail" (Nr_lib.Nr.tail_value t) v
+  | _ -> Alcotest.fail "no tail");
+  Alcotest.(check int) "steps" 150 (R.steps_taken inst)
+
+let () =
+  Alcotest.run "nr"
+    [
+      ( "vsync-model",
+        [
+          Alcotest.test_case "obligations" `Slow test_model_obligations;
+          Alcotest.test_case "catches bugs" `Slow test_model_catches_bugs;
+          Alcotest.test_case "refinement" `Slow test_model_refinement;
+          Alcotest.test_case "refinement catches bugs" `Slow test_model_refinement_catches_bugs;
+        ] );
+      ( "vsync-runtime",
+        [
+          Alcotest.test_case "protocol" `Quick test_runtime_protocol;
+          Alcotest.test_case "violations" `Quick test_runtime_violations;
+          QCheck_alcotest.to_alcotest prop_runtime_vs_model;
+        ] );
+      ( "nr-impl",
+        [
+          Alcotest.test_case "sequential" `Quick test_nr_sequential;
+          Alcotest.test_case "two handles" `Quick test_nr_two_handles;
+          Alcotest.test_case "wraparound" `Quick test_nr_log_wraparound;
+          Alcotest.test_case "concurrent" `Quick test_nr_concurrent;
+          Alcotest.test_case "stale local reads" `Quick test_nr_read_local_staleness;
+        ] );
+      ( "nr-ghost",
+        [ Alcotest.test_case "implementation + protocol" `Quick test_nr_with_ghost_protocol ] );
+    ]

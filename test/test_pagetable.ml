@@ -1,0 +1,182 @@
+(* Page-table case study tests: bit packing, map/unmap vs. the MMU walker
+   spec and a flat model, directory reclamation, and the §3.3 proof
+   battery. *)
+
+module PM = Pagetable.Phys_mem
+module Pte = Pagetable.Pte
+module Impl = Pagetable.Impl
+
+let test_phys_mem () =
+  let m = PM.create ~frames:8 () in
+  let f1 = PM.alloc_frame m and f2 = PM.alloc_frame m in
+  Alcotest.(check bool) "distinct" true (f1 <> f2);
+  PM.write_word m ((f1 * PM.frame_size) + 16) 0xABCDL;
+  Alcotest.(check int64) "rw" 0xABCDL (PM.read_word m ((f1 * PM.frame_size) + 16));
+  Alcotest.(check int64) "zeroed" 0L (PM.read_word m (f2 * PM.frame_size));
+  PM.free_frame m f1;
+  Alcotest.check_raises "double free" (Invalid_argument "Phys_mem.free_frame: not allocated")
+    (fun () -> PM.free_frame m f1);
+  Alcotest.check_raises "use after free"
+    (Invalid_argument (Printf.sprintf "Phys_mem: access to unallocated frame %d" f1)) (fun () ->
+      ignore (PM.read_word m (f1 * PM.frame_size)));
+  (* Freed frames are reused and re-zeroed. *)
+  let f3 = PM.alloc_frame m in
+  Alcotest.(check int) "reuse" f1 f3;
+  Alcotest.(check int64) "rezeroed" 0L (PM.read_word m ((f3 * PM.frame_size) + 16))
+
+let test_pte_roundtrip () =
+  let flags = { Pte.present = true; writable = true; user = false } in
+  let e = Pte.pack flags ~frame:0x12345 in
+  let flags', frame' = Pte.unpack e in
+  Alcotest.(check bool) "present" true flags'.Pte.present;
+  Alcotest.(check bool) "writable" true flags'.Pte.writable;
+  Alcotest.(check bool) "user" false flags'.Pte.user;
+  Alcotest.(check int) "frame" 0x12345 frame';
+  Alcotest.(check bool) "empty absent" false (Pte.is_present Pte.empty)
+
+let prop_pte_roundtrip =
+  QCheck.Test.make ~name:"pte pack/unpack roundtrip" ~count:300
+    QCheck.(
+      quad bool bool bool (int_range 0 ((1 lsl 40) - 1)))
+    (fun (p, w, u, frame) ->
+      let f = { Pte.present = p; writable = w; user = u } in
+      let f', frame' = Pte.unpack (Pte.pack f ~frame) in
+      f' = f && frame' = frame)
+
+let prop_index_matches_spec =
+  QCheck.Test.make ~name:"index = (va / 4096*512^(l-1)) mod 512" ~count:300
+    QCheck.(pair (int_range 1 4) (int_range 0 ((1 lsl 48) - 1)))
+    (fun (level, va) ->
+      let divisor = 4096 * int_of_float (512. ** float_of_int (level - 1)) in
+      Pte.index ~level va = va / divisor mod 512)
+
+let test_map_translate () =
+  let m = PM.create () in
+  let pt = Impl.create m in
+  Alcotest.(check (option int)) "unmapped" None (Impl.translate pt 0x1000);
+  let frame = PM.alloc_frame m in
+  Alcotest.(check (result unit string)) "map" (Ok ())
+    (Impl.map4k pt ~va:0x7FFF_0000_1000 ~frame ~writable:true);
+  Alcotest.(check (option int)) "translate"
+    (Some ((frame * 4096) + 0x321))
+    (Impl.translate pt (0x7FFF_0000_1000 + 0x321));
+  Alcotest.(check bool) "double map fails" true
+    (Impl.map4k pt ~va:0x7FFF_0000_1000 ~frame ~writable:false = Error "already mapped");
+  Alcotest.(check (result unit string)) "unmap" (Ok ()) (Impl.unmap4k pt ~va:0x7FFF_0000_1000);
+  Alcotest.(check (option int)) "gone" None (Impl.translate pt 0x7FFF_0000_1000);
+  Alcotest.(check bool) "double unmap fails" true (Impl.unmap4k pt ~va:0x7FFF_0000_1000 = Error "not mapped")
+
+let test_reclamation () =
+  let m = PM.create () in
+  let pt = Impl.create m in
+  Alcotest.(check int) "just root" 1 (Impl.table_frames pt);
+  (* Map a clustered region (shares directories) and a distant one. *)
+  let frames = List.init 16 (fun _ -> PM.alloc_frame m) in
+  List.iteri
+    (fun i f -> ignore (Impl.map4k pt ~va:(0x1000_0000 + (i * 4096)) ~frame:f ~writable:true))
+    frames;
+  ignore (Impl.map4k pt ~va:0x7FFF_FFFF_F000 ~frame:(PM.alloc_frame m) ~writable:true);
+  let used = Impl.table_frames pt in
+  Alcotest.(check bool) "allocated directories" true (used > 4);
+  (* Unmap everything: all directories must be reclaimed. *)
+  List.iteri (fun i _ -> ignore (Impl.unmap4k pt ~va:(0x1000_0000 + (i * 4096)))) frames;
+  ignore (Impl.unmap4k pt ~va:0x7FFF_FFFF_F000);
+  Alcotest.(check int) "all reclaimed" 1 (Impl.table_frames pt);
+  (* The no-reclaim variant keeps its directories. *)
+  let m2 = PM.create () in
+  let pt2 = Impl.create ~reclaim:false m2 in
+  ignore (Impl.map4k pt2 ~va:0x1000_0000 ~frame:(PM.alloc_frame m2) ~writable:true);
+  ignore (Impl.unmap4k pt2 ~va:0x1000_0000);
+  Alcotest.(check int) "no reclaim keeps tables" 4 (Impl.table_frames pt2)
+
+let prop_pagetable_vs_model =
+  QCheck.Test.make ~name:"map/unmap matches flat model" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 60) (pair (int_range 0 200) bool))
+    (fun ops ->
+      let m = PM.create () in
+      let pt = Impl.create m in
+      let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let next_frame = ref 1000 in
+      List.iter
+        (fun (slot, is_map) ->
+          let va = 0x4000_0000 + (slot * 4096 * 7) in
+          if is_map then begin
+            incr next_frame;
+            let ok = Impl.map4k pt ~va ~frame:!next_frame ~writable:true = Ok () in
+            if ok && not (Hashtbl.mem model va) then Hashtbl.replace model va !next_frame
+          end
+          else begin
+            let ok = Impl.unmap4k pt ~va = Ok () in
+            ignore ok;
+            Hashtbl.remove model va
+          end)
+        ops;
+      Hashtbl.fold
+        (fun va frame acc -> acc && Impl.translate pt va = Some (frame * 4096))
+        model true
+      && List.for_all
+           (fun (slot, _) ->
+             let va = 0x4000_0000 + (slot * 4096 * 7) in
+             match Hashtbl.find_opt model va with
+             | Some frame -> Impl.translate pt va = Some (frame * 4096)
+             | None -> Impl.translate pt va = None)
+           ops)
+
+let test_impl_agrees_with_baseline () =
+  let m1 = PM.create () and m2 = PM.create () in
+  let pt = Impl.create m1 in
+  let bl = Pagetable.Baseline.create m2 in
+  let rng = Vbase.Rng.create ~seed:5 in
+  for _ = 1 to 500 do
+    let va = Vbase.Rng.int rng 300 * 4096 in
+    if Vbase.Rng.bool rng then begin
+      let frame = 500 + Vbase.Rng.int rng 1000 in
+      let a = Impl.map4k pt ~va ~frame ~writable:true in
+      let b = Pagetable.Baseline.map4k bl ~va ~frame ~writable:true in
+      if (a = Ok ()) <> (b = Ok ()) then Alcotest.fail "map result divergence"
+    end
+    else begin
+      let a = Impl.unmap4k pt ~va in
+      let b = Pagetable.Baseline.unmap4k bl ~va in
+      if (a = Ok ()) <> (b = Ok ()) then Alcotest.fail "unmap result divergence"
+    end;
+    let probe = Vbase.Rng.int rng 300 * 4096 in
+    if Impl.translate pt probe <> Pagetable.Baseline.translate bl probe then
+      Alcotest.fail "translate divergence"
+  done
+
+let test_proof_battery () =
+  let obs = Pagetable.Pagetable_proofs.run () in
+  List.iter
+    (fun (o : Pagetable.Pagetable_proofs.obligation) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "[%s] %s" o.Pagetable.Pagetable_proofs.mode o.Pagetable.Pagetable_proofs.name)
+        true
+        (o.Pagetable.Pagetable_proofs.outcome = Verus.Modes.Proved))
+    obs;
+  (* All three custom modes are exercised, echoing the §4.2.3 counts. *)
+  let counts = Pagetable.Pagetable_proofs.count_by_mode obs in
+  List.iter
+    (fun mode ->
+      Alcotest.(check bool) (mode ^ " present") true (List.mem_assoc mode counts))
+    [ "bit_vector"; "nonlinear_arith"; "integer_ring"; "compute" ]
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "pagetable"
+    [
+      ( "phys-mem",
+        [ Alcotest.test_case "alloc/rw/free" `Quick test_phys_mem ] );
+      ( "pte",
+        [ Alcotest.test_case "roundtrip" `Quick test_pte_roundtrip ] );
+      qsuite "pte-props" [ prop_pte_roundtrip; prop_index_matches_spec ];
+      ( "impl",
+        [
+          Alcotest.test_case "map/translate/unmap" `Quick test_map_translate;
+          Alcotest.test_case "reclamation" `Quick test_reclamation;
+          Alcotest.test_case "baseline agreement" `Quick test_impl_agrees_with_baseline;
+        ] );
+      qsuite "impl-props" [ prop_pagetable_vs_model ];
+      ("proofs", [ Alcotest.test_case "3.3 battery" `Slow test_proof_battery ]);
+    ]

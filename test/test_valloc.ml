@@ -1,0 +1,162 @@
+(* Allocator case-study tests: size classes, non-aliasing, double-free
+   detection, cross-thread frees, concurrent stress, and the VerusSync
+   delayed-free protocol. *)
+
+module A = Valloc.Alloc
+module OS = Valloc.Os_mem
+
+let mk ?(checked = true) ?(heaps = 2) () =
+  let os = OS.create ~max_segments:256 () in
+  (os, A.create ~checked ~heaps os)
+
+let test_basic () =
+  let _, a = mk () in
+  let b1 = A.malloc a ~heap:0 100 in
+  let b2 = A.malloc a ~heap:0 100 in
+  Alcotest.(check bool) "distinct" true (b1 <> b2);
+  Alcotest.(check int) "usable size" 128 (A.usable_size a b1);
+  A.free a ~heap:0 b1;
+  let b3 = A.malloc a ~heap:0 100 in
+  Alcotest.(check int) "lifo reuse" b1 b3;
+  (* Size limits, as in the paper's port. *)
+  Alcotest.check_raises "too big" (Invalid_argument "Alloc: unsupported size") (fun () ->
+      ignore (A.malloc a ~heap:0 (A.max_alloc + 1)));
+  Alcotest.(check bool) "max ok" true (A.malloc a ~heap:0 A.max_alloc > 0)
+
+let test_double_free () =
+  let _, a = mk () in
+  let b = A.malloc a ~heap:0 64 in
+  A.free a ~heap:0 b;
+  Alcotest.check_raises "double free" (A.Heap_corruption "double free") (fun () ->
+      A.free a ~heap:0 b);
+  (* Foreign pointer. *)
+  (try
+     A.free a ~heap:0 0xDEAD000;
+     Alcotest.fail "expected corruption"
+   with A.Heap_corruption _ -> ())
+
+let test_cross_thread_free () =
+  let _, a = mk () in
+  (* Allocate on heap 0, free from heap 1 (delayed), then reallocate:
+     block returns only after the owner collects. *)
+  let b1 = A.malloc a ~heap:0 32 in
+  A.free a ~heap:1 b1;
+  (* Exhaust the page so malloc must collect the delayed list. *)
+  let seen = ref false in
+  (try
+     for _ = 1 to 100_000 do
+       let b = A.malloc a ~heap:0 32 in
+       if b = b1 then begin
+         seen := true;
+         raise Exit
+       end;
+       ignore b
+     done
+   with Exit -> ());
+  Alcotest.(check bool) "delayed block eventually reused" true !seen
+
+let test_usable_size_classes () =
+  let _, a = mk () in
+  List.iter
+    (fun (req, cls) ->
+      let b = A.malloc a ~heap:0 req in
+      Alcotest.(check int) (Printf.sprintf "class of %d" req) cls (A.usable_size a b))
+    [ (1, 8); (8, 8); (9, 16); (100, 128); (1024, 1024); (1025, 2048); (65536, 65536) ]
+
+let prop_aliasing =
+  QCheck.Test.make ~name:"allocations never alias, contents survive" ~count:10
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      match Valloc.Workloads.crosscheck_aliasing ~ops:3000 ~seed () with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let test_concurrent_stress () =
+  let _, a = mk ~heaps:2 () in
+  let errors = Atomic.make 0 in
+  let worker tid () =
+    try
+      let rng = Vbase.Rng.create ~seed:(tid + 77) in
+      let live = Array.make 64 (-1) in
+      for _ = 1 to 5_000 do
+        let slot = Vbase.Rng.int rng 64 in
+        if live.(slot) >= 0 then begin
+          (* Half the frees go through the wrong heap: delayed path. *)
+          A.free a ~heap:(if Vbase.Rng.bool rng then tid mod 2 else (tid + 1) mod 2) live.(slot);
+          live.(slot) <- -1
+        end
+        else live.(slot) <- A.malloc a ~heap:(tid mod 2) (8 + Vbase.Rng.int rng 500)
+      done
+    with _ -> Atomic.incr errors
+  in
+  let domains = List.init 4 (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no corruption under concurrency" 0 (Atomic.get errors)
+
+let test_vsync_model () =
+  let report = Valloc.Alloc_model.check ~capacity:1024 () in
+  List.iter
+    (fun (o : Verus.Vsync.obligation_result) ->
+      Alcotest.(check bool)
+        o.Verus.Vsync.ob_name true
+        (o.Verus.Vsync.ob_answer = Smt.Solver.Unsat))
+    report.Verus.Vsync.obligations;
+  Alcotest.(check bool) "ok" true report.Verus.Vsync.ok
+
+let test_vsync_runtime_protocol () =
+  let m = Valloc.Alloc_model.machine ~capacity:8 in
+  let inst =
+    Verus.Vsync.Runtime.create m
+      ~init:[ ("capacity", `Var 8); ("live", `Map []); ("delayed", `Map []) ]
+  in
+  let produced =
+    Verus.Vsync.Runtime.step inst ~transition_name:"malloc" ~params:[ 3 ] ~consume:[]
+  in
+  Alcotest.(check int) "one shard" 1 (List.length produced);
+  (* Allocating the same block again violates the freshness requirement. *)
+  (try
+     ignore (Verus.Vsync.Runtime.step inst ~transition_name:"malloc" ~params:[ 3 ] ~consume:[]);
+     Alcotest.fail "expected violation"
+   with Verus.Vsync.Runtime.Protocol_violation _ -> ());
+  (* Remote free then collect. *)
+  let shard = List.hd produced in
+  let produced2 =
+    Verus.Vsync.Runtime.step inst ~transition_name:"free_remote" ~params:[ 3 ] ~consume:[ shard ]
+  in
+  Alcotest.(check int) "delayed shard" 1 (List.length produced2);
+  ignore
+    (Verus.Vsync.Runtime.step inst ~transition_name:"collect" ~params:[ 3 ]
+       ~consume:produced2);
+  (* Now the block can be allocated again. *)
+  ignore (Verus.Vsync.Runtime.step inst ~transition_name:"malloc" ~params:[ 3 ] ~consume:[])
+
+let test_workloads_smoke () =
+  (* Each workload runs to completion quickly at a small scale; timing is
+     the bench harness's job. *)
+  List.iter
+    (fun name ->
+      let t = Valloc.Workloads.run ~name { checked = true; heaps = 2; threads = 2 } in
+      Alcotest.(check bool) (name ^ " runs") true (t >= 0.0))
+    [ "cache-scratch1"; "glibc-simple" ]
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "valloc"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "basics" `Quick test_basic;
+          Alcotest.test_case "double free" `Quick test_double_free;
+          Alcotest.test_case "cross-thread free" `Quick test_cross_thread_free;
+          Alcotest.test_case "size classes" `Quick test_usable_size_classes;
+          Alcotest.test_case "concurrent stress" `Quick test_concurrent_stress;
+        ] );
+      qsuite "alloc-props" [ prop_aliasing ];
+      ( "vsync",
+        [
+          Alcotest.test_case "delayed-free machine" `Slow test_vsync_model;
+          Alcotest.test_case "runtime protocol" `Quick test_vsync_runtime_protocol;
+        ] );
+      ("workloads", [ Alcotest.test_case "smoke" `Quick test_workloads_smoke ]);
+    ]

@@ -1,0 +1,260 @@
+(* Tests for the vbase substrate: bignums and rationals against native-int
+   reference semantics, plus CRC-32 known-answer vectors. *)
+
+module B = Vbase.Bigint
+module R = Vbase.Rat
+
+let bi = B.of_int
+
+let check_b msg expected actual =
+  Alcotest.(check string) msg (B.to_string expected) (B.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigint_basics () =
+  check_b "add" (bi 7) (B.add (bi 3) (bi 4));
+  check_b "add neg" (bi (-1)) (B.add (bi 3) (bi (-4)));
+  check_b "sub" (bi (-5)) (B.sub (bi 2) (bi 7));
+  check_b "mul" (bi (-12)) (B.mul (bi 3) (bi (-4)));
+  check_b "mul zero" B.zero (B.mul (bi 0) (bi 12345));
+  Alcotest.(check int) "compare" (-1) (B.compare (bi (-2)) (bi 3));
+  Alcotest.(check int) "sign" (-1) (B.sign (bi (-9)));
+  Alcotest.(check bool) "is_zero" true (B.is_zero (B.sub (bi 5) (bi 5)))
+
+let test_bigint_large () =
+  (* (2^100 + 1) * (2^100 - 1) = 2^200 - 1 *)
+  let p100 = B.pow B.two 100 in
+  let lhs = B.mul (B.add p100 B.one) (B.sub p100 B.one) in
+  let rhs = B.sub (B.pow B.two 200) B.one in
+  check_b "2^200-1" rhs lhs;
+  (* String roundtrip on a big decimal literal. *)
+  let s = "123456789012345678901234567890123456789" in
+  Alcotest.(check string) "roundtrip" s (B.to_string (B.of_string s));
+  Alcotest.(check string) "neg roundtrip" ("-" ^ s) (B.to_string (B.of_string ("-" ^ s)))
+
+let test_bigint_divrem () =
+  let cases = [ (17, 5); (-17, 5); (17, -5); (-17, -5); (0, 3); (100, 10) ] in
+  let f (a, b) =
+    let q, r = B.div_rem (bi a) (bi b) in
+    Alcotest.(check int) (Printf.sprintf "q %d/%d" a b) (a / b) (B.to_int_exn q);
+    Alcotest.(check int) (Printf.sprintf "r %d/%d" a b) (a mod b) (B.to_int_exn r)
+  in
+  List.iter f cases;
+  (* Large division: ((2^200-1) / (2^100+1)) reconstructs. *)
+  let n = B.sub (B.pow B.two 200) B.one in
+  let d = B.add (B.pow B.two 100) B.one in
+  let q, r = B.div_rem n d in
+  check_b "reconstruct" n (B.add (B.mul q d) r);
+  Alcotest.(check bool) "rem small" true (B.compare (B.abs r) (B.abs d) < 0)
+
+let test_bigint_fdiv_fmod () =
+  let f (a, b) =
+    let q = B.fdiv (bi a) (bi b) and r = B.fmod (bi a) (bi b) in
+    let fq = int_of_float (Float.floor (float_of_int a /. float_of_int b)) in
+    Alcotest.(check int) (Printf.sprintf "fdiv %d %d" a b) fq (B.to_int_exn q);
+    Alcotest.(check int) (Printf.sprintf "fmod %d %d" a b) (a - (fq * b)) (B.to_int_exn r)
+  in
+  List.iter f [ (17, 5); (-17, 5); (17, -5); (-17, -5); (12, 4); (-12, 4) ]
+
+let test_bigint_gcd_pow () =
+  Alcotest.(check int) "gcd" 6 (B.to_int_exn (B.gcd (bi 54) (bi (-24))));
+  Alcotest.(check int) "gcd zero" 7 (B.to_int_exn (B.gcd (bi 0) (bi 7)));
+  Alcotest.(check int) "pow" 1024 (B.to_int_exn (B.pow B.two 10));
+  Alcotest.(check int) "pow0" 1 (B.to_int_exn (B.pow (bi 99) 0))
+
+let test_bigint_bits () =
+  Alcotest.(check int) "shift_left" 40 (B.to_int_exn (B.shift_left (bi 5) 3));
+  Alcotest.(check int) "logand2p" 5 (B.to_int_exn (B.logand2p (bi 0b110101) 4));
+  Alcotest.(check bool) "testbit" true (B.testbit (bi 0b100) 2);
+  Alcotest.(check bool) "testbit0" false (B.testbit (bi 0b100) 1);
+  (* Bits of a large number. *)
+  let n = B.pow B.two 90 in
+  Alcotest.(check bool) "testbit 90" true (B.testbit n 90);
+  Alcotest.(check bool) "testbit 89" false (B.testbit n 89)
+
+let test_bigint_to_int () =
+  Alcotest.(check (option int)) "small" (Some 42) (B.to_int_opt (bi 42));
+  Alcotest.(check (option int)) "neg" (Some (-42)) (B.to_int_opt (bi (-42)));
+  Alcotest.(check (option int)) "max_int" (Some max_int) (B.to_int_opt (bi max_int));
+  Alcotest.(check (option int)) "too big" None (B.to_int_opt (B.pow B.two 80))
+
+(* ------------------------------------------------------------------ *)
+(* Bigint property tests (reference: native int on small operands)     *)
+(* ------------------------------------------------------------------ *)
+
+let small_int = QCheck.int_range (-1_000_000) 1_000_000
+
+let prop_ring_ops =
+  QCheck.Test.make ~name:"bigint matches int on +,-,*" ~count:150
+    (QCheck.pair small_int small_int) (fun (a, b) ->
+      B.to_int_exn (B.add (bi a) (bi b)) = a + b
+      && B.to_int_exn (B.sub (bi a) (bi b)) = a - b
+      && B.to_int_exn (B.mul (bi a) (bi b)) = a * b)
+
+let prop_divrem =
+  QCheck.Test.make ~name:"bigint div_rem matches int" ~count:150
+    (QCheck.pair small_int small_int) (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = B.div_rem (bi a) (bi b) in
+      B.to_int_exn q = a / b && B.to_int_exn r = a mod b)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bigint string roundtrip" ~count:80
+    (QCheck.list (QCheck.int_range 0 999999999)) (fun limbs ->
+      (* Build a big number from decimal chunks and round-trip it. *)
+      let n =
+        List.fold_left
+          (fun acc c -> B.add (B.mul acc (bi 1_000_000_000)) (bi c))
+          B.zero limbs
+      in
+      B.equal n (B.of_string (B.to_string n)))
+
+let prop_mul_div_big =
+  QCheck.Test.make ~name:"bigint (a*b)/b = a on big operands" ~count:80
+    (QCheck.pair (QCheck.pair small_int small_int) (QCheck.pair small_int small_int))
+    (fun ((a1, a2), (b1, b2)) ->
+      (* Compose ~40-bit operands from two small ints each. *)
+      let mk h l = B.add (B.mul (bi h) (bi 1_000_000)) (bi (abs l)) in
+      let a = mk a1 a2 and b = mk b1 b2 in
+      QCheck.assume (not (B.is_zero b));
+      let q, r = B.div_rem (B.mul a b) b in
+      B.equal q a && B.is_zero r)
+
+(* ------------------------------------------------------------------ *)
+(* Rat tests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_rat_basics () =
+  let half = R.of_ints 1 2 and third = R.of_ints 1 3 in
+  Alcotest.(check string) "add" "5/6" (R.to_string (R.add half third));
+  Alcotest.(check string) "sub" "1/6" (R.to_string (R.sub half third));
+  Alcotest.(check string) "mul" "1/6" (R.to_string (R.mul half third));
+  Alcotest.(check string) "div" "3/2" (R.to_string (R.div half third));
+  Alcotest.(check string) "normalize" "1/2" (R.to_string (R.of_ints 4 8));
+  Alcotest.(check string) "neg den" "-1/2" (R.to_string (R.of_ints 4 (-8)));
+  Alcotest.(check bool) "compare" true (R.compare third half < 0)
+
+let test_rat_floor_ceil () =
+  let f (n, d, fl, ce) =
+    let q = R.of_ints n d in
+    Alcotest.(check int) (Printf.sprintf "floor %d/%d" n d) fl (B.to_int_exn (R.floor q));
+    Alcotest.(check int) (Printf.sprintf "ceil %d/%d" n d) ce (B.to_int_exn (R.ceil q))
+  in
+  List.iter f [ (7, 2, 3, 4); (-7, 2, -4, -3); (6, 3, 2, 2); (-6, 3, -2, -2); (0, 5, 0, 0) ]
+
+let prop_rat_field =
+  QCheck.Test.make ~name:"rat field laws" ~count:100
+    (QCheck.pair (QCheck.pair small_int (QCheck.int_range 1 1000))
+       (QCheck.pair small_int (QCheck.int_range 1 1000)))
+    (fun ((a, b), (c, d)) ->
+      let x = R.of_ints a b and y = R.of_ints c d in
+      R.equal (R.add x y) (R.add y x)
+      && R.equal (R.mul x y) (R.mul y x)
+      && R.equal (R.sub (R.add x y) y) x
+      && (R.is_zero y || R.equal (R.mul (R.div x y) y) x))
+
+let prop_rat_floor =
+  QCheck.Test.make ~name:"rat floor <= q < floor+1" ~count:100
+    (QCheck.pair small_int (QCheck.int_range 1 1000)) (fun (n, d) ->
+      let q = R.of_ints n d in
+      let fl = R.of_bigint (R.floor q) in
+      R.compare fl q <= 0 && R.compare q (R.add fl R.one) < 0)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32, RNG, Vecbuf                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32 () =
+  (* Standard known-answer test: CRC32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int32) "kat" 0xCBF43926l (Vbase.Crc32.digest_string "123456789");
+  Alcotest.(check int32) "empty" 0l (Vbase.Crc32.digest_string "");
+  (* The table matches its specification (the compute-mode proof target). *)
+  let t = Vbase.Crc32.table () in
+  for i = 0 to 255 do
+    Alcotest.(check int32)
+      (Printf.sprintf "table[%d]" i)
+      (Vbase.Crc32.table_entry_spec i) t.(i)
+  done;
+  (* Incremental digest equals one-shot digest. *)
+  let s = "hello, persistent world" in
+  let b = Bytes.of_string s in
+  let c1 = Vbase.Crc32.digest b 0 (Bytes.length b) in
+  let mid = 7 in
+  let c2 =
+    Vbase.Crc32.digest ~crc:(Vbase.Crc32.digest b 0 mid) b mid (Bytes.length b - mid)
+  in
+  Alcotest.(check int32) "incremental" c1 c2
+
+let test_rng_determinism () =
+  let r1 = Vbase.Rng.create ~seed:42 and r2 = Vbase.Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Vbase.Rng.int r1 1000) (Vbase.Rng.int r2 1000)
+  done;
+  let r3 = Vbase.Rng.create ~seed:43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Vbase.Rng.int r1 1000 <> Vbase.Rng.int r3 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seed differs" true !differs
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:80
+    (QCheck.pair QCheck.small_int (QCheck.int_range 1 10000)) (fun (seed, bound) ->
+      let r = Vbase.Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Vbase.Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let test_vecbuf () =
+  let v = Vbase.Vecbuf.create ~dummy:(-1) in
+  for i = 0 to 99 do
+    Vbase.Vecbuf.push v i
+  done;
+  Alcotest.(check int) "len" 100 (Vbase.Vecbuf.length v);
+  Alcotest.(check int) "get" 57 (Vbase.Vecbuf.get v 57);
+  Alcotest.(check int) "pop" 99 (Vbase.Vecbuf.pop v);
+  Vbase.Vecbuf.shrink v 10;
+  Alcotest.(check int) "shrink" 10 (Vbase.Vecbuf.length v);
+  Alcotest.(check (list int)) "to_list" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (Vbase.Vecbuf.to_list v);
+  Vbase.Vecbuf.set v 3 33;
+  Alcotest.(check int) "set" 33 (Vbase.Vecbuf.get v 3);
+  Alcotest.(check int) "fold" (33 + 45 - 3) (Vbase.Vecbuf.fold ( + ) 0 v);
+  Vbase.Vecbuf.clear v;
+  Alcotest.(check bool) "clear" true (Vbase.Vecbuf.is_empty v)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "vbase"
+    [
+      ( "bigint",
+        [
+          Alcotest.test_case "basics" `Quick test_bigint_basics;
+          Alcotest.test_case "large" `Quick test_bigint_large;
+          Alcotest.test_case "div_rem" `Quick test_bigint_divrem;
+          Alcotest.test_case "fdiv/fmod" `Quick test_bigint_fdiv_fmod;
+          Alcotest.test_case "gcd/pow" `Quick test_bigint_gcd_pow;
+          Alcotest.test_case "bits" `Quick test_bigint_bits;
+          Alcotest.test_case "to_int" `Quick test_bigint_to_int;
+        ] );
+      qsuite "bigint-props" [ prop_ring_ops; prop_divrem; prop_string_roundtrip; prop_mul_div_big ];
+      ( "rat",
+        [
+          Alcotest.test_case "basics" `Quick test_rat_basics;
+          Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
+        ] );
+      qsuite "rat-props" [ prop_rat_field; prop_rat_floor ];
+      ( "misc",
+        [
+          Alcotest.test_case "crc32" `Quick test_crc32;
+          Alcotest.test_case "rng" `Quick test_rng_determinism;
+          Alcotest.test_case "vecbuf" `Quick test_vecbuf;
+        ] );
+      qsuite "misc-props" [ prop_rng_bounds ];
+    ]
