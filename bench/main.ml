@@ -79,7 +79,7 @@ let fig7a () =
           (* Distinguish 'cannot express' (Ivy) from slow/failed. *)
           let pr = Verus.Driver.verify_program p prog in
           match Verus.Driver.first_failure pr with
-          | Some (_, _) when p.Verus.Profiles.epr_only -> "n/a (EPR)"
+          | Some (_, _, _) when p.Verus.Profiles.epr_only -> "n/a (EPR)"
           | _ -> Printf.sprintf "fail(%.0fs)" t
         end
       in
@@ -470,6 +470,41 @@ let ablation () =
     variants
 
 (* ------------------------------------------------------------------ *)
+(* lint: Vlint static-analysis cost vs verification cost               *)
+(* ------------------------------------------------------------------ *)
+
+let lint_bench () =
+  header "Vlint: static-analysis time vs verification time (Verus profile)";
+  Printf.printf
+    "  The lint passes (termination SCCs, instantiation-graph matching-loop scan,\n";
+  Printf.printf
+    "  mode + hygiene checks) run before any SMT work; they should be noise next\n";
+  Printf.printf "  to verification, which is what makes --lint strict free to leave on.\n\n";
+  let programs =
+    [
+      ("singly_linked", Verus.Bench_programs.singly_linked);
+      ("doubly_linked", Verus.Bench_programs.doubly_linked);
+      ("mem8", Verus.Bench_programs.memory_reasoning 8);
+      ("dlock", Verus.Bench_programs.dlock_default);
+      ("vstd_seq", Verus.Vstd_seq.program);
+    ]
+  in
+  let reps = if !quick then 10 else 100 in
+  Printf.printf "  %-16s %12s %12s %10s\n" "program" "lint (ms)" "verify (s)" "findings";
+  List.iter
+    (fun (name, prog) ->
+      let t0 = Unix.gettimeofday () in
+      let ds = ref [] in
+      for _ = 1 to reps do
+        ds := Verus.Vlint.lint Verus.Profiles.verus prog
+      done;
+      let t_lint = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e3 in
+      let _, t_verify, _ = verify_time Verus.Profiles.verus prog in
+      Printf.printf "  %-16s %12.2f %11.2fs %10d\n%!" name t_lint t_verify
+        (List.length !ds))
+    programs
+
+(* ------------------------------------------------------------------ *)
 (* micro: bechamel microbenchmarks of the hot runtime paths             *)
 (* ------------------------------------------------------------------ *)
 
@@ -548,6 +583,7 @@ let sections =
     ("fig14", fig14);
     ("tab-epr", tab_epr);
     ("ablation", ablation);
+    ("lint", lint_bench);
     ("micro", micro);
   ]
 

@@ -1,5 +1,12 @@
-(* Command-line driver: verify the bundled benchmark programs under a
-   chosen framework profile and print per-VC results. *)
+(* Command-line driver with a small subcommand interface:
+
+     verus_cli verify <program> [<profile>] [--fn NAME] [--jobs N] [--lint MODE]
+     verus_cli lint   [<program>|--all] [<profile>] [--strict]
+     verus_cli list            (also available as --list)
+     verus_cli codes           (the VL0xx diagnostic table)
+     verus_cli help
+
+   Exit codes: 0 ok, 1 findings / verification failure, 2 usage error. *)
 
 let programs =
   [
@@ -10,40 +17,113 @@ let programs =
     ("dlock", fun () -> Verus.Bench_programs.dlock_default);
     ("break_pop", fun () -> Verus.Bench_programs.break_pop);
     ("break_index", fun () -> Verus.Bench_programs.break_index);
+    ("vstd_seq", fun () -> Verus.Vstd_seq.program);
   ]
 
-let () =
-  let prog_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "singly_linked" in
-  let profile_name = if Array.length Sys.argv > 2 then Sys.argv.(2) else "Verus" in
-  let profile =
-    (* Case-insensitive, and "fstar"/"lowstar" for the awkward "F*/Low*". *)
-    let norm s = String.lowercase_ascii s in
-    let matches (p : Verus.Profiles.t) =
-      String.equal (norm p.Verus.Profiles.name) (norm profile_name)
-      || (String.equal p.Verus.Profiles.name "F*/Low*"
-         && List.mem (norm profile_name) [ "fstar"; "f*"; "lowstar"; "low*" ])
-    in
-    match List.find_opt matches Verus.Profiles.all with
-    | Some p -> p
-    | None ->
-      Printf.eprintf "unknown profile %s (have: %s)\n" profile_name
-        (String.concat ", "
-           (List.map (fun (p : Verus.Profiles.t) -> p.Verus.Profiles.name) Verus.Profiles.all));
-      exit 2
+let profile_names =
+  List.map (fun (p : Verus.Profiles.t) -> p.Verus.Profiles.name) Verus.Profiles.all
+
+let usage oc =
+  Printf.fprintf oc
+    "usage: verus_cli <command> [args]\n\n\
+     commands:\n\
+    \  verify <program> [<profile>] [--fn NAME] [--jobs N] [--lint ignore|warn|strict]\n\
+    \      verify one bundled program under a profile (default: Verus)\n\
+    \  lint [<program>|--all] [<profile>] [--strict]\n\
+    \      run the Vlint static analyses; exit 1 on Error findings\n\
+    \      (--strict: also fail on Warn findings)\n\
+    \  list\n\
+    \      list bundled programs and profiles\n\
+    \  codes\n\
+    \      print the VL0xx diagnostic-code table\n\
+    \  help\n\
+    \      this message\n\n\
+     programs: %s\n\
+     profiles: %s (case-insensitive; 'fstar' and 'lowstar' also accepted)\n\
+     exit codes: 0 ok / 1 findings or failure / 2 usage\n"
+    (String.concat ", " (List.map fst programs))
+    (String.concat ", " profile_names)
+
+let die_usage fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline m;
+      usage stderr;
+      exit 2)
+    fmt
+
+let find_profile name =
+  (* Case-insensitive, and "fstar"/"lowstar" for the awkward "F*/Low*". *)
+  let norm s = String.lowercase_ascii s in
+  let matches (p : Verus.Profiles.t) =
+    String.equal (norm p.Verus.Profiles.name) (norm name)
+    || (String.equal p.Verus.Profiles.name "F*/Low*"
+       && List.mem (norm name) [ "fstar"; "f*"; "lowstar"; "low*" ])
   in
-  let prog =
-    match List.assoc_opt prog_name programs with
-    | Some f -> f ()
-    | None ->
-      Printf.eprintf "unknown program %s (have: %s)\n" prog_name
-        (String.concat ", " (List.map fst programs));
-      exit 2
+  match List.find_opt matches Verus.Profiles.all with
+  | Some p -> p
+  | None ->
+    die_usage "unknown profile %s (have: %s)" name (String.concat ", " profile_names)
+
+let find_program name =
+  match List.assoc_opt name programs with
+  | Some f -> f ()
+  | None -> die_usage "unknown program %s (have: %s)" name (String.concat ", " (List.map fst programs))
+
+let cmd_list () =
+  print_endline "programs:";
+  List.iter (fun (n, _) -> print_endline ("  " ^ n)) programs;
+  print_endline "profiles:";
+  List.iter (fun n -> print_endline ("  " ^ n)) profile_names;
+  exit 0
+
+let cmd_codes () =
+  Printf.printf "%-7s %-6s %s\n" "code" "sev" "description";
+  List.iter
+    (fun (code, sev, descr) ->
+      Printf.printf "%-7s %-6s %s\n" code (Verus.Vlint.severity_to_string sev) descr)
+    Verus.Vlint.code_table;
+  exit 0
+
+(* --------------------------- verify ------------------------------- *)
+
+let cmd_verify args =
+  let prog_name = ref None in
+  let profile_name = ref "Verus" in
+  let fn_filter = ref None in
+  let jobs = ref 1 in
+  let lint = ref Verus.Driver.Lint_ignore in
+  let rec parse = function
+    | [] -> ()
+    | "--fn" :: v :: rest ->
+      fn_filter := Some v;
+      parse rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> jobs := n
+      | _ -> die_usage "--jobs expects a positive integer, got %s" v);
+      parse rest
+    | "--lint" :: v :: rest ->
+      (match v with
+      | "ignore" -> lint := Verus.Driver.Lint_ignore
+      | "warn" -> lint := Verus.Driver.Lint_warn
+      | "strict" -> lint := Verus.Driver.Lint_strict
+      | _ -> die_usage "--lint expects ignore|warn|strict, got %s" v);
+      parse rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' -> die_usage "unknown option %s" a
+    | a :: rest ->
+      (if !prog_name = None then prog_name := Some a else profile_name := a);
+      parse rest
   in
+  parse args;
+  let prog_name = match !prog_name with Some p -> p | None -> "singly_linked" in
+  let profile = find_profile !profile_name in
+  let prog = find_program prog_name in
   let prog =
-    match Array.length Sys.argv > 3 with
-    | true ->
+    match !fn_filter with
+    | None -> prog
+    | Some keep ->
       (* Restrict verification to one function (debugging aid). *)
-      let keep = Sys.argv.(3) in
       {
         prog with
         Verus.Vir.functions =
@@ -52,9 +132,11 @@ let () =
               fd.Verus.Vir.fmode = Verus.Vir.Spec || String.equal fd.Verus.Vir.fname keep)
             prog.Verus.Vir.functions;
       }
-    | false -> prog
   in
-  let r = Verus.Driver.verify_program profile prog in
+  let r = Verus.Driver.verify_program ~jobs:!jobs ~lint:!lint profile prog in
+  List.iter
+    (fun d -> Printf.printf "lint: %s\n" (Verus.Vlint.diag_to_string d))
+    r.Verus.Driver.pr_lint;
   List.iter (fun e -> Printf.printf "front-end error: %s\n" e) r.Verus.Driver.pr_front_end_errors;
   List.iter
     (fun (fnr : Verus.Driver.fn_result) ->
@@ -73,8 +155,71 @@ let () =
             vr.Verus.Driver.vcr_time_s vr.Verus.Driver.vcr_detail)
         fnr.Verus.Driver.fnr_vcs)
     r.Verus.Driver.pr_fns;
-  Printf.printf "== %s / %s: %s in %.3fs, %d query bytes\n" prog_name profile_name
+  (match Verus.Driver.first_failure r with
+  | Some (where, what, code) when not r.Verus.Driver.pr_ok ->
+    Printf.printf "first failure: [%s] %s: %s\n" code where what
+  | _ -> ());
+  Printf.printf "== %s / %s: %s in %.3fs, %d query bytes\n" prog_name
+    profile.Verus.Profiles.name
     (if r.Verus.Driver.pr_ok then "VERIFIED" else "FAILED")
     r.Verus.Driver.pr_time_s r.Verus.Driver.pr_bytes;
   Smt.Solver.dump_debug ();
   exit (if r.Verus.Driver.pr_ok then 0 else 1)
+
+(* ---------------------------- lint -------------------------------- *)
+
+let cmd_lint args =
+  let prog_names = ref [] in
+  let profile_name = ref "Verus" in
+  let strict = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--all" :: rest ->
+      prog_names := List.map fst programs;
+      parse rest
+    | "--strict" :: rest ->
+      strict := true;
+      parse rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' -> die_usage "unknown option %s" a
+    | a :: rest ->
+      (if List.mem_assoc a programs then prog_names := !prog_names @ [ a ]
+       else profile_name := a);
+      parse rest
+  in
+  parse args;
+  let prog_names = if !prog_names = [] then List.map fst programs else !prog_names in
+  let profile = find_profile !profile_name in
+  let n_err = ref 0 and n_warn = ref 0 and n_info = ref 0 in
+  List.iter
+    (fun name ->
+      let prog = find_program name in
+      let ds = Verus.Vlint.lint profile prog in
+      Printf.printf "%-16s %s: %d finding(s)\n" name profile.Verus.Profiles.name
+        (List.length ds);
+      List.iter
+        (fun (d : Verus.Vlint.diag) ->
+          (match d.Verus.Vlint.severity with
+          | Verus.Vlint.Error -> incr n_err
+          | Verus.Vlint.Warn -> incr n_warn
+          | Verus.Vlint.Info -> incr n_info);
+          print_endline ("  " ^ Verus.Vlint.diag_to_string d))
+        ds)
+    prog_names;
+  Printf.printf "== lint: %d error(s), %d warning(s), %d info\n" !n_err !n_warn !n_info;
+  let failing = !n_err > 0 || (!strict && !n_warn > 0) in
+  exit (if failing then 1 else 0)
+
+(* ----------------------------- main ------------------------------- *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  match argv with
+  | _ :: "verify" :: rest -> cmd_verify rest
+  | _ :: "lint" :: rest -> cmd_lint rest
+  | _ :: ("list" | "--list") :: _ -> cmd_list ()
+  | _ :: "codes" :: _ -> cmd_codes ()
+  | _ :: ("help" | "--help" | "-h") :: _ | [ _ ] ->
+    usage stdout;
+    exit 0
+  | _ :: cmd :: _ -> die_usage "unknown command %s" cmd
+  | [] -> exit 2

@@ -28,7 +28,7 @@ let () =
   print_endline "2. Breaking pop's precondition (the Figure 8 experiment):";
   let broken = Verus.Driver.verify_program Verus.Profiles.verus Verus.Bench_programs.break_pop in
   (match Verus.Driver.first_failure broken with
-  | Some (fn, vc) -> Printf.printf "   as expected, unprovable: %s (%s)\n\n" vc fn
+  | Some (fn, vc, code) -> Printf.printf "   as expected, unprovable: %s (%s, %s)\n\n" vc fn code
   | None -> print_endline "   unexpected: still verified?!");
 
   print_endline "3. Running the same program concretely (contracts checked at runtime):";

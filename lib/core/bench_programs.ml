@@ -41,7 +41,9 @@ let view_fn =
            ( EIs (v "l", "Nil"),
              empty_u64,
              append_ (push_ empty_u64 (EField (v "l", "val"))) (view (EField (v "l", "tail"))) ));
-    attrs = [];
+    (* Structural decreases on the list argument, as Verus writes
+       [decreases l]: each recursive call peels one Cons (Vlint VL001). *)
+    attrs = [ A_decreases (v "l") ];
   }
 
 let new_fn =
@@ -113,8 +115,13 @@ let index_fn ~with_requires =
               cond = v "j" <: v "i";
               invariants =
                 [
+                  (* NB: an earlier revision also carried the invariant
+                     [i < len(view(self))]; both [i] and [self] are
+                     loop-constant, so the encoding (which havocs only
+                     modified variables) preserves it trivially and it
+                     proved nothing — Vlint VL030 flagged it and it was
+                     removed. *)
                   v "j" <=: v "i";
-                  v "i" <: len (view (v "self"));
                   view (v "cur") ==: skip (view (v "self")) (v "j");
                 ];
               decreases = Some (v "i" -: v "j");

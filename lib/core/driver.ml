@@ -25,145 +25,10 @@ type program_result = {
   pr_time_s : float;
   pr_bytes : int;
   pr_front_end_errors : string list;
+  pr_lint : Vlint.diag list;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Type collection                                                     *)
-(* ------------------------------------------------------------------ *)
-
-let rec add_ty acc (t : ty) =
-  match t with
-  | TSeq e -> add_ty (if List.exists (ty_equal t) acc then acc else t :: acc) e
-  | TBool | TInt _ | TData _ -> if List.exists (ty_equal t) acc then acc else t :: acc
-
-let rec tys_in_expr acc (e : expr) =
-  match e with
-  | ESeq (SeqEmpty t) -> add_ty acc (TSeq t)
-  | EForall (vars, _, b) | EExists (vars, _, b) ->
-    tys_in_expr (List.fold_left (fun a (_, t) -> add_ty a t) acc vars) b
-  | EUnop (_, a) -> tys_in_expr acc a
-  | EBinop (_, a, b) -> tys_in_expr (tys_in_expr acc a) b
-  | EIte (a, b, c) -> tys_in_expr (tys_in_expr (tys_in_expr acc a) b) c
-  | ECall (_, args) | ECtor (_, _, args) -> List.fold_left tys_in_expr acc args
-  | EField (a, _) | EIs (a, _) -> tys_in_expr acc a
-  | ESeq op -> (
-    match op with
-    | SeqEmpty _ -> acc
-    | SeqLen a -> tys_in_expr acc a
-    | SeqIndex (a, b) | SeqPush (a, b) | SeqSkip (a, b) | SeqTake (a, b) | SeqAppend (a, b) ->
-      tys_in_expr (tys_in_expr acc a) b
-    | SeqUpdate (a, b, c) -> tys_in_expr (tys_in_expr (tys_in_expr acc a) b) c)
-  | EVar _ | EOld _ | EBool _ | EInt _ -> acc
-
-let rec tys_in_stmt acc (s : stmt) =
-  match s with
-  | SLet (_, t, e) -> tys_in_expr (add_ty acc t) e
-  | SAssign (_, e) -> tys_in_expr acc e
-  | SIf (c, a, b) ->
-    List.fold_left tys_in_stmt (List.fold_left tys_in_stmt (tys_in_expr acc c) a) b
-  | SWhile { cond; invariants; decreases; body } ->
-    let acc = match decreases with Some d -> tys_in_expr acc d | None -> acc in
-    List.fold_left tys_in_stmt
-      (List.fold_left tys_in_expr (tys_in_expr acc cond) invariants)
-      body
-  | SCall (_, _, args) -> List.fold_left tys_in_expr acc args
-  | SAssert (e, _) | SAssume e -> tys_in_expr acc e
-  | SReturn (Some e) -> tys_in_expr acc e
-  | SReturn None -> acc
-
-let program_types (p : program) =
-  let acc = [] in
-  let acc =
-    List.fold_left
-      (fun acc d -> List.fold_left (fun a (_, t) -> add_ty a t) acc (List.concat_map snd d.variants))
-      acc p.datatypes
-  in
-  List.fold_left
-    (fun acc fd ->
-      let acc = List.fold_left (fun a (prm : param) -> add_ty a prm.pty) acc fd.params in
-      let acc = match fd.ret with Some (_, t) -> add_ty acc t | None -> acc in
-      let acc = List.fold_left tys_in_expr acc (fd.requires @ fd.ensures) in
-      let acc = match fd.spec_body with Some e -> tys_in_expr acc e | None -> acc in
-      match fd.body with Some b -> List.fold_left tys_in_stmt acc b | None -> acc)
-    acc p.functions
-
-(* ------------------------------------------------------------------ *)
-(* Axiom assembly                                                      *)
-(* ------------------------------------------------------------------ *)
-
-let wrapper_axioms (p : Profiles.t) sorts =
-  List.concat_map
-    (fun srt ->
-      List.init p.Profiles.wrapper_depth (fun i ->
-          let w = Encode.wrapper_sym (i + 1) srt in
-          let x = T.bvar "x" srt in
-          T.forall [ ("x", srt) ] (T.eq (T.app w [ x ]) x)))
-    sorts
-
-let ownok_axioms sorts =
-  List.map
-    (fun srt ->
-      let x = T.bvar "x" srt in
-      T.forall [ ("x", srt) ] (T.app (Encode.ownok_sym srt) [ x ]))
-    sorts
-
-let all_axioms (p : Profiles.t) (prog : program) : T.t list =
-  let curated = p.Profiles.curated_triggers in
-  let heap = p.Profiles.encoding = Profiles.Heap in
-  let tys = program_types prog in
-  let seq_elems = List.filter_map (function TSeq e -> Some e | _ -> None) tys in
-  let seq_axs = List.concat_map (fun e -> Theories.seq_axioms ~curated ~heap e) seq_elems in
-  let data_axs =
-    if heap then Theories.heap_axioms ~curated prog
-    else List.concat_map (fun d -> Theories.data_axioms ~curated d) prog.datatypes
-  in
-  let spec_axs =
-    List.filter_map (fun fd -> Encode.spec_fn_axiom p prog fd) prog.functions
-  in
-  let uses_bitops =
-    (* Only include the bit-op range axioms when the program uses them. *)
-    List.exists
-      (fun fd ->
-        let rec expr_has e =
-          match e with
-          | EBinop ((BitAnd | BitOr | BitXor | Shl | Shr), _, _) -> true
-          | EUnop (_, a) -> expr_has a
-          | EBinop (_, a, b) -> expr_has a || expr_has b
-          | EIte (a, b, c) -> expr_has a || expr_has b || expr_has c
-          | ECall (_, args) | ECtor (_, _, args) -> List.exists expr_has args
-          | EField (a, _) | EIs (a, _) -> expr_has a
-          | EForall (_, _, b) | EExists (_, _, b) -> expr_has b
-          | ESeq _ | EVar _ | EOld _ | EBool _ | EInt _ -> false
-        in
-        let rec stmt_has s =
-          match s with
-          | SLet (_, _, e) | SAssign (_, e) | SAssert (e, _) | SAssume e -> expr_has e
-          | SReturn (Some e) -> expr_has e
-          | SReturn None -> false
-          | SIf (c, a, b) -> expr_has c || List.exists stmt_has a || List.exists stmt_has b
-          | SWhile { cond; invariants; decreases; body } ->
-            expr_has cond
-            || List.exists expr_has invariants
-            || (match decreases with Some d -> expr_has d | None -> false)
-            || List.exists stmt_has body
-          | SCall (_, _, args) -> List.exists expr_has args
-        in
-        List.exists expr_has (fd.requires @ fd.ensures)
-        || (match fd.spec_body with Some e -> expr_has e | None -> false)
-        || match fd.body with Some b -> List.exists stmt_has b | None -> false)
-      prog.functions
-  in
-  let bit_axs = if uses_bitops then Encode.bitop_axioms p else [] in
-  let sorts_used =
-    List.sort_uniq compare (List.map (Theories.sort_of_ty ~heap) tys)
-  in
-  let wrap_axs = wrapper_axioms p sorts_used in
-  let own_axs =
-    if p.Profiles.recheck_ownership then
-      ownok_axioms (List.filter (function S.Usort _ -> true | _ -> false) sorts_used)
-    else []
-  in
-  seq_axs @ data_axs @ spec_axs @ bit_axs @ wrap_axs @ own_axs
+type lint_mode = Lint_ignore | Lint_warn | Lint_strict
 
 (* ------------------------------------------------------------------ *)
 (* Pruning                                                             *)
@@ -202,7 +67,7 @@ let prune_context axioms (vc : Encode.vc) =
   List.rev !included
 
 let context_for (p : Profiles.t) (prog : program) (vc : Encode.vc) =
-  let axioms = all_axioms p prog in
+  let axioms = Encode.program_axioms p prog in
   if p.Profiles.pruning then prune_context axioms vc else axioms
 
 (* ------------------------------------------------------------------ *)
@@ -278,10 +143,27 @@ let verify_function_with_axioms (p : Profiles.t) (prog : program) ~axioms (fd : 
   }
 
 let verify_function (p : Profiles.t) (prog : program) (fd : fndecl) : fn_result =
-  verify_function_with_axioms p prog ~axioms:(all_axioms p prog) fd
+  verify_function_with_axioms p prog ~axioms:(Encode.program_axioms p prog) fd
 
-let verify_program ?(jobs = 1) (p : Profiles.t) (prog : program) : program_result =
+let verify_program ?(jobs = 1) ?(lint = Lint_ignore) (p : Profiles.t) (prog : program) :
+    program_result =
   let t0 = Unix.gettimeofday () in
+  (* Static analysis first: in [Lint_strict] mode Error-severity findings
+     abort before any SMT work (fail fast); [Lint_warn] records them in
+     [pr_lint] without affecting the verdict. *)
+  let lint_diags = match lint with Lint_ignore -> [] | _ -> Vlint.lint p prog in
+  let lint_errors = Vlint.errors lint_diags in
+  if lint = Lint_strict && lint_errors <> [] then
+    {
+      pr_profile = p.Profiles.name;
+      pr_fns = [];
+      pr_ok = false;
+      pr_time_s = Unix.gettimeofday () -. t0;
+      pr_bytes = 0;
+      pr_front_end_errors = [];
+      pr_lint = lint_diags;
+    }
+  else
   let front_end_errors =
     (match Typecheck.check_program prog with Ok () -> [] | Error es -> es)
     @ (match Ownership.check_program prog with Ok () -> [] | Error es -> es)
@@ -294,9 +176,10 @@ let verify_program ?(jobs = 1) (p : Profiles.t) (prog : program) : program_resul
       pr_time_s = Unix.gettimeofday () -. t0;
       pr_bytes = 0;
       pr_front_end_errors = front_end_errors;
+      pr_lint = lint_diags;
     }
   else begin
-    let axioms = all_axioms p prog in
+    let axioms = Encode.program_axioms p prog in
     let targets =
       List.filter (fun fd -> fd.fmode <> Spec && fd.body <> None) prog.functions
     in
@@ -330,14 +213,25 @@ let verify_program ?(jobs = 1) (p : Profiles.t) (prog : program) : program_resul
       pr_time_s = Unix.gettimeofday () -. t0;
       pr_bytes = List.fold_left (fun acc r -> acc + r.fnr_bytes) 0 results;
       pr_front_end_errors = [];
+      pr_lint = lint_diags;
     }
   end
 
 let first_failure (pr : program_result) =
-  List.find_map
-    (fun fnr ->
+  match Vlint.errors pr.pr_lint with
+  | d :: _ when pr.pr_fns = [] && pr.pr_front_end_errors = [] ->
+    Some ((match d.Vlint.fn with Some f -> f | None -> "<program>"), d.Vlint.message, d.Vlint.code)
+  | _ -> (
+    match pr.pr_front_end_errors with
+    | e :: _ -> Some ("<front-end>", e, "FE001")
+    | [] ->
       List.find_map
-        (fun v ->
-          if v.vcr_answer <> Smt.Solver.Unsat then Some (fnr.fnr_name, v.vcr_name) else None)
-        fnr.fnr_vcs)
-    pr.pr_fns
+        (fun fnr ->
+          List.find_map
+            (fun v ->
+              match v.vcr_answer with
+              | Smt.Solver.Unsat -> None
+              | Smt.Solver.Sat -> Some (fnr.fnr_name, v.vcr_name, "VC001")
+              | Smt.Solver.Unknown _ -> Some (fnr.fnr_name, v.vcr_name, "VC002"))
+            fnr.fnr_vcs)
+        pr.pr_fns)

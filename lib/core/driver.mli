@@ -28,7 +28,17 @@ type program_result = {
   pr_bytes : int;
   pr_front_end_errors : string list;
       (** type / ownership / EPR-fragment rejections (empty when verified) *)
+  pr_lint : Vlint.diag list;
+      (** static-analysis findings; populated when [verify_program] was
+          called with [~lint:Lint_warn] or [~lint:Lint_strict] *)
 }
+
+type lint_mode =
+  | Lint_ignore  (** skip static analysis (default) *)
+  | Lint_warn  (** record [Vlint] findings in [pr_lint], never fail on them *)
+  | Lint_strict
+      (** fail fast: Error-severity findings abort before any SMT work,
+          with [pr_fns = []] and [pr_ok = false] *)
 
 val context_for :
   Profiles.t -> Vir.program -> Encode.vc -> Smt.Term.t list
@@ -37,10 +47,15 @@ val context_for :
 
 val verify_function : Profiles.t -> Vir.program -> Vir.fndecl -> fn_result
 
-val verify_program : ?jobs:int -> Profiles.t -> Vir.program -> program_result
-(** Runs the front-end checks, then verifies every function.  [jobs > 1]
-    verifies functions in parallel on that many domains (the paper's
-    8-core column in Figure 9). *)
+val verify_program :
+  ?jobs:int -> ?lint:lint_mode -> Profiles.t -> Vir.program -> program_result
+(** Runs [Vlint] (per [lint], default [Lint_ignore]) and the front-end
+    checks, then verifies every function.  [jobs > 1] verifies functions
+    in parallel on that many domains (the paper's 8-core column in
+    Figure 9). *)
 
-val first_failure : program_result -> (string * string) option
-(** (function, vc) of the first unproved obligation, if any. *)
+val first_failure : program_result -> (string * string * string) option
+(** [(origin, obligation, code)] of the first failure, if any: a lint
+    Error ([VL0xx] code, strict mode), a front-end rejection ([FE001]),
+    or the first unproved VC ([VC001] refuted / [VC002] unknown).  The
+    code lets callers assert on {e which} failure occurred. *)

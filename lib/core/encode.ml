@@ -849,3 +849,113 @@ let spec_fn_axiom (p : Profiles.t) (prog : program) (fd : fndecl) =
     in
     Some ax
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program axiom assembly (shared by the driver and Vlint)       *)
+(* ------------------------------------------------------------------ *)
+
+let rec add_ty acc (t : ty) =
+  match t with
+  | TSeq e -> add_ty (if List.exists (ty_equal t) acc then acc else t :: acc) e
+  | TBool | TInt _ | TData _ -> if List.exists (ty_equal t) acc then acc else t :: acc
+
+let rec tys_in_expr acc (e : expr) =
+  match e with
+  | ESeq (SeqEmpty t) -> add_ty acc (TSeq t)
+  | EForall (vars, _, b) | EExists (vars, _, b) ->
+    tys_in_expr (List.fold_left (fun a (_, t) -> add_ty a t) acc vars) b
+  | EUnop (_, a) -> tys_in_expr acc a
+  | EBinop (_, a, b) -> tys_in_expr (tys_in_expr acc a) b
+  | EIte (a, b, c) -> tys_in_expr (tys_in_expr (tys_in_expr acc a) b) c
+  | ECall (_, args) | ECtor (_, _, args) -> List.fold_left tys_in_expr acc args
+  | EField (a, _) | EIs (a, _) -> tys_in_expr acc a
+  | ESeq op -> (
+    match op with
+    | SeqEmpty _ -> acc
+    | SeqLen a -> tys_in_expr acc a
+    | SeqIndex (a, b) | SeqPush (a, b) | SeqSkip (a, b) | SeqTake (a, b) | SeqAppend (a, b) ->
+      tys_in_expr (tys_in_expr acc a) b
+    | SeqUpdate (a, b, c) -> tys_in_expr (tys_in_expr (tys_in_expr acc a) b) c)
+  | EVar _ | EOld _ | EBool _ | EInt _ -> acc
+
+let rec tys_in_stmt acc (s : stmt) =
+  match s with
+  | SLet (_, t, e) -> tys_in_expr (add_ty acc t) e
+  | SAssign (_, e) -> tys_in_expr acc e
+  | SIf (c, a, b) ->
+    List.fold_left tys_in_stmt (List.fold_left tys_in_stmt (tys_in_expr acc c) a) b
+  | SWhile { cond; invariants; decreases; body } ->
+    let acc = match decreases with Some d -> tys_in_expr acc d | None -> acc in
+    List.fold_left tys_in_stmt
+      (List.fold_left tys_in_expr (tys_in_expr acc cond) invariants)
+      body
+  | SCall (_, _, args) -> List.fold_left tys_in_expr acc args
+  | SAssert (e, _) | SAssume e -> tys_in_expr acc e
+  | SReturn (Some e) -> tys_in_expr acc e
+  | SReturn None -> acc
+
+let program_types (p : program) =
+  let acc = [] in
+  let acc =
+    List.fold_left
+      (fun acc d -> List.fold_left (fun a (_, t) -> add_ty a t) acc (List.concat_map snd d.variants))
+      acc p.datatypes
+  in
+  List.fold_left
+    (fun acc fd ->
+      let acc = List.fold_left (fun a (prm : param) -> add_ty a prm.pty) acc fd.params in
+      let acc = match fd.ret with Some (_, t) -> add_ty acc t | None -> acc in
+      let acc = List.fold_left tys_in_expr acc (fd.requires @ fd.ensures) in
+      let acc = match fd.spec_body with Some e -> tys_in_expr acc e | None -> acc in
+      match fd.body with Some b -> List.fold_left tys_in_stmt acc b | None -> acc)
+    acc p.functions
+
+let wrapper_axioms (p : Profiles.t) sorts =
+  List.concat_map
+    (fun srt ->
+      List.init p.Profiles.wrapper_depth (fun i ->
+          let w = wrapper_sym (i + 1) srt in
+          let x = T.bvar "x" srt in
+          T.forall [ ("x", srt) ] (T.eq (T.app w [ x ]) x)))
+    sorts
+
+let ownok_axioms sorts =
+  List.map
+    (fun srt ->
+      let x = T.bvar "x" srt in
+      T.forall [ ("x", srt) ] (T.app (ownok_sym srt) [ x ]))
+    sorts
+
+let program_axioms (p : Profiles.t) (prog : program) : T.t list =
+  let curated = p.Profiles.curated_triggers in
+  let heap = p.Profiles.encoding = Profiles.Heap in
+  let tys = program_types prog in
+  let seq_elems = List.filter_map (function TSeq e -> Some e | _ -> None) tys in
+  let seq_axs = List.concat_map (fun e -> Theories.seq_axioms ~curated ~heap e) seq_elems in
+  let data_axs =
+    if heap then Theories.heap_axioms ~curated prog
+    else List.concat_map (fun d -> Theories.data_axioms ~curated d) prog.datatypes
+  in
+  let spec_axs = List.filter_map (fun fd -> spec_fn_axiom p prog fd) prog.functions in
+  let uses_bitops =
+    (* Only include the bit-op range axioms when the program uses them. *)
+    List.exists
+      (fun fd ->
+        List.exists
+          (fun top ->
+            fold_expr
+              (fun acc e ->
+                acc || match e with EBinop ((BitAnd | BitOr | BitXor | Shl | Shr), _, _) -> true | _ -> false)
+              false top)
+          (fn_exprs fd))
+      prog.functions
+  in
+  let bit_axs = if uses_bitops then bitop_axioms p else [] in
+  let sorts_used = List.sort_uniq compare (List.map (Theories.sort_of_ty ~heap) tys) in
+  let wrap_axs = wrapper_axioms p sorts_used in
+  let own_axs =
+    if p.Profiles.recheck_ownership then
+      ownok_axioms (List.filter (function S.Usort _ -> true | _ -> false) sorts_used)
+    else []
+  in
+  seq_axs @ data_axs @ spec_axs @ bit_axs @ wrap_axs @ own_axs

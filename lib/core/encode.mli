@@ -47,3 +47,15 @@ val bitop_axioms : Profiles.t -> Smt.Term.t list
 (** Range axioms for the uninterpreted bounded bit-operation symbols used
     by the default encoding (the precise semantics lives in
     [by(bit_vector)] queries, per §3.3). *)
+
+val program_types : Vir.program -> Vir.ty list
+(** Every VIR type mentioned anywhere in the program (params, returns,
+    contracts, bodies, datatype fields), deduplicated. *)
+
+val program_axioms : Profiles.t -> Vir.program -> Smt.Term.t list
+(** The complete quantified-axiom set a profile would put in scope for
+    this program: sequence/datatype (or heap) theory axioms, spec-function
+    definitional axioms, bit-op range axioms when used, effect-wrapper and
+    ownership-recheck axioms.  This is the set the driver builds VC
+    contexts from (before pruning) and the set [Vlint]'s matching-loop
+    detector analyses. *)

@@ -104,7 +104,11 @@ type fndecl = {
   attrs : attr list;
 }
 
-and attr = A_epr_mode | A_opaque  (** never unfold the spec body *)
+and attr =
+  | A_epr_mode
+  | A_opaque  (** never unfold the spec body *)
+  | A_decreases of expr
+      (** well-founded measure for a recursive Spec/Proof function *)
 
 type datatype = {
   dname : string;
@@ -140,3 +144,55 @@ val ty_equal : ty -> ty -> bool
 val ty_to_string : ty -> string
 val int_bounds : int_kind -> (Vbase.Bigint.t * Vbase.Bigint.t) option
 (** [None] for mathematical ints; [Some (lo, hi)] inclusive otherwise. *)
+
+(** {2 Traversal accessors}
+
+    Structural helpers used by the static-analysis passes ([Vlint]) and
+    other consumers that need to walk VIR without caring about every
+    constructor. *)
+
+val subexprs : expr -> expr list
+(** Immediate sub-expressions (one level). *)
+
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+(** Pre-order fold over an expression and all its sub-expressions. *)
+
+val stmt_exprs : stmt -> expr list
+(** Expressions appearing directly in one statement (loop invariants and
+    decreases included; does not recurse into nested statements). *)
+
+val sub_stmts : stmt -> stmt list
+(** Immediate nested statements (branches, loop body). *)
+
+val fold_stmt : ('a -> stmt -> 'a) -> 'a -> stmt -> 'a
+(** Pre-order fold over a statement and all nested statements. *)
+
+val fn_stmts : fndecl -> stmt list
+(** Every statement of the body, pre-order, or [[]] for bodyless fns. *)
+
+val fn_exprs : fndecl -> expr list
+(** All expressions of a function: requires, ensures, spec body,
+    decreases measures, and every expression in the executable body. *)
+
+val calls_in_expr : expr -> string list
+(** Names of [ECall] targets in an expression (with duplicates). *)
+
+val spec_callees : fndecl -> string list
+(** Sorted, deduplicated callees reachable from spec positions
+    (spec body, contracts, decreases). *)
+
+val body_callees : fndecl -> string list
+(** Sorted, deduplicated callees of the executable/proof body:
+    statement-position [SCall]s plus spec calls in body expressions. *)
+
+val free_vars : expr -> string list
+(** Free variables, sorted; quantifier-bound names removed, [EOld x]
+    counts as a read of [x]. *)
+
+val assigned_vars : program -> stmt list -> string list
+(** Variables assigned anywhere in the statements: [SAssign] targets,
+    [SCall] result bindings, and variables passed in [&mut] argument
+    positions (callee looked up in [program]). Sorted, deduplicated. *)
+
+val fn_decreases : fndecl -> expr option
+(** The function's [A_decreases] measure, if any. *)

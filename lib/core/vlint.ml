@@ -1,0 +1,604 @@
+module T = Smt.Term
+module G = Vbase.Graph
+open Vir
+
+type severity = Error | Warn | Info
+
+type diag = {
+  code : string;
+  severity : severity;
+  fn : string option;
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warn -> "warn" | Info -> "info"
+
+let diag_to_string d =
+  Printf.sprintf "%s %-5s %s%s" d.code (severity_to_string d.severity)
+    (match d.fn with Some f -> "[" ^ f ^ "] " | None -> "")
+    d.message
+
+let code_table =
+  [
+    ("VL001", Error, "recursive Spec/Proof function without a decreases measure");
+    ("VL002", Error, "loop without decreases in a Proof function (warn in Exec)");
+    ("VL003", Warn, "decreases measure mentions no variable that can decrease");
+    ("VL010", Warn, "potential matching loop: positive-growth instantiation cycle");
+    ("VL011", Info, "quantified axiom with no selectable trigger (never instantiates)");
+    ("VL020", Error, "statement-position call to a Spec function");
+    ("VL021", Error, "Proof function body calls an Exec function");
+    ("VL022", Error, "spec-position call to a non-Spec function");
+    ("VL023", Warn, "Spec function takes a &mut parameter");
+    ("VL024", Warn, "opaque spec function is relied on by an ensures clause");
+    ("VL030", Warn, "loop invariant mentions no variable assigned in the loop body");
+    ("VL031", Warn, "ensures never mention the function result");
+    ("VL032", Info, "requires clause unused by body and ensures");
+    ("VL033", Warn, "unreachable statements after return / assert(false)");
+  ]
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+
+let mk code fn fmt =
+  Printf.ksprintf
+    (fun message ->
+      let severity =
+        match List.find_opt (fun (c, _, _) -> String.equal c code) code_table with
+        | Some (_, s, _) -> s
+        | None -> Warn
+      in
+      { code; severity; fn; message })
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* VL00x — call graph + termination                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_termination (prog : program) : diag list =
+  let fns = Array.of_list prog.functions in
+  let n = Array.length fns in
+  let idx_of = Hashtbl.create 16 in
+  Array.iteri (fun i fd -> Hashtbl.replace idx_of fd.fname i) fns;
+  let g = G.create n in
+  Array.iteri
+    (fun i fd ->
+      let callees = List.sort_uniq compare (spec_callees fd @ body_callees fd) in
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt idx_of c with
+          | Some j -> G.add_edge g i j
+          | None -> ())
+        callees)
+    fns;
+  let out = ref [] in
+  (* VL001: recursive Spec/Proof function without a measure. *)
+  List.iter
+    (fun comp ->
+      if G.is_cyclic_component g comp then begin
+        let names = List.map (fun i -> fns.(i).fname) comp in
+        List.iter
+          (fun i ->
+            let fd = fns.(i) in
+            match fd.fmode with
+            | (Spec | Proof) when fn_decreases fd = None ->
+                let how =
+                  if List.length comp = 1 then "recursive"
+                  else "mutually recursive with " ^ String.concat ", "
+                         (List.filter (fun n -> not (String.equal n fd.fname)) names)
+                in
+                out :=
+                  mk "VL001" (Some fd.fname)
+                    "%s %s function has no decreases measure; its definitional axiom is a soundness risk"
+                    how
+                    (match fd.fmode with Spec -> "Spec" | _ -> "Proof")
+                  :: !out
+            | _ -> ())
+          comp
+      end)
+    (G.scc g);
+  (* VL002 / VL003 on loops and measures. *)
+  Array.iter
+    (fun fd ->
+      let stmts = fn_stmts fd in
+      List.iter
+        (fun s ->
+          match s with
+          | SWhile { decreases = None; _ } ->
+              let d =
+                match fd.fmode with
+                | Proof ->
+                    mk "VL002" (Some fd.fname)
+                      "while loop in a Proof function has no decreases clause"
+                | _ ->
+                    {
+                      (mk "VL002" (Some fd.fname)
+                         "while loop has no decreases clause; termination is unchecked")
+                      with
+                      severity = Warn;
+                    }
+              in
+              out := d :: !out
+          | SWhile { decreases = Some m; body; _ } ->
+              let fv = free_vars m in
+              let assigned = assigned_vars prog body in
+              if fv <> [] && List.for_all (fun x -> not (List.mem x assigned)) fv then
+                out :=
+                  mk "VL003" (Some fd.fname)
+                    "loop decreases measure (%s) mentions no variable assigned in the loop body"
+                    (String.concat ", " fv)
+                  :: !out
+          | _ -> ())
+        stmts;
+      match fn_decreases fd with
+      | Some m ->
+          let fv = free_vars m in
+          let params = List.map (fun p -> p.pname) fd.params in
+          if not (List.exists (fun x -> List.mem x params) fv) then
+            out :=
+              mk "VL003" (Some fd.fname)
+                "function decreases measure mentions no parameter; it cannot decrease across recursive calls"
+              :: !out
+      | None -> ())
+    fns;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* VL01x — matching loops over the profile's axiom set                 *)
+(* ------------------------------------------------------------------ *)
+
+let tchildren (t : T.t) : T.t list =
+  match t.T.node with
+  | T.True | T.False | T.Int_lit _ | T.Bv_lit _ | T.Bvar _ -> []
+  | T.App (_, args) -> args
+  | T.Eq (a, b)
+  | T.Implies (a, b)
+  | T.Iff (a, b)
+  | T.Sub (a, b)
+  | T.Mul (a, b)
+  | T.Le (a, b)
+  | T.Lt (a, b)
+  | T.Idiv (a, b)
+  | T.Imod (a, b) -> [ a; b ]
+  | T.Not a | T.Neg a -> [ a ]
+  | T.And xs | T.Or xs | T.Add xs | T.Bv_op (_, xs) -> xs
+  | T.Ite (a, b, c) -> [ a; b; c ]
+  | T.Forall q | T.Exists q -> [ q.T.body ]
+
+let rec height (t : T.t) : int =
+  match tchildren t with
+  | [] -> 0
+  | cs -> 1 + List.fold_left (fun acc c -> max acc (height c)) 0 cs
+
+(* Max depth, within [t], of a bound variable whose name is in [vars] and
+   whose sort equals [srt]; [None] when no such occurrence. *)
+let max_var_depth ~vars ~srt (t : T.t) : int option =
+  let best = ref (-1) in
+  let rec go d (t : T.t) =
+    (match t.T.node with
+    | T.Bvar (x, s) when List.mem x vars && Smt.Sort.equal s srt -> if d > !best then best := d
+    | _ -> ());
+    match t.T.node with
+    | T.Forall _ | T.Exists _ -> () (* inner binders shadow *)
+    | _ -> List.iter (go (d + 1)) (tchildren t)
+  in
+  go 0 t;
+  if !best < 0 then None else Some !best
+
+let contains_var ~vars (t : T.t) : bool =
+  let rec go (t : T.t) =
+    match t.T.node with
+    | T.Bvar (x, _) -> List.mem x vars
+    | T.Forall _ | T.Exists _ -> false
+    | _ -> List.exists go (tchildren t)
+  in
+  go t
+
+(* One axiom of the instantiation graph. *)
+type ax = {
+  ax_id : int;
+  ax_vars : (string * Smt.Sort.t) list;  (* qvars *)
+  ax_patterns : T.t list;  (* flattened trigger patterns *)
+  ax_productions : T.t list;  (* App subterms of the body containing qvars *)
+}
+
+(* Structural one-directional match of trigger [pat] (vars [pvars], from
+   the target axiom) against production [prod] (vars [tvars], from the
+   source axiom).  On success returns the per-binding growth contributions
+   (depth of same-sort source vars inside what each pattern var captured)
+   and the consumption contributions (height of pattern structure matched
+   below a source var). *)
+let amatch ~pvars ~tvars (pat : T.t) (prod : T.t) : (int list * int list) option =
+  let tnames = List.map fst tvars in
+  let bindings : (string, T.t) Hashtbl.t = Hashtbl.create 8 in
+  let growths = ref [] in
+  let cons = ref [] in
+  let rec go (pat : T.t) (prod : T.t) : bool =
+    match (pat.T.node, prod.T.node) with
+    | T.Bvar (x, srt), _ when List.mem_assoc x pvars -> (
+        match Hashtbl.find_opt bindings x with
+        | Some prev -> T.equal prev prod
+        | None ->
+            Hashtbl.replace bindings x prod;
+            if contains_var ~vars:tnames prod then
+              growths :=
+                (match max_var_depth ~vars:tnames ~srt prod with Some d -> d | None -> 0)
+                :: !growths;
+            true)
+    | _, T.Bvar (y, _) when List.mem y tnames ->
+        (* Pattern structure descends below a source-axiom variable: the
+           match only fires when that variable is instantiated with this
+           much structure — consumption. *)
+        cons := height pat :: !cons;
+        true
+    | T.App (f, args), T.App (g, brgs) ->
+        T.Sym.equal f g && List.length args = List.length brgs && List.for_all2 go args brgs
+    | T.Eq (a, b), T.Eq (c, d) | T.Implies (a, b), T.Implies (c, d) | T.Iff (a, b), T.Iff (c, d)
+    | T.Sub (a, b), T.Sub (c, d) | T.Mul (a, b), T.Mul (c, d) | T.Le (a, b), T.Le (c, d)
+    | T.Lt (a, b), T.Lt (c, d) | T.Idiv (a, b), T.Idiv (c, d) | T.Imod (a, b), T.Imod (c, d) ->
+        go a c && go b d
+    | T.Not a, T.Not b | T.Neg a, T.Neg b -> go a b
+    | T.And xs, T.And ys | T.Or xs, T.Or ys | T.Add xs, T.Add ys ->
+        List.length xs = List.length ys && List.for_all2 go xs ys
+    | T.Bv_op (o1, xs), T.Bv_op (o2, ys) ->
+        o1 = o2 && List.length xs = List.length ys && List.for_all2 go xs ys
+    | T.Ite (a, b, c), T.Ite (d, e, f) -> go a d && go b e && go c f
+    | _ -> T.equal pat prod
+  in
+  if go pat prod then Some (!growths, !cons) else None
+
+(* Collect App subterms of [body] containing at least one qvar, without
+   descending under nested binders (their instances only exist after the
+   inner quantifier fires).  Productions equated in the body to a strictly
+   smaller term are dropped: the E-graph merges them with existing
+   material, so they cannot fuel unbounded growth. *)
+let productions_of ~qvars ~exempt_ok (body : T.t) : T.t list =
+  let names = List.map fst qvars in
+  let small_eq = Hashtbl.create 8 in
+  let rec scan_eq (t : T.t) =
+    (match t.T.node with
+    | T.Eq (a, b) | T.Iff (a, b) ->
+        let ha = height a and hb = height b in
+        if hb < ha then Hashtbl.replace small_eq a.T.tid ()
+        else if ha < hb then Hashtbl.replace small_eq b.T.tid ()
+    | _ -> ());
+    match t.T.node with
+    | T.Forall _ | T.Exists _ -> ()
+    | _ -> List.iter scan_eq (tchildren t)
+  in
+  scan_eq body;
+  let acc = ref [] in
+  let rec go (t : T.t) =
+    (match t.T.node with
+    | T.App (_, args)
+      when args <> []
+           && contains_var ~vars:names t
+           && not (Hashtbl.mem small_eq t.T.tid)
+           && exempt_ok t ->
+        if not (List.exists (T.equal t) !acc) then acc := t :: !acc
+    | _ -> ());
+    match t.T.node with
+    | T.Forall _ | T.Exists _ -> ()
+    | _ -> List.iter go (tchildren t)
+  in
+  go body;
+  List.rev !acc
+
+let head_name (t : T.t) =
+  match t.T.node with T.App (f, _) -> Some f.T.sname | _ -> None
+
+let check_axiom_set (p : Profiles.t) ~exempt_heads (axioms : T.t list) : diag list =
+  let out = ref [] in
+  let axs =
+    List.mapi
+      (fun i (axm : T.t) ->
+        match axm.T.node with
+        | T.Forall q ->
+            let patterns = List.concat (Smt.Triggers.select p.Profiles.trigger_policy q) in
+            if patterns = [] && q.T.qvars <> [] then
+              out :=
+                mk "VL011" None
+                  "axiom #%d (%s) has no selectable trigger: it can never instantiate" i
+                  (String.concat ", " (List.map fst q.T.qvars))
+                :: !out;
+            Some
+              {
+                ax_id = i;
+                ax_vars = q.T.qvars;
+                ax_patterns = patterns;
+                ax_productions =
+                  productions_of ~qvars:q.T.qvars ~exempt_ok:(fun _ -> true) q.T.body;
+              }
+        | _ -> None)
+      axioms
+  in
+  let axs = List.filter_map Fun.id axs in
+  let n = List.length axs in
+  let arr = Array.of_list axs in
+  let g = G.create n in
+  let edge_info = Hashtbl.create 32 in
+  Array.iteri
+    (fun i ai ->
+      Array.iteri
+        (fun j aj ->
+          (* Best (max) delta over production/pattern pairs from axiom i
+             into axiom j. *)
+          let best = ref None in
+          List.iter
+            (fun prodt ->
+              List.iter
+                (fun pat ->
+                  let exempt =
+                    match (head_name pat, head_name prodt) with
+                    | Some hp, Some hq ->
+                        String.equal hp hq && List.mem hp exempt_heads
+                    | _ -> false
+                  in
+                  if not exempt then
+                    match amatch ~pvars:aj.ax_vars ~tvars:ai.ax_vars pat prodt with
+                    | Some (growths, cons) when growths <> [] ->
+                        let gmax = List.fold_left max 0 growths in
+                        let cmax = List.fold_left max 0 cons in
+                        let delta = gmax - cmax in
+                        (match !best with
+                        | Some (d, _) when d >= delta -> ()
+                        | _ -> best := Some (delta, (prodt, pat)))
+                    | _ -> ())
+                aj.ax_patterns)
+            ai.ax_productions;
+          match !best with
+          | Some (delta, info) ->
+              G.add_edge g ~w:delta i j;
+              Hashtbl.replace edge_info (i, j) (delta, info)
+          | None -> ())
+        arr)
+    arr;
+  List.iter
+    (fun comp ->
+      if G.is_cyclic_component g comp then
+        match G.positive_cycle g comp with
+        | Some witnesses ->
+            let heads =
+              List.sort_uniq compare
+                (List.concat_map
+                   (fun v ->
+                     List.filter_map head_name arr.(v).ax_patterns)
+                   comp)
+            in
+            let growth =
+              List.fold_left
+                (fun acc u ->
+                  List.fold_left
+                    (fun acc (v, w) -> if List.mem v comp then max acc w else acc)
+                    acc (G.succ g u))
+                0 comp
+            in
+            out :=
+              mk "VL010" None
+                "potential matching loop: instantiation cycle over %d axiom(s) through trigger heads {%s} grows term depth by +%d per round (witness axioms: %s)"
+                (List.length comp)
+                (String.concat ", " heads)
+                growth
+                (String.concat ", "
+                   (List.map (fun v -> "#" ^ string_of_int arr.(v).ax_id) witnesses))
+              :: !out
+        | None -> ())
+    (G.scc g);
+  List.rev !out
+
+let check_axioms (p : Profiles.t) (axioms : T.t list) : diag list =
+  check_axiom_set p ~exempt_heads:[] axioms
+
+let check_matching_loops (p : Profiles.t) (prog : program) : diag list =
+  let axioms = Encode.program_axioms p prog in
+  (* Spec functions carrying a decreases measure unfold boundedly (fuel):
+     skip pattern/production pairs whose heads are both that symbol. *)
+  let exempt_heads =
+    List.filter_map
+      (fun fd ->
+        match (fd.fmode, fd.spec_body, fn_decreases fd) with
+        | Spec, Some _, Some _ when fd.ret <> None ->
+            Some (Encode.spec_fn_sym p prog fd).T.sname
+        | _ -> None)
+      prog.functions
+  in
+  check_axiom_set p ~exempt_heads axioms
+
+(* ------------------------------------------------------------------ *)
+(* VL02x — mode discipline                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_modes (prog : program) : diag list =
+  let out = ref [] in
+  let mode_of name =
+    match List.find_opt (fun fd -> String.equal fd.fname name) prog.functions with
+    | Some fd -> Some fd.fmode
+    | None -> None
+  in
+  List.iter
+    (fun fd ->
+      (* VL020 / VL021: statement-position calls. *)
+      List.iter
+        (fun s ->
+          match s with
+          | SCall (_, callee, _) -> (
+              match mode_of callee with
+              | Some Spec ->
+                  out :=
+                    mk "VL020" (Some fd.fname)
+                      "statement-position call to Spec function %s (spec functions have no effect; call it in an expression)"
+                      callee
+                    :: !out
+              | Some Exec when fd.fmode = Proof ->
+                  out :=
+                    mk "VL021" (Some fd.fname)
+                      "Proof function calls Exec function %s; proofs are erased and may not execute code"
+                      callee
+                    :: !out
+              | _ -> ())
+          | _ -> ())
+        (fn_stmts fd);
+      (* VL022: expression-position (spec) calls must target Spec fns. *)
+      List.iter
+        (fun e ->
+          List.iter
+            (fun callee ->
+              match mode_of callee with
+              | Some (Exec | Proof) ->
+                  out :=
+                    mk "VL022" (Some fd.fname)
+                      "spec-position call to %s-mode function %s"
+                      (match mode_of callee with Some Exec -> "Exec" | _ -> "Proof")
+                      callee
+                    :: !out
+              | _ -> ())
+            (calls_in_expr e))
+        (fn_exprs fd);
+      (* VL023: spec functions with &mut parameters. *)
+      if fd.fmode = Spec then
+        List.iter
+          (fun p ->
+            if p.pmut then
+              out :=
+                mk "VL023" (Some fd.fname)
+                  "Spec function takes &mut parameter %s; spec functions are pure and cannot observe mutation"
+                  p.pname
+                :: !out)
+          fd.params)
+    prog.functions;
+  (* VL024: opaque spec fn with a body relied on by some ensures. *)
+  let opaque =
+    List.filter
+      (fun fd -> fd.fmode = Spec && fd.spec_body <> None && List.mem A_opaque fd.attrs)
+      prog.functions
+  in
+  List.iter
+    (fun ofd ->
+      List.iter
+        (fun fd ->
+          if
+            not (String.equal fd.fname ofd.fname)
+            && List.exists
+                 (fun e -> List.mem ofd.fname (calls_in_expr e))
+                 fd.ensures
+          then
+            out :=
+              mk "VL024" (Some fd.fname)
+                "ensures relies on opaque spec function %s whose body is never revealed (it stays uninterpreted)"
+                ofd.fname
+              :: !out)
+        prog.functions)
+    opaque;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* VL03x — proof hygiene                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_hygiene (prog : program) : diag list =
+  let out = ref [] in
+  List.iter
+    (fun fd ->
+      (* VL030: invariants over loop-constant variables.  The loop encoding
+         havocs only modified variables, so such an invariant is implied by
+         the pre-loop context and proves nothing new. *)
+      List.iter
+        (fun s ->
+          match s with
+          | SWhile { invariants; body; cond = _; decreases = _ } ->
+              let assigned = assigned_vars prog body in
+              List.iteri
+                (fun k inv ->
+                  let fv = free_vars inv in
+                  if List.for_all (fun x -> not (List.mem x assigned)) fv then
+                    out :=
+                      mk "VL030" (Some fd.fname)
+                        "loop invariant #%d mentions no variable assigned in the loop body (%s); it is preserved trivially"
+                        k
+                        (match fv with [] -> "no variables at all" | _ -> String.concat ", " fv)
+                      :: !out)
+                invariants
+          | _ -> ())
+        (fn_stmts fd);
+      (* VL031: ensures that never name the result or a &mut param. *)
+      (match (fd.ret, fd.ensures) with
+      | Some (rname, _), (_ :: _ as ens) when fd.fmode <> Spec ->
+          let mut_params = List.filter_map (fun p -> if p.pmut then Some p.pname else None) fd.params in
+          let mentions =
+            List.exists
+              (fun e ->
+                let fv = free_vars e in
+                List.mem rname fv || List.exists (fun m -> List.mem m fv) mut_params)
+              ens
+          in
+          if not mentions then
+            out :=
+              mk "VL031" (Some fd.fname)
+                "no ensures clause mentions the result %s (or any &mut parameter); the contract does not constrain the output"
+                rname
+              :: !out
+      | _ -> ());
+      (* VL032: requires whose variables touch neither body nor ensures.
+         Trusted externals (no body, no ensures) are exempt. *)
+      if fd.body <> None || fd.ensures <> [] || fd.spec_body <> None then begin
+        let footprint =
+          List.concat_map free_vars
+            (fd.ensures
+            @ Option.to_list fd.spec_body
+            @ List.concat_map stmt_exprs (fn_stmts fd))
+          |> List.sort_uniq compare
+        in
+        List.iteri
+          (fun k req ->
+            let fv = free_vars req in
+            if List.for_all (fun x -> not (List.mem x footprint)) fv then
+              out :=
+                mk "VL032" (Some fd.fname)
+                  "requires clause #%d constrains %s, which neither the body nor the ensures mention"
+                  k
+                  (match fv with [] -> "nothing" | _ -> String.concat ", " fv)
+                :: !out)
+          fd.requires
+      end;
+      (* VL033: unreachable statements. *)
+      let rec check_block block =
+        let rec walk = function
+          | [] -> ()
+          | s :: rest ->
+              (match s with
+              | SIf (_, a, b) ->
+                  check_block a;
+                  check_block b
+              | SWhile { body; _ } -> check_block body
+              | _ -> ());
+              let terminal =
+                match s with
+                | SReturn _ -> true
+                | SAssert (EBool false, _) | SAssume (EBool false) -> true
+                | _ -> false
+              in
+              if terminal && rest <> [] then
+                out :=
+                  mk "VL033" (Some fd.fname)
+                    "%d unreachable statement(s) after %s"
+                    (List.length rest)
+                    (match s with
+                    | SReturn _ -> "return"
+                    | SAssert _ -> "assert(false)"
+                    | _ -> "assume(false)")
+                  :: !out
+              else walk rest
+        in
+        walk block
+      in
+      (match fd.body with Some b -> check_block b | None -> ()))
+    prog.functions;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lint (p : Profiles.t) (prog : program) : diag list =
+  check_termination prog
+  @ check_matching_loops p prog
+  @ check_modes prog
+  @ check_hygiene prog

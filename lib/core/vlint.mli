@@ -1,0 +1,82 @@
+(** Vlint — static diagnostics over VIR programs and the profile's
+    quantified axiom set, run before (or instead of) verification.
+
+    The paper attributes much of Verus's solver headroom to conservative
+    trigger selection and lean encodings (§3.1); this pass framework makes
+    the two classic failure modes of that design *statically* visible:
+    unbounded E-matching loops in the axiom set, and recursive spec
+    definitions without a well-founded measure (a soundness hole — the
+    definitional axiom is satisfiable only for terminating definitions).
+    Alongside those it checks mode discipline and proof hygiene.
+
+    Diagnostic codes are stable and grouped by pass:
+
+    - [VL00x] termination / call graph
+    - [VL01x] quantifier instantiation (matching loops, dead axioms)
+    - [VL02x] mode discipline
+    - [VL03x] proof hygiene
+
+    See the README's "Static analysis" section for the full table. *)
+
+type severity = Error | Warn | Info
+
+type diag = {
+  code : string;  (** stable [VL0xx] code *)
+  severity : severity;
+  fn : string option;  (** function concerned, [None] for program-level *)
+  message : string;
+}
+
+val severity_to_string : severity -> string
+
+val diag_to_string : diag -> string
+(** ["VL001 error [view]: ..."] — one line, stable format. *)
+
+val code_table : (string * severity * string) list
+(** Every code with its default severity and a one-line description
+    (drives [verus_cli lint --codes] and the README table). *)
+
+val errors : diag list -> diag list
+(** The [Error]-severity subset. *)
+
+(** {2 Individual passes}
+
+    Each pass can be run alone; [lint] runs all of them. *)
+
+val check_termination : Vir.program -> diag list
+(** VL001–VL003: call-graph SCCs (Tarjan over [Vbase.Graph]); recursive
+    [Spec]/[Proof] functions must carry an [A_decreases] measure, loops in
+    [Proof] bodies must carry [decreases], and measures must mention a
+    variable that can actually decrease. *)
+
+val check_matching_loops : Profiles.t -> Vir.program -> diag list
+(** VL010–VL011: builds the instantiation graph over
+    [Encode.program_axioms]: one vertex per quantified axiom, an edge
+    A → B when instantiating A produces a term that matches a trigger of
+    B (up to head-symbol abstraction), weighted by the per-sort term-depth
+    growth minus the pattern structure consumed.  A strictly-positive-
+    weight cycle (Bellman–Ford inside each Tarjan SCC) is a potential
+    matching loop.  Productions equated in the axiom body to a strictly
+    smaller term are skipped (the E-graph collapses them), and
+    self-productions of spec functions carrying a [decreases] measure are
+    exempt (fuel bounds their unfolding).  See DESIGN.md for why this
+    over-approximates within a sort. *)
+
+val check_axioms : Profiles.t -> Smt.Term.t list -> diag list
+(** The axiom-set half of [check_matching_loops] for a caller-supplied
+    list of (already-built) quantified axioms, with no decreases
+    exemptions.  Useful for vetting a hand-written theory before wiring
+    it into an encoding. *)
+
+val check_modes : Vir.program -> diag list
+(** VL020–VL024: exec/proof/spec call-position discipline, mutable
+    parameters on spec functions, opaque spec functions that contracts
+    depend on. *)
+
+val check_hygiene : Vir.program -> diag list
+(** VL030–VL033: loop invariants over loop-constant variables (vacuous
+    under the havoc-modified-only loop encoding), ensures that never
+    mention the result, unused requires, unreachable statements. *)
+
+val lint : Profiles.t -> Vir.program -> diag list
+(** All passes, diagnostics in pass order (severity-stable). *)

@@ -88,34 +88,41 @@ let collect_syms ts =
 
 (* Sort graph acyclicity: for each symbol with arguments, edges from each
    argument sort to the return sort.  A cycle means an unbounded Herbrand
-   universe. *)
+   universe.  The cycle check proper is the shared SCC machinery in
+   [Vbase.Graph]: a sort participates in a cycle iff its strongly-connected
+   component is cyclic. *)
 let acyclic syms =
-  let edges = Hashtbl.create 16 in
+  (* Number the sorts that appear as argument or return of some symbol. *)
+  let ids = Hashtbl.create 16 in
+  let sorts = ref [] in
+  let id_of s =
+    match Hashtbl.find_opt ids s with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length ids in
+      Hashtbl.add ids s i;
+      sorts := s :: !sorts;
+      i
+  in
+  let edges = ref [] in
   List.iter
     (fun (f : Term.sym) ->
-      if f.Term.sargs <> [] && not (Sort.equal f.Term.sret Sort.Bool) then
-        List.iter
-          (fun a ->
-            let outs = match Hashtbl.find_opt edges a with Some l -> l | None -> [] in
-            Hashtbl.replace edges a (f.Term.sret :: outs))
-          f.Term.sargs)
+      if f.Term.sargs <> [] && not (Sort.equal f.Term.sret Sort.Bool) then begin
+        let ret = id_of f.Term.sret in
+        List.iter (fun a -> edges := (id_of a, ret) :: !edges) f.Term.sargs
+      end)
     syms;
-  (* DFS cycle detection over sorts. *)
-  let visiting = Hashtbl.create 16 and done_ = Hashtbl.create 16 in
-  let rec dfs s =
-    if Hashtbl.mem done_ s then Ok ()
-    else if Hashtbl.mem visiting s then
-      Error ("sort dependency cycle through " ^ Sort.to_string s)
-    else begin
-      Hashtbl.add visiting s ();
-      let outs = match Hashtbl.find_opt edges s with Some l -> l | None -> [] in
-      let r = first_error dfs outs in
-      Hashtbl.remove visiting s;
-      Hashtbl.add done_ s ();
-      r
-    end
-  in
-  first_error dfs (Hashtbl.fold (fun s _ acc -> s :: acc) edges [])
+  let n = Hashtbl.length ids in
+  let g = Vbase.Graph.create n in
+  List.iter (fun (u, v) -> Vbase.Graph.add_edge g u v) !edges;
+  let sort_of = Array.make (max n 1) Sort.Bool in
+  Hashtbl.iter (fun s i -> sort_of.(i) <- s) ids;
+  match
+    List.find_opt (Vbase.Graph.is_cyclic_component g) (Vbase.Graph.scc g)
+  with
+  | Some (v :: _) ->
+    Error ("sort dependency cycle through " ^ Sort.to_string sort_of.(v))
+  | Some [] | None -> Ok ()
 
 let check_fragment ts =
   match first_error check_term ts with

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Repo health check: build everything, run the full test battery, then run
+# the Vlint static analyses over every bundled program in strict mode
+# (Error or Warn findings fail).  This is the tree-must-stay-green gate:
+#
+#   scripts/check.sh
+#
+# Exit code 0 means all three stages passed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== 1/3 build =="
+dune build @all
+
+echo "== 2/3 tests =="
+dune runtest
+
+echo "== 3/3 lint (strict) =="
+dune build @lint
+
+echo "== all checks passed =="
