@@ -264,6 +264,30 @@ let fig10 () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* fig10-faults: IronKV under an adversarial network                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_faults () =
+  header "Figure 10 (faults): IronKV throughput (kop/s) under message drop + duplication";
+  Printf.printf
+    "  deterministic fault plan (seeded); clients retransmit with exponential backoff,\n\
+    \  hosts absorb duplicates via the at-most-once reply cache.\n\n";
+  let ops = if !quick then 2_000 else 10_000 in
+  Printf.printf "  %-14s %10s %14s %12s\n" "drop+dup %" "kop/s" "retransmits" "net msgs";
+  List.iter
+    (fun pct ->
+      let r =
+        Ironkv.Workload.run ~style:`Inplace ~ops ~payload:128 ~get_ratio:0.5 ~drop_pct:pct
+          ~net_dup_pct:pct ~fault_seed:(100 + pct) ()
+      in
+      let sent =
+        match List.assoc_opt "sent" r.Ironkv.Workload.net_stats with Some n -> n | None -> 0
+      in
+      Printf.printf "  %-14d %9.1fk %14d %12d\n%!" pct r.Ironkv.Workload.kops_per_s
+        r.Ironkv.Workload.retransmissions sent)
+    [ 0; 1; 5; 20 ]
+
+(* ------------------------------------------------------------------ *)
 (* fig11: NR throughput                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -371,7 +395,7 @@ let fig14 () =
   let total = if !quick then 8 * 1024 * 1024 else 64 * 1024 * 1024 in
   let throughput style size =
     let region = 16 * 1024 * 1024 in
-    let mem = Plog.Pmem.create ~size:(region + Plog.Log.header_bytes) in
+    let mem = Plog.Pmem.create ~size:(region + Plog.Log.header_bytes) () in
     Plog.Log.format mem ~base:0 ~len:(region + Plog.Log.header_bytes);
     let log = Result.get_ok (Plog.Log.attach ~style mem ~base:0 ~len:(region + Plog.Log.header_bytes)) in
     let payload = String.make size 'd' in
@@ -517,7 +541,7 @@ let micro () =
   let alloc_un = Valloc.Alloc.create ~checked:false ~heaps:1 os in
   let nr = Nr_lib.Nr.create ~replicas:1 () in
   let h = Nr_lib.Nr.register nr in
-  let mem = Plog.Pmem.create ~size:(1 lsl 20) in
+  let mem = Plog.Pmem.create ~size:(1 lsl 20) () in
   Plog.Log.format mem ~base:0 ~len:(1 lsl 20);
   let log = Result.get_ok (Plog.Log.attach mem ~base:0 ~len:(1 lsl 20)) in
   let payload = String.make 256 'x' in
@@ -577,6 +601,7 @@ let sections =
     ("fig8", fig8);
     ("fig9", fig9);
     ("fig10", fig10);
+    ("fig10-faults", fig10_faults);
     ("fig11", fig11);
     ("fig12", fig12);
     ("fig13", fig13);

@@ -1,12 +1,17 @@
 (* Command-line driver with a small subcommand interface:
 
      verus_cli verify <program> [<profile>] [--fn NAME] [--jobs N] [--lint MODE]
+                      [--deadline SECS] [--max-rounds N]
      verus_cli lint   [<program>|--all] [<profile>] [--strict]
      verus_cli list            (also available as --list)
      verus_cli codes           (the VL0xx diagnostic table)
      verus_cli help
 
-   Exit codes: 0 ok, 1 findings / verification failure, 2 usage error. *)
+   Exit codes: 0 ok, 1 findings / verification failure (a refutation, a
+   front-end error, or a strict-mode lint), 2 usage error, 3 budget
+   exhausted — every failed obligation is Unknown (solver deadline /
+   round budget), none refuted.  Distinguishing 3 from 1 lets CI retry
+   with a bigger --deadline instead of reporting a counterexample. *)
 
 let programs =
   [
@@ -28,7 +33,9 @@ let usage oc =
     "usage: verus_cli <command> [args]\n\n\
      commands:\n\
     \  verify <program> [<profile>] [--fn NAME] [--jobs N] [--lint ignore|warn|strict]\n\
-    \      verify one bundled program under a profile (default: Verus)\n\
+    \         [--deadline SECS] [--max-rounds N]\n\
+    \      verify one bundled program under a profile (default: Verus);\n\
+    \      --deadline / --max-rounds override the profile's solver budgets\n\
     \  lint [<program>|--all] [<profile>] [--strict]\n\
     \      run the Vlint static analyses; exit 1 on Error findings\n\
     \      (--strict: also fail on Warn findings)\n\
@@ -40,7 +47,8 @@ let usage oc =
     \      this message\n\n\
      programs: %s\n\
      profiles: %s (case-insensitive; 'fstar' and 'lowstar' also accepted)\n\
-     exit codes: 0 ok / 1 findings or failure / 2 usage\n"
+     exit codes: 0 ok / 1 findings or failure / 2 usage / 3 solver budget exhausted\n\
+    \            (3 = every failed obligation is Unknown: a timeout is not a refutation)\n"
     (String.concat ", " (List.map fst programs))
     (String.concat ", " profile_names)
 
@@ -93,10 +101,22 @@ let cmd_verify args =
   let fn_filter = ref None in
   let jobs = ref 1 in
   let lint = ref Verus.Driver.Lint_ignore in
+  let deadline = ref None in
+  let max_rounds = ref None in
   let rec parse = function
     | [] -> ()
     | "--fn" :: v :: rest ->
       fn_filter := Some v;
+      parse rest
+    | "--deadline" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s when s > 0.0 -> deadline := Some s
+      | _ -> die_usage "--deadline expects a positive number of seconds, got %s" v);
+      parse rest
+    | "--max-rounds" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> max_rounds := Some n
+      | _ -> die_usage "--max-rounds expects a positive integer, got %s" v);
       parse rest
     | "--jobs" :: v :: rest ->
       (match int_of_string_opt v with
@@ -118,6 +138,23 @@ let cmd_verify args =
   parse args;
   let prog_name = match !prog_name with Some p -> p | None -> "singly_linked" in
   let profile = find_profile !profile_name in
+  let profile =
+    (* Per-run solver budget overrides: a tighter (or looser) deadline /
+       instantiation-round cap than the profile bakes in. *)
+    match (!deadline, !max_rounds) with
+    | None, None -> profile
+    | d, r ->
+      let sc = profile.Verus.Profiles.solver_config in
+      {
+        profile with
+        Verus.Profiles.solver_config =
+          {
+            sc with
+            Smt.Solver.deadline_s = Option.value ~default:sc.Smt.Solver.deadline_s d;
+            Smt.Solver.max_rounds = Option.value ~default:sc.Smt.Solver.max_rounds r;
+          };
+      }
+  in
   let prog = find_program prog_name in
   let prog =
     match !fn_filter with
@@ -159,12 +196,32 @@ let cmd_verify args =
   | Some (where, what, code) when not r.Verus.Driver.pr_ok ->
     Printf.printf "first failure: [%s] %s: %s\n" code where what
   | _ -> ());
+  (* A run that failed *only* on Unknown answers (solver deadline /
+     instantiation budget) is a budget exhaustion, not a refutation: exit
+     3 so callers can distinguish "needs a bigger --deadline" from "has a
+     counterexample". *)
+  let budget_only =
+    (not r.Verus.Driver.pr_ok)
+    && r.Verus.Driver.pr_front_end_errors = []
+    && r.Verus.Driver.pr_fns <> []
+    && List.for_all
+         (fun (fnr : Verus.Driver.fn_result) ->
+           List.for_all
+             (fun (vr : Verus.Driver.vc_result) ->
+               match vr.Verus.Driver.vcr_answer with
+               | Smt.Solver.Unsat | Smt.Solver.Unknown _ -> true
+               | Smt.Solver.Sat -> false)
+             fnr.Verus.Driver.fnr_vcs)
+         r.Verus.Driver.pr_fns
+  in
   Printf.printf "== %s / %s: %s in %.3fs, %d query bytes\n" prog_name
     profile.Verus.Profiles.name
-    (if r.Verus.Driver.pr_ok then "VERIFIED" else "FAILED")
+    (if r.Verus.Driver.pr_ok then "VERIFIED"
+     else if budget_only then "UNKNOWN (solver budget exhausted)"
+     else "FAILED")
     r.Verus.Driver.pr_time_s r.Verus.Driver.pr_bytes;
   Smt.Solver.dump_debug ();
-  exit (if r.Verus.Driver.pr_ok then 0 else 1)
+  exit (if r.Verus.Driver.pr_ok then 0 else if budget_only then 3 else 1)
 
 (* ---------------------------- lint -------------------------------- *)
 

@@ -11,7 +11,7 @@ let () =
   print_endline "== Crash-safe persistent log ==";
   print_endline "";
   let len = 4096 + L.header_bytes in
-  let mem = P.create ~size:len in
+  let mem = P.create ~size:len () in
   L.format mem ~base:0 ~len;
   let log = Result.get_ok (L.attach mem ~base:0 ~len) in
   List.iter
@@ -38,7 +38,7 @@ let () =
 
   print_endline "";
   print_endline "atomic multi-log append (3 logs, one commit point):";
-  let mem2 = P.create ~size:65536 in
+  let mem2 = P.create ~size:65536 () in
   Plog.Multilog.format mem2 ~base:0 ~log_len:1024 ~logs:3;
   let ml = Result.get_ok (Plog.Multilog.attach mem2 ~base:0 ~log_len:1024 ~logs:3) in
   ignore (Plog.Multilog.append_all ml [ "meta"; "data-block"; "index" ]);

@@ -6,7 +6,17 @@ type t = {
   hosts : int;
   mutable store : (int, string) Hashtbl.t;
   mutable dmap : Delegation_map.t;
-  mutable tombstones : (int, int) Hashtbl.t; (* client -> highest seq seen *)
+  mutable cache : (int, int * int * string option) Hashtbl.t;
+      (* at-most-once reply cache: client -> (highest seq executed, key,
+         reply value).  Keeping the reply (not just the seq tombstone)
+         makes retransmitted requests idempotent: the cached reply is
+         re-sent instead of re-executing.  The cache rides along with
+         every Delegate message, so it survives re-delegation. *)
+  mutable max_epoch : int;
+      (* highest delegation epoch seen; stale grants (epoch <= max_epoch,
+         not addressed to us) are ignored so routing views only move
+         forward along each range's delegation chain — the property that
+         makes forwarding chains terminate under reordered broadcasts *)
 }
 
 let create ~style ~id ~hosts =
@@ -16,37 +26,59 @@ let create ~style ~id ~hosts =
     hosts;
     store = Hashtbl.create 1024;
     dmap = Delegation_map.create ~default_host:0;
-    tombstones = Hashtbl.create 64;
+    cache = Hashtbl.create 64;
+    max_epoch = 0;
   }
 
 let owns t key = Delegation_map.get t.dmap key = t.id
 let store_size t = Hashtbl.length t.store
 let dump t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store []
+let cache_snapshot t = Hashtbl.fold (fun c e acc -> (c, e) :: acc) t.cache []
 
 (* The IronFleet-style handler path: rebuild the mutable structures instead
    of updating them in place (the "replacing an entire data structure"
    pattern §4.2.1 describes). *)
 let copy_structures t =
   let store' = Hashtbl.copy t.store in
-  let tomb' = Hashtbl.copy t.tombstones in
+  let cache' = Hashtbl.copy t.cache in
   let dmap' = Delegation_map.create ~default_host:0 in
   List.iter
     (fun (lo, h) -> Delegation_map.set_range dmap' ~lo ~hi:Delegation_map.max_key ~host:h)
     (Delegation_map.to_alist t.dmap);
   t.store <- store';
-  t.tombstones <- tomb';
+  t.cache <- cache';
   t.dmap <- dmap'
 
-(* At-most-once: true when the request is fresh (and records it). *)
-let fresh_request t ~client ~seq =
-  match Hashtbl.find_opt t.tombstones client with
-  | Some s when s >= seq -> false
-  | _ ->
-    Hashtbl.replace t.tombstones client seq;
-    true
+let reply t net ~client ~seq ~key value =
+  Network.send net ~src:t.id ~dst:client
+    (Message.to_bytes (Message.Reply { client; seq; key; value }))
 
-let reply net ~client ~seq ~key value =
-  Network.send net ~dst:client (Message.to_bytes (Message.Reply { client; seq; key; value }))
+(* At-most-once execution with reply retransmission: fresh requests run
+   [execute] and cache the reply; a duplicate of the latest request
+   re-sends the cached reply; anything older is dropped (the client has
+   already moved on, so no reply can be expected for it). *)
+let answer t net ~client ~seq ~key execute =
+  match Hashtbl.find_opt t.cache client with
+  | Some (s, _, _) when seq < s -> () (* stale duplicate: drop *)
+  | Some (s, k, v) when seq = s -> reply t net ~client ~seq ~key:k v (* idempotent resend *)
+  | _ ->
+    let value = execute () in
+    Hashtbl.replace t.cache client (seq, key, value);
+    reply t net ~client ~seq ~key value
+
+(* Merge a shipped reply cache: higher sequence numbers win.  Every host
+   merges (not just the delegation destination): a request can be
+   forwarded through any stale host, so the suppression state must be
+   monotone everywhere it might be consulted later. *)
+let merge_cache t entries =
+  List.iter
+    (fun (client, ((seq, _, _) as entry)) ->
+      match Hashtbl.find_opt t.cache client with
+      | Some (s, _, _) when s >= seq -> ()
+      | _ -> Hashtbl.replace t.cache client entry)
+    entries
+
+let forward t net ~dst raw = Network.send_seq net ~src:t.id ~dst raw
 
 let handle t net raw =
   match Message.of_bytes raw with
@@ -55,24 +87,26 @@ let handle t net raw =
     if t.style = `Copying then copy_structures t;
     match msg with
     | Message.Get { client; seq; key } ->
-      if owns t key then begin
-        if fresh_request t ~client ~seq then
-          reply net ~client ~seq ~key (Hashtbl.find_opt t.store key)
-      end
-      else Network.send net ~dst:(Delegation_map.get t.dmap key) raw
+      if owns t key then
+        answer t net ~client ~seq ~key (fun () -> Hashtbl.find_opt t.store key)
+      else forward t net ~dst:(Delegation_map.get t.dmap key) raw
     | Message.Set { client; seq; key; value } ->
-      if owns t key then begin
-        if fresh_request t ~client ~seq then begin
-          Hashtbl.replace t.store key value;
-          reply net ~client ~seq ~key (Some value)
-        end
-      end
-      else Network.send net ~dst:(Delegation_map.get t.dmap key) raw
-    | Message.Delegate { lo; hi; dest; kvs } ->
-      (* Everyone updates their delegation map; the destination installs
-         the shipped contents; the source (handled in [delegate]) already
-         dropped its copies. *)
-      Delegation_map.set_range t.dmap ~lo ~hi ~host:dest;
+      if owns t key then
+        answer t net ~client ~seq ~key (fun () ->
+            Hashtbl.replace t.store key value;
+            Some value)
+      else forward t net ~dst:(Delegation_map.get t.dmap key) raw
+    | Message.Delegate { lo; hi; dest; epoch; kvs; cache } ->
+      (* Everyone merges the shipped reply cache (monotone, always safe);
+         the routing update applies only if the grant is newer than
+         anything seen, or we are its destination (a host's own grant is
+         always the newest for its range — see message.mli).  The
+         destination installs the shipped contents; the source (handled
+         in [delegate]) already dropped its copies. *)
+      merge_cache t cache;
+      if epoch > t.max_epoch || dest = t.id then
+        Delegation_map.set_range t.dmap ~lo ~hi ~host:dest;
+      t.max_epoch <- max t.max_epoch epoch;
       if dest = t.id then List.iter (fun (k, v) -> Hashtbl.replace t.store k v) kvs
     | Message.Reply _ -> () (* hosts do not receive client replies *))
 
@@ -93,9 +127,16 @@ let delegate t net ~lo ~hi ~dest =
     in
     List.iter (fun (k, _) -> Hashtbl.remove t.store k) kvs;
     Delegation_map.set_range t.dmap ~lo ~hi ~host:dest;
-    (* Tell every other host (including dest, which installs the data). *)
+    let epoch = t.max_epoch + 1 in
+    t.max_epoch <- epoch;
+    let cache = cache_snapshot t in
+    (* Tell every other host (including dest, which installs the data).
+       Delegate messages travel over the sequenced inter-host channels:
+       a dropped / duplicated / reordered Delegate would lose or resurrect
+       shard data, which the channel abstraction rules out. *)
     for peer = 0 to t.hosts - 1 do
       if peer <> t.id then
-        Network.send net ~dst:peer (Message.to_bytes (Message.Delegate { lo; hi; dest; kvs }))
+        Network.send_seq net ~src:t.id ~dst:peer
+          (Message.to_bytes (Message.Delegate { lo; hi; dest; epoch; kvs; cache }))
     done
   end

@@ -1,13 +1,23 @@
 (** An IronKV host (§4.2.1): owns the keys its delegation map assigns to
     it, serves Get/Set, forwards requests for keys it does not own, and
-    handles range delegation.  Duplicate requests are suppressed by a
-    per-client tombstone table (at-most-once execution), as in IronFleet.
+    handles range delegation.
+
+    Duplicate requests are suppressed by a per-client at-most-once
+    {e reply cache} [client -> (seq, key, reply)] — stronger than a bare
+    tombstone table: a retransmission of the latest request re-sends the
+    cached reply (idempotent resend, so client-side retry under message
+    loss terminates), anything older is dropped.  The cache is shipped
+    inside every [Delegate] message and merged (highest seq wins) by all
+    receiving hosts, so at-most-once execution survives re-delegation —
+    the hole IronFleet closes with sequenced inter-host channels.
+    Host-to-host traffic (forwards, delegations) accordingly travels via
+    {!Network.send_seq}.
 
     [`Inplace] is the Verus-port style (fine-grained [&mut] mutation);
     [`Copying] emulates the IronFleet style the paper calls out, where the
     painfulness of reasoning about fine-grained mutation led to replacing
-    entire data structures — every request handler rebuilds the tombstone
-    table and delegation map.  Both are functionally identical; Figure 10
+    entire data structures — every request handler rebuilds the reply
+    cache and delegation map.  Both are functionally identical; Figure 10
     compares their throughput. *)
 
 type style = [ `Inplace | `Copying ]
@@ -21,9 +31,15 @@ val handle : t -> Network.t -> bytes -> unit
 (** Process one incoming message (parse, act, send replies/forwards). *)
 
 val delegate : t -> Network.t -> lo:int -> hi:int -> dest:int -> unit
-(** Initiate delegation of a key range this host owns. *)
+(** Initiate delegation of a key range this host owns.  Ships the range
+    contents and the at-most-once reply cache to every peer over the
+    sequenced channels. *)
 
 val store_size : t -> int
 val owns : t -> int -> bool
+
 val dump : t -> (int * string) list
 (** Contents of the local store (tests). *)
+
+val cache_snapshot : t -> (int * (int * int * string option)) list
+(** The at-most-once reply cache, [client -> (seq, key, reply)] (tests). *)

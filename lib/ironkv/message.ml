@@ -2,7 +2,21 @@ type t =
   | Get of { client : int; seq : int; key : int }
   | Set of { client : int; seq : int; key : int; value : string }
   | Reply of { client : int; seq : int; key : int; value : string option }
-  | Delegate of { lo : int; hi : int; dest : int; kvs : (int * string) list }
+  | Delegate of {
+      lo : int;
+      hi : int;
+      dest : int;
+      epoch : int;
+          (* monotone delegation epoch: receivers apply a grant to their
+             delegation map only when it is newer than anything they have
+             seen (or they are its destination), so grants broadcast by
+             different sources and reordered in flight can never roll a
+             host's routing view backwards *)
+      kvs : (int * string) list;
+      cache : (int * (int * int * string option)) list;
+          (* client -> (seq, key, reply value): the sender's at-most-once
+             reply cache rides along with the shard *)
+    }
 
 let tag_of = function Get _ -> 0 | Set _ -> 1 | Reply _ -> 2 | Delegate _ -> 3
 
@@ -29,12 +43,15 @@ let reply_m =
     Marshal.(pair (pair u64 u64) (pair u64 (option byte_string)))
 
 let delegate_m =
+  let cache_entry_m = Marshal.(pair u64 (triple u64 u64 (option byte_string))) in
   Marshal.map_iso
-    (fun ((lo, hi, dest), kvs) -> Delegate { lo; hi; dest; kvs })
+    (fun ((lo, hi, dest), (epoch, (kvs, cache))) -> Delegate { lo; hi; dest; epoch; kvs; cache })
     (function
-      | Delegate { lo; hi; dest; kvs } -> ((lo, hi, dest), kvs)
+      | Delegate { lo; hi; dest; epoch; kvs; cache } -> ((lo, hi, dest), (epoch, (kvs, cache)))
       | _ -> assert false)
-    Marshal.(pair (triple u64 u64 u64) (vec (pair u64 byte_string)))
+    Marshal.(
+      pair (triple u64 u64 u64)
+        (pair u64 (pair (vec (pair u64 byte_string)) (vec cache_entry_m))))
 
 let marshaller = Marshal.tagged [ (0, get_m); (1, set_m); (2, reply_m); (3, delegate_m) ] ~tag_of
 let to_bytes m = Marshal.to_bytes marshaller m

@@ -9,7 +9,23 @@ type t =
   | Get of { client : int; seq : int; key : int }
   | Set of { client : int; seq : int; key : int; value : string }
   | Reply of { client : int; seq : int; key : int; value : string option }
-  | Delegate of { lo : int; hi : int; dest : int; kvs : (int * string) list }
+  | Delegate of {
+      lo : int;
+      hi : int;
+      dest : int;
+      epoch : int;
+          (** monotone delegation epoch: receivers apply a grant only when
+              it is newer than any grant they have seen (or they are its
+              destination), so reordered broadcasts from different sources
+              cannot roll a host's routing view backwards *)
+      kvs : (int * string) list;
+      cache : (int * (int * int * string option)) list;
+          (** the sender's at-most-once reply cache,
+              [client -> (seq, key, reply value)]: shipping it with the
+              shard lets a duplicate request that crosses a re-delegation
+              be suppressed (and its cached reply re-sent) by the new
+              owner instead of re-executing *)
+    }
       (** delegate range [lo,hi) to host [dest], shipping its contents *)
 
 val marshaller : t Marshal.t

@@ -3,10 +3,16 @@ type result = {
   elapsed_s : float;
   kops_per_s : float;
   net_bytes : int;
+  retransmissions : int;
+  net_stats : (string * int) list;
 }
 
+exception Client_timeout of string
+
 (* Deliver every pending host-bound message (hosts may generate more
-   traffic while handling, e.g. forwards). *)
+   traffic while handling, e.g. forwards).  Messages under an injected
+   delay stay queued; each sweep ages them by one poll, so repeated
+   drains (the client retry loop) eventually deliver everything. *)
 let drain_hosts hosts net =
   let progress = ref true in
   while !progress do
@@ -21,8 +27,60 @@ let drain_hosts hosts net =
       hosts
   done
 
-let setup ~style ~hosts:nhosts ~clients:nclients ~keys =
-  let net = Network.create ~endpoints:(nhosts + nclients) () in
+(* Pull the reply for [seq] out of [me]'s mailbox, discarding stale
+   duplicate replies (retransmissions make the host re-send cached
+   replies; the client has already consumed one copy and moved on). *)
+let rec recv_reply net ~me ~seq =
+  match Network.recv net ~me with
+  | None -> None
+  | Some raw -> (
+    match Message.of_bytes raw with
+    | Some (Message.Reply { seq = s; key; value; _ }) when s = seq -> Some (key, value)
+    | _ -> recv_reply net ~me ~seq (* stale / unexpected: drop, keep looking *))
+
+(* One closed-loop client request with retransmission: send, poll with a
+   timeout (measured in drain rounds, the simulator's clock), and on
+   expiry retransmit the same request — same sequence number — doubling
+   the timeout each attempt (exponential backoff, capped).  The host's
+   at-most-once reply cache absorbs the duplicates and re-sends the
+   cached reply, so retry under loss terminates without re-execution. *)
+let request_reply ?(retransmit_counter = ref 0) net hosts ~client ~dst ~seq msg =
+  let raw = Message.to_bytes msg in
+  Network.send net ~src:client ~dst raw;
+  let max_attempts = 14 in
+  let rec poll k =
+    drain_hosts hosts net;
+    match recv_reply net ~me:client ~seq with
+    | Some r -> Some r
+    | None -> if k > 1 then poll (k - 1) else None
+  in
+  let rec attempt n ~timeout =
+    match poll timeout with
+    | Some r -> r
+    | None ->
+      if n >= max_attempts then
+        raise
+          (Client_timeout
+             (Printf.sprintf "client %d: no reply for seq %d after %d retransmissions" client seq
+                n))
+      else begin
+        incr retransmit_counter;
+        Network.send net ~src:client ~dst raw;
+        attempt (n + 1) ~timeout:(min 64 (timeout * 2))
+      end
+  in
+  attempt 0 ~timeout:2
+
+let make_plan ~fault_seed ~drop_pct ~net_dup_pct ~reorder_pct ~delay_pct =
+  let plan = Vbase.Faultplan.create ~seed:fault_seed () in
+  Vbase.Faultplan.set_prob plan "net.drop" ~pct:drop_pct;
+  Vbase.Faultplan.set_prob plan "net.dup" ~pct:net_dup_pct;
+  Vbase.Faultplan.set_prob plan "net.reorder" ~pct:reorder_pct;
+  Vbase.Faultplan.set_prob plan "net.delay" ~pct:delay_pct;
+  plan
+
+let setup ~style ~hosts:nhosts ~clients:nclients ~keys ~faults =
+  let net = Network.create ~endpoints:(nhosts + nclients) ~faults ~sequenced:true () in
   let hosts = Array.init nhosts (fun id -> Host.create ~style ~id ~hosts:nhosts) in
   (* Shard the keyspace evenly by delegation from host 0. *)
   let per = keys / nhosts in
@@ -35,11 +93,14 @@ let setup ~style ~hosts:nhosts ~clients:nclients ~keys =
   (net, hosts)
 
 let run ?(hosts = 3) ?(clients = 10) ?(keys = 10_000) ?(payload = 128) ?(ops = 20_000)
-    ?(get_ratio = 0.5) ?(seed = 42) ~style () =
-  let net, host_arr = setup ~style ~hosts ~clients ~keys in
+    ?(get_ratio = 0.5) ?(seed = 42) ?(drop_pct = 0) ?(net_dup_pct = 0) ?(reorder_pct = 0)
+    ?(delay_pct = 0) ?(fault_seed = 1) ~style () =
+  let plan = make_plan ~fault_seed ~drop_pct ~net_dup_pct ~reorder_pct ~delay_pct in
+  let net, host_arr = setup ~style ~hosts ~clients ~keys ~faults:plan in
   let rng = Vbase.Rng.create ~seed in
   let payload_string = String.make payload 'x' in
   let seqs = Array.make clients 0 in
+  let retransmits = ref 0 in
   let t0 = Unix.gettimeofday () in
   let done_ops = ref 0 in
   while !done_ops < ops do
@@ -57,12 +118,9 @@ let run ?(hosts = 3) ?(clients = 10) ?(keys = 10_000) ?(payload = 128) ?(ops = 2
         (* Clients guess key-order sharding; wrong guesses exercise
            forwarding. *)
         let guess = min (hosts - 1) (key * hosts / keys) in
-        Network.send net ~dst:guess (Message.to_bytes msg);
-        drain_hosts host_arr net;
-        (* Consume the reply. *)
-        (match Network.recv net ~me:client with
-        | Some _ -> ()
-        | None -> failwith "client got no reply");
+        ignore
+          (request_reply ~retransmit_counter:retransmits net host_arr ~client ~dst:guess
+             ~seq:seqs.(c) msg);
         incr done_ops
       end
     done
@@ -73,11 +131,19 @@ let run ?(hosts = 3) ?(clients = 10) ?(keys = 10_000) ?(payload = 128) ?(ops = 2
     elapsed_s = elapsed;
     kops_per_s = float_of_int !done_ops /. elapsed /. 1000.0;
     net_bytes = Network.bytes_sent net;
+    retransmissions = !retransmits;
+    net_stats = Network.stats net;
   }
 
-let crosscheck ?(ops = 2000) ?(seed = 7) ?(dup_pct = 0) () =
+let crosscheck ?(ops = 2000) ?(seed = 7) ?(dup_pct = 0) ?(drop_pct = 0) ?(net_dup_pct = 0)
+    ?(reorder_pct = 0) ?(delay_pct = 0) ?(redelegate = true) ?(fault_seed = 1) ?faults () =
   let hosts = 3 and clients = 2 and keys = 500 in
-  let net, host_arr = setup ~style:`Inplace ~hosts ~clients ~keys in
+  let plan =
+    match faults with
+    | Some p -> p
+    | None -> make_plan ~fault_seed ~drop_pct ~net_dup_pct ~reorder_pct ~delay_pct
+  in
+  let net, host_arr = setup ~style:`Inplace ~hosts ~clients ~keys ~faults:plan in
   let reference : (int, string) Hashtbl.t = Hashtbl.create 256 in
   let rng = Vbase.Rng.create ~seed in
   let seqs = Array.make clients 0 in
@@ -98,40 +164,45 @@ let crosscheck ?(ops = 2000) ?(seed = 7) ?(dup_pct = 0) () =
              Message.Set { client; seq = seqs.(c); key; value }
            end
          in
-         Network.send net ~dst:(Vbase.Rng.int rng hosts) (Message.to_bytes msg);
-         (* A flaky client channel: resend the same request (same seq).
-            The at-most-once table must absorb it — no re-execution, no
-            extra reply. *)
+         (* A flaky client channel: resend the same request (same seq) to
+            a possibly different host.  The at-most-once reply cache must
+            absorb it — no re-execution; at most a duplicate reply, which
+            the client-side filter discards. *)
          if dup_pct > 0 && Vbase.Rng.int rng 100 < dup_pct then
-           Network.send net ~dst:(Vbase.Rng.int rng hosts) (Message.to_bytes msg);
-         (* Occasionally re-delegate a range from its current owner.
-            Disabled while duplicating: the at-most-once table is per-host
-            and does not migrate with a shard (IronFleet gets this from
-            sequenced inter-host channels), so a duplicate crossing a
-            re-delegation could legitimately re-execute. *)
-         if dup_pct = 0 && Vbase.Rng.int rng 100 = 0 then begin
-           let lo = Vbase.Rng.int rng keys in
-           let hi = lo + 1 + Vbase.Rng.int rng 50 in
-           let rec find i = if Host.owns host_arr.(i) lo then i else find (i + 1) in
-           Host.delegate host_arr.(find 0) net ~lo ~hi ~dest:(Vbase.Rng.int rng hosts)
+           Network.send net ~src:client ~dst:(Vbase.Rng.int rng hosts)
+             (Message.to_bytes msg);
+         (* Occasionally re-delegate a range away from its current owner —
+            concurrently with the in-flight (possibly duplicated) request.
+            The migrating reply cache plus sequenced inter-host channels
+            keep execution exactly-once across the move; if no host
+            currently claims the range start (its grant is still in
+            flight), skip this round. *)
+         let redelegate_roll = Vbase.Rng.int rng 100 in
+         let lo = Vbase.Rng.int rng keys in
+         let span = 1 + Vbase.Rng.int rng 50 in
+         let dest = Vbase.Rng.int rng hosts in
+         if redelegate && redelegate_roll = 0 then begin
+           let owner = ref None in
+           Array.iteri
+             (fun i h -> if !owner = None && Host.owns h lo then owner := Some i)
+             host_arr;
+           match !owner with
+           | Some i -> Host.delegate host_arr.(i) net ~lo ~hi:(lo + span) ~dest
+           | None -> ()
          end;
-         drain_hosts host_arr net;
-         match Network.recv net ~me:client with
-         | Some raw -> (
-           match Message.of_bytes raw with
-           | Some (Message.Reply { key = rk; value; _ }) ->
-             if is_get then begin
-               let expected = Hashtbl.find_opt reference key in
-               if rk <> key then error := Some "reply for wrong key"
-               else if value <> expected then
-                 error :=
-                   Some
-                     (Printf.sprintf "get %d: got %s, expected %s" key
-                        (Option.value ~default:"<none>" value)
-                        (Option.value ~default:"<none>" expected))
-             end
-           | _ -> error := Some "unexpected reply message")
-         | None -> error := Some "no reply"
+         let rk, value =
+           request_reply net host_arr ~client ~dst:(Vbase.Rng.int rng hosts) ~seq:seqs.(c) msg
+         in
+         if is_get then begin
+           let expected = Hashtbl.find_opt reference key in
+           if rk <> key then error := Some "reply for wrong key"
+           else if value <> expected then
+             error :=
+               Some
+                 (Printf.sprintf "get %d: got %s, expected %s" key
+                    (Option.value ~default:"<none>" value)
+                    (Option.value ~default:"<none>" expected))
+         end
        end
      done
    with e -> error := Some (Printexc.to_string e));

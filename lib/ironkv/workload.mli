@@ -1,14 +1,29 @@
 (** Cluster driver and client workload generator for the Figure 10
     benchmark: N hosts sharding the keyspace, closed-loop clients issuing
-    Get/Set with configurable payload size, all messages marshalled through
-    the in-memory network. *)
+    Get/Set with configurable payload size, all messages marshalled
+    through the in-memory network.
+
+    Clients are hardened against an adversarial network: every request is
+    retransmitted (same sequence number) on a timeout measured in drain
+    rounds — the simulator's clock — with exponential backoff, and stale
+    duplicate replies are filtered by sequence number.  Paired with the
+    hosts' at-most-once reply cache this yields exactly-once execution
+    under message loss, duplication, reordering, delay {e and} concurrent
+    re-delegation (the [fig10-faults] bench section and the fault-mix
+    tests exercise every combination). *)
 
 type result = {
   ops_done : int;
   elapsed_s : float;
   kops_per_s : float;
   net_bytes : int;
+  retransmissions : int;  (** client-side retries (0 on a clean network) *)
+  net_stats : (string * int) list;  (** {!Network.stats} counters *)
 }
+
+exception Client_timeout of string
+(** Raised when a request stays unanswered through every retransmission
+    (the backoff schedule gives up after ~14 attempts). *)
 
 val run :
   ?hosts:int ->
@@ -18,21 +33,49 @@ val run :
   ?ops:int ->
   ?get_ratio:float ->
   ?seed:int ->
+  ?drop_pct:int ->
+  ?net_dup_pct:int ->
+  ?reorder_pct:int ->
+  ?delay_pct:int ->
+  ?fault_seed:int ->
   style:Host.style ->
   unit ->
   result
 (** Defaults: 3 hosts, 10 clients, 10_000 keys, 128-byte payloads, 20_000
-    operations, 50% gets.  The keyspace is pre-sharded evenly across hosts
-    by delegation. *)
+    operations, 50% gets, no faults.  The keyspace is pre-sharded evenly
+    across hosts by delegation.  The [*_pct] knobs arm the corresponding
+    network fault sites on a fresh fault plan seeded with [fault_seed]
+    (see {!Network}); [drop_pct] etc. make the clients retransmit, which
+    shows up in [retransmissions] and throughput. *)
 
 val crosscheck :
-  ?ops:int -> ?seed:int -> ?dup_pct:int -> unit -> (unit, string) Stdlib.result
+  ?ops:int ->
+  ?seed:int ->
+  ?dup_pct:int ->
+  ?drop_pct:int ->
+  ?net_dup_pct:int ->
+  ?reorder_pct:int ->
+  ?delay_pct:int ->
+  ?redelegate:bool ->
+  ?fault_seed:int ->
+  ?faults:Vbase.Faultplan.t ->
+  unit ->
+  (unit, string) Stdlib.result
 (** Differential test: runs the same randomized workload against the
     cluster and against a flat reference map; [Error] describes the first
     divergence.  Exercises forwarding, delegation and at-most-once
-    delivery.  [dup_pct] resends that percentage of client requests with
-    an unchanged sequence number (a flaky client channel); the at-most-once
-    table must absorb every duplicate — no re-execution, no extra reply.
-    Duplication disables the concurrent re-delegation (the per-host reply
-    cache does not migrate with a shard; IronFleet relies on sequenced
-    inter-host channels for that case). *)
+    delivery under the armed fault mix:
+
+    - [dup_pct] resends that percentage of client requests (unchanged
+      sequence number — a flaky client channel);
+    - [drop_pct]/[net_dup_pct]/[reorder_pct]/[delay_pct] arm the network
+      fault sites (["net.drop"], ["net.dup"], ...) on a plan seeded with
+      [fault_seed] — or pass an externally configured plan via [faults]
+      (e.g. to inspect its {!Vbase.Faultplan.trace} afterwards);
+    - [redelegate] (default on) re-delegates a random range from its
+      current owner on ~1% of operations, {e concurrently} with in-flight
+      and duplicated requests: the migrating reply cache plus sequenced
+      inter-host channels must keep execution exactly once.
+
+    The whole run is deterministic: same [seed]/[fault_seed] ⇒ same
+    messages, same injected faults, same verdict. *)

@@ -7,15 +7,20 @@ type t = {
       (* fault injection: when [Some n], only the next [n] flushes persist;
          later ones are silently dropped (the power cut the next crash()
          then simulates happened before their fence) *)
+  faults : Vbase.Faultplan.t option;
+      (* plan-driven fault site "pmem.torn": when it fires on a flush, only
+         a prefix of the range persists (a torn / partial-line write) and
+         power fails — every later flush is dropped until crash() *)
 }
 
-let create ~size =
+let create ?faults ~size () =
   {
     persistent = Bytes.make size '\000';
     volatile = Bytes.make size '\000';
     flushes = 0;
     bytes_written = 0;
     flush_budget = None;
+    faults;
   }
 
 let size t = Bytes.length t.persistent
@@ -33,13 +38,33 @@ let read t ~addr ~len =
   check t addr len;
   Bytes.sub_string t.volatile addr len
 
+let torn_fires t =
+  match t.faults with
+  | None -> false
+  | Some plan -> Vbase.Faultplan.fires plan "pmem.torn"
+
 let flush t ~addr ~len =
   check t addr len;
   (match t.flush_budget with
   | Some 0 -> () (* power already failed: the fence never lands *)
   | budget ->
-    (match budget with Some n -> t.flush_budget <- Some (n - 1) | None -> ());
-    Bytes.blit t.volatile addr t.persistent addr len);
+    if torn_fires t then begin
+      (* Torn write: power fails mid-flush.  Only a strict prefix of the
+         range reaches media (cache lines retire in address order here;
+         the prefix length is drawn from the plan so replays tear at the
+         same byte), and no later flush can land either. *)
+      let keep =
+        match t.faults with
+        | Some plan -> Vbase.Faultplan.draw plan "pmem.torn" (max 1 len)
+        | None -> 0
+      in
+      Bytes.blit t.volatile addr t.persistent addr keep;
+      t.flush_budget <- Some 0
+    end
+    else begin
+      (match budget with Some n -> t.flush_budget <- Some (n - 1) | None -> ());
+      Bytes.blit t.volatile addr t.persistent addr len
+    end);
   t.flushes <- t.flushes + 1
 
 let set_flush_budget t n =

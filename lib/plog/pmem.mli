@@ -8,7 +8,13 @@
 
 type t
 
-val create : size:int -> t
+val create : ?faults:Vbase.Faultplan.t -> size:int -> unit -> t
+(** [faults] arms the ["pmem.torn"] fault site: when it fires on a
+    {!flush}, only a plan-drawn prefix of the flushed range reaches media
+    (a torn / partial-line write) and power fails — every later flush is
+    dropped until {!crash}.  Deterministic: the same plan seed tears the
+    same flush at the same byte. *)
+
 val size : t -> int
 
 val write : t -> addr:int -> string -> unit

@@ -76,6 +76,8 @@ let bit_set b i v =
 
 (* --- page management -------------------------------------------------- *)
 
+(* [None] when the OS refuses the backing mapping (exhaustion or an
+   injected transient OOM) — the allocator degrades instead of crashing. *)
 let carve_page t ~owner ~cls =
   Mutex.lock t.global_lock;
   Fun.protect
@@ -86,31 +88,36 @@ let carve_page t ~owner ~cls =
         match t.cursor with
         | Some (seg, off) when off + bytes <= Os_mem.segment_size ->
           t.cursor <- Some (seg, off + bytes);
-          seg + off
-        | _ ->
-          let seg = Os_mem.mmap t.os in
-          t.cursor <- Some (seg, bytes);
-          seg
+          Some (seg + off)
+        | _ -> (
+          match Os_mem.mmap_opt t.os with
+          | None -> None
+          | Some seg ->
+            t.cursor <- Some (seg, bytes);
+            Some seg)
       in
-      let capacity = bytes / class_bytes cls in
-      let p =
-        {
-          p_base = base;
-          p_bytes = bytes;
-          p_class = cls;
-          p_capacity = capacity;
-          p_owner = owner;
-          p_free = List.init capacity (fun i -> base + (i * class_bytes cls));
-          p_delayed = Atomic.make [];
-          p_used = 0;
-          p_allocated = Bytes.make ((capacity + 7) / 8) '\000';
-        }
-      in
-      for i = 0 to (bytes / page_size) - 1 do
-        Hashtbl.replace t.page_of ((base / page_size) + i) p
-      done;
-      t.pages_live <- t.pages_live + 1;
-      p)
+      match base with
+      | None -> None
+      | Some base ->
+        let capacity = bytes / class_bytes cls in
+        let p =
+          {
+            p_base = base;
+            p_bytes = bytes;
+            p_class = cls;
+            p_capacity = capacity;
+            p_owner = owner;
+            p_free = List.init capacity (fun i -> base + (i * class_bytes cls));
+            p_delayed = Atomic.make [];
+            p_used = 0;
+            p_allocated = Bytes.make ((capacity + 7) / 8) '\000';
+          }
+        in
+        for i = 0 to (bytes / page_size) - 1 do
+          Hashtbl.replace t.page_of ((base / page_size) + i) p
+        done;
+        t.pages_live <- t.pages_live + 1;
+        Some p)
 
 let page_of_addr t addr =
   match Hashtbl.find_opt t.page_of (addr / page_size) with
@@ -133,7 +140,7 @@ let collect_delayed t p =
         p.p_used <- p.p_used - 1)
       blocks
 
-let malloc t ~heap size =
+let malloc_opt t ~heap size =
   let cls = class_of_size size in
   let h = t.heaps.(heap) in
   Mutex.lock h.h_lock;
@@ -148,23 +155,39 @@ let malloc t ~heap size =
       in
       let p =
         match find_page !(h.h_pages.(cls)) with
-        | Some p -> p
-        | None ->
-          let p = carve_page t ~owner:heap ~cls in
-          h.h_pages.(cls) := p :: !(h.h_pages.(cls));
-          p
+        | Some p -> Some p
+        | None -> (
+          match carve_page t ~owner:heap ~cls with
+          | Some p ->
+            h.h_pages.(cls) := p :: !(h.h_pages.(cls));
+            Some p
+          | None ->
+            (* The OS refused the mapping (transient OOM).  Degrade
+               gracefully: harvest every page's delayed-free stack — a
+               cross-thread free may have returned a block since the scan
+               above — and only then report failure to the caller. *)
+            List.iter (fun p -> collect_delayed t p) !(h.h_pages.(cls));
+            find_page !(h.h_pages.(cls)))
       in
-      match p.p_free with
-      | [] -> assert false
-      | addr :: rest ->
-        p.p_free <- rest;
-        p.p_used <- p.p_used + 1;
-        if t.checked then begin
-          let i = block_index p addr in
-          if bit_get p.p_allocated i then raise (Heap_corruption "allocating a live block");
-          bit_set p.p_allocated i true
-        end;
-        addr)
+      match p with
+      | None -> None
+      | Some p -> (
+        match p.p_free with
+        | [] -> assert false
+        | addr :: rest ->
+          p.p_free <- rest;
+          p.p_used <- p.p_used + 1;
+          if t.checked then begin
+            let i = block_index p addr in
+            if bit_get p.p_allocated i then raise (Heap_corruption "allocating a live block");
+            bit_set p.p_allocated i true
+          end;
+          Some addr))
+
+let malloc t ~heap size =
+  match malloc_opt t ~heap size with
+  | Some addr -> addr
+  | None -> failwith "Alloc: out of memory"
 
 let free t ~heap addr =
   let p = page_of_addr t addr in

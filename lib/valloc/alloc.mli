@@ -23,7 +23,16 @@ val max_alloc : int
 val malloc : t -> heap:int -> int -> int
 (** [malloc t ~heap size] returns the block address.  The block is
     exclusively owned until freed (the non-aliasing property the test
-    suite checks). *)
+    suite checks).  Raises [Failure] when the OS refuses backing memory
+    and no freed block can be reclaimed — use {!malloc_opt} to handle
+    that case without an exception. *)
+
+val malloc_opt : t -> heap:int -> int -> int option
+(** As {!malloc}, but degrades gracefully under memory pressure: on a
+    refused mapping (e.g. the ["mmap.oom"] fault site of {!Os_mem}) it
+    first harvests every delayed-free stack in the size class, and
+    returns [None] only if no block can be produced at all.  A later call
+    may succeed — transient OOM does not poison the allocator. *)
 
 val free : t -> heap:int -> int -> unit
 (** May be called from a different heap than the allocating one

@@ -5,21 +5,50 @@ type t = {
   mutable next : int;
   max_segments : int;
   lock : Mutex.t;
+  faults : Vbase.Faultplan.t option;
+      (* fault site "mmap.oom": transient allocation failures — the mmap
+         syscall returning MAP_FAILED under memory pressure.  The mapping
+         is simply refused; a later call may succeed. *)
+  mutable oom_failures : int;
 }
 
-let create ?(max_segments = 256) () =
-  { segments = Hashtbl.create 16; next = 1; max_segments; lock = Mutex.create () }
+let create ?faults ?(max_segments = 256) () =
+  {
+    segments = Hashtbl.create 16;
+    next = 1;
+    max_segments;
+    lock = Mutex.create ();
+    faults;
+    oom_failures = 0;
+  }
 
-let mmap t =
+let mmap_opt t =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
-      if Hashtbl.length t.segments >= t.max_segments then failwith "Os_mem: address space exhausted";
-      let idx = t.next in
-      t.next <- idx + 1;
-      Hashtbl.replace t.segments idx (Bytes.make segment_size '\000');
-      idx * segment_size)
+      let transient_oom =
+        match t.faults with
+        | Some plan -> Vbase.Faultplan.fires plan "mmap.oom"
+        | None -> false
+      in
+      if transient_oom || Hashtbl.length t.segments >= t.max_segments then begin
+        if transient_oom then t.oom_failures <- t.oom_failures + 1;
+        None
+      end
+      else begin
+        let idx = t.next in
+        t.next <- idx + 1;
+        Hashtbl.replace t.segments idx (Bytes.make segment_size '\000');
+        Some (idx * segment_size)
+      end)
+
+let mmap t =
+  match mmap_opt t with
+  | Some addr -> addr
+  | None -> failwith "Os_mem: address space exhausted"
+
+let oom_failures t = t.oom_failures
 
 let munmap t addr =
   Mutex.lock t.lock;

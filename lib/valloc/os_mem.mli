@@ -11,10 +11,22 @@ val segment_size : int
 
 type t
 
-val create : ?max_segments:int -> unit -> t
+val create : ?faults:Vbase.Faultplan.t -> ?max_segments:int -> unit -> t
+(** [faults] arms the ["mmap.oom"] fault site: when it fires, the next
+    {!mmap_opt} returns [None] ({!mmap} raises) — a transient allocation
+    failure under memory pressure.  The mapping is refused, not consumed:
+    a later call may succeed. *)
 
 val mmap : t -> int
-(** Returns the base address of a fresh zeroed segment. *)
+(** Returns the base address of a fresh zeroed segment.  Raises [Failure]
+    on exhaustion or injected OOM — callers that can degrade gracefully
+    should use {!mmap_opt}. *)
+
+val mmap_opt : t -> int option
+(** As {!mmap}, but [None] on exhaustion or injected transient OOM. *)
+
+val oom_failures : t -> int
+(** How many mappings the ["mmap.oom"] fault site has refused. *)
 
 val munmap : t -> int -> unit
 (** Base address must come from [mmap]; raises on double-unmap. *)

@@ -1,0 +1,91 @@
+(* Deterministic fault schedules: one independent splitmix64 stream per
+   fault site, derived from (plan seed, site name).  The per-site stream
+   means a site's schedule is a pure function of its own consult count,
+   so adding instrumentation at one site never shifts the faults injected
+   at another — the property the replay tests pin. *)
+
+type site_state = {
+  rng : Rng.t;
+  mutable s_pct : int;
+  mutable s_steps : int; (* consults so far *)
+  mutable s_fired : int;
+  mutable s_explicit : int list; (* pending explicit steps, sorted *)
+}
+
+type t = {
+  t_seed : int;
+  sites : (string, site_state) Hashtbl.t;
+  mutable t_trace : (string * int) list; (* reversed *)
+}
+
+let create ?(seed = 1) () = { t_seed = seed; sites = Hashtbl.create 8; t_trace = [] }
+let seed t = t.t_seed
+
+(* A small string hash (FNV-1a, 64-bit, truncated) keeps site streams
+   independent without depending on [Hashtbl.hash] stability. *)
+let site_hash name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    name;
+  Int64.to_int (Int64.shift_right_logical !h 1)
+
+let site t name =
+  match Hashtbl.find_opt t.sites name with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        rng = Rng.create ~seed:(t.t_seed lxor site_hash name);
+        s_pct = 0;
+        s_steps = 0;
+        s_fired = 0;
+        s_explicit = [];
+      }
+    in
+    Hashtbl.replace t.sites name s;
+    s
+
+let set_prob t name ~pct =
+  if pct < 0 || pct > 100 then invalid_arg "Faultplan.set_prob: pct outside [0, 100]";
+  (site t name).s_pct <- pct
+
+let prob t name = match Hashtbl.find_opt t.sites name with Some s -> s.s_pct | None -> 0
+
+let fire_at t name steps =
+  if List.exists (fun n -> n < 1) steps then invalid_arg "Faultplan.fire_at: steps are 1-based";
+  let s = site t name in
+  s.s_explicit <- List.sort_uniq compare (steps @ s.s_explicit)
+
+let fires t name =
+  let s = site t name in
+  s.s_steps <- s.s_steps + 1;
+  (* Always draw exactly once per consult so the stream position is a
+     function of the consult count alone: re-arming a site with a
+     different probability replays the same underlying draws. *)
+  let roll = Rng.int s.rng 100 in
+  let explicit =
+    match s.s_explicit with
+    | n :: rest when n = s.s_steps ->
+      s.s_explicit <- rest;
+      true
+    | _ -> false
+  in
+  let fired = explicit || roll < s.s_pct in
+  if fired then begin
+    s.s_fired <- s.s_fired + 1;
+    t.t_trace <- (name, s.s_steps) :: t.t_trace
+  end;
+  fired
+
+(* Parameter draws use a separate derived stream ("site#draw") so they
+   never shift the site's firing schedule. *)
+let draw t name bound = Rng.int (site t (name ^ "#draw")).rng bound
+let step t name = match Hashtbl.find_opt t.sites name with Some s -> s.s_steps | None -> 0
+let fired t name = match Hashtbl.find_opt t.sites name with Some s -> s.s_fired | None -> 0
+let trace t = List.rev t.t_trace
+
+let trace_to_string t =
+  String.concat "" (List.map (fun (s, n) -> Printf.sprintf "%s@%d\n" s n) (trace t))

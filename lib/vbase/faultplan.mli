@@ -1,0 +1,63 @@
+(** Seeded, deterministic fault-injection schedules.
+
+    A fault plan is a replayable oracle shared by the simulated
+    environments (the IronKV network, the PMEM device, the allocator's
+    simulated mmap).  Each fault {e site} is a string key ("net.drop",
+    "pmem.torn", "mmap.oom", ...) owning an independent deterministic
+    random stream derived from the plan seed and the site name, so a
+    site's schedule depends only on its own consult count — never on how
+    other sites interleave.  Two plans built from the same seed and
+    configuration therefore fire at exactly the same steps: replaying a
+    run replays its faults ({!trace} is byte-identical).
+
+    Two scheduling modes compose per site:
+    - probabilistic: {!set_prob} arms the site with a firing percentage,
+      drawn per consult from the site's stream;
+    - explicit: {!fire_at} forces specific consult steps to fire
+      ("fire at step N" plans), independent of probability.
+
+    A site that was never armed never fires, and consults of unarmed
+    sites still advance the per-site step counter, so arming a site does
+    not perturb the schedules of the others. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** A fresh plan.  Same [seed] (default 1) ⇒ same schedule. *)
+
+val seed : t -> int
+
+val set_prob : t -> string -> pct:int -> unit
+(** Arm [site] to fire with probability [pct]% per consult
+    ([0 <= pct <= 100]). *)
+
+val prob : t -> string -> int
+(** Currently armed percentage for [site] (0 when unarmed). *)
+
+val fire_at : t -> string -> int list -> unit
+(** Arm [site] to fire at the given consult steps (1-based); adds to any
+    previously registered steps and composes with {!set_prob}. *)
+
+val fires : t -> string -> bool
+(** Consult [site]: advance its step counter and report whether the
+    fault fires at this step.  Deterministic given the plan seed, the
+    site's configuration and its consult count. *)
+
+val draw : t -> string -> int -> int
+(** [draw t site bound] draws a uniform value in [0, bound) for fault
+    {e parameters} (delay lengths, torn-write cut points).  Uses a
+    derived per-site stream, so drawing never shifts the site's firing
+    schedule or step counter. *)
+
+val step : t -> string -> int
+(** Number of times [site] has been consulted so far. *)
+
+val fired : t -> string -> int
+(** Number of consults of [site] that fired. *)
+
+val trace : t -> (string * int) list
+(** Every fired fault as [(site, step)], in firing order — the replay
+    record: equal seeds and consult sequences yield equal traces. *)
+
+val trace_to_string : t -> string
+(** The trace rendered one ["site@step"] per line (byte-comparable). *)

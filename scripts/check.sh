@@ -1,22 +1,27 @@
 #!/bin/sh
-# Repo health check: build everything, run the full test battery, then run
-# the Vlint static analyses over every bundled program in strict mode
-# (Error or Warn findings fail).  This is the tree-must-stay-green gate:
+# Repo health check: build everything, run the full test battery, run the
+# Vlint static analyses over every bundled program in strict mode (Error
+# or Warn findings fail), then the fault-injection smoke check (IronKV
+# crosscheck at 5% drop+dup, one torn-write log recovery).  This is the
+# tree-must-stay-green gate:
 #
 #   scripts/check.sh
 #
-# Exit code 0 means all three stages passed.
+# Exit code 0 means all four stages passed.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/3 build =="
+echo "== 1/4 build =="
 dune build @all
 
-echo "== 2/3 tests =="
+echo "== 2/4 tests =="
 dune runtest
 
-echo "== 3/3 lint (strict) =="
+echo "== 3/4 lint (strict) =="
 dune build @lint
+
+echo "== 4/4 fault smoke =="
+dune build @faults
 
 echo "== all checks passed =="

@@ -35,7 +35,15 @@ let prop_marshal_roundtrip =
           Set { client; seq; key; value };
           Reply { client; seq; key; value = Some value };
           Reply { client; seq; key; value = None };
-          Delegate { lo = key; hi = key + 10; dest = client mod 7; kvs = [ (key, value); (key + 1, "") ] };
+          Delegate
+            {
+              lo = key;
+              hi = key + 10;
+              dest = client mod 7;
+              epoch = seq;
+              kvs = [ (key, value); (key + 1, "") ];
+              cache = [ (client, (seq, key, Some value)); (client + 1, (seq, key, None)) ];
+            };
         ]
       in
       List.for_all (fun m -> of_bytes (to_bytes m) = Some m) msgs)
@@ -127,7 +135,9 @@ let test_cluster_duplicates () =
 
 let test_at_most_once () =
   (* Duplicate Set must not execute twice: after a Set with seq s, a second
-     Set with the same seq but different value is suppressed. *)
+     Set with the same seq but different value is suppressed — the host
+     re-sends the cached reply (so a retransmitting client terminates)
+     without re-executing. *)
   let net = Ironkv.Network.create ~endpoints:2 () in
   let h = Ironkv.Host.create ~style:`Inplace ~id:0 ~hosts:1 in
   let client = 1 in
@@ -135,9 +145,137 @@ let test_at_most_once () =
   send (Ironkv.Message.Set { client; seq = 1; key = 5; value = "first" });
   (match Ironkv.Network.recv net ~me:client with Some _ -> () | None -> Alcotest.fail "no reply");
   send (Ironkv.Message.Set { client; seq = 1; key = 5; value = "dup" });
-  (* Duplicate: no second reply, value unchanged. *)
-  Alcotest.(check bool) "no dup reply" true (Ironkv.Network.recv net ~me:client = None);
-  Alcotest.(check (list (pair int string))) "value" [ (5, "first") ] (Ironkv.Host.dump h)
+  (* Duplicate of the latest request: the *cached* reply is re-sent (value
+     "first", not "dup") and the store is untouched. *)
+  (match Ironkv.Network.recv net ~me:client with
+  | None -> Alcotest.fail "expected cached reply retransmission"
+  | Some raw -> (
+    match Ironkv.Message.of_bytes raw with
+    | Some (Ironkv.Message.Reply { seq; key; value; _ }) ->
+      Alcotest.(check int) "dup reply seq" 1 seq;
+      Alcotest.(check int) "dup reply key" 5 key;
+      Alcotest.(check (option string)) "dup reply value" (Some "first") value
+    | _ -> Alcotest.fail "unexpected message"));
+  Alcotest.(check bool) "only one cached reply" true (Ironkv.Network.recv net ~me:client = None);
+  Alcotest.(check (list (pair int string))) "value" [ (5, "first") ] (Ironkv.Host.dump h);
+  (* An *older* duplicate (seq below the cached high-water mark) is dropped
+     outright: the client has already moved on. *)
+  send (Ironkv.Message.Set { client; seq = 2; key = 6; value = "second" });
+  (match Ironkv.Network.recv net ~me:client with Some _ -> () | None -> Alcotest.fail "no reply 2");
+  send (Ironkv.Message.Set { client; seq = 1; key = 5; value = "stale" });
+  Alcotest.(check bool) "stale dup dropped" true (Ironkv.Network.recv net ~me:client = None)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: adversarial network + determinism                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_crosscheck_fault_mix () =
+  (* Every fault class armed at once: message drop, network duplication,
+     reordering, delay, a flaky client channel resending requests, and
+     concurrent re-delegation.  Exactly-once execution must survive the
+     combination. *)
+  List.iter
+    (fun (seed, fault_seed) ->
+      match
+        Ironkv.Workload.crosscheck ~ops:400 ~seed ~dup_pct:20 ~drop_pct:10 ~net_dup_pct:10
+          ~reorder_pct:15 ~delay_pct:10 ~redelegate:true ~fault_seed ()
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "mix seed %d/%d: %s" seed fault_seed e))
+    [ (31, 1); (32, 2); (33, 3); (34, 4) ]
+
+let test_crosscheck_single_faults () =
+  (* Each fault class alone, at a nastier rate than in the mix. *)
+  List.iter
+    (fun (label, drop, ndup, reorder, delay) ->
+      match
+        Ironkv.Workload.crosscheck ~ops:400 ~seed:44 ~drop_pct:drop ~net_dup_pct:ndup
+          ~reorder_pct:reorder ~delay_pct:delay ~fault_seed:9 ()
+      with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" label e))
+    [
+      ("drop 25%", 25, 0, 0, 0);
+      ("dup 25%", 0, 25, 0, 0);
+      ("reorder 40%", 0, 0, 40, 0);
+      ("delay 25%", 0, 0, 0, 25);
+    ]
+
+let test_fault_replay_deterministic () =
+  (* Same workload seed + same plan seed ⇒ the same faults fire at the
+     same steps: the plan traces are byte-identical. *)
+  let trace () =
+    let plan = Vbase.Faultplan.create ~seed:123 () in
+    Vbase.Faultplan.set_prob plan "net.drop" ~pct:8;
+    Vbase.Faultplan.set_prob plan "net.dup" ~pct:8;
+    Vbase.Faultplan.set_prob plan "net.reorder" ~pct:8;
+    Vbase.Faultplan.set_prob plan "net.delay" ~pct:8;
+    (match Ironkv.Workload.crosscheck ~ops:300 ~seed:55 ~faults:plan () with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e);
+    Vbase.Faultplan.trace_to_string plan
+  in
+  let t1 = trace () and t2 = trace () in
+  Alcotest.(check bool) "faults actually fired" true (String.length t1 > 0);
+  Alcotest.(check string) "replay trace is byte-identical" t1 t2
+
+let test_sequenced_channel () =
+  let plan = Vbase.Faultplan.create ~seed:2 () in
+  (* Force the first three sends to be duplicated and the second to be
+     reordered: the sequenced layer must mask both. *)
+  Vbase.Faultplan.fire_at plan "net.dup" [ 1; 2; 3 ];
+  Vbase.Faultplan.fire_at plan "net.reorder" [ 2 ];
+  let net = Ironkv.Network.create ~endpoints:2 ~faults:plan ~sequenced:true () in
+  List.iter
+    (fun s -> Ironkv.Network.send_seq net ~src:0 ~dst:1 (Bytes.of_string s))
+    [ "a"; "b"; "c" ];
+  let rec drain acc =
+    match Ironkv.Network.recv net ~me:1 with
+    | Some b -> drain (Bytes.to_string b :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check (list string)) "in order, exactly once" [ "a"; "b"; "c" ] (drain []);
+  let suppressed =
+    match List.assoc_opt "dedup_suppressed" (Ironkv.Network.stats net) with
+    | Some n -> n
+    | None -> 0
+  in
+  Alcotest.(check bool) "duplicates were suppressed" true (suppressed >= 3)
+
+let test_sequenced_never_dropped () =
+  let plan = Vbase.Faultplan.create ~seed:4 () in
+  Vbase.Faultplan.set_prob plan "net.drop" ~pct:100;
+  let net = Ironkv.Network.create ~endpoints:2 ~faults:plan ~sequenced:true () in
+  (* Raw sends all die; sequenced sends are exempt (retransmitting
+     transport). *)
+  Ironkv.Network.send net ~src:0 ~dst:1 (Bytes.of_string "raw");
+  Alcotest.(check bool) "raw dropped" true (Ironkv.Network.recv net ~me:1 = None);
+  Ironkv.Network.send_seq net ~src:0 ~dst:1 (Bytes.of_string "seq");
+  Alcotest.(check (option string)) "sequenced delivered" (Some "seq")
+    (Option.map Bytes.to_string (Ironkv.Network.recv net ~me:1))
+
+let test_partition_park_heal () =
+  let net = Ironkv.Network.create ~endpoints:3 () in
+  Ironkv.Network.set_partition net [ 2 ];
+  Ironkv.Network.send net ~src:0 ~dst:2 (Bytes.of_string "cross");
+  Ironkv.Network.send net ~src:0 ~dst:1 (Bytes.of_string "same-side");
+  Alcotest.(check bool) "cross-cut parked" true (Ironkv.Network.recv net ~me:2 = None);
+  Alcotest.(check (option string)) "same side flows" (Some "same-side")
+    (Option.map Bytes.to_string (Ironkv.Network.recv net ~me:1));
+  Ironkv.Network.heal_partition net;
+  Alcotest.(check (option string)) "parked delivered after heal" (Some "cross")
+    (Option.map Bytes.to_string (Ironkv.Network.recv net ~me:2))
+
+let test_run_with_faults_terminates () =
+  (* The closed-loop benchmark client must terminate (via retransmission)
+     under a lossy network, and report its retries. *)
+  let r =
+    Ironkv.Workload.run ~hosts:3 ~clients:4 ~keys:500 ~payload:32 ~ops:300 ~drop_pct:15
+      ~net_dup_pct:10 ~fault_seed:5 ~style:`Inplace ()
+  in
+  Alcotest.(check int) "all ops completed" 300 r.Ironkv.Workload.ops_done;
+  Alcotest.(check bool) "losses forced retransmissions" true
+    (r.Ironkv.Workload.retransmissions > 0)
 
 (* ------------------------------------------------------------------ *)
 (* EPR proof of the delegation map                                     *)
@@ -181,6 +319,16 @@ let () =
           Alcotest.test_case "crosscheck seeds" `Quick test_cluster_crosscheck_seeds;
           Alcotest.test_case "duplicate absorption" `Quick test_cluster_duplicates;
           Alcotest.test_case "at-most-once" `Quick test_at_most_once;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crosscheck full fault mix" `Quick test_crosscheck_fault_mix;
+          Alcotest.test_case "crosscheck single faults" `Quick test_crosscheck_single_faults;
+          Alcotest.test_case "replay determinism" `Quick test_fault_replay_deterministic;
+          Alcotest.test_case "sequenced channel" `Quick test_sequenced_channel;
+          Alcotest.test_case "sequenced never dropped" `Quick test_sequenced_never_dropped;
+          Alcotest.test_case "partition park/heal" `Quick test_partition_park_heal;
+          Alcotest.test_case "lossy run terminates" `Quick test_run_with_faults_terminates;
         ] );
       ( "epr-proof",
         [

@@ -130,6 +130,34 @@ let test_vsync_runtime_protocol () =
   (* Now the block can be allocated again. *)
   ignore (Verus.Vsync.Runtime.step inst ~transition_name:"malloc" ~params:[ 3 ] ~consume:[])
 
+let test_mmap_oom_degrades () =
+  (* Transient mmap failures: malloc_opt returns None instead of raising,
+     recovers on the next (non-firing) attempt, and reclaims freed blocks
+     rather than demanding fresh segments. *)
+  let plan = Vbase.Faultplan.create ~seed:6 () in
+  (* The first three mappings fail, then the OS recovers. *)
+  Vbase.Faultplan.fire_at plan "mmap.oom" [ 1; 2; 3 ];
+  let os = OS.create ~faults:plan ~max_segments:256 () in
+  let a = A.create ~checked:true ~heaps:1 os in
+  Alcotest.(check (option int)) "first carve refused" None (A.malloc_opt a ~heap:0 64);
+  Alcotest.(check (option int)) "still refused" None (A.malloc_opt a ~heap:0 64);
+  Alcotest.check_raises "raising API raises" (Failure "Alloc: out of memory") (fun () ->
+      ignore (A.malloc a ~heap:0 64));
+  Alcotest.(check int) "three refusals recorded" 3 (OS.oom_failures os);
+  (* Pressure lifted: same allocator object now succeeds. *)
+  (match A.malloc_opt a ~heap:0 64 with
+  | None -> Alcotest.fail "allocation after recovery"
+  | Some b ->
+    A.free a ~heap:0 b;
+    (* With a page carved, renewed OOM pressure is absorbed by the free
+       list: no fresh mapping is needed. *)
+    Vbase.Faultplan.fire_at plan "mmap.oom"
+      (List.init 50 (fun i -> Vbase.Faultplan.step plan "mmap.oom" + i + 1));
+    (match A.malloc_opt a ~heap:0 64 with
+    | Some b' -> Alcotest.(check int) "reused freed block" b b'
+    | None -> Alcotest.fail "free-list reuse must not need mmap"));
+  Alcotest.(check int) "one segment mapped in total" 1 (OS.mapped_segments os)
+
 let test_workloads_smoke () =
   (* Each workload runs to completion quickly at a small scale; timing is
      the bench harness's job. *)
@@ -158,5 +186,6 @@ let () =
           Alcotest.test_case "delayed-free machine" `Slow test_vsync_model;
           Alcotest.test_case "runtime protocol" `Quick test_vsync_runtime_protocol;
         ] );
+      ("faults", [ Alcotest.test_case "mmap OOM degrades" `Quick test_mmap_oom_degrades ]);
       ("workloads", [ Alcotest.test_case "smoke" `Quick test_workloads_smoke ]);
     ]

@@ -228,6 +228,98 @@ let test_vecbuf () =
   Vbase.Vecbuf.clear v;
   Alcotest.(check bool) "clear" true (Vbase.Vecbuf.is_empty v)
 
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Fp = Vbase.Faultplan
+
+let test_faultplan_explicit () =
+  let p = Fp.create ~seed:9 () in
+  Fp.fire_at p "net.drop" [ 2; 5 ];
+  let fired = List.init 6 (fun _ -> Fp.fires p "net.drop") in
+  Alcotest.(check (list bool)) "fires exactly at 2 and 5"
+    [ false; true; false; false; true; false ]
+    fired;
+  Alcotest.(check int) "step" 6 (Fp.step p "net.drop");
+  Alcotest.(check int) "fired" 2 (Fp.fired p "net.drop");
+  Alcotest.(check (list (pair string int))) "trace"
+    [ ("net.drop", 2); ("net.drop", 5) ]
+    (Fp.trace p)
+
+let test_faultplan_unarmed () =
+  let p = Fp.create ~seed:3 () in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "unarmed never fires" false (Fp.fires p "pmem.torn")
+  done;
+  Alcotest.(check int) "step still advances" 50 (Fp.step p "pmem.torn")
+
+let test_faultplan_determinism () =
+  (* Same seed + same per-site consult counts ⇒ identical traces, even
+     when consults of distinct sites interleave differently. *)
+  let consult plan order =
+    List.iter (fun site -> ignore (Fp.fires plan site)) order
+  in
+  let build order =
+    let p = Fp.create ~seed:77 () in
+    Fp.set_prob p "net.drop" ~pct:30;
+    Fp.set_prob p "net.dup" ~pct:30;
+    consult p order;
+    p
+  in
+  let interleaved =
+    List.concat (List.init 100 (fun _ -> [ "net.drop"; "net.dup" ]))
+  in
+  let grouped =
+    List.init 100 (fun _ -> "net.drop") @ List.init 100 (fun _ -> "net.dup")
+  in
+  let p1 = build interleaved and p2 = build interleaved in
+  Alcotest.(check string) "replay is byte-identical" (Fp.trace_to_string p1)
+    (Fp.trace_to_string p2);
+  let p3 = build grouped in
+  (* Per-site streams are independent of cross-site interleaving: the set
+     of firing steps per site is unchanged, only global trace order moves. *)
+  let steps plan site =
+    List.filter_map (fun (s, k) -> if s = site then Some k else None) (Fp.trace plan)
+  in
+  Alcotest.(check (list int)) "drop schedule interleaving-independent"
+    (steps p1 "net.drop") (steps p3 "net.drop");
+  Alcotest.(check (list int)) "dup schedule interleaving-independent"
+    (steps p1 "net.dup") (steps p3 "net.dup");
+  let p4 = Fp.create ~seed:78 () in
+  Fp.set_prob p4 "net.drop" ~pct:30;
+  Fp.set_prob p4 "net.dup" ~pct:30;
+  consult p4 interleaved;
+  Alcotest.(check bool) "different seed differs" true
+    (Fp.trace_to_string p1 <> Fp.trace_to_string p4)
+
+let test_faultplan_draw_isolated () =
+  (* draw must not perturb the firing schedule. *)
+  let build ~with_draws =
+    let p = Fp.create ~seed:5 () in
+    Fp.set_prob p "net.delay" ~pct:40;
+    for _ = 1 to 200 do
+      if Fp.fires p "net.delay" && with_draws then ignore (Fp.draw p "net.delay" 7)
+    done;
+    Fp.trace_to_string p
+  in
+  Alcotest.(check string) "draws do not shift schedule" (build ~with_draws:false)
+    (build ~with_draws:true)
+
+let prop_faultplan_rate =
+  QCheck.Test.make ~name:"probabilistic rate is roughly honoured" ~count:30
+    QCheck.(pair small_int (int_range 5 95))
+    (fun (seed, pct) ->
+      let p = Fp.create ~seed () in
+      Fp.set_prob p "x" ~pct;
+      let n = 2000 in
+      let hits = ref 0 in
+      for _ = 1 to n do
+        if Fp.fires p "x" then incr hits
+      done;
+      let rate = 100 * !hits / n in
+      abs (rate - pct) <= 10)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -257,4 +349,12 @@ let () =
           Alcotest.test_case "vecbuf" `Quick test_vecbuf;
         ] );
       qsuite "misc-props" [ prop_rng_bounds ];
+      ( "faultplan",
+        [
+          Alcotest.test_case "explicit steps" `Quick test_faultplan_explicit;
+          Alcotest.test_case "unarmed" `Quick test_faultplan_unarmed;
+          Alcotest.test_case "determinism" `Quick test_faultplan_determinism;
+          Alcotest.test_case "draw isolation" `Quick test_faultplan_draw_isolated;
+        ] );
+      qsuite "faultplan-props" [ prop_faultplan_rate ];
     ]

@@ -198,6 +198,43 @@ let test_vl010_heap_axioms () =
   check_not "ownership encoding" "VL010"
     (Vlint.check_matching_loops Profiles.verus heap_program)
 
+let test_vl010_degrades_to_unknown () =
+  (* The same liberal heap axiom set Vlint flags as VL010 really is a
+     matching loop — but the solver must degrade gracefully: with a round
+     budget and a deadline configured, the solve returns [Unknown] with a
+     budget reason within the allotted wall-clock instead of hanging.  (A
+     ground alloc fact seeds the loop: each round instantiates the
+     reachability axiom one level deeper.) *)
+  let axioms = Encode.program_axioms liberal_heap_profile heap_program in
+  Alcotest.(check bool) "liberal encoding produced heap axioms" true (axioms <> []);
+  let h0 = T.const (T.Sym.fresh "h0" [] Theories.heap_sort) in
+  let r0 = T.const (T.Sym.fresh "r0" [] Theories.ref_sort) in
+  let seed = T.app Theories.alloc_sym [ h0; r0 ] in
+  let deadline_s = 5.0 in
+  let config =
+    { Smt.Solver.default_config with Smt.Solver.max_rounds = 4; deadline_s }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Smt.Solver.solve ~config (seed :: axioms) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match r.Smt.Solver.answer with
+  | Smt.Solver.Unknown reason ->
+    Alcotest.(check bool)
+      (Printf.sprintf "budget reason (got %S)" reason)
+      true
+      (List.exists
+         (fun frag ->
+           Str.string_match (Str.regexp (".*" ^ Str.quote frag ^ ".*")) reason 0)
+         [ "round"; "timeout"; "budget"; "quantifier" ])
+  | Smt.Solver.Unsat -> Alcotest.fail "matching-loop set cannot be refuted from a ground seed"
+  | Smt.Solver.Sat -> Alcotest.fail "quantified heap axioms cannot be definitively Sat");
+  (* The deadline is honoured (generous slack for a loaded machine). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "returned within deadline (%.2fs)" elapsed)
+    true
+    (elapsed < deadline_s +. 2.0);
+  Alcotest.(check bool) "rounds capped" true (r.Smt.Solver.stats.Smt.Solver.rounds <= 4)
+
 let test_vl011 () =
   (* An axiom quantifying over a variable no candidate pattern covers:
      pure arithmetic body, no uninterpreted application at all.  Trigger
@@ -493,6 +530,8 @@ let () =
           Alcotest.test_case "VL010 recursive definitional axiom" `Quick test_vl010_classic;
           Alcotest.test_case "VL010 liberal heap axioms loop, curated do not" `Quick
             test_vl010_heap_axioms;
+          Alcotest.test_case "VL010 liberal set degrades to Unknown under budget" `Quick
+            test_vl010_degrades_to_unknown;
           Alcotest.test_case "VL011 triggerless axiom" `Quick test_vl011;
         ] );
       ( "modes",
