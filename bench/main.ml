@@ -30,6 +30,74 @@ let verify_time ?(jobs = 1) profile prog =
   let r = Verus.Driver.verify_program ~jobs profile prog in
   (r.Verus.Driver.pr_ok, r.Verus.Driver.pr_time_s, r.Verus.Driver.pr_bytes)
 
+(* ------------------------------------------------------------------ *)
+(* Solver-profile collection                                           *)
+(*                                                                     *)
+(* The timed runs above stay profile-off (the opt-in costs nothing     *)
+(* when off, but the bench numbers should measure exactly what the     *)
+(* figures measured before).  Sections that want instantiation         *)
+(* attribution run [verify_profiled] — a separate profiled pass whose  *)
+(* wall-clock is never reported as a figure number — and every         *)
+(* document collected this way is written to BENCH_profile.json at     *)
+(* exit, in the same verus-profile/1 schema the CLI emits and the CI   *)
+(* smoke validates.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let profile_docs : (string * Vbase.Json.t) list ref = ref []
+
+let verify_profiled ?(jobs = 1) ~section ~prog_name (p : Verus.Profiles.t) prog =
+  let r = Verus.Driver.verify_program ~jobs ~lint:Verus.Driver.Lint_warn ~profile:true p prog in
+  if r.Verus.Driver.pr_prof <> None then
+    profile_docs := (section, Verus.Profile_report.to_json ~prog_name r) :: !profile_docs;
+  r
+
+(* A three-line hot-spot digest: enough to see *which* axiom dominated a
+   row without the full `verus_cli profile` table. *)
+let profile_digest ?(top = 3) (r : Verus.Driver.program_result) =
+  match r.Verus.Driver.pr_prof with
+  | None -> ()
+  | Some pp ->
+    let smt = pp.Verus.Driver.pp_smt in
+    let ph = smt.Smt.Profile.phase in
+    Printf.printf
+      "    %d instantiation(s) over %d round(s); euf %.2fs lia %.2fs ematch %.3fs\n"
+      (Smt.Profile.total_instances smt)
+      smt.Smt.Profile.inst_rounds ph.Smt.Profile.ph_euf ph.Smt.Profile.ph_lia
+      ph.Smt.Profile.ph_ematch;
+    List.iteri
+      (fun i (q : Smt.Profile.quant_profile) ->
+        let label = q.Smt.Profile.q_label in
+        let label =
+          if String.length label > 84 then String.sub label 0 81 ^ "..." else label
+        in
+        Printf.printf "      #%d %6d inst  %s\n" (i + 1) q.Smt.Profile.q_instances label)
+      (Smt.Profile.top top smt);
+    flush stdout
+
+let write_profile_json () =
+  if !profile_docs <> [] then begin
+    let doc =
+      Vbase.Json.Obj
+        [
+          ("schema", Vbase.Json.String "verus-profile-bench/1");
+          ("per_document_schema", Vbase.Json.String Verus.Profile_report.schema_version);
+          ( "documents",
+            Vbase.Json.List
+              (List.rev_map
+                 (fun (section, d) ->
+                   Vbase.Json.Obj
+                     [ ("section", Vbase.Json.String section); ("profile", d) ])
+                 !profile_docs) );
+        ]
+    in
+    let oc = open_out "BENCH_profile.json" in
+    output_string oc (Vbase.Json.to_string ~indent:true doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote %d profile document(s) to BENCH_profile.json\n%!"
+      (List.length !profile_docs)
+  end
+
 (* Verification timings on small programs are noisy (hashtable iteration
    orders steer the search); report the best of three runs, as benchmark
    harnesses for solvers usually do. *)
@@ -89,7 +157,17 @@ let fig7a () =
         else cell Verus.Bench_programs.doubly_linked
       in
       Printf.printf "  %-10s %-14s %-14s\n%!" p.Verus.Profiles.name single double)
-    profiles
+    profiles;
+  (* Where the time goes: a profiled pass (not counted in the numbers
+     above) for the two encodings the paper contrasts most directly. *)
+  Printf.printf "\n  instantiation hot-spots (singly linked; profiled pass, untimed):\n";
+  List.iter
+    (fun (p : Verus.Profiles.t) ->
+      Printf.printf "  %s:\n" p.Verus.Profiles.name;
+      profile_digest
+        (verify_profiled ~section:"fig7a" ~prog_name:"singly_linked" p
+           Verus.Bench_programs.singly_linked))
+    [ Verus.Profiles.verus; Verus.Profiles.dafny ]
 
 (* ------------------------------------------------------------------ *)
 (* fig7b: memory reasoning, time vs pushes                              *)
@@ -486,11 +564,26 @@ let ablation () =
         { base with Verus.Profiles.name = "V-wrap"; wrapper_depth = 2 } );
     ]
   in
-  Printf.printf "  %-26s %10s %14s\n" "variant" "time" "query bytes";
+  Printf.printf "  %-26s %10s %14s %14s\n" "variant" "time" "query bytes" "instances";
   List.iter
     (fun (label, p) ->
-      let ok, t, bytes = verify_time p Verus.Bench_programs.singly_linked in
-      Printf.printf "  %-26s %9.2fs %14d%s\n%!" label t bytes (if ok then "" else "  (FAILED)"))
+      (* One profiled run per variant: the ablation's whole point is to
+         show the instantiation work each disabled mechanism causes, so
+         here the "instances" column is measured on the same run as the
+         time (the counters are always-on matcher fields; the only
+         profiled-run overhead is the final aggregation). *)
+      let r =
+        verify_profiled ~section:"ablation" ~prog_name:"singly_linked" p
+          Verus.Bench_programs.singly_linked
+      in
+      let insts =
+        match r.Verus.Driver.pr_prof with
+        | Some pp -> Smt.Profile.total_instances pp.Verus.Driver.pp_smt
+        | None -> 0
+      in
+      Printf.printf "  %-26s %9.2fs %14d %14d%s\n%!" label r.Verus.Driver.pr_time_s
+        r.Verus.Driver.pr_bytes insts
+        (if r.Verus.Driver.pr_ok then "" else "  (FAILED)"))
     variants
 
 (* ------------------------------------------------------------------ *)
@@ -638,4 +731,5 @@ let () =
       with e ->
         Printf.printf "\n  !! section %s aborted: %s\n%!" name (Printexc.to_string e))
     to_run;
+  write_profile_json ();
   print_endline "\nAll requested sections complete."

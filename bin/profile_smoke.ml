@@ -1,0 +1,49 @@
+(* CI smoke for the profiler's JSON surface.
+
+   Reads a document produced by `verus_cli profile --json` (from the
+   file named on the command line, or stdin when none is given), parses
+   it with Vbase.Json, and runs Profile_report.validate over it: schema
+   version, every required top-level key, the five numeric phase times,
+   and the per-row fields of the quantifier / axiom / function arrays.
+
+   Exit 0 when the document validates, 1 with a diagnostic otherwise.
+   This is the check behind `dune build @profile` and the profile stage
+   of scripts/check.sh — because the emitter and the validator are the
+   same module, the schema the CLI writes and the schema CI accepts
+   cannot drift apart. *)
+
+let read_all ic =
+  let b = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel b ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+let () =
+  let src, text =
+    match Sys.argv with
+    | [| _ |] -> ("<stdin>", read_all stdin)
+    | [| _; path |] ->
+      let ic = open_in_bin path in
+      let text = read_all ic in
+      close_in ic;
+      (path, text)
+    | _ ->
+      prerr_endline "usage: profile_smoke [profile.json]  (reads stdin when no file given)";
+      exit 2
+  in
+  match Vbase.Json.of_string text with
+  | Error e ->
+    Printf.eprintf "profile_smoke: %s: JSON parse error: %s\n" src e;
+    exit 1
+  | Ok j -> (
+    match Verus.Profile_report.validate j with
+    | Error e ->
+      Printf.eprintf "profile_smoke: %s: invalid profile document: %s\n" src e;
+      exit 1
+    | Ok () ->
+      Printf.printf "profile_smoke: %s: ok (schema %s, %d required keys present)\n" src
+        Verus.Profile_report.schema_version
+        (List.length Verus.Profile_report.required_keys))

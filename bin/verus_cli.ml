@@ -1,8 +1,10 @@
 (* Command-line driver with a small subcommand interface:
 
-     verus_cli verify <program> [<profile>] [--fn NAME] [--jobs N] [--lint MODE]
-                      [--deadline SECS] [--max-rounds N]
-     verus_cli lint   [<program>|--all] [<profile>] [--strict]
+     verus_cli verify  <program> [<profile>] [--fn NAME] [--jobs N] [--lint MODE]
+                       [--deadline SECS] [--max-rounds N]
+     verus_cli profile <program> [<profile>] [--json] [--top K] [--liberal]
+                       [--fn NAME] [--jobs N] [--deadline SECS] [--max-rounds N]
+     verus_cli lint    [<program>|--all] [<profile>] [--strict]
      verus_cli list            (also available as --list)
      verus_cli codes           (the VL0xx diagnostic table)
      verus_cli help
@@ -36,9 +38,17 @@ let usage oc =
     \         [--deadline SECS] [--max-rounds N]\n\
     \      verify one bundled program under a profile (default: Verus);\n\
     \      --deadline / --max-rounds override the profile's solver budgets\n\
-    \  lint [<program>|--all] [<profile>] [--strict]\n\
+    \  profile <program> [<profile>] [--json] [--top K] [--liberal] [--fn NAME]\n\
+    \          [--jobs N] [--deadline SECS] [--max-rounds N]\n\
+    \      verify with the solver profiler on and print instantiation /\n\
+    \      phase-time hot-spot tables (--json: versioned machine-readable\n\
+    \      document; --liberal: degrade the profile to Dafny-style broad\n\
+    \      trigger selection first, the configuration behind the VL010\n\
+    \      cross-check)\n\
+    \  lint [<program>|--all] [<profile>] [--strict] [--liberal]\n\
     \      run the Vlint static analyses; exit 1 on Error findings\n\
-    \      (--strict: also fail on Warn findings)\n\
+    \      (--strict: also fail on Warn findings; --liberal: lint the\n\
+    \      broad-trigger degradation of the profile)\n\
     \  list\n\
     \      list bundled programs and profiles\n\
     \  codes\n\
@@ -93,6 +103,58 @@ let cmd_codes () =
     Verus.Vlint.code_table;
   exit 0
 
+(* Per-run solver budget overrides: a tighter (or looser) deadline /
+   instantiation-round cap than the profile bakes in. *)
+let apply_budget_overrides profile deadline max_rounds =
+  match (deadline, max_rounds) with
+  | None, None -> profile
+  | d, r ->
+    let sc = profile.Verus.Profiles.solver_config in
+    {
+      profile with
+      Verus.Profiles.solver_config =
+        {
+          sc with
+          Smt.Solver.deadline_s = Option.value ~default:sc.Smt.Solver.deadline_s d;
+          Smt.Solver.max_rounds = Option.value ~default:sc.Smt.Solver.max_rounds r;
+        };
+    }
+
+(* Restrict verification to one exec/proof function (debugging aid);
+   spec functions stay, the others' axioms may be needed. *)
+let apply_fn_filter prog = function
+  | None -> prog
+  | Some keep ->
+    {
+      prog with
+      Verus.Vir.functions =
+        List.filter
+          (fun (fd : Verus.Vir.fndecl) ->
+            fd.Verus.Vir.fmode = Verus.Vir.Spec || String.equal fd.Verus.Vir.fname keep)
+          prog.Verus.Vir.functions;
+    }
+
+(* A run that failed *only* on Unknown answers (solver deadline /
+   instantiation budget) is a budget exhaustion, not a refutation: exit
+   3 so callers can distinguish "needs a bigger --deadline" from "has a
+   counterexample". *)
+let budget_only (r : Verus.Driver.program_result) =
+  (not r.Verus.Driver.pr_ok)
+  && r.Verus.Driver.pr_front_end_errors = []
+  && r.Verus.Driver.pr_fns <> []
+  && List.for_all
+       (fun (fnr : Verus.Driver.fn_result) ->
+         List.for_all
+           (fun (vr : Verus.Driver.vc_result) ->
+             match vr.Verus.Driver.vcr_answer with
+             | Smt.Solver.Unsat | Smt.Solver.Unknown _ -> true
+             | Smt.Solver.Sat -> false)
+           fnr.Verus.Driver.fnr_vcs)
+       r.Verus.Driver.pr_fns
+
+let result_exit_code r =
+  if r.Verus.Driver.pr_ok then 0 else if budget_only r then 3 else 1
+
 (* --------------------------- verify ------------------------------- *)
 
 let cmd_verify args =
@@ -137,39 +199,8 @@ let cmd_verify args =
   in
   parse args;
   let prog_name = match !prog_name with Some p -> p | None -> "singly_linked" in
-  let profile = find_profile !profile_name in
-  let profile =
-    (* Per-run solver budget overrides: a tighter (or looser) deadline /
-       instantiation-round cap than the profile bakes in. *)
-    match (!deadline, !max_rounds) with
-    | None, None -> profile
-    | d, r ->
-      let sc = profile.Verus.Profiles.solver_config in
-      {
-        profile with
-        Verus.Profiles.solver_config =
-          {
-            sc with
-            Smt.Solver.deadline_s = Option.value ~default:sc.Smt.Solver.deadline_s d;
-            Smt.Solver.max_rounds = Option.value ~default:sc.Smt.Solver.max_rounds r;
-          };
-      }
-  in
-  let prog = find_program prog_name in
-  let prog =
-    match !fn_filter with
-    | None -> prog
-    | Some keep ->
-      (* Restrict verification to one function (debugging aid). *)
-      {
-        prog with
-        Verus.Vir.functions =
-          List.filter
-            (fun (fd : Verus.Vir.fndecl) ->
-              fd.Verus.Vir.fmode = Verus.Vir.Spec || String.equal fd.Verus.Vir.fname keep)
-            prog.Verus.Vir.functions;
-      }
-  in
+  let profile = apply_budget_overrides (find_profile !profile_name) !deadline !max_rounds in
+  let prog = apply_fn_filter (find_program prog_name) !fn_filter in
   let r = Verus.Driver.verify_program ~jobs:!jobs ~lint:!lint profile prog in
   List.iter
     (fun d -> Printf.printf "lint: %s\n" (Verus.Vlint.diag_to_string d))
@@ -200,28 +231,84 @@ let cmd_verify args =
      instantiation budget) is a budget exhaustion, not a refutation: exit
      3 so callers can distinguish "needs a bigger --deadline" from "has a
      counterexample". *)
-  let budget_only =
-    (not r.Verus.Driver.pr_ok)
-    && r.Verus.Driver.pr_front_end_errors = []
-    && r.Verus.Driver.pr_fns <> []
-    && List.for_all
-         (fun (fnr : Verus.Driver.fn_result) ->
-           List.for_all
-             (fun (vr : Verus.Driver.vc_result) ->
-               match vr.Verus.Driver.vcr_answer with
-               | Smt.Solver.Unsat | Smt.Solver.Unknown _ -> true
-               | Smt.Solver.Sat -> false)
-             fnr.Verus.Driver.fnr_vcs)
-         r.Verus.Driver.pr_fns
-  in
   Printf.printf "== %s / %s: %s in %.3fs, %d query bytes\n" prog_name
     profile.Verus.Profiles.name
     (if r.Verus.Driver.pr_ok then "VERIFIED"
-     else if budget_only then "UNKNOWN (solver budget exhausted)"
+     else if budget_only r then "UNKNOWN (solver budget exhausted)"
      else "FAILED")
     r.Verus.Driver.pr_time_s r.Verus.Driver.pr_bytes;
   Smt.Solver.dump_debug ();
-  exit (if r.Verus.Driver.pr_ok then 0 else if budget_only then 3 else 1)
+  exit (result_exit_code r)
+
+(* --------------------------- profile ------------------------------ *)
+
+let cmd_profile args =
+  let prog_name = ref None in
+  let profile_name = ref "Verus" in
+  let fn_filter = ref None in
+  let jobs = ref 1 in
+  let json = ref false in
+  let top = ref 10 in
+  let liberal = ref false in
+  let deadline = ref None in
+  let max_rounds = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--liberal" :: rest ->
+      liberal := true;
+      parse rest
+    | "--top" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> top := n
+      | _ -> die_usage "--top expects a positive integer, got %s" v);
+      parse rest
+    | "--fn" :: v :: rest ->
+      fn_filter := Some v;
+      parse rest
+    | "--deadline" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s when s > 0.0 -> deadline := Some s
+      | _ -> die_usage "--deadline expects a positive number of seconds, got %s" v);
+      parse rest
+    | "--max-rounds" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> max_rounds := Some n
+      | _ -> die_usage "--max-rounds expects a positive integer, got %s" v);
+      parse rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> jobs := n
+      | _ -> die_usage "--jobs expects a positive integer, got %s" v);
+      parse rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' -> die_usage "unknown option %s" a
+    | a :: rest ->
+      (if !prog_name = None then prog_name := Some a else profile_name := a);
+      parse rest
+  in
+  parse args;
+  let prog_name = match !prog_name with Some p -> p | None -> "singly_linked" in
+  let profile = find_profile !profile_name in
+  let profile = if !liberal then Verus.Profiles.liberal profile else profile in
+  let profile = apply_budget_overrides profile !deadline !max_rounds in
+  let prog = apply_fn_filter (find_program prog_name) !fn_filter in
+  (* Lint in warn mode so the VL010 cross-check has findings to compare
+     the measured hot-spots against; warn never aborts the run. *)
+  let r =
+    Verus.Driver.verify_program ~jobs:!jobs ~lint:Verus.Driver.Lint_warn ~profile:true
+      profile prog
+  in
+  if !json then
+    print_endline (Vbase.Json.to_string ~indent:true (Verus.Profile_report.to_json ~prog_name r))
+  else begin
+    List.iter
+      (fun e -> Printf.printf "front-end error: %s\n" e)
+      r.Verus.Driver.pr_front_end_errors;
+    print_string (Verus.Profile_report.render_text ~top:!top ~prog_name r)
+  end;
+  exit (result_exit_code r)
 
 (* ---------------------------- lint -------------------------------- *)
 
@@ -229,6 +316,7 @@ let cmd_lint args =
   let prog_names = ref [] in
   let profile_name = ref "Verus" in
   let strict = ref false in
+  let liberal = ref false in
   let rec parse = function
     | [] -> ()
     | "--all" :: rest ->
@@ -236,6 +324,9 @@ let cmd_lint args =
       parse rest
     | "--strict" :: rest ->
       strict := true;
+      parse rest
+    | "--liberal" :: rest ->
+      liberal := true;
       parse rest
     | a :: _ when String.length a > 1 && a.[0] = '-' -> die_usage "unknown option %s" a
     | a :: rest ->
@@ -246,6 +337,7 @@ let cmd_lint args =
   parse args;
   let prog_names = if !prog_names = [] then List.map fst programs else !prog_names in
   let profile = find_profile !profile_name in
+  let profile = if !liberal then Verus.Profiles.liberal profile else profile in
   let n_err = ref 0 and n_warn = ref 0 and n_info = ref 0 in
   List.iter
     (fun name ->
@@ -272,6 +364,7 @@ let () =
   let argv = Array.to_list Sys.argv in
   match argv with
   | _ :: "verify" :: rest -> cmd_verify rest
+  | _ :: "profile" :: rest -> cmd_profile rest
   | _ :: "lint" :: rest -> cmd_lint rest
   | _ :: ("list" | "--list") :: _ -> cmd_list ()
   | _ :: "codes" :: _ -> cmd_codes ()

@@ -2,12 +2,15 @@ module T = Smt.Term
 module S = Smt.Sort
 open Vir
 
+type vc_profile = { vp_smt : Smt.Profile.t; vp_axioms : int list }
+
 type vc_result = {
   vcr_name : string;
   vcr_answer : Smt.Solver.answer;
   vcr_time_s : float;
   vcr_bytes : int;
   vcr_detail : string;
+  vcr_prof : vc_profile option;
 }
 
 type fn_result = {
@@ -16,6 +19,22 @@ type fn_result = {
   fnr_ok : bool;
   fnr_time_s : float;
   fnr_bytes : int;
+  fnr_prof : Smt.Profile.t option;
+}
+
+type axiom_cost = {
+  ac_index : int;
+  ac_label : string;
+  ac_heads : string list;
+  ac_self_bytes : int;
+  ac_contexts : int;
+  ac_bytes : int;
+}
+
+type program_profile = {
+  pp_smt : Smt.Profile.t;
+  pp_axiom_costs : axiom_cost list;
+  pp_vcs : int;
 }
 
 type program_result = {
@@ -26,6 +45,7 @@ type program_result = {
   pr_bytes : int;
   pr_front_end_errors : string list;
   pr_lint : Vlint.diag list;
+  pr_prof : program_profile option;
 }
 
 type lint_mode = Lint_ignore | Lint_warn | Lint_strict
@@ -79,7 +99,16 @@ let outcome_to_answer = function
   | Modes.Refuted msg -> (Smt.Solver.Sat, msg)
   | Modes.Unsupported msg -> (Smt.Solver.Unknown msg, msg)
 
-let run_vc (p : Profiles.t) (prog : program) ~axioms (vc : Encode.vc) : vc_result =
+(* [ax_index] maps an axiom's term id to its position in the
+   [Encode.program_axioms] list, so per-VC context membership can be
+   recorded by stable index (the same index VL0xx diagnostics cite). *)
+let axiom_index_table axioms =
+  let tbl = Hashtbl.create 64 in
+  List.iteri (fun i (ax : T.t) -> Hashtbl.replace tbl ax.T.tid i) axioms;
+  tbl
+
+let run_vc ?(profile = false) (p : Profiles.t) (prog : program) ~axioms ~ax_index
+    (vc : Encode.vc) : vc_result =
   let t0 = Unix.gettimeofday () in
   let context =
     if p.Profiles.pruning then prune_context axioms vc else axioms
@@ -88,6 +117,7 @@ let run_vc (p : Profiles.t) (prog : program) ~axioms (vc : Encode.vc) : vc_resul
     List.fold_left (fun acc t -> acc + T.printed_size t) 0 (vc.Encode.vc_goal :: vc.Encode.vc_hyps)
     + List.fold_left (fun acc t -> acc + T.printed_size t) 0 context
   in
+  let smt_prof = ref None in
   let answer, detail =
     match vc.Encode.vc_hint with
     | H_default ->
@@ -97,6 +127,7 @@ let run_vc (p : Profiles.t) (prog : program) ~axioms (vc : Encode.vc) : vc_resul
         | Error e -> (Smt.Solver.Unknown ("outside EPR: " ^ e), "Ivy cannot express this")
         | Ok () ->
           let r = Smt.Epr.solve ~config:p.Profiles.solver_config all in
+          if profile then smt_prof := Some r.Smt.Solver.profile;
           (r.Smt.Solver.answer, "EPR-decided")
       end
       else begin
@@ -104,6 +135,7 @@ let run_vc (p : Profiles.t) (prog : program) ~axioms (vc : Encode.vc) : vc_resul
           Smt.Solver.check_valid ~config:p.Profiles.solver_config
             ~hyps:(context @ vc.Encode.vc_hyps) vc.Encode.vc_goal
         in
+        if profile then smt_prof := Some r.Smt.Solver.profile;
         let d =
           Printf.sprintf "inst=%d confl=%d sat=%.2f theory=%.2f em=%.2f"
             r.Smt.Solver.stats.Smt.Solver.instances r.Smt.Solver.stats.Smt.Solver.conflicts
@@ -120,33 +152,123 @@ let run_vc (p : Profiles.t) (prog : program) ~axioms (vc : Encode.vc) : vc_resul
       | Some e -> outcome_to_answer (Modes.prove_compute prog e)
       | None -> (Smt.Solver.Unknown "compute assert lost its expression", ""))
   in
+  let vcr_prof =
+    if not profile then None
+    else begin
+      let vp_axioms =
+        List.filter_map (fun (ax : T.t) -> Hashtbl.find_opt ax_index ax.T.tid) context
+        |> List.sort compare
+      in
+      Some
+        {
+          vp_smt = (match !smt_prof with Some pr -> pr | None -> Smt.Profile.empty);
+          vp_axioms;
+        }
+    end
+  in
   {
     vcr_name = vc.Encode.vc_name;
     vcr_answer = answer;
     vcr_time_s = Unix.gettimeofday () -. t0;
     vcr_bytes = bytes;
     vcr_detail = detail;
+    vcr_prof;
   }
 
-let verify_function_with_axioms (p : Profiles.t) (prog : program) ~axioms (fd : fndecl) :
-    fn_result =
+let verify_function_with_axioms ?(profile = false) (p : Profiles.t) (prog : program) ~axioms
+    ~ax_index (fd : fndecl) : fn_result =
   let t0 = Unix.gettimeofday () in
   let vcs = Encode.encode_function p prog fd in
-  let results = List.map (run_vc p prog ~axioms) vcs in
+  let results = List.map (run_vc ~profile p prog ~axioms ~ax_index) vcs in
   let ok = List.for_all (fun r -> r.vcr_answer = Smt.Solver.Unsat) results in
+  let fnr_prof =
+    if not profile then None
+    else
+      Some
+        (List.fold_left
+           (fun acc r ->
+             match r.vcr_prof with
+             | Some vp -> Smt.Profile.merge acc vp.vp_smt
+             | None -> acc)
+           Smt.Profile.empty results)
+  in
   {
     fnr_name = fd.fname;
     fnr_vcs = results;
     fnr_ok = ok;
     fnr_time_s = Unix.gettimeofday () -. t0;
     fnr_bytes = List.fold_left (fun acc r -> acc + r.vcr_bytes) 0 results;
+    fnr_prof;
   }
 
-let verify_function (p : Profiles.t) (prog : program) (fd : fndecl) : fn_result =
-  verify_function_with_axioms p prog ~axioms:(Encode.program_axioms p prog) fd
+let verify_function ?profile (p : Profiles.t) (prog : program) (fd : fndecl) : fn_result =
+  let axioms = Encode.program_axioms p prog in
+  verify_function_with_axioms ?profile p prog ~axioms ~ax_index:(axiom_index_table axioms) fd
 
-let verify_program ?(jobs = 1) ?(lint = Lint_ignore) (p : Profiles.t) (prog : program) :
-    program_result =
+(* ------------------------------------------------------------------ *)
+(* Program-level profile aggregation                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The label/heads of an axiom, derived from the trigger patterns the
+   profile's policy would select — the same abstraction Vlint's VL010
+   matching-loop report uses, which is what makes the two tables
+   cross-checkable. *)
+let axiom_label (p : Profiles.t) (ax : T.t) =
+  match ax.T.node with
+  | T.Forall q ->
+    let patterns = List.concat (Smt.Triggers.select p.Profiles.trigger_policy q) in
+    let heads =
+      List.filter_map
+        (fun (pat : T.t) ->
+          match pat.T.node with T.App (f, _) -> Some f.T.sname | _ -> None)
+        patterns
+      |> List.sort_uniq compare
+    in
+    (Smt.Profile.label_of ~nvars:(List.length q.T.qvars) ~patterns, heads)
+  | _ -> ("<ground axiom>", [])
+
+let aggregate_program_profile (p : Profiles.t) ~axioms (fns : fn_result list) :
+    program_profile =
+  let vc_profs =
+    List.concat_map
+      (fun fnr -> List.filter_map (fun v -> v.vcr_prof) fnr.fnr_vcs)
+      fns
+  in
+  let pp_smt =
+    List.fold_left (fun acc vp -> Smt.Profile.merge acc vp.vp_smt) Smt.Profile.empty vc_profs
+  in
+  let ax_arr = Array.of_list axioms in
+  let contexts = Array.make (Array.length ax_arr) 0 in
+  List.iter
+    (fun vp ->
+      List.iter
+        (fun i -> if i >= 0 && i < Array.length contexts then contexts.(i) <- contexts.(i) + 1)
+        vp.vp_axioms)
+    vc_profs;
+  let pp_axiom_costs =
+    Array.to_list
+      (Array.mapi
+         (fun i (ax : T.t) ->
+           let label, heads = axiom_label p ax in
+           let self = T.printed_size ax in
+           {
+             ac_index = i;
+             ac_label = label;
+             ac_heads = heads;
+             ac_self_bytes = self;
+             ac_contexts = contexts.(i);
+             ac_bytes = self * contexts.(i);
+           })
+         ax_arr)
+    |> List.sort (fun a b ->
+           match compare b.ac_bytes a.ac_bytes with
+           | 0 -> compare a.ac_index b.ac_index
+           | c -> c)
+  in
+  { pp_smt; pp_axiom_costs; pp_vcs = List.length vc_profs }
+
+let verify_program ?(jobs = 1) ?(lint = Lint_ignore) ?(profile = false) (p : Profiles.t)
+    (prog : program) : program_result =
   let t0 = Unix.gettimeofday () in
   (* Static analysis first: in [Lint_strict] mode Error-severity findings
      abort before any SMT work (fail fast); [Lint_warn] records them in
@@ -162,6 +284,7 @@ let verify_program ?(jobs = 1) ?(lint = Lint_ignore) (p : Profiles.t) (prog : pr
       pr_bytes = 0;
       pr_front_end_errors = [];
       pr_lint = lint_diags;
+      pr_prof = None;
     }
   else
   let front_end_errors =
@@ -177,14 +300,17 @@ let verify_program ?(jobs = 1) ?(lint = Lint_ignore) (p : Profiles.t) (prog : pr
       pr_bytes = 0;
       pr_front_end_errors = front_end_errors;
       pr_lint = lint_diags;
+      pr_prof = None;
     }
   else begin
     let axioms = Encode.program_axioms p prog in
+    let ax_index = axiom_index_table axioms in
     let targets =
       List.filter (fun fd -> fd.fmode <> Spec && fd.body <> None) prog.functions
     in
     let results =
-      if jobs <= 1 then List.map (verify_function_with_axioms p prog ~axioms) targets
+      if jobs <= 1 then
+        List.map (verify_function_with_axioms ~profile p prog ~axioms ~ax_index) targets
       else begin
         (* Round-robin chunks over domains. *)
         let n = List.length targets in
@@ -195,7 +321,8 @@ let verify_program ?(jobs = 1) ?(lint = Lint_ignore) (p : Profiles.t) (prog : pr
           let rec go () =
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
-              out.(i) <- Some (verify_function_with_axioms p prog ~axioms arr.(i));
+              out.(i) <-
+                Some (verify_function_with_axioms ~profile p prog ~axioms ~ax_index arr.(i));
               go ()
             end
           in
@@ -214,6 +341,8 @@ let verify_program ?(jobs = 1) ?(lint = Lint_ignore) (p : Profiles.t) (prog : pr
       pr_bytes = List.fold_left (fun acc r -> acc + r.fnr_bytes) 0 results;
       pr_front_end_errors = [];
       pr_lint = lint_diags;
+      pr_prof =
+        (if profile then Some (aggregate_program_profile p ~axioms results) else None);
     }
   end
 

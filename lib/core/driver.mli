@@ -2,26 +2,74 @@
     spec-function definitions, with or without pruning), dispatches VCs to
     the right engine (default solver, EPR decision procedure, or one of the
     §3.3 custom modes), and reports results with the timing/query-size
-    statistics the paper's tables are built from. *)
+    statistics the paper's tables are built from.
 
-type vc_result = {
-  vcr_name : string;
-  vcr_answer : Smt.Solver.answer;
-  vcr_time_s : float;
-  vcr_bytes : int;  (** context + goal printed size *)
-  vcr_detail : string;  (** mode-specific info *)
+    With [~profile:true] the driver additionally retains every solve's
+    {!Smt.Profile.t} and folds them into per-function and per-program
+    hot-spot tables ({!program_profile}): top quantifiers by instantiation
+    count and per-axiom context-bytes attribution.  Profiling off is the
+    default and costs nothing — no per-VC profile records are allocated or
+    retained. *)
+
+(** Per-VC observability, retained only under [~profile:true]. *)
+type vc_profile = {
+  vp_smt : Smt.Profile.t;
+      (** the solver-side profile of this VC's solve ({!Smt.Profile.empty}
+          for §3.3 custom-mode VCs, which bypass the main solver loop) *)
+  vp_axioms : int list;
+      (** sorted indices into [Encode.program_axioms] of the axioms this
+          VC's context included (post-pruning) — the raw material of the
+          per-axiom context-bytes attribution *)
 }
 
+(** Outcome of one proof obligation. *)
+type vc_result = {
+  vcr_name : string;  (** obligation name, e.g. ["push: ensures view"] *)
+  vcr_answer : Smt.Solver.answer;  (** [Unsat] means proved *)
+  vcr_time_s : float;  (** wall-clock for this obligation *)
+  vcr_bytes : int;  (** context + goal printed size *)
+  vcr_detail : string;  (** mode-specific info (instances, phase times) *)
+  vcr_prof : vc_profile option;  (** [Some] iff profiling was requested *)
+}
+
+(** Outcome of all obligations of one function. *)
 type fn_result = {
   fnr_name : string;
   fnr_vcs : vc_result list;
-  fnr_ok : bool;
+  fnr_ok : bool;  (** all VCs proved *)
   fnr_time_s : float;
   fnr_bytes : int;
+  fnr_prof : Smt.Profile.t option;
+      (** merge of the function's per-VC solver profiles ([Some] iff
+          profiling was requested) *)
 }
 
+(** Context-size attribution for one axiom of [Encode.program_axioms]. *)
+type axiom_cost = {
+  ac_index : int;  (** position in [Encode.program_axioms] (stable id) *)
+  ac_label : string;  (** trigger-pattern label ({!Smt.Profile.label_of}) *)
+  ac_heads : string list;  (** trigger head symbols, sorted *)
+  ac_self_bytes : int;  (** printed size of the axiom itself *)
+  ac_contexts : int;  (** number of profiled VC contexts that included it *)
+  ac_bytes : int;  (** [ac_self_bytes * ac_contexts]: total bytes shipped *)
+}
+
+(** Program-level aggregate: the hot-spot tables behind
+    [verus_cli profile]. *)
+type program_profile = {
+  pp_smt : Smt.Profile.t;
+      (** all per-VC solver profiles merged; [pp_smt.quants] is the top-k
+          table source, hottest first, deterministically ordered (stable
+          under [jobs > 1]) *)
+  pp_axiom_costs : axiom_cost list;
+      (** per-axiom context-bytes attribution, sorted by [ac_bytes]
+          descending then [ac_index] *)
+  pp_vcs : int;  (** number of profiled VCs aggregated *)
+}
+
+(** Result of verifying a whole program under one profile. *)
 type program_result = {
-  pr_profile : string;
+  pr_profile : string;  (** the framework profile's name *)
   pr_fns : fn_result list;
   pr_ok : bool;
   pr_time_s : float;
@@ -31,8 +79,12 @@ type program_result = {
   pr_lint : Vlint.diag list;
       (** static-analysis findings; populated when [verify_program] was
           called with [~lint:Lint_warn] or [~lint:Lint_strict] *)
+  pr_prof : program_profile option;
+      (** [Some] iff [verify_program] was called with [~profile:true] and
+          verification reached the SMT stage *)
 }
 
+(** When (and whether) to run the {!Vlint} static analyses. *)
 type lint_mode =
   | Lint_ignore  (** skip static analysis (default) *)
   | Lint_warn  (** record [Vlint] findings in [pr_lint], never fail on them *)
@@ -45,14 +97,19 @@ val context_for :
 (** Theory axioms + spec-function definitions for one VC, pruned to the
     symbols reachable from the VC when the profile prunes. *)
 
-val verify_function : Profiles.t -> Vir.program -> Vir.fndecl -> fn_result
+val verify_function : ?profile:bool -> Profiles.t -> Vir.program -> Vir.fndecl -> fn_result
+(** Verify one function.  [~profile] (default [false]) retains per-VC
+    solver profiles in [vcr_prof]/[fnr_prof]. *)
 
 val verify_program :
-  ?jobs:int -> ?lint:lint_mode -> Profiles.t -> Vir.program -> program_result
+  ?jobs:int -> ?lint:lint_mode -> ?profile:bool -> Profiles.t -> Vir.program -> program_result
 (** Runs [Vlint] (per [lint], default [Lint_ignore]) and the front-end
     checks, then verifies every function.  [jobs > 1] verifies functions
     in parallel on that many domains (the paper's 8-core column in
-    Figure 9). *)
+    Figure 9).  [~profile:true] (default [false]) aggregates every solve's
+    {!Smt.Profile.t} into [pr_prof]; the aggregation is keyed on stable
+    quantifier labels, so the resulting tables are identical whichever
+    domain finished first. *)
 
 val first_failure : program_result -> (string * string * string) option
 (** [(origin, obligation, code)] of the first failure, if any: a lint

@@ -114,3 +114,12 @@ let ivy =
 
 let all = [ verus; dafny; fstar; prusti; creusot; ivy ]
 let by_name n = List.find_opt (fun p -> String.equal p.name n) all
+
+let liberal p =
+  {
+    p with
+    name = p.name ^ "-liberal";
+    trigger_policy = Smt.Triggers.Liberal;
+    curated_triggers = false;
+    solver_config = { p.solver_config with trigger_policy = Smt.Triggers.Liberal };
+  }

@@ -6,15 +6,18 @@
     encodings, trigger policy, context pruning, effect-layer indirection,
     re-verified type checking, and prophecy variables. *)
 
+(** How mutable state is modelled in the encoding. *)
 type mem_encoding =
   | Ownership  (** Verus-style: mutation is functional update; no heap *)
   | Heap  (** Dafny/F*-style: global heap, select/store, frame axioms *)
   | Prophecy  (** Creusot-style: &mut as (current, final) pairs *)
 
+(** A framework profile: one point in the encoding-design space. *)
 type t = {
-  name : string;
-  encoding : mem_encoding;
+  name : string;  (** display name, e.g. ["Verus"], ["Dafny-liberal"] *)
+  encoding : mem_encoding;  (** memory model (see {!mem_encoding}) *)
   trigger_policy : Smt.Triggers.policy;
+      (** how triggers are inferred for quantifiers that lack them *)
   curated_triggers : bool;
       (** attach hand-tuned minimal triggers to theory axioms (Verus) vs.
           leaving selection to the policy (Dafny-style broad selection) *)
@@ -24,15 +27,41 @@ type t = {
           Viper's snapshot functions *)
   recheck_ownership : bool;  (** extra type-checking VCs (Prusti) *)
   epr_only : bool;  (** reject anything outside EPR (Ivy) *)
-  solver_config : Smt.Solver.config;
+  solver_config : Smt.Solver.config;  (** budgets and phase limits *)
 }
 
 val verus : t
+(** Ownership encoding, curated triggers, pruning on — the paper's
+    baseline. *)
+
 val dafny : t
+(** Heap encoding with frame axioms, broad trigger selection, no
+    pruning. *)
+
 val fstar : t
+(** Heap encoding plus effect-layer wrapper indirection. *)
+
 val prusti : t
+(** Ownership encoding with re-verified type-checking obligations. *)
+
 val creusot : t
+(** Prophecy encoding: [&mut] as (current, final) pairs. *)
+
 val ivy : t
+(** EPR-only: decidable fragment, rejects anything outside it. *)
 
 val all : t list
+(** The six shipped profiles, in the paper's table order. *)
+
 val by_name : string -> t option
+(** Exact-name lookup over {!all} ([None] for unknown names). *)
+
+val liberal : t -> t
+(** The "[-liberal]" degradation of a profile: Dafny-style broad trigger
+    selection with the curated axiom triggers dropped, applied both to the
+    static analyses (so [Vlint] VL010 sees the liberal trigger choice) and
+    to the solver configuration (so E-matching actually uses it).  This is
+    the configuration behind the ablation row "liberal triggers" and the
+    VL010 ↔ profiler cross-validation: the matching loop the lint predicts
+    statically is the instantiation hot-spot the profiler measures
+    dynamically.  The name gains a "-liberal" suffix. *)

@@ -38,6 +38,23 @@ let code_table =
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds
 
+(* Parses the trigger heads back out of VL010's stable message format:
+   "... through trigger heads {h1, h2} ...".  Kept next to the format's
+   producer (check_axiom_set below) so the two cannot drift silently. *)
+let vl010_heads ds =
+  List.concat_map
+    (fun d ->
+      if d.code <> "VL010" then []
+      else
+        match (String.index_opt d.message '{', String.index_opt d.message '}') with
+        | Some i, Some j when j > i + 1 ->
+          String.sub d.message (i + 1) (j - i - 1)
+          |> String.split_on_char ','
+          |> List.map String.trim
+        | _ -> [])
+    ds
+  |> List.sort_uniq compare
+
 let mk code fn fmt =
   Printf.ksprintf
     (fun message ->

@@ -39,6 +39,13 @@ val code_table : (string * severity * string) list
 val errors : diag list -> diag list
 (** The [Error]-severity subset. *)
 
+val vl010_heads : diag list -> string list
+(** The trigger-head symbols named by VL010 (matching-loop) findings,
+    parsed back out of their stable message format ("... through trigger
+    heads [{h1, h2}] ..."), sorted and deduplicated; other codes contribute
+    nothing.  This is what the profiler's cross-validation compares its
+    measured top instantiation hot-spot against. *)
+
 (** {2 Individual passes}
 
     Each pass can be run alone; [lint] runs all of them. *)

@@ -9,8 +9,11 @@
     operations emit gate clauses on construction. *)
 
 type t
+(** A blasting context: the underlying SAT solver plus a cache mapping
+    bit-vector terms to their literal arrays. *)
 
 val create : Sat.t -> t
+(** A fresh context emitting clauses into the given SAT solver. *)
 
 val term_bits : t -> Term.t -> int array
 (** Literals for each bit of a bit-vector-sorted term, emitting defining

@@ -3,7 +3,13 @@ type quant_entry = {
   q : Term.quant;
   qguard : int option;
   groups : Term.t list list;
+  label : string; (* stable profile identity (Profile.label_of) *)
+  heads : string list; (* trigger head-symbol names, sorted *)
   mutable produced : int; (* instances generated so far (fuel accounting) *)
+  mutable matched : int; (* candidate substitutions considered *)
+  mutable duplicates : int; (* candidates discarded by the dedup table *)
+  mutable first_round : int; (* 1-based round of first emission; 0 = never *)
+  mutable last_round : int;
 }
 
 type instance = { quant : Term.t; guard : int option; body : Term.t }
@@ -18,6 +24,7 @@ type t = {
   seen_instances : (int * int list, unit) Hashtbl.t; (* (quant tid, arg ids) *)
   mutable n_instances : int;
   mutable n_matches_tried : int;
+  mutable round_no : int; (* instantiation rounds run so far *)
 }
 
 let create policy =
@@ -31,6 +38,7 @@ let create policy =
     seen_instances = Hashtbl.create 256;
     n_instances = 0;
     n_matches_tried = 0;
+    round_no = 0;
   }
 
 let bucket tbl key =
@@ -73,7 +81,30 @@ let add_quant t ~guard tm =
     match tm.Term.node with
     | Term.Forall q ->
       let groups = Triggers.select t.policy q in
-      t.quants <- { qterm = tm; q; qguard = guard; groups; produced = 0 } :: t.quants;
+      let patterns = List.concat groups in
+      let heads =
+        List.filter_map
+          (fun (p : Term.t) ->
+            match p.Term.node with Term.App (f, _) -> Some f.Term.sname | _ -> None)
+          patterns
+        |> List.sort_uniq compare
+      in
+      let label = Profile.label_of ~nvars:(List.length q.Term.qvars) ~patterns in
+      t.quants <-
+        {
+          qterm = tm;
+          q;
+          qguard = guard;
+          groups;
+          label;
+          heads;
+          produced = 0;
+          matched = 0;
+          duplicates = 0;
+          first_round = 0;
+          last_round = 0;
+        }
+        :: t.quants;
       (* Ground subterms of the body seed the index, so that axioms can
          instantiate even when no ground assertion mentions their symbols. *)
       add_ground t q.Term.body
@@ -188,6 +219,7 @@ let sort_enumeration t (q : Term.quant) ~cap =
 let canon_id _euf (tm : Term.t) = Term.hash tm
 
 let round ?euf ?(max_per_quant = max_int) t ~max_instances =
+  t.round_no <- t.round_no + 1;
   (* Phase 1: collect fresh instances per quantifier (respecting fuel). *)
   let per_quant =
     List.map
@@ -196,6 +228,7 @@ let round ?euf ?(max_per_quant = max_int) t ~max_instances =
         let n_fresh = ref 0 in
         let consider subst =
           if entry.produced + !n_fresh < max_per_quant && !n_fresh < max_instances then begin
+            entry.matched <- entry.matched + 1;
             let args =
               List.map
                 (fun (x, _) ->
@@ -208,6 +241,7 @@ let round ?euf ?(max_per_quant = max_int) t ~max_instances =
               incr n_fresh;
               fresh := (entry, subst) :: !fresh
             end
+            else entry.duplicates <- entry.duplicates + 1
           end
         in
         (if entry.groups = [] then
@@ -242,6 +276,8 @@ let round ?euf ?(max_per_quant = max_int) t ~max_instances =
           let body = Term.forall leftover body in
           t.n_instances <- t.n_instances + 1;
           entry.produced <- entry.produced + 1;
+          if entry.first_round = 0 then entry.first_round <- t.round_no;
+          entry.last_round <- t.round_no;
           incr n_out;
           out := { quant = entry.qterm; guard = entry.qguard; body } :: !out
         | _ -> ())
@@ -263,3 +299,19 @@ let round ?euf ?(max_per_quant = max_int) t ~max_instances =
 
 let stats_instances t = t.n_instances
 let stats_matches_tried t = t.n_matches_tried
+
+let profile t : Profile.quant_profile list =
+  Profile.sort_quants
+    (List.map
+       (fun e ->
+         {
+           Profile.q_label = e.label;
+           q_heads = e.heads;
+           q_nvars = List.length e.q.Term.qvars;
+           q_instances = e.produced;
+           q_matched = e.matched;
+           q_duplicates = e.duplicates;
+           q_first_round = e.first_round;
+           q_last_round = e.last_round;
+         })
+       t.quants)

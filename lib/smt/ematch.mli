@@ -8,8 +8,11 @@
     separation. *)
 
 type t
+(** A matcher instance: the ground-term index, active quantifiers, dedup
+    table and per-quantifier counters. *)
 
 val create : Triggers.policy -> t
+(** A fresh matcher inferring triggers under the given policy. *)
 
 val add_ground : t -> Term.t -> unit
 (** Indexes every ground application subterm of the given term. *)
@@ -18,9 +21,10 @@ val add_quant : t -> guard:int option -> Term.t -> unit
 (** Registers a universally quantified term (must be a [Forall]) with an
     optional SAT guard literal (None for top-level axioms). *)
 
+(** One instantiation produced by {!round}. *)
 type instance = {
   quant : Term.t;  (** the forall this instantiates *)
-  guard : int option;
+  guard : int option;  (** the quantifier's SAT guard, if any *)
   body : Term.t;  (** instantiated body *)
 }
 
@@ -31,6 +35,16 @@ val round : ?euf:Euf.t -> ?max_per_quant:int -> t -> max_instances:int -> instan
     as production SMT solvers do. *)
 
 val stats_instances : t -> int
-(** Total instances generated so far. *)
+(** Total instances generated so far, across all quantifiers. *)
 
 val stats_matches_tried : t -> int
+(** Total pattern-match attempts (the inner-loop work metric of trigger
+    matching; grows much faster than {!stats_instances} on liberal
+    triggers). *)
+
+val profile : t -> Profile.quant_profile list
+(** Per-quantifier instantiation accounting, hottest first: instances
+    emitted, candidate substitutions matched, duplicates discarded by the
+    dedup table, and the first/last instantiation round each quantifier
+    fired in.  Counters ride fields the matcher maintains anyway, so this
+    only allocates the report. *)

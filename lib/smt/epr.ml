@@ -249,6 +249,7 @@ let solve ?config ?(max_universe = 4000) ts =
           t_ematch = 0.0;
         };
       model = [];
+      profile = Profile.empty;
     }
   in
   match check_fragment ts with

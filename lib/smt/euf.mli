@@ -14,8 +14,11 @@
     bit-vector literals in one class are a conflict. *)
 
 type t
+(** A congruence-closure instance: union-find over registered terms plus a
+    proof forest for explanations. *)
 
 val create : unit -> t
+(** A fresh instance with no terms and no assertions. *)
 
 val add_term : t -> Term.t -> unit
 (** Registers a term (and its application subterms) as congruence nodes. *)
@@ -24,6 +27,7 @@ val merge : t -> Term.t -> Term.t -> reason:int -> unit
 (** Asserts an equality.  Congruence consequences propagate eagerly. *)
 
 val assert_diseq : t -> Term.t -> Term.t -> reason:int -> unit
+(** Asserts a disequality, to be checked by {!check}. *)
 
 val check : t -> (unit, int list) result
 (** [Error reasons] when some asserted disequality (or literal
@@ -31,6 +35,7 @@ val check : t -> (unit, int list) result
     equalities/disequalities responsible. *)
 
 val are_equal : t -> Term.t -> Term.t -> bool
+(** Whether two registered terms are currently in the same class. *)
 
 val explain : t -> Term.t -> Term.t -> int list
 (** Reasons implying the equality of two terms currently in the same

@@ -12,6 +12,8 @@
     bounds in the infeasible row — a Farkas-style core. *)
 
 type t
+(** A simplex instance: variable map, tableau, current bounds and recorded
+    equations. *)
 
 type verdict =
   | Sat  (** feasible; query values with {!model_value} *)
@@ -19,6 +21,7 @@ type verdict =
   | Unknown  (** branch-and-bound budget exhausted *)
 
 val create : unit -> t
+(** A fresh instance with no variables and no constraints. *)
 
 val reset_bounds : t -> unit
 (** Drop all bounds/equations but keep the variable map and tableau; used
@@ -32,9 +35,16 @@ val assert_le : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> un
 (** [assert_le t coeffs c ~reason] asserts [sum coeffs <= c]. *)
 
 val assert_lt : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
+(** Strict variant of {!assert_le}: [sum coeffs < c]. *)
+
 val assert_ge : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
+(** [assert_ge t coeffs c ~reason] asserts [sum coeffs >= c]. *)
+
 val assert_gt : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
+(** Strict variant of {!assert_ge}: [sum coeffs > c]. *)
+
 val assert_eq : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
+(** Asserts [sum coeffs = c] (both bounds at once). *)
 
 (** Prepared (pre-canonicalized) constraints, for callers that re-assert
     the same atoms across many checks. *)
@@ -46,6 +56,7 @@ val prepare :
     [sum coeffs <= c] (upper) or [>= c] (lower). *)
 
 val assert_prepared : t -> prepared -> reason:int -> unit
+(** Asserts a previously {!prepare}d bound under the given reason tag. *)
 
 val record_equation : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int -> unit
 (** Register an equality for the elimination-based integrality fallback
@@ -53,6 +64,9 @@ val record_equation : t -> (Vbase.Rat.t * int) list -> Vbase.Rat.t -> reason:int
     record it here). *)
 
 val check : ?max_branch:int -> t -> verdict
+(** Decides the current constraint set.  [max_branch] bounds the
+    branch-and-bound tree explored for integrality; past it the verdict is
+    {!Unknown}. *)
 
 val model_value : t -> int -> Vbase.Rat.t
 (** Value of a variable in the model found by the last [Sat] check. *)

@@ -1,0 +1,154 @@
+type quant_profile = {
+  q_label : string;
+  q_heads : string list;
+  q_nvars : int;
+  q_instances : int;
+  q_matched : int;
+  q_duplicates : int;
+  q_first_round : int;
+  q_last_round : int;
+}
+
+type phase = {
+  ph_sat : float;
+  ph_euf : float;
+  ph_lia : float;
+  ph_comb : float;
+  ph_ematch : float;
+}
+
+type t = {
+  quants : quant_profile list;
+  phase : phase;
+  inst_rounds : int;
+  euf_conflicts : int;
+  lia_conflicts : int;
+  theory_lemmas : int;
+}
+
+let empty_phase = { ph_sat = 0.0; ph_euf = 0.0; ph_lia = 0.0; ph_comb = 0.0; ph_ematch = 0.0 }
+
+let empty =
+  {
+    quants = [];
+    phase = empty_phase;
+    inst_rounds = 0;
+    euf_conflicts = 0;
+    lia_conflicts = 0;
+    theory_lemmas = 0;
+  }
+
+(* Fresh symbols print as "name!N" with a global counter; under [jobs > 1]
+   the counter interleaves between domains, so the same logical quantifier
+   can print differently run to run.  Masking the digits keeps labels (and
+   aggregation keys) stable. *)
+let mask_fresh s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    Buffer.add_char b c;
+    incr i;
+    if c = '!' then begin
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      if !j > !i then begin
+        Buffer.add_char b '*';
+        i := !j
+      end
+    end
+  done;
+  Buffer.contents b
+
+(* The term printer line-breaks large terms; labels are table cells and
+   aggregation keys, so collapse every whitespace run to a single space. *)
+let normalize_ws s =
+  let b = Buffer.create (String.length s) in
+  let in_ws = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\n' | '\t' | '\r' -> in_ws := true
+      | c ->
+        if !in_ws && Buffer.length b > 0 then Buffer.add_char b ' ';
+        in_ws := false;
+        Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let label_of ~nvars ~patterns =
+  match patterns with
+  | [] -> Printf.sprintf "forall/%d {<no trigger: sort enumeration>}" nvars
+  | _ ->
+    let pats =
+      List.map (fun p -> normalize_ws (mask_fresh (Term.to_string p))) patterns
+      |> List.sort_uniq compare
+    in
+    Printf.sprintf "forall/%d {%s}" nvars (String.concat ", " pats)
+
+let sort_quants qs =
+  List.sort
+    (fun a b ->
+      match compare b.q_instances a.q_instances with
+      | 0 -> (
+        match compare b.q_matched a.q_matched with
+        | 0 -> compare a.q_label b.q_label
+        | c -> c)
+      | c -> c)
+    qs
+
+let add_phase a b =
+  {
+    ph_sat = a.ph_sat +. b.ph_sat;
+    ph_euf = a.ph_euf +. b.ph_euf;
+    ph_lia = a.ph_lia +. b.ph_lia;
+    ph_comb = a.ph_comb +. b.ph_comb;
+    ph_ematch = a.ph_ematch +. b.ph_ematch;
+  }
+
+let merge_rounds ~first_a ~first_b ~last_a ~last_b =
+  let first =
+    match (first_a, first_b) with
+    | 0, r | r, 0 -> r
+    | a, b -> min a b
+  in
+  (first, max last_a last_b)
+
+let merge a b =
+  let tbl = Hashtbl.create 32 in
+  let absorb q =
+    match Hashtbl.find_opt tbl q.q_label with
+    | None -> Hashtbl.replace tbl q.q_label q
+    | Some q0 ->
+      let first, last =
+        merge_rounds ~first_a:q0.q_first_round ~first_b:q.q_first_round
+          ~last_a:q0.q_last_round ~last_b:q.q_last_round
+      in
+      Hashtbl.replace tbl q.q_label
+        {
+          q0 with
+          q_instances = q0.q_instances + q.q_instances;
+          q_matched = q0.q_matched + q.q_matched;
+          q_duplicates = q0.q_duplicates + q.q_duplicates;
+          q_first_round = first;
+          q_last_round = last;
+        }
+  in
+  List.iter absorb a.quants;
+  List.iter absorb b.quants;
+  {
+    quants = sort_quants (Hashtbl.fold (fun _ q acc -> q :: acc) tbl []);
+    phase = add_phase a.phase b.phase;
+    inst_rounds = a.inst_rounds + b.inst_rounds;
+    euf_conflicts = a.euf_conflicts + b.euf_conflicts;
+    lia_conflicts = a.lia_conflicts + b.lia_conflicts;
+    theory_lemmas = a.theory_lemmas + b.theory_lemmas;
+  }
+
+let top k t = List.filteri (fun i _ -> i < k) t.quants
+
+let total_instances t =
+  List.fold_left (fun acc q -> acc + q.q_instances) 0 t.quants

@@ -1,0 +1,97 @@
+(** Structured solver observability: per-quantifier instantiation
+    accounting and per-phase time/conflict accounting, reported on every
+    {!Solver.result}.
+
+    Every performance claim of the paper's §3.1 is an observability claim —
+    query bytes, instantiation counts, theory-time mixing — and the coarse
+    per-solve totals in {!Solver.stats} cannot answer "which axiom is
+    hot?".  This record can: it is the OCaml counterpart of Verus's
+    [--profile] flag (an Axiom-Profiler-style instantiation attributor),
+    and the driver aggregates it across verification conditions into the
+    per-function / per-program hot-spot tables behind
+    [verus_cli profile].
+
+    Collection is always on inside {!Ematch} (the counters ride fields the
+    matcher already maintains), so requesting a profile costs nothing
+    beyond the final record construction; callers that ignore the field
+    pay only that. *)
+
+(** Instantiation accounting for one quantifier (identified by its stable
+    label). *)
+type quant_profile = {
+  q_label : string;
+      (** stable human-readable identity: bound-variable count plus the
+          trigger patterns, with fresh-symbol counters masked so the label
+          survives parallel runs (see {!val:label_of}) *)
+  q_heads : string list;
+      (** sorted, deduplicated head-symbol names of the trigger patterns;
+          [[]] for quantifiers with no selectable trigger (those fall back
+          to bounded sort enumeration) *)
+  q_nvars : int;  (** number of bound variables *)
+  q_instances : int;  (** instantiations emitted to the SAT core *)
+  q_matched : int;
+      (** candidate substitutions produced by trigger matching, including
+          ones later discarded as duplicates *)
+  q_duplicates : int;
+      (** candidates discarded because the instance was generated before
+          (the dedup table hit) — high values mean the trigger keeps
+          re-finding old work *)
+  q_first_round : int;
+      (** 1-based instantiation round of the first emitted instance;
+          0 when the quantifier never fired *)
+  q_last_round : int;  (** round of the most recent emitted instance *)
+}
+
+(** Wall-clock seconds per solver phase, one solve (or an aggregate). *)
+type phase = {
+  ph_sat : float;  (** CDCL search *)
+  ph_euf : float;  (** congruence-closure construction and checks *)
+  ph_lia : float;  (** simplex build + check (branch-and-bound included) *)
+  ph_comb : float;  (** model-based theory-combination lemma search *)
+  ph_ematch : float;  (** trigger matching and instance emission *)
+}
+
+(** A full profile: one solve's, or (after {!merge}) an aggregate over
+    many solves. *)
+type t = {
+  quants : quant_profile list;
+      (** sorted hottest-first: instances desc, then matched desc, then
+          label asc — a deterministic order *)
+  phase : phase;
+  inst_rounds : int;  (** instantiation rounds executed *)
+  euf_conflicts : int;  (** blocking clauses contributed by congruence *)
+  lia_conflicts : int;  (** blocking clauses contributed by arithmetic *)
+  theory_lemmas : int;
+      (** non-conflict lemmas: equality splits, EUF→LIA propagations and
+          combination guesses *)
+}
+
+val empty : t
+(** All-zero profile (quantifier-free solves, EPR fragment failures). *)
+
+val empty_phase : phase
+(** All-zero phase times. *)
+
+val label_of : nvars:int -> patterns:Term.t list -> string
+(** The canonical label for a quantifier with the given trigger patterns:
+    ["forall/2 {pat, pat}"].  Fresh-symbol counters ([name!17]) are masked
+    to [name!*] so labels — and therefore aggregation keys — are identical
+    across runs and across worker interleavings under [jobs > 1]. *)
+
+val sort_quants : quant_profile list -> quant_profile list
+(** The deterministic hottest-first order documented on {!t}. *)
+
+val merge : t -> t -> t
+(** Pointwise sum: phases and counters add; quantifier rows with the same
+    [q_label] combine (instances/matched/duplicates add, rounds take
+    min-first/max-last).  Used by the driver to fold per-VC profiles into
+    per-function and per-program tables; commutative and associative up to
+    the deterministic re-sort, so parallel verification aggregates to the
+    same table regardless of completion order. *)
+
+val top : int -> t -> quant_profile list
+(** First [k] rows of [t.quants]. *)
+
+val total_instances : t -> int
+(** Sum of [q_instances] over every quantifier — the single "how much
+    E-matching work" number the bench tables report. *)

@@ -9,15 +9,18 @@
     negative one. *)
 
 type t
+(** A solver instance: clause database, watch lists, trail and heuristics. *)
 
-type result = Sat | Unsat
+type result = Sat | Unsat  (** Verdict of {!solve} on the current clause set. *)
 
 val create : unit -> t
+(** A fresh solver with no variables and no clauses. *)
 
 val new_var : t -> int
 (** Allocates a fresh variable, returns its index. *)
 
 val n_vars : t -> int
+(** Number of variables allocated so far. *)
 
 val pos : int -> int
 (** Positive literal of a variable. *)
@@ -26,7 +29,10 @@ val neg : int -> int
 (** Negative literal of a variable. *)
 
 val lit_var : int -> int
+(** The variable a literal belongs to. *)
+
 val lit_negate : int -> int
+(** The opposite literal. *)
 
 val add_clause : t -> int list -> unit
 (** Adds a clause.  Safe to call between [solve] calls; the solver
@@ -38,11 +44,18 @@ val solve : ?limit_conflicts:int -> t -> result
     (raises [Budget_exceeded] past it). *)
 
 exception Budget_exceeded
+(** Raised by {!solve} when the conflict budget given via
+    [limit_conflicts] is exhausted before a verdict is reached. *)
 
 val value : t -> int -> bool
 (** Model value of a variable; only meaningful right after [solve] returned
     [Sat]. *)
 
 val stats_conflicts : t -> int
+(** Total conflicts encountered over the solver's lifetime. *)
+
 val stats_decisions : t -> int
+(** Total branching decisions made over the solver's lifetime. *)
+
 val stats_propagations : t -> int
+(** Total unit propagations performed over the solver's lifetime. *)

@@ -42,7 +42,12 @@ type stats = {
   t_ematch : float;
 }
 
-type result = { answer : answer; stats : stats; model : (string * string) list }
+type result = {
+  answer : answer;
+  stats : stats;
+  model : (string * string) list;
+  profile : Profile.t;
+}
 
 type state = {
   cfg : config;
@@ -66,6 +71,18 @@ type state = {
   mutable t_sat : float;
   mutable t_theory : float;
   mutable t_ematch : float;
+  (* Fine-grained phase accounting inside the theory final check (t_theory
+     = t_euf + t_lia + t_comb up to loop overhead), plus per-theory
+     conflict and lemma counters.  Always on: a handful of gettimeofday
+     calls per final check is noise next to the check itself, and it is
+     what makes every result carry a Profile without a config switch. *)
+  mutable t_euf : float;
+  mutable t_lia : float;
+  mutable t_comb : float;
+  mutable n_euf_conflicts : int;
+  mutable n_lia_conflicts : int;
+  mutable n_theory_lemmas : int;
+  mutable inst_rounds : int;
   lia : Lia.t; (* persistent across rounds: tableau and slack forms survive *)
   lin_cache : (int, (Rat.t * Term.t) list * Rat.t) Hashtbl.t;
   app_cache : (int, Term.t list) Hashtbl.t; (* atom tid -> App subterms *)
@@ -98,6 +115,13 @@ let create_state cfg =
     t_sat = 0.0;
     t_theory = 0.0;
     t_ematch = 0.0;
+    t_euf = 0.0;
+    t_lia = 0.0;
+    t_comb = 0.0;
+    n_euf_conflicts = 0;
+    n_lia_conflicts = 0;
+    n_theory_lemmas = 0;
+    inst_rounds = 0;
     lia = Lia.create ();
     lin_cache = Hashtbl.create 256;
     app_cache = Hashtbl.create 256;
@@ -459,10 +483,16 @@ let final_check st =
         Euf.merge euf atom (if value then Term.tru else Term.fls) ~reason:i
       | _ -> ())
     assigned;
-  if dbg_enabled then dbg_euf := !dbg_euf +. (Unix.gettimeofday () -. dbg_t0);
-  match Euf.check euf with
+  let d_euf = Unix.gettimeofday () -. dbg_t0 in
+  st.t_euf <- st.t_euf +. d_euf;
+  if dbg_enabled then dbg_euf := !dbg_euf +. d_euf;
+  let euf_t0 = Unix.gettimeofday () in
+  let euf_verdict = Euf.check euf in
+  st.t_euf <- st.t_euf +. (Unix.gettimeofday () -. euf_t0);
+  match euf_verdict with
   | Error core ->
     incr dbg_r_euf_conf;
+    st.n_euf_conflicts <- st.n_euf_conflicts + 1;
     blocking core;
     R_continue
   | Ok () -> (
@@ -529,15 +559,24 @@ let final_check st =
           end
         | _ -> ())
       assigned;
-    if dbg_enabled then dbg_lia_build := !dbg_lia_build +. (Unix.gettimeofday () -. dbg_t1);
-    if !progress then R_continue
+    let d_lia_build = Unix.gettimeofday () -. dbg_t1 in
+    st.t_lia <- st.t_lia +. d_lia_build;
+    if dbg_enabled then dbg_lia_build := !dbg_lia_build +. d_lia_build;
+    if !progress then begin
+      (* Progress here means eq-split lemmas were added. *)
+      st.n_theory_lemmas <- st.n_theory_lemmas + 1;
+      R_continue
+    end
     else begin
       let dbg_t2 = Unix.gettimeofday () in
       let lia_verdict = Lia.check ~max_branch:st.cfg.bb_budget lia in
-      if dbg_enabled then dbg_lia_check := !dbg_lia_check +. (Unix.gettimeofday () -. dbg_t2);
+      let d_lia_check = Unix.gettimeofday () -. dbg_t2 in
+      st.t_lia <- st.t_lia +. d_lia_check;
+      if dbg_enabled then dbg_lia_check := !dbg_lia_check +. d_lia_check;
       match lia_verdict with
       | Lia.Conflict core ->
         incr dbg_r_lia_conf;
+        st.n_lia_conflicts <- st.n_lia_conflicts + 1;
         blocking core;
         R_continue
       | Lia.Unknown -> R_unknown "arithmetic budget exhausted"
@@ -587,6 +626,7 @@ let final_check st =
                       Sat.add_clause st.sat (l_eq :: clause);
                       if not (Sat.value st.sat (Sat.lit_var l_eq) && l_eq land 1 = 0) then begin
                         incr dbg_r_prop;
+                        st.n_theory_lemmas <- st.n_theory_lemmas + 1;
                         lemma_added := true
                       end
                     end
@@ -654,6 +694,7 @@ let final_check st =
                   Hashtbl.replace st.eq_split_done eq_atom.Term.tid ();
                   Sat.add_clause st.sat [ l_eq; l1; l2 ];
                   incr dbg_r_guess;
+                  st.n_theory_lemmas <- st.n_theory_lemmas + 1;
                   lemma_added := true
                 | _ -> ()
               end
@@ -661,7 +702,9 @@ let final_check st =
           in
           List.iter do_pair !candidate_pairs
         end;
-        if dbg_enabled then dbg_comb := !dbg_comb +. (Unix.gettimeofday () -. dbg_t3);
+        let d_comb = Unix.gettimeofday () -. dbg_t3 in
+        st.t_comb <- st.t_comb +. d_comb;
+        if dbg_enabled then dbg_comb := !dbg_comb +. d_comb;
         if !lemma_added then R_continue else R_model_ok euf)
     end)
 
@@ -702,6 +745,22 @@ let solve ?(config = default_config) assertions =
           t_ematch = st.t_ematch;
         };
       model;
+      profile =
+        {
+          Profile.quants = Ematch.profile st.em;
+          phase =
+            {
+              Profile.ph_sat = st.t_sat;
+              ph_euf = st.t_euf;
+              ph_lia = st.t_lia;
+              ph_comb = st.t_comb;
+              ph_ematch = st.t_ematch;
+            };
+          inst_rounds = st.inst_rounds;
+          euf_conflicts = st.n_euf_conflicts;
+          lia_conflicts = st.n_lia_conflicts;
+          theory_lemmas = st.n_theory_lemmas;
+        };
     }
   in
   try
@@ -731,6 +790,7 @@ let solve ?(config = default_config) assertions =
           if not st.has_quants then answer := Some Sat
           else begin
             incr inst_rounds;
+            st.inst_rounds <- !inst_rounds;
             if !inst_rounds > config.max_rounds then
               raise (Give_up "instantiation round limit")
             else begin

@@ -21,10 +21,13 @@
     problems whose candidate model still involves uninstantiated quantifiers
     report [Unknown]. *)
 
+(** Search budgets and the trigger policy; each framework profile carries
+    its own copy. *)
 type config = {
   trigger_policy : Triggers.policy;
+      (** how triggers are inferred for quantifiers that lack them *)
   max_rounds : int;  (** instantiation rounds before giving up *)
-  max_instances_per_round : int;
+  max_instances_per_round : int;  (** instantiation cap per round *)
   max_instances_per_quant : int;
       (** fuel-style cap per quantifier (bounds definitional unfolding
           chains, like Dafny's fuel) *)
@@ -35,26 +38,44 @@ type config = {
 }
 
 val default_config : config
+(** Conservative triggers and generous budgets; the baseline the shipped
+    profiles override. *)
 
+(** Verdict of one solve. *)
 type answer =
-  | Unsat
-  | Sat
+  | Unsat  (** definitive — downstream this means "proved" *)
+  | Sat  (** definitive only for quantifier-free problems *)
   | Unknown of string  (** reason: budget, quantifiers, ... *)
 
+(** Coarse per-solve totals (the paper's table columns).  For attribution —
+    {e which} quantifier produced the instances, how theory time splits
+    between congruence, arithmetic and combination — see the
+    {!type:result.profile} field. *)
 type stats = {
-  rounds : int;
-  instances : int;
-  matches_tried : int;
-  conflicts : int;
-  decisions : int;
+  rounds : int;  (** CDCL(T) major rounds (SAT solve + final check) *)
+  instances : int;  (** quantifier instantiations asserted *)
+  matches_tried : int;  (** pattern-match attempts inside E-matching *)
+  conflicts : int;  (** CDCL conflicts *)
+  decisions : int;  (** CDCL decisions *)
   query_bytes : int;  (** printed size of everything sent to the core *)
-  time_s : float;
+  time_s : float;  (** wall-clock for the whole solve *)
   t_sat : float;  (** time in CDCL search *)
   t_theory : float;  (** time in EUF/LIA final checks *)
   t_ematch : float;  (** time in quantifier instantiation *)
 }
 
-type result = { answer : answer; stats : stats; model : (string * string) list }
+(** Everything a solve returns. *)
+type result = {
+  answer : answer;  (** the verdict *)
+  stats : stats;  (** coarse totals (see {!stats}) *)
+  model : (string * string) list;
+      (** best-effort assignment of boolean constants when [Sat] *)
+  profile : Profile.t;
+      (** per-quantifier instantiation attribution and fine-grained phase
+          times (EUF vs LIA vs combination inside [t_theory]); always
+          collected — the counters ride state the solver maintains
+          anyway *)
+}
 
 val solve : ?config:config -> Term.t list -> result
 (** Satisfiability of the conjunction of the assertions. *)

@@ -12,7 +12,16 @@ type t =
   | Usort of string  (** uninterpreted sort *)
 
 val equal : t -> t -> bool
+(** Structural equality of sorts. *)
+
 val compare : t -> t -> int
+(** Total order on sorts, suitable for [Map]/[Set] functors. *)
+
 val hash : t -> int
+(** Hash consistent with {!equal}. *)
+
 val to_string : t -> string
+(** SMT-LIB-style rendering, e.g. ["Bool"], ["(_ BitVec 64)"]. *)
+
 val pp : Format.formatter -> t -> unit
+(** Pretty-printer wrapping {!to_string}. *)

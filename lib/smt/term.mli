@@ -74,7 +74,10 @@ module Sym : sig
   (** A brand-new symbol whose name starts with the given prefix. *)
 
   val equal : sym -> sym -> bool
+  (** Symbol identity (by unique id). *)
+
   val hash : sym -> int
+  (** Hash consistent with {!equal}. *)
 end
 
 (** {2 Constructors}
@@ -117,13 +120,22 @@ val forall : ?triggers:t list list -> (string * Sort.t) list -> t -> t
 (** Empty [vars] collapses to the body. *)
 
 val exists : ?triggers:t list list -> (string * Sort.t) list -> t -> t
+(** Existential counterpart of {!forall}; empty [vars] collapses to the
+    body. *)
 
 (** {2 Operations} *)
 
 val equal : t -> t -> bool
+(** Term equality; physical thanks to hash-consing, so O(1). *)
+
 val compare : t -> t -> int
+(** Total order by hash-cons id (arbitrary but stable within a run). *)
+
 val hash : t -> int
+(** Hash consistent with {!equal}; O(1). *)
+
 val sort_of : t -> Sort.t
+(** The sort a term was constructed at. *)
 
 val subst : (string * t) list -> t -> t
 (** Capture-free substitution of bound variables by name.  Binder variable
@@ -148,6 +160,7 @@ val pp : Format.formatter -> t -> unit
 (** SMT-LIB-flavoured printing. *)
 
 val to_string : t -> string
+(** SMT-LIB-flavoured rendering as a string; see {!pp}. *)
 
 val printed_size : t -> int
 (** Byte count of the SMT-LIB rendering, without building the string when

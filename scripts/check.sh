@@ -1,27 +1,53 @@
 #!/bin/sh
 # Repo health check: build everything, run the full test battery, run the
 # Vlint static analyses over every bundled program in strict mode (Error
-# or Warn findings fail), then the fault-injection smoke check (IronKV
-# crosscheck at 5% drop+dup, one torn-write log recovery).  This is the
+# or Warn findings fail), the fault-injection smoke check (IronKV
+# crosscheck at 5% drop+dup, one torn-write log recovery), the profiler
+# JSON smoke (verus_cli profile --json must emit a document that parses
+# and validates against the verus-profile/1 schema), and — when odoc is
+# installed — the API-doc build, warnings-as-errors.  This is the
 # tree-must-stay-green gate:
 #
 #   scripts/check.sh
 #
-# Exit code 0 means all four stages passed.
+# Exit code 0 means every stage passed (the doc stage reports "skipped"
+# on machines without odoc rather than failing).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/4 build =="
+echo "== 1/6 build =="
 dune build @all
 
-echo "== 2/4 tests =="
+echo "== 2/6 tests =="
 dune runtest
 
-echo "== 3/4 lint (strict) =="
+echo "== 3/6 lint (strict) =="
 dune build @lint
 
-echo "== 4/4 fault smoke =="
+echo "== 4/6 fault smoke =="
 dune build @faults
+
+echo "== 5/6 profile JSON smoke =="
+dune build @profile
+
+echo "== 6/6 api docs =="
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc 2>doc-warnings.log || {
+    cat doc-warnings.log
+    rm -f doc-warnings.log
+    exit 1
+  }
+  if [ -s doc-warnings.log ]; then
+    echo "odoc warnings:"
+    cat doc-warnings.log
+    rm -f doc-warnings.log
+    exit 1
+  fi
+  rm -f doc-warnings.log
+  echo "docs built warning-clean"
+else
+  echo "odoc not installed; skipped (install odoc to enable)"
+fi
 
 echo "== all checks passed =="

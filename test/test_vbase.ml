@@ -320,6 +320,52 @@ let prop_faultplan_rate =
       let rate = 100 * !hits / n in
       abs (rate - pct) <= 10)
 
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module J = Vbase.Json
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("null", J.Null);
+        ("bools", J.List [ J.Bool true; J.Bool false ]);
+        ("ints", J.List [ J.Int 0; J.Int (-7); J.Int 123456789 ]);
+        ("floats", J.List [ J.Float 0.5; J.Float (-2.25); J.Float 3.0 ]);
+        ("str", J.String "line\nbreak \"quoted\" back\\slash\ttab");
+        ("empty_list", J.List []);
+        ("empty_obj", J.Obj []);
+        ("nested", J.Obj [ ("xs", J.List [ J.Obj [ ("k", J.Int 1) ] ]) ]);
+      ]
+  in
+  List.iter
+    (fun indent ->
+      match J.of_string (J.to_string ~indent doc) with
+      | Ok doc' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip indent=%b" indent)
+          true (doc = doc')
+      | Error e -> Alcotest.failf "roundtrip (indent=%b) failed: %s" indent e)
+    [ true; false ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match J.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" bad)
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\":1} extra" ]
+
+let test_json_accessors () =
+  let j = J.Obj [ ("a", J.Obj [ ("b", J.Int 3) ]); ("f", J.Float 1.5) ] in
+  Alcotest.(check bool) "member" true (J.member "f" j = Some (J.Float 1.5));
+  Alcotest.(check bool) "member missing" true (J.member "zz" j = None);
+  Alcotest.(check bool) "path" true (J.path [ "a"; "b" ] j = Some (J.Int 3));
+  Alcotest.(check bool) "to_float of int" true
+    (Option.bind (J.path [ "a"; "b" ] j) J.to_float = Some 3.0)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -357,4 +403,10 @@ let () =
           Alcotest.test_case "draw isolation" `Quick test_faultplan_draw_isolated;
         ] );
       qsuite "faultplan-props" [ prop_faultplan_rate ];
+      ( "json",
+        [
+          Alcotest.test_case "print/parse roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_json_parse_errors;
+          Alcotest.test_case "member/path/to_float" `Quick test_json_accessors;
+        ] );
     ]
