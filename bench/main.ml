@@ -27,7 +27,8 @@ let note fmt = Printf.ksprintf (fun s -> Printf.printf "  note: %s\n%!" s) fmt
 (* ------------------------------------------------------------------ *)
 
 let verify_time ?(jobs = 1) profile prog =
-  let r = Verus.Driver.verify_program ~jobs profile prog in
+  let config = Verus.Driver.Config.(with_jobs jobs default) in
+  let r = Verus.Driver.verify_program ~config profile prog in
   (r.Verus.Driver.pr_ok, r.Verus.Driver.pr_time_s, r.Verus.Driver.pr_bytes)
 
 (* ------------------------------------------------------------------ *)
@@ -39,14 +40,18 @@ let verify_time ?(jobs = 1) profile prog =
 (* attribution run [verify_profiled] — a separate profiled pass whose  *)
 (* wall-clock is never reported as a figure number — and every         *)
 (* document collected this way is written to BENCH_profile.json at     *)
-(* exit, in the same verus-profile/1 schema the CLI emits and the CI   *)
-(* smoke validates.                                                    *)
+(* exit, in the same versioned verus-profile schema the CLI emits and  *)
+(* the CI smoke validates.                                             *)
 (* ------------------------------------------------------------------ *)
 
 let profile_docs : (string * Vbase.Json.t) list ref = ref []
 
 let verify_profiled ?(jobs = 1) ~section ~prog_name (p : Verus.Profiles.t) prog =
-  let r = Verus.Driver.verify_program ~jobs ~lint:Verus.Driver.Lint_warn ~profile:true p prog in
+  let config =
+    Verus.Driver.Config.(
+      default |> with_jobs jobs |> with_lint Verus.Driver.Lint_warn |> with_profile true)
+  in
+  let r = Verus.Driver.verify_program ~config p prog in
   if r.Verus.Driver.pr_prof <> None then
     profile_docs := (section, Verus.Profile_report.to_json ~prog_name r) :: !profile_docs;
   r
@@ -182,7 +187,7 @@ let fig7b () =
      profiles that exceed it report failure — the counterpart of "Low*
      fails to return beyond one push" in the paper. *)
   let cap (p : Verus.Profiles.t) =
-    { p with Verus.Profiles.solver_config = { p.Verus.Profiles.solver_config with deadline_s = 20.0 } }
+    Verus.Profiles.with_budget { (Verus.Profiles.budget p) with Smt.Solver.deadline_s = 20.0 } p
   in
   let profiles =
     List.map cap
@@ -296,7 +301,8 @@ let fig9 () =
      lemma library stand in for its data-structure proofs. *)
   row "Page table" "lib/pagetable" (fun jobs ->
       let obs = Pagetable.Pagetable_proofs.run () in
-      let r = Verus.Driver.verify_program ~jobs Verus.Profiles.verus Verus.Bench_programs.doubly_linked in
+      let config = Verus.Driver.Config.(with_jobs jobs default) in
+      let r = Verus.Driver.verify_program ~config Verus.Profiles.verus Verus.Bench_programs.doubly_linked in
       let r2 = Verus.Vstd_seq.verify () in
       ( List.length obs
         + List.length (List.concat_map (fun f -> f.Verus.Driver.fnr_vcs) r.Verus.Driver.pr_fns)
@@ -305,7 +311,8 @@ let fig9 () =
   (* Mimalloc: delayed-free protocol + the memory-reasoning program. *)
   row "Mimalloc" "lib/valloc" (fun jobs ->
       let rep = Valloc.Alloc_model.check ~capacity:4096 () in
-      let r = Verus.Driver.verify_program ~jobs Verus.Profiles.verus (Verus.Bench_programs.memory_reasoning 4) in
+      let config = Verus.Driver.Config.(with_jobs jobs default) in
+      let r = Verus.Driver.verify_program ~config Verus.Profiles.verus (Verus.Bench_programs.memory_reasoning 4) in
       ( List.length rep.Verus.Vsync.obligations
         + List.length (List.concat_map (fun f -> f.Verus.Driver.fnr_vcs) r.Verus.Driver.pr_fns),
         rep.Verus.Vsync.ok && r.Verus.Driver.pr_ok ));
@@ -622,6 +629,93 @@ let lint_bench () =
     programs
 
 (* ------------------------------------------------------------------ *)
+(* cache: cold vs warm re-verification through Vcache                   *)
+(* ------------------------------------------------------------------ *)
+
+let cache_bench () =
+  header "Vcache: cold vs warm re-verification (persistent VC-result cache)";
+  Printf.printf
+    "  Each row verifies a program twice through the same cache directory: the cold run\n\
+    \  fills the store, the warm run must serve every obligation from it.  'digest' says\n\
+    \  whether the two runs' result digests (every decision: per-VC answers, verdicts,\n\
+    \  lint and front-end output) are identical — the cache must be observationally\n\
+    \  invisible.\n\n";
+  let base_dir = Filename.concat (Filename.get_temp_dir_name ()) "verus-bench-cache" in
+  let cases =
+    [
+      ("singly_linked", Verus.Bench_programs.singly_linked);
+      ("doubly_linked", Verus.Bench_programs.doubly_linked);
+      ("mem8", Verus.Bench_programs.memory_reasoning 8);
+      ("vstd_seq", Verus.Vstd_seq.program);
+      ("dlock", Verus.Bench_programs.dlock_default);
+    ]
+  in
+  let cases = if !quick then [ List.hd cases ] else cases in
+  Printf.printf "  %-16s %10s %10s %9s %9s %7s %7s\n" "program" "cold" "warm" "speedup"
+    "hit rate" "entries" "digest";
+  let rows =
+    List.map
+      (fun (name, prog) ->
+        let dir = Filename.concat base_dir name in
+        (match Verus.Vcache.clear ~dir with Ok () -> () | Error _ -> ());
+        let config = Verus.Driver.Config.(with_cache dir default) in
+        let run () = Verus.Driver.verify_program ~config Verus.Profiles.verus prog in
+        let cold = run () in
+        let warm = run () in
+        let stats r =
+          match r.Verus.Driver.pr_cache with
+          | Some s -> s
+          | None -> failwith "cache bench: run carried no cache stats"
+        in
+        let ws = stats warm in
+        let looked = ws.Verus.Vcache.hits + ws.Verus.Vcache.misses + ws.Verus.Vcache.invalidations in
+        let hit_rate =
+          if looked = 0 then 0.0 else float_of_int ws.Verus.Vcache.hits /. float_of_int looked
+        in
+        let digest_equal =
+          String.equal (Verus.Driver.result_digest cold) (Verus.Driver.result_digest warm)
+        in
+        let speedup =
+          if warm.Verus.Driver.pr_time_s > 0.0 then
+            cold.Verus.Driver.pr_time_s /. warm.Verus.Driver.pr_time_s
+          else infinity
+        in
+        Printf.printf "  %-16s %9.3fs %9.3fs %8.1fx %8.0f%% %7d %7s\n%!" name
+          cold.Verus.Driver.pr_time_s warm.Verus.Driver.pr_time_s speedup (100.0 *. hit_rate)
+          ws.Verus.Vcache.entries_loaded
+          (if digest_equal then "equal" else "DIFFERS");
+        Vbase.Json.Obj
+          [
+            ("program", Vbase.Json.String name);
+            ("profile", Vbase.Json.String Verus.Profiles.verus.Verus.Profiles.name);
+            ("ok", Vbase.Json.Bool (cold.Verus.Driver.pr_ok && warm.Verus.Driver.pr_ok));
+            ("cold_s", Vbase.Json.Float cold.Verus.Driver.pr_time_s);
+            ("warm_s", Vbase.Json.Float warm.Verus.Driver.pr_time_s);
+            ("speedup", Vbase.Json.Float speedup);
+            ("hit_rate", Vbase.Json.Float hit_rate);
+            ("hits", Vbase.Json.Int ws.Verus.Vcache.hits);
+            ("misses", Vbase.Json.Int ws.Verus.Vcache.misses);
+            ("invalidations", Vbase.Json.Int ws.Verus.Vcache.invalidations);
+            ("entries", Vbase.Json.Int ws.Verus.Vcache.entries_loaded);
+            ("digest_equal", Vbase.Json.Bool digest_equal);
+          ])
+      cases
+  in
+  let doc =
+    Vbase.Json.Obj
+      [
+        ("schema", Vbase.Json.String "verus-cache-bench/1");
+        ("store_schema", Vbase.Json.String Verus.Vcache.schema_version);
+        ("rows", Vbase.Json.List rows);
+      ]
+  in
+  let oc = open_out "BENCH_cache.json" in
+  output_string oc (Vbase.Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  wrote %d row(s) to BENCH_cache.json\n%!" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* micro: bechamel microbenchmarks of the hot runtime paths             *)
 (* ------------------------------------------------------------------ *)
 
@@ -702,6 +796,7 @@ let sections =
     ("tab-epr", tab_epr);
     ("ablation", ablation);
     ("lint", lint_bench);
+    ("cache", cache_bench);
     ("micro", micro);
   ]
 

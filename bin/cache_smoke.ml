@@ -1,0 +1,85 @@
+(* CI smoke for the verification cache (`dune build @cache`):
+
+   1. a cold run through an empty cache must solve (and store) everything;
+   2. a warm run must serve 100% of the obligations from the store and
+      produce a result digest identical to the cold run's;
+   3. a warm run on more domains must report the same counters (the
+      statistics are defined against the load-time snapshot, not the
+      worker interleaving);
+   4. corrupting the store must degrade to a full cold run — same digest,
+      zero failures — and rewrite the store, after which one more run is
+      warm again.
+
+   Exit 0 when all hold, 1 with a message otherwise. *)
+
+let dir = Filename.concat (Filename.get_temp_dir_name ()) "verus-cache-smoke"
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("cache_smoke: FAIL: " ^ m); exit 1) fmt
+
+let check name cond = if not cond then fail "%s" name else Printf.printf "  ok: %s\n%!" name
+
+let stats (r : Verus.Driver.program_result) =
+  match r.Verus.Driver.pr_cache with
+  | Some s -> s
+  | None -> fail "run reported no cache stats"
+
+let run ?(jobs = 1) () =
+  let config = Verus.Driver.Config.(default |> with_cache dir |> with_jobs jobs) in
+  Verus.Driver.verify_program ~config Verus.Profiles.verus Verus.Bench_programs.singly_linked
+
+let () =
+  (match Verus.Vcache.clear ~dir with
+  | Ok () -> ()
+  | Error e -> fail "could not clear %s: %s" dir e);
+
+  (* 1: cold. *)
+  let cold = run () in
+  let cs = stats cold in
+  check "cold run verifies" cold.Verus.Driver.pr_ok;
+  check "cold run has no hits" (cs.Verus.Vcache.hits = 0);
+  check "cold run misses every obligation"
+    (cs.Verus.Vcache.misses > 0 && cs.Verus.Vcache.invalidations = 0);
+  check "cold run stores entries" (cs.Verus.Vcache.stores > 0);
+
+  (* 2: warm — 100% hit rate, identical digest. *)
+  let warm = run () in
+  let ws = stats warm in
+  check "warm run verifies" warm.Verus.Driver.pr_ok;
+  check "warm run hits every obligation"
+    (ws.Verus.Vcache.hits = cs.Verus.Vcache.misses
+    && ws.Verus.Vcache.misses = 0
+    && ws.Verus.Vcache.invalidations = 0);
+  check "warm run stores nothing" (ws.Verus.Vcache.stores = 0);
+  check "warm digest equals cold digest"
+    (String.equal (Verus.Driver.result_digest cold) (Verus.Driver.result_digest warm));
+
+  (* 3: same counters under jobs > 1. *)
+  let warm2 = run ~jobs:2 () in
+  let w2 = stats warm2 in
+  check "warm jobs=2 digest unchanged"
+    (String.equal (Verus.Driver.result_digest warm) (Verus.Driver.result_digest warm2));
+  check "warm jobs=2 counters unchanged"
+    (w2.Verus.Vcache.hits = ws.Verus.Vcache.hits
+    && w2.Verus.Vcache.misses = 0
+    && w2.Verus.Vcache.invalidations = 0);
+
+  (* 4: corruption degrades to cold, repairs, then warms again. *)
+  let path = Filename.concat dir Verus.Vcache.file_name in
+  let oc = open_out path in
+  output_string oc "{ \"schema\": \"verus-cache/1\", \"entries\": { truncated";
+  close_out oc;
+  let recovered = run () in
+  let rs = stats recovered in
+  check "corrupt store is detected" rs.Verus.Vcache.corrupt_load;
+  check "corrupt store degrades to a full cold run"
+    (rs.Verus.Vcache.hits = 0 && rs.Verus.Vcache.misses = cs.Verus.Vcache.misses);
+  check "corrupt-store run still verifies" recovered.Verus.Driver.pr_ok;
+  check "corrupt-store digest unchanged"
+    (String.equal (Verus.Driver.result_digest cold) (Verus.Driver.result_digest recovered));
+  let rewarm = run () in
+  let rw = stats rewarm in
+  check "store was rebuilt after corruption"
+    ((not rw.Verus.Vcache.corrupt_load) && rw.Verus.Vcache.hits = ws.Verus.Vcache.hits);
+
+  Printf.printf "cache_smoke: all checks passed (%d obligations, store %s)\n"
+    ws.Verus.Vcache.hits path

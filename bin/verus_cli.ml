@@ -1,19 +1,28 @@
 (* Command-line driver with a small subcommand interface:
 
      verus_cli verify  <program> [<profile>] [--fn NAME] [--jobs N] [--lint MODE]
-                       [--deadline SECS] [--max-rounds N]
+                       [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache]
      verus_cli profile <program> [<profile>] [--json] [--top K] [--liberal]
                        [--fn NAME] [--jobs N] [--deadline SECS] [--max-rounds N]
+                       [--cache DIR] [--no-cache]
      verus_cli lint    [<program>|--all] [<profile>] [--strict]
+     verus_cli cache   stats|clear [DIR]
      verus_cli list            (also available as --list)
      verus_cli codes           (the VL0xx diagnostic table)
      verus_cli help
+
+   The verification cache directory comes from --cache DIR or, when the
+   flag is absent, the VERUS_CACHE environment variable; --no-cache turns
+   caching off regardless.
 
    Exit codes: 0 ok, 1 findings / verification failure (a refutation, a
    front-end error, or a strict-mode lint), 2 usage error, 3 budget
    exhausted — every failed obligation is Unknown (solver deadline /
    round budget), none refuted.  Distinguishing 3 from 1 lets CI retry
-   with a bigger --deadline instead of reporting a counterexample. *)
+   with a bigger --deadline instead of reporting a counterexample.  The
+   cache subcommands use 4 for I/O problems (unreadable/corrupt store,
+   failed delete) — distinct from 0 so scripts notice, distinct from 1
+   so it is never mistaken for a verification failure. *)
 
 let programs =
   [
@@ -35,11 +44,12 @@ let usage oc =
     "usage: verus_cli <command> [args]\n\n\
      commands:\n\
     \  verify <program> [<profile>] [--fn NAME] [--jobs N] [--lint ignore|warn|strict]\n\
-    \         [--deadline SECS] [--max-rounds N]\n\
+    \         [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache]\n\
     \      verify one bundled program under a profile (default: Verus);\n\
-    \      --deadline / --max-rounds override the profile's solver budgets\n\
+    \      --deadline / --max-rounds override the profile's solver budgets;\n\
+    \      --cache DIR (or VERUS_CACHE) reuses cached VC results across runs\n\
     \  profile <program> [<profile>] [--json] [--top K] [--liberal] [--fn NAME]\n\
-    \          [--jobs N] [--deadline SECS] [--max-rounds N]\n\
+    \          [--jobs N] [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache]\n\
     \      verify with the solver profiler on and print instantiation /\n\
     \      phase-time hot-spot tables (--json: versioned machine-readable\n\
     \      document; --liberal: degrade the profile to Dafny-style broad\n\
@@ -49,6 +59,9 @@ let usage oc =
     \      run the Vlint static analyses; exit 1 on Error findings\n\
     \      (--strict: also fail on Warn findings; --liberal: lint the\n\
     \      broad-trigger degradation of the profile)\n\
+    \  cache stats|clear [DIR]\n\
+    \      inspect or delete the verification cache in DIR (or VERUS_CACHE);\n\
+    \      exit 4 on I/O problems (unreadable or corrupt store, failed delete)\n\
     \  list\n\
     \      list bundled programs and profiles\n\
     \  codes\n\
@@ -58,7 +71,8 @@ let usage oc =
      programs: %s\n\
      profiles: %s (case-insensitive; 'fstar' and 'lowstar' also accepted)\n\
      exit codes: 0 ok / 1 findings or failure / 2 usage / 3 solver budget exhausted\n\
-    \            (3 = every failed obligation is Unknown: a timeout is not a refutation)\n"
+    \            (3 = every failed obligation is Unknown: a timeout is not a refutation)\n\
+    \            / 4 cache I/O problem (cache subcommands only)\n"
     (String.concat ", " (List.map fst programs))
     (String.concat ", " profile_names)
 
@@ -104,21 +118,37 @@ let cmd_codes () =
   exit 0
 
 (* Per-run solver budget overrides: a tighter (or looser) deadline /
-   instantiation-round cap than the profile bakes in. *)
-let apply_budget_overrides profile deadline max_rounds =
+   instantiation-round cap than the profile bakes in, expressed as a
+   [Driver.Config] budget override (so the cache fingerprints see it). *)
+let budget_override profile deadline max_rounds =
   match (deadline, max_rounds) with
-  | None, None -> profile
+  | None, None -> None
   | d, r ->
-    let sc = profile.Verus.Profiles.solver_config in
-    {
-      profile with
-      Verus.Profiles.solver_config =
-        {
-          sc with
-          Smt.Solver.deadline_s = Option.value ~default:sc.Smt.Solver.deadline_s d;
-          Smt.Solver.max_rounds = Option.value ~default:sc.Smt.Solver.max_rounds r;
-        };
-    }
+    let b = Verus.Profiles.budget profile in
+    Some
+      {
+        b with
+        Smt.Solver.deadline_s = Option.value ~default:b.Smt.Solver.deadline_s d;
+        Smt.Solver.max_rounds = Option.value ~default:b.Smt.Solver.max_rounds r;
+      }
+
+(* --cache DIR wins; otherwise VERUS_CACHE; --no-cache beats both. *)
+let resolve_cache_dir ~no_cache ~cache_dir =
+  if no_cache then None
+  else
+    match cache_dir with
+    | Some d -> Some d
+    | None -> (
+      match Sys.getenv_opt "VERUS_CACHE" with Some "" | None -> None | Some d -> Some d)
+
+let cache_summary_line (r : Verus.Driver.program_result) =
+  match r.Verus.Driver.pr_cache with
+  | None -> ()
+  | Some cs ->
+    Printf.printf "cache: %d hit(s), %d miss(es), %d invalidation(s), %d store(s)%s\n"
+      cs.Verus.Vcache.hits cs.Verus.Vcache.misses cs.Verus.Vcache.invalidations
+      cs.Verus.Vcache.stores
+      (if cs.Verus.Vcache.corrupt_load then " — store was corrupt at load, rebuilt" else "")
 
 (* Restrict verification to one exec/proof function (debugging aid);
    spec functions stay, the others' axioms may be needed. *)
@@ -165,10 +195,18 @@ let cmd_verify args =
   let lint = ref Verus.Driver.Lint_ignore in
   let deadline = ref None in
   let max_rounds = ref None in
+  let cache_dir = ref None in
+  let no_cache = ref false in
   let rec parse = function
     | [] -> ()
     | "--fn" :: v :: rest ->
       fn_filter := Some v;
+      parse rest
+    | "--cache" :: v :: rest ->
+      cache_dir := Some v;
+      parse rest
+    | "--no-cache" :: rest ->
+      no_cache := true;
       parse rest
     | "--deadline" :: v :: rest ->
       (match float_of_string_opt v with
@@ -199,9 +237,21 @@ let cmd_verify args =
   in
   parse args;
   let prog_name = match !prog_name with Some p -> p | None -> "singly_linked" in
-  let profile = apply_budget_overrides (find_profile !profile_name) !deadline !max_rounds in
+  let profile = find_profile !profile_name in
   let prog = apply_fn_filter (find_program prog_name) !fn_filter in
-  let r = Verus.Driver.verify_program ~jobs:!jobs ~lint:!lint profile prog in
+  let config =
+    {
+      Verus.Driver.Config.default with
+      Verus.Driver.Config.jobs = !jobs;
+      lint = !lint;
+      budget = budget_override profile !deadline !max_rounds;
+      cache =
+        Option.map
+          (fun dir -> { Verus.Vcache.dir })
+          (resolve_cache_dir ~no_cache:!no_cache ~cache_dir:!cache_dir);
+    }
+  in
+  let r = Verus.Driver.verify_program ~config profile prog in
   List.iter
     (fun d -> Printf.printf "lint: %s\n" (Verus.Vlint.diag_to_string d))
     r.Verus.Driver.pr_lint;
@@ -227,6 +277,7 @@ let cmd_verify args =
   | Some (where, what, code) when not r.Verus.Driver.pr_ok ->
     Printf.printf "first failure: [%s] %s: %s\n" code where what
   | _ -> ());
+  cache_summary_line r;
   (* A run that failed *only* on Unknown answers (solver deadline /
      instantiation budget) is a budget exhaustion, not a refutation: exit
      3 so callers can distinguish "needs a bigger --deadline" from "has a
@@ -252,6 +303,8 @@ let cmd_profile args =
   let liberal = ref false in
   let deadline = ref None in
   let max_rounds = ref None in
+  let cache_dir = ref None in
+  let no_cache = ref false in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest ->
@@ -259,6 +312,12 @@ let cmd_profile args =
       parse rest
     | "--liberal" :: rest ->
       liberal := true;
+      parse rest
+    | "--cache" :: v :: rest ->
+      cache_dir := Some v;
+      parse rest
+    | "--no-cache" :: rest ->
+      no_cache := true;
       parse rest
     | "--top" :: v :: rest ->
       (match int_of_string_opt v with
@@ -292,14 +351,22 @@ let cmd_profile args =
   let prog_name = match !prog_name with Some p -> p | None -> "singly_linked" in
   let profile = find_profile !profile_name in
   let profile = if !liberal then Verus.Profiles.liberal profile else profile in
-  let profile = apply_budget_overrides profile !deadline !max_rounds in
   let prog = apply_fn_filter (find_program prog_name) !fn_filter in
   (* Lint in warn mode so the VL010 cross-check has findings to compare
      the measured hot-spots against; warn never aborts the run. *)
-  let r =
-    Verus.Driver.verify_program ~jobs:!jobs ~lint:Verus.Driver.Lint_warn ~profile:true
-      profile prog
+  let config =
+    {
+      Verus.Driver.Config.jobs = !jobs;
+      lint = Verus.Driver.Lint_warn;
+      profile = true;
+      budget = budget_override profile !deadline !max_rounds;
+      cache =
+        Option.map
+          (fun dir -> { Verus.Vcache.dir })
+          (resolve_cache_dir ~no_cache:!no_cache ~cache_dir:!cache_dir);
+    }
   in
+  let r = Verus.Driver.verify_program ~config profile prog in
   if !json then
     print_endline (Vbase.Json.to_string ~indent:true (Verus.Profile_report.to_json ~prog_name r))
   else begin
@@ -358,6 +425,59 @@ let cmd_lint args =
   let failing = !n_err > 0 || (!strict && !n_warn > 0) in
   exit (if failing then 1 else 0)
 
+(* ---------------------------- cache ------------------------------- *)
+
+(* Exit 4 ("cache I/O problem") is deliberately distinct from both 0 and
+   1: a corrupt or undeletable store is an environment problem, not a
+   verification verdict, and scripts must not mistake one for the other. *)
+let exit_cache_io = 4
+
+let cmd_cache args =
+  let action, dir_arg =
+    match args with
+    | [ a ] when a = "stats" || a = "clear" -> (a, None)
+    | [ a; d ] when a = "stats" || a = "clear" -> (a, Some d)
+    | a :: _ when a <> "stats" && a <> "clear" ->
+      die_usage "cache expects stats or clear, got %s" a
+    | _ -> die_usage "usage: verus_cli cache stats|clear [DIR]"
+  in
+  let dir =
+    match resolve_cache_dir ~no_cache:false ~cache_dir:dir_arg with
+    | Some d -> d
+    | None -> die_usage "cache %s needs a directory (argument or VERUS_CACHE)" action
+  in
+  match action with
+  | "clear" -> (
+    match Verus.Vcache.clear ~dir with
+    | Ok () ->
+      Printf.printf "cache cleared: %s\n" (Filename.concat dir Verus.Vcache.file_name);
+      exit 0
+    | Error e ->
+      Printf.eprintf "cache clear failed: %s\n" e;
+      exit exit_cache_io)
+  | _ ->
+    let ds = Verus.Vcache.disk_stats ~dir in
+    Printf.printf "cache %s (schema %s)\n"
+      (Filename.concat dir Verus.Vcache.file_name)
+      Verus.Vcache.schema_version;
+    if not ds.Verus.Vcache.ds_exists then begin
+      Printf.printf "  no store present (a cached verify run will create it)\n";
+      exit 0
+    end
+    else begin
+      Printf.printf "  entries: %d (%d bytes on disk)\n" ds.Verus.Vcache.ds_entries
+        ds.Verus.Vcache.ds_bytes;
+      List.iter
+        (fun (kind, n) -> Printf.printf "    %-8s %d\n" kind n)
+        ds.Verus.Vcache.ds_answers;
+      if ds.Verus.Vcache.ds_dropped > 0 then
+        Printf.printf "  malformed entries: %d (dropped at load)\n" ds.Verus.Vcache.ds_dropped;
+      if ds.Verus.Vcache.ds_corrupt then
+        Printf.printf "  store is CORRUPT (verify runs degrade to cold and rebuild it)\n";
+      if ds.Verus.Vcache.ds_corrupt || ds.Verus.Vcache.ds_dropped > 0 then exit exit_cache_io
+      else exit 0
+    end
+
 (* ----------------------------- main ------------------------------- *)
 
 let () =
@@ -366,6 +486,7 @@ let () =
   | _ :: "verify" :: rest -> cmd_verify rest
   | _ :: "profile" :: rest -> cmd_profile rest
   | _ :: "lint" :: rest -> cmd_lint rest
+  | _ :: "cache" :: rest -> cmd_cache rest
   | _ :: ("list" | "--list") :: _ -> cmd_list ()
   | _ :: "codes" :: _ -> cmd_codes ()
   | _ :: ("help" | "--help" | "-h") :: _ | [ _ ] ->

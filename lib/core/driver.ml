@@ -46,9 +46,28 @@ type program_result = {
   pr_front_end_errors : string list;
   pr_lint : Vlint.diag list;
   pr_prof : program_profile option;
+  pr_cache : Vcache.stats option;
 }
 
 type lint_mode = Lint_ignore | Lint_warn | Lint_strict
+
+module Config = struct
+  type t = {
+    jobs : int;
+    lint : lint_mode;
+    profile : bool;
+    cache : Vcache.config option;
+    budget : Smt.Solver.budget option;
+  }
+
+  let default = { jobs = 1; lint = Lint_ignore; profile = false; cache = None; budget = None }
+  let with_jobs jobs c = { c with jobs }
+  let with_lint lint c = { c with lint }
+  let with_profile profile c = { c with profile }
+  let with_cache dir c = { c with cache = Some { Vcache.dir } }
+  let without_cache c = { c with cache = None }
+  let with_budget b c = { c with budget = Some b }
+end
 
 (* ------------------------------------------------------------------ *)
 (* Pruning                                                             *)
@@ -107,7 +126,13 @@ let axiom_index_table axioms =
   List.iteri (fun i (ax : T.t) -> Hashtbl.replace tbl ax.T.tid i) axioms;
   tbl
 
-let run_vc ?(profile = false) (p : Profiles.t) (prog : program) ~axioms ~ax_index
+(* The per-VC axiom membership is recomputed locally even on a cache hit —
+   it is a deterministic function of the context, not of the solve. *)
+let vp_axioms_of_context ~ax_index context =
+  List.filter_map (fun (ax : T.t) -> Hashtbl.find_opt ax_index ax.T.tid) context
+  |> List.sort compare
+
+let run_vc ?(profile = false) ?cache (p : Profiles.t) (prog : program) ~axioms ~ax_index
     (vc : Encode.vc) : vc_result =
   let t0 = Unix.gettimeofday () in
   let context =
@@ -117,6 +142,41 @@ let run_vc ?(profile = false) (p : Profiles.t) (prog : program) ~axioms ~ax_inde
     List.fold_left (fun acc t -> acc + T.printed_size t) 0 (vc.Encode.vc_goal :: vc.Encode.vc_hyps)
     + List.fold_left (fun acc t -> acc + T.printed_size t) 0 context
   in
+  let fp =
+    match cache with
+    | None -> None
+    | Some _ -> Some (Vcache.fingerprint ~profile:p ~prog ~context vc)
+  in
+  let cached =
+    match (cache, fp) with
+    | Some c, Some fp ->
+      Vcache.lookup c ~name:vc.Encode.vc_name ~fp ~profile_wanted:profile
+    | _ -> None
+  in
+  match cached with
+  | Some e ->
+    (* Hit: reproduce the recorded solve verbatim (answer, detail, bytes,
+       original solve time) — warm results are indistinguishable from the
+       cold run that filled the cache. *)
+    let vcr_prof =
+      if not profile then None
+      else
+        Some
+          {
+            vp_smt = (match e.Vcache.e_profile with Some pr -> pr | None -> Smt.Profile.empty);
+            vp_axioms = vp_axioms_of_context ~ax_index context;
+          }
+    in
+    {
+      vcr_name = vc.Encode.vc_name;
+      vcr_answer = e.Vcache.e_answer;
+      vcr_time_s = e.Vcache.e_time_s;
+      vcr_bytes = e.Vcache.e_bytes;
+      vcr_detail = e.Vcache.e_detail;
+      vcr_prof;
+    }
+  | None ->
+  let budget = Profiles.budget p in
   let smt_prof = ref None in
   let answer, detail =
     match vc.Encode.vc_hint with
@@ -144,42 +204,49 @@ let run_vc ?(profile = false) (p : Profiles.t) (prog : program) ~axioms ~ax_inde
         in
         (r.Smt.Solver.answer, d)
       end
-    | H_bit_vector -> outcome_to_answer (Modes.prove_bit_vector vc.Encode.vc_goal)
-    | H_nonlinear -> outcome_to_answer (Modes.prove_nonlinear vc.Encode.vc_goal)
-    | H_integer_ring -> outcome_to_answer (Modes.prove_integer_ring vc.Encode.vc_goal)
+    | H_bit_vector -> outcome_to_answer (Modes.prove_bit_vector ~budget vc.Encode.vc_goal)
+    | H_nonlinear -> outcome_to_answer (Modes.prove_nonlinear ~budget vc.Encode.vc_goal)
+    | H_integer_ring -> outcome_to_answer (Modes.prove_integer_ring ~budget vc.Encode.vc_goal)
     | H_compute -> (
       match vc.Encode.vc_expr with
-      | Some e -> outcome_to_answer (Modes.prove_compute prog e)
+      | Some e -> outcome_to_answer (Modes.prove_compute ~budget prog e)
       | None -> (Smt.Solver.Unknown "compute assert lost its expression", ""))
   in
+  let time_s = Unix.gettimeofday () -. t0 in
+  (match (cache, fp) with
+  | Some c, Some fp ->
+    Vcache.store c ~name:vc.Encode.vc_name ~fp
+      {
+        Vcache.e_answer = answer;
+        e_detail = detail;
+        e_bytes = bytes;
+        e_time_s = time_s;
+        e_profile = !smt_prof;
+      }
+  | _ -> ());
   let vcr_prof =
     if not profile then None
-    else begin
-      let vp_axioms =
-        List.filter_map (fun (ax : T.t) -> Hashtbl.find_opt ax_index ax.T.tid) context
-        |> List.sort compare
-      in
+    else
       Some
         {
           vp_smt = (match !smt_prof with Some pr -> pr | None -> Smt.Profile.empty);
-          vp_axioms;
+          vp_axioms = vp_axioms_of_context ~ax_index context;
         }
-    end
   in
   {
     vcr_name = vc.Encode.vc_name;
     vcr_answer = answer;
-    vcr_time_s = Unix.gettimeofday () -. t0;
+    vcr_time_s = time_s;
     vcr_bytes = bytes;
     vcr_detail = detail;
     vcr_prof;
   }
 
-let verify_function_with_axioms ?(profile = false) (p : Profiles.t) (prog : program) ~axioms
-    ~ax_index (fd : fndecl) : fn_result =
+let verify_function_with_axioms ?(profile = false) ?cache (p : Profiles.t) (prog : program)
+    ~axioms ~ax_index (fd : fndecl) : fn_result =
   let t0 = Unix.gettimeofday () in
   let vcs = Encode.encode_function p prog fd in
-  let results = List.map (run_vc ~profile p prog ~axioms ~ax_index) vcs in
+  let results = List.map (run_vc ~profile ?cache p prog ~axioms ~ax_index) vcs in
   let ok = List.for_all (fun r -> r.vcr_answer = Smt.Solver.Unsat) results in
   let fnr_prof =
     if not profile then None
@@ -267,9 +334,14 @@ let aggregate_program_profile (p : Profiles.t) ~axioms (fns : fn_result list) :
   in
   { pp_smt; pp_axiom_costs; pp_vcs = List.length vc_profs }
 
-let verify_program ?(jobs = 1) ?(lint = Lint_ignore) ?(profile = false) (p : Profiles.t)
-    (prog : program) : program_result =
+let verify_program ?(config = Config.default) (p : Profiles.t) (prog : program) :
+    program_result =
   let t0 = Unix.gettimeofday () in
+  let { Config.jobs; lint; profile; cache = cache_cfg; budget } = config in
+  (* A budget override is folded into the profile before anything else
+     runs, so solves, §3.3 modes and cache fingerprints all see the same
+     effective budget. *)
+  let p = match budget with None -> p | Some b -> Profiles.with_budget b p in
   (* Static analysis first: in [Lint_strict] mode Error-severity findings
      abort before any SMT work (fail fast); [Lint_warn] records them in
      [pr_lint] without affecting the verdict. *)
@@ -285,6 +357,7 @@ let verify_program ?(jobs = 1) ?(lint = Lint_ignore) ?(profile = false) (p : Pro
       pr_front_end_errors = [];
       pr_lint = lint_diags;
       pr_prof = None;
+      pr_cache = None;
     }
   else
   let front_end_errors =
@@ -301,8 +374,10 @@ let verify_program ?(jobs = 1) ?(lint = Lint_ignore) ?(profile = false) (p : Pro
       pr_front_end_errors = front_end_errors;
       pr_lint = lint_diags;
       pr_prof = None;
+      pr_cache = None;
     }
   else begin
+    let cache = Option.map Vcache.open_ cache_cfg in
     let axioms = Encode.program_axioms p prog in
     let ax_index = axiom_index_table axioms in
     let targets =
@@ -310,7 +385,7 @@ let verify_program ?(jobs = 1) ?(lint = Lint_ignore) ?(profile = false) (p : Pro
     in
     let results =
       if jobs <= 1 then
-        List.map (verify_function_with_axioms ~profile p prog ~axioms ~ax_index) targets
+        List.map (verify_function_with_axioms ~profile ?cache p prog ~axioms ~ax_index) targets
       else begin
         (* Round-robin chunks over domains. *)
         let n = List.length targets in
@@ -322,7 +397,8 @@ let verify_program ?(jobs = 1) ?(lint = Lint_ignore) ?(profile = false) (p : Pro
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
               out.(i) <-
-                Some (verify_function_with_axioms ~profile p prog ~axioms ~ax_index arr.(i));
+                Some
+                  (verify_function_with_axioms ~profile ?cache p prog ~axioms ~ax_index arr.(i));
               go ()
             end
           in
@@ -332,6 +408,15 @@ let verify_program ?(jobs = 1) ?(lint = Lint_ignore) ?(profile = false) (p : Pro
         List.iter Domain.join domains;
         Array.to_list out |> List.filter_map Fun.id
       end
+    in
+    let pr_cache =
+      match cache with
+      | None -> None
+      | Some c ->
+        (match Vcache.flush c with
+        | Ok () -> ()
+        | Error e -> Printf.eprintf "warning: verification cache not saved: %s\n%!" e);
+        Some (Vcache.stats c)
     in
     {
       pr_profile = p.Profiles.name;
@@ -343,8 +428,41 @@ let verify_program ?(jobs = 1) ?(lint = Lint_ignore) ?(profile = false) (p : Pro
       pr_lint = lint_diags;
       pr_prof =
         (if profile then Some (aggregate_program_profile p ~axioms results) else None);
+      pr_cache;
     }
   end
+
+let verify_program_opts ?(jobs = 1) ?(lint = Lint_ignore) ?(profile = false) (p : Profiles.t)
+    (prog : program) : program_result =
+  verify_program ~config:{ Config.default with Config.jobs; lint; profile } p prog
+
+let result_digest (pr : program_result) : string =
+  let b = Buffer.create 2048 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let ans = function
+    | Smt.Solver.Unsat -> "unsat"
+    | Smt.Solver.Sat -> "sat"
+    | Smt.Solver.Unknown r -> "unknown:" ^ r
+  in
+  add "profile=%s ok=%b" pr.pr_profile pr.pr_ok;
+  List.iter (fun e -> add "fe:%s" e) pr.pr_front_end_errors;
+  List.iter (fun (d : Vlint.diag) -> add "lint:%s" (Vlint.diag_to_string d)) pr.pr_lint;
+  List.iter
+    (fun fnr ->
+      add "fn:%s ok=%b" fnr.fnr_name fnr.fnr_ok;
+      (* [vcr_detail] and the byte counts are deliberately excluded: the
+         default-mode detail string embeds solver phase times (wall-clock),
+         and printed sizes vary with the process-global fresh-symbol
+         counter — run artifacts, not decisions. *)
+      List.iter (fun v -> add "vc:%s|%s" v.vcr_name (ans v.vcr_answer)) fnr.fnr_vcs)
+    pr.pr_fns;
+  Vbase.Hash.string128 (Buffer.contents b)
 
 let first_failure (pr : program_result) =
   match Vlint.errors pr.pr_lint with

@@ -80,8 +80,11 @@ type program_result = {
       (** static-analysis findings; populated when [verify_program] was
           called with [~lint:Lint_warn] or [~lint:Lint_strict] *)
   pr_prof : program_profile option;
-      (** [Some] iff [verify_program] was called with [~profile:true] and
+      (** [Some] iff the run profiled ([Config.profile = true]) and
           verification reached the SMT stage *)
+  pr_cache : Vcache.stats option;
+      (** hit/miss/invalidation counters, [Some] iff a cache was configured
+          and verification reached the SMT stage *)
 }
 
 (** When (and whether) to run the {!Vlint} static analyses. *)
@@ -92,6 +95,36 @@ type lint_mode =
       (** fail fast: Error-severity findings abort before any SMT work,
           with [pr_fns = []] and [pr_ok = false] *)
 
+(** Run configuration — the one record every knob of a verification run
+    lives in.  Callers build it with {!Config.default} and the [with_*]
+    builders; the CLI, the benchmark harness and the test suites all feed
+    the same record to {!verify_program}. *)
+module Config : sig
+  type t = {
+    jobs : int;  (** parallel verification domains (Figure 9) *)
+    lint : lint_mode;  (** static analysis before SMT work *)
+    profile : bool;  (** retain per-VC solver profiles *)
+    cache : Vcache.config option;  (** persistent VC-result cache, if any *)
+    budget : Smt.Solver.budget option;
+        (** when [Some], overrides the framework profile's solver budget
+            (what the CLI's [--deadline]/[--max-rounds] set); the override
+            is part of the cache fingerprint *)
+  }
+
+  val default : t
+  (** [jobs = 1], no lint, no profiling, no cache, profile's own budget. *)
+
+  val with_jobs : int -> t -> t
+  val with_lint : lint_mode -> t -> t
+  val with_profile : bool -> t -> t
+
+  val with_cache : string -> t -> t
+  (** Enable the verification cache in the given directory. *)
+
+  val without_cache : t -> t
+  val with_budget : Smt.Solver.budget -> t -> t
+end
+
 val context_for :
   Profiles.t -> Vir.program -> Encode.vc -> Smt.Term.t list
 (** Theory axioms + spec-function definitions for one VC, pruned to the
@@ -101,15 +134,36 @@ val verify_function : ?profile:bool -> Profiles.t -> Vir.program -> Vir.fndecl -
 (** Verify one function.  [~profile] (default [false]) retains per-VC
     solver profiles in [vcr_prof]/[fnr_prof]. *)
 
-val verify_program :
-  ?jobs:int -> ?lint:lint_mode -> ?profile:bool -> Profiles.t -> Vir.program -> program_result
-(** Runs [Vlint] (per [lint], default [Lint_ignore]) and the front-end
-    checks, then verifies every function.  [jobs > 1] verifies functions
-    in parallel on that many domains (the paper's 8-core column in
-    Figure 9).  [~profile:true] (default [false]) aggregates every solve's
+val verify_program : ?config:Config.t -> Profiles.t -> Vir.program -> program_result
+(** The one entry point.  Runs [Vlint] (per [config.lint]) and the
+    front-end checks, then verifies every function.  [config.jobs > 1]
+    verifies functions in parallel on that many domains (the paper's 8-core
+    column in Figure 9).  [config.profile] aggregates every solve's
     {!Smt.Profile.t} into [pr_prof]; the aggregation is keyed on stable
     quantifier labels, so the resulting tables are identical whichever
-    domain finished first. *)
+    domain finished first.  [config.cache] opens the persistent VC cache
+    before solving, serves hits from its load-time snapshot (statistics are
+    deterministic under [jobs > 1]), and atomically flushes new entries at
+    the end; [pr_cache] reports the counters. *)
+
+val verify_program_opts :
+  ?jobs:int -> ?lint:lint_mode -> ?profile:bool -> Profiles.t -> Vir.program -> program_result
+[@@ocaml.deprecated "use verify_program ~config (Driver.Config)"]
+(** The pre-[Config] optional-argument signature, kept as a thin wrapper
+    for external callers mid-migration.  Equivalent to [verify_program
+    ~config:{ default with jobs; lint; profile }]. *)
+
+val result_digest : program_result -> string
+(** Content digest of everything a verification run {e decided} — per-VC
+    names and answers, per-function and overall verdicts, lint and
+    front-end output.  Run artifacts are excluded: the timing fields and
+    [vcr_detail] (whose default-mode string embeds solver phase times),
+    the byte counts (printed sizes vary with the process-global
+    fresh-symbol counter), and the profile/cache observability
+    attachments.  Two runs of the same program under the same
+    configuration digest equally whether their answers came from the
+    solver or from a warm cache; [scripts/check.sh] and the cache bench
+    assert exactly that. *)
 
 val first_failure : program_result -> (string * string * string) option
 (** [(origin, obligation, code)] of the first failure, if any: a lint

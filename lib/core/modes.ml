@@ -118,11 +118,20 @@ let translate_bv ~width (goal : T.t) : T.t =
   in
   tr_bool goal
 
-let prove_bit_vector ?(width = 64) goal =
+(* Every mode that searches takes the same {!Smt.Solver.budget} record
+   the main solver, the EPR grounding and the CLI flags use; a mode with
+   nothing to bound ([compute]) still accepts it so the driver can thread
+   one budget everywhere uniformly. *)
+let config_of_budget budget =
+  match budget with
+  | None -> Smt.Solver.default_config
+  | Some b -> { Smt.Solver.default_config with Smt.Solver.budget = b }
+
+let prove_bit_vector ?budget ?(width = 64) goal =
   match translate_bv ~width goal with
   | exception Untranslatable msg -> Unsupported msg
   | bv_goal -> (
-    let r = Smt.Solver.solve [ T.not_ bv_goal ] in
+    let r = Smt.Solver.solve ~config:(config_of_budget budget) [ T.not_ bv_goal ] in
     match r.Smt.Solver.answer with
     | Smt.Solver.Unsat -> Proved
     | Smt.Solver.Sat -> Refuted "bit-vector countermodel exists"
@@ -256,10 +265,10 @@ let rec normalize_goal (t : T.t) : T.t =
   | T.Iff (a, b) -> T.iff (normalize_goal a) (normalize_goal b)
   | _ -> t
 
-let prove_nonlinear ?(hyps = []) goal =
+let prove_nonlinear ?budget ?(hyps = []) goal =
   let goal = normalize_goal goal in
   let lemmas = nonlinear_lemmas goal in
-  let r = Smt.Solver.solve (hyps @ lemmas @ [ T.not_ goal ]) in
+  let r = Smt.Solver.solve ~config:(config_of_budget budget) (hyps @ lemmas @ [ T.not_ goal ]) in
   match r.Smt.Solver.answer with
   | Smt.Solver.Unsat -> Proved
   | Smt.Solver.Sat -> Refuted "nonlinear countermodel exists (under lemma approximation)"
@@ -305,7 +314,12 @@ let ring_poly_of_fact (t : T.t) : (Poly.t * Poly.t option, string) result =
   )
   | _ -> Error ("not a ring fact: " ^ T.to_string t)
 
-let prove_integer_ring goal =
+let prove_integer_ring ?budget goal =
+  let max_pairs =
+    match budget with
+    | None -> None
+    | Some b -> Some b.Smt.Solver.ring_pairs_budget
+  in
   let prems, concl = split_implications goal in
   let gens = ref [] in
   let errors = ref [] in
@@ -334,7 +348,7 @@ let prove_integer_ring goal =
           (Poly.of_term x, cp :: !gens)
         | _ -> (target, !gens)
       in
-      match Groebner.ideal_member target gens with
+      match Groebner.ideal_member ?max_pairs target gens with
       | true -> Proved
       | false -> Refuted "polynomial is not in the hypothesis ideal"
       | exception Failure msg -> Unsupported msg)
@@ -344,7 +358,8 @@ let prove_integer_ring goal =
 (* compute mode                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let prove_compute prog expr =
+let prove_compute ?budget prog expr =
+  ignore budget;
   match Interp.eval_expr ~quant_bound:0 prog [] expr with
   | Interp.VBool true -> Proved
   | Interp.VBool false -> Refuted "expression evaluates to false"

@@ -18,16 +18,24 @@
 
 type outcome = Proved | Refuted of string | Unsupported of string
 
-val prove_bit_vector : ?width:int -> Smt.Term.t -> outcome
+(** Every mode accepts the same [?budget] the main solver, the EPR
+    grounding and the CLI flags consume ({!Smt.Solver.budget}): the
+    bit-vector and nonlinear modes run their isolated queries under it,
+    the ring mode bounds Gröbner completion by its [ring_pairs_budget],
+    and [compute] accepts (and ignores) it so the driver can thread one
+    budget uniformly.  Default: {!Smt.Solver.default_budget}. *)
+
+val prove_bit_vector : ?budget:Smt.Solver.budget -> ?width:int -> Smt.Term.t -> outcome
 (** Validity of the goal under bit-vector semantics at [width] (default
     64).  [Unsupported] if the goal uses operations with no BV translation
     (e.g. division by a non-power-of-two). *)
 
-val prove_nonlinear : ?hyps:Smt.Term.t list -> Smt.Term.t -> outcome
+val prove_nonlinear : ?budget:Smt.Solver.budget -> ?hyps:Smt.Term.t list -> Smt.Term.t -> outcome
 
-val prove_integer_ring : Smt.Term.t -> outcome
+val prove_integer_ring : ?budget:Smt.Solver.budget -> Smt.Term.t -> outcome
 (** Goal shape: [premises ==> conclusion] where premises and conclusion are
-    equalities or [t % c == 0] facts over ring operations. *)
+    equalities or [t % c == 0] facts over ring operations.  Completion is
+    bounded by [budget.ring_pairs_budget] S-polynomial pairs. *)
 
-val prove_compute : Vir.program -> Vir.expr -> outcome
+val prove_compute : ?budget:Smt.Solver.budget -> Vir.program -> Vir.expr -> outcome
 (** Evaluates the (closed) expression; [Proved] iff it computes to true. *)

@@ -1,7 +1,9 @@
 module J = Vbase.Json
 module P = Smt.Profile
 
-let schema_version = "verus-profile/1"
+(* /2 added the "cache" key (verification-cache counters, null when the
+   run had no cache configured). *)
+let schema_version = "verus-profile/2"
 
 let required_keys =
   [
@@ -21,6 +23,7 @@ let required_keys =
     "axioms";
     "functions";
     "lint";
+    "cache";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -69,6 +72,16 @@ let render_text ?(top = 10) ~prog_name (r : Driver.program_result) =
        (inst rounds %d, euf conflicts %d, lia conflicts %d, theory lemmas %d)\n"
       ph.P.ph_sat ph.P.ph_euf ph.P.ph_lia ph.P.ph_comb ph.P.ph_ematch smt.P.inst_rounds
       smt.P.euf_conflicts smt.P.lia_conflicts smt.P.theory_lemmas;
+    (match r.Driver.pr_cache with
+    | None -> ()
+    | Some cs ->
+      pf "cache: %d hit(s) | %d miss(es) | %d invalidation(s) | %d store(s)%s\n"
+        cs.Vcache.hits cs.Vcache.misses cs.Vcache.invalidations cs.Vcache.stores
+        (if cs.Vcache.corrupt_load then "   (store was corrupt at load; rebuilt)"
+         else if cs.Vcache.entries_dropped > 0 then
+           Printf.sprintf "   (%d malformed entr%s dropped at load)" cs.Vcache.entries_dropped
+             (if cs.Vcache.entries_dropped = 1 then "y" else "ies")
+         else ""));
     (* Quantifier hot-spots. *)
     pf "\ntop %d quantifiers by instantiation:\n" top;
     pf "  %4s %10s %10s %8s %7s  %s\n" "#" "instances" "matched" "dup" "rounds" "quantifier";
@@ -206,6 +219,20 @@ let to_json ~prog_name (r : Driver.program_result) =
       ("axioms", J.List (List.map axiom_json pp.Driver.pp_axiom_costs));
       ("functions", J.List (List.map fn_json r.Driver.pr_fns));
       ("lint", lint);
+      ( "cache",
+        match r.Driver.pr_cache with
+        | None -> J.Null
+        | Some cs ->
+          J.Obj
+            [
+              ("hits", J.Int cs.Vcache.hits);
+              ("misses", J.Int cs.Vcache.misses);
+              ("invalidations", J.Int cs.Vcache.invalidations);
+              ("stores", J.Int cs.Vcache.stores);
+              ("entries_loaded", J.Int cs.Vcache.entries_loaded);
+              ("entries_dropped", J.Int cs.Vcache.entries_dropped);
+              ("corrupt_load", J.Bool cs.Vcache.corrupt_load);
+            ] );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -290,4 +317,17 @@ let validate j =
   let* lint = require_member "lint" j in
   let* _ = require_member "vl010_heads" lint in
   let* _ = require_member "top_hotspot_matches_vl010" lint in
+  let* cache = require_member "cache" j in
+  let* () =
+    match cache with
+    | J.Null -> Ok ()
+    | J.Obj _ ->
+      List.fold_left
+        (fun acc k ->
+          let* () = acc in
+          require_number k cache)
+        (Ok ())
+        [ "hits"; "misses"; "invalidations"; "stores" ]
+    | _ -> Error "cache is neither null nor an object"
+  in
   Ok ()

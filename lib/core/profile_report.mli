@@ -10,7 +10,7 @@
 
 val schema_version : string
 (** The value of the ["schema"] key in every emitted document
-    (["verus-profile/1"]). *)
+    (["verus-profile/2"]; [/2] added the ["cache"] key). *)
 
 val render_text : ?top:int -> prog_name:string -> Driver.program_result -> string
 (** The profile as text tables: verdict line, phase-time breakdown, the
@@ -27,8 +27,10 @@ val to_json : prog_name:string -> Driver.program_result -> Vbase.Json.t
     ["query_bytes"], ["vcs_profiled"], ["phase"] (object with [sat], [euf],
     [lia], [comb], [ematch]), ["inst_rounds"], ["euf_conflicts"],
     ["lia_conflicts"], ["theory_lemmas"], ["quantifiers"] (array),
-    ["axioms"] (array), ["functions"] (array) and ["lint"] (object with
-    [vl010_heads] and [top_hotspot_matches_vl010]). *)
+    ["axioms"] (array), ["functions"] (array), ["lint"] (object with
+    [vl010_heads] and [top_hotspot_matches_vl010]) and ["cache"] (the
+    {!Vcache.stats} counters of the run, or [null] when no cache was
+    configured). *)
 
 val validate : Vbase.Json.t -> (unit, string) result
 (** Structural validation of a document produced by {!to_json}: the schema

@@ -13,6 +13,7 @@ type t = {
 }
 
 let base_solver = Smt.Solver.default_config
+let base_budget = Smt.Solver.default_budget
 
 let verus =
   {
@@ -39,10 +40,8 @@ let dafny =
     epr_only = false;
     solver_config =
       {
-        base_solver with
         trigger_policy = Smt.Triggers.Conservative;
-        max_rounds = 60;
-        max_instances_per_quant = 2000;
+        budget = { base_budget with max_rounds = 60; max_instances_per_quant = 2000 };
       };
   }
 
@@ -58,10 +57,8 @@ let fstar =
     epr_only = false;
     solver_config =
       {
-        base_solver with
         trigger_policy = Smt.Triggers.Conservative;
-        max_rounds = 80;
-        max_instances_per_quant = 2000;
+        budget = { base_budget with max_rounds = 80; max_instances_per_quant = 2000 };
       };
   }
 
@@ -79,10 +76,8 @@ let prusti =
     epr_only = false;
     solver_config =
       {
-        base_solver with
         trigger_policy = Smt.Triggers.Liberal;
-        max_rounds = 30;
-        max_instances_per_quant = 1000;
+        budget = { base_budget with max_rounds = 30; max_instances_per_quant = 1000 };
       };
   }
 
@@ -123,3 +118,28 @@ let liberal p =
     curated_triggers = false;
     solver_config = { p.solver_config with trigger_policy = Smt.Triggers.Liberal };
   }
+
+let budget p = p.solver_config.Smt.Solver.budget
+
+let with_budget b p =
+  { p with solver_config = { p.solver_config with Smt.Solver.budget = b } }
+
+(* A canonical rendering of everything about a profile that can change a
+   VC's *answer* beyond what the VC terms themselves already encode: the
+   solving path (EPR vs default), the trigger policies (they steer
+   E-matching and Vlint-visible trigger selection), and the search
+   budgets.  The display name is deliberately excluded — renaming a
+   profile must not invalidate a verification cache built under it.
+   Encoding, wrapper depth and pruning need no mention: they are fully
+   reflected in the encoded terms and the materialized context. *)
+let solver_fingerprint p =
+  Printf.sprintf "epr=%b;policy=%s;axpolicy=%s;curated=%b;%s"
+    p.epr_only
+    (match p.solver_config.Smt.Solver.trigger_policy with
+    | Smt.Triggers.Conservative -> "conservative"
+    | Smt.Triggers.Liberal -> "liberal")
+    (match p.trigger_policy with
+    | Smt.Triggers.Conservative -> "conservative"
+    | Smt.Triggers.Liberal -> "liberal")
+    p.curated_triggers
+    (Smt.Solver.budget_fingerprint (budget p))

@@ -65,3 +65,20 @@ val liberal : t -> t
     VL010 ↔ profiler cross-validation: the matching loop the lint predicts
     statically is the instantiation hot-spot the profiler measures
     dynamically.  The name gains a "-liberal" suffix. *)
+
+val budget : t -> Smt.Solver.budget
+(** The profile's solver search budgets ([solver_config.budget]). *)
+
+val with_budget : Smt.Solver.budget -> t -> t
+(** The profile with its solver budgets replaced (trigger policy and
+    every encoding choice kept).  This is how the CLI's
+    [--deadline]/[--max-rounds] overrides and {!Driver.Config.budget}
+    are applied. *)
+
+val solver_fingerprint : t -> string
+(** Canonical rendering of the profile facets that can change a VC's
+    answer without changing the VC's terms: solving path (EPR or
+    default), trigger policies, curated-trigger flag, and the full
+    {!Smt.Solver.budget}.  The display name is excluded on purpose —
+    renaming a profile must not invalidate a verification cache.  Used
+    as a fingerprint component by {!Vcache}. *)

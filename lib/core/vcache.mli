@@ -1,0 +1,115 @@
+(** Vcache — persistent, content-addressed incremental verification.
+
+    Re-verifying an unchanged program should cost file I/O, not SMT time
+    (cf. F*'s hint database and Dafny's verification caching).  Vcache
+    keys every proof obligation by a {e fingerprint}: a 128-bit digest of
+    the canonical serialization ({!Smt.Canon}) of everything the solve's
+    answer depends on —
+
+    - the post-pruning context (theory axioms and spec-function
+      definitions actually in scope for this VC),
+    - the VC's hypotheses and goal,
+    - the proof hint (default / EPR path / §3.3 custom mode), and for
+      [by(compute)] obligations the interpreter-visible program surface
+      (spec bodies and datatypes),
+    - the solver-relevant profile facets and the full
+      {!Smt.Solver.budget} ({!Profiles.solver_fingerprint}).
+
+    Because the context is fingerprinted {e after} pruning, renaming or
+    editing a function the VC does not depend on leaves the fingerprint —
+    and the cache hit — intact; touching a spec function invalidates
+    exactly the VCs whose pruned context contains its definition.  The
+    soundness argument is containment: a hit is only valid because the
+    fingerprint covers every input of the solve (see DESIGN.md,
+    "Incremental verification").
+
+    Storage is one {!Vbase.Store} document ([verus-cache/1]) per cache
+    directory: atomically replaced (write-temp-rename), corruption-
+    tolerant (truncated/garbage files and malformed entries degrade to
+    misses, never failures), deterministically serialized (entries sorted
+    by fingerprint).
+
+    Lookups consult only the snapshot loaded at {!open_} — entries stored
+    during the current run are kept aside until {!flush} — so hit/miss
+    statistics are identical however many workers race ([jobs > 1]). *)
+
+val schema_version : string
+(** ["verus-cache/1"] — the on-disk document schema. *)
+
+val file_name : string
+(** The document's file name inside the cache directory. *)
+
+(** Where the cache lives. *)
+type config = { dir : string }
+
+(** What a cached solve remembers.  [e_detail], [e_bytes] and [e_time_s]
+    reproduce the original {!Driver.vc_result} verbatim on a hit (so warm
+    results are byte-identical to the cold run that filled the cache);
+    [e_profile] is present when the filling run profiled. *)
+type entry = {
+  e_answer : Smt.Solver.answer;
+  e_detail : string;
+  e_bytes : int;
+  e_time_s : float;  (** wall-clock of the original solve *)
+  e_profile : Smt.Profile.t option;
+}
+
+(** Per-run counters, deterministic under [jobs > 1]. *)
+type stats = {
+  hits : int;
+  misses : int;  (** obligations never seen before *)
+  invalidations : int;
+      (** obligations whose {e name} was cached but whose fingerprint
+          changed — the "this edit re-solved N VCs" number *)
+  stores : int;  (** distinct new entries recorded this run *)
+  entries_loaded : int;  (** well-formed entries in the loaded snapshot *)
+  entries_dropped : int;  (** malformed entries skipped at load *)
+  corrupt_load : bool;  (** the whole document was unusable at load *)
+}
+
+type t
+
+val open_ : config -> t
+(** Load the snapshot from [config.dir].  Never fails: missing, truncated
+    or corrupt stores open as empty caches (see [corrupt_load]/
+    [entries_dropped] in {!stats}). *)
+
+val fingerprint :
+  profile:Profiles.t -> prog:Vir.program -> context:Smt.Term.t list -> Encode.vc -> string
+(** The VC's cache key, as described above.  [context] must be the
+    post-pruning context the driver would ship to the solver. *)
+
+val lookup : t -> name:string -> fp:string -> profile_wanted:bool -> entry option
+(** Consult the snapshot.  [Some] and a hit is counted only when the entry
+    exists {e and} carries a profile if [profile_wanted] (an unprofiled
+    entry cannot serve a profiled run; it re-solves and upgrades).  On
+    [None], a miss or — when [name] was cached under a different
+    fingerprint — an invalidation is counted. *)
+
+val store : t -> name:string -> fp:string -> entry -> unit
+(** Record a freshly solved obligation.  Not visible to {!lookup} until
+    the next {!open_} (run-snapshot isolation; see module doc). *)
+
+val stats : t -> stats
+
+val flush : t -> (unit, string) result
+(** Merge fresh entries into the snapshot and atomically rewrite the
+    store (also after corruption or dropped entries, repairing the file).
+    No-op when nothing changed.  I/O failures are reported, not raised. *)
+
+val clear : dir:string -> (unit, string) result
+(** Delete the store document (keeps the directory). *)
+
+(** Offline summary of a cache directory, for [verus_cli cache stats]. *)
+type disk_stats = {
+  ds_exists : bool;  (** a store document is present *)
+  ds_entries : int;
+  ds_dropped : int;  (** malformed entries in the document *)
+  ds_corrupt : bool;  (** document present but unusable *)
+  ds_bytes : int;  (** document size on disk *)
+  ds_answers : (string * int) list;
+      (** entry count per answer kind (["unsat"], ["sat"], ["unknown"]),
+          sorted by kind *)
+}
+
+val disk_stats : dir:string -> disk_stats

@@ -1,0 +1,128 @@
+type serializer = {
+  buf : Buffer.t;
+  (* fresh symbol sid -> canonical alias, assigned in order of first
+     occurrence in the payload *)
+  alias : (int, string) Hashtbl.t;
+  mutable next_alias : int;
+}
+
+let create () = { buf = Buffer.create 4096; alias = Hashtbl.create 32; next_alias = 0 }
+
+(* A symbol is "fresh" when its name carries a ['!' digits] suffix — the
+   shape [Term.Sym.fresh] mints and nothing else produces (declared
+   symbols come from source-level names). *)
+let fresh_prefix name =
+  match String.rindex_opt name '!' with
+  | None -> None
+  | Some i ->
+    let n = String.length name in
+    let rec digits j = j >= n || (name.[j] >= '0' && name.[j] <= '9' && digits (j + 1)) in
+    if i + 1 < n && digits (i + 1) then Some (String.sub name 0 i) else None
+
+let sym_name s (f : Term.sym) =
+  match fresh_prefix f.Term.sname with
+  | None -> f.Term.sname
+  | Some prefix -> (
+    match Hashtbl.find_opt s.alias f.Term.sid with
+    | Some a -> a
+    | None ->
+      let a = Printf.sprintf "%s!%d" prefix s.next_alias in
+      s.next_alias <- s.next_alias + 1;
+      Hashtbl.add s.alias f.Term.sid a;
+      a)
+
+let bvop_tag : Term.bvop -> string = function
+  | Term.Band -> "bvand"
+  | Term.Bor -> "bvor"
+  | Term.Bxor -> "bvxor"
+  | Term.Bnot -> "bvnot"
+  | Term.Badd -> "bvadd"
+  | Term.Bsub -> "bvsub"
+  | Term.Bmul -> "bvmul"
+  | Term.Bneg -> "bvneg"
+  | Term.Bshl -> "bvshl"
+  | Term.Blshr -> "bvlshr"
+  | Term.Bule -> "bvule"
+  | Term.Bult -> "bvult"
+  | Term.Bconcat -> "concat"
+  | Term.Bextract (hi, lo) -> Printf.sprintf "extract:%d:%d" hi lo
+
+let rec emit s (t : Term.t) =
+  let b = s.buf in
+  let list tag xs =
+    Buffer.add_char b '(';
+    Buffer.add_string b tag;
+    List.iter
+      (fun x ->
+        Buffer.add_char b ' ';
+        emit s x)
+      xs;
+    Buffer.add_char b ')'
+  in
+  match t.Term.node with
+  | Term.True -> Buffer.add_string b "true"
+  | Term.False -> Buffer.add_string b "false"
+  | Term.Int_lit v -> Buffer.add_string b (Vbase.Bigint.to_string v)
+  | Term.Bv_lit { width; value } ->
+    Buffer.add_string b (Printf.sprintf "#bv%d:%s" width (Vbase.Bigint.to_string value))
+  | Term.Bvar (x, srt) ->
+    Buffer.add_string b x;
+    Buffer.add_char b ':';
+    Buffer.add_string b (Sort.to_string srt)
+  | Term.App (f, []) ->
+    Buffer.add_string b (sym_name s f);
+    Buffer.add_char b ':';
+    Buffer.add_string b (Sort.to_string f.Term.sret)
+  | Term.App (f, xs) -> list (sym_name s f ^ ":" ^ Sort.to_string f.Term.sret) xs
+  | Term.Eq (a, x) -> list "=" [ a; x ]
+  | Term.Not a -> list "not" [ a ]
+  | Term.And xs -> list "and" xs
+  | Term.Or xs -> list "or" xs
+  | Term.Implies (a, x) -> list "=>" [ a; x ]
+  | Term.Iff (a, x) -> list "iff" [ a; x ]
+  | Term.Ite (a, x, y) -> list "ite" [ a; x; y ]
+  | Term.Add xs -> list "+" xs
+  | Term.Sub (a, x) -> list "-" [ a; x ]
+  | Term.Mul (a, x) -> list "*" [ a; x ]
+  | Term.Neg a -> list "neg" [ a ]
+  | Term.Le (a, x) -> list "<=" [ a; x ]
+  | Term.Lt (a, x) -> list "<" [ a; x ]
+  | Term.Idiv (a, x) -> list "div" [ a; x ]
+  | Term.Imod (a, x) -> list "mod" [ a; x ]
+  | Term.Bv_op (o, xs) -> list (bvop_tag o) xs
+  | Term.Forall q | Term.Exists q ->
+    let kw = match t.Term.node with Term.Forall _ -> "forall" | _ -> "exists" in
+    Buffer.add_char b '(';
+    Buffer.add_string b kw;
+    Buffer.add_string b " (";
+    List.iteri
+      (fun i (x, srt) ->
+        if i > 0 then Buffer.add_char b ' ';
+        Buffer.add_string b x;
+        Buffer.add_char b ':';
+        Buffer.add_string b (Sort.to_string srt))
+      q.Term.qvars;
+    Buffer.add_char b ')';
+    List.iter
+      (fun pats ->
+        Buffer.add_string b " :pattern ";
+        list "" pats)
+      q.Term.triggers;
+    Buffer.add_char b ' ';
+    emit s q.Term.body;
+    Buffer.add_char b ')'
+
+let add_term s t =
+  emit s t;
+  Buffer.add_char s.buf '\n'
+
+let add_string s x =
+  Buffer.add_string s.buf x;
+  Buffer.add_char s.buf '\n'
+
+let contents s = Buffer.contents s.buf
+
+let term_to_string t =
+  let s = create () in
+  emit s t;
+  contents s

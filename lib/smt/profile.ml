@@ -152,3 +152,127 @@ let top k t = List.filteri (fun i _ -> i < k) t.quants
 
 let total_instances t =
   List.fold_left (fun acc q -> acc + q.q_instances) 0 t.quants
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(*                                                                     *)
+(* The verification cache persists the profile of the solve that        *)
+(* produced a cached answer, so a warm run under [~profile:true] can    *)
+(* reconstruct the same hot-spot tables without re-solving.  The format *)
+(* is a private detail of the cache entry; the public document schema   *)
+(* stays Profile_report's.                                              *)
+(* ------------------------------------------------------------------ *)
+
+module J = Vbase.Json
+
+let quant_to_json q =
+  J.Obj
+    [
+      ("label", J.String q.q_label);
+      ("heads", J.List (List.map (fun h -> J.String h) q.q_heads));
+      ("nvars", J.Int q.q_nvars);
+      ("instances", J.Int q.q_instances);
+      ("matched", J.Int q.q_matched);
+      ("duplicates", J.Int q.q_duplicates);
+      ("first_round", J.Int q.q_first_round);
+      ("last_round", J.Int q.q_last_round);
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("quants", J.List (List.map quant_to_json t.quants));
+      ( "phase",
+        J.Obj
+          [
+            ("sat", J.Float t.phase.ph_sat);
+            ("euf", J.Float t.phase.ph_euf);
+            ("lia", J.Float t.phase.ph_lia);
+            ("comb", J.Float t.phase.ph_comb);
+            ("ematch", J.Float t.phase.ph_ematch);
+          ] );
+      ("inst_rounds", J.Int t.inst_rounds);
+      ("euf_conflicts", J.Int t.euf_conflicts);
+      ("lia_conflicts", J.Int t.lia_conflicts);
+      ("theory_lemmas", J.Int t.theory_lemmas);
+    ]
+
+let ( let* ) r f = Result.bind r f
+
+let get_int k j =
+  match J.member k j with
+  | Some (J.Int n) -> Ok n
+  | _ -> Error (Printf.sprintf "profile: key %S missing or not an int" k)
+
+let get_float k j =
+  match Option.bind (J.member k j) J.to_float with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "profile: key %S missing or not a number" k)
+
+let get_string k j =
+  match J.member k j with
+  | Some (J.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "profile: key %S missing or not a string" k)
+
+let quant_of_json j =
+  let* q_label = get_string "label" j in
+  let* heads =
+    match J.member "heads" j with
+    | Some (J.List hs) ->
+      List.fold_left
+        (fun acc h ->
+          let* acc = acc in
+          match h with
+          | J.String s -> Ok (s :: acc)
+          | _ -> Error "profile: head is not a string")
+        (Ok []) hs
+      |> Result.map List.rev
+    | _ -> Error "profile: heads missing or not a list"
+  in
+  let* q_nvars = get_int "nvars" j in
+  let* q_instances = get_int "instances" j in
+  let* q_matched = get_int "matched" j in
+  let* q_duplicates = get_int "duplicates" j in
+  let* q_first_round = get_int "first_round" j in
+  let* q_last_round = get_int "last_round" j in
+  Ok
+    {
+      q_label;
+      q_heads = heads;
+      q_nvars;
+      q_instances;
+      q_matched;
+      q_duplicates;
+      q_first_round;
+      q_last_round;
+    }
+
+let of_json j =
+  let* quants =
+    match J.member "quants" j with
+    | Some (J.List qs) ->
+      List.fold_left
+        (fun acc q ->
+          let* acc = acc in
+          let* q = quant_of_json q in
+          Ok (q :: acc))
+        (Ok []) qs
+      |> Result.map List.rev
+    | _ -> Error "profile: quants missing or not a list"
+  in
+  let* phase =
+    match J.member "phase" j with
+    | Some ph ->
+      let* ph_sat = get_float "sat" ph in
+      let* ph_euf = get_float "euf" ph in
+      let* ph_lia = get_float "lia" ph in
+      let* ph_comb = get_float "comb" ph in
+      let* ph_ematch = get_float "ematch" ph in
+      Ok { ph_sat; ph_euf; ph_lia; ph_comb; ph_ematch }
+    | None -> Error "profile: phase missing"
+  in
+  let* inst_rounds = get_int "inst_rounds" j in
+  let* euf_conflicts = get_int "euf_conflicts" j in
+  let* lia_conflicts = get_int "lia_conflicts" j in
+  let* theory_lemmas = get_int "theory_lemmas" j in
+  Ok { quants; phase; inst_rounds; euf_conflicts; lia_conflicts; theory_lemmas }

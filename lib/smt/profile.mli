@@ -95,3 +95,14 @@ val top : int -> t -> quant_profile list
 val total_instances : t -> int
 (** Sum of [q_instances] over every quantifier — the single "how much
     E-matching work" number the bench tables report. *)
+
+val to_json : t -> Vbase.Json.t
+(** Lossless JSON rendering of a profile.  Used by the verification cache
+    to persist the profile of the solve that produced a cached answer, so
+    warm [~profile:true] runs reconstruct identical hot-spot tables
+    without re-solving.  The format is a cache-entry detail — the public
+    report schema remains [Profile_report]'s. *)
+
+val of_json : Vbase.Json.t -> (t, string) result
+(** Inverse of {!to_json}: [of_json (to_json t) = Ok t].  Malformed input
+    is an [Error] (the cache treats it as a miss), never an exception. *)

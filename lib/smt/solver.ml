@@ -1,31 +1,47 @@
 module Rat = Vbase.Rat
 module Bigint = Vbase.Bigint
 
-type config = {
-  trigger_policy : Triggers.policy;
+type budget = {
+  deadline_s : float;
+      (* wall-clock budget per solve; exceeded -> Unknown "timeout" *)
   max_rounds : int;
   max_instances_per_round : int;
   max_instances_per_quant : int;
-  deadline_s : float;
-      (* wall-clock budget per solve; exceeded -> Unknown "timeout" *)
       (* fuel-style cap per quantifier, bounding definitional unfolding
          chains (Dafny's fuel plays this role) *)
   sat_conflict_budget : int;
   bb_budget : int;
   combination_pairs_per_round : int;
+  ring_pairs_budget : int;
 }
 
-let default_config =
+let default_budget =
   {
-    trigger_policy = Triggers.Conservative;
+    deadline_s = 300.0;
     max_rounds = 12;
     max_instances_per_round = 600;
     max_instances_per_quant = 120;
-    deadline_s = 300.0;
     sat_conflict_budget = 400_000;
     bb_budget = 2000;
     combination_pairs_per_round = 24;
+    ring_pairs_budget = 2000;
   }
+
+type config = {
+  trigger_policy : Triggers.policy;
+  budget : budget;
+}
+
+let default_config = { trigger_policy = Triggers.Conservative; budget = default_budget }
+
+(* The canonical one-line rendering of a budget, a component of the
+   verification cache's fingerprints: a cached answer obtained under one
+   budget must not satisfy a query running under another (a looser budget
+   might succeed where the recorded solve gave up). *)
+let budget_fingerprint (b : budget) =
+  Printf.sprintf "deadline=%h;rounds=%d;ipr=%d;ipq=%d;sat=%d;bb=%d;comb=%d;ring=%d"
+    b.deadline_s b.max_rounds b.max_instances_per_round b.max_instances_per_quant
+    b.sat_conflict_budget b.bb_budget b.combination_pairs_per_round b.ring_pairs_budget
 
 type answer = Unsat | Sat | Unknown of string
 
@@ -569,7 +585,7 @@ let final_check st =
     end
     else begin
       let dbg_t2 = Unix.gettimeofday () in
-      let lia_verdict = Lia.check ~max_branch:st.cfg.bb_budget lia in
+      let lia_verdict = Lia.check ~max_branch:st.cfg.budget.bb_budget lia in
       let d_lia_check = Unix.gettimeofday () -. dbg_t2 in
       st.t_lia <- st.t_lia +. d_lia_check;
       if dbg_enabled then dbg_lia_check := !dbg_lia_check +. d_lia_check;
@@ -676,7 +692,7 @@ let final_check st =
                 done
               done)
             by_sym;
-          let budget = ref st.cfg.combination_pairs_per_round in
+          let budget = ref st.cfg.budget.combination_pairs_per_round in
           let do_pair (x, y) =
             if !budget > 0 && not !lemma_added then begin
               let key = (min (Term.hash x) (Term.hash y), max (Term.hash x) (Term.hash y)) in
@@ -764,7 +780,7 @@ let solve ?(config = default_config) assertions =
     }
   in
   try
-    st.deadline <- t0 +. config.deadline_s;
+    st.deadline <- t0 +. config.budget.deadline_s;
     List.iter (fun a -> assert_formula st ~guard:None a) assertions;
     let rounds = ref 0 in
     let inst_rounds = ref 0 in
@@ -774,7 +790,7 @@ let solve ?(config = default_config) assertions =
       if !rounds > 10_000 then raise (Give_up "round limit");
       if Unix.gettimeofday () > st.deadline then raise (Give_up "timeout");
       let ts = Unix.gettimeofday () in
-      let sat_result = Sat.solve ~limit_conflicts:config.sat_conflict_budget st.sat in
+      let sat_result = Sat.solve ~limit_conflicts:config.budget.sat_conflict_budget st.sat in
       st.t_sat <- st.t_sat +. (Unix.gettimeofday () -. ts);
       match sat_result with
       | Sat.Unsat -> answer := Some Unsat
@@ -791,13 +807,13 @@ let solve ?(config = default_config) assertions =
           else begin
             incr inst_rounds;
             st.inst_rounds <- !inst_rounds;
-            if !inst_rounds > config.max_rounds then
+            if !inst_rounds > config.budget.max_rounds then
               raise (Give_up "instantiation round limit")
             else begin
               let te = Unix.gettimeofday () in
               let insts =
-                Ematch.round ~euf ~max_per_quant:config.max_instances_per_quant st.em
-                  ~max_instances:config.max_instances_per_round
+                Ematch.round ~euf ~max_per_quant:config.budget.max_instances_per_quant st.em
+                  ~max_instances:config.budget.max_instances_per_round
               in
               st.t_ematch <- st.t_ematch +. (Unix.gettimeofday () -. te);
               (* Only act on instances whose guard is currently true (or

@@ -21,25 +21,44 @@
     problems whose candidate model still involves uninstantiated quantifiers
     report [Unknown]. *)
 
-(** Search budgets and the trigger policy; each framework profile carries
-    its own copy. *)
-type config = {
-  trigger_policy : Triggers.policy;
-      (** how triggers are inferred for quantifiers that lack them *)
+(** Every search budget of the verification stack, in one record.  The
+    driver, the EPR decision procedure, the §3.3 custom modes and the CLI's
+    [--deadline]/[--max-rounds] flags all consume this same record — there
+    is exactly one place a budget knob can live. *)
+type budget = {
+  deadline_s : float;  (** wall-clock budget per solve (timeout -> Unknown) *)
   max_rounds : int;  (** instantiation rounds before giving up *)
   max_instances_per_round : int;  (** instantiation cap per round *)
   max_instances_per_quant : int;
       (** fuel-style cap per quantifier (bounds definitional unfolding
           chains, like Dafny's fuel) *)
-  deadline_s : float;  (** wall-clock budget per solve (timeout -> Unknown) *)
   sat_conflict_budget : int;  (** cumulative CDCL conflict budget *)
   bb_budget : int;  (** LIA branch-and-bound node budget per check *)
   combination_pairs_per_round : int;  (** cross-theory equality guesses *)
+  ring_pairs_budget : int;
+      (** S-polynomial pair budget of the [integer_ring] mode's
+          Gröbner-basis completion *)
+}
+
+val default_budget : budget
+(** Generous defaults; the baseline the shipped profiles override. *)
+
+val budget_fingerprint : budget -> string
+(** Canonical one-line [k=v;...] rendering of every budget field, included
+    in the verification cache's fingerprints: an answer recorded under one
+    budget never satisfies a lookup under another (a looser budget might
+    succeed where the recorded solve gave up, and vice versa). *)
+
+(** The trigger policy plus the search budgets; each framework profile
+    carries its own copy. *)
+type config = {
+  trigger_policy : Triggers.policy;
+      (** how triggers are inferred for quantifiers that lack them *)
+  budget : budget;  (** all search budgets (see {!budget}) *)
 }
 
 val default_config : config
-(** Conservative triggers and generous budgets; the baseline the shipped
-    profiles override. *)
+(** Conservative triggers and {!default_budget}. *)
 
 (** Verdict of one solve. *)
 type answer =

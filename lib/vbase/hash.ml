@@ -1,0 +1,43 @@
+(* 64-bit FNV-1a.  Kept deliberately boring: no allocation per byte, no
+   dependence on word size (everything is Int64), identical output on
+   every platform. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+(* A second, independent stream for the 128-bit fingerprint: the FNV-0
+   style trick of starting from a different basis (here the offset basis
+   xored with a fixed pattern) gives an unrelated trajectory through the
+   same byte sequence. *)
+let fnv_offset2 = Int64.logxor fnv_offset 0x5bd1e995a5aa5aa5L
+
+type state = { mutable h : int64 }
+
+let create () = { h = fnv_offset }
+
+let add_char st c =
+  st.h <- Int64.mul (Int64.logxor st.h (Int64.of_int (Char.code c))) fnv_prime
+
+let add_string st s = String.iter (add_char st) s
+
+let add_int st n =
+  add_string st (string_of_int n);
+  add_char st '|'
+
+let hex_of_int64 h = Printf.sprintf "%016Lx" h
+let hex st = hex_of_int64 st.h
+
+let string s =
+  let st = create () in
+  add_string st s;
+  hex st
+
+let string128 s =
+  let a = create () in
+  add_string a s;
+  let b = { h = fnv_offset2 } in
+  add_string b s;
+  (* Post-mix the length into the second stream so extensions that happen
+     to fix one stream still move the other. *)
+  add_int b (String.length s);
+  hex a ^ hex b

@@ -1,0 +1,91 @@
+type loaded = {
+  entries : (string * Json.t) list;
+  dropped : int;
+  corrupt : bool;
+}
+
+let empty = { entries = []; dropped = 0; corrupt = false }
+let corrupt_store = { entries = []; dropped = 0; corrupt = true }
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let r =
+      try
+        let n = in_channel_length ic in
+        Some (really_input_string ic n)
+      with _ -> None
+    in
+    close_in_noerr ic;
+    r
+
+let load ~dir ~file ~schema =
+  let path = Filename.concat dir file in
+  if not (Sys.file_exists path) then empty
+  else
+    match read_file path with
+    | None -> corrupt_store
+    | Some text -> (
+      match Json.of_string text with
+      | Error _ -> corrupt_store
+      | Ok doc -> (
+        match Json.member "schema" doc with
+        | Some (Json.String s) when String.equal s schema -> (
+          match Json.member "entries" doc with
+          | Some (Json.Obj kvs) ->
+            (* An entry is any (key, value) binding; values that are not
+               objects are still returned — the *consumer's* decoder
+               decides what is malformed for its schema.  Here we only
+               drop bindings the JSON layer itself cannot represent as
+               entries (none, given Obj), so dropped counts stay with the
+               table-shape checks below. *)
+            { entries = kvs; dropped = 0; corrupt = false }
+          | Some _ | None -> corrupt_store)
+        | Some _ | None -> corrupt_store))
+
+(* mkdir -p: cache directories are routinely nested (one per program
+   under a bench root) and none of the ancestors need exist yet. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if String.length parent < String.length dir then mkdir_p parent;
+    (* A concurrent creator is fine: only a still-missing dir is an error. *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let save ~dir ~file ~schema entries =
+  (* Last binding of a duplicated key wins, then sort for determinism. *)
+  let tbl = Hashtbl.create (List.length entries) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) entries;
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let doc = Json.Obj [ ("schema", Json.String schema); ("entries", Json.Obj entries) ] in
+  let text = Json.to_string ~indent:true doc ^ "\n" in
+  try
+    mkdir_p dir;
+    let path = Filename.concat dir file in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc text;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    (* rename(2): the update is atomic — readers see the old document or
+       the new one, never a prefix. *)
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error m -> Error m
+
+let wipe ~dir ~file =
+  let path = Filename.concat dir file in
+  let rm p = if Sys.file_exists p then Sys.remove p in
+  try
+    rm (path ^ ".tmp");
+    rm path;
+    Ok ()
+  with Sys_error m -> Error m

@@ -4,9 +4,12 @@
 # or Warn findings fail), the fault-injection smoke check (IronKV
 # crosscheck at 5% drop+dup, one torn-write log recovery), the profiler
 # JSON smoke (verus_cli profile --json must emit a document that parses
-# and validates against the verus-profile/1 schema), and — when odoc is
-# installed — the API-doc build, warnings-as-errors.  This is the
-# tree-must-stay-green gate:
+# and validates against the verus-profile/2 schema), the verification-
+# cache smoke (a cold run fills the store, a warm run serves 100% of the
+# obligations from it with an identical result digest, counters are
+# deterministic under jobs>1, and a corrupted store degrades to a cold
+# run), and — when odoc is installed — the API-doc build,
+# warnings-as-errors.  This is the tree-must-stay-green gate:
 #
 #   scripts/check.sh
 #
@@ -16,22 +19,25 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/6 build =="
+echo "== 1/7 build =="
 dune build @all
 
-echo "== 2/6 tests =="
+echo "== 2/7 tests =="
 dune runtest
 
-echo "== 3/6 lint (strict) =="
+echo "== 3/7 lint (strict) =="
 dune build @lint
 
-echo "== 4/6 fault smoke =="
+echo "== 4/7 fault smoke =="
 dune build @faults
 
-echo "== 5/6 profile JSON smoke =="
+echo "== 5/7 profile JSON smoke =="
 dune build @profile
 
-echo "== 6/6 api docs =="
+echo "== 6/7 cache smoke (cold/warm/corrupt) =="
+dune build @cache
+
+echo "== 7/7 api docs =="
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc 2>doc-warnings.log || {
     cat doc-warnings.log

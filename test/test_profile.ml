@@ -236,8 +236,9 @@ let hotspot_fingerprint (r : Verus.Driver.program_result) =
 let test_driver_jobs_stable () =
   let prog = Verus.Bench_programs.singly_linked in
   let p = Verus.Profiles.verus in
-  let r1 = Verus.Driver.verify_program ~jobs:1 ~profile:true p prog in
-  let r2 = Verus.Driver.verify_program ~jobs:2 ~profile:true p prog in
+  let cfg jobs = Verus.Driver.Config.(default |> with_jobs jobs |> with_profile true) in
+  let r1 = Verus.Driver.verify_program ~config:(cfg 1) p prog in
+  let r2 = Verus.Driver.verify_program ~config:(cfg 2) p prog in
   Alcotest.(check bool) "jobs=1 verifies" true r1.Verus.Driver.pr_ok;
   Alcotest.(check bool) "jobs=2 verifies" true r2.Verus.Driver.pr_ok;
   let q1, a1, v1 = hotspot_fingerprint r1 in
@@ -278,8 +279,10 @@ let test_driver_profile_off () =
 (* ------------------------------------------------------------------ *)
 
 let profiled_result () =
-  Verus.Driver.verify_program ~profile:true ~lint:Verus.Driver.Lint_warn
-    Verus.Profiles.verus Verus.Bench_programs.singly_linked
+  let config =
+    Verus.Driver.Config.(default |> with_profile true |> with_lint Verus.Driver.Lint_warn)
+  in
+  Verus.Driver.verify_program ~config Verus.Profiles.verus Verus.Bench_programs.singly_linked
 
 let test_report_json_validates () =
   let r = profiled_result () in
@@ -359,11 +362,9 @@ let test_vl010_cross_validation () =
   let profile = Verus.Profiles.liberal Verus.Profiles.dafny in
   Alcotest.(check string) "liberal naming" "Dafny-liberal" profile.Verus.Profiles.name;
   let profile =
-    {
-      profile with
-      Verus.Profiles.solver_config =
-        { profile.Verus.Profiles.solver_config with Smt.Solver.max_rounds = 5; deadline_s = 1.0 };
-    }
+    Verus.Profiles.with_budget
+      { (Verus.Profiles.budget profile) with Smt.Solver.max_rounds = 5; deadline_s = 1.0 }
+      profile
   in
   let prog = Verus.Bench_programs.memory_reasoning 4 in
   (* Static side: VL010 fires and names trigger heads. *)
@@ -371,7 +372,9 @@ let test_vl010_cross_validation () =
   Alcotest.(check bool) "VL010 fires statically" true (static_heads <> []);
   (* Dynamic side: the profiled run's top hot-spot. *)
   let r =
-    Verus.Driver.verify_program ~lint:Verus.Driver.Lint_warn ~profile:true profile prog
+    Verus.Driver.verify_program
+      ~config:Verus.Driver.Config.(default |> with_lint Verus.Driver.Lint_warn |> with_profile true)
+      profile prog
   in
   (match Verus.Profile_report.vl010_cross_check r with
   | Some (heads, matches) ->

@@ -212,7 +212,11 @@ let test_vl010_degrades_to_unknown () =
   let seed = T.app Theories.alloc_sym [ h0; r0 ] in
   let deadline_s = 5.0 in
   let config =
-    { Smt.Solver.default_config with Smt.Solver.max_rounds = 4; deadline_s }
+    {
+      Smt.Solver.default_config with
+      Smt.Solver.budget =
+        { Smt.Solver.default_budget with Smt.Solver.max_rounds = 4; deadline_s };
+    }
   in
   let t0 = Unix.gettimeofday () in
   let r = Smt.Solver.solve ~config (seed :: axioms) in
@@ -489,7 +493,11 @@ let test_driver_lint_strict () =
         fn "run" ~mode:Exec ~ret:("result", int_) ~body:[ SReturn (Some (i 1)) ];
       ]
   in
-  let r = Driver.verify_program ~lint:Driver.Lint_strict Profiles.verus bad in
+  let r =
+    Driver.verify_program
+      ~config:Driver.Config.(with_lint Driver.Lint_strict default)
+      Profiles.verus bad
+  in
   Alcotest.(check bool) "strict lint fails" false r.Driver.pr_ok;
   Alcotest.(check bool) "no VCs were run" true (r.Driver.pr_fns = []);
   (match Driver.first_failure r with
@@ -498,13 +506,21 @@ let test_driver_lint_strict () =
     Alcotest.(check string) "failure names the function" "f" where
   | None -> Alcotest.fail "expected a first_failure");
   (* Warn mode records but does not fail. *)
-  let r2 = Driver.verify_program ~lint:Driver.Lint_warn Profiles.verus bad in
+  let r2 =
+    Driver.verify_program
+      ~config:Driver.Config.(with_lint Driver.Lint_warn default)
+      Profiles.verus bad
+  in
   Alcotest.(check bool) "warn mode verifies" true r2.Driver.pr_ok;
   Alcotest.(check bool) "warn mode records findings" true (r2.Driver.pr_lint <> [])
 
 let test_first_failure_codes () =
   (* Clean program: no failure triple at all. *)
-  let ok = Driver.verify_program ~lint:Driver.Lint_strict Profiles.verus Bench_programs.singly_linked in
+  let ok =
+    Driver.verify_program
+      ~config:Driver.Config.(with_lint Driver.Lint_strict default)
+      Profiles.verus Bench_programs.singly_linked
+  in
   Alcotest.(check bool) "clean program verifies strict" true ok.Driver.pr_ok;
   Alcotest.(check bool) "no first_failure" true (Driver.first_failure ok = None);
   (* Broken program: VC-level code.  Depending on solver budget the broken
