@@ -716,6 +716,85 @@ let cache_bench () =
   Printf.printf "\n  wrote %d row(s) to BENCH_cache.json\n%!" (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* certify: proof-certificate emission + kernel replay overhead         *)
+(* ------------------------------------------------------------------ *)
+
+let certify_bench () =
+  header "Vcert/Vcheck: certificate emission + independent kernel replay overhead";
+  Printf.printf
+    "  Each row verifies a program twice: plain, then with --certify (solver records a\n\
+    \  derivation log per Unsat, the Vcheck kernel replays each).  'overhead' is the\n\
+    \  certified run's wall-clock over the plain run's; 'checked' counts obligations\n\
+    \  whose certificate replayed to Checked (a single rejection fails the row).\n\n";
+  let cases =
+    [
+      ("singly_linked", Verus.Bench_programs.singly_linked);
+      ("doubly_linked", Verus.Bench_programs.doubly_linked);
+      ("mem8", Verus.Bench_programs.memory_reasoning 8);
+      ("vstd_seq", Verus.Vstd_seq.program);
+      ("dlock", Verus.Bench_programs.dlock_default);
+    ]
+  in
+  let cases = if !quick then [ List.hd cases ] else cases in
+  Printf.printf "  %-16s %10s %10s %9s %8s %9s\n" "program" "plain" "certified" "overhead"
+    "checked" "rejected";
+  let rows =
+    List.map
+      (fun (name, prog) ->
+        let run certify =
+          let config = Verus.Driver.Config.(default |> with_certify certify) in
+          Verus.Driver.verify_program ~config Verus.Profiles.verus prog
+        in
+        let plain = run false in
+        let certified = run true in
+        let checked = ref 0 and rejected = ref 0 in
+        List.iter
+          (fun (fnr : Verus.Driver.fn_result) ->
+            List.iter
+              (fun (v : Verus.Driver.vc_result) ->
+                match v.Verus.Driver.vcr_cert with
+                | Verus.Driver.Cert_checked _ -> incr checked
+                | Verus.Driver.Cert_rejected _ | Verus.Driver.Cert_unavailable _ ->
+                  incr rejected
+                | _ -> ())
+              fnr.Verus.Driver.fnr_vcs)
+          certified.Verus.Driver.pr_fns;
+        let overhead =
+          if plain.Verus.Driver.pr_time_s > 0.0 then
+            certified.Verus.Driver.pr_time_s /. plain.Verus.Driver.pr_time_s
+          else 1.0
+        in
+        Printf.printf "  %-16s %9.3fs %9.3fs %8.2fx %8d %9d\n%!" name
+          plain.Verus.Driver.pr_time_s certified.Verus.Driver.pr_time_s overhead !checked
+          !rejected;
+        Vbase.Json.Obj
+          [
+            ("program", Vbase.Json.String name);
+            ("profile", Vbase.Json.String Verus.Profiles.verus.Verus.Profiles.name);
+            ("ok", Vbase.Json.Bool certified.Verus.Driver.pr_ok);
+            ("plain_s", Vbase.Json.Float plain.Verus.Driver.pr_time_s);
+            ("certified_s", Vbase.Json.Float certified.Verus.Driver.pr_time_s);
+            ("overhead", Vbase.Json.Float overhead);
+            ("checked", Vbase.Json.Int !checked);
+            ("rejected", Vbase.Json.Int !rejected);
+          ])
+      cases
+  in
+  let doc =
+    Vbase.Json.Obj
+      [
+        ("schema", Vbase.Json.String "verus-certify-bench/1");
+        ("cert_schema", Vbase.Json.String Smt.Cert.schema_version);
+        ("rows", Vbase.Json.List rows);
+      ]
+  in
+  let oc = open_out "BENCH_certify.json" in
+  output_string oc (Vbase.Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  wrote %d row(s) to BENCH_certify.json\n%!" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* micro: bechamel microbenchmarks of the hot runtime paths             *)
 (* ------------------------------------------------------------------ *)
 
@@ -797,6 +876,7 @@ let sections =
     ("ablation", ablation);
     ("lint", lint_bench);
     ("cache", cache_bench);
+    ("certify", certify_bench);
     ("micro", micro);
   ]
 

@@ -1,0 +1,74 @@
+(* CI smoke for the certification pipeline (`dune build @certify`):
+   every bundled program runs under the default (Verus) profile with
+   certification on, and every Unsat obligation must carry a certificate
+   the independent Vcheck kernel replays to Checked.  A single Rejected
+   (or missing) certificate fails the build: the solver claimed a proof
+   the kernel would not accept.
+
+   The two deliberately broken programs (break_pop, break_index — the
+   error-localization benchmarks) must still fail for their *ordinary*
+   reason (a refutation or an Unknown, never a certificate problem), and
+   whatever they do prove must certify like everything else.
+
+   Exit 0 when the whole suite certifies, 1 with a message otherwise. *)
+
+let fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("certify_smoke: FAIL: " ^ m); exit 1) fmt
+
+(* The same bundled suite verus_cli exposes; [`Ok] verifies, [`Broken]
+   fails on purpose. *)
+let programs =
+  [
+    ("singly_linked", `Ok, fun () -> Verus.Bench_programs.singly_linked);
+    ("doubly_linked", `Ok, fun () -> Verus.Bench_programs.doubly_linked);
+    ("mem4", `Ok, fun () -> Verus.Bench_programs.memory_reasoning 4);
+    ("mem8", `Ok, fun () -> Verus.Bench_programs.memory_reasoning 8);
+    ("dlock", `Ok, fun () -> Verus.Bench_programs.dlock_default);
+    ("break_pop", `Broken, fun () -> Verus.Bench_programs.break_pop);
+    ("break_index", `Broken, fun () -> Verus.Bench_programs.break_index);
+    ("vstd_seq", `Ok, fun () -> Verus.Vstd_seq.program);
+  ]
+
+let () =
+  let grand_total = ref 0 in
+  List.iter
+    (fun (name, expect, prog) ->
+      let prog = prog () in
+      let config = Verus.Driver.Config.(default |> with_certify true) in
+      let r = Verus.Driver.verify_program ~config Verus.Profiles.verus prog in
+      (match (expect, r.Verus.Driver.pr_ok) with
+      | `Ok, false -> (
+        match Verus.Driver.first_failure r with
+        | Some (where, what, code) -> fail "%s: [%s] %s: %s" name code where what
+        | None -> fail "%s: verification failed with no reported failure" name)
+      | `Broken, true -> fail "%s: expected to fail but verified" name
+      | `Broken, false -> (
+        (* It must fail for the ordinary reason, never a certificate one. *)
+        match Verus.Driver.first_failure r with
+        | Some (_, _, "VC003") -> fail "%s: failed on a certificate rejection" name
+        | Some _ -> ()
+        | None -> fail "%s: failed with no reported failure" name)
+      | `Ok, true -> ());
+      let total = ref 0 in
+      List.iter
+        (fun (fnr : Verus.Driver.fn_result) ->
+          List.iter
+            (fun (v : Verus.Driver.vc_result) ->
+              match (v.Verus.Driver.vcr_answer, v.Verus.Driver.vcr_cert) with
+              | Smt.Solver.Unsat, Verus.Driver.Cert_checked _ -> incr total
+              | Smt.Solver.Unsat, Verus.Driver.Cert_rejected (code, reason) ->
+                fail "%s: %S certificate REJECTED %s: %s" name
+                  v.Verus.Driver.vcr_name code reason
+              | Smt.Solver.Unsat, _ ->
+                fail "%s: %S proved without a checked certificate" name
+                  v.Verus.Driver.vcr_name
+              | _ -> ())
+            fnr.Verus.Driver.fnr_vcs)
+        r.Verus.Driver.pr_fns;
+      grand_total := !grand_total + !total;
+      Printf.printf "  ok: %-16s %3d obligation(s) certified in %.3fs%s\n%!" name !total
+        r.Verus.Driver.pr_time_s
+        (match expect with `Broken -> "  (fails as intended)" | `Ok -> ""))
+    programs;
+  Printf.printf "certify_smoke: %d obligation(s) across %d program(s) certified\n"
+    !grand_total (List.length programs)

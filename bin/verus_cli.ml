@@ -2,6 +2,7 @@
 
      verus_cli verify  <program> [<profile>] [--fn NAME] [--jobs N] [--lint MODE]
                        [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache]
+                       [--certify]
      verus_cli profile <program> [<profile>] [--json] [--top K] [--liberal]
                        [--fn NAME] [--jobs N] [--deadline SECS] [--max-rounds N]
                        [--cache DIR] [--no-cache]
@@ -22,7 +23,11 @@
    with a bigger --deadline instead of reporting a counterexample.  The
    cache subcommands use 4 for I/O problems (unreadable/corrupt store,
    failed delete) — distinct from 0 so scripts notice, distinct from 1
-   so it is never mistaken for a verification failure. *)
+   so it is never mistaken for a verification failure.  Under --certify,
+   5 means a certificate rejection (VC003): the solver said Unsat but
+   the independent Vcheck kernel would not replay its proof — a solver
+   bug or a damaged certificate, categorically different from both a
+   counterexample (1) and a timeout (3). *)
 
 let programs =
   [
@@ -44,10 +49,12 @@ let usage oc =
     "usage: verus_cli <command> [args]\n\n\
      commands:\n\
     \  verify <program> [<profile>] [--fn NAME] [--jobs N] [--lint ignore|warn|strict]\n\
-    \         [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache]\n\
+    \         [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache] [--certify]\n\
     \      verify one bundled program under a profile (default: Verus);\n\
     \      --deadline / --max-rounds override the profile's solver budgets;\n\
-    \      --cache DIR (or VERUS_CACHE) reuses cached VC results across runs\n\
+    \      --cache DIR (or VERUS_CACHE) reuses cached VC results across runs;\n\
+    \      --certify replays every Unsat's proof certificate through the\n\
+    \      independent Vcheck kernel and fails (exit 5, VC003) on rejection\n\
     \  profile <program> [<profile>] [--json] [--top K] [--liberal] [--fn NAME]\n\
     \          [--jobs N] [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache]\n\
     \      verify with the solver profiler on and print instantiation /\n\
@@ -72,7 +79,9 @@ let usage oc =
      profiles: %s (case-insensitive; 'fstar' and 'lowstar' also accepted)\n\
      exit codes: 0 ok / 1 findings or failure / 2 usage / 3 solver budget exhausted\n\
     \            (3 = every failed obligation is Unknown: a timeout is not a refutation)\n\
-    \            / 4 cache I/O problem (cache subcommands only)\n"
+    \            / 4 cache I/O problem (cache subcommands only)\n\
+    \            / 5 certificate rejected under --certify (VC003: the kernel\n\
+    \            would not replay an Unsat's proof — not a counterexample)\n"
     (String.concat ", " (List.map fst programs))
     (String.concat ", " profile_names)
 
@@ -182,8 +191,27 @@ let budget_only (r : Verus.Driver.program_result) =
            fnr.Verus.Driver.fnr_vcs)
        r.Verus.Driver.pr_fns
 
+(* Any obligation the certificate kernel disowned (rejected or missing
+   certificate under --certify).  Checked before [budget_only]: such a
+   run's answers are all Unsat, which would otherwise read as exit 3. *)
+let cert_failed (r : Verus.Driver.program_result) =
+  List.exists
+    (fun (fnr : Verus.Driver.fn_result) ->
+      List.exists
+        (fun (vr : Verus.Driver.vc_result) ->
+          match vr.Verus.Driver.vcr_cert with
+          | Verus.Driver.Cert_rejected _ | Verus.Driver.Cert_unavailable _ -> true
+          | _ -> false)
+        fnr.Verus.Driver.fnr_vcs)
+    r.Verus.Driver.pr_fns
+
+let exit_cert_rejected = 5
+
 let result_exit_code r =
-  if r.Verus.Driver.pr_ok then 0 else if budget_only r then 3 else 1
+  if r.Verus.Driver.pr_ok then 0
+  else if cert_failed r then exit_cert_rejected
+  else if budget_only r then 3
+  else 1
 
 (* --------------------------- verify ------------------------------- *)
 
@@ -197,6 +225,7 @@ let cmd_verify args =
   let max_rounds = ref None in
   let cache_dir = ref None in
   let no_cache = ref false in
+  let certify = ref false in
   let rec parse = function
     | [] -> ()
     | "--fn" :: v :: rest ->
@@ -207,6 +236,9 @@ let cmd_verify args =
       parse rest
     | "--no-cache" :: rest ->
       no_cache := true;
+      parse rest
+    | "--certify" :: rest ->
+      certify := true;
       parse rest
     | "--deadline" :: v :: rest ->
       (match float_of_string_opt v with
@@ -244,6 +276,7 @@ let cmd_verify args =
       Verus.Driver.Config.default with
       Verus.Driver.Config.jobs = !jobs;
       lint = !lint;
+      certify = !certify;
       budget = budget_override profile !deadline !max_rounds;
       cache =
         Option.map
@@ -264,10 +297,16 @@ let cmd_verify args =
       List.iter
         (fun (vr : Verus.Driver.vc_result) ->
           let status =
-            match vr.Verus.Driver.vcr_answer with
-            | Smt.Solver.Unsat -> "proved"
-            | Smt.Solver.Sat -> "COUNTEREXAMPLE"
-            | Smt.Solver.Unknown m -> "UNKNOWN: " ^ m
+            match (vr.Verus.Driver.vcr_answer, vr.Verus.Driver.vcr_cert) with
+            | Smt.Solver.Unsat, Verus.Driver.Cert_rejected (code, reason) ->
+              Printf.sprintf "CERT REJECTED (%s: %s)" code reason
+            | Smt.Solver.Unsat, Verus.Driver.Cert_unavailable why ->
+              "CERT MISSING (" ^ why ^ ")"
+            | Smt.Solver.Unsat, Verus.Driver.Cert_checked _ -> "proved+cert"
+            | Smt.Solver.Unsat, Verus.Driver.Cert_cached _ -> "proved+cert(cached)"
+            | Smt.Solver.Unsat, _ -> "proved"
+            | Smt.Solver.Sat, _ -> "COUNTEREXAMPLE"
+            | Smt.Solver.Unknown m, _ -> "UNKNOWN: " ^ m
           in
           Printf.printf "    %-60s %-10s %.3fs  [%s]\n" vr.Verus.Driver.vcr_name status
             vr.Verus.Driver.vcr_time_s vr.Verus.Driver.vcr_detail)
@@ -284,7 +323,8 @@ let cmd_verify args =
      counterexample". *)
   Printf.printf "== %s / %s: %s in %.3fs, %d query bytes\n" prog_name
     profile.Verus.Profiles.name
-    (if r.Verus.Driver.pr_ok then "VERIFIED"
+    (if r.Verus.Driver.pr_ok then if !certify then "VERIFIED (certified)" else "VERIFIED"
+     else if cert_failed r then "CERTIFICATE REJECTED"
      else if budget_only r then "UNKNOWN (solver budget exhausted)"
      else "FAILED")
     r.Verus.Driver.pr_time_s r.Verus.Driver.pr_bytes;
@@ -359,6 +399,7 @@ let cmd_profile args =
       Verus.Driver.Config.jobs = !jobs;
       lint = Verus.Driver.Lint_warn;
       profile = true;
+      certify = false;
       budget = budget_override profile !deadline !max_rounds;
       cache =
         Option.map

@@ -4,6 +4,14 @@ open Vir
 
 type vc_profile = { vp_smt : Smt.Profile.t; vp_axioms : int list }
 
+type cert_status =
+  | Cert_off
+  | Cert_checked of string
+  | Cert_cached of string
+  | Cert_uncertified_hit
+  | Cert_rejected of string * string
+  | Cert_unavailable of string
+
 type vc_result = {
   vcr_name : string;
   vcr_answer : Smt.Solver.answer;
@@ -11,6 +19,7 @@ type vc_result = {
   vcr_bytes : int;
   vcr_detail : string;
   vcr_prof : vc_profile option;
+  vcr_cert : cert_status;
 }
 
 type fn_result = {
@@ -58,15 +67,26 @@ module Config = struct
     profile : bool;
     cache : Vcache.config option;
     budget : Smt.Solver.budget option;
+    certify : bool;
   }
 
-  let default = { jobs = 1; lint = Lint_ignore; profile = false; cache = None; budget = None }
+  let default =
+    {
+      jobs = 1;
+      lint = Lint_ignore;
+      profile = false;
+      cache = None;
+      budget = None;
+      certify = false;
+    }
+
   let with_jobs jobs c = { c with jobs }
   let with_lint lint c = { c with lint }
   let with_profile profile c = { c with profile }
   let with_cache dir c = { c with cache = Some { Vcache.dir } }
   let without_cache c = { c with cache = None }
   let with_budget b c = { c with budget = Some b }
+  let with_certify certify c = { c with certify }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -132,8 +152,8 @@ let vp_axioms_of_context ~ax_index context =
   List.filter_map (fun (ax : T.t) -> Hashtbl.find_opt ax_index ax.T.tid) context
   |> List.sort compare
 
-let run_vc ?(profile = false) ?cache (p : Profiles.t) (prog : program) ~axioms ~ax_index
-    (vc : Encode.vc) : vc_result =
+let run_vc ?(profile = false) ?(certify = false) ?cache (p : Profiles.t) (prog : program)
+    ~axioms ~ax_index (vc : Encode.vc) : vc_result =
   let t0 = Unix.gettimeofday () in
   let context =
     if p.Profiles.pruning then prune_context axioms vc else axioms
@@ -151,6 +171,7 @@ let run_vc ?(profile = false) ?cache (p : Profiles.t) (prog : program) ~axioms ~
     match (cache, fp) with
     | Some c, Some fp ->
       Vcache.lookup c ~name:vc.Encode.vc_name ~fp ~profile_wanted:profile
+        ~certified_wanted:certify
     | _ -> None
   in
   match cached with
@@ -167,6 +188,17 @@ let run_vc ?(profile = false) ?cache (p : Profiles.t) (prog : program) ~axioms ~
             vp_axioms = vp_axioms_of_context ~ax_index context;
           }
     in
+    let vcr_cert =
+      (* The digest makes the warm hit a checked claim: the filling run's
+         certificate replayed Checked before the entry was stored.  An
+         uncertified Unsat hit is unreachable under [certify] ({!Vcache.lookup}
+         gates on the digest) and flagged as VL034 material otherwise. *)
+      match (certify, e.Vcache.e_answer, e.Vcache.e_cert_digest) with
+      | true, Smt.Solver.Unsat, Some d -> Cert_cached d
+      | true, Smt.Solver.Unsat, None -> Cert_unavailable "cache hit without certificate"
+      | false, Smt.Solver.Unsat, None -> Cert_uncertified_hit
+      | _ -> Cert_off
+    in
     {
       vcr_name = vc.Encode.vc_name;
       vcr_answer = e.Vcache.e_answer;
@@ -174,25 +206,34 @@ let run_vc ?(profile = false) ?cache (p : Profiles.t) (prog : program) ~axioms ~
       vcr_bytes = e.Vcache.e_bytes;
       vcr_detail = e.Vcache.e_detail;
       vcr_prof;
+      vcr_cert;
     }
   | None ->
   let budget = Profiles.budget p in
+  let solver_cfg =
+    if certify then { p.Profiles.solver_config with Smt.Solver.certify = true }
+    else p.Profiles.solver_config
+  in
+  (* Outcome of a §3.3 mode, with or without a certificate attached. *)
+  let mode_plain o = let a, d = outcome_to_answer o in (a, d, None) in
+  let mode_cert (o, c) = let a, d = outcome_to_answer o in (a, d, c) in
   let smt_prof = ref None in
-  let answer, detail =
+  let answer, detail, cert =
     match vc.Encode.vc_hint with
     | H_default ->
       if p.Profiles.epr_only then begin
         let all = context @ vc.Encode.vc_hyps @ [ T.not_ vc.Encode.vc_goal ] in
         match Smt.Epr.check_fragment all with
-        | Error e -> (Smt.Solver.Unknown ("outside EPR: " ^ e), "Ivy cannot express this")
+        | Error e ->
+          (Smt.Solver.Unknown ("outside EPR: " ^ e), "Ivy cannot express this", None)
         | Ok () ->
-          let r = Smt.Epr.solve ~config:p.Profiles.solver_config all in
+          let r = Smt.Epr.solve ~config:solver_cfg all in
           if profile then smt_prof := Some r.Smt.Solver.profile;
-          (r.Smt.Solver.answer, "EPR-decided")
+          (r.Smt.Solver.answer, "EPR-decided", r.Smt.Solver.cert)
       end
       else begin
         let r =
-          Smt.Solver.check_valid ~config:p.Profiles.solver_config
+          Smt.Solver.check_valid ~config:solver_cfg
             ~hyps:(context @ vc.Encode.vc_hyps) vc.Encode.vc_goal
         in
         if profile then smt_prof := Some r.Smt.Solver.profile;
@@ -202,15 +243,40 @@ let run_vc ?(profile = false) ?cache (p : Profiles.t) (prog : program) ~axioms ~
             r.Smt.Solver.stats.Smt.Solver.t_sat r.Smt.Solver.stats.Smt.Solver.t_theory
             r.Smt.Solver.stats.Smt.Solver.t_ematch
         in
-        (r.Smt.Solver.answer, d)
+        (r.Smt.Solver.answer, d, r.Smt.Solver.cert)
       end
-    | H_bit_vector -> outcome_to_answer (Modes.prove_bit_vector ~budget vc.Encode.vc_goal)
-    | H_nonlinear -> outcome_to_answer (Modes.prove_nonlinear ~budget vc.Encode.vc_goal)
-    | H_integer_ring -> outcome_to_answer (Modes.prove_integer_ring ~budget vc.Encode.vc_goal)
+    | H_bit_vector ->
+      if certify then mode_cert (Modes.prove_bit_vector_cert ~budget vc.Encode.vc_goal)
+      else mode_plain (Modes.prove_bit_vector ~budget vc.Encode.vc_goal)
+    | H_nonlinear ->
+      if certify then mode_cert (Modes.prove_nonlinear_cert ~budget vc.Encode.vc_goal)
+      else mode_plain (Modes.prove_nonlinear ~budget vc.Encode.vc_goal)
+    | H_integer_ring ->
+      if certify then mode_cert (Modes.prove_integer_ring_cert ~budget vc.Encode.vc_goal)
+      else mode_plain (Modes.prove_integer_ring ~budget vc.Encode.vc_goal)
     | H_compute -> (
       match vc.Encode.vc_expr with
-      | Some e -> outcome_to_answer (Modes.prove_compute ~budget prog e)
-      | None -> (Smt.Solver.Unknown "compute assert lost its expression", ""))
+      | Some e ->
+        if certify then mode_cert (Modes.prove_compute_cert ~budget prog e)
+        else mode_plain (Modes.prove_compute ~budget prog e)
+      | None -> (Smt.Solver.Unknown "compute assert lost its expression", "", None))
+  in
+  (* Under [certify], every Unsat must survive the independent kernel's
+     replay before it counts as proved; a rejection or a missing
+     certificate demotes the obligation (see verify_function_with_axioms)
+     while keeping the raw solver answer visible. *)
+  let vcr_cert =
+    if not certify then Cert_off
+    else
+      match answer with
+      | Smt.Solver.Unsat -> (
+        match cert with
+        | None -> Cert_unavailable "solver returned Unsat without a certificate"
+        | Some c -> (
+          match Vcheck.check (Smt.Cert.to_json c) with
+          | Vcheck.Checked _ -> Cert_checked (Smt.Cert.digest c)
+          | Vcheck.Rejected { code; reason } -> Cert_rejected (code, reason)))
+      | _ -> Cert_off
   in
   let time_s = Unix.gettimeofday () -. t0 in
   (match (cache, fp) with
@@ -222,6 +288,9 @@ let run_vc ?(profile = false) ?cache (p : Profiles.t) (prog : program) ~axioms ~
         e_bytes = bytes;
         e_time_s = time_s;
         e_profile = !smt_prof;
+        (* Only a kernel-Checked certificate earns a digest; a rejected
+           one must not become a "checked claim" on the next warm run. *)
+        e_cert_digest = (match vcr_cert with Cert_checked d -> Some d | _ -> None);
       }
   | _ -> ());
   let vcr_prof =
@@ -240,14 +309,22 @@ let run_vc ?(profile = false) ?cache (p : Profiles.t) (prog : program) ~axioms ~
     vcr_bytes = bytes;
     vcr_detail = detail;
     vcr_prof;
+    vcr_cert;
   }
 
-let verify_function_with_axioms ?(profile = false) ?cache (p : Profiles.t) (prog : program)
-    ~axioms ~ax_index (fd : fndecl) : fn_result =
+let cert_ok r =
+  match r.vcr_cert with Cert_rejected _ | Cert_unavailable _ -> false | _ -> true
+
+let verify_function_with_axioms ?(profile = false) ?(certify = false) ?cache (p : Profiles.t)
+    (prog : program) ~axioms ~ax_index (fd : fndecl) : fn_result =
   let t0 = Unix.gettimeofday () in
   let vcs = Encode.encode_function p prog fd in
-  let results = List.map (run_vc ~profile ?cache p prog ~axioms ~ax_index) vcs in
-  let ok = List.for_all (fun r -> r.vcr_answer = Smt.Solver.Unsat) results in
+  let results = List.map (run_vc ~profile ~certify ?cache p prog ~axioms ~ax_index) vcs in
+  (* An Unsat whose certificate the kernel rejected (or that arrived
+     without one under --certify) does not count as proved. *)
+  let ok =
+    List.for_all (fun r -> r.vcr_answer = Smt.Solver.Unsat && cert_ok r) results
+  in
   let fnr_prof =
     if not profile then None
     else
@@ -337,7 +414,7 @@ let aggregate_program_profile (p : Profiles.t) ~axioms (fns : fn_result list) :
 let verify_program ?(config = Config.default) (p : Profiles.t) (prog : program) :
     program_result =
   let t0 = Unix.gettimeofday () in
-  let { Config.jobs; lint; profile; cache = cache_cfg; budget } = config in
+  let { Config.jobs; lint; profile; cache = cache_cfg; budget; certify } = config in
   (* A budget override is folded into the profile before anything else
      runs, so solves, §3.3 modes and cache fingerprints all see the same
      effective budget. *)
@@ -385,7 +462,9 @@ let verify_program ?(config = Config.default) (p : Profiles.t) (prog : program) 
     in
     let results =
       if jobs <= 1 then
-        List.map (verify_function_with_axioms ~profile ?cache p prog ~axioms ~ax_index) targets
+        List.map
+          (verify_function_with_axioms ~profile ~certify ?cache p prog ~axioms ~ax_index)
+          targets
       else begin
         (* Round-robin chunks over domains. *)
         let n = List.length targets in
@@ -398,7 +477,8 @@ let verify_program ?(config = Config.default) (p : Profiles.t) (prog : program) 
             if i < n then begin
               out.(i) <-
                 Some
-                  (verify_function_with_axioms ~profile ?cache p prog ~axioms ~ax_index arr.(i));
+                  (verify_function_with_axioms ~profile ~certify ?cache p prog ~axioms
+                     ~ax_index arr.(i));
               go ()
             end
           in
@@ -418,6 +498,34 @@ let verify_program ?(config = Config.default) (p : Profiles.t) (prog : program) 
         | Error e -> Printf.eprintf "warning: verification cache not saved: %s\n%!" e);
         Some (Vcache.stats c)
     in
+    (* VL034 is the one post-verification lint: it flags verdicts served
+       from cache hits that never passed the certificate kernel, which
+       only the driver can see.  Excluded from {!result_digest} (a cold
+       run has no hits, and warm/cold must digest equally). *)
+    let cache_lint =
+      if lint = Lint_ignore then []
+      else
+        List.concat_map
+          (fun fnr ->
+            List.filter_map
+              (fun v ->
+                match v.vcr_cert with
+                | Cert_uncertified_hit ->
+                  Some
+                    {
+                      Vlint.code = "VL034";
+                      severity = Vlint.Info;
+                      fn = Some fnr.fnr_name;
+                      message =
+                        Printf.sprintf
+                          "verdict for %S served from a cache hit with no certificate \
+                           digest; re-run with --certify to upgrade the entry"
+                          v.vcr_name;
+                    }
+                | _ -> None)
+              fnr.fnr_vcs)
+          results
+    in
     {
       pr_profile = p.Profiles.name;
       pr_fns = results;
@@ -425,7 +533,7 @@ let verify_program ?(config = Config.default) (p : Profiles.t) (prog : program) 
       pr_time_s = Unix.gettimeofday () -. t0;
       pr_bytes = List.fold_left (fun acc r -> acc + r.fnr_bytes) 0 results;
       pr_front_end_errors = [];
-      pr_lint = lint_diags;
+      pr_lint = lint_diags @ cache_lint;
       pr_prof =
         (if profile then Some (aggregate_program_profile p ~axioms results) else None);
       pr_cache;
@@ -450,9 +558,24 @@ let result_digest (pr : program_result) : string =
     | Smt.Solver.Sat -> "sat"
     | Smt.Solver.Unknown r -> "unknown:" ^ r
   in
+  (* Cold-checked and warm-cached certificates render identically (the
+     digest is the same certificate's), preserving cache transparency;
+     Cert_off and Cert_uncertified_hit render nothing for the same reason
+     (a certify-off cold run cannot know it will be served warm later). *)
+  let cert = function
+    | Cert_off | Cert_uncertified_hit -> ""
+    | Cert_checked d | Cert_cached d -> "|cert=" ^ d
+    | Cert_rejected (code, _) -> "|cert-rejected=" ^ code
+    | Cert_unavailable _ -> "|cert-unavailable"
+  in
   add "profile=%s ok=%b" pr.pr_profile pr.pr_ok;
   List.iter (fun e -> add "fe:%s" e) pr.pr_front_end_errors;
-  List.iter (fun (d : Vlint.diag) -> add "lint:%s" (Vlint.diag_to_string d)) pr.pr_lint;
+  List.iter
+    (fun (d : Vlint.diag) ->
+      (* VL034 only fires on warm runs; including it would break the
+         warm/cold digest-equality invariant. *)
+      if d.Vlint.code <> "VL034" then add "lint:%s" (Vlint.diag_to_string d))
+    pr.pr_lint;
   List.iter
     (fun fnr ->
       add "fn:%s ok=%b" fnr.fnr_name fnr.fnr_ok;
@@ -460,7 +583,9 @@ let result_digest (pr : program_result) : string =
          default-mode detail string embeds solver phase times (wall-clock),
          and printed sizes vary with the process-global fresh-symbol
          counter — run artifacts, not decisions. *)
-      List.iter (fun v -> add "vc:%s|%s" v.vcr_name (ans v.vcr_answer)) fnr.fnr_vcs)
+      List.iter
+        (fun v -> add "vc:%s|%s%s" v.vcr_name (ans v.vcr_answer) (cert v.vcr_cert))
+        fnr.fnr_vcs)
     pr.pr_fns;
   Vbase.Hash.string128 (Buffer.contents b)
 
@@ -477,7 +602,10 @@ let first_failure (pr : program_result) =
           List.find_map
             (fun v ->
               match v.vcr_answer with
-              | Smt.Solver.Unsat -> None
+              | Smt.Solver.Unsat when cert_ok v -> None
+              | Smt.Solver.Unsat ->
+                (* Proved by the solver, disowned by the kernel. *)
+                Some (fnr.fnr_name, v.vcr_name, "VC003")
               | Smt.Solver.Sat -> Some (fnr.fnr_name, v.vcr_name, "VC001")
               | Smt.Solver.Unknown _ -> Some (fnr.fnr_name, v.vcr_name, "VC002"))
             fnr.fnr_vcs)

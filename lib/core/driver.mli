@@ -22,6 +22,28 @@ type vc_profile = {
           per-axiom context-bytes attribution *)
 }
 
+(** Where this obligation's verdict stands with respect to the {!Vcheck}
+    certificate kernel (the [--certify] pipeline). *)
+type cert_status =
+  | Cert_off
+      (** certification not in play for this result: the run did not ask
+          for it, or the answer was not [Unsat] (nothing to certify) *)
+  | Cert_checked of string
+      (** fresh solve; the certificate replayed [Checked] — the payload is
+          its {!Smt.Cert.digest} (also stored in the cache entry) *)
+  | Cert_cached of string
+      (** warm hit whose entry carries the digest of a certificate the
+          filling run checked — a hit that remains a checked claim *)
+  | Cert_uncertified_hit
+      (** warm hit on a certify-off run whose entry has no certificate
+          digest; harmless, but what lint's VL034 flags *)
+  | Cert_rejected of string * string
+      (** the kernel rejected the certificate ([CKxxx] code, reason) — the
+          obligation is demoted to a failure ([VC003]) *)
+  | Cert_unavailable of string
+      (** [Unsat] under [--certify] but no certificate arrived; demoted
+          like a rejection (fail safe) *)
+
 (** Outcome of one proof obligation. *)
 type vc_result = {
   vcr_name : string;  (** obligation name, e.g. ["push: ensures view"] *)
@@ -30,6 +52,7 @@ type vc_result = {
   vcr_bytes : int;  (** context + goal printed size *)
   vcr_detail : string;  (** mode-specific info (instances, phase times) *)
   vcr_prof : vc_profile option;  (** [Some] iff profiling was requested *)
+  vcr_cert : cert_status;
 }
 
 (** Outcome of all obligations of one function. *)
@@ -109,10 +132,16 @@ module Config : sig
         (** when [Some], overrides the framework profile's solver budget
             (what the CLI's [--deadline]/[--max-rounds] set); the override
             is part of the cache fingerprint *)
+    certify : bool;
+        (** solve with proof recording on, replay every Unsat's
+            certificate through the independent {!Vcheck} kernel, and
+            demote rejected obligations to failures; Unsat cache hits are
+            honored only when their entry carries a certificate digest *)
   }
 
   val default : t
-  (** [jobs = 1], no lint, no profiling, no cache, profile's own budget. *)
+  (** [jobs = 1], no lint, no profiling, no cache, profile's own budget,
+      no certification. *)
 
   val with_jobs : int -> t -> t
   val with_lint : lint_mode -> t -> t
@@ -123,6 +152,7 @@ module Config : sig
 
   val without_cache : t -> t
   val with_budget : Smt.Solver.budget -> t -> t
+  val with_certify : bool -> t -> t
 end
 
 val context_for :
@@ -168,5 +198,6 @@ val result_digest : program_result -> string
 val first_failure : program_result -> (string * string * string) option
 (** [(origin, obligation, code)] of the first failure, if any: a lint
     Error ([VL0xx] code, strict mode), a front-end rejection ([FE001]),
-    or the first unproved VC ([VC001] refuted / [VC002] unknown).  The
+    or the first unproved VC ([VC001] refuted / [VC002] unknown /
+    [VC003] certificate rejected or missing under [--certify]).  The
     code lets callers assert on {e which} failure occurred. *)

@@ -63,3 +63,99 @@ let basis ?(max_pairs = 2000) (gens : Poly.t list) : Poly.t list =
 let ideal_member ?max_pairs (p : Poly.t) (gens : Poly.t list) : bool =
   let b = basis ?max_pairs gens in
   Poly.is_zero (reduce p b)
+
+(* --- cofactor-tracked membership --------------------------------------- *)
+
+(* A polynomial carried together with its expression over the original
+   generator list: the invariant is [tp = sum_i tc.(i) * gen_i].  Tracking
+   it through Buchberger and through division is what turns a membership
+   verdict into a checkable identity. *)
+type tracked = { tp : Poly.t; tc : Poly.t array }
+
+let t_mul_mono m c (a : tracked) =
+  { tp = Poly.mul_mono m c a.tp; tc = Array.map (Poly.mul_mono m c) a.tc }
+
+let t_sub (a : tracked) (b : tracked) =
+  { tp = Poly.sub a.tp b.tp; tc = Array.map2 Poly.sub a.tc b.tc }
+
+(* Multivariate division keeping quotients: returns the normal form [rem]
+   and cofactors [q] over the original generators such that
+   [p = sum_i q.(i) * gen_i + rem]. *)
+let reduce_cof (p : Poly.t) (gs : tracked list) ~ngens : Poly.t * Poly.t array =
+  let q = Array.make ngens Poly.zero in
+  let rem = ref Poly.zero in
+  let work = ref p in
+  let continue_ = ref true in
+  while !continue_ do
+    match Poly.leading !work with
+    | None -> continue_ := false
+    | Some (lm, lc) -> (
+      let divisor =
+        List.find_opt
+          (fun g ->
+            match Poly.leading g.tp with
+            | Some (gm, _) -> Poly.mono_divides gm lm
+            | None -> false)
+          gs
+      in
+      match divisor with
+      | Some g ->
+        let gm, gc = Option.get (Poly.leading g.tp) in
+        let m = Poly.mono_div lm gm in
+        let c = Rat.div lc gc in
+        work := Poly.sub !work (Poly.mul_mono m c g.tp);
+        Array.iteri (fun i cq -> q.(i) <- Poly.add q.(i) (Poly.mul_mono m c cq)) g.tc
+      | None ->
+        rem := Poly.add !rem [ (lm, lc) ];
+        work := Poly.sub !work [ (lm, lc) ])
+  done;
+  (!rem, q)
+
+let basis_tracked ?(max_pairs = 2000) (gens : Poly.t list) : tracked list =
+  let ngens = List.length gens in
+  let unit i =
+    Array.init ngens (fun j -> if i = j then Poly.const Rat.one else Poly.zero)
+  in
+  (* Indices stay aligned with the original list; zero generators are
+     skipped but keep their (never consulted) cofactor slot. *)
+  let tracked_gens =
+    List.mapi (fun i p -> { tp = p; tc = unit i }) gens
+    |> List.filter (fun t -> not (Poly.is_zero t.tp))
+  in
+  let g = ref tracked_gens in
+  let pairs = Queue.create () in
+  let add_pairs_for p = List.iter (fun q -> Queue.push (p, q) pairs) !g in
+  List.iteri
+    (fun i p ->
+      List.iteri (fun j q -> if j < i then Queue.push (p, q) pairs) tracked_gens;
+      ignore p)
+    tracked_gens;
+  let count = ref 0 in
+  while not (Queue.is_empty pairs) do
+    incr count;
+    if !count > max_pairs then failwith "Groebner.basis: pair budget exhausted";
+    let f, h = Queue.pop pairs in
+    let s =
+      match (Poly.leading f.tp, Poly.leading h.tp) with
+      | Some (fm, fc), Some (gm, gc) ->
+        let l = Poly.mono_lcm fm gm in
+        t_sub
+          (t_mul_mono (Poly.mono_div l fm) (Rat.inv fc) f)
+          (t_mul_mono (Poly.mono_div l gm) (Rat.inv gc) h)
+      | _ -> { tp = Poly.zero; tc = Array.make ngens Poly.zero }
+    in
+    let rem, q = reduce_cof s.tp !g ~ngens in
+    if not (Poly.is_zero rem) then begin
+      let tc = Array.init ngens (fun i -> Poly.sub s.tc.(i) q.(i)) in
+      let t = { tp = rem; tc } in
+      add_pairs_for t;
+      g := t :: !g
+    end
+  done;
+  !g
+
+let ideal_member_cert ?max_pairs (p : Poly.t) (gens : Poly.t list) : Poly.t array option =
+  let ngens = List.length gens in
+  let b = basis_tracked ?max_pairs gens in
+  let rem, q = reduce_cof p b ~ngens in
+  if Poly.is_zero rem then Some q else None

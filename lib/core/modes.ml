@@ -127,15 +127,30 @@ let config_of_budget budget =
   | None -> Smt.Solver.default_config
   | Some b -> { Smt.Solver.default_config with Smt.Solver.budget = b }
 
-let prove_bit_vector ?budget ?(width = 64) goal =
+(* Shared solver dispatch for the search-based modes.  With [certify] the
+   isolated query runs with proof recording on and the Unsat certificate
+   rides back with the outcome; certify-off callers pay nothing. *)
+let solve_outcome ~certify ~budget ~refuted assertions =
+  let base = config_of_budget budget in
+  let config = if certify then { base with Smt.Solver.certify = true } else base in
+  let r = Smt.Solver.solve ~config assertions in
+  match r.Smt.Solver.answer with
+  | Smt.Solver.Unsat -> (Proved, r.Smt.Solver.cert)
+  | Smt.Solver.Sat -> (Refuted refuted, None)
+  | Smt.Solver.Unknown reason -> (Unsupported ("solver: " ^ reason), None)
+
+let bit_vector ~certify ?budget ~width goal =
   match translate_bv ~width goal with
-  | exception Untranslatable msg -> Unsupported msg
-  | bv_goal -> (
-    let r = Smt.Solver.solve ~config:(config_of_budget budget) [ T.not_ bv_goal ] in
-    match r.Smt.Solver.answer with
-    | Smt.Solver.Unsat -> Proved
-    | Smt.Solver.Sat -> Refuted "bit-vector countermodel exists"
-    | Smt.Solver.Unknown reason -> Unsupported ("solver: " ^ reason))
+  | exception Untranslatable msg -> (Unsupported msg, None)
+  | bv_goal ->
+    solve_outcome ~certify ~budget ~refuted:"bit-vector countermodel exists"
+      [ T.not_ bv_goal ]
+
+let prove_bit_vector ?budget ?(width = 64) goal =
+  fst (bit_vector ~certify:false ?budget ~width goal)
+
+let prove_bit_vector_cert ?budget ?(width = 64) goal =
+  bit_vector ~certify:true ?budget ~width goal
 
 (* ------------------------------------------------------------------ *)
 (* nonlinear_arith mode                                                *)
@@ -265,14 +280,18 @@ let rec normalize_goal (t : T.t) : T.t =
   | T.Iff (a, b) -> T.iff (normalize_goal a) (normalize_goal b)
   | _ -> t
 
-let prove_nonlinear ?budget ?(hyps = []) goal =
+let nonlinear ~certify ?budget ~hyps goal =
   let goal = normalize_goal goal in
   let lemmas = nonlinear_lemmas goal in
-  let r = Smt.Solver.solve ~config:(config_of_budget budget) (hyps @ lemmas @ [ T.not_ goal ]) in
-  match r.Smt.Solver.answer with
-  | Smt.Solver.Unsat -> Proved
-  | Smt.Solver.Sat -> Refuted "nonlinear countermodel exists (under lemma approximation)"
-  | Smt.Solver.Unknown reason -> Unsupported ("solver: " ^ reason)
+  solve_outcome ~certify ~budget
+    ~refuted:"nonlinear countermodel exists (under lemma approximation)"
+    (hyps @ lemmas @ [ T.not_ goal ])
+
+let prove_nonlinear ?budget ?(hyps = []) goal =
+  fst (nonlinear ~certify:false ?budget ~hyps goal)
+
+let prove_nonlinear_cert ?budget ?(hyps = []) goal =
+  nonlinear ~certify:true ?budget ~hyps goal
 
 (* ------------------------------------------------------------------ *)
 (* integer_ring mode                                                   *)
@@ -314,7 +333,10 @@ let ring_poly_of_fact (t : T.t) : (Poly.t * Poly.t option, string) result =
   )
   | _ -> Error ("not a ring fact: " ^ T.to_string t)
 
-let prove_integer_ring ?budget goal =
+(* {!Smt.Cert.groebner} wants (coefficient, monomial) pairs. *)
+let cert_poly (p : Poly.t) = List.map (fun (m, c) -> (c, m)) p
+
+let integer_ring ~certify ?budget goal =
   let max_pairs =
     match budget with
     | None -> None
@@ -329,10 +351,10 @@ let prove_integer_ring ?budget goal =
       | Ok (g, _) -> gens := g :: !gens
       | Error e -> errors := e :: !errors)
     prems;
-  if !errors <> [] then Unsupported (String.concat "; " !errors)
+  if !errors <> [] then (Unsupported (String.concat "; " !errors), None)
   else begin
     match ring_poly_of_fact concl with
-    | Error e -> Unsupported e
+    | Error e -> (Unsupported e, None)
     | Ok (target, modulus) -> (
       (* For a mod-zero conclusion the quotient variable is existential:
          the claim is target' ∈ ideal(gens ∪ {modulus}) where target' is
@@ -348,11 +370,26 @@ let prove_integer_ring ?budget goal =
           (Poly.of_term x, cp :: !gens)
         | _ -> (target, !gens)
       in
-      match Groebner.ideal_member ?max_pairs target gens with
-      | true -> Proved
-      | false -> Refuted "polynomial is not in the hypothesis ideal"
-      | exception Failure msg -> Unsupported msg)
+      if certify then
+        match Groebner.ideal_member_cert ?max_pairs target gens with
+        | Some q ->
+          let cert =
+            Smt.Cert.groebner ~target:(cert_poly target)
+              ~gens:(List.map cert_poly gens)
+              ~cofactors:(Array.to_list q |> List.map cert_poly)
+          in
+          (Proved, Some cert)
+        | None -> (Refuted "polynomial is not in the hypothesis ideal", None)
+        | exception Failure msg -> (Unsupported msg, None)
+      else
+        match Groebner.ideal_member ?max_pairs target gens with
+        | true -> (Proved, None)
+        | false -> (Refuted "polynomial is not in the hypothesis ideal", None)
+        | exception Failure msg -> (Unsupported msg, None))
   end
+
+let prove_integer_ring ?budget goal = fst (integer_ring ~certify:false ?budget goal)
+let prove_integer_ring_cert ?budget goal = integer_ring ~certify:true ?budget goal
 
 (* ------------------------------------------------------------------ *)
 (* compute mode                                                        *)
@@ -365,3 +402,10 @@ let prove_compute ?budget prog expr =
   | Interp.VBool false -> Refuted "expression evaluates to false"
   | v -> Unsupported ("expression computes to non-boolean " ^ Interp.value_to_string v)
   | exception Interp.Runtime_error msg -> Unsupported ("evaluation failed: " ^ msg)
+
+let prove_compute_cert ?budget prog expr =
+  (* The interpreter has no sub-structure to log: its verdict enters the
+     trusted computing base explicitly as a trusted certificate. *)
+  match prove_compute ?budget prog expr with
+  | Proved -> (Proved, Some (Smt.Cert.trusted "compute"))
+  | o -> (o, None)

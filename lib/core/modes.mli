@@ -39,3 +39,32 @@ val prove_integer_ring : ?budget:Smt.Solver.budget -> Smt.Term.t -> outcome
 
 val prove_compute : ?budget:Smt.Solver.budget -> Vir.program -> Vir.expr -> outcome
 (** Evaluates the (closed) expression; [Proved] iff it computes to true. *)
+
+(** {2 Certificate-producing variants}
+
+    Each [_cert] variant behaves exactly like its plain counterpart but
+    runs with proof recording on, and on [Proved] additionally returns a
+    {!Smt.Cert.t} the {!Vcheck} kernel can replay:
+
+    - bit-vector and nonlinear goals certify via the solver's SMT
+      certificate (the isolated query's Unsat derivation);
+    - ring goals certify via a Gröbner cofactor identity
+      [target = sum_i q_i * gen_i] re-checked by exact polynomial
+      arithmetic;
+    - [compute] verdicts have no checkable sub-structure and return a
+      trusted certificate, making the interpreter's membership in the
+      trusted computing base explicit.
+
+    [None] whenever the outcome is not [Proved] (nothing to certify). *)
+
+val prove_bit_vector_cert :
+  ?budget:Smt.Solver.budget -> ?width:int -> Smt.Term.t -> outcome * Smt.Cert.t option
+
+val prove_nonlinear_cert :
+  ?budget:Smt.Solver.budget -> ?hyps:Smt.Term.t list -> Smt.Term.t -> outcome * Smt.Cert.t option
+
+val prove_integer_ring_cert :
+  ?budget:Smt.Solver.budget -> Smt.Term.t -> outcome * Smt.Cert.t option
+
+val prove_compute_cert :
+  ?budget:Smt.Solver.budget -> Vir.program -> Vir.expr -> outcome * Smt.Cert.t option

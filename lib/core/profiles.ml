@@ -38,11 +38,7 @@ let dafny =
     wrapper_depth = 0;
     recheck_ownership = false;
     epr_only = false;
-    solver_config =
-      {
-        trigger_policy = Smt.Triggers.Conservative;
-        budget = { base_budget with max_rounds = 60; max_instances_per_quant = 2000 };
-      };
+    solver_config = { base_solver with trigger_policy = Smt.Triggers.Conservative; budget = { base_budget with max_rounds = 60; max_instances_per_quant = 2000 } };
   }
 
 let fstar =
@@ -55,11 +51,7 @@ let fstar =
     wrapper_depth = 2;
     recheck_ownership = false;
     epr_only = false;
-    solver_config =
-      {
-        trigger_policy = Smt.Triggers.Conservative;
-        budget = { base_budget with max_rounds = 80; max_instances_per_quant = 2000 };
-      };
+    solver_config = { base_solver with trigger_policy = Smt.Triggers.Conservative; budget = { base_budget with max_rounds = 80; max_instances_per_quant = 2000 } };
   }
 
 let prusti =
@@ -74,11 +66,7 @@ let prusti =
     wrapper_depth = 3;
     recheck_ownership = true;
     epr_only = false;
-    solver_config =
-      {
-        trigger_policy = Smt.Triggers.Liberal;
-        budget = { base_budget with max_rounds = 30; max_instances_per_quant = 1000 };
-      };
+    solver_config = { base_solver with trigger_policy = Smt.Triggers.Liberal; budget = { base_budget with max_rounds = 30; max_instances_per_quant = 1000 } };
   }
 
 let creusot =

@@ -9,6 +9,7 @@ type entry = {
   e_bytes : int;
   e_time_s : float;
   e_profile : Smt.Profile.t option;
+  e_cert_digest : string option;
 }
 
 type stats = {
@@ -65,7 +66,12 @@ let entry_to_json name (e : entry) : Vbase.Json.t =
     | None -> []
     | Some p -> [ ("profile", Smt.Profile.to_json p) ]
   in
-  Vbase.Json.Obj (base @ reason @ prof)
+  let cert =
+    match e.e_cert_digest with
+    | None -> []
+    | Some d -> [ ("cert", Vbase.Json.String d) ]
+  in
+  Vbase.Json.Obj (base @ reason @ prof @ cert)
 
 let entry_of_json (j : Vbase.Json.t) : (string * entry) option =
   let ( let* ) = Option.bind in
@@ -90,7 +96,22 @@ let entry_of_json (j : Vbase.Json.t) : (string * entry) option =
          profile would let a profiled warm run silently serve stale data *)
       match Smt.Profile.of_json pj with Ok p -> Some (Some p) | Error _ -> None)
   in
-  Some (name, { e_answer = answer; e_detail = detail; e_bytes = bytes; e_time_s = time_s; e_profile = profile })
+  let* cert_digest =
+    match Vbase.Json.member "cert" j with
+    | None -> Some None
+    | Some (Vbase.Json.String d) -> Some (Some d)
+    | Some _ -> None
+  in
+  Some
+    ( name,
+      {
+        e_answer = answer;
+        e_detail = detail;
+        e_bytes = bytes;
+        e_time_s = time_s;
+        e_profile = profile;
+        e_cert_digest = cert_digest;
+      } )
 
 (* ----- open / lookup / store / flush ----- *)
 
@@ -121,15 +142,20 @@ let open_ (cfg : config) : t =
     corrupt_load = loaded.Vbase.Store.corrupt;
   }
 
-let lookup t ~name ~fp ~profile_wanted =
+let lookup t ~name ~fp ~profile_wanted ~certified_wanted =
   Mutex.lock t.lock;
   let r =
     match Hashtbl.find_opt t.snapshot fp with
-    | Some (_, e) when (not profile_wanted) || e.e_profile <> None ->
+    | Some (_, e)
+      when ((not profile_wanted) || e.e_profile <> None)
+           && ((not certified_wanted)
+              || e.e_answer <> Smt.Solver.Unsat
+              || e.e_cert_digest <> None) ->
       t.hits <- t.hits + 1;
       Some e
     | Some _ ->
-      (* entry present but unprofiled and the run wants profiles: re-solve
+      (* entry present but missing what the run wants — unprofiled under a
+         profiled run, or an uncertified Unsat under --certify: re-solve
          and upgrade; a miss, not an invalidation (nothing changed) *)
       t.misses <- t.misses + 1;
       None
@@ -353,6 +379,10 @@ let fingerprint ~(profile : Profiles.t) ~(prog : Vir.program) ~(context : Smt.Te
     (vc : Encode.vc) : string =
   let s = Smt.Canon.create () in
   Smt.Canon.add_string s "verus-cache-fp/1";
+  (* The certificate schema is part of the key: bumping the cert format
+     must invalidate every entry, or a warm hit could claim its stored
+     digest names a certificate the current kernel would accept. *)
+  Smt.Canon.add_string s ("cert-schema=" ^ Smt.Cert.schema_version);
   Smt.Canon.add_string s (Profiles.solver_fingerprint profile);
   Smt.Canon.add_string s ("hint=" ^ hint_tag vc.Encode.vc_hint);
   (match vc.Encode.vc_hint with

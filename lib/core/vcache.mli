@@ -13,7 +13,10 @@
       [by(compute)] obligations the interpreter-visible program surface
       (spec bodies and datatypes),
     - the solver-relevant profile facets and the full
-      {!Smt.Solver.budget} ({!Profiles.solver_fingerprint}).
+      {!Smt.Solver.budget} ({!Profiles.solver_fingerprint}),
+    - the certificate schema version ({!Smt.Cert.schema_version}), so a
+      certificate-format bump invalidates every entry rather than letting
+      a stored digest claim a certificate the current kernel never saw.
 
     Because the context is fingerprinted {e after} pruning, renaming or
     editing a function the VC does not depend on leaves the fingerprint —
@@ -52,6 +55,10 @@ type entry = {
   e_bytes : int;
   e_time_s : float;  (** wall-clock of the original solve *)
   e_profile : Smt.Profile.t option;
+  e_cert_digest : string option;
+      (** {!Smt.Cert.digest} of the kernel-checked certificate the filling
+          run produced (present only when it ran with [--certify] and the
+          answer is Unsat) — what makes a warm hit a checked claim *)
 }
 
 (** Per-run counters, deterministic under [jobs > 1]. *)
@@ -79,12 +86,15 @@ val fingerprint :
 (** The VC's cache key, as described above.  [context] must be the
     post-pruning context the driver would ship to the solver. *)
 
-val lookup : t -> name:string -> fp:string -> profile_wanted:bool -> entry option
+val lookup :
+  t -> name:string -> fp:string -> profile_wanted:bool -> certified_wanted:bool -> entry option
 (** Consult the snapshot.  [Some] and a hit is counted only when the entry
     exists {e and} carries a profile if [profile_wanted] (an unprofiled
-    entry cannot serve a profiled run; it re-solves and upgrades).  On
-    [None], a miss or — when [name] was cached under a different
-    fingerprint — an invalidation is counted. *)
+    entry cannot serve a profiled run; it re-solves and upgrades) {e and},
+    if [certified_wanted], any Unsat entry carries a certificate digest
+    (an uncertified Unsat cannot serve a [--certify] run; it re-solves,
+    re-checks and upgrades).  On [None], a miss or — when [name] was
+    cached under a different fingerprint — an invalidation is counted. *)
 
 val store : t -> name:string -> fp:string -> entry -> unit
 (** Record a freshly solved obligation.  Not visible to {!lookup} until

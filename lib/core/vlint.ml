@@ -34,6 +34,7 @@ let code_table =
     ("VL031", Warn, "ensures never mention the function result");
     ("VL032", Info, "requires clause unused by body and ensures");
     ("VL033", Warn, "unreachable statements after return / assert(false)");
+    ("VL034", Info, "verdict served from a cache hit lacking a certificate digest");
   ]
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds

@@ -16,6 +16,11 @@
     - [VL02x] mode discipline
     - [VL03x] proof hygiene
 
+    One code is emitted by the driver rather than a pass here: VL034
+    (verdict served from a cache hit lacking a certificate digest) needs
+    per-obligation cache visibility only [Driver.verify_program] has; it
+    still lives in {!code_table} so [lint --codes] lists it.
+
     See the README's "Static analysis" section for the full table. *)
 
 type severity = Error | Warn | Info

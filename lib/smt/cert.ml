@@ -1,0 +1,244 @@
+module Json = Vbase.Json
+module Rat = Vbase.Rat
+module Bigint = Vbase.Bigint
+
+let schema_version = "verus-cert/1"
+
+(* --- term nodes ------------------------------------------------------- *)
+
+(* The node universe mirrors Euf.node_of_term: non-nullary applications are
+   the only structured nodes; literals are distinguished constants; any
+   other term (including arithmetic compounds, which the EUF solver treats
+   as leaves) is opaque, keyed by its hash-consed id. *)
+type node =
+  | N_app of int * int list (* interned symbol label, children *)
+  | N_int of string
+  | N_bv of int * string (* width, value *)
+  | N_true
+  | N_false
+  | N_opaque of int (* per-certificate opaque index *)
+
+type lit_sem = {
+  mutable ls_eq : (bool * int * int) option;
+  mutable ls_views : ((int * Bigint.t) list * Rat.t) list; (* reversed *)
+}
+
+type builder = {
+  mutable nodes : node list; (* reversed *)
+  mutable n_nodes : int;
+  node_of_tid : (int, int) Hashtbl.t;
+  sym_ix : (int, int) Hashtbl.t; (* sid -> per-cert label *)
+  mutable n_syms : int;
+  mutable n_opaque : int;
+  lits : (int, lit_sem) Hashtbl.t; (* signed SAT literal -> semantics *)
+}
+
+let create_builder () =
+  {
+    nodes = [];
+    n_nodes = 0;
+    node_of_tid = Hashtbl.create 64;
+    sym_ix = Hashtbl.create 32;
+    n_syms = 0;
+    n_opaque = 0;
+    lits = Hashtbl.create 64;
+  }
+
+let push_node b n =
+  let id = b.n_nodes in
+  b.nodes <- n :: b.nodes;
+  b.n_nodes <- id + 1;
+  id
+
+let sym_label b (f : Term.sym) =
+  match Hashtbl.find_opt b.sym_ix f.Term.sid with
+  | Some i -> i
+  | None ->
+    let i = b.n_syms in
+    Hashtbl.add b.sym_ix f.Term.sid i;
+    b.n_syms <- i + 1;
+    i
+
+let rec intern_term b (tm : Term.t) =
+  match Hashtbl.find_opt b.node_of_tid tm.Term.tid with
+  | Some id -> id
+  | None ->
+    let n =
+      match tm.Term.node with
+      | Term.App (f, (_ :: _ as args)) ->
+        let children = List.map (intern_term b) args in
+        N_app (sym_label b f, children)
+      | Term.Int_lit v -> N_int (Bigint.to_string v)
+      | Term.Bv_lit { width; value } -> N_bv (width, Bigint.to_string value)
+      | Term.True -> N_true
+      | Term.False -> N_false
+      | _ ->
+        let k = b.n_opaque in
+        b.n_opaque <- k + 1;
+        N_opaque k
+    in
+    let id = push_node b n in
+    Hashtbl.add b.node_of_tid tm.Term.tid id;
+    id
+
+let lit_sem_of b lit =
+  match Hashtbl.find_opt b.lits lit with
+  | Some s -> s
+  | None ->
+    let s = { ls_eq = None; ls_views = [] } in
+    Hashtbl.add b.lits lit s;
+    s
+
+let lit_eq b lit meaning =
+  let s = lit_sem_of b lit in
+  if s.ls_eq = None then s.ls_eq <- Some meaning
+
+let view_equal (c1, b1) (c2, b2) =
+  Rat.equal b1 b2
+  && List.length c1 = List.length c2
+  && List.for_all2 (fun (v1, x1) (v2, x2) -> v1 = v2 && Bigint.equal x1 x2) c1 c2
+
+let lit_view b lit coeffs bound =
+  let s = lit_sem_of b lit in
+  let v = (coeffs, bound) in
+  let existing = List.rev s.ls_views in
+  let rec find i = function
+    | [] -> None
+    | w :: rest -> if view_equal w v then Some i else find (i + 1) rest
+  in
+  match find 0 existing with
+  | Some i -> i
+  | None ->
+    s.ls_views <- v :: s.ls_views;
+    List.length existing
+
+(* --- certificates ------------------------------------------------------ *)
+
+type just =
+  | J_euf of int list
+  | J_farkas of (int * Rat.t * int) list
+  | J_trichotomy of int * int * int
+  | J_trusted of string
+
+type t =
+  | C_smt of {
+      nodes : node array;
+      lits : (int * lit_sem) list; (* sorted by literal *)
+      steps : Sat.proof_step array;
+      justs : (int, just) Hashtbl.t;
+      empty : int;
+    }
+  | C_groebner of {
+      target : (Rat.t * (string * int) list) list;
+      gens : (Rat.t * (string * int) list) list list;
+      cofactors : (Rat.t * (string * int) list) list list;
+    }
+  | C_trusted of string
+
+let assemble b ~steps ~empty ~justs =
+  let nodes = Array.of_list (List.rev b.nodes) in
+  let lits =
+    Hashtbl.fold (fun l s acc -> (l, s) :: acc) b.lits []
+    |> List.sort (fun (a, _) (c, _) -> compare a c)
+  in
+  C_smt { nodes; lits; steps; justs; empty }
+
+let groebner ~target ~gens ~cofactors = C_groebner { target; gens; cofactors }
+let trusted tag = C_trusted tag
+
+(* --- serialization ----------------------------------------------------- *)
+
+let json_node = function
+  | N_app (f, children) ->
+    Json.List [ Json.String "a"; Json.Int f; Json.List (List.map (fun c -> Json.Int c) children) ]
+  | N_int v -> Json.List [ Json.String "i"; Json.String v ]
+  | N_bv (w, v) -> Json.List [ Json.String "v"; Json.Int w; Json.String v ]
+  | N_true -> Json.List [ Json.String "t" ]
+  | N_false -> Json.List [ Json.String "f" ]
+  | N_opaque k -> Json.List [ Json.String "o"; Json.Int k ]
+
+let json_view (coeffs, bound) =
+  Json.List
+    [
+      Json.List
+        (List.map
+           (fun (v, c) -> Json.List [ Json.Int v; Json.String (Bigint.to_string c) ])
+           coeffs);
+      Json.String (Rat.to_string bound);
+    ]
+
+let json_lit (l, s) =
+  let eq =
+    match s.ls_eq with
+    | None -> Json.Null
+    | Some (is_eq, a, b) -> Json.List [ Json.Bool is_eq; Json.Int a; Json.Int b ]
+  in
+  Json.List [ Json.Int l; eq; Json.List (List.rev_map json_view s.ls_views) ]
+
+let json_just = function
+  | J_euf lits -> Json.List (Json.String "e" :: List.map (fun l -> Json.Int l) lits)
+  | J_farkas combo ->
+    Json.List
+      (Json.String "f"
+      :: List.map
+           (fun (l, lam, ix) ->
+             Json.List [ Json.Int l; Json.String (Rat.to_string lam); Json.Int ix ])
+           combo)
+  | J_trichotomy (leq, l1, l2) ->
+    Json.List [ Json.String "3"; Json.Int leq; Json.Int l1; Json.Int l2 ]
+  | J_trusted tag -> Json.List [ Json.String "t"; Json.String tag ]
+
+let json_step justs i (st : Sat.proof_step) =
+  let lits = Json.List (Array.to_list (Array.map (fun l -> Json.Int l) st.Sat.ps_lits)) in
+  let just =
+    if Array.length st.Sat.ps_ante > 0 then
+      Json.List
+        (Json.String "r" :: Array.to_list (Array.map (fun a -> Json.Int a) st.Sat.ps_ante))
+    else
+      match Hashtbl.find_opt justs i with
+      | Some j -> json_just j
+      | None -> Json.Int st.Sat.ps_tag
+  in
+  Json.List [ lits; just ]
+
+let json_poly p =
+  Json.List
+    (List.map
+       (fun (c, mono) ->
+         Json.List
+           [
+             Json.String (Rat.to_string c);
+             Json.List
+               (List.map (fun (v, e) -> Json.List [ Json.String v; Json.Int e ]) mono);
+           ])
+       p)
+
+let to_json = function
+  | C_smt { nodes; lits; steps; justs; empty } ->
+    Json.Obj
+      [
+        ("schema", Json.String schema_version);
+        ("kind", Json.String "smt");
+        ("nodes", Json.List (Array.to_list (Array.map json_node nodes)));
+        ("lits", Json.List (List.map json_lit lits));
+        ("steps", Json.List (Array.to_list (Array.mapi (json_step justs) steps)));
+        ("empty", Json.Int empty);
+      ]
+  | C_groebner { target; gens; cofactors } ->
+    Json.Obj
+      [
+        ("schema", Json.String schema_version);
+        ("kind", Json.String "groebner");
+        ("target", json_poly target);
+        ("gens", Json.List (List.map json_poly gens));
+        ("cofactors", Json.List (List.map json_poly cofactors));
+      ]
+  | C_trusted tag ->
+    Json.Obj
+      [
+        ("schema", Json.String schema_version);
+        ("kind", Json.String "trusted");
+        ("tag", Json.String tag);
+      ]
+
+let digest c = Vbase.Hash.string128 (Json.to_string ~indent:false (to_json c))

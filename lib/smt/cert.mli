@@ -1,0 +1,102 @@
+(** Proof certificates for Unsat verdicts.
+
+    Every layer of the solver contributes evidence while it runs: the CDCL
+    core logs each learned clause with its resolution antecedents
+    (DRAT-style, restricted-RUP checkable), the theory layers attach
+    justifications to the clauses they inject — congruence cores from EUF,
+    Farkas coefficient vectors from the simplex core — and the Gröbner mode
+    emits ideal-membership cofactors.  {!Solver} assembles the pieces into
+    one certificate per Unsat result when its [certify] flag is on.
+
+    The certificate serializes to {!Vbase.Json} under the versioned schema
+    {!schema_version} so the replay kernel ([lib/vcheck]) can consume it
+    with no dependency on any solver module: the kernel re-derives the
+    empty clause from the serialized steps alone.  What the kernel cannot
+    re-derive — the mapping from SAT literals to theory atoms, Tseitin /
+    bit-blasting / instantiation clauses, and the few steps explicitly
+    tagged trusted — is exactly the residual trusted computing base,
+    documented in DESIGN.md. *)
+
+val schema_version : string
+(** ["verus-cert/1"]; bumped on any change to the serialized grammar.  The
+    verification cache salts its fingerprints with this string so a format
+    bump invalidates every stored certificate digest. *)
+
+(** {2 Building the shared tables}
+
+    A [builder] accumulates the per-certificate term-node table and the
+    literal-semantics table while the solve runs.  Node ids are
+    per-certificate intern indices (children always precede parents), so
+    certificates are self-contained and deterministic for a given solve. *)
+
+type builder
+
+val create_builder : unit -> builder
+
+val intern_term : builder -> Term.t -> int
+(** Node id of a term, mirroring the EUF solver's view: non-nullary
+    applications are labeled nodes over their children; integer, bit-vector
+    and boolean literals are distinguished constants; everything else is an
+    opaque leaf. *)
+
+val lit_eq : builder -> int -> bool * int * int -> unit
+(** [lit_eq b lit (is_eq, a, b)] records that asserting SAT literal [lit]
+    means node [a] equals (or, when [is_eq] is false, differs from) node
+    [b].  Idempotent; the meaning of a literal never changes. *)
+
+val lit_view : builder -> int -> (int * Vbase.Bigint.t) list -> Vbase.Rat.t -> int
+(** [lit_view b lit coeffs bound] records that asserting [lit] implies the
+    integer-tightened constraint [coeffs·x <= bound] (coefficients over
+    arithmetic variable ids, sorted).  Returns the index of the view in the
+    literal's view list; structurally equal views are shared. *)
+
+(** {2 Clause-step justifications} *)
+
+type just =
+  | J_euf of int list
+      (** Assumption literals whose recorded equalities are jointly
+          congruence-unsatisfiable; the clause contains their negations. *)
+  | J_farkas of (int * Vbase.Rat.t * int) list
+      (** [(lit, lambda, view_ix)] entries: a non-negative combination of
+          the literals' recorded bound views summing to the contradiction
+          [0 <= c] with [c < 0]. *)
+  | J_trichotomy of int * int * int
+      (** [(l_eq, l_lt1, l_lt2)]: the integer totality lemma
+          [eq \/ lt1 \/ lt2] checked against the three atoms' bound
+          views. *)
+  | J_trusted of string
+      (** A theory clause the emitter could not certify (e.g. conflicts
+          built from branch-and-bound unions or gcd elimination); counted
+          against the trusted computing base. *)
+
+(** {2 Certificates} *)
+
+type t
+
+val assemble :
+  builder ->
+  steps:Sat.proof_step array ->
+  empty:int ->
+  justs:(int, just) Hashtbl.t ->
+  t
+(** An SMT certificate: the SAT core's derivation log with theory
+    justifications attached to input steps by id, ending at the empty
+    clause [empty]. *)
+
+val groebner :
+  target:(Vbase.Rat.t * (string * int) list) list ->
+  gens:(Vbase.Rat.t * (string * int) list) list list ->
+  cofactors:(Vbase.Rat.t * (string * int) list) list list ->
+  t
+(** An ideal-membership witness: [target = sum_i cofactors_i * gens_i],
+    polynomials as (coefficient, monomial) lists. *)
+
+val trusted : string -> t
+(** A verdict with no checkable content (e.g. the compute-mode
+    interpreter); replaying it records one trusted step. *)
+
+val to_json : t -> Vbase.Json.t
+
+val digest : t -> string
+(** 128-bit content fingerprint of the canonical serialization; this is
+    what {!Vcache} stores so a warm hit remains a checked claim. *)

@@ -250,6 +250,7 @@ let solve ?config ?(max_universe = 4000) ts =
         };
       model = [];
       profile = Profile.empty;
+      cert = None;
     }
   in
   match check_fragment ts with

@@ -5,6 +5,17 @@ type bound = { value : Rat.t; reason : int }
 
 type verdict = Sat | Conflict of int list | Unknown
 
+(* One row of a Farkas infeasibility certificate: the constraint asserted
+   under [ce_reason], expanded over term variables and normalized to
+   <=-form ([ce_coeffs . x <= ce_bound]), with its non-negative multiplier.
+   A valid certificate's rows sum to the contradiction [0 <= c], [c < 0]. *)
+type centry = {
+  ce_reason : int;
+  ce_lambda : Rat.t;
+  ce_coeffs : (int * Bigint.t) list;
+  ce_bound : Rat.t;
+}
+
 let dbg_pivots = ref 0
 let dbg_branches = ref 0
 let dbg_checks = ref 0
@@ -20,10 +31,15 @@ type t = {
   var_by_term : (int, int) Hashtbl.t; (* term tid -> var *)
   terms : Term.t option Vbase.Vecbuf.t; (* var -> originating term *)
   slack_by_key : ((int * Bigint.t) list, int) Hashtbl.t; (* canonical lin form -> slack var *)
+  slack_form : (int, (int * Bigint.t) list) Hashtbl.t; (* inverse of slack_by_key *)
   mutable conflict : int list option; (* detected during assertion *)
   mutable equations : ((int * Bigint.t) list * Bigint.t * int) list;
       (* integer equalities (canonical coeffs, rhs, reason) for the
          elimination-based integrality check *)
+  mutable certify : bool; (* capture Farkas certificates at conflicts *)
+  mutable last_cert : centry list option;
+      (* certificate of the last conflict; [None] when a conflict has no
+         Farkas witness (branch-and-bound unions, gcd elimination) *)
 }
 
 let create () =
@@ -38,9 +54,46 @@ let create () =
     var_by_term = Hashtbl.create 32;
     terms = Vbase.Vecbuf.create ~dummy:None;
     slack_by_key = Hashtbl.create 32;
+    slack_form = Hashtbl.create 32;
     conflict = None;
     equations = [];
+    certify = false;
+    last_cert = None;
   }
+
+let set_certify t on = t.certify <- on
+let last_cert t = t.last_cert
+
+(* The defining linear form of a variable over term variables: slack
+   variables expand to their canonical key, term variables to themselves.
+   Bounds re-expressed through this expansion are exact consequences of
+   the original assertions, which is what makes the captured certificates
+   checkable without the tableau. *)
+let expand_form t v =
+  match Hashtbl.find_opt t.slack_form v with
+  | Some f -> f
+  | None -> [ (v, Bigint.one) ]
+
+let centry_of_bound t ~reason ~lambda ~v ~is_upper ~bound =
+  let f = expand_form t v in
+  if is_upper then { ce_reason = reason; ce_lambda = lambda; ce_coeffs = f; ce_bound = bound }
+  else
+    {
+      ce_reason = reason;
+      ce_lambda = lambda;
+      ce_coeffs = List.map (fun (x, c) -> (x, Bigint.neg c)) f;
+      ce_bound = Rat.neg bound;
+    }
+
+(* Record a certificate for the conflict being reported; degrade to [None]
+   (an uncertified conflict) if any row involves an internal reason such as
+   a branch-and-bound marker. *)
+let set_cert t entries =
+  if t.certify then
+    t.last_cert <-
+      (if List.for_all (fun e -> e.ce_reason >= 0) entries then Some entries else None)
+
+let clear_cert t = if t.certify then t.last_cert <- None
 
 let ensure_capacity t n =
   let cap = Array.length t.beta in
@@ -87,7 +140,8 @@ let reset_bounds t =
   Array.fill t.lower 0 t.nvars None;
   Array.fill t.upper 0 t.nvars None;
   t.conflict <- None;
-  t.equations <- []
+  t.equations <- [];
+  t.last_cert <- None
 
 (* --- tableau ---------------------------------------------------------- *)
 
@@ -199,7 +253,14 @@ let pivot_and_update t bi nj v =
 let assert_lower t x value reason =
   if t.conflict = None then begin
     match t.upper.(x) with
-    | Some ub when Rat.compare value ub.value > 0 -> t.conflict <- Some [ reason; ub.reason ]
+    | Some ub when Rat.compare value ub.value > 0 ->
+      set_cert t
+        [
+          centry_of_bound t ~reason ~lambda:Rat.one ~v:x ~is_upper:false ~bound:value;
+          centry_of_bound t ~reason:ub.reason ~lambda:Rat.one ~v:x ~is_upper:true
+            ~bound:ub.value;
+        ];
+      t.conflict <- Some [ reason; ub.reason ]
     | _ -> (
       match t.lower.(x) with
       | Some lb when Rat.compare lb.value value >= 0 -> ()
@@ -211,7 +272,14 @@ let assert_lower t x value reason =
 let assert_upper t x value reason =
   if t.conflict = None then begin
     match t.lower.(x) with
-    | Some lb when Rat.compare value lb.value < 0 -> t.conflict <- Some [ reason; lb.reason ]
+    | Some lb when Rat.compare value lb.value < 0 ->
+      set_cert t
+        [
+          centry_of_bound t ~reason ~lambda:Rat.one ~v:x ~is_upper:true ~bound:value;
+          centry_of_bound t ~reason:lb.reason ~lambda:Rat.one ~v:x ~is_upper:false
+            ~bound:lb.value;
+        ];
+      t.conflict <- Some [ reason; lb.reason ]
     | _ -> (
       match t.upper.(x) with
       | Some ub when Rat.compare ub.value value <= 0 -> ()
@@ -274,6 +342,7 @@ let form_var t ints =
     | None ->
       let s = new_var t None in
       Hashtbl.add t.slack_by_key key s;
+      Hashtbl.add t.slack_form s key;
       let row = Hashtbl.create 8 in
       List.iter
         (fun (v, c) ->
@@ -298,23 +367,24 @@ let form_var t ints =
 
 (* A constraint reduced to a single bound on a (possibly slack) variable;
    computing this involves normalization, gcd scaling and slack-variable
-   lookup, so callers that re-assert the same atoms every round cache it. *)
+   lookup, so callers that re-assert the same atoms every round cache it.
+   Constant constraints carry their <=-form bound ([0 <= b]) so a violation
+   still yields a one-row Farkas certificate. *)
 type prepared =
-  | P_const of bool (* trivially satisfied / violated *)
+  | P_const of Rat.t (* the constant constraint [0 <= b]; violated iff b < 0 *)
   | P_up of int * Rat.t
   | P_lo of int * Rat.t
+
+(* The <=-form bound of a constant constraint [0 <= c] (upper) or
+   [0 >= c] (lower), tightened for integrality under strictness. *)
+let tighten_const ~strict ~is_upper c =
+  let b = if is_upper then c else Rat.neg c in
+  if strict && Rat.is_integer c then Rat.sub b Rat.one else b
 
 let prepare t coeffs c ~strict ~is_upper : prepared =
   let coeffs = normalize_coeffs coeffs in
   match coeffs with
-  | [] ->
-    let violated =
-      if is_upper then
-        if strict then Rat.compare Rat.zero c >= 0 else Rat.compare Rat.zero c > 0
-      else if strict then Rat.compare Rat.zero c <= 0
-      else Rat.compare Rat.zero c < 0
-    in
-    P_const (not violated)
+  | [] -> P_const (tighten_const ~strict ~is_upper c)
   | _ ->
     let ints, scale, flipped = canonicalize coeffs in
     let s = form_var t ints in
@@ -335,11 +405,39 @@ let prepare t coeffs c ~strict ~is_upper : prepared =
       P_lo (s, b)
     end
 
+(* The <=-form view of a constraint, for certificate emission: the
+   canonical integer coefficient vector over term variables and the
+   integer-tightened bound, exactly as {!prepare} would bound it, but
+   without touching the tableau.  [(coeffs, b)] means [coeffs . x <= b]. *)
+let atom_view coeffs c ~strict ~is_upper =
+  let coeffs = normalize_coeffs coeffs in
+  match coeffs with
+  | [] -> ([], tighten_const ~strict ~is_upper c)
+  | _ ->
+    let ints, scale, flipped = canonicalize coeffs in
+    let bound_val = Rat.mul c scale in
+    let is_upper = if flipped then not is_upper else is_upper in
+    if is_upper then
+      let b =
+        if strict && Rat.is_integer bound_val then Rat.sub bound_val Rat.one
+        else Rat.of_bigint (Rat.floor bound_val)
+      in
+      (ints, b)
+    else
+      let b =
+        if strict && Rat.is_integer bound_val then Rat.add bound_val Rat.one
+        else Rat.of_bigint (Rat.ceil bound_val)
+      in
+      (List.map (fun (v, x) -> (v, Bigint.neg x)) ints, Rat.neg b)
+
 let assert_prepared t (p : prepared) ~reason =
   if t.conflict = None then begin
     match p with
-    | P_const true -> ()
-    | P_const false -> t.conflict <- Some [ reason ]
+    | P_const b ->
+      if Rat.sign b < 0 then begin
+        set_cert t [ { ce_reason = reason; ce_lambda = Rat.one; ce_coeffs = []; ce_bound = b } ];
+        t.conflict <- Some [ reason ]
+      end
     | P_up (s, b) -> assert_upper t s b reason
     | P_lo (s, b) -> assert_lower t s b reason
   end
@@ -351,13 +449,11 @@ let assert_general t coeffs c ~strict ~is_upper ~reason =
     match coeffs with
     | [] ->
       (* Constant constraint. *)
-      let violated =
-        if is_upper then
-          if strict then Rat.compare Rat.zero c >= 0 else Rat.compare Rat.zero c > 0
-        else if strict then Rat.compare Rat.zero c <= 0
-        else Rat.compare Rat.zero c < 0
-      in
-      if violated then t.conflict <- Some [ reason ]
+      let b = tighten_const ~strict ~is_upper c in
+      if Rat.sign b < 0 then begin
+        set_cert t [ { ce_reason = reason; ce_lambda = Rat.one; ce_coeffs = []; ce_bound = b } ];
+        t.conflict <- Some [ reason ]
+      end
     | _ ->
       let ints, scale, flipped = canonicalize coeffs in
       let s = form_var t ints in
@@ -548,6 +644,29 @@ let simplex_check t =
               else Option.map (fun (b : bound) -> b.reason) t.lower.(xj))
             entries
         in
+        (if t.certify then begin
+           (* Farkas witness: the violated bound of [bi] with multiplier 1
+              plus each blocking bound with multiplier |a|; the row
+              identity makes the combination cancel to [0 <= c], [c < 0]. *)
+           let own =
+             centry_of_bound t ~reason:own_reason ~lambda:Rat.one ~v:bi ~is_upper:(not below)
+               ~bound:target
+           in
+           let rest =
+             List.filter_map
+               (fun (xj, a) ->
+                 let want_upper = if below then Rat.sign a > 0 else Rat.sign a < 0 in
+                 let blocking = if want_upper then t.upper.(xj) else t.lower.(xj) in
+                 Option.map
+                   (fun (b : bound) ->
+                     centry_of_bound t ~reason:b.reason ~lambda:(Rat.abs a) ~v:xj
+                       ~is_upper:want_upper ~bound:b.value)
+                   blocking)
+               entries
+           in
+           if List.length rest = List.length entries then set_cert t (own :: rest)
+           else clear_cert t
+         end);
         Conflict (List.sort_uniq compare (own_reason :: core)))
   in
   loop ()
@@ -607,7 +726,10 @@ let rec bb_check t budget =
           | Sat -> Sat
           | Unknown -> Unknown
           | Conflict c2 ->
-            (* Both branches dead: union of cores, minus branch markers. *)
+            (* Both branches dead: union of cores, minus branch markers.
+               No Farkas witness exists for the union — the replay kernel
+               records it as a trusted branch step. *)
+            clear_cert t;
             Conflict (List.sort_uniq compare (List.filter (fun r -> r >= 0) (c1 @ c2))))))
   end
 
@@ -625,7 +747,9 @@ let check ?(max_branch = 2000) t =
          the elimination pass decides those.  Running it only here keeps
          the common Sat/Conflict path cheap. *)
       match eliminate_equations t with
-      | Some core -> Conflict (List.sort_uniq compare core)
+      | Some core ->
+        clear_cert t;
+        Conflict (List.sort_uniq compare core)
       | None -> Unknown)
     | v -> v)
 

@@ -77,6 +77,41 @@ val term_of_var : t -> int -> Term.t option
 val find_var : t -> Term.t -> int option
 (** Like {!var_of_term} but without registering new variables. *)
 
+(** {2 Farkas certificates}
+
+    With certification on, every conflict that admits one is captured as a
+    non-negative combination of the asserted bounds: each row re-expresses
+    one bound over term variables in [<=]-form, and the rows weighted by
+    their multipliers sum to [0 <= c] with [c < 0].  Conflicts built from
+    branch-and-bound unions or gcd elimination have no such witness and
+    leave {!last_cert} as [None] (the emitter records a trusted step). *)
+
+type centry = {
+  ce_reason : int;  (** the asserting atom's reason tag *)
+  ce_lambda : Vbase.Rat.t;  (** multiplier, strictly positive *)
+  ce_coeffs : (int * Vbase.Bigint.t) list;  (** over term variables, sorted *)
+  ce_bound : Vbase.Rat.t;  (** [ce_coeffs . x <= ce_bound] *)
+}
+
+val set_certify : t -> bool -> unit
+(** Enable/disable conflict certificate capture (default off; capture adds
+    a little allocation on the conflict path only). *)
+
+val last_cert : t -> centry list option
+(** Certificate of the most recent conflict, if it admits one.  Reset by
+    {!reset_bounds}. *)
+
+val atom_view :
+  (Vbase.Rat.t * int) list ->
+  Vbase.Rat.t ->
+  strict:bool ->
+  is_upper:bool ->
+  (int * Vbase.Bigint.t) list * Vbase.Rat.t
+(** The [<=]-form view ([coeffs . x <= bound], canonical integer
+    coefficients, integer-tightened bound) of the constraint
+    [sum coeffs <= c] (upper) or [>= c] (lower); pure — does not register
+    slack variables.  Used to certify trichotomy lemmas. *)
+
 (**/**)
 
 val dbg_pivots : int ref

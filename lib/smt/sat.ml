@@ -8,6 +8,20 @@ exception Budget_exceeded
 
 type result = Sat | Unsat
 
+(* One entry of the clause-derivation log.  [ps_ante] empty marks an input
+   clause (tagged with the encoder phase that produced it); otherwise the
+   clause must follow from the antecedent steps by unit propagation
+   (restricted RUP).  Step ids are positions in the log. *)
+type proof_step = { ps_lits : int array; ps_ante : int array; ps_tag : int }
+
+type proof = {
+  steps : proof_step Vbase.Vecbuf.t;
+  clause_step : int Vbase.Vecbuf.t; (* parallel to [clauses]: step of each *)
+  mutable unit_step : int array; (* per var: step of its level-0 unit, or -1 *)
+  mutable lvl0_memo : int list option array; (* per var: memoized support *)
+  mutable tag : int; (* tag applied to subsequently recorded inputs *)
+}
+
 type t = {
   mutable assign : int array; (* per var: 0 unassigned, 1 true, -1 false *)
   mutable level : int array; (* per var: decision level *)
@@ -29,6 +43,9 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   seen : bool array ref; (* scratch for conflict analysis *)
+  mutable proof : proof option; (* clause-derivation logging; off by default *)
+  mutable last_input_step : int; (* input step of the last added clause, -1 *)
+  mutable empty_step : int; (* step deriving the empty clause once unsat *)
 }
 
 let create () =
@@ -53,7 +70,42 @@ let create () =
     decisions = 0;
     propagations = 0;
     seen = ref (Array.make 16 false);
+    proof = None;
+    last_input_step = -1;
+    empty_step = -1;
   }
+
+let enable_proof s =
+  if s.nvars > 0 || Vbase.Vecbuf.length s.clauses > 0 || s.unsat then
+    invalid_arg "Sat.enable_proof: solver already in use";
+  s.proof <-
+    Some
+      {
+        steps = Vbase.Vecbuf.create ~dummy:{ ps_lits = [||]; ps_ante = [||]; ps_tag = 0 };
+        clause_step = Vbase.Vecbuf.create ~dummy:(-1);
+        unit_step = Array.make 16 (-1);
+        lvl0_memo = Array.make 16 None;
+        tag = 0;
+      }
+
+let proof_enabled s = s.proof <> None
+let set_input_tag s tag = match s.proof with None -> () | Some p -> p.tag <- tag
+
+let proof_steps s =
+  match s.proof with
+  | None -> [||]
+  | Some p -> Array.init (Vbase.Vecbuf.length p.steps) (Vbase.Vecbuf.get p.steps)
+
+let last_input_step s = s.last_input_step
+let empty_step s = s.empty_step
+
+let record_step s lits ante =
+  match s.proof with
+  | None -> -1
+  | Some p ->
+    Vbase.Vecbuf.push p.steps
+      { ps_lits = Array.of_list lits; ps_ante = Array.of_list ante; ps_tag = p.tag };
+    Vbase.Vecbuf.length p.steps - 1
 
 let pos v = 2 * v
 let neg v = (2 * v) + 1
@@ -86,7 +138,16 @@ let ensure_capacity s n =
     let w = Array.init (2 * newcap) (fun _ -> Vbase.Vecbuf.create ~dummy:(-1)) in
     Array.blit s.watches 0 w 0 (Array.length s.watches);
     s.watches <- w;
-    if Array.length !(s.seen) < newcap then s.seen := Array.make newcap false
+    if Array.length !(s.seen) < newcap then s.seen := Array.make newcap false;
+    match s.proof with
+    | None -> ()
+    | Some p ->
+      let us = Array.make newcap (-1) in
+      Array.blit p.unit_step 0 us 0 (Array.length p.unit_step);
+      p.unit_step <- us;
+      let lm = Array.make newcap None in
+      Array.blit p.lvl0_memo 0 lm 0 (Array.length p.lvl0_memo);
+      p.lvl0_memo <- lm
   end
 
 (* --- activity heap ------------------------------------------------- *)
@@ -258,6 +319,43 @@ let attach_clause s ci =
   Vbase.Vecbuf.push s.watches.(c.(0)) ci;
   Vbase.Vecbuf.push s.watches.(c.(1)) ci
 
+(* Steps supporting the level-0 assignment of [v]: the unit that enqueued
+   it, or its reason clause's step plus (recursively) the supports of that
+   clause's other literals.  Together these let the replay kernel re-derive
+   by unit propagation every literal the solver eliminated at level 0.
+   Memoized — level-0 assignments and their reasons are permanent. *)
+let rec lvl0_chain s p v =
+  match p.lvl0_memo.(v) with
+  | Some c -> c
+  | None ->
+    let c =
+      let r = s.reason.(v) in
+      if r >= 0 then begin
+        let cl = Vbase.Vecbuf.get s.clauses r in
+        let acc = ref [ Vbase.Vecbuf.get p.clause_step r ] in
+        Array.iter
+          (fun q ->
+            if lit_var q <> v then acc := List.rev_append (lvl0_chain s p (lit_var q)) !acc)
+          cl;
+        !acc
+      end
+      else if p.unit_step.(v) >= 0 then [ p.unit_step.(v) ]
+      else []
+    in
+    p.lvl0_memo.(v) <- Some c;
+    c
+
+(* The empty clause from a level-0 conflict on clause [ci]: every literal
+   of [ci] is false at level 0, so [ci]'s step plus the supports of its
+   variables derive the contradiction. *)
+let record_lvl0_conflict s p ci =
+  let cl = Vbase.Vecbuf.get s.clauses ci in
+  let chain =
+    Array.fold_left (fun acc q -> List.rev_append (lvl0_chain s p (lit_var q)) acc) [] cl
+  in
+  s.empty_step <-
+    record_step s [] (Vbase.Vecbuf.get p.clause_step ci :: List.sort_uniq compare chain)
+
 let add_clause s lits =
   if not s.unsat then begin
     backtrack s 0;
@@ -267,16 +365,40 @@ let add_clause s lits =
     let tautology =
       List.exists (fun l -> List.mem (lit_negate l) lits || lit_value s l = 1) lits
     in
+    s.last_input_step <- -1;
     if not tautology then begin
-      let lits = List.filter (fun l -> lit_value s l <> -1) lits in
-      match lits with
-      | [] -> s.unsat <- true
+      let kept = List.filter (fun l -> lit_value s l <> -1) lits in
+      let step =
+        match s.proof with
+        | None -> -1
+        | Some p ->
+          let input = record_step s lits [] in
+          s.last_input_step <- input;
+          if List.length kept = List.length lits then input
+          else begin
+            (* Literals false at level 0 were dropped: derive the stored
+               clause from the input plus the dropped literals' supports. *)
+            let dropped = List.filter (fun l -> lit_value s l = -1) lits in
+            let chain = List.concat_map (fun l -> lvl0_chain s p (lit_var l)) dropped in
+            record_step s kept (input :: List.sort_uniq compare chain)
+          end
+      in
+      match kept with
+      | [] ->
+        s.empty_step <- step;
+        s.unsat <- true
       | [ l ] ->
+        (match s.proof with Some p -> p.unit_step.(lit_var l) <- step | None -> ());
         enqueue s l (-1);
-        if propagate s >= 0 then s.unsat <- true
-      | lits ->
-        let c = Array.of_list lits in
+        let confl = propagate s in
+        if confl >= 0 then begin
+          (match s.proof with Some p -> record_lvl0_conflict s p confl | None -> ());
+          s.unsat <- true
+        end
+      | kept ->
+        let c = Array.of_list kept in
         Vbase.Vecbuf.push s.clauses c;
+        (match s.proof with Some p -> Vbase.Vecbuf.push p.clause_step step | None -> ());
         attach_clause s (Vbase.Vecbuf.length s.clauses - 1)
     end
   end
@@ -291,6 +413,11 @@ let analyze s confl =
   let cl = ref confl in
   let trail_i = ref (Vbase.Vecbuf.length s.trail - 1) in
   let btlevel = ref 0 in
+  (* With proof logging on, collect the resolved clauses (the learned
+     clause's RUP antecedents) and the level-0 variables skipped by the
+     1UIP loop (their supports complete the antecedent set). *)
+  let antes = ref (if s.proof = None then [] else [ confl ]) in
+  let lvl0 = ref [] in
   let continue = ref true in
   while !continue do
     let c = Vbase.Vecbuf.get s.clauses !cl in
@@ -307,6 +434,7 @@ let analyze s confl =
           if s.level.(v) > !btlevel then btlevel := s.level.(v)
         end
       end
+      else if s.proof <> None && (not seen.(v)) && s.level.(v) = 0 then lvl0 := v :: !lvl0
     done;
     (* Find next literal on the trail to resolve on. *)
     let rec next () =
@@ -323,11 +451,12 @@ let analyze s confl =
     end
     else begin
       cl := s.reason.(lit_var p);
+      if s.proof <> None then antes := !cl :: !antes;
       l := p
     end
   done;
   List.iter (fun q -> seen.(lit_var q) <- false) !learnt;
-  (!learnt, !btlevel)
+  (!learnt, !btlevel, !antes, !lvl0)
 
 (* --- main search ---------------------------------------------------- *)
 
@@ -357,15 +486,28 @@ let solve ?(limit_conflicts = max_int) s =
           incr restart_conflicts;
           if s.conflicts - budget_start > limit_conflicts then raise Budget_exceeded;
           if decision_level s = 0 then begin
+            (match s.proof with Some p -> record_lvl0_conflict s p confl | None -> ());
             s.unsat <- true;
             result := Some Unsat;
             round_done := true
           end
           else begin
-            let learnt, btlevel = analyze s confl in
+            let learnt, btlevel, antes, lvl0 = analyze s confl in
+            let step =
+              match s.proof with
+              | None -> -1
+              | Some p ->
+                let ante = List.rev_map (fun ci -> Vbase.Vecbuf.get p.clause_step ci) antes in
+                let chain =
+                  List.concat_map (fun v -> lvl0_chain s p v) (List.sort_uniq compare lvl0)
+                in
+                record_step s (List.sort compare learnt) (ante @ List.sort_uniq compare chain)
+            in
             backtrack s btlevel;
             (match learnt with
-            | [ l ] -> enqueue s l (-1)
+            | [ l ] ->
+              (match s.proof with Some p -> p.unit_step.(lit_var l) <- step | None -> ());
+              enqueue s l (-1)
             | l :: _ ->
               (* Put the asserting literal first and a highest-level other
                  literal second (watch invariant). *)
@@ -378,9 +520,16 @@ let solve ?(limit_conflicts = max_int) s =
               arr.(1) <- arr.(!best);
               arr.(!best) <- tmp;
               Vbase.Vecbuf.push s.clauses arr;
+              (match s.proof with
+              | Some p -> Vbase.Vecbuf.push p.clause_step step
+              | None -> ());
               attach_clause s (Vbase.Vecbuf.length s.clauses - 1);
               enqueue s l (Vbase.Vecbuf.length s.clauses - 1)
-            | [] -> s.unsat <- true; result := Some Unsat; round_done := true);
+            | [] ->
+              s.empty_step <- step;
+              s.unsat <- true;
+              result := Some Unsat;
+              round_done := true);
             s.var_inc <- s.var_inc /. 0.95
           end
         end

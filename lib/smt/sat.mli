@@ -51,6 +51,48 @@ val value : t -> int -> bool
 (** Model value of a variable; only meaningful right after [solve] returned
     [Sat]. *)
 
+(** {2 Clause-derivation logging}
+
+    With proof logging enabled (before any variable or clause exists), the
+    solver records a DRAT-style derivation log: every input clause as
+    given, a derived step whenever level-0 simplification strengthened a
+    stored clause, and every learned clause with the resolution antecedents
+    collected during 1UIP analysis.  Each non-input step is checkable by
+    unit propagation restricted to its listed antecedents (restricted RUP);
+    once the instance is unsat, {!empty_step} points at the derivation of
+    the empty clause.  All hooks are no-ops (and cost nothing) when logging
+    is off. *)
+
+type proof_step = {
+  ps_lits : int array;  (** the clause *)
+  ps_ante : int array;  (** antecedent step ids; empty for input steps *)
+  ps_tag : int;  (** encoder phase for input steps (see {!set_input_tag}) *)
+}
+
+val enable_proof : t -> unit
+(** Turns on logging.  Raises [Invalid_argument] if the solver already has
+    variables or clauses. *)
+
+val proof_enabled : t -> bool
+
+val set_input_tag : t -> int -> unit
+(** Tag recorded on subsequent input steps; the SMT layer uses it to
+    classify trusted encoding clauses (Tseitin vs. instantiation vs.
+    bit-blasting). *)
+
+val proof_steps : t -> proof_step array
+(** The derivation log so far ([[||]] when logging is off). *)
+
+val last_input_step : t -> int
+(** Step id of the clause passed to the most recent {!add_clause}, or -1
+    if that clause was dropped as a tautology (or logging is off).  Lets
+    the caller attach a theory justification to the clause it just
+    added. *)
+
+val empty_step : t -> int
+(** Step id deriving the empty clause, or -1 while the instance is not
+    known unsat. *)
+
 val stats_conflicts : t -> int
 (** Total conflicts encountered over the solver's lifetime. *)
 

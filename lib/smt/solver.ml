@@ -30,9 +30,14 @@ let default_budget =
 type config = {
   trigger_policy : Triggers.policy;
   budget : budget;
+  certify : bool;
+      (* record a replayable proof certificate for Unsat answers; off by
+         default (emission threads extra bookkeeping through the SAT and
+         LIA cores) *)
 }
 
-let default_config = { trigger_policy = Triggers.Conservative; budget = default_budget }
+let default_config =
+  { trigger_policy = Triggers.Conservative; budget = default_budget; certify = false }
 
 (* The canonical one-line rendering of a budget, a component of the
    verification cache's fingerprints: a cached answer obtained under one
@@ -63,6 +68,9 @@ type result = {
   stats : stats;
   model : (string * string) list;
   profile : Profile.t;
+  cert : Cert.t option;
+      (* present iff [answer = Unsat] and the solve ran with
+         [config.certify = true] *)
 }
 
 type state = {
@@ -105,10 +113,18 @@ type state = {
   prep_cache : (int * bool, Lia.prepared list) Hashtbl.t;
       (* (atom tid, polarity) -> prepared LIA constraints *)
   mutable deadline : float; (* absolute wall deadline for this solve *)
+  cert : Cert.builder option; (* Some iff cfg.certify *)
+  justs : (int, Cert.just) Hashtbl.t; (* proof step id -> theory justification *)
+  mutable input_tag : int; (* current Cert input-step tag for trusted clauses *)
 }
 
 let create_state cfg =
   let sat = Sat.create () in
+  let lia = Lia.create () in
+  if cfg.certify then begin
+    Sat.enable_proof sat;
+    Lia.set_certify lia true
+  end;
   {
     cfg;
     sat;
@@ -138,12 +154,41 @@ let create_state cfg =
     n_lia_conflicts = 0;
     n_theory_lemmas = 0;
     inst_rounds = 0;
-    lia = Lia.create ();
+    lia;
     lin_cache = Hashtbl.create 256;
     app_cache = Hashtbl.create 256;
     prep_cache = Hashtbl.create 256;
     deadline = infinity;
+    cert = (if cfg.certify then Some (Cert.create_builder ()) else None);
+    justs = Hashtbl.create 64;
+    input_tag = 0;
   }
+
+(* Run [f] with input steps tagged [tag] (instantiation = 1, bit-blasting
+   = 2); restores the enclosing tag, so a bit-blasted atom created while
+   asserting an instance ends up tagged 2, and Tseitin clauses after it
+   revert to the instance tag. *)
+let with_input_tag st tag f =
+  match st.cert with
+  | None -> f ()
+  | Some _ ->
+    let old = st.input_tag in
+    st.input_tag <- tag;
+    Sat.set_input_tag st.sat tag;
+    let r = f () in
+    st.input_tag <- old;
+    Sat.set_input_tag st.sat old;
+    r
+
+(* Attach a theory justification to the clause just passed to
+   [Sat.add_clause] (a no-op when certification is off or the clause was
+   dropped as a tautology). *)
+let justify st (just : unit -> Cert.just) =
+  match st.cert with
+  | None -> ()
+  | Some _ ->
+    let step = Sat.last_input_step st.sat in
+    if step >= 0 then Hashtbl.replace st.justs step (just ())
 
 let lit_true st =
   match st.const_true_lit with
@@ -341,7 +386,7 @@ let rec formula_lit st (t : Term.t) : int =
         Ematch.add_quant st.em ~guard:(Some g) t;
         g
       | Term.Exists _ -> invalid_arg "Solver: exists survived NNF"
-      | _ when is_bv_atom t -> Bitblast.atom_literal st.bb t
+      | _ when is_bv_atom t -> with_input_tag st 2 (fun () -> Bitblast.atom_literal st.bb t)
       | Term.Eq _ | Term.Le _ | Term.Lt _ | Term.App _ | Term.Iff _ | Term.Implies _
       | Term.Ite _ -> (
         match t.Term.node with
@@ -471,6 +516,39 @@ let final_check st =
     in
     Sat.add_clause st.sat lits
   in
+  (* Certificate bookkeeping.  [euf_assumption] records the theory meaning
+     of an assigned atom's literal in the certificate's atom table and
+     returns the literal; [None] if the atom is outside the certified EUF
+     fragment (the justification then degrades to a trusted step). *)
+  let euf_assumption bd i =
+    let v, atom, value = assigned.(i) in
+    let lit = if value then Sat.pos v else Sat.neg v in
+    match atom.Term.node with
+    | Term.Eq (x, y) when not (is_bv_atom atom) ->
+      Cert.lit_eq bd lit (value, Cert.intern_term bd x, Cert.intern_term bd y);
+      Some lit
+    | Term.App _ when Sort.equal atom.Term.sort Sort.Bool ->
+      let rhs = if value then Term.tru else Term.fls in
+      Cert.lit_eq bd lit (true, Cert.intern_term bd atom, Cert.intern_term bd rhs);
+      Some lit
+    | _ -> None
+  in
+  let euf_just bd core =
+    let ok = ref true in
+    let lits =
+      List.filter_map
+        (fun i ->
+          if i < 0 then None
+          else
+            match euf_assumption bd i with
+            | Some l -> Some l
+            | None ->
+              ok := false;
+              None)
+        core
+    in
+    if !ok then Cert.J_euf lits else Cert.J_trusted "euf"
+  in
   (* --- EUF --- *)
   let dbg_t0 = Unix.gettimeofday () in
   let euf = Euf.create () in
@@ -510,6 +588,7 @@ let final_check st =
     incr dbg_r_euf_conf;
     st.n_euf_conflicts <- st.n_euf_conflicts + 1;
     blocking core;
+    justify st (fun () -> euf_just (Option.get st.cert) core);
     R_continue
   | Ok () -> (
     (* --- LIA --- *)
@@ -525,6 +604,20 @@ let final_check st =
         let r = linearize (Term.sub a b) in
         Hashtbl.replace st.lin_cache key r;
         r
+    in
+    (* Trichotomy justification for [l_eq \/ l_lt1 \/ l_lt2]: the equality
+       pins [cs . x] to exactly [bound], and the negated strict
+       inequalities are the two non-strict bounds.  Register both <=-form
+       views so the kernel can match the (f, d) / (-f, -d) pair. *)
+    let trichotomy_just bd ~l_eq ~l_lt1 ~l_lt2 cs bound =
+      let v_up = Lia.atom_view cs bound ~strict:false ~is_upper:true in
+      let v_lo = Lia.atom_view cs bound ~strict:false ~is_upper:false in
+      let add lit (c, b) = ignore (Cert.lit_view bd lit c b) in
+      add l_eq v_up;
+      add l_eq v_lo;
+      add (Sat.lit_negate l_lt1) v_lo;
+      add (Sat.lit_negate l_lt2) v_up;
+      Cert.J_trichotomy (l_eq, l_lt1, l_lt2)
     in
     Array.iteri
       (fun i (v, atom, value) ->
@@ -570,6 +663,10 @@ let final_check st =
             let l_lt1 = formula_lit st (Term.lt a b) in
             let l_lt2 = formula_lit st (Term.lt b a) in
             Sat.add_clause st.sat [ l_eq; l_lt1; l_lt2 ];
+            justify st (fun () ->
+                let bd = Option.get st.cert in
+                let cs, k = linearize_cached a b atom.Term.tid in
+                trichotomy_just bd ~l_eq ~l_lt1 ~l_lt2 (to_lia_coeffs cs) (Rat.neg k));
             incr dbg_r_eqsplit;
             progress := true
           end
@@ -594,6 +691,19 @@ let final_check st =
         incr dbg_r_lia_conf;
         st.n_lia_conflicts <- st.n_lia_conflicts + 1;
         blocking core;
+        justify st (fun () ->
+            let bd = Option.get st.cert in
+            match Lia.last_cert lia with
+            | Some entries ->
+              Cert.J_farkas
+                (List.map
+                   (fun (e : Lia.centry) ->
+                     let v, _, value = assigned.(e.Lia.ce_reason) in
+                     let lit = if value then Sat.pos v else Sat.neg v in
+                     let ix = Cert.lit_view bd lit e.Lia.ce_coeffs e.Lia.ce_bound in
+                     (lit, e.Lia.ce_lambda, ix))
+                   entries)
+            | None -> Cert.J_trusted "lia-search");
         R_continue
       | Lia.Unknown -> R_unknown "arithmetic budget exhausted"
       | Lia.Sat -> (
@@ -640,6 +750,14 @@ let final_check st =
                       (* Only a real lemma if the equality atom is not
                          already forced true under this assignment. *)
                       Sat.add_clause st.sat (l_eq :: clause);
+                      justify st (fun () ->
+                          let bd = Option.get st.cert in
+                          let head = Sat.lit_negate l_eq in
+                          Cert.lit_eq bd head
+                            (false, Cert.intern_term bd rep, Cert.intern_term bd m);
+                          match euf_just bd expl with
+                          | Cert.J_euf lits -> Cert.J_euf (head :: lits)
+                          | j -> j);
                       if not (Sat.value st.sat (Sat.lit_var l_eq) && l_eq land 1 = 0) then begin
                         incr dbg_r_prop;
                         st.n_theory_lemmas <- st.n_theory_lemmas + 1;
@@ -709,6 +827,11 @@ let final_check st =
                      don't pay another round for it later. *)
                   Hashtbl.replace st.eq_split_done eq_atom.Term.tid ();
                   Sat.add_clause st.sat [ l_eq; l1; l2 ];
+                  justify st (fun () ->
+                      let bd = Option.get st.cert in
+                      let cs, k = linearize_cached x y eq_atom.Term.tid in
+                      trichotomy_just bd ~l_eq ~l_lt1:l1 ~l_lt2:l2 (to_lia_coeffs cs)
+                        (Rat.neg k));
                   incr dbg_r_guess;
                   st.n_theory_lemmas <- st.n_theory_lemmas + 1;
                   lemma_added := true
@@ -745,8 +868,18 @@ let solve ?(config = default_config) assertions =
   let t0 = Unix.gettimeofday () in
   let st = create_state config in
   let finish answer model =
+    let cert =
+      match (answer, st.cert) with
+      | Unsat, Some bd ->
+        Some
+          (Cert.assemble bd
+             ~steps:(Sat.proof_steps st.sat)
+             ~empty:(Sat.empty_step st.sat) ~justs:st.justs)
+      | _ -> None
+    in
     {
       answer;
+      cert;
       stats =
         {
           rounds = 0;
@@ -823,7 +956,8 @@ let solve ?(config = default_config) assertions =
                 List.iter
                   (fun (inst : Ematch.instance) ->
                     st.query_bytes <- st.query_bytes + Term.printed_size inst.Ematch.body;
-                    assert_formula st ~guard:inst.Ematch.guard inst.Ematch.body)
+                    with_input_tag st 1 (fun () ->
+                        assert_formula st ~guard:inst.Ematch.guard inst.Ematch.body))
                   insts
             end
           end)

@@ -55,6 +55,11 @@ type config = {
   trigger_policy : Triggers.policy;
       (** how triggers are inferred for quantifiers that lack them *)
   budget : budget;  (** all search budgets (see {!budget}) *)
+  certify : bool;
+      (** record a replayable proof certificate for [Unsat] answers (see
+          {!Cert}); off by default — emission threads clause-derivation
+          logging through the SAT core and Farkas capture through the LIA
+          core, and costs nothing when off *)
 }
 
 val default_config : config
@@ -94,6 +99,10 @@ type result = {
           times (EUF vs LIA vs combination inside [t_theory]); always
           collected — the counters ride state the solver maintains
           anyway *)
+  cert : Cert.t option;
+      (** proof certificate, present iff [answer = Unsat] and the solve ran
+          with [config.certify = true]; replayable by the independent
+          [Vcheck] kernel *)
 }
 
 val solve : ?config:config -> Term.t list -> result

@@ -8,7 +8,10 @@
 # cache smoke (a cold run fills the store, a warm run serves 100% of the
 # obligations from it with an identical result digest, counters are
 # deterministic under jobs>1, and a corrupted store degrades to a cold
-# run), and — when odoc is installed — the API-doc build,
+# run), the proof-certificate smoke (every bundled program verifies with
+# certification on and every Unsat's certificate replays to Checked
+# through the independent Vcheck kernel — one Rejected fails the gate),
+# and — when odoc is installed — the API-doc build,
 # warnings-as-errors.  This is the tree-must-stay-green gate:
 #
 #   scripts/check.sh
@@ -19,25 +22,25 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/7 build =="
+echo "== 1/8 build =="
 dune build @all
 
-echo "== 2/7 tests =="
+echo "== 2/8 tests =="
 dune runtest
 
-echo "== 3/7 lint (strict) =="
+echo "== 3/8 lint (strict) =="
 dune build @lint
 
-echo "== 4/7 fault smoke =="
+echo "== 4/8 fault smoke =="
 dune build @faults
 
-echo "== 5/7 profile JSON smoke =="
+echo "== 5/8 profile JSON smoke =="
 dune build @profile
 
-echo "== 6/7 cache smoke (cold/warm/corrupt) =="
+echo "== 6/8 cache smoke (cold/warm/corrupt) =="
 dune build @cache
 
-echo "== 7/7 api docs =="
+echo "== 7/8 api docs =="
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc 2>doc-warnings.log || {
     cat doc-warnings.log
@@ -55,5 +58,8 @@ if command -v odoc >/dev/null 2>&1; then
 else
   echo "odoc not installed; skipped (install odoc to enable)"
 fi
+
+echo "== 8/8 certificate smoke (emit + kernel replay) =="
+dune build @certify
 
 echo "== all checks passed =="
