@@ -9,7 +9,7 @@ let () =
   print_endline "";
   let hosts = 3 and client = 3 (* endpoint after the hosts *) in
   let net = Ironkv.Network.create ~endpoints:(hosts + 1) () in
-  let h = Array.init hosts (fun id -> Ironkv.Host.create ~style:`Inplace ~id ~hosts) in
+  let h = Array.init hosts (fun id -> Ironkv.Host.create ~style:`Inplace ~id ~hosts ()) in
   let drain () =
     let progress = ref true in
     while !progress do

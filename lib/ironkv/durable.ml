@@ -1,0 +1,339 @@
+(* The durability layer for IronKV hosts: every state mutation a host
+   acknowledges is first appended — as a marshalled record — to a
+   per-host pair of persistent logs (a {!Plog.Multilog} over simulated
+   PMEM), batched by group commit.  Log 0 carries the data-plane records
+   (store writes, reply-cache entries, shipped shard installs, range
+   drops); log 1 carries the routing plane (delegation-epoch bumps and
+   range-ownership changes).  A delegation touches both planes at once,
+   which is exactly what [Multilog.append_all]'s atomic multi-append
+   provides: one commit-header flush publishes both new tails, so a crash
+   can never persist the routing change without its data-plane effect or
+   vice versa.
+
+   Records are framed by the same self-delimiting marshalling the wire
+   messages use, so the committed prefix of each log parses back into
+   exactly the record sequence that was acknowledged — the recovery
+   obligation the tests pin is that replaying that prefix rebuilds the
+   host (kv map, at-most-once reply cache, monotone epochs) to the state
+   as of the last group commit, never a torn batch.
+
+   Pending (not yet flushed) records are staged in DRAM buffers whose
+   backing blocks are drawn from the verified allocator ({!Valloc.Alloc})
+   — the same accounting a real host would do for its write-ahead
+   buffers — and released when the batch commits or the "process" dies. *)
+
+type op =
+  | Set_op of { client : int; seq : int; key : int; value : string }
+  | Cache_op of { client : int; seq : int; key : int; value : string option }
+      (* a Get executed: no store change, but the at-most-once reply
+         cache gained/refreshed an entry that must survive a crash *)
+  | Cache_merge of { cache : (int * (int * int * string option)) list }
+      (* the reply cache shipped inside an incoming Delegate was merged
+         (every receiver does this, destination or not) *)
+  | Install of { src : int; epoch : int; kvs : (int * string) list }
+      (* this host was the destination of grant (src, epoch) and
+         installed the shipped shard; replay also rebuilds the
+         applied-grant set that dedups retransmitted Delegates *)
+  | Drop_range of { lo : int; hi : int }
+      (* an outgoing delegation: keys in [lo, hi) left this host *)
+  | Grant_out of {
+      lo : int;
+      hi : int;
+      dest : int;
+      epoch : int;
+      kvs : (int * string) list;
+      cache : (int * (int * int * string option)) list;
+    }  (* an outgoing grant awaiting the destination's durable Ack; kept
+          (with its payload) so a recovered grantor resumes retransmitting
+          — the channel may have "delivered" the Delegate into a crash *)
+  | Grant_done of { epoch : int }
+      (* the destination acknowledged grant [epoch]: retransmission over *)
+
+type route = {
+  r_lo : int;
+  r_hi : int;
+  r_dest : int;
+  r_epoch : int;
+  r_applied : bool;
+      (* whether the grant won the monotone-epoch race when it was
+         handled; recording the decision makes replay order-insensitive
+         to anything but the log itself *)
+}
+
+(* --- marshalling ------------------------------------------------------ *)
+
+let cache_entry_m = Marshal.(pair u64 (triple u64 u64 (option byte_string)))
+
+let set_m =
+  Marshal.map_iso
+    (fun ((client, seq), (key, value)) -> Set_op { client; seq; key; value })
+    (function
+      | Set_op { client; seq; key; value } -> ((client, seq), (key, value))
+      | _ -> assert false)
+    Marshal.(pair (pair u64 u64) (pair u64 byte_string))
+
+let cacheop_m =
+  Marshal.map_iso
+    (fun ((client, seq), (key, value)) -> Cache_op { client; seq; key; value })
+    (function
+      | Cache_op { client; seq; key; value } -> ((client, seq), (key, value))
+      | _ -> assert false)
+    Marshal.(pair (pair u64 u64) (pair u64 (option byte_string)))
+
+let cachemerge_m =
+  Marshal.map_iso
+    (fun cache -> Cache_merge { cache })
+    (function Cache_merge { cache } -> cache | _ -> assert false)
+    Marshal.(vec cache_entry_m)
+
+let install_m =
+  Marshal.map_iso
+    (fun ((src, epoch), kvs) -> Install { src; epoch; kvs })
+    (function Install { src; epoch; kvs } -> ((src, epoch), kvs) | _ -> assert false)
+    Marshal.(pair (pair u64 u64) (vec (pair u64 byte_string)))
+
+let drop_m =
+  Marshal.map_iso
+    (fun (lo, hi) -> Drop_range { lo; hi })
+    (function Drop_range { lo; hi } -> (lo, hi) | _ -> assert false)
+    Marshal.(pair u64 u64)
+
+let grantout_m =
+  Marshal.map_iso
+    (fun (((lo, hi), (dest, epoch)), (kvs, cache)) ->
+      Grant_out { lo; hi; dest; epoch; kvs; cache })
+    (function
+      | Grant_out { lo; hi; dest; epoch; kvs; cache } ->
+        (((lo, hi), (dest, epoch)), (kvs, cache))
+      | _ -> assert false)
+    Marshal.(
+      pair
+        (pair (pair u64 u64) (pair u64 u64))
+        (pair (vec (pair u64 byte_string)) (vec cache_entry_m)))
+
+let grantdone_m =
+  Marshal.map_iso
+    (fun epoch -> Grant_done { epoch })
+    (function Grant_done { epoch } -> epoch | _ -> assert false)
+    Marshal.u64
+
+let op_m =
+  Marshal.tagged
+    [
+      (0, set_m);
+      (1, cacheop_m);
+      (2, cachemerge_m);
+      (3, install_m);
+      (4, drop_m);
+      (5, grantout_m);
+      (6, grantdone_m);
+    ]
+    ~tag_of:(function
+      | Set_op _ -> 0
+      | Cache_op _ -> 1
+      | Cache_merge _ -> 2
+      | Install _ -> 3
+      | Drop_range _ -> 4
+      | Grant_out _ -> 5
+      | Grant_done _ -> 6)
+
+let route_m =
+  Marshal.map_iso
+    (fun ((r_lo, r_hi, r_dest), (r_epoch, r_applied)) ->
+      { r_lo; r_hi; r_dest; r_epoch; r_applied })
+    (fun { r_lo; r_hi; r_dest; r_epoch; r_applied } ->
+      ((r_lo, r_hi, r_dest), (r_epoch, r_applied)))
+    Marshal.(pair (triple u64 u64 u64) (pair u64 boolean))
+
+(* --- the layer -------------------------------------------------------- *)
+
+let header_reserve = 256 (* Multilog commit slots *)
+let op_log = 0
+let route_log = 1
+
+type t = {
+  ml : Plog.Multilog.t;
+  mem : Plog.Pmem.t;
+  alloc : Valloc.Alloc.t option;
+  group : int; (* flush once this many records are pending *)
+  mutable p_ops : string list; (* reversed pending marshalled records *)
+  mutable p_routes : string list;
+  mutable p_blocks : int list; (* Valloc blocks staging the pending bytes *)
+  mutable p_count : int;
+  mutable d_committed : int; (* records committed since attach *)
+  mutable d_syncs : int; (* group commits that reached media *)
+}
+
+type sync_outcome = Synced of int | Power_failed | Failed of string
+
+let log_len_of mem = (Plog.Pmem.size mem - header_reserve) / 2
+
+let format mem =
+  if Plog.Pmem.size mem < header_reserve + 2 then
+    invalid_arg "Durable.format: device too small";
+  Plog.Multilog.format mem ~base:0 ~log_len:(log_len_of mem) ~logs:2
+
+let mk ?(group = 4) ?alloc mem ml =
+  if group < 1 then invalid_arg "Durable: group commit size < 1";
+  {
+    ml;
+    mem;
+    alloc;
+    group;
+    p_ops = [];
+    p_routes = [];
+    p_blocks = [];
+    p_count = 0;
+    d_committed = 0;
+    d_syncs = 0;
+  }
+
+let attach ?group ?alloc mem =
+  match Plog.Multilog.attach mem ~base:0 ~log_len:(log_len_of mem) ~logs:2 with
+  | Error e -> Error e
+  | Ok ml -> Ok (mk ?group ?alloc mem ml)
+
+let group t = t.group
+let pending t = t.p_count
+let committed t = t.d_committed
+let syncs t = t.d_syncs
+
+(* Stage the marshalled bytes: account a DRAM block (or several, for
+   records above the allocator's size cap) from the verified allocator.
+   Allocation failure (injected OOM) degrades to unaccounted staging
+   rather than losing the record — the record bytes themselves live in
+   the OCaml heap either way. *)
+let stage t s =
+  (match t.alloc with
+  | None -> ()
+  | Some a ->
+    let len = String.length s in
+    let rec grab rem =
+      if rem > 0 then begin
+        let n = min rem Valloc.Alloc.max_alloc in
+        (match Valloc.Alloc.malloc_opt a ~heap:0 (max 1 n) with
+        | Some b -> t.p_blocks <- b :: t.p_blocks
+        | None -> ());
+        grab (rem - n)
+      end
+    in
+    grab len);
+  t.p_count <- t.p_count + 1
+
+let log_op t o =
+  let s = Bytes.to_string (Marshal.to_bytes op_m o) in
+  t.p_ops <- s :: t.p_ops;
+  stage t s
+
+let log_route t r =
+  let s = Bytes.to_string (Marshal.to_bytes route_m r) in
+  t.p_routes <- s :: t.p_routes;
+  stage t s
+
+let release_blocks t =
+  (match t.alloc with
+  | None -> ()
+  | Some a -> List.iter (fun b -> Valloc.Alloc.free a ~heap:0 b) t.p_blocks);
+  t.p_blocks <- []
+
+(* Group commit: one atomic multi-append publishes the whole pending
+   batch — data records and routing records together — with a single
+   commit-header flush as the commit point.  After the append we consult
+   the PMEM power state: a torn flush means the "successful" append never
+   reached media, so the caller must treat the host as crashed instead of
+   acknowledging the batch. *)
+let sync t =
+  if t.p_count = 0 then
+    if Plog.Pmem.power_failed t.mem then Power_failed else Synced 0
+  else begin
+    let ops = String.concat "" (List.rev t.p_ops) in
+    let routes = String.concat "" (List.rev t.p_routes) in
+    let tails = Array.of_list (Plog.Multilog.tails t.ml) in
+    let cap = Plog.Multilog.log_len t.ml in
+    (* Replay reads the full history from offset 0, so the no-wrap
+       multilog must never cycle: reject (rather than silently overwrite)
+       once a log region is exhausted. *)
+    if tails.(op_log) + String.length ops > cap
+       || tails.(route_log) + String.length routes > cap
+    then Failed "durable log full (size the device for the workload)"
+    else begin
+      match Plog.Multilog.append_all t.ml [ ops; routes ] with
+      | Error e -> Failed e
+      | Ok () ->
+        if Plog.Pmem.power_failed t.mem then Power_failed
+        else begin
+          let n = t.p_count in
+          t.d_committed <- t.d_committed + n;
+          t.d_syncs <- t.d_syncs + 1;
+          t.p_ops <- [];
+          t.p_routes <- [];
+          t.p_count <- 0;
+          release_blocks t;
+          Synced n
+        end
+    end
+  end
+
+(* --- recovery --------------------------------------------------------- *)
+
+let parse_stream m buf =
+  let len = Bytes.length buf in
+  let rec go acc off =
+    if off = len then Ok (List.rev acc)
+    else
+      match Marshal.read m buf off with
+      | Some (x, off') when off' > off -> go (x :: acc) off'
+      | _ -> Error (Printf.sprintf "corrupt record at committed offset %d" off)
+  in
+  go [] 0
+
+let read_log t log =
+  let tail = List.nth (Plog.Multilog.tails t.ml) log in
+  if tail = 0 then Ok (Bytes.create 0)
+  else
+    match Plog.Multilog.read t.ml ~log ~offset:0 ~len:tail with
+    | Ok s -> Ok (Bytes.of_string s)
+    | Error e -> Error e
+
+let crash_during_recovery_site = "host.crash.recovery"
+
+(* Recovery: attach (newest valid commit header wins), then parse the
+   committed prefix of both logs back into record lists.  The
+   [host.crash.recovery] fault site models the double-fault case — power
+   failing again while replay is in flight.  Replay never writes, so a
+   recovery crash simply restarts recovery from the same committed state;
+   the retry loop is bounded to keep a 100%-armed site from livelocking
+   the harness. *)
+let recover ?group ?alloc ?faults mem =
+  let rec attempt retries =
+    match attach ?group ?alloc mem with
+    | Error e -> Error e
+    | Ok t -> (
+      match read_log t op_log with
+      | Error e -> Error ("op log: " ^ e)
+      | Ok ops_raw -> (
+        match parse_stream op_m ops_raw with
+        | Error e -> Error ("op log: " ^ e)
+        | Ok ops ->
+          let crashed_mid_replay =
+            retries < 25
+            &&
+            match faults with
+            | Some plan -> Vbase.Faultplan.fires plan crash_during_recovery_site
+            | None -> false
+          in
+          if crashed_mid_replay then begin
+            (* The machine rebooted mid-replay: volatile progress is
+               gone; start over from the same committed prefix. *)
+            Plog.Pmem.crash mem;
+            attempt (retries + 1)
+          end
+          else
+            match read_log t route_log with
+            | Error e -> Error ("route log: " ^ e)
+            | Ok routes_raw -> (
+              match parse_stream route_m routes_raw with
+              | Error e -> Error ("route log: " ^ e)
+              | Ok routes -> Ok (t, ops, routes))))
+  in
+  attempt 0

@@ -1,0 +1,108 @@
+(** Crash-safe persistence for IronKV hosts.
+
+    Every mutation a host acknowledges — store writes, at-most-once
+    reply-cache entries, shipped shard installs, range drops and
+    delegation-epoch bumps — is first marshalled into a record and
+    appended, under group commit, to a per-host {!Plog.Multilog} over
+    simulated PMEM: log 0 holds the data plane ({!op} records), log 1 the
+    routing plane ({!route} records).  [Multilog.append_all]'s atomic
+    multi-append is the commit point, so a delegation's data-plane and
+    routing-plane effects persist all-or-nothing.
+
+    The recovery obligation (pinned by the crash-point sweep and the
+    storm tests, and argued in DESIGN.md "Durability"): after any crash,
+    {!recover} yields exactly the records of some group-commit boundary —
+    a committed prefix, never a torn batch — and replaying them rebuilds
+    the host's kv map, reply cache and epochs to that boundary's state.
+    Acknowledgements are only released after {!sync} succeeds, so no
+    acknowledged write is ever lost.
+
+    Pending batches are staged through {!Valloc.Alloc} blocks (write-
+    buffer accounting on the verified allocator), released on commit. *)
+
+type op =
+  | Set_op of { client : int; seq : int; key : int; value : string }
+      (** a Set executed: store write + reply-cache entry *)
+  | Cache_op of { client : int; seq : int; key : int; value : string option }
+      (** a Get executed: reply-cache entry only *)
+  | Cache_merge of { cache : (int * (int * int * string option)) list }
+      (** reply cache shipped in an incoming Delegate, merged by every
+          receiver (highest seq wins) *)
+  | Install of { src : int; epoch : int; kvs : (int * string) list }
+      (** this host was the destination of grant [(src, epoch)] and
+          installed the shipped shard; replay also rebuilds the
+          applied-grant set that dedups retransmitted Delegates *)
+  | Drop_range of { lo : int; hi : int }
+      (** an outgoing delegation removed the keys in [lo, hi) *)
+  | Grant_out of {
+      lo : int;
+      hi : int;
+      dest : int;
+      epoch : int;
+      kvs : (int * string) list;
+      cache : (int * (int * int * string option)) list;
+    }  (** an outgoing grant not yet acknowledged by its destination;
+          persisted with its payload so a recovered grantor resumes
+          retransmitting until the destination's durable {!Grant_done} *)
+  | Grant_done of { epoch : int }
+      (** the destination acknowledged grant [epoch] *)
+
+type route = {
+  r_lo : int;
+  r_hi : int;
+  r_dest : int;
+  r_epoch : int;
+  r_applied : bool;  (** did the grant win the monotone-epoch race? *)
+}
+
+type t
+
+type sync_outcome =
+  | Synced of int  (** records committed by this group commit *)
+  | Power_failed
+      (** the commit flush never reached media (torn write / power cut):
+          the batch is lost and the host must be treated as crashed —
+          nothing may be acknowledged *)
+  | Failed of string  (** hard error, e.g. the log region is exhausted *)
+
+val format : Plog.Pmem.t -> unit
+(** Initialize an empty record store over the whole device. *)
+
+val attach : ?group:int -> ?alloc:Valloc.Alloc.t -> Plog.Pmem.t -> (t, string) result
+(** Attach to a formatted device without replaying (fresh host).
+    [group] (default 4) is the group-commit threshold: {!sync} is forced
+    by hosts once this many records are pending. *)
+
+val recover :
+  ?group:int ->
+  ?alloc:Valloc.Alloc.t ->
+  ?faults:Vbase.Faultplan.t ->
+  Plog.Pmem.t ->
+  (t * op list * route list, string) result
+(** Crash recovery: attach to the newest valid commit header and parse
+    the committed prefix of both logs back into replayable records.  The
+    ["host.crash.recovery"] site of [faults] injects the double-fault
+    case — a crash during recovery reboots and restarts recovery (replay
+    is read-only, so this is always safe; the tests pin it). *)
+
+val log_op : t -> op -> unit
+val log_route : t -> route -> unit
+(** Stage a record into the pending group-commit batch. *)
+
+val sync : t -> sync_outcome
+(** Group commit: atomically append the pending batch (both planes) and
+    flush.  [Synced 0] when nothing is pending.  See {!sync_outcome} for
+    the crash contract. *)
+
+val group : t -> int
+val pending : t -> int
+(** Records staged but not yet committed (lost on crash). *)
+
+val committed : t -> int
+(** Records committed since attach/recover. *)
+
+val syncs : t -> int
+(** Group commits that reached media since attach/recover. *)
+
+val crash_during_recovery_site : string
+(** ["host.crash.recovery"]. *)

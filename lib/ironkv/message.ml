@@ -3,6 +3,10 @@ type t =
   | Set of { client : int; seq : int; key : int; value : string }
   | Reply of { client : int; seq : int; key : int; value : string option }
   | Delegate of {
+      src : int;
+          (* the granting host: the destination acknowledges to it once
+             the shipped shard is durably installed, and epochs are only
+             unique per grantor, so dedup needs the pair *)
       lo : int;
       hi : int;
       dest : int;
@@ -17,8 +21,13 @@ type t =
           (* client -> (seq, key, reply value): the sender's at-most-once
              reply cache rides along with the shard *)
     }
+  | Ack of { src : int; epoch : int }
+      (* delegation acknowledgement from the destination ([src] is the
+         acker): the grant [epoch] is durably installed, the grantor may
+         stop retransmitting it.  Crash-safety of shard transfer rests on
+         this handshake: "delivered" on a channel is not "persisted". *)
 
-let tag_of = function Get _ -> 0 | Set _ -> 1 | Reply _ -> 2 | Delegate _ -> 3
+let tag_of = function Get _ -> 0 | Set _ -> 1 | Reply _ -> 2 | Delegate _ -> 3 | Ack _ -> 4
 
 let get_m =
   Marshal.map_iso
@@ -45,14 +54,24 @@ let reply_m =
 let delegate_m =
   let cache_entry_m = Marshal.(pair u64 (triple u64 u64 (option byte_string))) in
   Marshal.map_iso
-    (fun ((lo, hi, dest), (epoch, (kvs, cache))) -> Delegate { lo; hi; dest; epoch; kvs; cache })
+    (fun ((src, lo, hi), ((dest, epoch), (kvs, cache))) ->
+      Delegate { src; lo; hi; dest; epoch; kvs; cache })
     (function
-      | Delegate { lo; hi; dest; epoch; kvs; cache } -> ((lo, hi, dest), (epoch, (kvs, cache)))
+      | Delegate { src; lo; hi; dest; epoch; kvs; cache } ->
+        ((src, lo, hi), ((dest, epoch), (kvs, cache)))
       | _ -> assert false)
     Marshal.(
       pair (triple u64 u64 u64)
-        (pair u64 (pair (vec (pair u64 byte_string)) (vec cache_entry_m))))
+        (pair (pair u64 u64) (pair (vec (pair u64 byte_string)) (vec cache_entry_m))))
 
-let marshaller = Marshal.tagged [ (0, get_m); (1, set_m); (2, reply_m); (3, delegate_m) ] ~tag_of
+let ack_m =
+  Marshal.map_iso
+    (fun (src, epoch) -> Ack { src; epoch })
+    (function Ack { src; epoch } -> (src, epoch) | _ -> assert false)
+    Marshal.(pair u64 u64)
+
+let marshaller =
+  Marshal.tagged [ (0, get_m); (1, set_m); (2, reply_m); (3, delegate_m); (4, ack_m) ] ~tag_of
+
 let to_bytes m = Marshal.to_bytes marshaller m
 let of_bytes b = Marshal.of_bytes marshaller b

@@ -10,6 +10,10 @@ type t =
   | Set of { client : int; seq : int; key : int; value : string }
   | Reply of { client : int; seq : int; key : int; value : string option }
   | Delegate of {
+      src : int;
+          (** the granting host: the destination acknowledges to it once
+              the shipped shard is durably installed, and epochs are only
+              unique per grantor, so retransmission dedup needs the pair *)
       lo : int;
       hi : int;
       dest : int;
@@ -27,6 +31,11 @@ type t =
               owner instead of re-executing *)
     }
       (** delegate range [lo,hi) to host [dest], shipping its contents *)
+  | Ack of { src : int; epoch : int }
+      (** delegation acknowledgement from the destination ([src] is the
+          acker): grant [epoch] is durably installed, the grantor may stop
+          retransmitting it.  Crash-safety of shard transfer rests on this
+          handshake — "delivered" on a channel is not "persisted". *)
 
 val marshaller : t Marshal.t
 (** The combinator-derived marshaller (tagged union over the variants). *)

@@ -118,6 +118,12 @@ let append_all t payloads =
   end
 
 let tails t = Array.to_list t.tails
+let log_count t = t.logs
+let log_len t = t.log_len
+
+let free_space t log =
+  if log < 0 || log >= t.logs then invalid_arg "Multilog.free_space: bad log index";
+  t.log_len - (t.tails.(log) mod t.log_len)
 
 let read t ~log ~offset ~len =
   if log < 0 || log >= t.logs then Error "bad log index"

@@ -22,5 +22,14 @@ val append_all : t -> string list -> (unit, string) result
 val tails : t -> int list
 (** Current committed tail of each log. *)
 
+val log_count : t -> int
+val log_len : t -> int
+(** Geometry, for callers (e.g. the IronKV durable layer's group commit)
+    that must size batches against the remaining room. *)
+
+val free_space : t -> int -> int
+(** Bytes a single further append to the given log can still carry
+    without hitting the no-wrap boundary. *)
+
 val read : t -> log:int -> offset:int -> len:int -> (string, string) result
 (** Read committed bytes back; [Error] outside the committed range. *)

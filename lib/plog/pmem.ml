@@ -67,6 +67,8 @@ let flush t ~addr ~len =
     end);
   t.flushes <- t.flushes + 1
 
+let power_failed t = t.flush_budget = Some 0
+
 let set_flush_budget t n =
   if n < 0 then invalid_arg "Pmem.set_flush_budget";
   t.flush_budget <- Some n

@@ -36,6 +36,14 @@ val set_flush_budget : t -> int -> unit
 val clear_flush_budget : t -> unit
 (** Turn fault injection back off (flushes persist again). *)
 
+val power_failed : t -> bool
+(** [true] once the simulated power has failed — a torn write fired or a
+    flush budget ran out — so no further flush can land.  Durable layers
+    consult this after their commit flush: an append that "succeeded"
+    after this point never reached media, and the host must treat itself
+    as crashed rather than acknowledge it (the storm harness then calls
+    {!crash} and runs recovery). *)
+
 val flip_bit : t -> addr:int -> bit:int -> unit
 (** Corrupt one persisted bit (and the volatile view with it). *)
 

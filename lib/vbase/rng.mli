@@ -21,3 +21,27 @@ val bool : t -> bool
 
 (** [shuffle rng arr] permutes [arr] in place (Fisher-Yates). *)
 val shuffle : t -> 'a array -> unit
+
+(** {2 Zipf sampling}
+
+    A precomputed inverse-CDF table for the Zipf(s, n) distribution over
+    ranks [0 .. n-1] (rank 0 is the most frequent).  Sampling is a
+    binary search over the table with one uniform draw, so a skewed
+    workload is a pure function of the generator seed — the property the
+    million-key IronKV workload mode relies on for replayable storms. *)
+
+type zipf
+
+val zipf : s:float -> n:int -> zipf
+(** Build the table: weight of rank [i] is [1/(i+1)^s], normalized.
+    [s = 0.0] degenerates to uniform.  O(n) time and space. *)
+
+val zipf_draw : t -> zipf -> int
+(** Sample a rank in [0, n).  Consumes exactly one uniform draw. *)
+
+val zipf_pmf : zipf -> int -> float
+(** Probability mass of a rank, as actually sampled (monotone
+    non-increasing in the rank by construction). *)
+
+val zipf_s : zipf -> float
+val zipf_n : zipf -> int

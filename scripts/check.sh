@@ -11,6 +11,9 @@
 # run), the proof-certificate smoke (every bundled program verifies with
 # certification on and every Unsat's certificate replays to Checked
 # through the independent Vcheck kernel — one Rejected fails the gate),
+# the durable-IronKV smoke (a seeded crash+partition storm over durable
+# hosts with linearizability crosschecks and a no-acked-write-lost
+# readback sweep, plus a recovery-time probe),
 # and — when odoc is installed — the API-doc build,
 # warnings-as-errors.  This is the tree-must-stay-green gate:
 #
@@ -22,25 +25,25 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/8 build =="
+echo "== 1/9 build =="
 dune build @all
 
-echo "== 2/8 tests =="
+echo "== 2/9 tests =="
 dune runtest
 
-echo "== 3/8 lint (strict) =="
+echo "== 3/9 lint (strict) =="
 dune build @lint
 
-echo "== 4/8 fault smoke =="
+echo "== 4/9 fault smoke =="
 dune build @faults
 
-echo "== 5/8 profile JSON smoke =="
+echo "== 5/9 profile JSON smoke =="
 dune build @profile
 
-echo "== 6/8 cache smoke (cold/warm/corrupt) =="
+echo "== 6/9 cache smoke (cold/warm/corrupt) =="
 dune build @cache
 
-echo "== 7/8 api docs =="
+echo "== 7/9 api docs =="
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc 2>doc-warnings.log || {
     cat doc-warnings.log
@@ -59,7 +62,10 @@ else
   echo "odoc not installed; skipped (install odoc to enable)"
 fi
 
-echo "== 8/8 certificate smoke (emit + kernel replay) =="
+echo "== 8/9 certificate smoke (emit + kernel replay) =="
 dune build @certify
+
+echo "== 9/9 durable kv smoke (storm + recovery) =="
+dune build @kv
 
 echo "== all checks passed =="

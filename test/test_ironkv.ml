@@ -35,8 +35,10 @@ let prop_marshal_roundtrip =
           Set { client; seq; key; value };
           Reply { client; seq; key; value = Some value };
           Reply { client; seq; key; value = None };
+          Ack { src = client mod 7; epoch = seq };
           Delegate
             {
+              src = client mod 5;
               lo = key;
               hi = key + 10;
               dest = client mod 7;
@@ -139,7 +141,7 @@ let test_at_most_once () =
      re-sends the cached reply (so a retransmitting client terminates)
      without re-executing. *)
   let net = Ironkv.Network.create ~endpoints:2 () in
-  let h = Ironkv.Host.create ~style:`Inplace ~id:0 ~hosts:1 in
+  let h = Ironkv.Host.create ~style:`Inplace ~id:0 ~hosts:1 () in
   let client = 1 in
   let send m = Ironkv.Host.handle h net (Ironkv.Message.to_bytes m) in
   send (Ironkv.Message.Set { client; seq = 1; key = 5; value = "first" });
@@ -278,6 +280,185 @@ let test_run_with_faults_terminates () =
     (r.Ironkv.Workload.retransmissions > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Durability: group commit, crash recovery, storms                    *)
+(* ------------------------------------------------------------------ *)
+
+module W = Ironkv.Workload
+
+let dur group = { W.du_group = group; du_mem_bytes = 1 lsl 22 }
+
+let test_durable_crosscheck () =
+  (* Durable hosts on a clean network must be observationally identical
+     to volatile ones — group commit only defers, never changes, the
+     replies. *)
+  List.iter
+    (fun group ->
+      match W.crosscheck ~ops:400 ~seed:61 ~durability:(dur group) () with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "group %d: %s" group e))
+    [ 1; 4; 16 ]
+
+let test_storm_crosscheck () =
+  (* Crash + partition storms over durable hosts with torn commit flushes
+     composed in: every reply must stay linearizable, the cluster must
+     converge after every storm, and the closing readback sweep must find
+     every acknowledged write. *)
+  List.iter
+    (fun (seed, fault_seed) ->
+      let report, verdict =
+        W.crosscheck_report ~ops:350 ~seed ~fault_seed ~durability:(dur 4) ~crash_pct:2
+          ~partition_pct:1 ~torn_pct:1 ()
+      in
+      (match verdict with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "storm %d/%d: %s" seed fault_seed e));
+      Alcotest.(check bool) "storm actually struck" true
+        (report.W.sr_crashes + report.W.sr_torn + report.W.sr_partitions > 0);
+      Alcotest.(check bool) "readback covered acked writes" true (report.W.sr_readback > 0);
+      Alcotest.(check int) "every crash recovered"
+        (report.W.sr_crashes + report.W.sr_torn)
+        report.W.sr_recoveries)
+    [ (71, 11); (72, 12); (73, 13) ]
+
+let test_storm_double_fault () =
+  (* Crash-during-recovery: power fails again while replay is in flight.
+     Recovery is read-only, so the reboot restarts it from the same
+     committed prefix — the storm must still end with no acked write
+     lost. *)
+  let plan = Vbase.Faultplan.create ~seed:5 () in
+  Vbase.Faultplan.set_prob plan Ironkv.Durable.crash_during_recovery_site ~pct:40;
+  let report, verdict =
+    W.crosscheck_report ~ops:300 ~seed:81 ~faults:plan ~durability:(dur 2) ~crash_pct:3
+      ~torn_pct:2 ()
+  in
+  (match verdict with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "crashes struck" true (report.W.sr_crashes + report.W.sr_torn > 0)
+
+let canon h =
+  ( List.sort compare (Ironkv.Host.dump h),
+    List.sort compare (Ironkv.Host.cache_snapshot h),
+    Ironkv.Host.max_epoch h )
+
+let prop_crash_points =
+  (* Sweep the power-failure point across every flush of a group-committed
+     run: whatever flush the crash lands on, recovery must rebuild exactly
+     one of the group-commit boundary states — a committed prefix, never a
+     torn batch. *)
+  QCheck.Test.make ~name:"every crash point recovers to a commit boundary" ~count:20
+    QCheck.(pair (int_range 5 40) (int_range 1 6))
+    (fun (n, group) ->
+      let drive budget =
+        let net = Ironkv.Network.create ~endpoints:2 ~sequenced:true () in
+        let mem = Plog.Pmem.create ~size:(1 lsl 20) () in
+        Ironkv.Durable.format mem;
+        let d =
+          match Ironkv.Durable.attach ~group mem with Ok d -> d | Error e -> failwith e
+        in
+        let h = Ironkv.Host.create ~durable:d ~style:`Inplace ~id:0 ~hosts:1 () in
+        (match budget with Some b -> Plog.Pmem.set_flush_budget mem b | None -> ());
+        (* Snapshot the host state at every successful group commit (plus
+           the initial state); these are the only states recovery may
+           legally produce. *)
+        let snaps = ref [ canon h ] in
+        let last_syncs = ref 0 in
+        for i = 1 to n do
+          if not (Ironkv.Host.is_dead h) then begin
+            Ironkv.Host.handle h net
+              (Ironkv.Message.to_bytes
+                 (Ironkv.Message.Set
+                    { client = 1; seq = i; key = i mod 7; value = Printf.sprintf "v%d" i }));
+            match Ironkv.Host.durable h with
+            | Some d
+              when (not (Ironkv.Host.is_dead h)) && Ironkv.Durable.syncs d > !last_syncs ->
+              last_syncs := Ironkv.Durable.syncs d;
+              snaps := canon h :: !snaps
+            | _ -> ()
+          end
+        done;
+        if not (Ironkv.Host.is_dead h) then (
+          match Ironkv.Host.sync h net with
+          | `Ok _ -> snaps := canon h :: !snaps
+          | `Crashed -> ());
+        (* If power failed at the very last header flush the batch may
+           still have committed: the state at death is also a legal
+           boundary. *)
+        if Ironkv.Host.is_dead h then snaps := canon h :: !snaps;
+        (mem, !snaps)
+      in
+      let mem0, _ = drive None in
+      let flushes = Plog.Pmem.flushes mem0 in
+      let ok = ref true in
+      for b = 0 to flushes do
+        let mem, snaps = drive (Some b) in
+        Plog.Pmem.crash mem;
+        match Ironkv.Durable.recover ~group mem with
+        | Error e -> failwith e
+        | Ok (d, ops, routes) ->
+          let h = Ironkv.Host.of_replay ~style:`Inplace ~id:0 ~hosts:1 ~durable:d (ops, routes) in
+          if not (List.mem (canon h) snaps) then ok := false
+      done;
+      !ok)
+
+let prop_crash_points_double_fault =
+  (* Same sweep, but every recovery also has a 50% chance of crashing
+     mid-replay (double fault): replay is read-only, so the retried
+     recovery must land on the same boundary. *)
+  QCheck.Test.make ~name:"double-fault recovery is idempotent" ~count:10
+    QCheck.(triple (int_range 5 30) (int_range 1 4) (int_range 1 1000))
+    (fun (n, group, fseed) ->
+      let net = Ironkv.Network.create ~endpoints:2 ~sequenced:true () in
+      let mem = Plog.Pmem.create ~size:(1 lsl 20) () in
+      Ironkv.Durable.format mem;
+      let d = match Ironkv.Durable.attach ~group mem with Ok d -> d | Error e -> failwith e in
+      let h = Ironkv.Host.create ~durable:d ~style:`Inplace ~id:0 ~hosts:1 () in
+      for i = 1 to n do
+        Ironkv.Host.handle h net
+          (Ironkv.Message.to_bytes
+             (Ironkv.Message.Set
+                { client = 1; seq = i; key = i mod 5; value = Printf.sprintf "w%d" i }))
+      done;
+      (match Ironkv.Host.sync h net with `Ok _ -> () | `Crashed -> failwith "unexpected");
+      let committed = canon h in
+      Plog.Pmem.crash mem;
+      let plan = Vbase.Faultplan.create ~seed:fseed () in
+      Vbase.Faultplan.set_prob plan Ironkv.Durable.crash_during_recovery_site ~pct:50;
+      match Ironkv.Durable.recover ~group ~faults:plan mem with
+      | Error e -> failwith e
+      | Ok (d, ops, routes) ->
+        let h' = Ironkv.Host.of_replay ~style:`Inplace ~id:0 ~hosts:1 ~durable:d (ops, routes) in
+        canon h' = committed)
+
+let test_kv_bench_schema () =
+  (* Producer and checker share one implementation: a real (tiny) run,
+     rendered through kv_bench_row/doc, must validate — and near-miss
+     documents must not. *)
+  let r = W.run ~hosts:2 ~clients:2 ~keys:200 ~payload:16 ~ops:60 ~style:`Inplace () in
+  let doc = W.kv_bench_doc [ W.kv_bench_row ~name:"smoke" ~acked_write_loss:0 r ] in
+  (match W.validate_kv_bench doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("emitted doc rejected: " ^ e));
+  (* Round-trip through the serializer too. *)
+  (match Vbase.Json.of_string (Vbase.Json.to_string doc) with
+  | Ok doc' -> (
+    match W.validate_kv_bench doc' with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail ("round-tripped doc rejected: " ^ e))
+  | Error e -> Alcotest.fail ("round-trip parse failed: " ^ e));
+  let reject name j =
+    match W.validate_kv_bench j with
+    | Ok () -> Alcotest.fail (name ^ ": bogus doc accepted")
+    | Error _ -> ()
+  in
+  reject "wrong schema"
+    (Vbase.Json.Obj
+       [ ("schema", Vbase.Json.String "nope/9"); ("rows", Vbase.Json.List []) ]);
+  reject "empty rows" (W.kv_bench_doc []);
+  reject "missing field"
+    (W.kv_bench_doc [ Vbase.Json.Obj [ ("name", Vbase.Json.String "x") ] ])
+
+(* ------------------------------------------------------------------ *)
 (* EPR proof of the delegation map                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -330,6 +511,14 @@ let () =
           Alcotest.test_case "partition park/heal" `Quick test_partition_park_heal;
           Alcotest.test_case "lossy run terminates" `Quick test_run_with_faults_terminates;
         ] );
+      ( "durability",
+        [
+          Alcotest.test_case "durable crosscheck" `Quick test_durable_crosscheck;
+          Alcotest.test_case "crash+partition storms" `Quick test_storm_crosscheck;
+          Alcotest.test_case "double fault" `Quick test_storm_double_fault;
+          Alcotest.test_case "bench schema" `Quick test_kv_bench_schema;
+        ] );
+      qsuite "durability-props" [ prop_crash_points; prop_crash_points_double_fault ];
       ( "epr-proof",
         [
           Alcotest.test_case "delegation map" `Slow test_epr_proof;

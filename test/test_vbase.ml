@@ -210,6 +210,69 @@ let prop_rng_bounds =
       done;
       !ok)
 
+let test_zipf_determinism () =
+  (* Same seed, same (s, n) ⇒ the same rank stream; the storm workloads
+     rely on replayable skew. *)
+  let draw seed =
+    let r = Vbase.Rng.create ~seed in
+    let z = Vbase.Rng.zipf ~s:1.1 ~n:10_000 in
+    List.init 200 (fun _ -> Vbase.Rng.zipf_draw r z)
+  in
+  Alcotest.(check (list int)) "same stream" (draw 9) (draw 9);
+  Alcotest.(check bool) "different seed differs" true (draw 9 <> draw 10);
+  List.iter
+    (fun rank -> Alcotest.(check bool) "in range" true (rank >= 0 && rank < 10_000))
+    (draw 11)
+
+let test_zipf_rank_frequency () =
+  (* Rank-frequency monotonicity: lower ranks must be drawn at least as
+     often as (binned) higher ranks, and the pmf must match empirical
+     frequencies for the head ranks. *)
+  let n = 1000 and draws = 200_000 in
+  let r = Vbase.Rng.create ~seed:7 in
+  let z = Vbase.Rng.zipf ~s:1.2 ~n in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = Vbase.Rng.zipf_draw r z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Bin ranks geometrically; each bin's mean frequency must dominate the
+     next bin's (binning smooths sampling noise). *)
+  let bin lo hi =
+    let s = ref 0 in
+    for i = lo to hi - 1 do
+      s := !s + counts.(i)
+    done;
+    float_of_int !s /. float_of_int (hi - lo)
+  in
+  let bins = [ (0, 1); (1, 4); (4, 16); (16, 64); (64, 256); (256, 1000) ] in
+  let means = List.map (fun (lo, hi) -> bin lo hi) bins in
+  let rec check_mono = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bin mean %.1f >= %.1f" a b)
+        true (a >= b);
+      check_mono rest
+    | _ -> ()
+  in
+  check_mono means;
+  (* Head-rank empirical frequency vs. the analytic pmf (within 10%). *)
+  List.iter
+    (fun rank ->
+      let expect = Vbase.Rng.zipf_pmf z rank *. float_of_int draws in
+      let got = float_of_int counts.(rank) in
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d: %.0f within 10%% of %.0f" rank got expect)
+        true
+        (abs_float (got -. expect) <= 0.1 *. expect))
+    [ 0; 1; 2 ];
+  (* The pmf itself is a distribution. *)
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. Vbase.Rng.zipf_pmf z i
+  done;
+  Alcotest.(check bool) "pmf sums to 1" true (abs_float (!total -. 1.0) < 1e-9)
+
 let test_vecbuf () =
   let v = Vbase.Vecbuf.create ~dummy:(-1) in
   for i = 0 to 99 do
@@ -392,6 +455,8 @@ let () =
         [
           Alcotest.test_case "crc32" `Quick test_crc32;
           Alcotest.test_case "rng" `Quick test_rng_determinism;
+          Alcotest.test_case "zipf determinism" `Quick test_zipf_determinism;
+          Alcotest.test_case "zipf rank-frequency" `Quick test_zipf_rank_frequency;
           Alcotest.test_case "vecbuf" `Quick test_vecbuf;
         ] );
       qsuite "misc-props" [ prop_rng_bounds ];
