@@ -873,6 +873,301 @@ let certify_bench () =
   Printf.printf "\n  wrote %d row(s) to BENCH_certify.json\n%!" (List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* daemon: persistent verusd vs per-program jobs>1, burst latency       *)
+(* ------------------------------------------------------------------ *)
+
+(* Three measurements, written to BENCH_daemon.json (verus-daemon-bench/1,
+   self-validated through Vservice.validate_daemon_bench):
+
+   cold   — the whole suite verified through one persistent daemon (one
+            client connection, requests served in order on a warm
+            4-domain pool, cache off) vs the same suite as today's
+            workflow: one [verus_cli verify <prog> --jobs 4] process
+            per program, each paying process start-up, global table
+            construction and its own domain spawn/join.  Best-of-3 on
+            BOTH sides.  Each daemon digest must equal an in-process
+            jobs=1 reference digest for the same program.
+   warm   — a second client through the daemon's shared cache: a fill
+            pass stores, the measured pass must hit (>= 90%).  Both
+            passes submit sequentially: Vcache flushes whole-store
+            atomically per run, so concurrent fills would clobber each
+            other's stores (last-writer-wins) and understate the cache.
+   burst  — scheduler-level queue latency: rounds of task bursts
+            submitted to Sched pools of 1/4/8 domains, reporting
+            p50/p90/p99 submit-to-execution-start latency. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let daemon_bench () =
+  header "Verusd: persistent daemon vs per-program jobs>1 runs";
+  let domains = 4 in
+  let suite =
+    [
+      ("singly_linked", Verus.Bench_programs.singly_linked);
+      ("doubly_linked", Verus.Bench_programs.doubly_linked);
+      ("mem4", Verus.Bench_programs.memory_reasoning 4);
+      ("dlock", Verus.Bench_programs.dlock_default);
+    ]
+  in
+  let suite = if !quick then [ List.hd suite; List.nth suite 3 ] else suite in
+  let reps = if !quick then 1 else 3 in
+  Printf.printf
+    "  Cold: the suite through one persistent %d-domain daemon (one connection,\n\
+    \  requests in order, cache off) vs today's workflow: one verus_cli verify\n\
+    \  --jobs %d process per program.  Best-of-%d on both sides; every daemon\n\
+    \  digest must equal an in-process jobs=1 reference digest.\n\n"
+    domains domains reps;
+  (* ---- reference digests: in-process jobs=1, the canonical order ---- *)
+  let reference =
+    List.map
+      (fun (name, prog) ->
+        let r =
+          Verus.Driver.verify_program ~config:Verus.Driver.Config.default
+            Verus.Profiles.verus prog
+        in
+        if not r.Verus.Driver.pr_ok then
+          failwith (Printf.sprintf "daemon bench: reference %s failed" name);
+        (name, Verus.Driver.result_digest r))
+      suite
+  in
+  (* ---- baseline: per-program verus_cli subprocesses, external wall ---- *)
+  let cli_exe =
+    let beside =
+      Filename.concat (Filename.dirname Sys.executable_name) "../bin/verus_cli.exe"
+    in
+    if Sys.file_exists beside then beside
+    else if Sys.file_exists "_build/default/bin/verus_cli.exe" then
+      "_build/default/bin/verus_cli.exe"
+    else failwith "daemon bench: verus_cli.exe not built (dune build bin/verus_cli.exe)"
+  in
+  let baseline =
+    List.map
+      (fun (name, _) ->
+        let cmd =
+          Printf.sprintf "%s verify %s --jobs %d --no-cache >/dev/null 2>&1"
+            (Filename.quote cli_exe) name domains
+        in
+        let best = ref infinity in
+        for _ = 1 to reps do
+          let t0 = Unix.gettimeofday () in
+          let rc = Sys.command cmd in
+          let wall = Unix.gettimeofday () -. t0 in
+          if rc <> 0 then
+            failwith (Printf.sprintf "daemon bench: baseline %s exited %d" name rc);
+          if wall < !best then best := wall
+        done;
+        (name, !best, List.assoc name reference))
+      suite
+  in
+  let baseline_total = List.fold_left (fun a (_, t, _) -> a +. t) 0.0 baseline in
+  (* ---- daemon: one server, concurrent clients ---- *)
+  let tmp tag =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "verus-bench-daemon-%s-%d" tag (Unix.getpid ()))
+  in
+  let socket_path = tmp "sock" in
+  let cache_dir = tmp "cache" in
+  (match Verus.Vcache.clear ~dir:cache_dir with Ok () -> () | Error _ -> ());
+  if Sys.file_exists socket_path then Sys.remove socket_path;
+  let served = ref (Ok ()) in
+  let server_thread =
+    Thread.create
+      (fun () -> served := Verus.Vservice.serve ~socket_path ~domains ~cache_dir ())
+      ()
+  in
+  let rec wait_up tries =
+    if tries = 0 then failwith "daemon bench: daemon did not come up"
+    else
+      match Verusd.Client.connect ~socket_path with
+      | Ok c -> Verusd.Client.close c
+      | Error _ ->
+        Thread.delay 0.05;
+        wait_up (tries - 1)
+  in
+  wait_up 100;
+  let request c ~id ~cache name =
+    let req =
+      Verusd.Rpc.request ~id
+        (Verusd.Rpc.M_job (Verusd.Rpc.query ~cache ~stream:false Verusd.Rpc.Verify name))
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Verusd.Client.call c req in
+    let wall = Unix.gettimeofday () -. t0 in
+    match r with
+    | Ok (Verusd.Rpc.E_done j) -> (wall, j)
+    | Ok (Verusd.Rpc.E_error e) ->
+      failwith ("daemon bench: " ^ e.Verusd.Rpc.code ^ ": " ^ e.Verusd.Rpc.message)
+    | Ok _ -> failwith "daemon bench: unexpected terminal event"
+    | Error e -> failwith ("daemon bench: " ^ e)
+  in
+  let jstr j k =
+    match Vbase.Json.member k j with
+    | Some (Vbase.Json.String s) -> s
+    | _ -> failwith ("daemon bench: done payload missing " ^ k)
+  in
+  let jint j k =
+    match Vbase.Json.member k j with
+    | Some (Vbase.Json.Int n) -> n
+    | _ -> failwith ("daemon bench: payload missing " ^ k)
+  in
+  (* One suite pass: one client connection, one request per program, in
+     order.  Sequential submission keeps runs' whole-store cache flushes
+     from overwriting each other, and on this box concurrent requests
+     would only time-share the same cores anyway. *)
+  let suite_pass ~cache =
+    match Verusd.Client.connect ~socket_path with
+    | Error e -> failwith ("daemon bench: connect: " ^ e)
+    | Ok c ->
+      let t0 = Unix.gettimeofday () in
+      let rows =
+        List.mapi (fun i (name, _) -> (name, request c ~id:(i + 1) ~cache name)) suite
+      in
+      let total = Unix.gettimeofday () -. t0 in
+      Verusd.Client.close c;
+      (total, rows)
+  in
+  let best_daemon = ref infinity in
+  let best_rows = ref [] in
+  for _ = 1 to reps do
+    let total, rows = suite_pass ~cache:false in
+    if total < !best_daemon then begin
+      best_daemon := total;
+      best_rows := rows
+    end
+  done;
+  let daemon_total = !best_daemon in
+  Printf.printf "  %-16s %12s %12s %8s %7s\n" "program" "jobs=4" "daemon" "ratio" "digest";
+  let rows_json =
+    List.map
+      (fun (name, base_t, base_digest) ->
+        let wall, j = List.assoc name !best_rows in
+        let d_digest = jstr j "digest" in
+        let equal = String.equal base_digest d_digest in
+        Printf.printf "  %-16s %11.3fs %11.3fs %7.2fx %7s\n" name base_t wall
+          (base_t /. wall)
+          (if equal then "equal" else "DIFFERS");
+        Vbase.Json.Obj
+          [
+            ("program", Vbase.Json.String name);
+            ("baseline_s", Vbase.Json.Float base_t);
+            ("daemon_s", Vbase.Json.Float wall);
+            ("digest_equal", Vbase.Json.Bool equal);
+          ])
+      baseline
+  in
+  Printf.printf "  %-16s %11.3fs %11.3fs %7.2fx   (suite wall-clock)\n" "TOTAL"
+    baseline_total daemon_total
+    (baseline_total /. daemon_total);
+  (* ---- warm shared cache: fill pass, then the measured pass ---- *)
+  let _ = suite_pass ~cache:true in
+  let warm_total, warm_rows = suite_pass ~cache:true in
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) (_, (_, j)) ->
+        match Vbase.Json.member "cache" j with
+        | Some c -> (h + jint c "hits", m + jint c "misses")
+        | None -> (h, m))
+      (0, 0) warm_rows
+  in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  Printf.printf
+    "\n  warm second pass through the shared cache: %.3fs, %d/%d hits (%.0f%%)\n"
+    warm_total hits (hits + misses) (100.0 *. hit_rate);
+  (* shut the daemon down *)
+  (match Verusd.Client.connect ~socket_path with
+  | Ok c ->
+    ignore (Verusd.Client.call c (Verusd.Rpc.request Verusd.Rpc.M_shutdown));
+    Verusd.Client.close c
+  | Error _ -> ());
+  Thread.join server_thread;
+  (match !served with Ok () -> () | Error e -> failwith ("daemon bench: serve: " ^ e));
+  (* ---- burst queue latency at 1/4/8 domains ---- *)
+  Printf.printf
+    "\n  Burst queue latency (scheduler level): rounds of %d-task bursts, ~1ms tasks;\n\
+    \  submit-to-execution-start percentiles.\n\n" 16;
+  Printf.printf "  %-8s %6s %10s %10s %10s\n" "domains" "tasks" "p50" "p90" "p99";
+  let burst_json =
+    List.map
+      (fun d ->
+        let pool = Verusd.Sched.create ~domains:d in
+        let rounds = if !quick then 10 else 40 in
+        let burst = 16 in
+        let n = rounds * burst in
+        let lat = Array.make n 0.0 in
+        (* warm-up round so domain start-up is not in the numbers *)
+        let w = Verusd.Sched.batch () in
+        for _ = 1 to burst do
+          Verusd.Sched.submit pool w (fun () -> ())
+        done;
+        Verusd.Sched.await w;
+        for round = 0 to rounds - 1 do
+          let b = Verusd.Sched.batch () in
+          for k = 0 to burst - 1 do
+            let i = (round * burst) + k in
+            let submitted = Unix.gettimeofday () in
+            Verusd.Sched.submit pool b (fun () ->
+                lat.(i) <- Unix.gettimeofday () -. submitted;
+                let t = Unix.gettimeofday () in
+                while Unix.gettimeofday () -. t < 0.001 do
+                  ()
+                done)
+          done;
+          Verusd.Sched.await b
+        done;
+        Verusd.Sched.shutdown pool;
+        Array.sort compare lat;
+        let us p = 1e6 *. percentile lat p in
+        Printf.printf "  %-8d %6d %8.0fus %8.0fus %8.0fus\n" d n (us 0.50) (us 0.90)
+          (us 0.99);
+        Vbase.Json.Obj
+          [
+            ("domains", Vbase.Json.Int d);
+            ("tasks", Vbase.Json.Int n);
+            ("p50_us", Vbase.Json.Float (us 0.50));
+            ("p90_us", Vbase.Json.Float (us 0.90));
+            ("p99_us", Vbase.Json.Float (us 0.99));
+          ])
+      [ 1; 4; 8 ]
+  in
+  (* ---- emit + self-validate ---- *)
+  let doc =
+    Vbase.Json.Obj
+      [
+        ("schema", Vbase.Json.String "verus-daemon-bench/1");
+        ("rpc_schema", Vbase.Json.String Verusd.Rpc.schema_version);
+        ("domains", Vbase.Json.Int domains);
+        ( "cold",
+          Vbase.Json.Obj
+            [
+              ("baseline_jobs", Vbase.Json.Int domains);
+              ("baseline_total_s", Vbase.Json.Float baseline_total);
+              ("daemon_total_s", Vbase.Json.Float daemon_total);
+              ("speedup", Vbase.Json.Float (baseline_total /. daemon_total));
+              ("rows", Vbase.Json.List rows_json);
+            ] );
+        ( "warm",
+          Vbase.Json.Obj
+            [
+              ("total_s", Vbase.Json.Float warm_total);
+              ("hits", Vbase.Json.Int hits);
+              ("misses", Vbase.Json.Int misses);
+              ("hit_rate", Vbase.Json.Float hit_rate);
+            ] );
+        ("burst", Vbase.Json.List burst_json);
+      ]
+  in
+  (match Verus.Vservice.validate_daemon_bench doc with
+  | Ok () -> ()
+  | Error e -> Printf.printf "  !! BENCH_daemon.json failed self-validation: %s\n%!" e);
+  let oc = open_out "BENCH_daemon.json" in
+  output_string oc (Vbase.Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  wrote BENCH_daemon.json (%s)\n%!" "verus-daemon-bench/1"
+
+(* ------------------------------------------------------------------ *)
 (* micro: bechamel microbenchmarks of the hot runtime paths             *)
 (* ------------------------------------------------------------------ *)
 
@@ -956,6 +1251,7 @@ let sections =
     ("lint", lint_bench);
     ("cache", cache_bench);
     ("certify", certify_bench);
+    ("daemon", daemon_bench);
     ("micro", micro);
   ]
 

@@ -1,0 +1,225 @@
+(* daemon_smoke — the `dune build @daemon` gate, two modes:
+
+     daemon_smoke
+       End-to-end daemon smoke: serve an in-process daemon on a
+       thread, drive it with two overlapping clients verifying
+       different programs (their obligations interleave in one shared
+       pool), check every daemon digest against the corresponding
+       in-process jobs=1 run, then hit the shared warm cache from a
+       third client (>= 90% hits) and exercise ping/status/shutdown.
+
+     daemon_smoke --validate-docs PATH
+       The docs gate: extract every fenced ```json block from PATH
+       (docs/PROTOCOL.md in CI) and pass it through
+       Verusd.Rpc.validate_frame — the same validator the daemon and
+       client are built on.  A schema change that forgets to update
+       the documentation, or a documented example the implementation
+       would reject, fails the build.
+
+   Exit 0 on success, 1 with a FAIL line on any check. *)
+
+module J = Vbase.Json
+module Rpc = Verusd.Rpc
+open Verus
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("daemon_smoke: FAIL: " ^ m);
+      exit 1)
+    fmt
+
+let pass fmt = Printf.ksprintf (fun m -> print_endline ("daemon_smoke: " ^ m)) fmt
+
+(* ------------------------- docs gate ------------------------------- *)
+
+(* Fenced ```json blocks, with the line number each starts on. *)
+let json_blocks path =
+  let ic = open_in path in
+  let blocks = ref [] in
+  let buf = Buffer.create 256 in
+  let in_block = ref false in
+  let block_start = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let trimmed = String.trim line in
+       if !in_block then
+         if trimmed = "```" then begin
+           blocks := (!block_start, Buffer.contents buf) :: !blocks;
+           Buffer.clear buf;
+           in_block := false
+         end
+         else begin
+           Buffer.add_string buf line;
+           Buffer.add_char buf '\n'
+         end
+       else if trimmed = "```json" then begin
+         in_block := true;
+         block_start := !lineno + 1
+       end
+     done
+   with End_of_file -> close_in ic);
+  if !in_block then fail "%s: unterminated ```json block at line %d" path !block_start;
+  List.rev !blocks
+
+let validate_docs path =
+  let blocks = json_blocks path in
+  let bad = ref 0 in
+  List.iter
+    (fun (line, text) ->
+      match J.of_string text with
+      | Error e ->
+        incr bad;
+        Printf.eprintf "%s:%d: example is not valid JSON: %s\n" path line e
+      | Ok j -> (
+        match Rpc.validate_frame j with
+        | Ok () -> ()
+        | Error e ->
+          incr bad;
+          Printf.eprintf "%s:%d: example violates %s: %s\n" path line Rpc.schema_version e))
+    blocks;
+  if !bad > 0 then fail "%d of %d documented example(s) failed validation" !bad (List.length blocks);
+  (* An empty document must not vacuously pass: the protocol spec keeps
+     at least one example per method and per event kind. *)
+  if List.length blocks < 10 then
+    fail "%s documents only %d examples (expected the full method/event set)" path
+      (List.length blocks);
+  pass "docs gate: %d protocol examples validate against %s" (List.length blocks)
+    Rpc.schema_version
+
+(* --------------------------- smoke --------------------------------- *)
+
+let fresh_tmp tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "verus-daemon-smoke-%s-%d" tag (Unix.getpid ()))
+
+let local_digest program certify =
+  let r =
+    Driver.verify_program
+      ~config:Driver.Config.(default |> with_certify certify)
+      Profiles.verus program
+  in
+  Driver.result_digest r
+
+let connect socket_path =
+  match Verusd.Client.connect ~socket_path with
+  | Ok c -> c
+  | Error e -> fail "connect: %s" e
+
+let call c ?on_event req =
+  match Verusd.Client.call c ?on_event req with
+  | Ok ev -> ev
+  | Error e -> fail "call: %s" e
+
+let done_of = function
+  | Rpc.E_done j -> j
+  | Rpc.E_error e -> fail "daemon error %s: %s" e.Rpc.code e.Rpc.message
+  | _ -> fail "expected a done event"
+
+let jstr j k = match J.member k j with Some (J.String s) -> s | _ -> fail "done payload missing %s" k
+let jint j k = match J.member k j with Some (J.Int n) -> n | _ -> fail "payload missing %s" k
+
+let verify_req ?(stream = true) program =
+  Rpc.request ~id:1 (Rpc.M_job (Rpc.query ~certify:true ~stream Rpc.Verify program))
+
+let smoke () =
+  let socket_path = fresh_tmp "sock" in
+  let cache_dir = fresh_tmp "cache" in
+  (match Vcache.clear ~dir:cache_dir with
+  | Ok () -> ()
+  | Error e -> fail "could not clear %s: %s" cache_dir e);
+  if Sys.file_exists socket_path then Sys.remove socket_path;
+  (* Reference digests, computed in-process at jobs=1 before the daemon
+     exists. *)
+  let progs =
+    [ ("singly_linked", Bench_programs.singly_linked); ("dlock", Bench_programs.dlock_default) ]
+  in
+  let want = List.map (fun (n, p) -> (n, local_digest p true)) progs in
+  (* Serve. *)
+  let served = ref (Ok ()) in
+  let th =
+    Thread.create
+      (fun () -> served := Vservice.serve ~socket_path ~domains:2 ~cache_dir ())
+      ()
+  in
+  let rec wait_up tries =
+    if tries = 0 then fail "daemon did not come up at %s" socket_path
+    else
+      match Verusd.Client.connect ~socket_path with
+      | Ok c -> Verusd.Client.close c
+      | Error _ ->
+        Thread.delay 0.05;
+        wait_up (tries - 1)
+  in
+  wait_up 100;
+  (* Two overlapping clients, one per program, each streaming. *)
+  let results = Array.make (List.length progs) None in
+  let client_threads =
+    List.mapi
+      (fun i (name, _) ->
+        Thread.create
+          (fun () ->
+            let c = connect socket_path in
+            let vcs = ref 0 in
+            let on_event = function Rpc.E_vc _ -> incr vcs | _ -> () in
+            let d = done_of (call c ~on_event (verify_req name)) in
+            Verusd.Client.close c;
+            results.(i) <- Some (name, d, !vcs))
+          ())
+      progs
+  in
+  List.iter Thread.join client_threads;
+  Array.iter
+    (function
+      | None -> fail "a client thread produced no result"
+      | Some (name, d, vcs) ->
+        let expect = List.assoc name want in
+        if jstr d "digest" <> expect then
+          fail "%s: daemon digest %s <> in-process digest %s" name (jstr d "digest") expect;
+        if jint d "exit_code" <> 0 then fail "%s: exit_code %d" name (jint d "exit_code");
+        if vcs <> jint d "vcs" then
+          fail "%s: streamed %d vc events for %d obligations" name vcs (jint d "vcs");
+        pass "%s: daemon digest matches in-process run (%d obligations streamed)" name vcs)
+    results;
+  (* Third client onto the now-warm shared cache. *)
+  let c = connect socket_path in
+  let d = done_of (call c (verify_req ~stream:false "singly_linked")) in
+  Verusd.Client.close c;
+  if jstr d "digest" <> List.assoc "singly_linked" want then
+    fail "warm digest drifted: %s" (jstr d "digest");
+  let cache = match J.member "cache" d with Some c -> c | None -> fail "no cache stats" in
+  let hits = jint cache "hits" and misses = jint cache "misses" in
+  let rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  if rate < 0.9 then fail "warm client hit rate %.0f%% (< 90%%)" (100. *. rate);
+  pass "warm client: %d/%d cache hits (%.0f%%), digest unchanged" hits (hits + misses)
+    (100. *. rate);
+  (* ping / status / shutdown. *)
+  let c = connect socket_path in
+  (match call c (Rpc.request Rpc.M_ping) with
+  | Rpc.E_pong -> ()
+  | _ -> fail "ping did not pong");
+  (match call c (Rpc.request Rpc.M_status) with
+  | Rpc.E_status j ->
+    if jint j "domains" <> 2 then fail "status domains <> 2";
+    pass "status: %d requests served on %d domains" (jint j "requests") (jint j "domains")
+  | _ -> fail "status did not answer");
+  (match call c (Rpc.request Rpc.M_shutdown) with
+  | Rpc.E_done j when jstr j "kind" = "shutdown" -> ()
+  | _ -> fail "shutdown did not acknowledge");
+  Verusd.Client.close c;
+  Thread.join th;
+  (match !served with Ok () -> () | Error e -> fail "serve: %s" e);
+  if Sys.file_exists socket_path then fail "socket file not removed on shutdown";
+  pass "orderly shutdown, socket removed";
+  print_endline "daemon_smoke: PASS"
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> smoke ()
+  | [ _; "--validate-docs"; path ] -> validate_docs path
+  | _ ->
+    prerr_endline "usage: daemon_smoke [--validate-docs PATH]";
+    exit 2

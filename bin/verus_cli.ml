@@ -8,6 +8,10 @@
                        [--cache DIR] [--no-cache]
      verus_cli lint    [<program>|--all] [<profile>] [--strict]
      verus_cli cache   stats|clear [DIR]
+     verus_cli daemon  [--socket PATH] [--domains N] [--cache DIR]
+     verus_cli client  ping|status|shutdown|verify|lint|profile [<program> [<profile>]]
+                       [--socket PATH] [--lint MODE] [--certify] [--no-cache]
+                       [--deadline SECS] [--max-rounds N] [--no-stream]
      verus_cli list            (also available as --list)
      verus_cli codes           (the VL0xx diagnostic table)
      verus_cli help
@@ -27,22 +31,18 @@
    5 means a certificate rejection (VC003): the solver said Unsat but
    the independent Vcheck kernel would not replay its proof — a solver
    bug or a damaged certificate, categorically different from both a
-   counterexample (1) and a timeout (3). *)
+   counterexample (1) and a timeout (3).  The daemon/client pair uses 6
+   for connection or protocol failures (no daemon at the socket, framing
+   errors, RPC-level rejections): an environment problem, never a
+   verdict — a client run that reaches a verdict mirrors the daemon's
+   exit_code field, so 0/1/3/5 mean the same thing in both modes.
 
-let programs =
-  [
-    ("singly_linked", fun () -> Verus.Bench_programs.singly_linked);
-    ("doubly_linked", fun () -> Verus.Bench_programs.doubly_linked);
-    ("mem4", fun () -> Verus.Bench_programs.memory_reasoning 4);
-    ("mem8", fun () -> Verus.Bench_programs.memory_reasoning 8);
-    ("dlock", fun () -> Verus.Bench_programs.dlock_default);
-    ("break_pop", fun () -> Verus.Bench_programs.break_pop);
-    ("break_index", fun () -> Verus.Bench_programs.break_index);
-    ("vstd_seq", fun () -> Verus.Vstd_seq.program);
-  ]
+   The bundled program and profile tables, and the verdict-to-exit-code
+   mapping, live in Verus.Vservice — one table for the CLI and the
+   daemon, so both resolve the same names to the same computations. *)
 
-let profile_names =
-  List.map (fun (p : Verus.Profiles.t) -> p.Verus.Profiles.name) Verus.Profiles.all
+let programs = Verus.Vservice.programs
+let profile_names = Verus.Vservice.profile_names
 
 let usage oc =
   Printf.fprintf oc
@@ -69,6 +69,17 @@ let usage oc =
     \  cache stats|clear [DIR]\n\
     \      inspect or delete the verification cache in DIR (or VERUS_CACHE);\n\
     \      exit 4 on I/O problems (unreadable or corrupt store, failed delete)\n\
+    \  daemon [--socket PATH] [--domains N] [--cache DIR]\n\
+    \      run the persistent verification daemon in the foreground: binds a\n\
+    \      Unix-domain socket speaking verus-rpc/1 (docs/PROTOCOL.md), keeps a\n\
+    \      warm work-stealing pool and a shared verification cache across\n\
+    \      requests, serves until a client sends shutdown\n\
+    \  client ping|status|shutdown|verify|lint|profile [<program> [<profile>]]\n\
+    \         [--socket PATH] [--lint ignore|warn|strict] [--certify]\n\
+    \         [--no-cache] [--deadline SECS] [--max-rounds N] [--no-stream]\n\
+    \      send one request to a running daemon; job verdicts stream as they\n\
+    \      land and the process exits with the daemon's exit_code (the same\n\
+    \      0/1/3/5 as local verify), or 6 on connection/protocol failure\n\
     \  list\n\
     \      list bundled programs and profiles\n\
     \  codes\n\
@@ -81,7 +92,8 @@ let usage oc =
     \            (3 = every failed obligation is Unknown: a timeout is not a refutation)\n\
     \            / 4 cache I/O problem (cache subcommands only)\n\
     \            / 5 certificate rejected under --certify (VC003: the kernel\n\
-    \            would not replay an Unsat's proof — not a counterexample)\n"
+    \            would not replay an Unsat's proof — not a counterexample)\n\
+    \            / 6 daemon connection or protocol failure (client/daemon only)\n"
     (String.concat ", " (List.map fst programs))
     (String.concat ", " profile_names)
 
@@ -94,22 +106,14 @@ let die_usage fmt =
     fmt
 
 let find_profile name =
-  (* Case-insensitive, and "fstar"/"lowstar" for the awkward "F*/Low*". *)
-  let norm s = String.lowercase_ascii s in
-  let matches (p : Verus.Profiles.t) =
-    String.equal (norm p.Verus.Profiles.name) (norm name)
-    || (String.equal p.Verus.Profiles.name "F*/Low*"
-       && List.mem (norm name) [ "fstar"; "f*"; "lowstar"; "low*" ])
-  in
-  match List.find_opt matches Verus.Profiles.all with
-  | Some p -> p
-  | None ->
-    die_usage "unknown profile %s (have: %s)" name (String.concat ", " profile_names)
+  match Verus.Vservice.find_profile name with
+  | Ok p -> p
+  | Error msg -> die_usage "%s" msg
 
 let find_program name =
-  match List.assoc_opt name programs with
-  | Some f -> f ()
-  | None -> die_usage "unknown program %s (have: %s)" name (String.concat ", " (List.map fst programs))
+  match Verus.Vservice.find_program name with
+  | Ok p -> p
+  | Error msg -> die_usage "%s" msg
 
 let cmd_list () =
   print_endline "programs:";
@@ -173,45 +177,12 @@ let apply_fn_filter prog = function
           prog.Verus.Vir.functions;
     }
 
-(* A run that failed *only* on Unknown answers (solver deadline /
-   instantiation budget) is a budget exhaustion, not a refutation: exit
-   3 so callers can distinguish "needs a bigger --deadline" from "has a
-   counterexample". *)
-let budget_only (r : Verus.Driver.program_result) =
-  (not r.Verus.Driver.pr_ok)
-  && r.Verus.Driver.pr_front_end_errors = []
-  && r.Verus.Driver.pr_fns <> []
-  && List.for_all
-       (fun (fnr : Verus.Driver.fn_result) ->
-         List.for_all
-           (fun (vr : Verus.Driver.vc_result) ->
-             match vr.Verus.Driver.vcr_answer with
-             | Smt.Solver.Unsat | Smt.Solver.Unknown _ -> true
-             | Smt.Solver.Sat -> false)
-           fnr.Verus.Driver.fnr_vcs)
-       r.Verus.Driver.pr_fns
-
-(* Any obligation the certificate kernel disowned (rejected or missing
-   certificate under --certify).  Checked before [budget_only]: such a
-   run's answers are all Unsat, which would otherwise read as exit 3. *)
-let cert_failed (r : Verus.Driver.program_result) =
-  List.exists
-    (fun (fnr : Verus.Driver.fn_result) ->
-      List.exists
-        (fun (vr : Verus.Driver.vc_result) ->
-          match vr.Verus.Driver.vcr_cert with
-          | Verus.Driver.Cert_rejected _ | Verus.Driver.Cert_unavailable _ -> true
-          | _ -> false)
-        fnr.Verus.Driver.fnr_vcs)
-    r.Verus.Driver.pr_fns
-
-let exit_cert_rejected = 5
-
-let result_exit_code r =
-  if r.Verus.Driver.pr_ok then 0
-  else if cert_failed r then exit_cert_rejected
-  else if budget_only r then 3
-  else 1
+(* The verdict-to-exit-code policy (0/1/3/5) is shared with the daemon:
+   Vservice computes a job's exit_code once, and both this process and a
+   `verus_cli client` run report the same number for the same result. *)
+let budget_only = Verus.Vservice.budget_only
+let cert_failed = Verus.Vservice.cert_failed
+let result_exit_code = Verus.Vservice.result_exit_code
 
 (* --------------------------- verify ------------------------------- *)
 
@@ -405,6 +376,7 @@ let cmd_profile args =
         Option.map
           (fun dir -> { Verus.Vcache.dir })
           (resolve_cache_dir ~no_cache:!no_cache ~cache_dir:!cache_dir);
+      sched = None;
     }
   in
   let r = Verus.Driver.verify_program ~config profile prog in
@@ -519,6 +491,192 @@ let cmd_cache args =
       else exit 0
     end
 
+(* ---------------------------- daemon ------------------------------- *)
+
+(* Exit 6 ("daemon connection or protocol failure") is an environment
+   problem, like the cache subcommands' 4: no daemon at the socket, an
+   unreadable frame, an RPC-level rejection.  Never a verdict — verdicts
+   arrive in the done event and the client mirrors their exit_code. *)
+let exit_daemon_io = 6
+
+let default_socket () =
+  match Sys.getenv_opt "VERUSD_SOCKET" with
+  | Some p when p <> "" -> p
+  | _ -> "verusd.sock"
+
+let cmd_daemon args =
+  let socket = ref None in
+  let domains = ref 4 in
+  let cache_dir = ref (Sys.getenv_opt "VERUS_CACHE") in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: v :: rest ->
+      socket := Some v;
+      parse rest
+    | "--cache" :: v :: rest ->
+      cache_dir := Some v;
+      parse rest
+    | "--domains" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> domains := n
+      | _ -> die_usage "--domains expects a positive integer, got %s" v);
+      parse rest
+    | a :: _ -> die_usage "unknown daemon argument %s" a
+  in
+  parse args;
+  let socket_path = match !socket with Some p -> p | None -> default_socket () in
+  let cache_dir = match !cache_dir with Some "" -> None | c -> c in
+  Printf.printf "verusd: listening on %s (%d domain%s%s)\n%!" socket_path !domains
+    (if !domains = 1 then "" else "s")
+    (match cache_dir with Some d -> ", cache " ^ d | None -> ", no cache");
+  match Verus.Vservice.serve ~socket_path ~domains:!domains ?cache_dir () with
+  | Ok () ->
+    Printf.printf "verusd: shut down\n%!";
+    exit 0
+  | Error e ->
+    Printf.eprintf "verusd: %s\n" e;
+    exit exit_daemon_io
+
+(* ---------------------------- client ------------------------------- *)
+
+let print_stream_event = function
+  | Verusd.Rpc.E_vc { fn; vc; answer; reason; time_s; cached } ->
+    Printf.printf "vc  %-16s %-44s %-8s %.3fs%s%s\n%!" fn vc answer time_s
+      (if cached then "  (cached)" else "")
+      (match reason with Some r -> "  [" ^ r ^ "]" | None -> "")
+  | Verusd.Rpc.E_fn { fn; ok; time_s; vcs } ->
+    Printf.printf "fn  %-16s %-44s %-8s %.3fs\n%!" fn
+      (Printf.sprintf "(%d vc%s)" vcs (if vcs = 1 then "" else "s"))
+      (if ok then "OK" else "FAIL")
+      time_s
+  | _ -> ()
+
+let done_int j key = match Vbase.Json.member key j with Some (Vbase.Json.Int n) -> Some n | _ -> None
+let done_str j key = match Vbase.Json.member key j with Some (Vbase.Json.String s) -> Some s | _ -> None
+
+let print_done j =
+  let s key = Option.value ~default:"?" (done_str j key) in
+  match done_str j "kind" with
+  | Some "shutdown" -> print_endline "daemon shut down"
+  | _ ->
+    let time_s =
+      match Vbase.Json.member "time_s" j with
+      | Some v -> Option.value ~default:0.0 (Vbase.Json.to_float v)
+      | None -> 0.0
+    in
+    let verdict =
+      match done_int j "exit_code" with
+      | Some 0 -> "VERIFIED"
+      | Some 3 -> "UNKNOWN (solver budget exhausted)"
+      | Some 5 -> "CERTIFICATE REJECTED"
+      | _ -> "FAILED"
+    in
+    let verdict = match done_str j "kind" with Some "lint" -> (match done_int j "exit_code" with Some 0 -> "CLEAN" | _ -> "FINDINGS") | _ -> verdict in
+    (match Vbase.Json.member "cache" j with
+    | Some (Vbase.Json.Obj _ as c) ->
+      let ci k = Option.value ~default:0 (done_int c k) in
+      Printf.printf "cache: %d hit(s), %d miss(es), %d invalidation(s), %d store(s)\n"
+        (ci "hits") (ci "misses") (ci "invalidations") (ci "stores")
+    | _ -> ());
+    Printf.printf "== %s / %s: %s in %.3fs (digest %s)\n" (s "program") (s "profile") verdict
+      time_s (s "digest")
+
+let cmd_client args =
+  let meth = ref None in
+  let prog_name = ref None in
+  let profile_name = ref None in
+  let socket = ref None in
+  let lint = ref None in
+  let certify = ref false in
+  let no_cache = ref false in
+  let deadline = ref None in
+  let max_rounds = ref None in
+  let stream = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: v :: rest ->
+      socket := Some v;
+      parse rest
+    | "--lint" :: v :: rest ->
+      (match v with
+      | "ignore" -> lint := Some Verusd.Rpc.Lint_off
+      | "warn" -> lint := Some Verusd.Rpc.Lint_warn
+      | "strict" -> lint := Some Verusd.Rpc.Lint_strict
+      | _ -> die_usage "--lint expects ignore|warn|strict, got %s" v);
+      parse rest
+    | "--certify" :: rest ->
+      certify := true;
+      parse rest
+    | "--no-cache" :: rest ->
+      no_cache := true;
+      parse rest
+    | "--no-stream" :: rest ->
+      stream := false;
+      parse rest
+    | "--deadline" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s when s > 0.0 -> deadline := Some s
+      | _ -> die_usage "--deadline expects a positive number of seconds, got %s" v);
+      parse rest
+    | "--max-rounds" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> max_rounds := Some n
+      | _ -> die_usage "--max-rounds expects a positive integer, got %s" v);
+      parse rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' -> die_usage "unknown option %s" a
+    | a :: rest ->
+      (if !meth = None then meth := Some a
+       else if !prog_name = None then prog_name := Some a
+       else profile_name := Some a);
+      parse rest
+  in
+  parse args;
+  let socket_path = match !socket with Some p -> p | None -> default_socket () in
+  let job kind =
+    let program = match !prog_name with Some p -> p | None -> "singly_linked" in
+    Verusd.Rpc.M_job
+      (Verusd.Rpc.query ?profile:!profile_name ?lint:!lint ~certify:!certify
+         ~cache:(not !no_cache) ?deadline_s:!deadline ?max_rounds:!max_rounds
+         ~stream:!stream kind program)
+  in
+  let method_ =
+    match !meth with
+    | Some "ping" -> Verusd.Rpc.M_ping
+    | Some "status" -> Verusd.Rpc.M_status
+    | Some "shutdown" -> Verusd.Rpc.M_shutdown
+    | Some "verify" -> job Verusd.Rpc.Verify
+    | Some "lint" -> job Verusd.Rpc.Lint
+    | Some "profile" -> job Verusd.Rpc.Profile
+    | Some m -> die_usage "unknown client method %s" m
+    | None -> die_usage "client needs a method (ping|status|shutdown|verify|lint|profile)"
+  in
+  match Verusd.Client.connect ~socket_path with
+  | Error e ->
+    Printf.eprintf "client: %s\n" e;
+    exit exit_daemon_io
+  | Ok c -> (
+    let r = Verusd.Client.call c ~on_event:print_stream_event (Verusd.Rpc.request method_) in
+    Verusd.Client.close c;
+    match r with
+    | Error e ->
+      Printf.eprintf "client: %s\n" e;
+      exit exit_daemon_io
+    | Ok (Verusd.Rpc.E_pong) ->
+      print_endline "pong";
+      exit 0
+    | Ok (Verusd.Rpc.E_status j) ->
+      print_endline (Vbase.Json.to_string ~indent:true j);
+      exit 0
+    | Ok (Verusd.Rpc.E_done j) ->
+      print_done j;
+      exit (Option.value ~default:0 (done_int j "exit_code"))
+    | Ok (Verusd.Rpc.E_error { code; message }) ->
+      Printf.eprintf "client: daemon error %s: %s\n" code message;
+      exit exit_daemon_io
+    | Ok _ ->
+      Printf.eprintf "client: unexpected terminal event\n";
+      exit exit_daemon_io)
+
 (* ----------------------------- main ------------------------------- *)
 
 let () =
@@ -528,6 +686,8 @@ let () =
   | _ :: "profile" :: rest -> cmd_profile rest
   | _ :: "lint" :: rest -> cmd_lint rest
   | _ :: "cache" :: rest -> cmd_cache rest
+  | _ :: "daemon" :: rest -> cmd_daemon rest
+  | _ :: "client" :: rest -> cmd_client rest
   | _ :: ("list" | "--list") :: _ -> cmd_list ()
   | _ :: "codes" :: _ -> cmd_codes ()
   | _ :: ("help" | "--help" | "-h") :: _ | [ _ ] ->

@@ -1,0 +1,76 @@
+(* verusd — the persistent verification daemon.
+
+     verusd [--socket PATH] [--domains N] [--cache DIR]
+
+   Binds a Unix-domain socket speaking verus-rpc/1 (docs/PROTOCOL.md),
+   spawns a work-stealing pool of N worker domains, and serves
+   verify/lint/profile jobs until a shutdown request arrives.  The
+   socket path defaults to $VERUSD_SOCKET, then ./verusd.sock; the
+   cache directory defaults to $VERUS_CACHE (unset = no shared cache).
+
+   Exit codes: 0 after an orderly shutdown, 2 usage error, 6 when the
+   socket cannot be bound (a live daemon already owns it, or the path
+   is not writable) — the same "connection/protocol" code verus_cli's
+   client side uses, so scripts treat both ends uniformly. *)
+
+let usage oc =
+  Printf.fprintf oc
+    "usage: verusd [--socket PATH] [--domains N] [--cache DIR]\n\n\
+    \  --socket PATH   Unix-domain socket to bind (default: $VERUSD_SOCKET,\n\
+    \                  then ./verusd.sock)\n\
+    \  --domains N     worker domains in the obligation pool (default: 4)\n\
+    \  --cache DIR     shared verification-cache directory (default:\n\
+    \                  $VERUS_CACHE; unset = no cache)\n\n\
+     The daemon serves until a client sends a shutdown request\n\
+     (verus_cli client shutdown).  Protocol: docs/PROTOCOL.md.\n"
+
+let die_usage fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline m;
+      usage stderr;
+      exit 2)
+    fmt
+
+let () =
+  let socket = ref None in
+  let domains = ref 4 in
+  let cache_dir = ref (Sys.getenv_opt "VERUS_CACHE") in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: v :: rest ->
+      socket := Some v;
+      parse rest
+    | "--cache" :: v :: rest ->
+      cache_dir := Some v;
+      parse rest
+    | "--domains" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> domains := n
+      | _ -> die_usage "--domains expects a positive integer, got %s" v);
+      parse rest
+    | ("--help" | "-h") :: _ ->
+      usage stdout;
+      exit 0
+    | a :: _ -> die_usage "unknown argument %s" a
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let socket_path =
+    match !socket with
+    | Some p -> p
+    | None -> (
+      match Sys.getenv_opt "VERUSD_SOCKET" with
+      | Some p when p <> "" -> p
+      | _ -> "verusd.sock")
+  in
+  let cache_dir = match !cache_dir with Some "" -> None | c -> c in
+  Printf.printf "verusd: listening on %s (%d domain%s%s)\n%!" socket_path !domains
+    (if !domains = 1 then "" else "s")
+    (match cache_dir with Some d -> ", cache " ^ d | None -> ", no cache");
+  match Verus.Vservice.serve ~socket_path ~domains:!domains ?cache_dir () with
+  | Ok () ->
+    Printf.printf "verusd: shut down\n%!";
+    exit 0
+  | Error e ->
+    Printf.eprintf "verusd: %s\n" e;
+    exit 6

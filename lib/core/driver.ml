@@ -60,6 +60,8 @@ type program_result = {
 
 type lint_mode = Lint_ignore | Lint_warn | Lint_strict
 
+type progress = Vc_done of string * vc_result | Fn_done of fn_result
+
 module Config = struct
   type t = {
     jobs : int;
@@ -68,6 +70,7 @@ module Config = struct
     cache : Vcache.config option;
     budget : Smt.Solver.budget option;
     certify : bool;
+    sched : Verusd.Sched.t option;
   }
 
   let default =
@@ -78,6 +81,7 @@ module Config = struct
       cache = None;
       budget = None;
       certify = false;
+      sched = None;
     }
 
   let with_jobs jobs c = { c with jobs }
@@ -87,6 +91,8 @@ module Config = struct
   let without_cache c = { c with cache = None }
   let with_budget b c = { c with budget = Some b }
   let with_certify certify c = { c with certify }
+  let with_sched s c = { c with sched = Some s }
+  let without_sched c = { c with sched = None }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -315,11 +321,11 @@ let run_vc ?(profile = false) ?(certify = false) ?cache (p : Profiles.t) (prog :
 let cert_ok r =
   match r.vcr_cert with Cert_rejected _ | Cert_unavailable _ -> false | _ -> true
 
-let verify_function_with_axioms ?(profile = false) ?(certify = false) ?cache (p : Profiles.t)
-    (prog : program) ~axioms ~ax_index (fd : fndecl) : fn_result =
-  let t0 = Unix.gettimeofday () in
-  let vcs = Encode.encode_function p prog fd in
-  let results = List.map (run_vc ~profile ~certify ?cache p prog ~axioms ~ax_index) vcs in
+(* Assemble a function verdict from its per-VC results, whichever
+   scheduler produced them.  [fnr_time_s] is the sum of the VC solve
+   times — the function's compute cost, stable whether its obligations
+   ran back-to-back on one domain or interleaved across the pool. *)
+let fn_result_of_vcs (fd : fndecl) ~profile (results : vc_result list) : fn_result =
   (* An Unsat whose certificate the kernel rejected (or that arrived
      without one under --certify) does not count as proved. *)
   let ok =
@@ -340,10 +346,16 @@ let verify_function_with_axioms ?(profile = false) ?(certify = false) ?cache (p 
     fnr_name = fd.fname;
     fnr_vcs = results;
     fnr_ok = ok;
-    fnr_time_s = Unix.gettimeofday () -. t0;
+    fnr_time_s = List.fold_left (fun acc r -> acc +. r.vcr_time_s) 0.0 results;
     fnr_bytes = List.fold_left (fun acc r -> acc + r.vcr_bytes) 0 results;
     fnr_prof;
   }
+
+let verify_function_with_axioms ?(profile = false) ?(certify = false) ?cache (p : Profiles.t)
+    (prog : program) ~axioms ~ax_index (fd : fndecl) : fn_result =
+  let vcs = Encode.encode_function p prog fd in
+  let results = List.map (run_vc ~profile ~certify ?cache p prog ~axioms ~ax_index) vcs in
+  fn_result_of_vcs fd ~profile results
 
 let verify_function ?profile (p : Profiles.t) (prog : program) (fd : fndecl) : fn_result =
   let axioms = Encode.program_axioms p prog in
@@ -411,10 +423,10 @@ let aggregate_program_profile (p : Profiles.t) ~axioms (fns : fn_result list) :
   in
   { pp_smt; pp_axiom_costs; pp_vcs = List.length vc_profs }
 
-let verify_program ?(config = Config.default) (p : Profiles.t) (prog : program) :
-    program_result =
+let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
+    (prog : program) : program_result =
   let t0 = Unix.gettimeofday () in
-  let { Config.jobs; lint; profile; cache = cache_cfg; budget; certify } = config in
+  let { Config.jobs; lint; profile; cache = cache_cfg; budget; certify; sched } = config in
   (* A budget override is folded into the profile before anything else
      runs, so solves, §3.3 modes and cache fingerprints all see the same
      effective budget. *)
@@ -460,35 +472,94 @@ let verify_program ?(config = Config.default) (p : Profiles.t) (prog : program) 
     let targets =
       List.filter (fun fd -> fd.fmode <> Spec && fd.body <> None) prog.functions
     in
-    let results =
-      if jobs <= 1 then
-        List.map
-          (verify_function_with_axioms ~profile ~certify ?cache p prog ~axioms ~ax_index)
-          targets
-      else begin
-        (* Round-robin chunks over domains. *)
-        let n = List.length targets in
-        let arr = Array.of_list targets in
-        let out = Array.make n None in
-        let next = Atomic.make 0 in
-        let worker () =
-          let rec go () =
-            let i = Atomic.fetch_and_add next 1 in
-            if i < n then begin
-              out.(i) <-
-                Some
-                  (verify_function_with_axioms ~profile ~certify ?cache p prog ~axioms
-                     ~ax_index arr.(i));
-              go ()
-            end
-          in
-          go ()
-        in
-        let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
-        List.iter Domain.join domains;
-        Array.to_list out |> List.filter_map Fun.id
-      end
+    (* Obligation scheduling.  One {!Verusd.Sched.batch} covers the
+       whole program: a per-function task encodes the function and then
+       submits one solve task per VC into the same batch; [Sched.await]
+       is the barrier.  The batch runs on the caller's long-lived pool
+       ([config.sched], the daemon's warm pool), on a transient pool of
+       [config.jobs] domains (the CLI's [--jobs]), or inline when
+       [jobs <= 1] — three executions of the same code path, so
+       verdicts and {!result_digest} are identical whichever ran.
+
+       Encoding inside the scheduled task (rather than up front) is
+       load-bearing: proof certificates are sensitive to global
+       term-interning order, and keeping each function's encode
+       adjacent to its solves reproduces a sequential run's interning
+       layout (Sched's depth-first own-deque discipline does the same
+       under work stealing — see sched.mli).
+
+       Results are published by index: a worker writes [vc_out.(fi).(vi)]
+       and then counts down [remaining.(fi)] with an atomic RMW; the
+       worker that sees the count hit zero assembles the function verdict
+       (the atomic orders the writes, so it sees all of them).  Progress
+       events fire in the finishing worker's domain — [on_progress] must
+       be thread-safe when a pool is in play. *)
+    let emit ev = match on_progress with Some f -> f ev | None -> () in
+    let fn_arr = Array.of_list targets in
+    let nfns = Array.length fn_arr in
+    let fn_out = Array.make nfns None in
+    let vc_out = Array.make nfns [||] in
+    let remaining = Array.map (fun _ -> Atomic.make 0) fn_out in
+    let b = Verusd.Sched.batch () in
+    let go submit =
+      (* A function's obligations form a sequential chain: solving VC
+         [vi] submits VC [vi + 1].  The chain head is an ordinary
+         stealable task — obligations migrate between workers at VC
+         granularity (a long function does not hog its worker, which is
+         what keeps the daemon's burst queue latency flat) — but two VCs
+         of one function never run concurrently or out of order.  That
+         ordering is load-bearing: a function's solves share interned
+         terms, and racing their creation order perturbs the proof
+         certificates (term interning is layout-sensitive; see
+         sched.mli). *)
+      let rec solve_task fi vi vcs () =
+        let r = run_vc ~profile ~certify ?cache p prog ~axioms ~ax_index vcs.(vi) in
+        vc_out.(fi).(vi) <- Some r;
+        emit (Vc_done (fn_arr.(fi).fname, r));
+        (if vi + 1 < Array.length vcs then submit (solve_task fi (vi + 1) vcs));
+        if Atomic.fetch_and_add remaining.(fi) (-1) = 1 then begin
+          let results = Array.to_list vc_out.(fi) |> List.filter_map Fun.id in
+          let fnr = fn_result_of_vcs fn_arr.(fi) ~profile results in
+          fn_out.(fi) <- Some fnr;
+          emit (Fn_done fnr)
+        end
+      in
+      let fn_task fi () =
+        let vcs = Array.of_list (Encode.encode_function p prog fn_arr.(fi)) in
+        if Array.length vcs = 0 then begin
+          (* Everything discharged during encoding. *)
+          let fnr = fn_result_of_vcs fn_arr.(fi) ~profile [] in
+          fn_out.(fi) <- Some fnr;
+          emit (Fn_done fnr)
+        end
+        else begin
+          vc_out.(fi) <- Array.make (Array.length vcs) None;
+          Atomic.set remaining.(fi) (Array.length vcs);
+          (* The chain head lands on this worker's own deque head (or
+             runs inline on the sequential path), so the first solve
+             executes right after the encode unless stolen. *)
+          submit (solve_task fi 0 vcs)
+        end
+      in
+      for fi = 0 to nfns - 1 do
+        submit (fn_task fi)
+      done;
+      Verusd.Sched.await b
     in
+    (match sched with
+    | Some pool -> go (fun task -> Verusd.Sched.submit pool b task)
+    | None ->
+      if jobs <= 1 || nfns = 0 then go (fun task -> Verusd.Sched.submit_now b task)
+      else begin
+        (* Domains are not capped at the function count: obligations are
+           stolen at VC granularity, so extra domains still help a
+           single many-VC function. *)
+        let pool = Verusd.Sched.create ~domains:jobs in
+        Fun.protect
+          ~finally:(fun () -> Verusd.Sched.shutdown pool)
+          (fun () -> go (fun task -> Verusd.Sched.submit pool b task))
+      end);
+    let results = Array.to_list fn_out |> List.filter_map Fun.id in
     let pr_cache =
       match cache with
       | None -> None

@@ -58,9 +58,12 @@ type vc_result = {
 (** Outcome of all obligations of one function. *)
 type fn_result = {
   fnr_name : string;
-  fnr_vcs : vc_result list;
+  fnr_vcs : vc_result list;  (** in encoding order, however they were scheduled *)
   fnr_ok : bool;  (** all VCs proved *)
   fnr_time_s : float;
+      (** sum of the per-VC solve times — compute cost, not wall-clock,
+          so it is stable whether the obligations ran back-to-back on one
+          domain or interleaved across a pool *)
   fnr_bytes : int;
   fnr_prof : Smt.Profile.t option;
       (** merge of the function's per-VC solver profiles ([Some] iff
@@ -118,13 +121,27 @@ type lint_mode =
       (** fail fast: Error-severity findings abort before any SMT work,
           with [pr_fns = []] and [pr_ok = false] *)
 
+(** Incremental verdict stream, delivered to {!verify_program}'s
+    [?on_progress] callback as obligations complete.  The daemon turns
+    these into [vc]/[fn] protocol events ([docs/PROTOCOL.md]); the
+    in-process caller is free to ignore them. *)
+type progress =
+  | Vc_done of string * vc_result
+      (** one obligation finished, tagged with its function's name;
+          arrival order is completion order, not program order *)
+  | Fn_done of fn_result
+      (** a function's last obligation finished and its verdict is
+          assembled; [fnr_vcs] is already back in encoding order *)
+
 (** Run configuration — the one record every knob of a verification run
     lives in.  Callers build it with {!Config.default} and the [with_*]
-    builders; the CLI, the benchmark harness and the test suites all feed
-    the same record to {!verify_program}. *)
+    builders; the CLI, the daemon, the benchmark harness and the test
+    suites all feed the same record to {!verify_program}. *)
 module Config : sig
   type t = {
-    jobs : int;  (** parallel verification domains (Figure 9) *)
+    jobs : int;
+        (** parallel verification domains (Figure 9); ignored when
+            [sched] supplies a pool *)
     lint : lint_mode;  (** static analysis before SMT work *)
     profile : bool;  (** retain per-VC solver profiles *)
     cache : Vcache.config option;  (** persistent VC-result cache, if any *)
@@ -137,11 +154,18 @@ module Config : sig
             certificate through the independent {!Vcheck} kernel, and
             demote rejected obligations to failures; Unsat cache hits are
             honored only when their entry carries a certificate digest *)
+    sched : Verusd.Sched.t option;
+        (** when [Some], schedule this run's obligations on the given
+            long-lived work-stealing pool instead of spawning domains per
+            run — how the daemon amortizes domain start-up across
+            requests.  The pool is borrowed, never shut down; [jobs] is
+            ignored.  Verdicts and {!result_digest} are identical either
+            way. *)
   }
 
   val default : t
   (** [jobs = 1], no lint, no profiling, no cache, profile's own budget,
-      no certification. *)
+      no certification, no external pool. *)
 
   val with_jobs : int -> t -> t
   val with_lint : lint_mode -> t -> t
@@ -153,6 +177,11 @@ module Config : sig
   val without_cache : t -> t
   val with_budget : Smt.Solver.budget -> t -> t
   val with_certify : bool -> t -> t
+
+  val with_sched : Verusd.Sched.t -> t -> t
+  (** Borrow a long-lived obligation pool for this run's scheduling. *)
+
+  val without_sched : t -> t
 end
 
 val context_for :
@@ -164,17 +193,33 @@ val verify_function : ?profile:bool -> Profiles.t -> Vir.program -> Vir.fndecl -
 (** Verify one function.  [~profile] (default [false]) retains per-VC
     solver profiles in [vcr_prof]/[fnr_prof]. *)
 
-val verify_program : ?config:Config.t -> Profiles.t -> Vir.program -> program_result
+val verify_program :
+  ?config:Config.t ->
+  ?on_progress:(progress -> unit) ->
+  Profiles.t ->
+  Vir.program ->
+  program_result
 (** The one entry point.  Runs [Vlint] (per [config.lint]) and the
-    front-end checks, then verifies every function.  [config.jobs > 1]
-    verifies functions in parallel on that many domains (the paper's 8-core
-    column in Figure 9).  [config.profile] aggregates every solve's
-    {!Smt.Profile.t} into [pr_prof]; the aggregation is keyed on stable
-    quantifier labels, so the resulting tables are identical whichever
-    domain finished first.  [config.cache] opens the persistent VC cache
-    before solving, serves hits from its load-time snapshot (statistics are
-    deterministic under [jobs > 1]), and atomically flushes new entries at
-    the end; [pr_cache] reports the counters. *)
+    front-end checks, then encodes every target function, flattens the
+    obligations into one batch, and schedules the batch: on
+    [config.sched]'s pool when supplied, on a transient
+    {!Verusd.Sched} pool of [config.jobs] domains when [jobs > 1] (the
+    paper's 8-core column in Figure 9), inline otherwise.  All three
+    paths share one code path, so per-program verdicts and
+    {!result_digest} are identical whichever ran.
+
+    [?on_progress] streams {!progress} events as obligations complete.
+    Events fire in the finishing worker's domain — the callback must be
+    thread-safe whenever a pool is in play — and [verify_program]
+    returns only after every event has been delivered.
+
+    [config.profile] aggregates every solve's {!Smt.Profile.t} into
+    [pr_prof]; the aggregation is keyed on stable quantifier labels, so
+    the resulting tables are identical whichever domain finished first.
+    [config.cache] opens the persistent VC cache before solving, serves
+    hits from its load-time snapshot (statistics are deterministic under
+    [jobs > 1]), and atomically flushes new entries at the end;
+    [pr_cache] reports the counters. *)
 
 val verify_program_opts :
   ?jobs:int -> ?lint:lint_mode -> ?profile:bool -> Profiles.t -> Vir.program -> program_result

@@ -1,0 +1,53 @@
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> Ok { fd; closed = false }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to daemon socket %s: %s (is verusd running?)"
+         socket_path (Unix.error_message e))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_raw t bytes =
+  let b = Bytes.of_string bytes in
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write t.fd b off len in
+      go (off + n) (len - n)
+    end
+  in
+  go 0 (Bytes.length b)
+
+let read_event t =
+  match Rpc.read_frame t.fd with
+  | Rpc.Eof -> Error "daemon closed the connection"
+  | Rpc.Bad e -> Error (Printf.sprintf "[%s] %s" e.Rpc.code e.Rpc.message)
+  | Rpc.Frame j -> (
+    match Rpc.event_of_json j with
+    | Ok (id, ev) -> Ok (id, ev)
+    | Error e -> Error (Printf.sprintf "invalid event frame: [%s] %s" e.Rpc.code e.Rpc.message))
+
+let call t ?on_event (req : Rpc.request) =
+  match Rpc.write_frame t.fd (Rpc.request_to_json req) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "write failed: %s" (Unix.error_message e))
+  | () ->
+    let rec await () =
+      match read_event t with
+      | Error _ as e -> e
+      | Ok (id, _) when id <> req.Rpc.r_id -> await ()
+      | Ok (_, ((Rpc.E_done _ | Rpc.E_error _ | Rpc.E_pong | Rpc.E_status _) as final)) ->
+        Ok final
+      | Ok (_, ((Rpc.E_vc _ | Rpc.E_fn _) as ev)) ->
+        (match on_event with Some f -> f ev | None -> ());
+        await ()
+    in
+    await ()

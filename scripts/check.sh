@@ -14,6 +14,11 @@
 # the durable-IronKV smoke (a seeded crash+partition storm over durable
 # hosts with linearizability crosschecks and a no-acked-write-lost
 # readback sweep, plus a recovery-time probe),
+# the verification-daemon smoke (an in-process daemon serving two
+# overlapping streaming clients whose digests must match in-process
+# jobs=1 runs, a warm third client that must hit the shared cache, and
+# the docs gate validating every fenced JSON example in
+# docs/PROTOCOL.md against the verus-rpc/1 schema),
 # and — when odoc is installed — the API-doc build,
 # warnings-as-errors.  This is the tree-must-stay-green gate:
 #
@@ -25,25 +30,25 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/9 build =="
+echo "== 1/10 build =="
 dune build @all
 
-echo "== 2/9 tests =="
+echo "== 2/10 tests =="
 dune runtest
 
-echo "== 3/9 lint (strict) =="
+echo "== 3/10 lint (strict) =="
 dune build @lint
 
-echo "== 4/9 fault smoke =="
+echo "== 4/10 fault smoke =="
 dune build @faults
 
-echo "== 5/9 profile JSON smoke =="
+echo "== 5/10 profile JSON smoke =="
 dune build @profile
 
-echo "== 6/9 cache smoke (cold/warm/corrupt) =="
+echo "== 6/10 cache smoke (cold/warm/corrupt) =="
 dune build @cache
 
-echo "== 7/9 api docs =="
+echo "== 7/10 api docs =="
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc 2>doc-warnings.log || {
     cat doc-warnings.log
@@ -62,10 +67,13 @@ else
   echo "odoc not installed; skipped (install odoc to enable)"
 fi
 
-echo "== 8/9 certificate smoke (emit + kernel replay) =="
+echo "== 8/10 certificate smoke (emit + kernel replay) =="
 dune build @certify
 
-echo "== 9/9 durable kv smoke (storm + recovery) =="
+echo "== 9/10 durable kv smoke (storm + recovery) =="
 dune build @kv
+
+echo "== 10/10 daemon smoke (scheduler + rpc + docs gate) =="
+dune build @daemon
 
 echo "== all checks passed =="
