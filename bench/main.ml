@@ -1230,6 +1230,105 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* analyze: Vflow prescreen ablation (with vs without rung 0)           *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_bench () =
+  header "Vflow prescreen ablation: verification with vs without rung 0";
+  Printf.printf
+    "  Each row verifies a program twice, cold and cacheless: once plain, once with the\n\
+    \  abstract-interpretation prescreen (--prescreen).  Discharged obligations skip the\n\
+    \  solver and ship zero query bytes; everything else falls through to SMT carrying\n\
+    \  the derived interval/congruence facts.  'verified' asserts the two runs reach the\n\
+    \  same verdict on the same functions (the prescreen must change cost, never truth).\n\n";
+  let cases =
+    [
+      (Verus.Profiles.verus, "const_cond", Verus.Bench_programs.const_cond);
+      (Verus.Profiles.verus, "singly_linked", Verus.Bench_programs.singly_linked);
+      (Verus.Profiles.verus, "mem8", Verus.Bench_programs.memory_reasoning 8);
+      (Verus.Profiles.dafny, "singly_linked", Verus.Bench_programs.singly_linked);
+      (Verus.Profiles.dafny, "const_cond", Verus.Bench_programs.const_cond);
+    ]
+  in
+  let cases = if !quick then [ List.hd cases ] else cases in
+  Printf.printf "  %-10s %-16s %5s %6s %10s %10s %9s %9s %9s\n" "profile" "program" "vcs"
+    "disch" "base" "analyze" "speedup" "bytes-" "verified";
+  let total_vcs = ref 0 and total_disch = ref 0 in
+  let rows =
+    List.map
+      (fun ((p : Verus.Profiles.t), name, prog) ->
+        let run analyze =
+          Verus.Driver.verify_program
+            ~config:Verus.Driver.Config.(with_analyze analyze default)
+            p prog
+        in
+        let base = run false in
+        let pre = run true in
+        let vcs =
+          List.fold_left
+            (fun acc (f : Verus.Driver.fn_result) -> acc + List.length f.Verus.Driver.fnr_vcs)
+            0 base.Verus.Driver.pr_fns
+        in
+        let disch = Verus.Driver.prescreen_discharged pre in
+        total_vcs := !total_vcs + vcs;
+        total_disch := !total_disch + disch;
+        let verified_equal =
+          base.Verus.Driver.pr_ok = pre.Verus.Driver.pr_ok
+          && List.length base.Verus.Driver.pr_fns = List.length pre.Verus.Driver.pr_fns
+        in
+        let speedup =
+          if pre.Verus.Driver.pr_time_s > 0.0 then
+            base.Verus.Driver.pr_time_s /. pre.Verus.Driver.pr_time_s
+          else infinity
+        in
+        Printf.printf "  %-10s %-16s %5d %6d %9.3fs %9.3fs %8.2fx %9d %9s\n%!"
+          p.Verus.Profiles.name name vcs disch base.Verus.Driver.pr_time_s
+          pre.Verus.Driver.pr_time_s speedup
+          (base.Verus.Driver.pr_bytes - pre.Verus.Driver.pr_bytes)
+          (if verified_equal then "equal" else "DIFFERS");
+        Vbase.Json.Obj
+          [
+            ("profile", Vbase.Json.String p.Verus.Profiles.name);
+            ("program", Vbase.Json.String name);
+            ("vcs", Vbase.Json.Int vcs);
+            ("discharged", Vbase.Json.Int disch);
+            ("base_s", Vbase.Json.Float base.Verus.Driver.pr_time_s);
+            ("analyze_s", Vbase.Json.Float pre.Verus.Driver.pr_time_s);
+            ("base_bytes", Vbase.Json.Int base.Verus.Driver.pr_bytes);
+            ("analyze_bytes", Vbase.Json.Int pre.Verus.Driver.pr_bytes);
+            ("verified_equal", Vbase.Json.Bool verified_equal);
+          ])
+      cases
+  in
+  let doc =
+    Vbase.Json.Obj
+      [
+        ("schema", Vbase.Json.String Vflow.bench_schema);
+        ("analysis", Vbase.Json.String Vflow.version);
+        ("rows", Vbase.Json.List rows);
+        ( "totals",
+          Vbase.Json.Obj
+            [
+              ("total_vcs", Vbase.Json.Int !total_vcs);
+              ("total_discharged", Vbase.Json.Int !total_disch);
+              ( "discharge_rate",
+                Vbase.Json.Float
+                  (if !total_vcs = 0 then 0.0
+                   else float_of_int !total_disch /. float_of_int !total_vcs) );
+            ] );
+      ]
+  in
+  (match Vflow.validate_analyze_bench doc with
+  | Ok () -> ()
+  | Error e -> Printf.printf "  !! BENCH_analyze.json failed self-validation: %s\n%!" e);
+  let oc = open_out "BENCH_analyze.json" in
+  output_string oc (Vbase.Json.to_string ~indent:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  wrote %d row(s) to BENCH_analyze.json (%s)\n%!" (List.length rows)
+    Vflow.bench_schema
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1252,6 +1351,7 @@ let sections =
     ("cache", cache_bench);
     ("certify", certify_bench);
     ("daemon", daemon_bench);
+    ("analyze", analyze_bench);
     ("micro", micro);
   ]
 

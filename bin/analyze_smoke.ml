@@ -1,0 +1,105 @@
+(* CI smoke for the Vflow prescreen (`dune build @analyze`):
+
+   1. soundness crosscheck, full suite: for every bundled program under
+      every non-EPR framework profile, every obligation the prescreen
+      proves at rung 0 is re-proved by the SMT solver — a single
+      disagreement (prescreen Proved, solver not Unsat) fails the build;
+   2. the const_cond pin: a prescreened verify discharges at least one
+      obligation without SMT and still verifies;
+   3. digest stability: prescreened and plain runs of the same program
+      produce identical result digests, and a prescreened jobs=2 run
+      digests identically to jobs=1 (derived facts are ordered by their
+      printed rendering, never by term identity).
+
+   Exit 0 when all hold, 1 with a message otherwise. *)
+
+let fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("analyze_smoke: FAIL: " ^ m); exit 1) fmt
+
+let check name cond = if not cond then fail "%s" name else Printf.printf "  ok: %s\n%!" name
+
+(* The EPR profile (Ivy) routes obligations through the fragment checker
+   rather than the general solver, and the prescreen only feeds the
+   general path — crosscheck where the prescreen actually runs. *)
+let profiles =
+  List.filter (fun (p : Verus.Profiles.t) -> not p.Verus.Profiles.epr_only) Verus.Profiles.all
+
+let () =
+  (* 1: prescreen-Proved ⇒ solver-Unsat, across the whole suite. *)
+  let checked = ref 0 and discharged = ref 0 in
+  List.iter
+    (fun (name, mk) ->
+      let prog : Verus.Vir.program = mk () in
+      List.iter
+        (fun (p : Verus.Profiles.t) ->
+          let targets =
+            List.filter
+              (fun (fd : Verus.Vir.fndecl) ->
+                fd.Verus.Vir.fmode <> Verus.Vir.Spec && fd.Verus.Vir.body <> None)
+              prog.Verus.Vir.functions
+          in
+          List.iter
+            (fun fd ->
+              List.iter
+                (fun (vc : Verus.Encode.vc) ->
+                  incr checked;
+                  let context = Verus.Driver.context_for p prog vc in
+                  let r =
+                    Vflow.Prescreen.check
+                      ~hyps:(context @ vc.Verus.Encode.vc_hyps)
+                      ~goal:vc.Verus.Encode.vc_goal ()
+                  in
+                  if r.Vflow.Prescreen.verdict = Vflow.Prescreen.Proved then begin
+                    incr discharged;
+                    let s =
+                      Smt.Solver.check_valid ~config:p.Verus.Profiles.solver_config
+                        ~hyps:(context @ vc.Verus.Encode.vc_hyps)
+                        vc.Verus.Encode.vc_goal
+                    in
+                    if s.Smt.Solver.answer <> Smt.Solver.Unsat then
+                      fail "prescreen/SMT disagreement on %s / %s / %S" name
+                        p.Verus.Profiles.name vc.Verus.Encode.vc_name
+                  end)
+                (Verus.Encode.encode_function p prog fd))
+            targets)
+        profiles)
+    Verus.Vservice.programs;
+  check
+    (Printf.sprintf "crosscheck: %d prescreen-proved obligation(s) of %d all SMT-Unsat"
+       !discharged !checked)
+    (!discharged > 0);
+
+  (* 2: const_cond discharges under a prescreened verify. *)
+  let run ?(analyze = false) ?(jobs = 1) prog =
+    let config =
+      Verus.Driver.Config.(default |> with_analyze analyze |> with_jobs jobs)
+    in
+    Verus.Driver.verify_program ~config Verus.Profiles.verus prog
+  in
+  let pre = run ~analyze:true Verus.Bench_programs.const_cond in
+  check "const_cond verifies with prescreen" pre.Verus.Driver.pr_ok;
+  check "const_cond discharges at least one obligation at rung 0"
+    (Verus.Driver.prescreen_discharged pre > 0);
+
+  (* 3: digests agree plain vs. prescreened, and across jobs. *)
+  List.iter
+    (fun (name, prog) ->
+      let plain = run prog in
+      let pre1 = run ~analyze:true prog in
+      let pre2 = run ~analyze:true ~jobs:2 prog in
+      check
+        (name ^ ": prescreened digest equals plain digest")
+        (String.equal (Verus.Driver.result_digest plain) (Verus.Driver.result_digest pre1));
+      check
+        (name ^ ": prescreened digest stable under jobs=2")
+        (String.equal (Verus.Driver.result_digest pre1) (Verus.Driver.result_digest pre2));
+      check (name ^ ": verified-function count unchanged")
+        (List.length plain.Verus.Driver.pr_fns = List.length pre1.Verus.Driver.pr_fns
+        && plain.Verus.Driver.pr_ok = pre1.Verus.Driver.pr_ok))
+    [
+      ("const_cond", Verus.Bench_programs.const_cond);
+      ("singly_linked", Verus.Bench_programs.singly_linked);
+      ("mem4", Verus.Bench_programs.memory_reasoning 4);
+    ];
+
+  print_endline "analyze_smoke: all checks passed"

@@ -2,15 +2,16 @@
 
      verus_cli verify  <program> [<profile>] [--fn NAME] [--jobs N] [--lint MODE]
                        [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache]
-                       [--certify]
+                       [--certify] [--prescreen]
+     verus_cli analyze <program> [<profile>] [--fn NAME]
      verus_cli profile <program> [<profile>] [--json] [--top K] [--liberal]
                        [--fn NAME] [--jobs N] [--deadline SECS] [--max-rounds N]
                        [--cache DIR] [--no-cache]
-     verus_cli lint    [<program>|--all] [<profile>] [--strict]
+     verus_cli lint    [<program>|--all] [<profile>] [--strict] [--json]
      verus_cli cache   stats|clear [DIR]
      verus_cli daemon  [--socket PATH] [--domains N] [--cache DIR]
      verus_cli client  ping|status|shutdown|verify|lint|profile [<program> [<profile>]]
-                       [--socket PATH] [--lint MODE] [--certify] [--no-cache]
+                       [--socket PATH] [--lint MODE] [--certify] [--prescreen] [--no-cache]
                        [--deadline SECS] [--max-rounds N] [--no-stream]
      verus_cli list            (also available as --list)
      verus_cli codes           (the VL0xx diagnostic table)
@@ -50,11 +51,18 @@ let usage oc =
      commands:\n\
     \  verify <program> [<profile>] [--fn NAME] [--jobs N] [--lint ignore|warn|strict]\n\
     \         [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache] [--certify]\n\
+    \         [--prescreen]\n\
     \      verify one bundled program under a profile (default: Verus);\n\
     \      --deadline / --max-rounds override the profile's solver budgets;\n\
     \      --cache DIR (or VERUS_CACHE) reuses cached VC results across runs;\n\
     \      --certify replays every Unsat's proof certificate through the\n\
-    \      independent Vcheck kernel and fails (exit 5, VC003) on rejection\n\
+    \      independent Vcheck kernel and fails (exit 5, VC003) on rejection;\n\
+    \      --prescreen runs the Vflow abstract-interpretation prescreen first\n\
+    \      (rung 0): obligations it proves skip the solver entirely\n\
+    \  analyze <program> [<profile>] [--fn NAME]\n\
+    \      run only the Vflow prescreen: per-obligation verdicts (proved /\n\
+    \      refuted-hypothetical / unknown), derived facts shipped to SMT on\n\
+    \      fall-through, and the VL04x flow findings — no solver runs\n\
     \  profile <program> [<profile>] [--json] [--top K] [--liberal] [--fn NAME]\n\
     \          [--jobs N] [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache]\n\
     \      verify with the solver profiler on and print instantiation /\n\
@@ -62,10 +70,11 @@ let usage oc =
     \      document; --liberal: degrade the profile to Dafny-style broad\n\
     \      trigger selection first, the configuration behind the VL010\n\
     \      cross-check)\n\
-    \  lint [<program>|--all] [<profile>] [--strict] [--liberal]\n\
+    \  lint [<program>|--all] [<profile>] [--strict] [--liberal] [--json]\n\
     \      run the Vlint static analyses; exit 1 on Error findings\n\
     \      (--strict: also fail on Warn findings; --liberal: lint the\n\
-    \      broad-trigger degradation of the profile)\n\
+    \      broad-trigger degradation of the profile; --json: one program\n\
+    \      only, emit the versioned verus-lint/1 report)\n\
     \  cache stats|clear [DIR]\n\
     \      inspect or delete the verification cache in DIR (or VERUS_CACHE);\n\
     \      exit 4 on I/O problems (unreadable or corrupt store, failed delete)\n\
@@ -75,7 +84,7 @@ let usage oc =
     \      warm work-stealing pool and a shared verification cache across\n\
     \      requests, serves until a client sends shutdown\n\
     \  client ping|status|shutdown|verify|lint|profile [<program> [<profile>]]\n\
-    \         [--socket PATH] [--lint ignore|warn|strict] [--certify]\n\
+    \         [--socket PATH] [--lint ignore|warn|strict] [--certify] [--prescreen]\n\
     \         [--no-cache] [--deadline SECS] [--max-rounds N] [--no-stream]\n\
     \      send one request to a running daemon; job verdicts stream as they\n\
     \      land and the process exits with the daemon's exit_code (the same\n\
@@ -197,6 +206,7 @@ let cmd_verify args =
   let cache_dir = ref None in
   let no_cache = ref false in
   let certify = ref false in
+  let prescreen = ref false in
   let rec parse = function
     | [] -> ()
     | "--fn" :: v :: rest ->
@@ -210,6 +220,9 @@ let cmd_verify args =
       parse rest
     | "--certify" :: rest ->
       certify := true;
+      parse rest
+    | "--prescreen" :: rest ->
+      prescreen := true;
       parse rest
     | "--deadline" :: v :: rest ->
       (match float_of_string_opt v with
@@ -248,6 +261,7 @@ let cmd_verify args =
       Verus.Driver.Config.jobs = !jobs;
       lint = !lint;
       certify = !certify;
+      analyze = !prescreen;
       budget = budget_override profile !deadline !max_rounds;
       cache =
         Option.map
@@ -275,6 +289,9 @@ let cmd_verify args =
               "CERT MISSING (" ^ why ^ ")"
             | Smt.Solver.Unsat, Verus.Driver.Cert_checked _ -> "proved+cert"
             | Smt.Solver.Unsat, Verus.Driver.Cert_cached _ -> "proved+cert(cached)"
+            | Smt.Solver.Unsat, _
+              when vr.Verus.Driver.vcr_source = Verus.Driver.Src_prescreen ->
+              "proved(prescreen)"
             | Smt.Solver.Unsat, _ -> "proved"
             | Smt.Solver.Sat, _ -> "COUNTEREXAMPLE"
             | Smt.Solver.Unknown m, _ -> "UNKNOWN: " ^ m
@@ -288,6 +305,16 @@ let cmd_verify args =
     Printf.printf "first failure: [%s] %s: %s\n" code where what
   | _ -> ());
   cache_summary_line r;
+  (if !prescreen then
+     let total =
+       List.fold_left
+         (fun acc (fnr : Verus.Driver.fn_result) ->
+           acc + List.length fnr.Verus.Driver.fnr_vcs)
+         0 r.Verus.Driver.pr_fns
+     in
+     Printf.printf "prescreen: discharged %d of %d obligation(s) without SMT\n"
+       (Verus.Driver.prescreen_discharged r)
+       total);
   (* A run that failed *only* on Unknown answers (solver deadline /
      instantiation budget) is a budget exhaustion, not a refutation: exit
      3 so callers can distinguish "needs a bigger --deadline" from "has a
@@ -301,6 +328,80 @@ let cmd_verify args =
     r.Verus.Driver.pr_time_s r.Verus.Driver.pr_bytes;
   Smt.Solver.dump_debug ();
   exit (result_exit_code r)
+
+(* --------------------------- analyze ------------------------------ *)
+
+(* The prescreen alone, made visible: per-obligation rung-0 verdicts with
+   the facts that would ship to SMT on fall-through, then the VL04x flow
+   findings.  No solver runs; informational, always exit 0 (use
+   `verify --prescreen` for a verdict). *)
+let cmd_analyze args =
+  let prog_name = ref None in
+  let profile_name = ref "Verus" in
+  let fn_filter = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--fn" :: v :: rest ->
+      fn_filter := Some v;
+      parse rest
+    | a :: _ when String.length a > 1 && a.[0] = '-' -> die_usage "unknown option %s" a
+    | a :: rest ->
+      (if !prog_name = None then prog_name := Some a else profile_name := a);
+      parse rest
+  in
+  parse args;
+  let prog_name = match !prog_name with Some p -> p | None -> "singly_linked" in
+  let profile = find_profile !profile_name in
+  let prog = apply_fn_filter (find_program prog_name) !fn_filter in
+  let targets =
+    List.filter
+      (fun (fd : Verus.Vir.fndecl) ->
+        fd.Verus.Vir.fmode <> Verus.Vir.Spec && fd.Verus.Vir.body <> None)
+      prog.Verus.Vir.functions
+  in
+  let total = ref 0 and proved = ref 0 in
+  Printf.printf "== analyze: %s / %s (Vflow %s) ==\n" prog_name profile.Verus.Profiles.name
+    Vflow.version;
+  List.iter
+    (fun (fd : Verus.Vir.fndecl) ->
+      let vcs = Verus.Encode.encode_function profile prog fd in
+      Printf.printf "%s: %d obligation(s)\n" fd.Verus.Vir.fname (List.length vcs);
+      List.iter
+        (fun (vc : Verus.Encode.vc) ->
+          incr total;
+          let context = Verus.Driver.context_for profile prog vc in
+          let r =
+            Vflow.Prescreen.check ~hyps:(context @ vc.Verus.Encode.vc_hyps)
+              ~goal:vc.Verus.Encode.vc_goal ()
+          in
+          let verdict = r.Vflow.Prescreen.verdict in
+          if verdict = Vflow.Prescreen.Proved then incr proved;
+          Printf.printf "    %-60s %-8s%s\n" vc.Verus.Encode.vc_name
+            (Vflow.Prescreen.verdict_string verdict)
+            (if r.Vflow.Prescreen.vacuous then "  (hypotheses contradictory)"
+             else if verdict = Vflow.Prescreen.Proved then
+               Printf.sprintf "  (%d passes)" r.Vflow.Prescreen.passes
+             else
+               Printf.sprintf "  (%d fact(s), %d droppable hyp(s))"
+                 (List.length r.Vflow.Prescreen.facts)
+                 (List.length r.Vflow.Prescreen.drop));
+          List.iter
+            (fun f -> Printf.printf "        fact: %s\n" (Smt.Term.to_string f))
+            r.Vflow.Prescreen.facts)
+        vcs)
+    targets;
+  let findings = Vflow.Absint.analyze_program prog in
+  if findings <> [] then begin
+    print_endline "flow findings:";
+    List.iter
+      (fun (f : Vflow.Absint.finding) ->
+        Printf.printf "  %s [%s] %s\n" f.Vflow.Absint.f_code f.Vflow.Absint.f_fn
+          f.Vflow.Absint.f_msg)
+      findings
+  end;
+  Printf.printf "== prescreen would discharge %d of %d obligation(s) without SMT\n" !proved
+    !total;
+  exit 0
 
 (* --------------------------- profile ------------------------------ *)
 
@@ -371,6 +472,7 @@ let cmd_profile args =
       lint = Verus.Driver.Lint_warn;
       profile = true;
       certify = false;
+      analyze = false;
       budget = budget_override profile !deadline !max_rounds;
       cache =
         Option.map
@@ -397,6 +499,7 @@ let cmd_lint args =
   let profile_name = ref "Verus" in
   let strict = ref false in
   let liberal = ref false in
+  let json = ref false in
   let rec parse = function
     | [] -> ()
     | "--all" :: rest ->
@@ -408,6 +511,9 @@ let cmd_lint args =
     | "--liberal" :: rest ->
       liberal := true;
       parse rest
+    | "--json" :: rest ->
+      json := true;
+      parse rest
     | a :: _ when String.length a > 1 && a.[0] = '-' -> die_usage "unknown option %s" a
     | a :: rest ->
       (if List.mem_assoc a programs then prog_names := !prog_names @ [ a ]
@@ -418,6 +524,25 @@ let cmd_lint args =
   let prog_names = if !prog_names = [] then List.map fst programs else !prog_names in
   let profile = find_profile !profile_name in
   let profile = if !liberal then Verus.Profiles.liberal profile else profile in
+  if !json then begin
+    (* One versioned document per invocation: the schema has a single
+       "program" key, so --json covers exactly one program. *)
+    let name =
+      match prog_names with
+      | [ n ] -> n
+      | _ -> die_usage "lint --json expects exactly one program"
+    in
+    let ds = Verus.Vlint.lint profile (find_program name) in
+    print_endline
+      (Vbase.Json.to_string ~indent:true
+         (Verus.Vlint.report_to_json ~prog_name:name
+            ~profile_name:profile.Verus.Profiles.name ds));
+    let n_err = List.length (Verus.Vlint.errors ds) in
+    let n_warn =
+      List.length (List.filter (fun d -> d.Verus.Vlint.severity = Verus.Vlint.Warn) ds)
+    in
+    exit (if n_err > 0 || (!strict && n_warn > 0) then 1 else 0)
+  end;
   let n_err = ref 0 and n_warn = ref 0 and n_info = ref 0 in
   List.iter
     (fun name ->
@@ -588,6 +713,7 @@ let cmd_client args =
   let socket = ref None in
   let lint = ref None in
   let certify = ref false in
+  let prescreen = ref false in
   let no_cache = ref false in
   let deadline = ref None in
   let max_rounds = ref None in
@@ -606,6 +732,9 @@ let cmd_client args =
       parse rest
     | "--certify" :: rest ->
       certify := true;
+      parse rest
+    | "--prescreen" :: rest ->
+      prescreen := true;
       parse rest
     | "--no-cache" :: rest ->
       no_cache := true;
@@ -636,8 +765,8 @@ let cmd_client args =
     let program = match !prog_name with Some p -> p | None -> "singly_linked" in
     Verusd.Rpc.M_job
       (Verusd.Rpc.query ?profile:!profile_name ?lint:!lint ~certify:!certify
-         ~cache:(not !no_cache) ?deadline_s:!deadline ?max_rounds:!max_rounds
-         ~stream:!stream kind program)
+         ~analyze:!prescreen ~cache:(not !no_cache) ?deadline_s:!deadline
+         ?max_rounds:!max_rounds ~stream:!stream kind program)
   in
   let method_ =
     match !meth with
@@ -683,6 +812,7 @@ let () =
   let argv = Array.to_list Sys.argv in
   match argv with
   | _ :: "verify" :: rest -> cmd_verify rest
+  | _ :: "analyze" :: rest -> cmd_analyze rest
   | _ :: "profile" :: rest -> cmd_profile rest
   | _ :: "lint" :: rest -> cmd_lint rest
   | _ :: "cache" :: rest -> cmd_cache rest

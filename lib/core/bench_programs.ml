@@ -472,3 +472,33 @@ let dlock_transfer_fn =
 
 let dlock_default =
   { datatypes = []; functions = [ dlock_safe_fn; dlock_transfer_fn ] }
+
+(* ------------------------------------------------------------------ *)
+(* Constant-condition program (Vflow prescreen / VL043 pin)            *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately prescreen-friendly function: with a, b < 1000 the sum
+   fits u64 by pure interval reasoning (the overflow obligation is
+   dischargeable at rung 0), and since s is unsigned the guard [s >= 0]
+   is constant-true — VL043 flags the condition, VL040 the dead else
+   branch, and the interpreter pin in test_vflow confirms the 4242
+   sentinel is never returned. *)
+let clamp_add_fn =
+  {
+    fname = "clamp_add";
+    fmode = Exec;
+    params = [ p "a" u64; p "b" u64 ];
+    ret = Some ("r", u64);
+    requires = [ v "a" <: i 1000; v "b" <: i 1000 ];
+    ensures = [ v "r" ==: v "a" +: v "b" ];
+    body =
+      Some
+        [
+          SLet ("s", u64, v "a" +: v "b");
+          SIf (v "s" >=: i 0, [ SReturn (Some (v "s")) ], [ SReturn (Some (i 4242)) ]);
+        ];
+    spec_body = None;
+    attrs = [];
+  }
+
+let const_cond = { datatypes = []; functions = [ clamp_add_fn ] }

@@ -26,3 +26,10 @@ val break_pop : Vir.program
 
 val break_index : Vir.program
 (** [singly_linked] with [index]'s precondition removed — must fail. *)
+
+val const_cond : Vir.program
+(** A single exec function ([clamp_add]) whose overflow obligation is
+    provable by pure interval reasoning and whose [s >= 0] guard on an
+    unsigned value is constant-true: the Vflow prescreen discharge / VL043
+    + VL040 pin program ([test_vflow] additionally confirms with the
+    concrete interpreter that the dead else branch never executes). *)

@@ -12,6 +12,8 @@ type cert_status =
   | Cert_rejected of string * string
   | Cert_unavailable of string
 
+type vc_source = Src_solver | Src_prescreen | Src_cache
+
 type vc_result = {
   vcr_name : string;
   vcr_answer : Smt.Solver.answer;
@@ -20,6 +22,7 @@ type vc_result = {
   vcr_detail : string;
   vcr_prof : vc_profile option;
   vcr_cert : cert_status;
+  vcr_source : vc_source;
 }
 
 type fn_result = {
@@ -70,6 +73,7 @@ module Config = struct
     cache : Vcache.config option;
     budget : Smt.Solver.budget option;
     certify : bool;
+    analyze : bool;
     sched : Verusd.Sched.t option;
   }
 
@@ -81,6 +85,7 @@ module Config = struct
       cache = None;
       budget = None;
       certify = false;
+      analyze = false;
       sched = None;
     }
 
@@ -91,6 +96,7 @@ module Config = struct
   let without_cache c = { c with cache = None }
   let with_budget b c = { c with budget = Some b }
   let with_certify certify c = { c with certify }
+  let with_analyze analyze c = { c with analyze }
   let with_sched s c = { c with sched = Some s }
   let without_sched c = { c with sched = None }
 end
@@ -158,20 +164,74 @@ let vp_axioms_of_context ~ax_index context =
   List.filter_map (fun (ax : T.t) -> Hashtbl.find_opt ax_index ax.T.tid) context
   |> List.sort compare
 
-let run_vc ?(profile = false) ?(certify = false) ?cache (p : Profiles.t) (prog : program)
-    ~axioms ~ax_index (vc : Encode.vc) : vc_result =
+let run_vc ?(profile = false) ?(certify = false) ?(analyze = false) ?cache (p : Profiles.t)
+    (prog : program) ~axioms ~ax_index (vc : Encode.vc) : vc_result =
   let t0 = Unix.gettimeofday () in
   let context =
     if p.Profiles.pruning then prune_context axioms vc else axioms
   in
+  (* Prescreen (rung 0 of the escalation ladder): abstract interpretation
+     over the VC before any solver or cache involvement.  Demoted to
+     ordinary SMT under [certify] — Vflow emits no replayable certificate,
+     and a certified run must not contain uncertifiable verdicts. *)
+  let analyze = analyze && not certify in
+  let pre =
+    if not analyze then None
+    else
+      Some
+        (Vflow.Prescreen.check ~hyps:(context @ vc.Encode.vc_hyps) ~goal:vc.Encode.vc_goal ())
+  in
+  match pre with
+  | Some pr when pr.Vflow.Prescreen.verdict = Vflow.Prescreen.Proved ->
+    (* Discharged without the solver: zero query bytes, no cache entry
+       (the prescreen re-derives this faster than a disk hit). *)
+    let vcr_prof =
+      if not profile then None
+      else
+        Some { vp_smt = Smt.Profile.empty; vp_axioms = vp_axioms_of_context ~ax_index context }
+    in
+    {
+      vcr_name = vc.Encode.vc_name;
+      vcr_answer = Smt.Solver.Unsat;
+      vcr_time_s = Unix.gettimeofday () -. t0;
+      vcr_bytes = 0;
+      vcr_detail =
+        (if pr.Vflow.Prescreen.vacuous then
+           "prescreen: hypotheses contradictory (infeasible path)"
+         else
+           Printf.sprintf "prescreen: interval+congruence+bool (%d passes)"
+             pr.Vflow.Prescreen.passes);
+      vcr_prof;
+      vcr_cert = Cert_off;
+      vcr_source = Src_prescreen;
+    }
+  | _ ->
+  (* Fall through to SMT, carrying the prescreen's derived facts as extra
+     ground hypotheses and dropping hypotheses whose path condition the
+     analysis proved infeasible (both sound: facts are consequences of
+     the hypotheses, and removing hypotheses never helps the prover). *)
+  let facts, drop =
+    match pre with
+    | Some pr -> (pr.Vflow.Prescreen.facts, pr.Vflow.Prescreen.drop)
+    | None -> ([], [])
+  in
+  let eff_context =
+    if drop = [] then context
+    else List.filter (fun h -> not (List.exists (T.equal h) drop)) context
+  in
+  let eff_hyps =
+    if drop = [] then vc.Encode.vc_hyps
+    else List.filter (fun h -> not (List.exists (T.equal h) drop)) vc.Encode.vc_hyps
+  in
   let bytes =
-    List.fold_left (fun acc t -> acc + T.printed_size t) 0 (vc.Encode.vc_goal :: vc.Encode.vc_hyps)
-    + List.fold_left (fun acc t -> acc + T.printed_size t) 0 context
+    List.fold_left (fun acc t -> acc + T.printed_size t) 0
+      ((vc.Encode.vc_goal :: eff_hyps) @ facts)
+    + List.fold_left (fun acc t -> acc + T.printed_size t) 0 eff_context
   in
   let fp =
     match cache with
     | None -> None
-    | Some _ -> Some (Vcache.fingerprint ~profile:p ~prog ~context vc)
+    | Some _ -> Some (Vcache.fingerprint ~analyze ~profile:p ~prog ~context vc)
   in
   let cached =
     match (cache, fp) with
@@ -213,6 +273,7 @@ let run_vc ?(profile = false) ?(certify = false) ?cache (p : Profiles.t) (prog :
       vcr_detail = e.Vcache.e_detail;
       vcr_prof;
       vcr_cert;
+      vcr_source = Src_cache;
     }
   | None ->
   let budget = Profiles.budget p in
@@ -238,9 +299,13 @@ let run_vc ?(profile = false) ?(certify = false) ?cache (p : Profiles.t) (prog :
           (r.Smt.Solver.answer, "EPR-decided", r.Smt.Solver.cert)
       end
       else begin
+        (* Only the general SMT path consumes the prescreen's residue:
+           derived facts join the hypotheses and provably-vacuous
+           hypotheses are dropped.  EPR and the §3.3 modes keep their
+           exact inputs — their completeness arguments are fragile. *)
         let r =
           Smt.Solver.check_valid ~config:solver_cfg
-            ~hyps:(context @ vc.Encode.vc_hyps) vc.Encode.vc_goal
+            ~hyps:(eff_context @ eff_hyps @ facts) vc.Encode.vc_goal
         in
         if profile then smt_prof := Some r.Smt.Solver.profile;
         let d =
@@ -316,6 +381,7 @@ let run_vc ?(profile = false) ?(certify = false) ?cache (p : Profiles.t) (prog :
     vcr_detail = detail;
     vcr_prof;
     vcr_cert;
+    vcr_source = Src_solver;
   }
 
 let cert_ok r =
@@ -351,10 +417,12 @@ let fn_result_of_vcs (fd : fndecl) ~profile (results : vc_result list) : fn_resu
     fnr_prof;
   }
 
-let verify_function_with_axioms ?(profile = false) ?(certify = false) ?cache (p : Profiles.t)
-    (prog : program) ~axioms ~ax_index (fd : fndecl) : fn_result =
+let verify_function_with_axioms ?(profile = false) ?(certify = false) ?(analyze = false) ?cache
+    (p : Profiles.t) (prog : program) ~axioms ~ax_index (fd : fndecl) : fn_result =
   let vcs = Encode.encode_function p prog fd in
-  let results = List.map (run_vc ~profile ~certify ?cache p prog ~axioms ~ax_index) vcs in
+  let results =
+    List.map (run_vc ~profile ~certify ~analyze ?cache p prog ~axioms ~ax_index) vcs
+  in
   fn_result_of_vcs fd ~profile results
 
 let verify_function ?profile (p : Profiles.t) (prog : program) (fd : fndecl) : fn_result =
@@ -426,7 +494,9 @@ let aggregate_program_profile (p : Profiles.t) ~axioms (fns : fn_result list) :
 let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
     (prog : program) : program_result =
   let t0 = Unix.gettimeofday () in
-  let { Config.jobs; lint; profile; cache = cache_cfg; budget; certify; sched } = config in
+  let { Config.jobs; lint; profile; cache = cache_cfg; budget; certify; analyze; sched } =
+    config
+  in
   (* A budget override is folded into the profile before anything else
      runs, so solves, §3.3 modes and cache fingerprints all see the same
      effective budget. *)
@@ -513,7 +583,7 @@ let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
          certificates (term interning is layout-sensitive; see
          sched.mli). *)
       let rec solve_task fi vi vcs () =
-        let r = run_vc ~profile ~certify ?cache p prog ~axioms ~ax_index vcs.(vi) in
+        let r = run_vc ~profile ~certify ~analyze ?cache p prog ~axioms ~ax_index vcs.(vi) in
         vc_out.(fi).(vi) <- Some r;
         emit (Vc_done (fn_arr.(fi).fname, r));
         (if vi + 1 < Array.length vcs then submit (solve_task fi (vi + 1) vcs));
@@ -614,6 +684,17 @@ let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
 let verify_program_opts ?(jobs = 1) ?(lint = Lint_ignore) ?(profile = false) (p : Profiles.t)
     (prog : program) : program_result =
   verify_program ~config:{ Config.default with Config.jobs; lint; profile } p prog
+
+(* How many obligations the Vflow prescreen discharged without a solver
+   query — the numerator of the bench ablation's discharge rate. *)
+let prescreen_discharged (pr : program_result) : int =
+  List.fold_left
+    (fun acc fnr ->
+      acc
+      + List.fold_left
+          (fun acc r -> if r.vcr_source = Src_prescreen then acc + 1 else acc)
+          0 fnr.fnr_vcs)
+    0 pr.pr_fns
 
 let result_digest (pr : program_result) : string =
   let b = Buffer.create 2048 in

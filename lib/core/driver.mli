@@ -44,6 +44,17 @@ type cert_status =
       (** [Unsat] under [--certify] but no certificate arrived; demoted
           like a rejection (fail safe) *)
 
+(** Which rung of the escalation ladder produced this verdict. *)
+type vc_source =
+  | Src_solver  (** a fresh solver run (default SMT, EPR, or a §3.3 mode) *)
+  | Src_prescreen
+      (** discharged by the {!Vflow} abstract-interpretation prescreen
+          (rung 0) — no solver query was built, [vcr_bytes = 0].  Only
+          possible under [Config.analyze] and never under [certify]
+          (the prescreen emits no replayable certificate, so certified
+          runs demote it to an ordinary SMT solve) *)
+  | Src_cache  (** a warm {!Vcache} hit replaying a previous solve *)
+
 (** Outcome of one proof obligation. *)
 type vc_result = {
   vcr_name : string;  (** obligation name, e.g. ["push: ensures view"] *)
@@ -53,6 +64,10 @@ type vc_result = {
   vcr_detail : string;  (** mode-specific info (instances, phase times) *)
   vcr_prof : vc_profile option;  (** [Some] iff profiling was requested *)
   vcr_cert : cert_status;
+  vcr_source : vc_source;
+      (** provenance only — excluded from {!result_digest}, so cold and
+          warm runs (and prescreened vs. plain ones that agree) digest
+          equally *)
 }
 
 (** Outcome of all obligations of one function. *)
@@ -154,6 +169,16 @@ module Config : sig
             certificate through the independent {!Vcheck} kernel, and
             demote rejected obligations to failures; Unsat cache hits are
             honored only when their entry carries a certificate digest *)
+    analyze : bool;
+        (** run the {!Vflow} abstract-interpretation prescreen on every
+            obligation before cache or solver (rung 0 of the escalation
+            ladder).  A [Proved] verdict discharges the VC with no solver
+            query ([vcr_source = Src_prescreen]); anything else falls
+            through to SMT carrying the analysis's derived facts as extra
+            hypotheses and with provably-vacuous hypotheses dropped.
+            Prescreened runs salt the cache fingerprint with
+            {!Vflow.version}.  Ignored (demoted to plain SMT) under
+            [certify] — the prescreen has no replayable certificate. *)
     sched : Verusd.Sched.t option;
         (** when [Some], schedule this run's obligations on the given
             long-lived work-stealing pool instead of spawning domains per
@@ -177,6 +202,7 @@ module Config : sig
   val without_cache : t -> t
   val with_budget : Smt.Solver.budget -> t -> t
   val with_certify : bool -> t -> t
+  val with_analyze : bool -> t -> t
 
   val with_sched : Verusd.Sched.t -> t -> t
   (** Borrow a long-lived obligation pool for this run's scheduling. *)
@@ -239,6 +265,11 @@ val result_digest : program_result -> string
     configuration digest equally whether their answers came from the
     solver or from a warm cache; [scripts/check.sh] and the cache bench
     assert exactly that. *)
+
+val prescreen_discharged : program_result -> int
+(** Number of obligations whose verdict came from the {!Vflow} prescreen
+    ([vcr_source = Src_prescreen]) — the numerator of the analyze bench's
+    discharge rate.  Zero unless the run had [Config.analyze] set. *)
 
 val first_failure : program_result -> (string * string * string) option
 (** [(origin, obligation, code)] of the first failure, if any: a lint

@@ -375,14 +375,19 @@ let hint_tag : Vir.proof_hint -> string = function
   | Vir.H_integer_ring -> "integer_ring"
   | Vir.H_compute -> "compute"
 
-let fingerprint ~(profile : Profiles.t) ~(prog : Vir.program) ~(context : Smt.Term.t list)
-    (vc : Encode.vc) : string =
+let fingerprint ?(analyze = false) ~(profile : Profiles.t) ~(prog : Vir.program)
+    ~(context : Smt.Term.t list) (vc : Encode.vc) : string =
   let s = Smt.Canon.create () in
   Smt.Canon.add_string s "verus-cache-fp/1";
   (* The certificate schema is part of the key: bumping the cert format
      must invalidate every entry, or a warm hit could claim its stored
      digest names a certificate the current kernel would accept. *)
   Smt.Canon.add_string s ("cert-schema=" ^ Smt.Cert.schema_version);
+  (* Prescreened solves ship a different query (derived facts appended,
+     vacuous hypotheses dropped), so their entries must not alias plain
+     ones; the analysis version is in the salt so a Vflow bump re-solves
+     rather than replaying stale residue. *)
+  if analyze then Smt.Canon.add_string s ("analyze=" ^ Vflow.version);
   Smt.Canon.add_string s (Profiles.solver_fingerprint profile);
   Smt.Canon.add_string s ("hint=" ^ hint_tag vc.Encode.vc_hint);
   (match vc.Encode.vc_hint with

@@ -82,9 +82,18 @@ val open_ : config -> t
     [entries_dropped] in {!stats}). *)
 
 val fingerprint :
-  profile:Profiles.t -> prog:Vir.program -> context:Smt.Term.t list -> Encode.vc -> string
+  ?analyze:bool ->
+  profile:Profiles.t ->
+  prog:Vir.program ->
+  context:Smt.Term.t list ->
+  Encode.vc ->
+  string
 (** The VC's cache key, as described above.  [context] must be the
-    post-pruning context the driver would ship to the solver. *)
+    post-pruning context the driver would ship to the solver.
+    [analyze] (default false) salts the key with {!Vflow.version}:
+    prescreened runs ship a modified query (derived facts, dropped
+    vacuous hypotheses), so their entries never alias plain ones and a
+    Vflow version bump invalidates them. *)
 
 val lookup :
   t -> name:string -> fp:string -> profile_wanted:bool -> certified_wanted:bool -> entry option

@@ -35,6 +35,13 @@ let code_table =
     ("VL032", Info, "requires clause unused by body and ensures");
     ("VL033", Warn, "unreachable statements after return / assert(false)");
     ("VL034", Info, "verdict served from a cache hit lacking a certificate digest");
+    ("VL040", Info, "conditional branch is unreachable (abstract interpretation)");
+    ("VL041", Info, "loop invariant conjunct already implied by the loop's abstract fixpoint");
+    ("VL042", Warn, "requires clause is provably false or contradicts earlier clauses");
+    ("VL043", Info, "condition is constant (always true or always false)");
+    ("VL044", Info, "overflow obligation provably impossible: result range fits the type");
+    ("VL045", Info, "assert is implied by the abstract state (range-vacuous)");
+    ("VL046", Info, "loop invariant not inductive at rung 0 (abstract body does not preserve it)");
   ]
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds
@@ -612,6 +619,114 @@ let check_hygiene (prog : program) : diag list =
   List.rev !out
 
 (* ------------------------------------------------------------------ *)
+(* VL04x — abstract-interpretation findings (Vflow)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The analysis itself lives below this layer (lib/vflow, shared with the
+   driver's prescreen); this pass only maps its findings — already in
+   deterministic program order — onto diagnostics, so severities come from
+   one place: [code_table]. *)
+let check_flow (prog : program) : diag list =
+  List.map
+    (fun (f : Vflow.Absint.finding) ->
+      mk f.Vflow.Absint.f_code (Some f.Vflow.Absint.f_fn) "%s" f.Vflow.Absint.f_msg)
+    (Vflow.Absint.analyze_program prog)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report (verus_cli lint --json)                      *)
+(* ------------------------------------------------------------------ *)
+
+module J = Vbase.Json
+
+let report_schema = "verus-lint/1"
+
+let report_to_json ~prog_name ~profile_name (ds : diag list) : J.t =
+  let count sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+  J.Obj
+    [
+      ("schema", J.String report_schema);
+      ("program", J.String prog_name);
+      ("profile", J.String profile_name);
+      ( "counts",
+        J.Obj
+          [
+            ("error", J.Int (count Error));
+            ("warn", J.Int (count Warn));
+            ("info", J.Int (count Info));
+          ] );
+      ( "findings",
+        J.List
+          (List.map
+             (fun d ->
+               J.Obj
+                 [
+                   ("code", J.String d.code);
+                   ("severity", J.String (severity_to_string d.severity));
+                   ("fn", match d.fn with Some f -> J.String f | None -> J.Null);
+                   ("message", J.String d.message);
+                 ])
+             ds) );
+    ]
+
+let validate_report (j : J.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let str o k = match J.member k o with Some (J.String s) -> Some s | _ -> None in
+  let int_ o k = match J.member k o with Some (J.Int n) -> Some n | _ -> None in
+  let need what o k f =
+    match f o k with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s: missing or mistyped %S" what k)
+  in
+  let* () =
+    match str j "schema" with
+    | Some s when s = report_schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "schema %S (expected %s)" s report_schema)
+    | None -> Error "missing schema tag"
+  in
+  let* _ = need "report" j "program" str in
+  let* _ = need "report" j "profile" str in
+  let* counts = match J.member "counts" j with Some c -> Ok c | None -> Error "missing counts" in
+  let* n_err = need "counts" counts "error" int_ in
+  let* n_warn = need "counts" counts "warn" int_ in
+  let* n_info = need "counts" counts "info" int_ in
+  let* findings =
+    match J.member "findings" j with
+    | Some (J.List fs) -> Ok fs
+    | _ -> Error "findings: missing or not a list"
+  in
+  let tally = Hashtbl.create 4 in
+  let* () =
+    List.fold_left
+      (fun acc f ->
+        let* () = acc in
+        let* code = need "findings[]" f "code" str in
+        let* () =
+          if List.exists (fun (c, _, _) -> String.equal c code) code_table then Ok ()
+          else Error (Printf.sprintf "findings[]: unknown code %S" code)
+        in
+        let* sev = need "findings[]" f "severity" str in
+        let* () =
+          match sev with
+          | "error" | "warn" | "info" ->
+            Hashtbl.replace tally sev (1 + Option.value ~default:0 (Hashtbl.find_opt tally sev));
+            Ok ()
+          | _ -> Error (Printf.sprintf "findings[]: bad severity %S" sev)
+        in
+        let* () =
+          match J.member "fn" f with
+          | Some (J.String _) | Some J.Null -> Ok ()
+          | _ -> Error "findings[]: fn must be a string or null"
+        in
+        let* _ = need "findings[]" f "message" str in
+        Ok ())
+      (Ok ()) findings
+  in
+  let seen k = Option.value ~default:0 (Hashtbl.find_opt tally k) in
+  if seen "error" <> n_err || seen "warn" <> n_warn || seen "info" <> n_info then
+    Error "counts do not match the findings list"
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -620,3 +735,4 @@ let lint (p : Profiles.t) (prog : program) : diag list =
   @ check_matching_loops p prog
   @ check_modes prog
   @ check_hygiene prog
+  @ check_flow prog

@@ -15,6 +15,10 @@
     - [VL01x] quantifier instantiation (matching loops, dead axioms)
     - [VL02x] mode discipline
     - [VL03x] proof hygiene
+    - [VL04x] abstract interpretation ({!Vflow.Absint}: unreachable
+      branches, constant conditions, vacuous asserts/invariants,
+      impossible overflow obligations, contradictory preconditions,
+      invariants not inductive at rung 0)
 
     One code is emitted by the driver rather than a pass here: VL034
     (verdict served from a cache hit lacking a certificate digest) needs
@@ -90,5 +94,28 @@ val check_hygiene : Vir.program -> diag list
     under the havoc-modified-only loop encoding), ensures that never
     mention the result, unused requires, unreachable statements. *)
 
+val check_flow : Vir.program -> diag list
+(** VL040–VL046: findings of the {!Vflow.Absint} flow-sensitive abstract
+    interpretation (interval × congruence × boolean domains, widening at
+    loop heads, invariant-guided narrowing), mapped onto diagnostics with
+    severities from {!code_table}.  Deterministic program order. *)
+
 val lint : Profiles.t -> Vir.program -> diag list
 (** All passes, diagnostics in pass order (severity-stable). *)
+
+(** {2 Machine-readable report} *)
+
+val report_schema : string
+(** ["verus-lint/1"] — the ["schema"] key of {!report_to_json}. *)
+
+val report_to_json : prog_name:string -> profile_name:string -> diag list -> Vbase.Json.t
+(** The findings as a versioned JSON document ([verus_cli lint --json]).
+    Top-level keys: ["schema"], ["program"], ["profile"], ["counts"]
+    (object with [error]/[warn]/[info]) and ["findings"] (array of
+    [{code, severity, fn, message}], [fn] null for program-level). *)
+
+val validate_report : Vbase.Json.t -> (unit, string) result
+(** Structural validation of a {!report_to_json} document: schema tag,
+    required keys, every finding's code present in {!code_table}, its
+    severity well-formed, and the counts consistent with the findings
+    list. *)

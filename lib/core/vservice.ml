@@ -17,6 +17,7 @@ let programs =
     ("break_pop", fun () -> Bench_programs.break_pop);
     ("break_index", fun () -> Bench_programs.break_index);
     ("vstd_seq", fun () -> Vstd_seq.program);
+    ("const_cond", fun () -> Bench_programs.const_cond);
   ]
 
 let program_names = List.map fst programs
@@ -209,6 +210,7 @@ let run_verify_job t ~emit ~id ~(q : Rpc.query) (profile : Profiles.t) prog =
         (if is_profile then Driver.Lint_warn else lint_level_to_mode q.Rpc.q_lint);
       profile = is_profile;
       certify = q.Rpc.q_certify;
+      analyze = q.Rpc.q_analyze;
       budget = budget_override profile q;
       cache =
         (match t.cache_dir with

@@ -28,6 +28,7 @@ type query = {
   q_profile : string;
   q_lint : lint_level;
   q_certify : bool;
+  q_analyze : bool;
   q_cache : bool;
   q_deadline_s : float option;
   q_max_rounds : int option;
@@ -40,14 +41,15 @@ type request = { r_id : int; r_method : method_ }
 
 let request ?(id = 0) m = { r_id = id; r_method = m }
 
-let query ?(profile = "Verus") ?(lint = Lint_off) ?(certify = false) ?(cache = true)
-    ?deadline_s ?max_rounds ?(stream = true) kind program =
+let query ?(profile = "Verus") ?(lint = Lint_off) ?(certify = false) ?(analyze = false)
+    ?(cache = true) ?deadline_s ?max_rounds ?(stream = true) kind program =
   {
     q_kind = kind;
     q_program = program;
     q_profile = profile;
     q_lint = lint;
     q_certify = certify;
+    q_analyze = analyze;
     q_cache = cache;
     q_deadline_s = deadline_s;
     q_max_rounds = max_rounds;
@@ -85,6 +87,7 @@ let request_to_json (r : request) =
           ("program", J.String q.q_program);
           ("profile", J.String q.q_profile);
           ("certify", J.Bool q.q_certify);
+          ("analyze", J.Bool q.q_analyze);
           ("cache", J.Bool q.q_cache);
           ("stream", J.Bool q.q_stream);
           ("lint", J.String (lint_name q.q_lint));
@@ -151,6 +154,7 @@ let parse_query kind params =
       q_profile = profile;
       q_lint = lint;
       q_certify = Option.value ~default:false (bool_field params "certify");
+      q_analyze = Option.value ~default:false (bool_field params "analyze");
       q_cache = Option.value ~default:true (bool_field params "cache");
       q_deadline_s = deadline_s;
       q_max_rounds = max_rounds;

@@ -50,6 +50,10 @@ type query = {
       (** for {!Verify}: when to run {!Vlint}; for {!Lint}: [Lint_strict]
           means warnings also fail *)
   q_certify : bool;  (** replay certificates through the Vcheck kernel *)
+  q_analyze : bool;
+      (** for {!Verify}: run the Vflow abstract-interpretation prescreen
+          before cache/solver (default [false]; ignored under
+          [q_certify] — the prescreen has no certificate to replay) *)
   q_cache : bool;
       (** consult the daemon's shared verification cache (default [true];
           a daemon started without a cache directory ignores this) *)
@@ -77,6 +81,7 @@ val query :
   ?profile:string ->
   ?lint:lint_level ->
   ?certify:bool ->
+  ?analyze:bool ->
   ?cache:bool ->
   ?deadline_s:float ->
   ?max_rounds:int ->

@@ -1,0 +1,557 @@
+(* Flow-sensitive abstract interpretation of VIR bodies.  States map
+   locals to Dom values; loop heads join twice then widen, and the
+   post-fixpoint is narrowed against the loop's declared invariants
+   (invariant-guided narrowing).  Calls are summarised through callee
+   contracts; spec bodies unfold to a bounded depth.  The VL040–VL046
+   findings ride the same fixpoint. *)
+
+module V = Vir_ast
+module B = Vbase.Bigint
+module SM = Map.Make (String)
+
+type finding = { f_code : string; f_fn : string; f_msg : string }
+
+type env = (string * Dom.t) list
+
+let type_range (ty : V.ty) =
+  match ty with
+  | V.TBool -> Dom.Abool Dom.Bmaybe
+  | V.TInt k -> (
+    match V.int_bounds k with
+    | None -> Dom.top_int
+    | Some (lo, hi) -> Dom.range (Dom.Fin lo) (Dom.Fin hi))
+  | V.TSeq _ | V.TData _ -> Dom.Top
+
+(* ----------------------------- evaluation --------------------------- *)
+
+let lookup m x = match SM.find_opt x m with Some v -> v | None -> Dom.Top
+
+let rec eval_m ~depth (p : V.program) (m : Dom.t SM.t) (e : V.expr) : Dom.t =
+  let ev = eval_m ~depth p m in
+  match e with
+  | V.EVar x -> lookup m x
+  | V.EOld _ -> Dom.Top
+  | V.EBool b -> Dom.of_bool b
+  | V.EInt n -> Dom.of_int n
+  | V.EUnop (V.Not, a) -> Dom.Abool (Dom.not3 (Dom.truth (ev a)))
+  | V.EUnop (V.Neg, a) -> Dom.neg_ (ev a)
+  | V.EBinop (op, a, b) -> (
+    let va = ev a and vb = ev b in
+    match op with
+    | V.Add -> Dom.add va vb
+    | V.Sub -> Dom.sub va vb
+    | V.Mul -> Dom.mul va vb
+    | V.Div -> Dom.ediv va vb
+    | V.Mod -> Dom.emod va vb
+    | V.Lt -> Dom.Abool (Dom.lt3 va vb)
+    | V.Le -> Dom.Abool (Dom.le3 va vb)
+    | V.Gt -> Dom.Abool (Dom.lt3 vb va)
+    | V.Ge -> Dom.Abool (Dom.le3 vb va)
+    | V.Eq -> Dom.Abool (Dom.eq3 va vb)
+    | V.Ne -> Dom.Abool (Dom.not3 (Dom.eq3 va vb))
+    | V.And -> Dom.Abool (Dom.and3 (Dom.truth va) (Dom.truth vb))
+    | V.Or -> Dom.Abool (Dom.or3 (Dom.truth va) (Dom.truth vb))
+    | V.Implies -> Dom.Abool (Dom.implies3 (Dom.truth va) (Dom.truth vb))
+    | V.BitAnd -> Dom.bit_and va vb
+    | V.BitOr -> Dom.bit_or va vb
+    | V.BitXor -> Dom.bit_xor va vb
+    | V.Shl -> Dom.shl va vb
+    | V.Shr -> Dom.shr va vb)
+  | V.EIte (c, a, b) -> (
+    match Dom.truth (ev c) with
+    | Dom.Btrue -> ev a
+    | Dom.Bfalse -> ev b
+    | Dom.Bmaybe -> Dom.join (ev a) (ev b))
+  | V.ECall (f, args) -> (
+    match List.find_opt (fun (fd : V.fndecl) -> String.equal fd.V.fname f) p.V.functions with
+    | None -> Dom.Top
+    | Some fd -> (
+      let ret_range = match fd.V.ret with Some (_, ty) -> type_range ty | None -> Dom.Top in
+      match fd.V.spec_body with
+      | Some body when depth > 0 && List.length args = List.length fd.V.params ->
+        let callee_env =
+          List.fold_left2
+            (fun acc (prm : V.param) a ->
+              SM.add prm.V.pname (Dom.meet (ev a) (type_range prm.V.pty)) acc)
+            SM.empty fd.V.params args
+        in
+        Dom.meet (eval_m ~depth:(depth - 1) p callee_env body) ret_range
+      | _ -> ret_range))
+  | V.ECtor _ | V.EField _ -> Dom.Top
+  | V.EIs _ -> Dom.Abool Dom.Bmaybe
+  | V.ESeq s -> (
+    match s with
+    | V.SeqLen _ -> Dom.range (Dom.Fin B.zero) Dom.PosInf
+    | _ -> Dom.Top)
+  | V.EForall _ | V.EExists _ -> Dom.Abool Dom.Bmaybe
+
+let eval_expr ?(depth = 3) p (env : env) e =
+  let m = List.fold_left (fun acc (x, v) -> SM.add x v acc) SM.empty env in
+  eval_m ~depth p m e
+
+(* ----------------------------- assumption --------------------------- *)
+
+(* [Some (x, o)]: the expression's value is x + o. *)
+let rec linear1 (e : V.expr) : (string * B.t) option =
+  match e with
+  | V.EVar x -> Some (x, B.zero)
+  | V.EBinop (V.Add, a, V.EInt c) | V.EBinop (V.Add, V.EInt c, a) -> (
+    match linear1 a with Some (x, o) -> Some (x, B.add o (B.of_int c)) | None -> None)
+  | V.EBinop (V.Sub, a, V.EInt c) -> (
+    match linear1 a with Some (x, o) -> Some (x, B.sub o (B.of_int c)) | None -> None)
+  | _ -> None
+
+let set_var m x v = if Dom.is_bot v then None else Some (SM.add x v m)
+
+let ( >>= ) o f = match o with None -> None | Some x -> f x
+
+(* Refine [m] so that [e] evaluates to [want]; [None] = infeasible. *)
+let rec assume ~depth p m (e : V.expr) (want : bool) : Dom.t SM.t option =
+  let ev = eval_m ~depth p m in
+  match e with
+  | V.EBool b -> if b = want then Some m else None
+  | V.EUnop (V.Not, a) -> assume ~depth p m a (not want)
+  | V.EBinop (V.And, a, b) when want ->
+    assume ~depth p m a true >>= fun m -> assume ~depth p m b true
+  | V.EBinop (V.And, a, b) ->
+    if Dom.truth (ev a) = Dom.Btrue then assume ~depth p m b false
+    else if Dom.truth (ev b) = Dom.Btrue then assume ~depth p m a false
+    else Some m
+  | V.EBinop (V.Or, a, b) when not want ->
+    assume ~depth p m a false >>= fun m -> assume ~depth p m b false
+  | V.EBinop (V.Or, a, b) ->
+    if Dom.truth (ev a) = Dom.Bfalse then assume ~depth p m b true
+    else if Dom.truth (ev b) = Dom.Bfalse then assume ~depth p m a true
+    else Some m
+  | V.EBinop (V.Implies, a, b) when want -> (
+    match Dom.truth (ev a) with
+    | Dom.Btrue -> assume ~depth p m b true
+    | Dom.Bfalse -> Some m
+    | Dom.Bmaybe ->
+      if Dom.truth (ev b) = Dom.Bfalse then assume ~depth p m a false else Some m)
+  | V.EBinop (V.Implies, a, b) ->
+    assume ~depth p m a true >>= fun m -> assume ~depth p m b false
+  | V.EBinop (V.Le, a, b) when want -> assume_le ~depth ~strict:false p m a b
+  | V.EBinop (V.Le, a, b) -> assume_le ~depth ~strict:true p m b a
+  | V.EBinop (V.Lt, a, b) when want -> assume_le ~depth ~strict:true p m a b
+  | V.EBinop (V.Lt, a, b) -> assume_le ~depth ~strict:false p m b a
+  | V.EBinop (V.Ge, a, b) -> assume ~depth p m (V.EBinop (V.Le, b, a)) want
+  | V.EBinop (V.Gt, a, b) -> assume ~depth p m (V.EBinop (V.Lt, b, a)) want
+  | V.EBinop (V.Eq, a, b) when want -> (
+    let meetv = Dom.meet (ev a) (ev b) in
+    if Dom.is_bot meetv then None
+    else
+      let refine m side =
+        match linear1 side with
+        | Some (x, o) ->
+          (* x + o = meetv, so x = meetv - o *)
+          set_var m x (Dom.meet (lookup m x) (Dom.sub meetv (Dom.of_bigint o)))
+        | None -> Some m
+      in
+      refine m a >>= fun m -> refine m b)
+  | V.EBinop (V.Eq, a, b) -> (
+    (* Disequality: shave a constant end-point. *)
+    let shave m side other =
+      match (linear1 side, Dom.const_int (ev other)) with
+      | Some (x, o), Some c -> (
+        let c = B.sub c o in
+        let cur = lookup m x in
+        match Dom.itv_of cur with
+        | Some i when i.Dom.lo = Dom.Fin c ->
+          set_var m x (Dom.clamp_ge cur (Dom.Fin (B.add c B.one)))
+        | Some i when i.Dom.hi = Dom.Fin c ->
+          set_var m x (Dom.clamp_le cur (Dom.Fin (B.sub c B.one)))
+        | _ -> Some m)
+      | _ -> Some m
+    in
+    match Dom.eq3 (ev a) (ev b) with
+    | Dom.Btrue -> None
+    | _ -> shave m a b >>= fun m -> shave m b a)
+  | V.EBinop (V.Ne, a, b) -> assume ~depth p m (V.EBinop (V.Eq, a, b)) (not want)
+  | V.EIte (c, a, b) -> (
+    match Dom.truth (ev c) with
+    | Dom.Btrue -> assume ~depth p m a want
+    | Dom.Bfalse -> assume ~depth p m b want
+    | Dom.Bmaybe -> Some m)
+  | V.EVar x ->
+    set_var m x (Dom.meet (lookup m x) (Dom.Abool (if want then Dom.Btrue else Dom.Bfalse)))
+  | V.ECall (f, args) -> (
+    (* Unfold spec bodies so contracts phrased through predicates
+       still refine the state. *)
+    match List.find_opt (fun (fd : V.fndecl) -> String.equal fd.V.fname f) p.V.functions with
+    | Some ({ V.spec_body = Some body; _ } as fd)
+      when depth > 0
+           && List.length args = List.length fd.V.params
+           && List.for_all2
+                (fun (prm : V.param) a ->
+                  match a with V.EVar _ -> true | _ -> ignore prm; false)
+                fd.V.params args ->
+      let subst =
+        List.map2
+          (fun (prm : V.param) a ->
+            match a with V.EVar x -> (prm.V.pname, x) | _ -> assert false)
+          fd.V.params args
+      in
+      let rec rename (e : V.expr) : V.expr =
+        match e with
+        | V.EVar x -> (
+          match List.assoc_opt x subst with Some y -> V.EVar y | None -> V.EVar x)
+        | V.EOld _ | V.EBool _ | V.EInt _ -> e
+        | V.EUnop (u, a) -> V.EUnop (u, rename a)
+        | V.EBinop (op, a, b) -> V.EBinop (op, rename a, rename b)
+        | V.EIte (a, b, c) -> V.EIte (rename a, rename b, rename c)
+        | V.ECall (g, xs) -> V.ECall (g, List.map rename xs)
+        | _ -> e
+      in
+      assume ~depth:(depth - 1) p m (rename body) want
+    | _ -> Some m)
+  | _ -> Some m
+
+and assume_le ~depth ~strict p m a b =
+  (* a <= b (or a < b when strict) *)
+  let ev = eval_m ~depth p m in
+  let va = ev a and vb = ev b in
+  (match if strict then Dom.lt3 va vb else Dom.le3 va vb with
+  | Dom.Bfalse -> None
+  | _ -> Some m)
+  >>= fun m ->
+  let upper m =
+    match (linear1 a, Dom.itv_of vb) with
+    | Some (x, o), Some i ->
+      let hi = if strict then Dom.bound_add i.Dom.hi B.minus_one else i.Dom.hi in
+      set_var m x (Dom.clamp_le (lookup m x) (Dom.bound_add hi (B.neg o)))
+    | _ -> Some m
+  in
+  let lower m =
+    match (linear1 b, Dom.itv_of va) with
+    | Some (x, o), Some i ->
+      let lo = if strict then Dom.bound_add i.Dom.lo B.one else i.Dom.lo in
+      set_var m x (Dom.clamp_ge (lookup m x) (Dom.bound_add lo (B.neg o)))
+    | _ -> Some m
+  in
+  upper m >>= lower
+
+(* ------------------------------ analysis ---------------------------- *)
+
+type ctx = {
+  prog : V.program;
+  fn : V.fndecl;
+  mutable findings : finding list;  (* reversed *)
+  tenv : (string, V.ty) Hashtbl.t;
+}
+
+let emit ctx code fmt =
+  Printf.ksprintf
+    (fun msg -> ctx.findings <- { f_code = code; f_fn = ctx.fn.V.fname; f_msg = msg } :: ctx.findings)
+    fmt
+
+let depth = 3
+
+(* States: [None] is unreachable code. *)
+let join_st a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some m1, Some m2 ->
+    Some
+      (SM.merge
+         (fun _ v1 v2 ->
+           match (v1, v2) with
+           | Some v1, Some v2 -> Some (Dom.join v1 v2)
+           | _ -> Some Dom.Top)
+         m1 m2)
+
+let widen_st a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some m1, Some m2 ->
+    Some
+      (SM.merge
+         (fun _ v1 v2 ->
+           match (v1, v2) with
+           | Some v1, Some v2 -> Some (Dom.widen v1 v2)
+           | _ -> Some Dom.Top)
+         m1 m2)
+
+let leq_st a b =
+  match (a, b) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some m1, Some m2 ->
+    SM.for_all (fun x v2 -> Dom.leq (lookup m1 x) v2) m2
+    && SM.for_all (fun x v1 -> Dom.leq v1 (lookup m2 x)) m1
+
+(* ---- VL044: overflow-impossible exec arithmetic ---- *)
+
+let rec infer_kind ctx (e : V.expr) : V.int_kind option =
+  match e with
+  | V.EVar x -> (
+    match Hashtbl.find_opt ctx.tenv x with Some (V.TInt k) -> Some k | _ -> None)
+  | V.EInt _ -> Some V.I_math
+  | V.EUnop (V.Neg, a) -> infer_kind ctx a
+  | V.EBinop ((V.Add | V.Sub | V.Mul | V.Div | V.Mod), a, b) -> (
+    match (infer_kind ctx a, infer_kind ctx b) with
+    | Some k, Some V.I_math | Some V.I_math, Some k -> Some k
+    | Some k1, Some k2 ->
+      Some (if V.int_bounds k1 < V.int_bounds k2 then k2 else k1)
+    | _ -> None)
+  | V.ECall (f, _) -> (
+    match List.find_opt (fun (fd : V.fndecl) -> String.equal fd.V.fname f) ctx.prog.V.functions with
+    | Some { V.ret = Some (_, V.TInt k); _ } -> Some k
+    | _ -> None)
+  | _ -> None
+
+(* Scan the expressions of one statement under the current state and
+   flag bounded-kind arithmetic whose mathematical result provably fits
+   the kind (the overflow obligation is vacuous by intervals alone). *)
+let check_overflow_sites ctx m (s : V.stmt) =
+  if ctx.fn.V.fmode = V.Exec then
+    List.iter
+      (fun top ->
+        V.fold_expr
+          (fun () e ->
+            match e with
+            | V.EBinop ((V.Add | V.Sub | V.Mul) as op, a, b) -> (
+              let kind =
+                match (infer_kind ctx a, infer_kind ctx b) with
+                | Some k, Some V.I_math when k <> V.I_math -> Some k
+                | Some V.I_math, Some k when k <> V.I_math -> Some k
+                | Some k1, Some k2 when k1 = k2 && k1 <> V.I_math -> Some k1
+                | Some k1, Some k2 when k1 <> V.I_math && k2 <> V.I_math ->
+                  Some (if V.int_bounds k1 < V.int_bounds k2 then k2 else k1)
+                | _ -> None
+              in
+              match kind with
+              | Some k -> (
+                match V.int_bounds k with
+                | Some (lo, hi) ->
+                  let v = eval_m ~depth ctx.prog m e in
+                  let fits =
+                    match Dom.itv_of v with
+                    | Some i ->
+                      Dom.bound_cmp i.Dom.lo (Dom.Fin lo) >= 0
+                      && Dom.bound_cmp i.Dom.hi (Dom.Fin hi) <= 0
+                    | None -> false
+                  in
+                  if fits then
+                    let opname =
+                      match op with V.Add -> "+" | V.Sub -> "-" | _ -> "*"
+                    in
+                    emit ctx "VL044"
+                      "%s arithmetic (%s) provably within %s range %s — overflow obligation is interval-vacuous"
+                      (V.ty_to_string (V.TInt k))
+                      opname
+                      (V.ty_to_string (V.TInt k))
+                      (Dom.to_string v)
+                | None -> ())
+              | None -> ())
+            | _ -> ())
+          () top)
+      (V.stmt_exprs s)
+
+(* --------------------------- statement exec -------------------------- *)
+
+let rec exec_stmts ctx (st : Dom.t SM.t option) (stmts : V.stmt list) : Dom.t SM.t option =
+  List.fold_left (exec_stmt ctx) st stmts
+
+and exec_stmt ctx (st : Dom.t SM.t option) (s : V.stmt) : Dom.t SM.t option =
+  match st with
+  | None -> None (* unreachable; do not analyse or lint dead code *)
+  | Some m -> (
+    check_overflow_sites ctx m s;
+    let p = ctx.prog in
+    match s with
+    | V.SLet (x, ty, e) ->
+      Hashtbl.replace ctx.tenv x ty;
+      Some (SM.add x (Dom.meet (eval_m ~depth p m e) (type_range ty)) m)
+    | V.SAssign (x, e) ->
+      let rng =
+        match Hashtbl.find_opt ctx.tenv x with Some ty -> type_range ty | None -> Dom.Top
+      in
+      Some (SM.add x (Dom.meet (eval_m ~depth p m e) rng) m)
+    | V.SIf (c, then_b, else_b) -> (
+      match Dom.truth (eval_m ~depth p m c) with
+      | Dom.Btrue ->
+        emit ctx "VL043" "condition is constant (always true)";
+        if else_b <> [] then emit ctx "VL040" "else-branch is unreachable (condition constant true)";
+        exec_stmts ctx (assume ~depth p m c true) then_b
+      | Dom.Bfalse ->
+        emit ctx "VL043" "condition is constant (always false)";
+        if then_b <> [] then emit ctx "VL040" "then-branch is unreachable (condition constant false)";
+        exec_stmts ctx (assume ~depth p m c false) else_b
+      | Dom.Bmaybe ->
+        let st_t = exec_stmts ctx (assume ~depth p m c true) then_b in
+        let st_e = exec_stmts ctx (assume ~depth p m c false) else_b in
+        join_st st_t st_e)
+    | V.SWhile { cond; invariants; decreases = _; body } -> exec_while ctx m cond invariants body
+    | V.SCall (bind, f, args) -> (
+      match List.find_opt (fun (fd : V.fndecl) -> String.equal fd.V.fname f) p.V.functions with
+      | None -> Some m
+      | Some callee ->
+        (* Havoc the result and &mut arguments to their type ranges,
+           then refine through the callee's ensures (the contract
+           summary). *)
+        let callee_env =
+          try
+            List.fold_left2
+              (fun acc (prm : V.param) a ->
+                SM.add prm.V.pname
+                  (Dom.meet (eval_m ~depth p m a) (type_range prm.V.pty))
+                  acc)
+              SM.empty callee.V.params args
+          with Invalid_argument _ -> SM.empty
+        in
+        let callee_env =
+          match callee.V.ret with
+          | Some (rname, rty) -> SM.add rname (type_range rty) callee_env
+          | None -> callee_env
+        in
+        let callee_env =
+          List.fold_left
+            (fun acc e ->
+              match assume ~depth p acc e true with Some acc' -> acc' | None -> acc)
+            callee_env callee.V.ensures
+        in
+        let m =
+          match (bind, callee.V.ret) with
+          | Some x, Some (rname, rty) ->
+            Hashtbl.replace ctx.tenv x rty;
+            SM.add x (lookup callee_env rname) m
+          | _ -> m
+        in
+        let m =
+          try
+            List.fold_left2
+              (fun acc (prm : V.param) a ->
+                match (prm.V.pmut, a) with
+                | true, V.EVar x -> SM.add x (lookup callee_env prm.V.pname) acc
+                | _ -> acc)
+              m callee.V.params args
+          with Invalid_argument _ -> m
+        in
+        Some m)
+    | V.SAssert (e, _) ->
+      (if Dom.truth (eval_m ~depth p m e) = Dom.Btrue then
+         emit ctx "VL045" "assert is provable by interval/congruence analysis alone (rung 0)");
+      assume ~depth p m e true
+    | V.SAssume e -> assume ~depth p m e true
+    | V.SReturn _ -> None)
+
+and exec_while ctx m0 cond invariants body =
+  let p = ctx.prog in
+  (* Fixpoint over the loop head, *without* assuming the declared
+     invariants: what the analyzer derives on its own distinguishes
+     redundant invariants (VL041) from load-bearing ones.  All fixpoint
+     iterations run silent; findings inside the body come from one
+     final pass over the stable (narrowed) head state. *)
+  let head = ref (Some m0) in
+  let iters = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !iters < 24 do
+    incr iters;
+    let body_in =
+      match !head with Some hm -> assume ~depth p hm cond true | None -> None
+    in
+    let body_out = exec_stmts_silent ctx body_in body in
+    let next = join_st (Some m0) body_out in
+    if leq_st next !head then continue_ := false
+    else head := if !iters <= 2 then next else widen_st !head next
+  done;
+  (match !head with
+  | Some hm -> (
+    match Dom.truth (eval_m ~depth p hm cond) with
+    | Dom.Bfalse ->
+      emit ctx "VL043" "loop condition is constant (always false)";
+      if body <> [] then
+        emit ctx "VL040" "loop body is unreachable (condition constant false)"
+    | _ -> ())
+  | None -> ());
+  (* VL041: invariant conjuncts the fixpoint derives on its own. *)
+  (match !head with
+  | Some hm ->
+    List.iteri
+      (fun i inv ->
+        if Dom.truth (eval_m ~depth p hm inv) = Dom.Btrue then
+          emit ctx "VL041"
+            "loop invariant conjunct %d is derivable by rung-0 analysis (dead weight)" i)
+      invariants
+  | None -> ());
+  (* Invariant-guided narrowing: the declared invariants hold at every
+     head visit, so meeting them back into the widened head is sound. *)
+  let narrowed =
+    List.fold_left
+      (fun acc inv -> match acc with None -> None | Some am -> assume ~depth p am inv true)
+      !head invariants
+  in
+  let body_in =
+    match narrowed with Some nm -> assume ~depth p nm cond true | None -> None
+  in
+  (* One emitting pass over the body (nested VL04x findings), whose
+     output also feeds the VL046 inductiveness probe. *)
+  let body_out =
+    match body_in with Some _ -> exec_stmts ctx body_in body | None -> None
+  in
+  (match body_in with
+  | Some _ ->
+    List.iteri
+      (fun i inv ->
+        let at_entry = Dom.truth (eval_m ~depth p m0 inv) = Dom.Btrue in
+        let preserved =
+          match body_out with
+          | None -> true (* body never completes an iteration *)
+          | Some bm -> Dom.truth (eval_m ~depth p bm inv) = Dom.Btrue
+        in
+        if at_entry && not preserved then
+          emit ctx "VL046"
+            "loop invariant conjunct %d holds on entry but is not inductive at rung 0 (solver must carry it)"
+            i)
+      invariants
+  | None -> ());
+  match narrowed with None -> None | Some nm -> assume ~depth p nm cond false
+
+and exec_stmts_silent ctx st stmts =
+  let saved = ctx.findings in
+  let r = exec_stmts ctx st stmts in
+  ctx.findings <- saved;
+  r
+
+(* ------------------------------ drivers ----------------------------- *)
+
+let entry_state ctx =
+  let fd = ctx.fn in
+  List.iter (fun (prm : V.param) -> Hashtbl.replace ctx.tenv prm.V.pname prm.V.pty) fd.V.params;
+  (match fd.V.ret with
+  | Some (rname, rty) -> Hashtbl.replace ctx.tenv rname rty
+  | None -> ());
+  let m =
+    List.fold_left
+      (fun acc (prm : V.param) -> SM.add prm.V.pname (type_range prm.V.pty) acc)
+      SM.empty fd.V.params
+  in
+  (* VL042 rides the same walk that builds the refined entry state. *)
+  let m, _ =
+    List.fold_left
+      (fun (m, i) req ->
+        (match m with
+        | Some am when Dom.truth (eval_m ~depth ctx.prog am req) = Dom.Bfalse ->
+          emit ctx "VL042" "requires conjunct %d is provably false (no caller can satisfy it)" i
+        | _ -> ());
+        let m' = match m with None -> None | Some am -> assume ~depth ctx.prog am req true in
+        (match (m, m') with
+        | Some _, None ->
+          emit ctx "VL042" "requires conjunct %d contradicts the preceding conjuncts" i
+        | _ -> ());
+        (m', i + 1))
+      (Some m, 0) fd.V.requires
+  in
+  m
+
+let analyze_fn (p : V.program) (fd : V.fndecl) : finding list =
+  let ctx = { prog = p; fn = fd; findings = []; tenv = Hashtbl.create 16 } in
+  let entry = entry_state ctx in
+  (match fd.V.body with
+  | Some body when fd.V.fmode <> V.Spec -> ignore (exec_stmts ctx entry body)
+  | _ -> ());
+  List.rev ctx.findings
+
+let analyze_program (p : V.program) : finding list =
+  List.concat_map (analyze_fn p) p.V.functions

@@ -1,0 +1,39 @@
+(** Flow-sensitive, interprocedural abstract interpretation over VIR
+    function bodies.
+
+    The analyzer runs the {!Dom} domains over statements: states map
+    locals to abstract values, loop heads widen (after two precise
+    rounds) and then narrow against the loop's declared invariants, and
+    calls are summarised through callee contracts (ensures clauses
+    refine the havocked result and [&mut] arguments) with spec bodies
+    unfolded to a bounded depth.
+
+    The same fixpoint also powers the VL040–VL046 lint codes; findings
+    come back in deterministic program order. *)
+
+module V = Vir_ast
+
+type finding = {
+  f_code : string;  (** "VL040" … "VL046" *)
+  f_fn : string;
+  f_msg : string;
+}
+
+type env = (string * Dom.t) list
+(** Variable environment, for tests and callers; unbound = top of the
+    variable's type. *)
+
+val type_range : V.ty -> Dom.t
+(** The abstract value of an arbitrary inhabitant of a type
+    ([u8] → [0, 255], etc.). *)
+
+val eval_expr : ?depth:int -> V.program -> env -> V.expr -> Dom.t
+(** Abstract evaluation of a VIR expression; [depth] bounds spec-body
+    unfolding (default 3).  Sound w.r.t. [Interp.eval_expr]: the
+    concrete value is always a member of the abstract one. *)
+
+val analyze_fn : V.program -> V.fndecl -> finding list
+(** Findings for one function (entry preconditions + body fixpoint). *)
+
+val analyze_program : V.program -> finding list
+(** All functions, in program order. *)

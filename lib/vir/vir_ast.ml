@@ -1,0 +1,256 @@
+type mode = Spec | Proof | Exec
+
+type int_kind = I_math | I_u8 | I_u16 | I_u32 | I_u64
+
+type ty = TBool | TInt of int_kind | TSeq of ty | TData of string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Implies
+  | BitAnd
+  | BitOr
+  | BitXor
+  | Shl
+  | Shr
+
+type trigger_attr = Term_auto | Term_explicit of expr list list
+
+and expr =
+  | EVar of string
+  | EOld of string
+  | EBool of bool
+  | EInt of int
+  | EUnop of unop * expr
+  | EBinop of binop * expr * expr
+  | EIte of expr * expr * expr
+  | ECall of string * expr list
+  | ECtor of string * string * expr list
+  | EField of expr * string
+  | EIs of expr * string
+  | ESeq of seq_op
+  | EForall of (string * ty) list * trigger_attr * expr
+  | EExists of (string * ty) list * trigger_attr * expr
+
+and unop = Not | Neg
+
+and seq_op =
+  | SeqEmpty of ty
+  | SeqLen of expr
+  | SeqIndex of expr * expr
+  | SeqPush of expr * expr
+  | SeqSkip of expr * expr
+  | SeqTake of expr * expr
+  | SeqUpdate of expr * expr * expr
+  | SeqAppend of expr * expr
+
+type proof_hint = H_default | H_bit_vector | H_nonlinear | H_integer_ring | H_compute
+
+type stmt =
+  | SLet of string * ty * expr
+  | SAssign of string * expr
+  | SIf of expr * stmt list * stmt list
+  | SWhile of { cond : expr; invariants : expr list; decreases : expr option; body : stmt list }
+  | SCall of string option * string * expr list
+  | SAssert of expr * proof_hint
+  | SAssume of expr
+  | SReturn of expr option
+
+type param = { pname : string; pty : ty; pmut : bool }
+
+type fndecl = {
+  fname : string;
+  fmode : mode;
+  params : param list;
+  ret : (string * ty) option;
+  requires : expr list;
+  ensures : expr list;
+  body : stmt list option;
+  spec_body : expr option;
+  attrs : attr list;
+}
+
+and attr = A_epr_mode | A_opaque | A_decreases of expr
+
+type datatype = { dname : string; variants : (string * (string * ty) list) list }
+
+type program = { datatypes : datatype list; functions : fndecl list }
+
+let v x = EVar x
+let i n = EInt n
+let ( +: ) a b = EBinop (Add, a, b)
+let ( -: ) a b = EBinop (Sub, a, b)
+let ( *: ) a b = EBinop (Mul, a, b)
+let ( <: ) a b = EBinop (Lt, a, b)
+let ( <=: ) a b = EBinop (Le, a, b)
+let ( >: ) a b = EBinop (Gt, a, b)
+let ( >=: ) a b = EBinop (Ge, a, b)
+let ( ==: ) a b = EBinop (Eq, a, b)
+let ( <>: ) a b = EBinop (Ne, a, b)
+let ( &&: ) a b = EBinop (And, a, b)
+let ( ||: ) a b = EBinop (Or, a, b)
+let ( ==>: ) a b = EBinop (Implies, a, b)
+let enot e = EUnop (Not, e)
+
+let find_fn p name = List.find (fun f -> String.equal f.fname name) p.functions
+let find_datatype p name = List.find (fun d -> String.equal d.dname name) p.datatypes
+
+let rec ty_equal a b =
+  match (a, b) with
+  | TBool, TBool -> true
+  | TInt k1, TInt k2 -> k1 = k2
+  | TSeq t1, TSeq t2 -> ty_equal t1 t2
+  | TData n1, TData n2 -> String.equal n1 n2
+  | (TBool | TInt _ | TSeq _ | TData _), _ -> false
+
+let rec ty_to_string = function
+  | TBool -> "bool"
+  | TInt I_math -> "int"
+  | TInt I_u8 -> "u8"
+  | TInt I_u16 -> "u16"
+  | TInt I_u32 -> "u32"
+  | TInt I_u64 -> "u64"
+  | TSeq t -> "Seq<" ^ ty_to_string t ^ ">"
+  | TData n -> n
+
+let int_bounds = function
+  | I_math -> None
+  | I_u8 -> Some (Vbase.Bigint.zero, Vbase.Bigint.of_int 255)
+  | I_u16 -> Some (Vbase.Bigint.zero, Vbase.Bigint.of_int 65535)
+  | I_u32 -> Some (Vbase.Bigint.zero, Vbase.Bigint.of_int 0xFFFFFFFF)
+  | I_u64 ->
+    Some (Vbase.Bigint.zero, Vbase.Bigint.sub (Vbase.Bigint.pow Vbase.Bigint.two 64) Vbase.Bigint.one)
+
+(* ------------------------------------------------------------------ *)
+(* Traversal accessors (used by Vlint and other analyses)             *)
+(* ------------------------------------------------------------------ *)
+
+let subexprs (e : expr) : expr list =
+  match e with
+  | EVar _ | EOld _ | EBool _ | EInt _ -> []
+  | EUnop (_, a) -> [ a ]
+  | EBinop (_, a, b) -> [ a; b ]
+  | EIte (a, b, c) -> [ a; b; c ]
+  | ECall (_, args) -> args
+  | ECtor (_, _, args) -> args
+  | EField (a, _) -> [ a ]
+  | EIs (a, _) -> [ a ]
+  | ESeq s -> (
+      match s with
+      | SeqEmpty _ -> []
+      | SeqLen a -> [ a ]
+      | SeqIndex (a, b) | SeqPush (a, b) | SeqSkip (a, b) | SeqTake (a, b) | SeqAppend (a, b) ->
+          [ a; b ]
+      | SeqUpdate (a, b, c) -> [ a; b; c ])
+  | EForall (_, _, b) | EExists (_, _, b) -> [ b ]
+
+let rec fold_expr (f : 'a -> expr -> 'a) (acc : 'a) (e : expr) : 'a =
+  List.fold_left (fold_expr f) (f acc e) (subexprs e)
+
+(* Expressions appearing directly in one statement (not recursing into
+   nested statements). *)
+let stmt_exprs (s : stmt) : expr list =
+  match s with
+  | SLet (_, _, e) | SAssign (_, e) -> [ e ]
+  | SIf (c, _, _) -> [ c ]
+  | SWhile { cond; invariants; decreases; body = _ } ->
+      (cond :: invariants) @ Option.to_list decreases
+  | SCall (_, _, args) -> args
+  | SAssert (e, _) | SAssume (e) -> [ e ]
+  | SReturn e -> Option.to_list e
+
+let sub_stmts (s : stmt) : stmt list =
+  match s with
+  | SIf (_, a, b) -> a @ b
+  | SWhile { body; _ } -> body
+  | SLet _ | SAssign _ | SCall _ | SAssert _ | SAssume _ | SReturn _ -> []
+
+let rec fold_stmt (f : 'a -> stmt -> 'a) (acc : 'a) (s : stmt) : 'a =
+  List.fold_left (fold_stmt f) (f acc s) (sub_stmts s)
+
+let fn_stmts (fd : fndecl) : stmt list =
+  match fd.body with
+  | None -> []
+  | Some body -> List.fold_left (fold_stmt (fun acc s -> s :: acc)) [] body |> List.rev
+
+(* All expressions of a function: contracts, spec body, decreases
+   measures, and every expression in the executable body. *)
+let fn_exprs (fd : fndecl) : expr list =
+  fd.requires @ fd.ensures
+  @ Option.to_list fd.spec_body
+  @ List.filter_map (function A_decreases e -> Some e | A_epr_mode | A_opaque -> None) fd.attrs
+  @ List.concat_map stmt_exprs (fn_stmts fd)
+
+let calls_in_expr (e : expr) : string list =
+  fold_expr (fun acc e -> match e with ECall (f, _) -> f :: acc | _ -> acc) [] e
+  |> List.rev
+
+(* Callees reachable from a function's spec positions only (spec body +
+   contracts + decreases). *)
+let spec_callees (fd : fndecl) : string list =
+  List.concat_map calls_in_expr
+    (fd.requires @ fd.ensures @ Option.to_list fd.spec_body
+    @ List.filter_map (function A_decreases e -> Some e | A_epr_mode | A_opaque -> None) fd.attrs)
+  |> List.sort_uniq compare
+
+(* Callees of the executable/proof body: statement-position SCalls plus
+   spec calls in body expressions. *)
+let body_callees (fd : fndecl) : string list =
+  let stmts = fn_stmts fd in
+  let scalls = List.filter_map (function SCall (_, f, _) -> Some f | _ -> None) stmts in
+  let ecalls = List.concat_map (fun s -> List.concat_map calls_in_expr (stmt_exprs s)) stmts in
+  List.sort_uniq compare (scalls @ ecalls)
+
+(* Free variables of an expression; quantifier-bound variables are
+   removed, [EOld x] counts as a read of [x]. *)
+let free_vars (e : expr) : string list =
+  let module SS = Set.Make (String) in
+  let rec go bound acc e =
+    match e with
+    | EVar x | EOld x -> if SS.mem x bound then acc else SS.add x acc
+    | EForall (qs, _, b) | EExists (qs, _, b) ->
+        let bound' = List.fold_left (fun s (x, _) -> SS.add x s) bound qs in
+        go bound' acc b
+    | _ -> List.fold_left (go bound) acc (subexprs e)
+  in
+  SS.elements (go SS.empty SS.empty e)
+
+(* Variables assigned within a statement list: SAssign targets, SCall
+   result bindings, and variables passed to &mut parameters of callees.
+   [prog] is consulted for parameter mutability; unknown callees are
+   treated as non-mutating. *)
+let assigned_vars (prog : program) (stmts : stmt list) : string list =
+  let acc = ref [] in
+  let visit s =
+    match s with
+    | SAssign (x, _) -> acc := x :: !acc
+    | SCall (bind, f, args) ->
+        (match bind with Some x -> acc := x :: !acc | None -> ());
+        (match List.find_opt (fun fd -> String.equal fd.fname f) prog.functions with
+        | Some fd ->
+            List.iteri
+              (fun i p ->
+                if p.pmut then
+                  match List.nth_opt args i with
+                  | Some (EVar x) -> acc := x :: !acc
+                  | _ -> ())
+              fd.params
+        | None -> ())
+    | SLet _ | SIf _ | SWhile _ | SAssert _ | SAssume _ | SReturn _ -> ()
+  in
+  List.iter (fun s -> ignore (fold_stmt (fun () s -> visit s) () s)) stmts;
+  List.sort_uniq compare !acc
+
+let fn_decreases (fd : fndecl) : expr option =
+  List.find_map (function A_decreases e -> Some e | A_epr_mode | A_opaque -> None) fd.attrs

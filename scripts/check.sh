@@ -19,6 +19,10 @@
 # jobs=1 runs, a warm third client that must hit the shared cache, and
 # the docs gate validating every fenced JSON example in
 # docs/PROTOCOL.md against the verus-rpc/1 schema),
+# the Vflow analyze smoke (every obligation the abstract-interpretation
+# prescreen proves at rung 0 is independently re-proved by the SMT
+# solver across the whole bundled suite — one disagreement fails —
+# plus discharge and digest-stability pins),
 # and — when odoc is installed — the API-doc build,
 # warnings-as-errors.  This is the tree-must-stay-green gate:
 #
@@ -30,25 +34,25 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/10 build =="
+echo "== 1/11 build =="
 dune build @all
 
-echo "== 2/10 tests =="
+echo "== 2/11 tests =="
 dune runtest
 
-echo "== 3/10 lint (strict) =="
+echo "== 3/11 lint (strict) =="
 dune build @lint
 
-echo "== 4/10 fault smoke =="
+echo "== 4/11 fault smoke =="
 dune build @faults
 
-echo "== 5/10 profile JSON smoke =="
+echo "== 5/11 profile JSON smoke =="
 dune build @profile
 
-echo "== 6/10 cache smoke (cold/warm/corrupt) =="
+echo "== 6/11 cache smoke (cold/warm/corrupt) =="
 dune build @cache
 
-echo "== 7/10 api docs =="
+echo "== 7/11 api docs =="
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc 2>doc-warnings.log || {
     cat doc-warnings.log
@@ -67,13 +71,16 @@ else
   echo "odoc not installed; skipped (install odoc to enable)"
 fi
 
-echo "== 8/10 certificate smoke (emit + kernel replay) =="
+echo "== 8/11 certificate smoke (emit + kernel replay) =="
 dune build @certify
 
-echo "== 9/10 durable kv smoke (storm + recovery) =="
+echo "== 9/11 durable kv smoke (storm + recovery) =="
 dune build @kv
 
-echo "== 10/10 daemon smoke (scheduler + rpc + docs gate) =="
+echo "== 10/11 daemon smoke (scheduler + rpc + docs gate) =="
 dune build @daemon
+
+echo "== 11/11 analyze smoke (prescreen/SMT crosscheck) =="
+dune build @analyze
 
 echo "== all checks passed =="

@@ -459,10 +459,17 @@ let bundled =
     ("vstd_seq", Vstd_seq.program);
   ]
 
+(* "Clean" means no actionable (Error/Warn) findings.  The VL04x
+   abstract-interpretation pass intentionally reports Info-level facts on
+   real programs (e.g. VL044 "this overflow obligation is provably
+   impossible" on singly_linked's indexer) — those are observations, not
+   defects, and must not fail this gate. *)
 let test_bundled_clean () =
   List.iter
     (fun (name, pr) ->
-      let ds = lint_verus pr in
+      let ds =
+        List.filter (fun d -> d.Vlint.severity <> Vlint.Info) (lint_verus pr)
+      in
       Alcotest.(check (list string)) (name ^ " clean under Verus") [] (codes ds))
     bundled
 
