@@ -1,21 +1,27 @@
 (* Command-line driver with a small subcommand interface:
 
      verus_cli verify  <program> [<profile>] [--fn NAME] [--jobs N] [--lint MODE]
-                       [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache]
+                       [--ladder NAME] [--rung N] [--cache DIR] [--no-cache]
                        [--certify] [--prescreen]
      verus_cli analyze <program> [<profile>] [--fn NAME]
      verus_cli profile <program> [<profile>] [--json] [--top K] [--liberal]
-                       [--fn NAME] [--jobs N] [--deadline SECS] [--max-rounds N]
+                       [--fn NAME] [--jobs N] [--ladder NAME] [--rung N]
                        [--cache DIR] [--no-cache]
      verus_cli lint    [<program>|--all] [<profile>] [--strict] [--json]
      verus_cli cache   stats|clear [DIR]
      verus_cli daemon  [--socket PATH] [--domains N] [--cache DIR]
      verus_cli client  ping|status|shutdown|verify|lint|profile [<program> [<profile>]]
                        [--socket PATH] [--lint MODE] [--certify] [--prescreen] [--no-cache]
-                       [--deadline SECS] [--max-rounds N] [--no-stream]
+                       [--ladder NAME] [--rung N] [--no-stream]
      verus_cli list            (also available as --list)
      verus_cli codes           (the VL0xx diagnostic table)
+     verus_cli ladders         (the built-in escalation ladders, rung by rung)
      verus_cli help
+
+   --deadline SECS / --max-rounds N remain accepted on verify / profile /
+   client as deprecated sugar: they resolve to a single-rung ladder
+   carrying the overridden absolute budget (Vladder.Ladder.of_budget),
+   and cannot be combined with --ladder / --rung.
 
    The verification cache directory comes from --cache DIR or, when the
    flag is absent, the VERUS_CACHE environment variable; --no-cache turns
@@ -50,11 +56,18 @@ let usage oc =
     "usage: verus_cli <command> [args]\n\n\
      commands:\n\
     \  verify <program> [<profile>] [--fn NAME] [--jobs N] [--lint ignore|warn|strict]\n\
-    \         [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache] [--certify]\n\
+    \         [--ladder NAME] [--rung N] [--cache DIR] [--no-cache] [--certify]\n\
     \         [--prescreen]\n\
     \      verify one bundled program under a profile (default: Verus);\n\
-    \      --deadline / --max-rounds override the profile's solver budgets;\n\
-    \      --cache DIR (or VERUS_CACHE) reuses cached VC results across runs;\n\
+    \      --ladder runs each obligation up a named escalation ladder\n\
+    \      (see `verus_cli ladders`): cheap rungs first, escalating on\n\
+    \      non-Unsat; --rung N pins every obligation to one rung instead;\n\
+    \      --deadline SECS / --max-rounds N are deprecated sugar for a\n\
+    \      single-rung ladder with an overridden budget (cannot be\n\
+    \      combined with --ladder / --rung);\n\
+    \      --cache DIR (or VERUS_CACHE) reuses cached VC results across runs\n\
+    \      (with a ladder, the cache also remembers each obligation's\n\
+    \      winning rung, so warm runs skip straight to it);\n\
     \      --certify replays every Unsat's proof certificate through the\n\
     \      independent Vcheck kernel and fails (exit 5, VC003) on rejection;\n\
     \      --prescreen runs the Vflow abstract-interpretation prescreen first\n\
@@ -64,7 +77,7 @@ let usage oc =
     \      refuted-hypothetical / unknown), derived facts shipped to SMT on\n\
     \      fall-through, and the VL04x flow findings — no solver runs\n\
     \  profile <program> [<profile>] [--json] [--top K] [--liberal] [--fn NAME]\n\
-    \          [--jobs N] [--deadline SECS] [--max-rounds N] [--cache DIR] [--no-cache]\n\
+    \          [--jobs N] [--ladder NAME] [--rung N] [--cache DIR] [--no-cache]\n\
     \      verify with the solver profiler on and print instantiation /\n\
     \      phase-time hot-spot tables (--json: versioned machine-readable\n\
     \      document; --liberal: degrade the profile to Dafny-style broad\n\
@@ -85,14 +98,19 @@ let usage oc =
     \      requests, serves until a client sends shutdown\n\
     \  client ping|status|shutdown|verify|lint|profile [<program> [<profile>]]\n\
     \         [--socket PATH] [--lint ignore|warn|strict] [--certify] [--prescreen]\n\
-    \         [--no-cache] [--deadline SECS] [--max-rounds N] [--no-stream]\n\
+    \         [--no-cache] [--ladder NAME] [--rung N] [--no-stream]\n\
     \      send one request to a running daemon; job verdicts stream as they\n\
     \      land and the process exits with the daemon's exit_code (the same\n\
-    \      0/1/3/5 as local verify), or 6 on connection/protocol failure\n\
+    \      0/1/3/5 as local verify), or 6 on connection/protocol failure;\n\
+    \      --ladder / --rung and the deprecated --deadline / --max-rounds\n\
+    \      sugar behave exactly as in local verify\n\
     \  list\n\
     \      list bundled programs and profiles\n\
     \  codes\n\
     \      print the VL0xx diagnostic-code table\n\
+    \  ladders\n\
+    \      print the built-in escalation ladders, rung by rung, with each\n\
+    \      rung's semantic fingerprint\n\
     \  help\n\
     \      this message\n\n\
      programs: %s\n\
@@ -139,20 +157,34 @@ let cmd_codes () =
     Verus.Vlint.code_table;
   exit 0
 
-(* Per-run solver budget overrides: a tighter (or looser) deadline /
-   instantiation-round cap than the profile bakes in, expressed as a
-   [Driver.Config] budget override (so the cache fingerprints see it). *)
-let budget_override profile deadline max_rounds =
-  match (deadline, max_rounds) with
-  | None, None -> None
-  | d, r ->
-    let b = Verus.Profiles.budget profile in
-    Some
-      {
-        b with
-        Smt.Solver.deadline_s = Option.value ~default:b.Smt.Solver.deadline_s d;
-        Smt.Solver.max_rounds = Option.value ~default:b.Smt.Solver.max_rounds r;
-      }
+let cmd_ladders () =
+  List.iter
+    (fun (name, l) ->
+      Printf.printf "%s (%d rung%s)\n" name
+        (Verus.Driver.Ladder.length l)
+        (if Verus.Driver.Ladder.length l = 1 then "" else "s");
+      Array.iteri
+        (fun i (r : Verus.Driver.Rung.t) ->
+          Printf.printf "  %d  %-8s %s\n" i r.Verus.Driver.Rung.r_name
+            (Verus.Driver.Rung.fingerprint r))
+        (Verus.Driver.Ladder.rungs l))
+    Verus.Driver.Ladder.builtins;
+  print_endline
+    "(--rung N pins every obligation to rung N; --deadline/--max-rounds build a\n\
+    \ deprecated single-rung ladder named budget-override)";
+  exit 0
+
+(* One resolver for automation strength, shared with the daemon's request
+   handler (Vservice.resolve_ladder): --ladder names a built-in, --rung
+   pins one rung of it, and the deprecated --deadline / --max-rounds
+   sugar becomes a single-rung ladder over the profile's budget. *)
+let ladder_override profile ~ladder ~rung ~deadline ~max_rounds =
+  match
+    Verus.Vservice.resolve_ladder profile ~ladder ~rung ~deadline_s:deadline
+      ~max_rounds
+  with
+  | Ok l -> l
+  | Error msg -> die_usage "%s" msg
 
 (* --cache DIR wins; otherwise VERUS_CACHE; --no-cache beats both. *)
 let resolve_cache_dir ~no_cache ~cache_dir =
@@ -171,6 +203,22 @@ let cache_summary_line (r : Verus.Driver.program_result) =
       cs.Verus.Vcache.hits cs.Verus.Vcache.misses cs.Verus.Vcache.invalidations
       cs.Verus.Vcache.stores
       (if cs.Verus.Vcache.corrupt_load then " — store was corrupt at load, rebuilt" else "")
+
+let ladder_summary_line (r : Verus.Driver.program_result) =
+  match r.Verus.Driver.pr_ladder with
+  | None -> ()
+  | Some ls ->
+    let per_rung a =
+      String.concat "/" (List.map string_of_int (Array.to_list a))
+    in
+    Printf.printf
+      "ladder: %s (%d rungs): attempts %s, wins %s, %d escalation(s), %d steered, %d \
+       cache hit(s), %d warm rung jump(s)\n"
+      ls.Verus.Driver.ls_ladder ls.Verus.Driver.ls_rungs
+      (per_rung ls.Verus.Driver.ls_attempts)
+      (per_rung ls.Verus.Driver.ls_wins)
+      ls.Verus.Driver.ls_escalations ls.Verus.Driver.ls_steered
+      ls.Verus.Driver.ls_cache_hits ls.Verus.Driver.ls_hint_starts
 
 (* Restrict verification to one exec/proof function (debugging aid);
    spec functions stay, the others' axioms may be needed. *)
@@ -203,6 +251,8 @@ let cmd_verify args =
   let lint = ref Verus.Driver.Lint_ignore in
   let deadline = ref None in
   let max_rounds = ref None in
+  let ladder_name = ref None in
+  let rung = ref None in
   let cache_dir = ref None in
   let no_cache = ref false in
   let certify = ref false in
@@ -211,6 +261,14 @@ let cmd_verify args =
     | [] -> ()
     | "--fn" :: v :: rest ->
       fn_filter := Some v;
+      parse rest
+    | "--ladder" :: v :: rest ->
+      ladder_name := Some v;
+      parse rest
+    | "--rung" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 0 -> rung := Some n
+      | _ -> die_usage "--rung expects a non-negative integer, got %s" v);
       parse rest
     | "--cache" :: v :: rest ->
       cache_dir := Some v;
@@ -262,7 +320,9 @@ let cmd_verify args =
       lint = !lint;
       certify = !certify;
       analyze = !prescreen;
-      budget = budget_override profile !deadline !max_rounds;
+      ladder =
+        ladder_override profile ~ladder:!ladder_name ~rung:!rung ~deadline:!deadline
+          ~max_rounds:!max_rounds;
       cache =
         Option.map
           (fun dir -> { Verus.Vcache.dir })
@@ -305,6 +365,7 @@ let cmd_verify args =
     Printf.printf "first failure: [%s] %s: %s\n" code where what
   | _ -> ());
   cache_summary_line r;
+  ladder_summary_line r;
   (if !prescreen then
      let total =
        List.fold_left
@@ -415,10 +476,20 @@ let cmd_profile args =
   let liberal = ref false in
   let deadline = ref None in
   let max_rounds = ref None in
+  let ladder_name = ref None in
+  let rung = ref None in
   let cache_dir = ref None in
   let no_cache = ref false in
   let rec parse = function
     | [] -> ()
+    | "--ladder" :: v :: rest ->
+      ladder_name := Some v;
+      parse rest
+    | "--rung" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 0 -> rung := Some n
+      | _ -> die_usage "--rung expects a non-negative integer, got %s" v);
+      parse rest
     | "--json" :: rest ->
       json := true;
       parse rest
@@ -473,7 +544,9 @@ let cmd_profile args =
       profile = true;
       certify = false;
       analyze = false;
-      budget = budget_override profile !deadline !max_rounds;
+      ladder =
+        ladder_override profile ~ladder:!ladder_name ~rung:!rung ~deadline:!deadline
+          ~max_rounds:!max_rounds;
       cache =
         Option.map
           (fun dir -> { Verus.Vcache.dir })
@@ -488,7 +561,9 @@ let cmd_profile args =
     List.iter
       (fun e -> Printf.printf "front-end error: %s\n" e)
       r.Verus.Driver.pr_front_end_errors;
-    print_string (Verus.Profile_report.render_text ~top:!top ~prog_name r)
+    print_string (Verus.Profile_report.render_text ~top:!top ~prog_name r);
+    cache_summary_line r;
+    ladder_summary_line r
   end;
   exit (result_exit_code r)
 
@@ -665,9 +740,10 @@ let cmd_daemon args =
 (* ---------------------------- client ------------------------------- *)
 
 let print_stream_event = function
-  | Verusd.Rpc.E_vc { fn; vc; answer; reason; time_s; cached } ->
-    Printf.printf "vc  %-16s %-44s %-8s %.3fs%s%s\n%!" fn vc answer time_s
+  | Verusd.Rpc.E_vc { fn; vc; answer; reason; time_s; cached; rung } ->
+    Printf.printf "vc  %-16s %-44s %-8s %.3fs%s%s%s\n%!" fn vc answer time_s
       (if cached then "  (cached)" else "")
+      (match rung with Some r -> Printf.sprintf "  (rung %d)" r | None -> "")
       (match reason with Some r -> "  [" ^ r ^ "]" | None -> "")
   | Verusd.Rpc.E_fn { fn; ok; time_s; vcs } ->
     Printf.printf "fn  %-16s %-44s %-8s %.3fs\n%!" fn
@@ -717,9 +793,19 @@ let cmd_client args =
   let no_cache = ref false in
   let deadline = ref None in
   let max_rounds = ref None in
+  let ladder_name = ref None in
+  let rung = ref None in
   let stream = ref true in
   let rec parse = function
     | [] -> ()
+    | "--ladder" :: v :: rest ->
+      ladder_name := Some v;
+      parse rest
+    | "--rung" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 0 -> rung := Some n
+      | _ -> die_usage "--rung expects a non-negative integer, got %s" v);
+      parse rest
     | "--socket" :: v :: rest ->
       socket := Some v;
       parse rest
@@ -766,7 +852,8 @@ let cmd_client args =
     Verusd.Rpc.M_job
       (Verusd.Rpc.query ?profile:!profile_name ?lint:!lint ~certify:!certify
          ~analyze:!prescreen ~cache:(not !no_cache) ?deadline_s:!deadline
-         ?max_rounds:!max_rounds ~stream:!stream kind program)
+         ?max_rounds:!max_rounds ?ladder:!ladder_name ?rung:!rung ~stream:!stream
+         kind program)
   in
   let method_ =
     match !meth with
@@ -820,6 +907,7 @@ let () =
   | _ :: "client" :: rest -> cmd_client rest
   | _ :: ("list" | "--list") :: _ -> cmd_list ()
   | _ :: "codes" :: _ -> cmd_codes ()
+  | _ :: "ladders" :: _ -> cmd_ladders ()
   | _ :: ("help" | "--help" | "-h") :: _ | [ _ ] ->
     usage stdout;
     exit 0

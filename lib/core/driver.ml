@@ -23,6 +23,9 @@ type vc_result = {
   vcr_prof : vc_profile option;
   vcr_cert : cert_status;
   vcr_source : vc_source;
+  vcr_rung : int option;
+  vcr_rungs_tried : int list;
+  vcr_prescreen_refuted : bool;
 }
 
 type fn_result = {
@@ -49,6 +52,17 @@ type program_profile = {
   pp_vcs : int;
 }
 
+type ladder_stats = {
+  ls_ladder : string;
+  ls_rungs : int;
+  ls_attempts : int array;
+  ls_wins : int array;
+  ls_escalations : int;
+  ls_steered : int;
+  ls_cache_hits : int;
+  ls_hint_starts : int;
+}
+
 type program_result = {
   pr_profile : string;
   pr_fns : fn_result list;
@@ -59,6 +73,7 @@ type program_result = {
   pr_lint : Vlint.diag list;
   pr_prof : program_profile option;
   pr_cache : Vcache.stats option;
+  pr_ladder : ladder_stats option;
 }
 
 type lint_mode = Lint_ignore | Lint_warn | Lint_strict
@@ -71,7 +86,7 @@ module Config = struct
     lint : lint_mode;
     profile : bool;
     cache : Vcache.config option;
-    budget : Smt.Solver.budget option;
+    ladder : Vladder.Ladder.t option;
     certify : bool;
     analyze : bool;
     sched : Verusd.Sched.t option;
@@ -83,7 +98,7 @@ module Config = struct
       lint = Lint_ignore;
       profile = false;
       cache = None;
-      budget = None;
+      ladder = None;
       certify = false;
       analyze = false;
       sched = None;
@@ -94,7 +109,14 @@ module Config = struct
   let with_profile profile c = { c with profile }
   let with_cache dir c = { c with cache = Some { Vcache.dir } }
   let without_cache c = { c with cache = None }
-  let with_budget b c = { c with budget = Some b }
+  let with_ladder l c = { c with ladder = Some l }
+  let without_ladder c = { c with ladder = None }
+
+  (* Deprecated single-rung wrapper: a budget override is exactly a
+     one-rung ladder whose rung carries the absolute budget (test-pinned
+     equivalent in test_vladder). *)
+  let with_budget b c = with_ladder (Vladder.Ladder.of_budget b) c
+
   let with_certify certify c = { c with certify }
   let with_analyze analyze c = { c with analyze }
   let with_sched s c = { c with sched = Some s }
@@ -164,19 +186,127 @@ let vp_axioms_of_context ~ax_index context =
   List.filter_map (fun (ax : T.t) -> Hashtbl.find_opt ax_index ax.T.tid) context
   |> List.sort compare
 
-let run_vc ?(profile = false) ?(certify = false) ?(analyze = false) ?cache (p : Profiles.t)
-    (prog : program) ~axioms ~ax_index (vc : Encode.vc) : vc_result =
+(* ------------------------------------------------------------------ *)
+(* The escalation ladder (solver-side rungs above the Vflow prescreen)  *)
+(* ------------------------------------------------------------------ *)
+
+module Rung = Vladder.Rung
+module Ladder = Vladder.Ladder
+
+(* Everything one run's obligations share.  [ev_ladder] is [Some] iff the
+   caller configured an explicit ladder; implicit runs climb the same
+   machinery with {!Vladder.Ladder.identity} (one profile rung) and keep
+   the pre-ladder observable surface — no rung provenance, no detail
+   suffix, no ladder salt in the cache key. *)
+type vc_env = {
+  ev_profile : bool;
+  ev_certify : bool;
+  ev_analyze : bool;  (** already demoted under [ev_certify] *)
+  ev_cache : Vcache.t option;
+  ev_p : Profiles.t;
+  ev_prog : program;
+  ev_axioms : T.t list;
+  ev_ax_index : (int, int) Hashtbl.t;
+  ev_ladder : Ladder.t option;
+  ev_rungs : Rung.t array;
+  ev_vl010 : string list;
+      (** head symbols of axioms VL010 flagged as matching-loop-prone —
+          the steering signal that skips liberal-trigger rungs *)
+}
+
+let make_env ?(profile = false) ?(certify = false) ?(analyze = false) ?cache ?ladder
+    ?(vl010 = []) (p : Profiles.t) (prog : program) ~axioms ~ax_index =
+  {
+    ev_profile = profile;
+    ev_certify = certify;
+    (* The prescreen is demoted to ordinary SMT under [certify] — Vflow
+       emits no replayable certificate, and a certified run must not
+       contain uncertifiable verdicts. *)
+    ev_analyze = analyze && not certify;
+    ev_cache = cache;
+    ev_p = p;
+    ev_prog = prog;
+    ev_axioms = axioms;
+    ev_ax_index = ax_index;
+    ev_ladder = ladder;
+    ev_rungs = Ladder.rungs (match ladder with Some l -> l | None -> Ladder.identity);
+    ev_vl010 = vl010;
+  }
+
+(* One obligation mid-climb: everything computed once in [start_vc] plus
+   the attempt history.  Escalations travel through the scheduler as
+   values of this type, so a stronger retry is an ordinary task that
+   overlaps other obligations' first attempts. *)
+type pending = {
+  pd_vc : Encode.vc;
+  pd_context : T.t list;  (** the profile-level context ([P_profile] rungs) *)
+  pd_pruned : T.t list;  (** the always-pruned context ([P_prune] rungs) *)
+  pd_eff_hyps : T.t list;
+  pd_facts : T.t list;
+  pd_drop : T.t list;
+  pd_fp : string option;
+  pd_prescreen_refuted : bool;
+  pd_t0 : float;
+  pd_next : int;  (** rung index of the next attempt *)
+  pd_tried : int list;  (** rungs already attempted, most recent first *)
+  pd_bytes : int;  (** query bytes shipped by the attempts so far *)
+  pd_profs : Smt.Profile.t list;  (** their solver profiles, most recent first *)
+}
+
+type step = Finished of vc_result | Escalated of pending
+
+(* Whether a rung's effective solver trigger policy is Liberal — the
+   rungs VL010-steering skips when the attempt below them churned. *)
+let rung_is_liberal env (r : Rung.t) =
+  match r.Rung.r_triggers with
+  | Rung.T_liberal -> true
+  | Rung.T_conservative -> false
+  | Rung.T_profile ->
+    env.ev_p.Profiles.solver_config.Smt.Solver.trigger_policy = Smt.Triggers.Liberal
+
+(* Pick the rung after a failed (non-final) attempt at [i].  Default is
+   [i + 1]; when the candidate is liberal-triggered, not the top rung,
+   and the failed attempt showed E-matching churn — the round budget
+   saturated, one quantifier ate half its instance cap, or the hottest
+   quantifier's trigger heads intersect VL010's matching-loop heads —
+   liberal triggers would amplify the loop, so steering skips ahead one
+   more rung.  Deterministic: depends only on the attempt's own stats. *)
+let next_rung env ~(budget : Smt.Solver.budget) ~stats ~prof i =
+  let n = Array.length env.ev_rungs in
+  let cand = i + 1 in
+  if cand >= n - 1 then n - 1
+  else
+    let churn =
+      (match stats with
+      | Some (s : Smt.Solver.stats) ->
+        s.Smt.Solver.instances >= budget.Smt.Solver.max_instances_per_round
+      | None -> false)
+      ||
+      match prof with
+      | Some (pr : Smt.Profile.t) -> (
+        match pr.Smt.Profile.quants with
+        | (q : Smt.Profile.quant_profile) :: _ ->
+          2 * q.Smt.Profile.q_instances >= budget.Smt.Solver.max_instances_per_quant
+          || List.exists (fun h -> List.mem h env.ev_vl010) q.Smt.Profile.q_heads
+        | [] -> false)
+      | None -> false
+    in
+    if churn && rung_is_liberal env env.ev_rungs.(cand) then min (cand + 1) (n - 1)
+    else cand
+
+(* First half of an obligation: prescreen, profile-level context, cache
+   fingerprint and lookup.  Returns [Finished] when the prescreen or a
+   warm hit settles it, [Escalated] (attempt 0 still to run) otherwise. *)
+let start_vc env (vc : Encode.vc) : step =
   let t0 = Unix.gettimeofday () in
+  let p = env.ev_p in
   let context =
-    if p.Profiles.pruning then prune_context axioms vc else axioms
+    if p.Profiles.pruning then prune_context env.ev_axioms vc else env.ev_axioms
   in
   (* Prescreen (rung 0 of the escalation ladder): abstract interpretation
-     over the VC before any solver or cache involvement.  Demoted to
-     ordinary SMT under [certify] — Vflow emits no replayable certificate,
-     and a certified run must not contain uncertifiable verdicts. *)
-  let analyze = analyze && not certify in
+     over the VC before any solver or cache involvement. *)
   let pre =
-    if not analyze then None
+    if not env.ev_analyze then None
     else
       Some
         (Vflow.Prescreen.check ~hyps:(context @ vc.Encode.vc_hyps) ~goal:vc.Encode.vc_goal ())
@@ -186,72 +316,93 @@ let run_vc ?(profile = false) ?(certify = false) ?(analyze = false) ?cache (p : 
     (* Discharged without the solver: zero query bytes, no cache entry
        (the prescreen re-derives this faster than a disk hit). *)
     let vcr_prof =
-      if not profile then None
+      if not env.ev_profile then None
       else
-        Some { vp_smt = Smt.Profile.empty; vp_axioms = vp_axioms_of_context ~ax_index context }
+        Some
+          {
+            vp_smt = Smt.Profile.empty;
+            vp_axioms = vp_axioms_of_context ~ax_index:env.ev_ax_index context;
+          }
     in
-    {
-      vcr_name = vc.Encode.vc_name;
-      vcr_answer = Smt.Solver.Unsat;
-      vcr_time_s = Unix.gettimeofday () -. t0;
-      vcr_bytes = 0;
-      vcr_detail =
-        (if pr.Vflow.Prescreen.vacuous then
-           "prescreen: hypotheses contradictory (infeasible path)"
-         else
-           Printf.sprintf "prescreen: interval+congruence+bool (%d passes)"
-             pr.Vflow.Prescreen.passes);
-      vcr_prof;
-      vcr_cert = Cert_off;
-      vcr_source = Src_prescreen;
-    }
+    Finished
+      {
+        vcr_name = vc.Encode.vc_name;
+        vcr_answer = Smt.Solver.Unsat;
+        vcr_time_s = Unix.gettimeofday () -. t0;
+        vcr_bytes = 0;
+        vcr_detail =
+          (if pr.Vflow.Prescreen.vacuous then
+             "prescreen: hypotheses contradictory (infeasible path)"
+           else
+             Printf.sprintf "prescreen: interval+congruence+bool (%d passes)"
+               pr.Vflow.Prescreen.passes);
+        vcr_prof;
+        vcr_cert = Cert_off;
+        vcr_source = Src_prescreen;
+        vcr_rung = None;
+        vcr_rungs_tried = [];
+        vcr_prescreen_refuted = false;
+      }
   | _ ->
   (* Fall through to SMT, carrying the prescreen's derived facts as extra
      ground hypotheses and dropping hypotheses whose path condition the
      analysis proved infeasible (both sound: facts are consequences of
-     the hypotheses, and removing hypotheses never helps the prover). *)
+     the hypotheses, and removing hypotheses never helps the prover).
+     A [Refuted] verdict — an abstract counterexample — is advisory
+     (recorded for the VL047 lint) and escalates like [Unknown]. *)
+  let prescreen_refuted =
+    match pre with
+    | Some pr -> pr.Vflow.Prescreen.verdict = Vflow.Prescreen.Refuted
+    | None -> false
+  in
   let facts, drop =
     match pre with
     | Some pr -> (pr.Vflow.Prescreen.facts, pr.Vflow.Prescreen.drop)
     | None -> ([], [])
   in
-  let eff_context =
-    if drop = [] then context
-    else List.filter (fun h -> not (List.exists (T.equal h) drop)) context
-  in
   let eff_hyps =
     if drop = [] then vc.Encode.vc_hyps
     else List.filter (fun h -> not (List.exists (T.equal h) drop)) vc.Encode.vc_hyps
   in
-  let bytes =
-    List.fold_left (fun acc t -> acc + T.printed_size t) 0
-      ((vc.Encode.vc_goal :: eff_hyps) @ facts)
-    + List.fold_left (fun acc t -> acc + T.printed_size t) 0 eff_context
-  in
+  let explicit = env.ev_ladder <> None in
   let fp =
-    match cache with
+    match env.ev_cache with
     | None -> None
-    | Some _ -> Some (Vcache.fingerprint ~analyze ~profile:p ~prog ~context vc)
+    | Some _ ->
+      (* Containment: the fingerprint must cover every axiom any rung may
+         ship.  A widening ladder ([P_full] rungs) under a pruning profile
+         can consult axioms outside the pruned context, so the key is
+         taken over the full set; the ladder fingerprint itself salts the
+         key whenever a ladder is explicit. *)
+      let fp_context =
+        match env.ev_ladder with
+        | Some l when Ladder.widens l && p.Profiles.pruning -> env.ev_axioms
+        | _ -> context
+      in
+      Some
+        (Vcache.fingerprint ~analyze:env.ev_analyze
+           ?ladder:(Option.map Ladder.fingerprint env.ev_ladder)
+           ~profile:p ~prog:env.ev_prog ~context:fp_context vc)
   in
   let cached =
-    match (cache, fp) with
+    match (env.ev_cache, fp) with
     | Some c, Some fp ->
-      Vcache.lookup c ~name:vc.Encode.vc_name ~fp ~profile_wanted:profile
-        ~certified_wanted:certify
+      Vcache.lookup c ~name:vc.Encode.vc_name ~fp ~profile_wanted:env.ev_profile
+        ~certified_wanted:env.ev_certify
     | _ -> None
   in
   match cached with
   | Some e ->
     (* Hit: reproduce the recorded solve verbatim (answer, detail, bytes,
-       original solve time) — warm results are indistinguishable from the
-       cold run that filled the cache. *)
+       original solve time, winning rung) — warm results are
+       indistinguishable from the cold run that filled the cache. *)
     let vcr_prof =
-      if not profile then None
+      if not env.ev_profile then None
       else
         Some
           {
             vp_smt = (match e.Vcache.e_profile with Some pr -> pr | None -> Smt.Profile.empty);
-            vp_axioms = vp_axioms_of_context ~ax_index context;
+            vp_axioms = vp_axioms_of_context ~ax_index:env.ev_ax_index context;
           }
     in
     let vcr_cert =
@@ -259,43 +410,119 @@ let run_vc ?(profile = false) ?(certify = false) ?(analyze = false) ?cache (p : 
          certificate replayed Checked before the entry was stored.  An
          uncertified Unsat hit is unreachable under [certify] ({!Vcache.lookup}
          gates on the digest) and flagged as VL034 material otherwise. *)
-      match (certify, e.Vcache.e_answer, e.Vcache.e_cert_digest) with
+      match (env.ev_certify, e.Vcache.e_answer, e.Vcache.e_cert_digest) with
       | true, Smt.Solver.Unsat, Some d -> Cert_cached d
       | true, Smt.Solver.Unsat, None -> Cert_unavailable "cache hit without certificate"
       | false, Smt.Solver.Unsat, None -> Cert_uncertified_hit
       | _ -> Cert_off
     in
-    {
-      vcr_name = vc.Encode.vc_name;
-      vcr_answer = e.Vcache.e_answer;
-      vcr_time_s = e.Vcache.e_time_s;
-      vcr_bytes = e.Vcache.e_bytes;
-      vcr_detail = e.Vcache.e_detail;
-      vcr_prof;
-      vcr_cert;
-      vcr_source = Src_cache;
-    }
+    Finished
+      {
+        vcr_name = vc.Encode.vc_name;
+        vcr_answer = e.Vcache.e_answer;
+        vcr_time_s = e.Vcache.e_time_s;
+        vcr_bytes = e.Vcache.e_bytes;
+        vcr_detail = e.Vcache.e_detail;
+        vcr_prof;
+        vcr_cert;
+        vcr_source = Src_cache;
+        vcr_rung = (if explicit then e.Vcache.e_rung else None);
+        vcr_rungs_tried = [];
+        vcr_prescreen_refuted = prescreen_refuted;
+      }
   | None ->
-  let budget = Profiles.budget p in
-  let solver_cfg =
-    if certify then { p.Profiles.solver_config with Smt.Solver.certify = true }
-    else p.Profiles.solver_config
+    let n = Array.length env.ev_rungs in
+    (* The winning-rung jump: a prior run under this exact fingerprint
+       recorded which rung finally answered (the entry itself may have
+       been gated out of [lookup] — e.g. it lacks a profile and this run
+       profiles).  Starting there spends zero attempts on rungs already
+       known too weak; [Unsat] at the recorded rung stays definitive. *)
+    let start =
+      match (env.ev_ladder, env.ev_cache, fp) with
+      | Some _, Some c, Some fp -> (
+        match Vcache.rung_hint c ~fp with
+        | Some r when r > 0 -> min r (n - 1)
+        | _ -> 0)
+      | _ -> 0
+    in
+    let pruned =
+      if p.Profiles.pruning then context
+      else if Array.exists (fun (r : Rung.t) -> r.Rung.r_pruning = Rung.P_prune) env.ev_rungs
+      then prune_context env.ev_axioms vc
+      else []
+    in
+    Escalated
+      {
+        pd_vc = vc;
+        pd_context = context;
+        pd_pruned = pruned;
+        pd_eff_hyps = eff_hyps;
+        pd_facts = facts;
+        pd_drop = drop;
+        pd_fp = fp;
+        pd_prescreen_refuted = prescreen_refuted;
+        pd_t0 = t0;
+        pd_next = start;
+        pd_tried = [];
+        pd_bytes = 0;
+        pd_profs = [];
+      }
+
+(* One solver attempt at rung [pd.pd_next].  [Unsat] at any rung is
+   definitive — it was obtained from a subset of the full context under a
+   sound trigger policy, so it implies the monolithic answer; [Sat] and
+   [Unknown] below the top rung escalate (a counterexample found with
+   part of the context missing proves nothing), and the top rung's
+   answer is final whatever it is. *)
+let attempt_vc env (pd : pending) : step =
+  let p = env.ev_p in
+  let vc = pd.pd_vc in
+  let n = Array.length env.ev_rungs in
+  let i = pd.pd_next in
+  let rung = env.ev_rungs.(i) in
+  let base_ctx =
+    match rung.Rung.r_pruning with
+    | Rung.P_profile -> pd.pd_context
+    | Rung.P_prune -> pd.pd_pruned
+    | Rung.P_full -> env.ev_axioms
   in
+  let eff_context =
+    if pd.pd_drop = [] then base_ctx
+    else List.filter (fun h -> not (List.exists (T.equal h) pd.pd_drop)) base_ctx
+  in
+  let attempt_bytes =
+    List.fold_left (fun acc t -> acc + T.printed_size t) 0
+      ((vc.Encode.vc_goal :: pd.pd_eff_hyps) @ pd.pd_facts)
+    + List.fold_left (fun acc t -> acc + T.printed_size t) 0 eff_context
+  in
+  let solver_cfg =
+    let base =
+      if env.ev_certify then { p.Profiles.solver_config with Smt.Solver.certify = true }
+      else p.Profiles.solver_config
+    in
+    Rung.apply_config rung base
+  in
+  let budget = solver_cfg.Smt.Solver.budget in
   (* Outcome of a §3.3 mode, with or without a certificate attached. *)
   let mode_plain o = let a, d = outcome_to_answer o in (a, d, None) in
   let mode_cert (o, c) = let a, d = outcome_to_answer o in (a, d, c) in
+  (* The attempt's profile/stats are kept regardless of [ev_profile]:
+     they are the steering signal for [next_rung].  §3.3 modes yield
+     neither, so escalation after them is always to the adjacent rung. *)
   let smt_prof = ref None in
+  let smt_stats = ref None in
   let answer, detail, cert =
     match vc.Encode.vc_hint with
     | H_default ->
       if p.Profiles.epr_only then begin
-        let all = context @ vc.Encode.vc_hyps @ [ T.not_ vc.Encode.vc_goal ] in
+        let all = base_ctx @ vc.Encode.vc_hyps @ [ T.not_ vc.Encode.vc_goal ] in
         match Smt.Epr.check_fragment all with
         | Error e ->
           (Smt.Solver.Unknown ("outside EPR: " ^ e), "Ivy cannot express this", None)
         | Ok () ->
           let r = Smt.Epr.solve ~config:solver_cfg all in
-          if profile then smt_prof := Some r.Smt.Solver.profile;
+          smt_prof := Some r.Smt.Solver.profile;
+          smt_stats := Some r.Smt.Solver.stats;
           (r.Smt.Solver.answer, "EPR-decided", r.Smt.Solver.cert)
       end
       else begin
@@ -305,9 +532,10 @@ let run_vc ?(profile = false) ?(certify = false) ?(analyze = false) ?cache (p : 
            exact inputs — their completeness arguments are fragile. *)
         let r =
           Smt.Solver.check_valid ~config:solver_cfg
-            ~hyps:(eff_context @ eff_hyps @ facts) vc.Encode.vc_goal
+            ~hyps:(eff_context @ pd.pd_eff_hyps @ pd.pd_facts) vc.Encode.vc_goal
         in
-        if profile then smt_prof := Some r.Smt.Solver.profile;
+        smt_prof := Some r.Smt.Solver.profile;
+        smt_stats := Some r.Smt.Solver.stats;
         let d =
           Printf.sprintf "inst=%d confl=%d sat=%.2f theory=%.2f em=%.2f"
             r.Smt.Solver.stats.Smt.Solver.instances r.Smt.Solver.stats.Smt.Solver.conflicts
@@ -317,72 +545,121 @@ let run_vc ?(profile = false) ?(certify = false) ?(analyze = false) ?cache (p : 
         (r.Smt.Solver.answer, d, r.Smt.Solver.cert)
       end
     | H_bit_vector ->
-      if certify then mode_cert (Modes.prove_bit_vector_cert ~budget vc.Encode.vc_goal)
+      if env.ev_certify then mode_cert (Modes.prove_bit_vector_cert ~budget vc.Encode.vc_goal)
       else mode_plain (Modes.prove_bit_vector ~budget vc.Encode.vc_goal)
     | H_nonlinear ->
-      if certify then mode_cert (Modes.prove_nonlinear_cert ~budget vc.Encode.vc_goal)
+      if env.ev_certify then mode_cert (Modes.prove_nonlinear_cert ~budget vc.Encode.vc_goal)
       else mode_plain (Modes.prove_nonlinear ~budget vc.Encode.vc_goal)
     | H_integer_ring ->
-      if certify then mode_cert (Modes.prove_integer_ring_cert ~budget vc.Encode.vc_goal)
+      if env.ev_certify then
+        mode_cert (Modes.prove_integer_ring_cert ~budget vc.Encode.vc_goal)
       else mode_plain (Modes.prove_integer_ring ~budget vc.Encode.vc_goal)
     | H_compute -> (
       match vc.Encode.vc_expr with
       | Some e ->
-        if certify then mode_cert (Modes.prove_compute_cert ~budget prog e)
-        else mode_plain (Modes.prove_compute ~budget prog e)
+        if env.ev_certify then mode_cert (Modes.prove_compute_cert ~budget env.ev_prog e)
+        else mode_plain (Modes.prove_compute ~budget env.ev_prog e)
       | None -> (Smt.Solver.Unknown "compute assert lost its expression", "", None))
   in
-  (* Under [certify], every Unsat must survive the independent kernel's
-     replay before it counts as proved; a rejection or a missing
-     certificate demotes the obligation (see verify_function_with_axioms)
-     while keeping the raw solver answer visible. *)
-  let vcr_cert =
-    if not certify then Cert_off
-    else
-      match answer with
-      | Smt.Solver.Unsat -> (
-        match cert with
-        | None -> Cert_unavailable "solver returned Unsat without a certificate"
-        | Some c -> (
-          match Vcheck.check (Smt.Cert.to_json c) with
-          | Vcheck.Checked _ -> Cert_checked (Smt.Cert.digest c)
-          | Vcheck.Rejected { code; reason } -> Cert_rejected (code, reason)))
-      | _ -> Cert_off
-  in
-  let time_s = Unix.gettimeofday () -. t0 in
-  (match (cache, fp) with
-  | Some c, Some fp ->
-    Vcache.store c ~name:vc.Encode.vc_name ~fp
+  let final = answer = Smt.Solver.Unsat || i >= n - 1 in
+  if not final then
+    Escalated
       {
-        Vcache.e_answer = answer;
-        e_detail = detail;
-        e_bytes = bytes;
-        e_time_s = time_s;
-        e_profile = !smt_prof;
-        (* Only a kernel-Checked certificate earns a digest; a rejected
-           one must not become a "checked claim" on the next warm run. *)
-        e_cert_digest = (match vcr_cert with Cert_checked d -> Some d | _ -> None);
+        pd with
+        pd_next = next_rung env ~budget ~stats:!smt_stats ~prof:!smt_prof i;
+        pd_tried = i :: pd.pd_tried;
+        pd_bytes = pd.pd_bytes + attempt_bytes;
+        pd_profs =
+          (match !smt_prof with Some pr -> pr :: pd.pd_profs | None -> pd.pd_profs);
       }
-  | _ -> ());
-  let vcr_prof =
-    if not profile then None
-    else
-      Some
+  else begin
+    (* Under [certify], every Unsat must survive the independent kernel's
+       replay before it counts as proved; a rejection or a missing
+       certificate demotes the obligation (see fn_result_of_vcs) while
+       keeping the raw solver answer visible. *)
+    let vcr_cert =
+      if not env.ev_certify then Cert_off
+      else
+        match answer with
+        | Smt.Solver.Unsat -> (
+          match cert with
+          | None -> Cert_unavailable "solver returned Unsat without a certificate"
+          | Some c -> (
+            match Vcheck.check (Smt.Cert.to_json c) with
+            | Vcheck.Checked _ -> Cert_checked (Smt.Cert.digest c)
+            | Vcheck.Rejected { code; reason } -> Cert_rejected (code, reason)))
+        | _ -> Cert_off
+    in
+    let explicit = env.ev_ladder <> None in
+    let detail =
+      if not explicit then detail
+      else
+        let suffix = Printf.sprintf "[rung %d/%d %s]" (i + 1) n rung.Rung.r_name in
+        if detail = "" then suffix else detail ^ " " ^ suffix
+    in
+    let tried = List.rev (i :: pd.pd_tried) in
+    let time_s = Unix.gettimeofday () -. pd.pd_t0 in
+    let bytes = pd.pd_bytes + attempt_bytes in
+    (* The obligation's profile is the merge across its attempts (a
+       single-attempt climb keeps that attempt's profile as-is, matching
+       the ladder-free driver byte for byte). *)
+    let profs =
+      List.rev (match !smt_prof with Some pr -> pr :: pd.pd_profs | None -> pd.pd_profs)
+    in
+    let merged_prof =
+      match profs with
+      | [] -> None
+      | [ pr ] -> Some pr
+      | prs -> Some (List.fold_left Smt.Profile.merge Smt.Profile.empty prs)
+    in
+    (match (env.ev_cache, pd.pd_fp) with
+    | Some c, Some fp ->
+      Vcache.store c ~name:vc.Encode.vc_name ~fp
         {
-          vp_smt = (match !smt_prof with Some pr -> pr | None -> Smt.Profile.empty);
-          vp_axioms = vp_axioms_of_context ~ax_index context;
+          Vcache.e_answer = answer;
+          e_detail = detail;
+          e_bytes = bytes;
+          e_time_s = time_s;
+          e_profile = (if env.ev_profile then merged_prof else None);
+          (* Only a kernel-Checked certificate earns a digest; a rejected
+             one must not become a "checked claim" on the next warm run. *)
+          e_cert_digest = (match vcr_cert with Cert_checked d -> Some d | _ -> None);
+          e_rung = (if explicit then Some i else None);
         }
+    | _ -> ());
+    let vcr_prof =
+      if not env.ev_profile then None
+      else
+        Some
+          {
+            vp_smt = (match merged_prof with Some pr -> pr | None -> Smt.Profile.empty);
+            vp_axioms = vp_axioms_of_context ~ax_index:env.ev_ax_index pd.pd_context;
+          }
+    in
+    Finished
+      {
+        vcr_name = vc.Encode.vc_name;
+        vcr_answer = answer;
+        vcr_time_s = time_s;
+        vcr_bytes = bytes;
+        vcr_detail = detail;
+        vcr_prof;
+        vcr_cert;
+        vcr_source = Src_solver;
+        vcr_rung = (if explicit then Some i else None);
+        vcr_rungs_tried = (if explicit then tried else []);
+        vcr_prescreen_refuted = pd.pd_prescreen_refuted;
+      }
+  end
+
+(* Drive one obligation's climb to completion inline — the sequential
+   path; the scheduler version resubmits each [Escalated] instead. *)
+let run_vc env (vc : Encode.vc) : vc_result =
+  let rec go = function
+    | Finished r -> r
+    | Escalated pd -> go (attempt_vc env pd)
   in
-  {
-    vcr_name = vc.Encode.vc_name;
-    vcr_answer = answer;
-    vcr_time_s = time_s;
-    vcr_bytes = bytes;
-    vcr_detail = detail;
-    vcr_prof;
-    vcr_cert;
-    vcr_source = Src_solver;
-  }
+  go (start_vc env vc)
 
 let cert_ok r =
   match r.vcr_cert with Cert_rejected _ | Cert_unavailable _ -> false | _ -> true
@@ -417,13 +694,12 @@ let fn_result_of_vcs (fd : fndecl) ~profile (results : vc_result list) : fn_resu
     fnr_prof;
   }
 
-let verify_function_with_axioms ?(profile = false) ?(certify = false) ?(analyze = false) ?cache
+let verify_function_with_axioms ?profile ?certify ?analyze ?cache ?ladder ?vl010
     (p : Profiles.t) (prog : program) ~axioms ~ax_index (fd : fndecl) : fn_result =
+  let env = make_env ?profile ?certify ?analyze ?cache ?ladder ?vl010 p prog ~axioms ~ax_index in
   let vcs = Encode.encode_function p prog fd in
-  let results =
-    List.map (run_vc ~profile ~certify ~analyze ?cache p prog ~axioms ~ax_index) vcs
-  in
-  fn_result_of_vcs fd ~profile results
+  let results = List.map (run_vc env) vcs in
+  fn_result_of_vcs fd ~profile:env.ev_profile results
 
 let verify_function ?profile (p : Profiles.t) (prog : program) (fd : fndecl) : fn_result =
   let axioms = Encode.program_axioms p prog in
@@ -494,13 +770,9 @@ let aggregate_program_profile (p : Profiles.t) ~axioms (fns : fn_result list) :
 let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
     (prog : program) : program_result =
   let t0 = Unix.gettimeofday () in
-  let { Config.jobs; lint; profile; cache = cache_cfg; budget; certify; analyze; sched } =
+  let { Config.jobs; lint; profile; cache = cache_cfg; ladder; certify; analyze; sched } =
     config
   in
-  (* A budget override is folded into the profile before anything else
-     runs, so solves, §3.3 modes and cache fingerprints all see the same
-     effective budget. *)
-  let p = match budget with None -> p | Some b -> Profiles.with_budget b p in
   (* Static analysis first: in [Lint_strict] mode Error-severity findings
      abort before any SMT work (fail fast); [Lint_warn] records them in
      [pr_lint] without affecting the verdict. *)
@@ -517,6 +789,7 @@ let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
       pr_lint = lint_diags;
       pr_prof = None;
       pr_cache = None;
+      pr_ladder = None;
     }
   else
   let front_end_errors =
@@ -534,11 +807,23 @@ let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
       pr_lint = lint_diags;
       pr_prof = None;
       pr_cache = None;
+      pr_ladder = None;
     }
   else begin
     let cache = Option.map Vcache.open_ cache_cfg in
     let axioms = Encode.program_axioms p prog in
     let ax_index = axiom_index_table axioms in
+    (* The steering signal: VL010's matching-loop verdicts over the
+       program's axiom set, computed once per run (only worth it when a
+       multi-rung ladder can actually steer). *)
+    let vl010 =
+      match ladder with
+      | Some l when Ladder.length l > 1 -> Vlint.vl010_heads (Vlint.check_axioms p axioms)
+      | _ -> []
+    in
+    let env =
+      make_env ~profile ~certify ~analyze ?cache ?ladder ~vl010 p prog ~axioms ~ax_index
+    in
     let targets =
       List.filter (fun fd -> fd.fmode <> Spec && fd.body <> None) prog.functions
     in
@@ -572,7 +857,7 @@ let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
     let remaining = Array.map (fun _ -> Atomic.make 0) fn_out in
     let b = Verusd.Sched.batch () in
     let go submit =
-      (* A function's obligations form a sequential chain: solving VC
+      (* A function's obligations form a sequential chain: finishing VC
          [vi] submits VC [vi + 1].  The chain head is an ordinary
          stealable task — obligations migrate between workers at VC
          granularity (a long function does not hog its worker, which is
@@ -581,18 +866,34 @@ let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
          ordering is load-bearing: a function's solves share interned
          terms, and racing their creation order perturbs the proof
          certificates (term interning is layout-sensitive; see
-         sched.mli). *)
-      let rec solve_task fi vi vcs () =
-        let r = run_vc ~profile ~certify ~analyze ?cache p prog ~axioms ~ax_index vcs.(vi) in
-        vc_out.(fi).(vi) <- Some r;
-        emit (Vc_done (fn_arr.(fi).fname, r));
-        (if vi + 1 < Array.length vcs then submit (solve_task fi (vi + 1) vcs));
-        if Atomic.fetch_and_add remaining.(fi) (-1) = 1 then begin
-          let results = Array.to_list vc_out.(fi) |> List.filter_map Fun.id in
-          let fnr = fn_result_of_vcs fn_arr.(fi) ~profile results in
-          fn_out.(fi) <- Some fnr;
-          emit (Fn_done fnr)
-        end
+         sched.mli).
+
+         Escalation makes the chain dynamic: an attempt that must climb
+         resubmits itself as a fresh task ([`Resume]), so one stubborn
+         obligation's stronger retries overlap other chains' first
+         attempts instead of blocking a worker — but VC [vi]'s whole
+         climb still completes before [vi + 1] starts. *)
+      let rec solve_step fi vi vcs st () =
+        let step =
+          match st with
+          | `Start -> (
+            match start_vc env vcs.(vi) with
+            | Escalated pd -> attempt_vc env pd
+            | fin -> fin)
+          | `Resume pd -> attempt_vc env pd
+        in
+        match step with
+        | Escalated pd -> submit (solve_step fi vi vcs (`Resume pd))
+        | Finished r ->
+          vc_out.(fi).(vi) <- Some r;
+          emit (Vc_done (fn_arr.(fi).fname, r));
+          (if vi + 1 < Array.length vcs then submit (solve_step fi (vi + 1) vcs `Start));
+          if Atomic.fetch_and_add remaining.(fi) (-1) = 1 then begin
+            let results = Array.to_list vc_out.(fi) |> List.filter_map Fun.id in
+            let fnr = fn_result_of_vcs fn_arr.(fi) ~profile results in
+            fn_out.(fi) <- Some fnr;
+            emit (Fn_done fnr)
+          end
       in
       let fn_task fi () =
         let vcs = Array.of_list (Encode.encode_function p prog fn_arr.(fi)) in
@@ -608,7 +909,7 @@ let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
           (* The chain head lands on this worker's own deque head (or
              runs inline on the sequential path), so the first solve
              executes right after the encode unless stolen. *)
-          submit (solve_task fi 0 vcs)
+          submit (solve_step fi 0 vcs `Start)
         end
       in
       for fi = 0 to nfns - 1 do
@@ -639,10 +940,13 @@ let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
         | Error e -> Printf.eprintf "warning: verification cache not saved: %s\n%!" e);
         Some (Vcache.stats c)
     in
-    (* VL034 is the one post-verification lint: it flags verdicts served
-       from cache hits that never passed the certificate kernel, which
-       only the driver can see.  Excluded from {!result_digest} (a cold
-       run has no hits, and warm/cold must digest equally). *)
+    (* Post-verification lints only the driver can see — both excluded
+       from {!result_digest}: VL034 flags verdicts served from cache hits
+       that never passed the certificate kernel (only warm runs have
+       hits, and warm/cold must digest equally); VL047 surfaces the
+       prescreen's [Refuted] advisories (only analyzed runs have a
+       prescreen, and analyzed/plain runs that agree must digest
+       equally). *)
     let cache_lint =
       if lint = Lint_ignore then []
       else
@@ -667,6 +971,81 @@ let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
               fnr.fnr_vcs)
           results
     in
+    let prescreen_lint =
+      if lint = Lint_ignore then []
+      else
+        List.concat_map
+          (fun fnr ->
+            List.filter_map
+              (fun v ->
+                if not v.vcr_prescreen_refuted then None
+                else
+                  Some
+                    {
+                      Vlint.code = "VL047";
+                      severity = Vlint.Info;
+                      fn = Some fnr.fnr_name;
+                      message =
+                        Printf.sprintf
+                          "prescreen found an abstract counterexample for %S (rung-0 \
+                           Refuted advisory); if the solver fails too, suspect the \
+                           obligation itself before blaming automation strength"
+                          v.vcr_name;
+                    })
+              fnr.fnr_vcs)
+          results
+    in
+    (* Ladder observability, rebuilt deterministically from the per-VC
+       provenance fields (no shared-counter races under [jobs > 1]). *)
+    let pr_ladder =
+      match ladder with
+      | None -> None
+      | Some l ->
+        let nr = Ladder.length l in
+        let attempts = Array.make nr 0 in
+        let wins = Array.make nr 0 in
+        let escalations = ref 0 in
+        let steered = ref 0 in
+        let cache_hits = ref 0 in
+        let hint_starts = ref 0 in
+        List.iter
+          (fun fnr ->
+            List.iter
+              (fun v ->
+                if v.vcr_source = Src_cache then incr cache_hits;
+                (match v.vcr_rung with
+                | Some w when w >= 0 && w < nr -> wins.(w) <- wins.(w) + 1
+                | _ -> ());
+                match v.vcr_rungs_tried with
+                | [] -> ()
+                | first :: _ as tried ->
+                  if first > 0 then incr hint_starts;
+                  List.iteri
+                    (fun k r ->
+                      if r >= 0 && r < nr then attempts.(r) <- attempts.(r) + 1;
+                      if k > 0 then incr escalations)
+                    tried;
+                  let rec gaps = function
+                    | a :: (b :: _ as rest) ->
+                      if b - a > 1 then incr steered;
+                      gaps rest
+                    | _ -> ()
+                  in
+                  gaps tried)
+              fnr.fnr_vcs)
+          results;
+        Some
+          {
+            ls_ladder = Ladder.name l;
+            ls_rungs = nr;
+            ls_attempts = attempts;
+            ls_wins = wins;
+            ls_escalations = !escalations;
+            ls_steered = !steered;
+            ls_cache_hits = !cache_hits;
+            ls_hint_starts = !hint_starts;
+          }
+    in
     {
       pr_profile = p.Profiles.name;
       pr_fns = results;
@@ -674,10 +1053,11 @@ let verify_program ?(config = Config.default) ?on_progress (p : Profiles.t)
       pr_time_s = Unix.gettimeofday () -. t0;
       pr_bytes = List.fold_left (fun acc r -> acc + r.fnr_bytes) 0 results;
       pr_front_end_errors = [];
-      pr_lint = lint_diags @ cache_lint;
+      pr_lint = lint_diags @ cache_lint @ prescreen_lint;
       pr_prof =
         (if profile then Some (aggregate_program_profile p ~axioms results) else None);
       pr_cache;
+      pr_ladder;
     }
   end
 
@@ -724,9 +1104,11 @@ let result_digest (pr : program_result) : string =
   List.iter (fun e -> add "fe:%s" e) pr.pr_front_end_errors;
   List.iter
     (fun (d : Vlint.diag) ->
-      (* VL034 only fires on warm runs; including it would break the
-         warm/cold digest-equality invariant. *)
-      if d.Vlint.code <> "VL034" then add "lint:%s" (Vlint.diag_to_string d))
+      (* VL034 only fires on warm runs and VL047 only on analyzed ones;
+         including either would break the warm/cold (and analyzed/plain)
+         digest-equality invariants. *)
+      if d.Vlint.code <> "VL034" && d.Vlint.code <> "VL047" then
+        add "lint:%s" (Vlint.diag_to_string d))
     pr.pr_lint;
   List.iter
     (fun fnr ->

@@ -11,6 +11,13 @@
     default and costs nothing — no per-VC profile records are allocated or
     retained. *)
 
+module Rung = Vladder.Rung
+(** Re-export: the escalation-ladder rung API ({!Vladder.Rung}), so
+    driver callers name rungs without a separate vladder dependency. *)
+
+module Ladder = Vladder.Ladder
+(** Re-export: the escalation-ladder API ({!Vladder.Ladder}). *)
+
 (** Per-VC observability, retained only under [~profile:true]. *)
 type vc_profile = {
   vp_smt : Smt.Profile.t;
@@ -68,6 +75,20 @@ type vc_result = {
       (** provenance only — excluded from {!result_digest}, so cold and
           warm runs (and prescreened vs. plain ones that agree) digest
           equally *)
+  vcr_rung : int option;
+      (** the escalation-ladder rung that produced the answer; [Some] iff
+          the run had an explicit [Config.ladder] (a cache hit replays the
+          filling run's winning rung).  Provenance only — excluded from
+          {!result_digest} like [vcr_source] *)
+  vcr_rungs_tried : int list;
+      (** the rung indices attempted for this obligation, in order ([[]]
+          for implicit-ladder runs, prescreen discharges and cache hits);
+          non-adjacent consecutive entries mark a VL010/churn steering
+          skip.  Provenance only — excluded from {!result_digest} *)
+  vcr_prescreen_refuted : bool;
+      (** the {!Vflow} prescreen found an abstract counterexample for this
+          obligation (advisory; the solver still ran) — the trigger of the
+          driver-emitted VL047 info lint.  Excluded from {!result_digest} *)
 }
 
 (** Outcome of all obligations of one function. *)
@@ -108,6 +129,26 @@ type program_profile = {
   pp_vcs : int;  (** number of profiled VCs aggregated *)
 }
 
+(** Per-run escalation-ladder observability, rebuilt deterministically
+    from the per-VC provenance fields — identical whatever scheduled the
+    obligations. *)
+type ladder_stats = {
+  ls_ladder : string;  (** the ladder's display name *)
+  ls_rungs : int;
+  ls_attempts : int array;  (** solver attempts per rung (length [ls_rungs]) *)
+  ls_wins : int array;
+      (** verdicts produced per rung, cache hits included (their recorded
+          winning rung counts) *)
+  ls_escalations : int;  (** attempts beyond each obligation's first *)
+  ls_steered : int;
+      (** escalations that skipped a rung on the VL010/churn signal *)
+  ls_cache_hits : int;  (** obligations settled by the warm cache *)
+  ls_hint_starts : int;
+      (** obligations whose climb started above rung 0 on a recorded
+          winning-rung hint; a fully warm run has zero (hits need no
+          attempts), so any wasted lower-rung attempt shows up here *)
+}
+
 (** Result of verifying a whole program under one profile. *)
 type program_result = {
   pr_profile : string;  (** the framework profile's name *)
@@ -126,6 +167,10 @@ type program_result = {
   pr_cache : Vcache.stats option;
       (** hit/miss/invalidation counters, [Some] iff a cache was configured
           and verification reached the SMT stage *)
+  pr_ladder : ladder_stats option;
+      (** per-rung attempt/win counters, [Some] iff the run had an
+          explicit [Config.ladder] and verification reached the SMT
+          stage *)
 }
 
 (** When (and whether) to run the {!Vlint} static analyses. *)
@@ -160,10 +205,17 @@ module Config : sig
     lint : lint_mode;  (** static analysis before SMT work *)
     profile : bool;  (** retain per-VC solver profiles *)
     cache : Vcache.config option;  (** persistent VC-result cache, if any *)
-    budget : Smt.Solver.budget option;
-        (** when [Some], overrides the framework profile's solver budget
-            (what the CLI's [--deadline]/[--max-rounds] set); the override
-            is part of the cache fingerprint *)
+    ladder : Vladder.Ladder.t option;
+        (** the per-obligation escalation ladder (what the CLI's
+            [--ladder]/[--rung] and the daemon's [ladder] param set).
+            [None] runs every obligation once under the profile's exact
+            configuration — identical to {!Vladder.Ladder.identity}, and
+            the pre-ladder observable surface is preserved bit for bit
+            (no rung provenance, no detail suffix, no ladder salt in the
+            cache key).  [Some l]: each obligation climbs [l] — cheap
+            rungs first, escalating on anything but [Unsat] — with the
+            ladder fingerprint salted into cache keys and the winning
+            rung recorded per entry so warm runs jump straight to it *)
     certify : bool;
         (** solve with proof recording on, replay every Unsat's
             certificate through the independent {!Vcheck} kernel, and
@@ -189,8 +241,9 @@ module Config : sig
   }
 
   val default : t
-  (** [jobs = 1], no lint, no profiling, no cache, profile's own budget,
-      no certification, no external pool. *)
+  (** [jobs = 1], no lint, no profiling, no cache, no ladder (profile's
+      own configuration, once per obligation), no certification, no
+      external pool. *)
 
   val with_jobs : int -> t -> t
   val with_lint : lint_mode -> t -> t
@@ -200,7 +253,21 @@ module Config : sig
   (** Enable the verification cache in the given directory. *)
 
   val without_cache : t -> t
+
+  val with_ladder : Vladder.Ladder.t -> t -> t
+  (** The one entry point for automation strength: every knob that used
+      to be a separate budget/deadline surface is a rung of the ladder
+      installed here. *)
+
+  val without_ladder : t -> t
+
   val with_budget : Smt.Solver.budget -> t -> t
+  [@@ocaml.deprecated "use with_ladder (Vladder.Ladder.of_budget b)"]
+  (** Deprecated budget-override surface, kept as a thin wrapper:
+      equivalent to [with_ladder (Vladder.Ladder.of_budget b)] — a
+      single-rung ladder carrying the absolute budget (pinned equivalent
+      by test). *)
+
   val with_certify : bool -> t -> t
   val with_analyze : bool -> t -> t
 
@@ -233,6 +300,16 @@ val verify_program :
     paper's 8-core column in Figure 9), inline otherwise.  All three
     paths share one code path, so per-program verdicts and
     {!result_digest} are identical whichever ran.
+
+    Under an explicit [config.ladder], each obligation climbs the ladder
+    as a chain of dynamically submitted tasks: an attempt that must
+    escalate resubmits itself, so one stubborn obligation's stronger
+    retries overlap other obligations' first attempts.  [Unsat] at any
+    rung is definitive (proved from a subset of the context under a
+    sound trigger policy); anything else below the top rung escalates —
+    steered past liberal-trigger rungs when the failed attempt showed
+    E-matching churn or its hot quantifier matches a VL010
+    matching-loop verdict — and the top rung's answer is final.
 
     [?on_progress] streams {!progress} events as obligations complete.
     Events fire in the finishing worker's domain — the callback must be

@@ -10,6 +10,7 @@ type entry = {
   e_time_s : float;
   e_profile : Smt.Profile.t option;
   e_cert_digest : string option;
+  e_rung : int option;
 }
 
 type stats = {
@@ -71,7 +72,10 @@ let entry_to_json name (e : entry) : Vbase.Json.t =
     | None -> []
     | Some d -> [ ("cert", Vbase.Json.String d) ]
   in
-  Vbase.Json.Obj (base @ reason @ prof @ cert)
+  let rung =
+    match e.e_rung with None -> [] | Some r -> [ ("rung", Vbase.Json.Int r) ]
+  in
+  Vbase.Json.Obj (base @ reason @ prof @ cert @ rung)
 
 let entry_of_json (j : Vbase.Json.t) : (string * entry) option =
   let ( let* ) = Option.bind in
@@ -102,6 +106,14 @@ let entry_of_json (j : Vbase.Json.t) : (string * entry) option =
     | Some (Vbase.Json.String d) -> Some (Some d)
     | Some _ -> None
   in
+  let* rung =
+    (* additive key: entries written before the ladder existed have no
+       "rung"; a mistyped one poisons the entry like a mistyped profile *)
+    match Vbase.Json.member "rung" j with
+    | None -> Some None
+    | Some (Vbase.Json.Int r) when r >= 0 -> Some (Some r)
+    | Some _ -> None
+  in
   Some
     ( name,
       {
@@ -111,6 +123,7 @@ let entry_of_json (j : Vbase.Json.t) : (string * entry) option =
         e_time_s = time_s;
         e_profile = profile;
         e_cert_digest = cert_digest;
+        e_rung = rung;
       } )
 
 (* ----- open / lookup / store / flush ----- *)
@@ -165,6 +178,16 @@ let lookup t ~name ~fp ~profile_wanted ~certified_wanted =
       if Hashtbl.mem t.names name then t.invalidations <- t.invalidations + 1
       else t.misses <- t.misses + 1;
       None
+  in
+  Mutex.unlock t.lock;
+  r
+
+let rung_hint t ~fp =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.snapshot fp with
+    | Some (_, e) -> e.e_rung
+    | None -> None
   in
   Mutex.unlock t.lock;
   r
@@ -375,10 +398,13 @@ let hint_tag : Vir.proof_hint -> string = function
   | Vir.H_integer_ring -> "integer_ring"
   | Vir.H_compute -> "compute"
 
-let fingerprint ?(analyze = false) ~(profile : Profiles.t) ~(prog : Vir.program)
+let fingerprint ?(analyze = false) ?ladder ~(profile : Profiles.t) ~(prog : Vir.program)
     ~(context : Smt.Term.t list) (vc : Encode.vc) : string =
   let s = Smt.Canon.create () in
-  Smt.Canon.add_string s "verus-cache-fp/1";
+  (* /2: the entry schema gained the winning-rung key and ladder-salted
+     keys joined the space — pre-ladder entries must re-solve rather than
+     replay under a key computed by different rules. *)
+  Smt.Canon.add_string s "verus-cache-fp/2";
   (* The certificate schema is part of the key: bumping the cert format
      must invalidate every entry, or a warm hit could claim its stored
      digest names a certificate the current kernel would accept. *)
@@ -388,6 +414,12 @@ let fingerprint ?(analyze = false) ~(profile : Profiles.t) ~(prog : Vir.program)
      ones; the analysis version is in the salt so a Vflow bump re-solves
      rather than replaying stale residue. *)
   if analyze then Smt.Canon.add_string s ("analyze=" ^ Vflow.version);
+  (* An escalation ladder changes which configurations may produce the
+     answer, so entries recorded under one ladder never satisfy a lookup
+     under another (or under no ladder at all). *)
+  (match ladder with
+  | None -> ()
+  | Some lfp -> Smt.Canon.add_string s ("ladder=" ^ lfp));
   Smt.Canon.add_string s (Profiles.solver_fingerprint profile);
   Smt.Canon.add_string s ("hint=" ^ hint_tag vc.Encode.vc_hint);
   (match vc.Encode.vc_hint with

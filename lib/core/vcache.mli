@@ -59,6 +59,10 @@ type entry = {
       (** {!Smt.Cert.digest} of the kernel-checked certificate the filling
           run produced (present only when it ran with [--certify] and the
           answer is Unsat) — what makes a warm hit a checked claim *)
+  e_rung : int option;
+      (** the escalation-ladder rung that produced the answer (present
+          only when the filling run had an explicit ladder) — what lets a
+          later cold-ish run jump straight to the winning rung *)
 }
 
 (** Per-run counters, deterministic under [jobs > 1]. *)
@@ -83,17 +87,23 @@ val open_ : config -> t
 
 val fingerprint :
   ?analyze:bool ->
+  ?ladder:string ->
   profile:Profiles.t ->
   prog:Vir.program ->
   context:Smt.Term.t list ->
   Encode.vc ->
   string
-(** The VC's cache key, as described above.  [context] must be the
-    post-pruning context the driver would ship to the solver.
+(** The VC's cache key, as described above.  [context] must cover every
+    axiom any attempt may ship: the post-pruning context normally, the
+    full axiom set when a widening ladder ([Vladder.Ladder.widens]) runs
+    under a pruning profile (containment is the soundness argument).
     [analyze] (default false) salts the key with {!Vflow.version}:
     prescreened runs ship a modified query (derived facts, dropped
     vacuous hypotheses), so their entries never alias plain ones and a
-    Vflow version bump invalidates them. *)
+    Vflow version bump invalidates them.  [ladder] (the
+    {!Vladder.Ladder.fingerprint} of an explicit escalation ladder)
+    salts the key so entries recorded under one ladder never satisfy a
+    lookup under another — or under no ladder at all. *)
 
 val lookup :
   t -> name:string -> fp:string -> profile_wanted:bool -> certified_wanted:bool -> entry option
@@ -108,6 +118,13 @@ val lookup :
 val store : t -> name:string -> fp:string -> entry -> unit
 (** Record a freshly solved obligation.  Not visible to {!lookup} until
     the next {!open_} (run-snapshot isolation; see module doc). *)
+
+val rung_hint : t -> fp:string -> int option
+(** The winning rung a snapshot entry under [fp] recorded, if any —
+    consulted (without touching the hit/miss counters) when {!lookup}
+    gated the entry out, e.g. an unprofiled entry under a profiled run:
+    the answer must be re-derived, but the climb can still start at the
+    rung that won last time. *)
 
 val stats : t -> stats
 

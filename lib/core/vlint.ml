@@ -42,6 +42,7 @@ let code_table =
     ("VL044", Info, "overflow obligation provably impossible: result range fits the type");
     ("VL045", Info, "assert is implied by the abstract state (range-vacuous)");
     ("VL046", Info, "loop invariant not inductive at rung 0 (abstract body does not preserve it)");
+    ("VL047", Info, "prescreen found an abstract counterexample (rung-0 Refuted advisory)");
   ]
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds

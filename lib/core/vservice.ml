@@ -140,19 +140,71 @@ let kind_string = function
   | Rpc.Lint -> "lint"
   | Rpc.Profile -> "profile"
 
-(* Per-request solver budget override, same construction as the CLI's
-   --deadline/--max-rounds flags (part of the cache fingerprint). *)
-let budget_override (profile : Profiles.t) (q : Rpc.query) =
-  match (q.Rpc.q_deadline_s, q.Rpc.q_max_rounds) with
-  | None, None -> None
-  | d, r ->
-    let b = Profiles.budget profile in
-    Some
-      {
-        b with
-        Smt.Solver.deadline_s = Option.value ~default:b.Smt.Solver.deadline_s d;
-        Smt.Solver.max_rounds = Option.value ~default:b.Smt.Solver.max_rounds r;
-      }
+(* The one resolver for automation strength, shared by the daemon and
+   the CLI: a ladder name and/or rung pin, or the deprecated
+   deadline/max_rounds sugar (a single-rung ladder carrying the
+   absolute budget).  Combining the two surfaces is an error — the
+   sugar is a ladder, so "both" has no coherent meaning. *)
+let resolve_ladder (profile : Profiles.t) ~ladder ~rung ~deadline_s ~max_rounds :
+    (Vladder.Ladder.t option, string) result =
+  let has_budget = deadline_s <> None || max_rounds <> None in
+  match (ladder, rung) with
+  | None, None ->
+    if not has_budget then Ok None
+    else
+      let b = Profiles.budget profile in
+      let b =
+        {
+          b with
+          Smt.Solver.deadline_s = Option.value ~default:b.Smt.Solver.deadline_s deadline_s;
+          Smt.Solver.max_rounds = Option.value ~default:b.Smt.Solver.max_rounds max_rounds;
+        }
+      in
+      Ok (Some (Vladder.Ladder.of_budget b))
+  | _ when has_budget ->
+    Error
+      "deadline/max_rounds are deprecated sugar for a single-rung ladder and cannot be \
+       combined with ladder/rung"
+  | _ ->
+    let base =
+      match ladder with
+      | None -> Ok Vladder.Ladder.escalate
+      | Some name -> (
+        match Vladder.Ladder.by_name name with
+        | Some l -> Ok l
+        | None ->
+          Error
+            (Printf.sprintf "unknown ladder %s (have: %s)" name
+               (String.concat ", " (List.map fst Vladder.Ladder.builtins))))
+    in
+    Result.bind base (fun l ->
+        match rung with
+        | None -> Ok (Some l)
+        | Some r -> Result.map Option.some (Vladder.Ladder.pin l r))
+
+let ladder_of_query (profile : Profiles.t) (q : Rpc.query) =
+  resolve_ladder profile ~ladder:q.Rpc.q_ladder ~rung:q.Rpc.q_rung
+    ~deadline_s:q.Rpc.q_deadline_s ~max_rounds:q.Rpc.q_max_rounds
+
+let ladder_stats_json (r : Driver.program_result) =
+  match r.Driver.pr_ladder with
+  | None -> []
+  | Some ls ->
+    let ints a = J.List (Array.to_list (Array.map (fun n -> J.Int n) a)) in
+    [
+      ( "ladder",
+        J.Obj
+          [
+            ("name", J.String ls.Driver.ls_ladder);
+            ("rungs", J.Int ls.Driver.ls_rungs);
+            ("attempts", ints ls.Driver.ls_attempts);
+            ("wins", ints ls.Driver.ls_wins);
+            ("escalations", J.Int ls.Driver.ls_escalations);
+            ("steered", J.Int ls.Driver.ls_steered);
+            ("cache_hits", J.Int ls.Driver.ls_cache_hits);
+            ("hint_starts", J.Int ls.Driver.ls_hint_starts);
+          ] );
+    ]
 
 let cache_stats_json (r : Driver.program_result) =
   match r.Driver.pr_cache with
@@ -199,7 +251,7 @@ let run_lint_job ~(q : Rpc.query) (profile : Profiles.t) prog =
       ("strict", J.Bool strict);
     ]
 
-let run_verify_job t ~emit ~id ~(q : Rpc.query) (profile : Profiles.t) prog =
+let run_verify_job t ~emit ~id ~(q : Rpc.query) ~ladder (profile : Profiles.t) prog =
   let is_profile = q.Rpc.q_kind = Rpc.Profile in
   let config =
     {
@@ -211,7 +263,7 @@ let run_verify_job t ~emit ~id ~(q : Rpc.query) (profile : Profiles.t) prog =
       profile = is_profile;
       certify = q.Rpc.q_certify;
       analyze = q.Rpc.q_analyze;
-      budget = budget_override profile q;
+      ladder;
       cache =
         (match t.cache_dir with
         | Some dir when q.Rpc.q_cache -> Some { Vcache.dir }
@@ -235,6 +287,7 @@ let run_verify_job t ~emit ~id ~(q : Rpc.query) (profile : Profiles.t) prog =
                     reason = answer_reason vr.Driver.vcr_answer;
                     time_s = vr.Driver.vcr_time_s;
                     cached = vc_cached vr;
+                    rung = vr.Driver.vcr_rung;
                   }))
         | Driver.Fn_done fnr ->
           emit
@@ -267,7 +320,7 @@ let run_verify_job t ~emit ~id ~(q : Rpc.query) (profile : Profiles.t) prog =
        ( "front_end_errors",
          J.List (List.map (fun e -> J.String e) r.Driver.pr_front_end_errors) );
      ]
-    @ cache_stats_json r)
+    @ cache_stats_json r @ ladder_stats_json r)
 
 let status_json t =
   let s = Verusd.Sched.stats t.pool in
@@ -316,14 +369,19 @@ let handler t : Verusd.Server.handler =
     | Error msg, _ | _, Error msg ->
       send (Rpc.E_error { Rpc.code = "RPC004"; message = msg });
       Verusd.Server.Continue
-    | Ok prog, Ok profile ->
-      let done_ =
-        match q.Rpc.q_kind with
-        | Rpc.Lint -> run_lint_job ~q profile prog
-        | Rpc.Verify | Rpc.Profile -> run_verify_job t ~emit ~id ~q profile prog
-      in
-      send (Rpc.E_done done_);
-      Verusd.Server.Continue)
+    | Ok prog, Ok profile -> (
+      match ladder_of_query profile q with
+      | Error msg ->
+        send (Rpc.E_error { Rpc.code = "RPC004"; message = msg });
+        Verusd.Server.Continue
+      | Ok ladder ->
+        let done_ =
+          match q.Rpc.q_kind with
+          | Rpc.Lint -> run_lint_job ~q profile prog
+          | Rpc.Verify | Rpc.Profile -> run_verify_job t ~emit ~id ~q ~ladder profile prog
+        in
+        send (Rpc.E_done done_);
+        Verusd.Server.Continue))
 
 (* --------------------- bench-document schema ----------------------- *)
 

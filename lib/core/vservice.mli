@@ -34,6 +34,23 @@ val find_profile : string -> (Profiles.t, string) result
 (** Case-insensitive; ["fstar"] / ["lowstar"] alias the awkward
     ["F*/Low*"]. *)
 
+val resolve_ladder :
+  Profiles.t ->
+  ladder:string option ->
+  rung:int option ->
+  deadline_s:float option ->
+  max_rounds:int option ->
+  (Vladder.Ladder.t option, string) result
+(** The one resolver for automation strength, shared by the daemon's
+    request handler and the CLI's flag parsing.  [ladder] names a
+    {!Vladder.Ladder.builtins} entry; [rung] pins every obligation to
+    one rung of it (of the default ["escalate"] ladder when [ladder] is
+    absent); [deadline_s]/[max_rounds] are the deprecated budget sugar,
+    resolved to a single-rung {!Vladder.Ladder.of_budget} ladder over
+    the profile's own budget.  Combining the sugar with [ladder]/[rung]
+    is an error, as are unknown names and out-of-range rungs.  All
+    [None] resolves to [Ok None] — the implicit identity ladder. *)
+
 (** {2 Exit-code policy}
 
     One verdict-to-exit-code mapping for every surface (CLI process

@@ -32,6 +32,8 @@ type query = {
   q_cache : bool;
   q_deadline_s : float option;
   q_max_rounds : int option;
+  q_ladder : string option;
+  q_rung : int option;
   q_stream : bool;
 }
 
@@ -42,7 +44,7 @@ type request = { r_id : int; r_method : method_ }
 let request ?(id = 0) m = { r_id = id; r_method = m }
 
 let query ?(profile = "Verus") ?(lint = Lint_off) ?(certify = false) ?(analyze = false)
-    ?(cache = true) ?deadline_s ?max_rounds ?(stream = true) kind program =
+    ?(cache = true) ?deadline_s ?max_rounds ?ladder ?rung ?(stream = true) kind program =
   {
     q_kind = kind;
     q_program = program;
@@ -53,6 +55,8 @@ let query ?(profile = "Verus") ?(lint = Lint_off) ?(certify = false) ?(analyze =
     q_cache = cache;
     q_deadline_s = deadline_s;
     q_max_rounds = max_rounds;
+    q_ladder = ladder;
+    q_rung = rung;
     q_stream = stream;
   }
 
@@ -96,7 +100,9 @@ let request_to_json (r : request) =
       let base =
         base
         @ (match q.q_deadline_s with Some d -> [ ("deadline_s", J.Float d) ] | None -> [])
-        @ match q.q_max_rounds with Some n -> [ ("max_rounds", J.Int n) ] | None -> []
+        @ (match q.q_max_rounds with Some n -> [ ("max_rounds", J.Int n) ] | None -> [])
+        @ (match q.q_ladder with Some l -> [ ("ladder", J.String l) ] | None -> [])
+        @ match q.q_rung with Some r -> [ ("rung", J.Int r) ] | None -> []
       in
       [ ("params", J.Obj base) ]
   in
@@ -147,6 +153,18 @@ let parse_query kind params =
     | Some (J.Int n) when n >= 1 -> Ok (Some n)
     | Some _ -> Error (err "RPC004" "params.max_rounds must be a positive integer")
   in
+  let* ladder =
+    match J.member "ladder" params with
+    | None -> Ok None
+    | Some (J.String l) -> Ok (Some l)
+    | Some _ -> Error (err "RPC004" "params.ladder must be a ladder name string")
+  in
+  let* rung =
+    match J.member "rung" params with
+    | None -> Ok None
+    | Some (J.Int r) when r >= 0 -> Ok (Some r)
+    | Some _ -> Error (err "RPC004" "params.rung must be a non-negative integer")
+  in
   Ok
     {
       q_kind = kind;
@@ -158,6 +176,8 @@ let parse_query kind params =
       q_cache = Option.value ~default:true (bool_field params "cache");
       q_deadline_s = deadline_s;
       q_max_rounds = max_rounds;
+      q_ladder = ladder;
+      q_rung = rung;
       q_stream = Option.value ~default:true (bool_field params "stream");
     }
 
@@ -199,6 +219,7 @@ type event =
       reason : string option;
       time_s : float;
       cached : bool;
+      rung : int option;
     }
   | E_fn of { fn : string; ok : bool; time_s : float; vcs : int }
   | E_done of J.t
@@ -207,7 +228,7 @@ type event =
   | E_status of J.t
 
 let event_to_json ~id = function
-  | E_vc { fn; vc; answer; reason; time_s; cached } ->
+  | E_vc { fn; vc; answer; reason; time_s; cached; rung } ->
     envelope id
       ([
          ("event", J.String "vc");
@@ -216,7 +237,8 @@ let event_to_json ~id = function
          ("answer", J.String answer);
        ]
       @ (match reason with Some r -> [ ("reason", J.String r) ] | None -> [])
-      @ [ ("time_s", J.Float time_s); ("cached", J.Bool cached) ])
+      @ [ ("time_s", J.Float time_s); ("cached", J.Bool cached) ]
+      @ (match rung with Some r -> [ ("rung", J.Int r) ] | None -> []))
   | E_fn { fn; ok; time_s; vcs } ->
     envelope id
       [
@@ -304,6 +326,7 @@ let event_of_json j =
                reason = str_field j "reason";
                time_s;
                cached = Option.value ~default:false (bool_field j "cached");
+               rung = int_field j "rung";
              })
       | _ -> Error (err "RPC004" "vc event: fn/vc/answer/time_s missing or mistyped"))
     | "fn" -> (

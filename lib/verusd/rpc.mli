@@ -57,8 +57,19 @@ type query = {
   q_cache : bool;
       (** consult the daemon's shared verification cache (default [true];
           a daemon started without a cache directory ignores this) *)
-  q_deadline_s : float option;  (** solver wall-clock budget override *)
-  q_max_rounds : int option;  (** instantiation-round budget override *)
+  q_deadline_s : float option;
+      (** solver wall-clock budget override — deprecated sugar for a
+          single-rung ladder carrying the absolute budget; rejected
+          ([RPC004]) when combined with [q_ladder]/[q_rung] *)
+  q_max_rounds : int option;
+      (** instantiation-round budget override — same deprecated sugar *)
+  q_ladder : string option;
+      (** escalation-ladder name ({!Vladder.Ladder.builtins}: ["escalate"],
+          ["deep"], ["cautious"]); each obligation climbs it, cheap rungs
+          first *)
+  q_rung : int option;
+      (** pin every obligation to one rung of [q_ladder] (default: the
+          ["escalate"] ladder) instead of climbing *)
   q_stream : bool;
       (** stream per-VC / per-function verdict events as they land
           (default [true]); [false] sends only the final [done] frame *)
@@ -85,6 +96,8 @@ val query :
   ?cache:bool ->
   ?deadline_s:float ->
   ?max_rounds:int ->
+  ?ladder:string ->
+  ?rung:int ->
   ?stream:bool ->
   job_kind ->
   string ->
@@ -110,6 +123,9 @@ type event =
       reason : string option;  (** present when [answer = "unknown"] *)
       time_s : float;
       cached : bool;  (** served from the shared verification cache *)
+      rung : int option;
+          (** the escalation-ladder rung that produced the verdict;
+              present only when the job ran with an explicit ladder *)
     }
   | E_fn of { fn : string; ok : bool; time_s : float; vcs : int }
   | E_done of Vbase.Json.t

@@ -23,6 +23,12 @@
 # prescreen proves at rung 0 is independently re-proved by the SMT
 # solver across the whole bundled suite — one disagreement fails —
 # plus discharge and digest-stability pins),
+# the Vladder escalation-ladder smoke (escalate-ladder runs must digest
+# identically to monolithic runs across a program x profile suite, every
+# recorded winning rung must reproduce its answer pinned standalone, the
+# deprecated budget override must equal its single-rung ladder, and warm
+# runs must jump to the recorded winning rung with zero wasted
+# lower-rung attempts),
 # and — when odoc is installed — the API-doc build,
 # warnings-as-errors.  This is the tree-must-stay-green gate:
 #
@@ -34,25 +40,25 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== 1/11 build =="
+echo "== 1/12 build =="
 dune build @all
 
-echo "== 2/11 tests =="
+echo "== 2/12 tests =="
 dune runtest
 
-echo "== 3/11 lint (strict) =="
+echo "== 3/12 lint (strict) =="
 dune build @lint
 
-echo "== 4/11 fault smoke =="
+echo "== 4/12 fault smoke =="
 dune build @faults
 
-echo "== 5/11 profile JSON smoke =="
+echo "== 5/12 profile JSON smoke =="
 dune build @profile
 
-echo "== 6/11 cache smoke (cold/warm/corrupt) =="
+echo "== 6/12 cache smoke (cold/warm/corrupt) =="
 dune build @cache
 
-echo "== 7/11 api docs =="
+echo "== 7/12 api docs =="
 if command -v odoc >/dev/null 2>&1; then
   dune build @doc 2>doc-warnings.log || {
     cat doc-warnings.log
@@ -71,16 +77,19 @@ else
   echo "odoc not installed; skipped (install odoc to enable)"
 fi
 
-echo "== 8/11 certificate smoke (emit + kernel replay) =="
+echo "== 8/12 certificate smoke (emit + kernel replay) =="
 dune build @certify
 
-echo "== 9/11 durable kv smoke (storm + recovery) =="
+echo "== 9/12 durable kv smoke (storm + recovery) =="
 dune build @kv
 
-echo "== 10/11 daemon smoke (scheduler + rpc + docs gate) =="
+echo "== 10/12 daemon smoke (scheduler + rpc + docs gate) =="
 dune build @daemon
 
-echo "== 11/11 analyze smoke (prescreen/SMT crosscheck) =="
+echo "== 11/12 analyze smoke (prescreen/SMT crosscheck) =="
 dune build @analyze
+
+echo "== 12/12 ladder smoke (escalation/monolithic digest parity + rung pins) =="
+dune build @ladder
 
 echo "== all checks passed =="

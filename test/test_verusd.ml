@@ -135,6 +135,7 @@ let test_rpc_event_roundtrip () =
           reason = None;
           time_s = 0.12;
           cached = true;
+          rung = None;
         };
       Rpc.E_vc
         {
@@ -144,6 +145,7 @@ let test_rpc_event_roundtrip () =
           reason = Some "deadline";
           time_s = 1.0;
           cached = false;
+          rung = Some 2;
         };
       Rpc.E_fn { fn = "pop"; ok = true; time_s = 0.3; vcs = 4 };
       Rpc.E_done

@@ -466,6 +466,53 @@ let test_fingerprint_salt () =
   Alcotest.(check string) "salted fingerprint deterministic" (fp ~analyze:true ())
     (fp ~analyze:true ())
 
+let test_vl047_refuted_advisory () =
+  (* With x <= 10 the assertion x >= 11 is definitely false in the
+     interval domain: the prescreen returns an advisory [Refuted], the
+     obligation still goes to the solver (which agrees it fails), and
+     under a lint mode the driver surfaces the advisory as VL047. *)
+  let refute_prog =
+    prog
+      [
+        fn "refute_me"
+          ~params:[ p "x" (TInt I_u64) ]
+          ~requires:[ v "x" <=: i 10 ]
+          ~body:[ SAssert (v "x" >=: i 11, H_default) ];
+      ]
+  in
+  let run config = Driver.verify_program ~config Profiles.verus refute_prog in
+  let warned = run Driver.Config.(default |> with_analyze true |> with_lint Lint_warn) in
+  Alcotest.(check bool) "refuted obligation fails" false warned.Driver.pr_ok;
+  Alcotest.(check bool) "advisory recorded on the obligation" true
+    (List.exists
+       (fun (fr : Driver.fn_result) ->
+         List.exists
+           (fun (vr : Driver.vc_result) -> vr.Driver.vcr_prescreen_refuted)
+           fr.Driver.fnr_vcs)
+       warned.Driver.pr_fns);
+  let vl047 =
+    List.filter (fun (d : Vlint.diag) -> String.equal d.Vlint.code "VL047")
+      warned.Driver.pr_lint
+  in
+  Alcotest.(check bool) "VL047 fires under lint" true (vl047 <> []);
+  List.iter
+    (fun (d : Vlint.diag) ->
+      Alcotest.(check bool) "VL047 is Info severity" true (d.Vlint.severity = Vlint.Info))
+    vl047;
+  (* Advisory only: with lint off it stays silent, and it never reaches
+     the result digest (decisions-only). *)
+  let quiet = run Driver.Config.(default |> with_analyze true) in
+  Alcotest.(check bool) "silent without a lint mode" false
+    (List.exists (fun (d : Vlint.diag) -> String.equal d.Vlint.code "VL047")
+       quiet.Driver.pr_lint);
+  Alcotest.(check string) "digest excludes the advisory" (Driver.result_digest quiet)
+    (Driver.result_digest warned);
+  (* And a plain (unanalyzed) run decides identically: the prescreen
+     changes provenance, never truth. *)
+  let plain = run Driver.Config.default in
+  Alcotest.(check string) "digest matches unanalyzed run" (Driver.result_digest plain)
+    (Driver.result_digest warned)
+
 (* ------------------------------------------------------------------ *)
 (* VL040–VL046: seeded positives, a clean negative                     *)
 (* ------------------------------------------------------------------ *)
@@ -757,6 +804,7 @@ let () =
         [
           Alcotest.test_case "discharge and digests" `Quick test_driver_discharge;
           Alcotest.test_case "cache salt" `Quick test_fingerprint_salt;
+          Alcotest.test_case "VL047 refuted advisory" `Quick test_vl047_refuted_advisory;
         ] );
       ( "lint",
         [
